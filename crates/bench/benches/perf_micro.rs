@@ -1,0 +1,132 @@
+//! **Perf**: criterion micro-benchmarks of the framework's hot paths — the
+//! performance side of the reproduction (the paper's framework targets
+//! "rapid prototyping"; these numbers show the simulator comfortably
+//! outruns real-time emulation).
+
+use std::net::Ipv4Addr;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgpsdn_bgp::{
+    pfx, AsPath, Asn, BgpMessage, Candidate, DecisionConfig, PathAttributes, RouteSource, RouterId,
+    UpdateMsg,
+};
+use bgpsdn_core::{compute, run_clique, CliqueScenario, EventKind, ExternalRoute, SwitchGraph};
+use bgpsdn_netsim::{SimDuration, SimRng};
+use bgpsdn_sdn::{FlowAction, FlowRule, FlowTable};
+use bgpsdn_topology::gen;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut attrs = PathAttributes::originate(Ipv4Addr::new(10, 0, 0, 1));
+    attrs.as_path = AsPath::from_seq(65000..65008);
+    let msg = BgpMessage::Update(UpdateMsg::announce(
+        vec![pfx("10.1.0.0/16"), pfx("10.2.0.0/16"), pfx("10.3.0.0/16")],
+        attrs,
+    ));
+    let bytes = msg.encode();
+    c.bench_function("bgp_update_encode", |b| b.iter(|| black_box(&msg).encode()));
+    c.bench_function("bgp_update_decode", |b| {
+        b.iter(|| BgpMessage::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let cfg = DecisionConfig::default();
+    let attrs: Vec<PathAttributes> = (0..100)
+        .map(|i| {
+            let mut a = PathAttributes::originate(Ipv4Addr::new(10, 0, 0, 1));
+            a.as_path = AsPath::from_seq(1..(2 + i % 7));
+            a
+        })
+        .collect();
+    c.bench_function("decision_select_100_candidates", |b| {
+        b.iter(|| {
+            let cands = attrs.iter().enumerate().map(|(i, a)| Candidate {
+                attrs: a,
+                source: RouteSource::Peer(i),
+                peer_router_id: RouterId(i as u32),
+            });
+            bgpsdn_bgp::decision::select(black_box(cands), &cfg)
+        })
+    });
+}
+
+fn bench_flowtable(c: &mut Criterion) {
+    let mut table = FlowTable::new();
+    for i in 0..1000u32 {
+        table.install(FlowRule {
+            priority: 100,
+            prefix: pfx(&format!("10.{}.{}.0/24", i / 256, i % 256)),
+            action: FlowAction::Output(i),
+            cookie: 0,
+        });
+    }
+    let dst = Ipv4Addr::new(10, 1, 200, 7);
+    c.bench_function("flowtable_lookup_1k_rules", |b| {
+        b.iter(|| table.lookup(black_box(dst)))
+    });
+}
+
+fn bench_controller_compute(c: &mut Criterion) {
+    // 16-member full-mesh switch graph, 32 external routes.
+    let links: Vec<(usize, usize, bgpsdn_netsim::LinkId)> = {
+        let mut v = Vec::new();
+        let mut lid = 0u32;
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                v.push((i, j, bgpsdn_netsim::LinkId(lid)));
+                lid += 1;
+            }
+        }
+        v
+    };
+    let sg = SwitchGraph::new(16, links);
+    let ext: Vec<ExternalRoute> = (0..32)
+        .map(|s| ExternalRoute {
+            session: s,
+            member: s % 16,
+            as_path: vec![Asn(100 + s as u32), Asn(200)],
+            med: None,
+        })
+        .collect();
+    c.bench_function("controller_prefix_compute_16_members", |b| {
+        b.iter(|| compute(black_box(&sg), None, black_box(&ext)))
+    });
+}
+
+fn bench_topology_gen(c: &mut Criterion) {
+    c.bench_function("barabasi_albert_500", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::seed_from_u64(1);
+            gen::barabasi_albert(500, 2, &mut rng)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // A full framework run: build + bring-up + withdrawal + convergence on
+    // a 8-AS clique with half the ASes centralized (MRAI 0 keeps it tight).
+    let scenario = CliqueScenario {
+        n: 8,
+        sdn_count: 4,
+        mrai: SimDuration::ZERO,
+        recompute_delay: SimDuration::from_millis(10),
+        seed: 7,
+    };
+    c.bench_function("framework_8clique_withdrawal_e2e", |b| {
+        b.iter(|| run_clique(black_box(&scenario), EventKind::Withdrawal))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec,
+        bench_decision,
+        bench_flowtable,
+        bench_controller_compute,
+        bench_topology_gen,
+        bench_end_to_end
+);
+criterion_main!(benches);

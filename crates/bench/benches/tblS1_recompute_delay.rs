@@ -1,0 +1,86 @@
+//! **Table S1** (ablation of §3's "delayed recomputation"): controller
+//! recompute-delay sweep under a withdrawal storm. The paper's design
+//! insight: "the need for a delayed recomputation of best paths on the
+//! controller's side, so as to improve overall stability and rate-limit
+//! route flaps due to bursts in external BGP input."
+//!
+//! Expectation: a modest delay batches the burst into few recomputations
+//! (and few flow mods / announcements) while barely moving convergence
+//! time; zero delay recomputes per update.
+
+use bgpsdn_bench::{runs_per_point, write_json};
+use bgpsdn_core::{run_clique_full, CliqueScenario, EventKind};
+use bgpsdn_netsim::{SimDuration, Summary};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    delay_ms: u64,
+    conv_median_s: f64,
+    recomputes_mean: f64,
+    flow_mods_mean: f64,
+    announcements_mean: f64,
+}
+
+fn main() {
+    let runs = runs_per_point();
+    println!("== Table S1: controller recompute-delay ablation ==");
+    println!("16-AS clique, 50% SDN, withdrawal, MRAI 30 s, {runs} runs/point\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>10} {:>14}",
+        "delay", "conv median", "recomputes", "flowmods", "announcements"
+    );
+
+    let mut rows = Vec::new();
+    for &delay_ms in &[0u64, 50, 200, 1000, 5000] {
+        let mut times = Vec::new();
+        let mut recomputes = Vec::new();
+        let mut flow_mods = Vec::new();
+        let mut anns = Vec::new();
+        for r in 0..runs {
+            let scenario = CliqueScenario {
+                n: 16,
+                sdn_count: 8,
+                mrai: SimDuration::from_secs(30),
+                recompute_delay: SimDuration::from_millis(delay_ms),
+                seed: 4000 + r * 7919,
+            };
+            let (out, exp) = run_clique_full(&scenario, EventKind::Withdrawal);
+            assert!(out.converged && out.audit_ok);
+            times.push(out.convergence);
+            let c = exp.net.controller.unwrap();
+            let stats = exp.net.sim.node_ref::<bgpsdn_core::Controller>(c).stats();
+            recomputes.push(stats.recomputes as f64);
+            flow_mods.push(stats.flow_mods as f64);
+            anns.push((stats.announcements + stats.withdrawals) as f64);
+        }
+        let conv = Summary::of_durations(&times).unwrap();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let row = Row {
+            delay_ms,
+            conv_median_s: conv.median,
+            recomputes_mean: mean(&recomputes),
+            flow_mods_mean: mean(&flow_mods),
+            announcements_mean: mean(&anns),
+        };
+        println!(
+            "{:>7}ms {:>11.2}s {:>12.1} {:>10.1} {:>14.1}",
+            row.delay_ms,
+            row.conv_median_s,
+            row.recomputes_mean,
+            row.flow_mods_mean,
+            row.announcements_mean
+        );
+        rows.push(row);
+    }
+
+    // Shape: recomputation count falls sharply with delay; convergence
+    // stays in the same ballpark for sane delays.
+    assert!(
+        rows[0].recomputes_mean > rows[3].recomputes_mean,
+        "delay must batch recomputations"
+    );
+    println!("\nshape check: PASS (delayed recomputation rate-limits controller churn)");
+
+    write_json("tblS1_recompute_delay", &rows);
+}

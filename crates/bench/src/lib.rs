@@ -1,0 +1,126 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `benches/` that regenerates it: a workload, a parameter sweep, and
+//! printed rows matching what the paper reports. Results are also written
+//! as JSON under `bench-results/` at the workspace root so figures can be
+//! re-plotted.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bgpsdn_netsim::{SimDuration, Summary};
+use serde::Serialize;
+
+/// Number of seeded repetitions per sweep point: the paper uses 10;
+/// override with `BGPSDN_RUNS` for quicker passes.
+pub fn runs_per_point() -> u64 {
+    std::env::var("BGPSDN_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Where bench outputs land: `<workspace>/bench-results`.
+pub fn output_dir() -> PathBuf {
+    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let root = here.parent().and_then(|p| p.parent()).unwrap_or(&here);
+    let dir = root.join("bench-results");
+    fs::create_dir_all(&dir).expect("create bench-results");
+    dir
+}
+
+/// One boxplot row of a sweep.
+#[derive(Debug, Serialize)]
+pub struct SweepRow {
+    /// The swept parameter value (e.g. SDN fraction in percent).
+    pub x: f64,
+    /// Number of runs behind the row.
+    pub n: usize,
+    /// Minimum convergence time in seconds.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+impl SweepRow {
+    /// Build a row from raw durations.
+    pub fn from_durations(x: f64, times: &[SimDuration]) -> SweepRow {
+        let s = Summary::of_durations(times).expect("non-empty sweep point");
+        SweepRow {
+            x,
+            n: s.n,
+            min: s.min,
+            q1: s.q1,
+            median: s.median,
+            q3: s.q3,
+            max: s.max,
+            mean: s.mean,
+        }
+    }
+}
+
+/// Print a standard boxplot table header.
+pub fn print_header(xlabel: &str) {
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        xlabel, "min", "q1", "median", "q3", "max", "mean"
+    );
+}
+
+/// Print one boxplot row.
+pub fn print_row(label: &str, row: &SweepRow) {
+    println!(
+        "{label:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+        row.min, row.q1, row.median, row.q3, row.max, row.mean
+    );
+}
+
+/// Persist a bench result as JSON.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = output_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize");
+    fs::write(&path, json).expect("write json");
+    println!("\n[written {}]", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_row_from_durations() {
+        let times = [
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(3),
+            SimDuration::from_secs(2),
+        ];
+        let row = SweepRow::from_durations(50.0, &times);
+        assert_eq!(row.n, 3);
+        assert_eq!(row.min, 1.0);
+        assert_eq!(row.median, 2.0);
+        assert_eq!(row.max, 3.0);
+    }
+
+    #[test]
+    fn output_dir_exists() {
+        let d = output_dir();
+        assert!(d.ends_with("bench-results"));
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn runs_default_is_ten() {
+        if std::env::var("BGPSDN_RUNS").is_err() {
+            assert_eq!(runs_per_point(), 10);
+        }
+    }
+}

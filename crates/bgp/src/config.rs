@@ -1,0 +1,239 @@
+//! Router configuration.
+//!
+//! Defaults follow the Quagga configuration the paper's framework generates:
+//! 30 s eBGP MRAI (advertisement-interval) with RFC 4271 §9.2.1.1 jitter,
+//! millisecond-scale update processing delays, keepalives disabled in
+//! experiments (hold negotiation still works when enabled).
+
+use std::net::Ipv4Addr;
+
+use bgpsdn_netsim::{LinkId, NodeId, SimDuration};
+
+use crate::decision::DecisionConfig;
+use crate::policy::{PolicyMode, Relationship, RouteMap};
+use crate::types::{Asn, Prefix, RouterId};
+
+/// Protocol timing knobs.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Minimum Route Advertisement Interval for eBGP sessions.
+    pub mrai: SimDuration,
+    /// MRAI jitter window as fractions of the base (RFC: 0.75–1.0).
+    pub mrai_jitter: (f64, f64),
+    /// Whether explicit withdrawals wait for MRAI too (RFC 4271 says the
+    /// interval applies to advertisements only; Quagga queues both — flip
+    /// this to emulate that).
+    pub mrai_on_withdrawals: bool,
+    /// Uniform per-UPDATE processing delay window (router CPU model).
+    pub processing_delay: (SimDuration, SimDuration),
+    /// Proposed hold time in seconds; 0 disables keepalive/hold entirely.
+    pub hold_time_secs: u16,
+    /// Keepalive interval as a fraction of hold (RFC suggests 1/3).
+    pub keepalive_divisor: u32,
+    /// Maximum random stagger applied to initial session bring-up.
+    pub connect_stagger: SimDuration,
+    /// Base delay before a failed session is retried (exponential backoff).
+    pub connect_retry: SimDuration,
+    /// Give up re-trying a session after this many consecutive failures.
+    pub max_connect_retries: u32,
+    /// Sender-side loop detection (RFC 4271 §9.1.3 MAY): suppress
+    /// advertising a route back to the peer it was learned from. Quagga does
+    /// not do this — the receiver's AS_PATH check discards the update — and
+    /// the slow Tdown path-exploration behaviour the paper measures depends
+    /// on those MRAI-paced re-advertisements, so the default is off.
+    pub sender_side_loop_detection: bool,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            mrai: SimDuration::from_secs(30),
+            mrai_jitter: (0.75, 1.0),
+            mrai_on_withdrawals: false,
+            processing_delay: (SimDuration::from_millis(1), SimDuration::from_millis(10)),
+            hold_time_secs: 0,
+            keepalive_divisor: 3,
+            connect_stagger: SimDuration::from_millis(100),
+            connect_retry: SimDuration::from_secs(1),
+            max_connect_retries: 5,
+            sender_side_loop_detection: false,
+        }
+    }
+}
+
+impl TimingConfig {
+    /// Timing with a specific MRAI and everything else default.
+    pub fn with_mrai(mrai: SimDuration) -> Self {
+        TimingConfig {
+            mrai,
+            ..Default::default()
+        }
+    }
+}
+
+/// One configured neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborConfig {
+    /// Logical session endpoint (the peer's node id).
+    pub peer: NodeId,
+    /// Physical link the session runs over.
+    pub link: LinkId,
+    /// Expected remote ASN.
+    pub remote_asn: Asn,
+    /// Business relationship of the neighbor relative to this router.
+    pub relationship: Relationship,
+    /// Per-neighbor MRAI override.
+    pub mrai_override: Option<SimDuration>,
+    /// Extra import policy applied after relationship defaults.
+    pub import_map: Option<RouteMap>,
+    /// Extra export policy applied after relationship filtering.
+    pub export_map: Option<RouteMap>,
+    /// Maximum-prefix guardrail: tear the session down (NOTIFICATION
+    /// Cease) when the peer advertises more prefixes than this.
+    pub max_prefixes: Option<usize>,
+}
+
+impl NeighborConfig {
+    /// A neighbor with default policy hooks.
+    pub fn new(peer: NodeId, link: LinkId, remote_asn: Asn, relationship: Relationship) -> Self {
+        NeighborConfig {
+            peer,
+            link,
+            remote_asn,
+            relationship,
+            mrai_override: None,
+            import_map: None,
+            export_map: None,
+            max_prefixes: None,
+        }
+    }
+
+    /// A monitoring session toward a route collector: export-only and not
+    /// MRAI-throttled, so measurements see updates promptly.
+    pub fn monitor(peer: NodeId, link: LinkId, remote_asn: Asn) -> Self {
+        NeighborConfig {
+            peer,
+            link,
+            remote_asn,
+            relationship: Relationship::Monitor,
+            mrai_override: Some(SimDuration::ZERO),
+            import_map: None,
+            export_map: None,
+            max_prefixes: None,
+        }
+    }
+}
+
+/// Complete configuration of one BGP router (one AS in the paper's
+/// one-device-per-AS abstraction).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// This router's AS number.
+    pub asn: Asn,
+    /// BGP identifier.
+    pub router_id: RouterId,
+    /// NEXT_HOP address used in advertisements.
+    pub next_hop: Ipv4Addr,
+    /// Policy regime.
+    pub mode: PolicyMode,
+    /// Decision-process knobs.
+    pub decision: DecisionConfig,
+    /// Timers.
+    pub timing: TimingConfig,
+    /// Sessions to run.
+    pub neighbors: Vec<NeighborConfig>,
+    /// Prefixes originated at startup.
+    pub originate: Vec<Prefix>,
+    /// Route-flap damping (RFC 2439); `None` disables it (the default, as
+    /// in modern deployments — enable for the damping ablation).
+    pub damping: Option<crate::damping::DampingConfig>,
+}
+
+impl RouterConfig {
+    /// Minimal config: derive router-id and next-hop from the ASN
+    /// (`10.255.x.y` scheme), no neighbors yet.
+    pub fn new(asn: Asn) -> Self {
+        let ip = Ipv4Addr::new(10, 255, (asn.0 >> 8) as u8, asn.0 as u8);
+        RouterConfig {
+            asn,
+            router_id: RouterId::from_ip(ip),
+            next_hop: ip,
+            mode: PolicyMode::AllPermit,
+            decision: DecisionConfig::default(),
+            timing: TimingConfig::default(),
+            neighbors: Vec::new(),
+            originate: Vec::new(),
+            damping: None,
+        }
+    }
+
+    /// Add a neighbor (builder style).
+    pub fn with_neighbor(mut self, n: NeighborConfig) -> Self {
+        self.neighbors.push(n);
+        self
+    }
+
+    /// Originate a prefix at startup (builder style).
+    pub fn with_origin(mut self, p: Prefix) -> Self {
+        self.originate.push(p);
+        self
+    }
+
+    /// Set the policy mode (builder style).
+    pub fn with_mode(mut self, mode: PolicyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set timing (builder style).
+    pub fn with_timing(mut self, t: TimingConfig) -> Self {
+        self.timing = t;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timing_matches_quagga_profile() {
+        let t = TimingConfig::default();
+        assert_eq!(t.mrai, SimDuration::from_secs(30));
+        assert_eq!(t.mrai_jitter, (0.75, 1.0));
+        assert!(!t.mrai_on_withdrawals);
+        assert_eq!(t.hold_time_secs, 0, "keepalives off by default");
+    }
+
+    #[test]
+    fn router_config_derives_identity() {
+        let c = RouterConfig::new(Asn(0x0102));
+        assert_eq!(c.next_hop, Ipv4Addr::new(10, 255, 1, 2));
+        assert_eq!(c.router_id.as_ip(), Ipv4Addr::new(10, 255, 1, 2));
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = RouterConfig::new(Asn(1))
+            .with_mode(PolicyMode::GaoRexford)
+            .with_origin(crate::types::pfx("10.1.0.0/16"))
+            .with_neighbor(NeighborConfig::new(
+                NodeId(2),
+                LinkId(0),
+                Asn(2),
+                Relationship::Peer,
+            ))
+            .with_timing(TimingConfig::with_mrai(SimDuration::from_secs(5)));
+        assert_eq!(c.mode, PolicyMode::GaoRexford);
+        assert_eq!(c.neighbors.len(), 1);
+        assert_eq!(c.originate.len(), 1);
+        assert_eq!(c.timing.mrai, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn monitor_neighbor_unthrottled() {
+        let n = NeighborConfig::monitor(NodeId(9), LinkId(3), Asn(65535));
+        assert_eq!(n.relationship, Relationship::Monitor);
+        assert_eq!(n.mrai_override, Some(SimDuration::ZERO));
+    }
+}

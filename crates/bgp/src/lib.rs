@@ -1,0 +1,47 @@
+//! # bgpsdn-bgp — a from-scratch BGP-4 implementation for the emulation framework
+//!
+//! This crate is the framework's Quagga replacement: a complete, deterministic
+//! BGP-4 speaker that runs inside the [`bgpsdn_netsim`] discrete-event
+//! simulator. It provides:
+//!
+//! * the RFC 4271 **wire codec** ([`msg`], [`attrs`], [`wire`]) — every
+//!   message that crosses a simulated link is encoded to and decoded from
+//!   real BGP bytes;
+//! * the **session FSM** ([`fsm`]) shared by routers, the cluster BGP
+//!   speaker and the route collector;
+//! * the three **RIBs** ([`rib`]) and the RFC 4271 §9.1 **decision process**
+//!   ([`decision`]);
+//! * **policy** ([`policy`]): Gao–Rexford relationship templates (the
+//!   paper's customer-to-provider / peer-to-peer configuration) and
+//!   Quagga-style route maps;
+//! * the event-driven **router node** ([`router`]) with jittered MRAI
+//!   pacing, per-UPDATE processing delay, hold/keepalive timers, loop
+//!   detection and session retry logic.
+
+#![warn(missing_docs)]
+
+pub mod attrs;
+pub mod config;
+pub mod damping;
+pub mod decision;
+pub mod envelope;
+pub mod fsm;
+pub mod msg;
+pub mod policy;
+pub mod rib;
+pub mod router;
+pub mod types;
+pub mod wire;
+
+pub use attrs::{AsPath, Community, Origin, PathAttributes, Segment};
+pub use config::{NeighborConfig, RouterConfig, TimingConfig};
+pub use damping::{DampingConfig, DampingState};
+pub use decision::{Candidate, DecisionConfig};
+pub use envelope::{BgpApp, BgpEnvelope, BgpOnlyMsg, RouterCommand};
+pub use fsm::{CloseReason, SessionEvent, SessionHandshake, SessionState};
+pub use msg::{BgpMessage, Capability, NotifCode, NotificationMsg, OpenMsg, UpdateMsg};
+pub use policy::{MatchCond, PolicyMode, Relationship, RouteMap, Rule, SetAction};
+pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};
+pub use router::{BgpRouter, RouterStats};
+pub use types::{pfx, Asn, Prefix, PrefixError, RouterId};
+pub use wire::CodecError;

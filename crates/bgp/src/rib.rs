@@ -1,0 +1,346 @@
+//! Routing Information Bases: Adj-RIB-In, Loc-RIB and Adj-RIB-Out.
+//!
+//! All maps are `BTreeMap`s so iteration order — and therefore everything
+//! downstream of it, including which UPDATE goes out first — is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use bgpsdn_netsim::SimTime;
+
+use crate::attrs::PathAttributes;
+use crate::types::{Prefix, RouterId};
+
+/// Index of a neighbor in the router's configuration, used as the peer key
+/// throughout the RIBs.
+pub type PeerIdx = usize;
+
+/// Where a Loc-RIB route came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RouteSource {
+    /// Locally originated (configured network statement).
+    Local,
+    /// Learned from the neighbor with this index.
+    Peer(PeerIdx),
+}
+
+/// A route as stored in Adj-RIB-In.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RibInEntry {
+    /// Path attributes exactly as accepted by import policy.
+    pub attrs: PathAttributes,
+    /// Router-id of the advertising peer (decision tie-break).
+    pub peer_router_id: RouterId,
+    /// When the route was (last) received.
+    pub learned_at: SimTime,
+}
+
+/// Per-prefix, per-peer store of accepted routes.
+#[derive(Debug, Default)]
+pub struct AdjRibIn {
+    routes: BTreeMap<Prefix, BTreeMap<PeerIdx, RibInEntry>>,
+}
+
+impl AdjRibIn {
+    /// Insert or replace the peer's route for a prefix. Returns true when
+    /// this changed stored state (new route or different attributes).
+    pub fn insert(&mut self, prefix: Prefix, peer: PeerIdx, entry: RibInEntry) -> bool {
+        let slot = self.routes.entry(prefix).or_default();
+        match slot.get(&peer) {
+            Some(old) if old.attrs == entry.attrs => false,
+            _ => {
+                slot.insert(peer, entry);
+                true
+            }
+        }
+    }
+
+    /// Remove the peer's route for a prefix. Returns true when a route was
+    /// actually removed.
+    pub fn remove(&mut self, prefix: Prefix, peer: PeerIdx) -> bool {
+        if let Some(slot) = self.routes.get_mut(&prefix) {
+            let removed = slot.remove(&peer).is_some();
+            if slot.is_empty() {
+                self.routes.remove(&prefix);
+            }
+            removed
+        } else {
+            false
+        }
+    }
+
+    /// Remove every route learned from `peer` (session reset). Returns the
+    /// affected prefixes.
+    pub fn remove_peer(&mut self, peer: PeerIdx) -> Vec<Prefix> {
+        let mut affected = Vec::new();
+        self.routes.retain(|prefix, slot| {
+            if slot.remove(&peer).is_some() {
+                affected.push(*prefix);
+            }
+            !slot.is_empty()
+        });
+        affected
+    }
+
+    /// Candidate routes for one prefix, in peer-index order.
+    pub fn candidates(&self, prefix: Prefix) -> impl Iterator<Item = (PeerIdx, &RibInEntry)> {
+        self.routes
+            .get(&prefix)
+            .into_iter()
+            .flat_map(|slot| slot.iter().map(|(p, e)| (*p, e)))
+    }
+
+    /// The peer's route for a prefix, if accepted.
+    pub fn get(&self, prefix: Prefix, peer: PeerIdx) -> Option<&RibInEntry> {
+        self.routes.get(&prefix)?.get(&peer)
+    }
+
+    /// All prefixes with at least one candidate.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+
+    /// Total number of stored routes across all prefixes and peers.
+    pub fn route_count(&self) -> usize {
+        self.routes.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of prefixes currently learned from one peer (the
+    /// maximum-prefix guardrail's counter).
+    pub fn count_for_peer(&self, peer: PeerIdx) -> usize {
+        self.routes
+            .values()
+            .filter(|slot| slot.contains_key(&peer))
+            .count()
+    }
+}
+
+/// The selected best route for a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocRibEntry {
+    /// Who supplied the route.
+    pub source: RouteSource,
+    /// Attributes of the winning route (import-policy view).
+    pub attrs: PathAttributes,
+    /// When this selection was made.
+    pub since: SimTime,
+}
+
+/// The router's view of best routes.
+#[derive(Debug, Default)]
+pub struct LocRib {
+    best: BTreeMap<Prefix, LocRibEntry>,
+}
+
+impl LocRib {
+    /// Set the best route for a prefix. Returns true when the selection
+    /// changed (source or attributes differ).
+    pub fn set(&mut self, prefix: Prefix, entry: LocRibEntry) -> bool {
+        match self.best.get(&prefix) {
+            Some(old) if old.source == entry.source && old.attrs == entry.attrs => false,
+            _ => {
+                self.best.insert(prefix, entry);
+                true
+            }
+        }
+    }
+
+    /// Remove the best route (prefix now unreachable). Returns the removed
+    /// entry when there was one.
+    pub fn clear(&mut self, prefix: Prefix) -> Option<LocRibEntry> {
+        self.best.remove(&prefix)
+    }
+
+    /// Current best route for a prefix.
+    pub fn get(&self, prefix: Prefix) -> Option<&LocRibEntry> {
+        self.best.get(&prefix)
+    }
+
+    /// Longest-prefix match for a destination address (the FIB lookup).
+    pub fn lpm(&self, ip: std::net::Ipv4Addr) -> Option<(Prefix, &LocRibEntry)> {
+        self.best
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, e)| (*p, e))
+    }
+
+    /// All `(prefix, best)` pairs in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &LocRibEntry)> {
+        self.best.iter().map(|(p, e)| (*p, e))
+    }
+
+    /// Number of reachable prefixes.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True when no prefix is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+}
+
+/// What was last advertised to one peer (for delta computation), keyed by
+/// prefix.
+#[derive(Debug, Default)]
+pub struct AdjRibOut {
+    advertised: BTreeMap<Prefix, PathAttributes>,
+}
+
+impl AdjRibOut {
+    /// Record an advertisement. Returns true when it differs from what was
+    /// previously advertised (i.e. an UPDATE is warranted).
+    pub fn advertise(&mut self, prefix: Prefix, attrs: PathAttributes) -> bool {
+        match self.advertised.get(&prefix) {
+            Some(old) if *old == attrs => false,
+            _ => {
+                self.advertised.insert(prefix, attrs);
+                true
+            }
+        }
+    }
+
+    /// Record a withdrawal. Returns true when the prefix was advertised.
+    pub fn withdraw(&mut self, prefix: Prefix) -> bool {
+        self.advertised.remove(&prefix).is_some()
+    }
+
+    /// Attributes last advertised for a prefix.
+    pub fn get(&self, prefix: Prefix) -> Option<&PathAttributes> {
+        self.advertised.get(&prefix)
+    }
+
+    /// Everything currently advertised, in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &PathAttributes)> {
+        self.advertised.iter().map(|(p, a)| (*p, a))
+    }
+
+    /// Number of advertised prefixes.
+    pub fn len(&self) -> usize {
+        self.advertised.len()
+    }
+
+    /// Drop all state (session reset).
+    pub fn clear(&mut self) {
+        self.advertised.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::pfx;
+    use std::net::Ipv4Addr;
+
+    fn entry(nh: u8) -> RibInEntry {
+        RibInEntry {
+            attrs: PathAttributes::originate(Ipv4Addr::new(10, 0, 0, nh)),
+            peer_router_id: RouterId(nh as u32),
+            learned_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn adj_in_insert_dedups_identical() {
+        let mut rib = AdjRibIn::default();
+        let p = pfx("10.0.0.0/8");
+        assert!(rib.insert(p, 0, entry(1)));
+        assert!(!rib.insert(p, 0, entry(1)), "same attrs: no change");
+        assert!(rib.insert(p, 0, entry(2)), "different attrs: change");
+        assert_eq!(rib.route_count(), 1);
+    }
+
+    #[test]
+    fn adj_in_remove_and_cleanup() {
+        let mut rib = AdjRibIn::default();
+        let p = pfx("10.0.0.0/8");
+        rib.insert(p, 0, entry(1));
+        rib.insert(p, 1, entry(2));
+        assert_eq!(rib.candidates(p).count(), 2);
+        assert!(rib.remove(p, 0));
+        assert!(!rib.remove(p, 0));
+        assert_eq!(rib.candidates(p).count(), 1);
+        assert!(rib.remove(p, 1));
+        assert_eq!(rib.prefixes().count(), 0, "empty slot pruned");
+    }
+
+    #[test]
+    fn adj_in_remove_peer_returns_affected() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(pfx("10.0.0.0/8"), 0, entry(1));
+        rib.insert(pfx("10.0.0.0/8"), 1, entry(2));
+        rib.insert(pfx("20.0.0.0/8"), 0, entry(1));
+        let mut affected = rib.remove_peer(0);
+        affected.sort();
+        assert_eq!(affected, vec![pfx("10.0.0.0/8"), pfx("20.0.0.0/8")]);
+        assert_eq!(rib.route_count(), 1);
+        assert!(rib.get(pfx("10.0.0.0/8"), 1).is_some());
+    }
+
+    #[test]
+    fn loc_rib_set_detects_change() {
+        let mut rib = LocRib::default();
+        let p = pfx("10.0.0.0/8");
+        let e = LocRibEntry {
+            source: RouteSource::Peer(0),
+            attrs: PathAttributes::originate(Ipv4Addr::new(1, 1, 1, 1)),
+            since: SimTime::ZERO,
+        };
+        assert!(rib.set(p, e.clone()));
+        assert!(!rib.set(p, e.clone()), "identical selection: no change");
+        let e2 = LocRibEntry {
+            source: RouteSource::Peer(1),
+            ..e
+        };
+        assert!(rib.set(p, e2));
+        assert_eq!(rib.len(), 1);
+        assert!(rib.clear(p).is_some());
+        assert!(rib.is_empty());
+        assert!(rib.clear(p).is_none());
+    }
+
+    #[test]
+    fn loc_rib_timestamp_change_alone_is_not_a_change() {
+        let mut rib = LocRib::default();
+        let p = pfx("10.0.0.0/8");
+        let mk = |t| LocRibEntry {
+            source: RouteSource::Local,
+            attrs: PathAttributes::originate(Ipv4Addr::new(1, 1, 1, 1)),
+            since: t,
+        };
+        assert!(rib.set(p, mk(SimTime::ZERO)));
+        assert!(!rib.set(p, mk(SimTime::from_secs(5))));
+        // Original timestamp preserved? No: we keep the old entry on no-change.
+        assert_eq!(rib.get(p).unwrap().since, SimTime::ZERO);
+    }
+
+    #[test]
+    fn adj_out_delta_logic() {
+        let mut out = AdjRibOut::default();
+        let p = pfx("10.0.0.0/8");
+        let a1 = PathAttributes::originate(Ipv4Addr::new(1, 1, 1, 1));
+        let a2 = PathAttributes::originate(Ipv4Addr::new(2, 2, 2, 2));
+        assert!(out.advertise(p, a1.clone()));
+        assert!(!out.advertise(p, a1.clone()), "same attrs suppressed");
+        assert!(out.advertise(p, a2), "changed attrs re-advertised");
+        assert!(out.withdraw(p));
+        assert!(!out.withdraw(p), "double withdraw suppressed");
+        assert!(out.advertise(p, a1));
+        out.clear();
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn iteration_is_prefix_ordered() {
+        let mut rib = AdjRibIn::default();
+        rib.insert(pfx("30.0.0.0/8"), 0, entry(1));
+        rib.insert(pfx("10.0.0.0/8"), 0, entry(1));
+        rib.insert(pfx("20.0.0.0/8"), 0, entry(1));
+        let order: Vec<Prefix> = rib.prefixes().collect();
+        assert_eq!(
+            order,
+            vec![pfx("10.0.0.0/8"), pfx("20.0.0.0/8"), pfx("30.0.0.0/8")]
+        );
+    }
+}

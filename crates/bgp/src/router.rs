@@ -1,0 +1,1043 @@
+//! The BGP router node — the framework's Quagga `bgpd` equivalent.
+//!
+//! One router emulates one AS (the paper's one-device-per-AS abstraction).
+//! It runs the session FSM with every configured neighbor, maintains
+//! Adj-RIB-In / Loc-RIB / Adj-RIB-Out, applies relationship policies and
+//! route maps, paces advertisements with a jittered per-peer MRAI timer and
+//! models per-UPDATE processing delay. All messages cross the simulated
+//! links as real RFC 4271 wire bytes.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::marker::PhantomData;
+
+use bgpsdn_netsim::{
+    Activity, Ctx, DataPacket, LinkId, Node, NodeId, PacketKind, SimDuration, SimTime, TimerClass,
+    TimerToken, TraceCategory,
+};
+
+use crate::attrs::PathAttributes;
+use crate::config::{NeighborConfig, RouterConfig};
+use crate::decision::{self, Candidate};
+use crate::envelope::{BgpApp, BgpEnvelope, RouterCommand};
+use crate::fsm::{CloseReason, SessionEvent, SessionHandshake, SessionState};
+use crate::msg::{BgpMessage, NotifCode, NotificationMsg, UpdateMsg};
+use crate::policy;
+use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};
+use crate::types::{Asn, Prefix, RouterId};
+
+// Timer token layout: kind in the top byte, payload (peer index or
+// processing sequence number) below.
+const K_CONNECT: u64 = 1 << 56;
+const K_MRAI: u64 = 2 << 56;
+const K_KEEPALIVE: u64 = 3 << 56;
+const K_HOLD: u64 = 4 << 56;
+const K_PROCESS: u64 = 5 << 56;
+const K_DAMP: u64 = 6 << 56;
+const KIND_MASK: u64 = 0xFF << 56;
+
+fn tok(kind: u64, payload: u64) -> TimerToken {
+    debug_assert_eq!(payload & KIND_MASK, 0);
+    TimerToken(kind | payload)
+}
+
+/// Counters exposed for measurement and tests.
+#[derive(Debug, Clone, Default)]
+pub struct RouterStats {
+    /// UPDATE messages sent.
+    pub updates_sent: u64,
+    /// UPDATE messages received (before processing delay).
+    pub updates_received: u64,
+    /// Prefix announcements carried in sent UPDATEs.
+    pub prefixes_announced: u64,
+    /// Prefix withdrawals carried in sent UPDATEs.
+    pub prefixes_withdrawn: u64,
+    /// Routes rejected by AS_PATH loop detection.
+    pub loop_rejected: u64,
+    /// Routes rejected by import policy.
+    pub policy_rejected: u64,
+    /// NOTIFICATION messages sent.
+    pub notifications_sent: u64,
+    /// Sessions that reached Established (cumulative).
+    pub sessions_established: u64,
+    /// Sessions dropped for any reason (cumulative).
+    pub sessions_dropped: u64,
+    /// Best-path changes in the Loc-RIB.
+    pub best_path_changes: u64,
+    /// Envelopes that failed to decode.
+    pub decode_errors: u64,
+    /// Data packets forwarded toward a next hop.
+    pub data_forwarded: u64,
+    /// Data packets delivered locally (destination inside an owned prefix).
+    pub data_delivered: u64,
+    /// Echo replies generated.
+    pub echo_replies: u64,
+    /// Data packets dropped: no matching route.
+    pub data_no_route: u64,
+    /// Data packets dropped: TTL exhausted (forwarding loop guard).
+    pub data_ttl_exceeded: u64,
+    /// Candidates excluded from the decision by route-flap damping.
+    pub damped_suppressed: u64,
+    /// Sessions torn down by the maximum-prefix guardrail.
+    pub max_prefix_teardowns: u64,
+}
+
+/// A queued outbound change for one peer and prefix.
+#[derive(Debug, Clone)]
+enum OutChange {
+    Announce(PathAttributes),
+    Withdraw,
+}
+
+#[derive(Debug)]
+struct PeerRuntime {
+    handshake: SessionHandshake,
+    remote_router_id: RouterId,
+    adj_out: AdjRibOut,
+    pending: BTreeMap<Prefix, OutChange>,
+    mrai_armed: bool,
+    retries: u32,
+}
+
+/// A BGP router attached to the simulator.
+pub struct BgpRouter<M: BgpApp> {
+    id: NodeId,
+    cfg: RouterConfig,
+    by_peer_node: HashMap<NodeId, PeerIdx>,
+    peers: Vec<PeerRuntime>,
+    adj_in: AdjRibIn,
+    loc_rib: LocRib,
+    originated: BTreeSet<Prefix>,
+    in_seq: u64,
+    in_queue: HashMap<u64, (PeerIdx, UpdateMsg)>,
+    last_proc_due: SimTime,
+    damping: HashMap<(PeerIdx, Prefix), crate::damping::DampingState>,
+    damp_seq: u64,
+    damp_reuse: HashMap<u64, Prefix>,
+    stats: RouterStats,
+    _m: PhantomData<fn() -> M>,
+}
+
+impl<M: BgpApp> BgpRouter<M> {
+    /// Build a router for the given node id and configuration.
+    pub fn new(id: NodeId, cfg: RouterConfig) -> Self {
+        let mut by_peer_node = HashMap::new();
+        let mut peers = Vec::with_capacity(cfg.neighbors.len());
+        for (i, n) in cfg.neighbors.iter().enumerate() {
+            let dup = by_peer_node.insert(n.peer, i);
+            assert!(dup.is_none(), "duplicate neighbor {}", n.peer);
+            peers.push(PeerRuntime {
+                handshake: SessionHandshake::new(
+                    cfg.asn,
+                    cfg.router_id,
+                    cfg.timing.hold_time_secs,
+                    Some(n.remote_asn),
+                ),
+                remote_router_id: RouterId(0),
+                adj_out: AdjRibOut::default(),
+                pending: BTreeMap::new(),
+                mrai_armed: false,
+                retries: 0,
+            });
+        }
+        let originated: BTreeSet<Prefix> = cfg.originate.iter().copied().collect();
+        BgpRouter {
+            id,
+            cfg,
+            by_peer_node,
+            peers,
+            adj_in: AdjRibIn::default(),
+            loc_rib: LocRib::default(),
+            originated,
+            in_seq: 0,
+            in_queue: HashMap::new(),
+            last_proc_due: SimTime::ZERO,
+            damping: HashMap::new(),
+            damp_seq: 0,
+            damp_reuse: HashMap::new(),
+            stats: RouterStats::default(),
+            _m: PhantomData,
+        }
+    }
+
+    /// Add a neighbor after construction. Node and link ids only exist once
+    /// the simulator topology is built, so framework builders construct
+    /// routers bare and attach neighbors before the simulation starts.
+    /// Must not be called on a running router.
+    pub fn add_neighbor(&mut self, n: NeighborConfig) {
+        let idx = self.peers.len();
+        let dup = self.by_peer_node.insert(n.peer, idx);
+        assert!(dup.is_none(), "duplicate neighbor {}", n.peer);
+        self.peers.push(PeerRuntime {
+            handshake: SessionHandshake::new(
+                self.cfg.asn,
+                self.cfg.router_id,
+                self.cfg.timing.hold_time_secs,
+                Some(n.remote_asn),
+            ),
+            remote_router_id: RouterId(0),
+            adj_out: AdjRibOut::default(),
+            pending: BTreeMap::new(),
+            mrai_armed: false,
+            retries: 0,
+        });
+        self.cfg.neighbors.push(n);
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection API (used by experiments, the collector and tests)
+    // ------------------------------------------------------------------
+
+    /// This router's ASN.
+    pub fn asn(&self) -> Asn {
+        self.cfg.asn
+    }
+
+    /// The configuration the router runs.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access for pre-start tuning (route maps,
+    /// per-neighbor knobs). Changing wiring-level fields (peers, links) on
+    /// a running router is not supported.
+    pub fn config_mut(&mut self) -> &mut RouterConfig {
+        &mut self.cfg
+    }
+
+    /// The Loc-RIB (best routes).
+    pub fn loc_rib(&self) -> &LocRib {
+        &self.loc_rib
+    }
+
+    /// The Adj-RIB-In (accepted candidates).
+    pub fn adj_in(&self) -> &AdjRibIn {
+        &self.adj_in
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// Prefixes this router currently originates.
+    pub fn originated(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.originated.iter().copied()
+    }
+
+    /// Session state toward a logical peer.
+    pub fn session_state(&self, peer: NodeId) -> Option<SessionState> {
+        self.by_peer_node
+            .get(&peer)
+            .map(|&i| self.peers[i].handshake.state())
+    }
+
+    /// The best route for a prefix, if any.
+    pub fn best(&self, prefix: Prefix) -> Option<&LocRibEntry> {
+        self.loc_rib.get(prefix)
+    }
+
+    /// The node data traffic to `prefix` is forwarded to (`None` when the
+    /// prefix is local or unreachable).
+    pub fn next_hop_node(&self, prefix: Prefix) -> Option<NodeId> {
+        match self.loc_rib.get(prefix)?.source {
+            RouteSource::Local => None,
+            RouteSource::Peer(i) => Some(self.cfg.neighbors[i].peer),
+        }
+    }
+
+    /// Data-plane forwarding decision for an address, mirroring
+    /// `handle_data`: `None` = no route (blackhole), `Some(None)` = local
+    /// delivery, `Some(Some(n))` = forward to node `n`. Used by the offline
+    /// connectivity walker.
+    pub fn forward_lookup(&self, ip: std::net::Ipv4Addr) -> Option<Option<NodeId>> {
+        if self.originated.iter().any(|p| p.contains(ip)) {
+            return Some(None);
+        }
+        match self.loc_rib.lpm(ip)?.1.source {
+            RouteSource::Local => Some(None),
+            RouteSource::Peer(i) => Some(Some(self.cfg.neighbors[i].peer)),
+        }
+    }
+
+    /// What was last advertised to a logical peer for a prefix.
+    pub fn advertised_to(&self, peer: NodeId, prefix: Prefix) -> Option<&PathAttributes> {
+        let i = *self.by_peer_node.get(&peer)?;
+        self.peers[i].adj_out.get(prefix)
+    }
+
+    // ------------------------------------------------------------------
+    // Sending helpers
+    // ------------------------------------------------------------------
+
+    fn send_msg(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, msg: &BgpMessage) {
+        let (peer_node, link) = {
+            let n = &self.cfg.neighbors[peer];
+            (n.peer, n.link)
+        };
+        ctx.trace(TraceCategory::Msg, || format!("-> {peer_node} {msg}"));
+        if let BgpMessage::Update(u) = msg {
+            self.stats.updates_sent += 1;
+            self.stats.prefixes_announced += u.nlri.len() as u64;
+            self.stats.prefixes_withdrawn += u.withdrawn.len() as u64;
+            ctx.report(Activity::UpdateSent);
+        }
+        if matches!(msg, BgpMessage::Notification(_)) {
+            self.stats.notifications_sent += 1;
+        }
+        ctx.send(link, M::from_bgp(BgpEnvelope::new(self.id, peer_node, msg)));
+    }
+
+    fn effective_mrai(&self, peer: PeerIdx) -> SimDuration {
+        self.cfg.neighbors[peer]
+            .mrai_override
+            .unwrap_or(self.cfg.timing.mrai)
+    }
+
+    // ------------------------------------------------------------------
+    // Session lifecycle
+    // ------------------------------------------------------------------
+
+    fn schedule_connect(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, delay: SimDuration) {
+        ctx.set_timer(delay, tok(K_CONNECT, peer as u64), TimerClass::Progress);
+    }
+
+    fn connect_now(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        if self.peers[peer].handshake.state() != SessionState::Idle {
+            return;
+        }
+        if !ctx.link_up(self.cfg.neighbors[peer].link) {
+            return;
+        }
+        let msgs = self.peers[peer].handshake.start();
+        for m in msgs {
+            self.send_msg(ctx, peer, &m);
+        }
+    }
+
+    fn on_established(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        self.stats.sessions_established += 1;
+        self.peers[peer].retries = 0;
+        self.peers[peer].remote_router_id = self.peers[peer]
+            .handshake
+            .remote_open()
+            .expect("established implies OPEN")
+            .router_id;
+        ctx.report(Activity::SessionUp);
+        ctx.trace(TraceCategory::Session, || {
+            format!("established with {}", self.cfg.neighbors[peer].peer)
+        });
+        // Arm keepalive/hold when negotiated.
+        let hold = self.peers[peer].handshake.negotiated_hold_secs();
+        if hold > 0 {
+            let hold_d = SimDuration::from_secs(hold as u64);
+            let ka = hold_d / self.cfg.timing.keepalive_divisor as u64;
+            ctx.set_timer(ka, tok(K_KEEPALIVE, peer as u64), TimerClass::Maintenance);
+            ctx.set_timer(hold_d, tok(K_HOLD, peer as u64), TimerClass::Maintenance);
+        }
+        // Initial table sync: enqueue the full export view.
+        let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+        for p in prefixes {
+            self.enqueue_export(peer, p);
+        }
+        self.maybe_flush(ctx, peer);
+    }
+
+    fn drop_session(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        peer: PeerIdx,
+        reason: CloseReason,
+        notify: Option<NotifCode>,
+    ) {
+        if let Some(code) = notify {
+            let msg = BgpMessage::Notification(NotificationMsg {
+                code,
+                subcode: 0,
+                data: vec![],
+            });
+            self.send_msg(ctx, peer, &msg);
+        }
+        let was_established = self.peers[peer].handshake.is_established();
+        self.peers[peer].handshake.reset();
+        self.cleanup_after_close(ctx, peer, was_established, &reason);
+        // Schedule a retry with exponential backoff unless the link is gone
+        // (link-up will restart the session).
+        if !matches!(reason, CloseReason::LinkDown) {
+            self.schedule_retry(ctx, peer);
+        }
+    }
+
+    /// Exponential-backoff reconnect, bounded by `max_connect_retries`.
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        if self.peers[peer].retries >= self.cfg.timing.max_connect_retries {
+            return;
+        }
+        self.peers[peer].retries += 1;
+        let base = self
+            .cfg
+            .timing
+            .connect_retry
+            .saturating_mul(1 << (self.peers[peer].retries - 1).min(6));
+        let delay = ctx.rng().jittered(base, 0.75, 1.0);
+        self.schedule_connect(ctx, peer, delay);
+    }
+
+    // ------------------------------------------------------------------
+    // Decision process and export
+    // ------------------------------------------------------------------
+
+    /// Re-run the decision process for `prefix`; on change, update the
+    /// Loc-RIB and enqueue exports to every peer. Returns true on change.
+    fn reselect(&mut self, ctx: &mut Ctx<'_, M>, prefix: Prefix) -> bool {
+        let new_entry: Option<LocRibEntry> = if self.originated.contains(&prefix) {
+            // A locally originated route always wins the decision process.
+            Some(LocRibEntry {
+                source: RouteSource::Local,
+                attrs: PathAttributes::originate(self.cfg.next_hop),
+                since: ctx.now(),
+            })
+        } else {
+            // Route-flap damping: suppressed candidates sit out the
+            // decision; a reuse timer re-runs the selection once the
+            // earliest suppressed candidate decays past the reuse threshold.
+            let now = ctx.now();
+            let mut suppressed_count = 0u64;
+            let mut earliest_reuse: Option<bgpsdn_netsim::SimDuration> = None;
+            let damping_map = &mut self.damping;
+            let dcfg = self.cfg.damping.as_ref();
+            let cands = self.adj_in.candidates(prefix).filter(|(i, _)| {
+                let Some(dcfg) = dcfg else { return true };
+                match damping_map.get_mut(&(*i, prefix)) {
+                    Some(st) => {
+                        if st.is_suppressed(dcfg, now) {
+                            suppressed_count += 1;
+                            if let Some(eta) = st.reuse_eta(dcfg, now) {
+                                earliest_reuse = Some(match earliest_reuse {
+                                    Some(cur) if cur <= eta => cur,
+                                    _ => eta,
+                                });
+                            }
+                            false
+                        } else {
+                            true
+                        }
+                    }
+                    None => true,
+                }
+            });
+            let cands = cands.map(|(i, e)| Candidate {
+                attrs: &e.attrs,
+                source: RouteSource::Peer(i),
+                peer_router_id: e.peer_router_id,
+            });
+            let selected = decision::select(cands, &self.cfg.decision).map(|best| LocRibEntry {
+                source: best.source,
+                attrs: best.attrs.clone(),
+                since: now,
+            });
+            self.stats.damped_suppressed += suppressed_count;
+            if let Some(eta) = earliest_reuse {
+                let seq = self.damp_seq;
+                self.damp_seq += 1;
+                self.damp_reuse.insert(seq, prefix);
+                ctx.set_timer(
+                    eta + bgpsdn_netsim::SimDuration::from_millis(1),
+                    tok(K_DAMP, seq),
+                    TimerClass::Progress,
+                );
+            }
+            selected
+        };
+
+        let changed = match new_entry {
+            Some(entry) => self.loc_rib.set(prefix, entry),
+            None => self.loc_rib.clear(prefix).is_some(),
+        };
+        if changed {
+            self.stats.best_path_changes += 1;
+            ctx.report(Activity::RibChange);
+            ctx.report(Activity::FibChange);
+            ctx.trace(TraceCategory::Route, || match self.loc_rib.get(prefix) {
+                Some(e) => format!("best {prefix} via {:?} [{}]", e.source, e.attrs.as_path),
+                None => format!("best {prefix} -> unreachable"),
+            });
+            for peer in 0..self.peers.len() {
+                self.enqueue_export(peer, prefix);
+            }
+        }
+        changed
+    }
+
+    /// Compute the desired advertisement of `prefix` toward `peer` and queue
+    /// the delta.
+    fn enqueue_export(&mut self, peer: PeerIdx, prefix: Prefix) {
+        if !self.peers[peer].handshake.is_established() {
+            return;
+        }
+        let desired = self.export_attrs(peer, prefix);
+        let change = match desired {
+            Some(attrs) => OutChange::Announce(attrs),
+            None => OutChange::Withdraw,
+        };
+        self.peers[peer].pending.insert(prefix, change);
+    }
+
+    /// The attributes `prefix` would be exported with toward `peer`
+    /// (policy + transformation), or `None` when it must not be exported.
+    fn export_attrs(&self, peer: PeerIdx, prefix: Prefix) -> Option<PathAttributes> {
+        let entry = self.loc_rib.get(prefix)?;
+        // Optional sender-side loop avoidance (off by default: Quagga sends
+        // the route back and lets the peer's AS_PATH check discard it, which
+        // is what keeps path exploration MRAI-paced).
+        if self.cfg.timing.sender_side_loop_detection && entry.source == RouteSource::Peer(peer) {
+            return None;
+        }
+        let n: &NeighborConfig = &self.cfg.neighbors[peer];
+        let learned_from =
+            policy::source_relationship(entry.source, |i| self.cfg.neighbors[i].relationship);
+        if !policy::export_allowed(self.cfg.mode, learned_from, n.relationship) {
+            return None;
+        }
+        let mut attrs = entry.attrs.clone();
+        // eBGP: LOCAL_PREF is local, MED is not propagated beyond the
+        // originating hop.
+        attrs.local_pref = None;
+        if entry.source != RouteSource::Local {
+            attrs.med = None;
+        }
+        attrs.as_path.prepend(self.cfg.asn);
+        attrs.next_hop = self.cfg.next_hop;
+        match &n.export_map {
+            Some(map) => map.apply(prefix, &attrs, self.cfg.asn),
+            None => Some(attrs),
+        }
+    }
+
+    /// Flush pending changes to one peer, respecting MRAI.
+    fn maybe_flush(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        if !self.peers[peer].handshake.is_established() || self.peers[peer].pending.is_empty() {
+            return;
+        }
+        if self.peers[peer].mrai_armed {
+            if !self.cfg.timing.mrai_on_withdrawals {
+                // Explicit withdrawals bypass the advertisement interval.
+                let withdraw_prefixes: Vec<Prefix> = self.peers[peer]
+                    .pending
+                    .iter()
+                    .filter(|(_, c)| matches!(c, OutChange::Withdraw))
+                    .map(|(p, _)| *p)
+                    .collect();
+                let mut really: Vec<Prefix> = Vec::new();
+                for p in withdraw_prefixes {
+                    self.peers[peer].pending.remove(&p);
+                    if self.peers[peer].adj_out.withdraw(p) {
+                        really.push(p);
+                    }
+                }
+                if !really.is_empty() {
+                    let msg = BgpMessage::Update(UpdateMsg::withdraw(really));
+                    self.send_msg(ctx, peer, &msg);
+                }
+            }
+            return;
+        }
+        let sent = self.send_pending(ctx, peer);
+        let mrai = self.effective_mrai(peer);
+        if sent && !mrai.is_zero() {
+            self.peers[peer].mrai_armed = true;
+            let (lo, hi) = self.cfg.timing.mrai_jitter;
+            let delay = ctx.rng().jittered(mrai, lo, hi);
+            ctx.set_timer(delay, tok(K_MRAI, peer as u64), TimerClass::Progress);
+        }
+    }
+
+    /// Send everything pending toward a peer. Returns true when at least one
+    /// UPDATE went out.
+    fn send_pending(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) -> bool {
+        let pending = std::mem::take(&mut self.peers[peer].pending);
+        let mut withdraws: Vec<Prefix> = Vec::new();
+        // Group announcements sharing identical attributes into one UPDATE.
+        let mut groups: Vec<(PathAttributes, Vec<Prefix>)> = Vec::new();
+        for (prefix, change) in pending {
+            match change {
+                OutChange::Withdraw => {
+                    if self.peers[peer].adj_out.withdraw(prefix) {
+                        withdraws.push(prefix);
+                    }
+                }
+                OutChange::Announce(attrs) => {
+                    if self.peers[peer].adj_out.advertise(prefix, attrs.clone()) {
+                        match groups.iter_mut().find(|(a, _)| *a == attrs) {
+                            Some((_, ps)) => ps.push(prefix),
+                            None => groups.push((attrs, vec![prefix])),
+                        }
+                    }
+                }
+            }
+        }
+        let mut sent = false;
+        if !withdraws.is_empty() {
+            let msg = BgpMessage::Update(UpdateMsg::withdraw(withdraws));
+            self.send_msg(ctx, peer, &msg);
+            sent = true;
+        }
+        for (attrs, prefixes) in groups {
+            let msg = BgpMessage::Update(UpdateMsg::announce(prefixes, attrs));
+            self.send_msg(ctx, peer, &msg);
+            sent = true;
+        }
+        sent
+    }
+
+    fn flush_all(&mut self, ctx: &mut Ctx<'_, M>) {
+        for peer in 0..self.peers.len() {
+            self.maybe_flush(ctx, peer);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound processing
+    // ------------------------------------------------------------------
+
+    fn process_update(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, upd: UpdateMsg) {
+        if !self.peers[peer].handshake.is_established() {
+            return; // session dropped while the update sat in the CPU queue
+        }
+        ctx.report(Activity::UpdateReceived);
+        let mut affected: BTreeSet<Prefix> = BTreeSet::new();
+
+        for p in &upd.withdrawn {
+            if self.adj_in.remove(*p, peer) {
+                affected.insert(*p);
+                if let Some(dcfg) = &self.cfg.damping {
+                    let now = ctx.now();
+                    self.damping
+                        .entry((peer, *p))
+                        .or_insert_with(|| crate::damping::DampingState::new(now))
+                        .on_withdrawal(dcfg, now);
+                }
+            }
+        }
+
+        if let Some(attrs) = &upd.attrs {
+            let rel = self.cfg.neighbors[peer].relationship;
+            let looped = attrs.as_path.contains(self.cfg.asn);
+            let import_ok = policy::import_allowed(rel) && !looped;
+            for p in &upd.nlri {
+                if !import_ok {
+                    if looped {
+                        self.stats.loop_rejected += 1;
+                    } else {
+                        self.stats.policy_rejected += 1;
+                    }
+                    // A rejected route still implicitly replaces (removes)
+                    // any earlier accepted one from this peer.
+                    if self.adj_in.remove(*p, peer) {
+                        affected.insert(*p);
+                    }
+                    continue;
+                }
+                let mut eff = attrs.clone();
+                if let Some(lp) = policy::import_local_pref(self.cfg.mode, rel) {
+                    eff.local_pref = Some(lp);
+                }
+                let accepted = match &self.cfg.neighbors[peer].import_map {
+                    Some(map) => map.apply(*p, &eff, self.cfg.asn),
+                    None => Some(eff),
+                };
+                match accepted {
+                    Some(final_attrs) => {
+                        let existed = self.adj_in.get(*p, peer).is_some();
+                        let entry = RibInEntry {
+                            attrs: final_attrs,
+                            peer_router_id: self.peers[peer].remote_router_id,
+                            learned_at: ctx.now(),
+                        };
+                        if self.adj_in.insert(*p, peer, entry) {
+                            affected.insert(*p);
+                            // A replacement announcement is a flap too.
+                            if existed {
+                                if let Some(dcfg) = &self.cfg.damping {
+                                    let now = ctx.now();
+                                    self.damping
+                                        .entry((peer, *p))
+                                        .or_insert_with(|| crate::damping::DampingState::new(now))
+                                        .on_attribute_change(dcfg, now);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        self.stats.policy_rejected += 1;
+                        if self.adj_in.remove(*p, peer) {
+                            affected.insert(*p);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Maximum-prefix guardrail (like Quagga's `maximum-prefix`): a peer
+        // exceeding its allowance is cut off with a Cease notification.
+        if let Some(limit) = self.cfg.neighbors[peer].max_prefixes {
+            if self.adj_in.count_for_peer(peer) > limit {
+                self.stats.max_prefix_teardowns += 1;
+                ctx.trace(TraceCategory::Session, || {
+                    format!("max-prefix limit {limit} exceeded; tearing session down")
+                });
+                self.drop_session(ctx, peer, CloseReason::AdminReset, Some(NotifCode::Cease));
+                return;
+            }
+        }
+
+        for p in affected {
+            self.reselect(ctx, p);
+        }
+        self.flush_all(ctx);
+    }
+
+    fn handle_command(&mut self, ctx: &mut Ctx<'_, M>, cmd: &RouterCommand) {
+        match cmd {
+            RouterCommand::Announce(p) => {
+                self.originated.insert(*p);
+                ctx.report(Activity::PrefixOriginated);
+                ctx.trace(TraceCategory::Experiment, || format!("announce {p}"));
+                self.reselect(ctx, *p);
+                self.flush_all(ctx);
+            }
+            RouterCommand::Withdraw(p) => {
+                self.originated.remove(p);
+                ctx.report(Activity::PrefixWithdrawn);
+                ctx.trace(TraceCategory::Experiment, || format!("withdraw {p}"));
+                self.reselect(ctx, *p);
+                self.flush_all(ctx);
+            }
+            RouterCommand::ResetSession(peer_node) => {
+                if let Some(&i) = self.by_peer_node.get(peer_node) {
+                    self.drop_session(ctx, i, CloseReason::AdminReset, Some(NotifCode::Cease));
+                }
+            }
+            RouterCommand::RequestRefresh(peer_node) => {
+                if let Some(&i) = self.by_peer_node.get(peer_node) {
+                    if self.peers[i].handshake.is_established() {
+                        self.send_msg(ctx, i, &BgpMessage::RouteRefresh { afi: 1, safi: 1 });
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Forward (or locally deliver) a data packet by FIB longest-prefix
+    /// match. The AS device answers echo requests for any address inside a
+    /// prefix it originates (hosts live "inside" the single-device AS).
+    pub(crate) fn handle_data(&mut self, ctx: &mut Ctx<'_, M>, pkt: DataPacket) {
+        // Local delivery?
+        if self.originated.iter().any(|p| p.contains(pkt.dst)) {
+            self.stats.data_delivered += 1;
+            if pkt.kind == PacketKind::EchoRequest {
+                self.stats.echo_replies += 1;
+                let reply = pkt.reply_to();
+                self.route_packet_out(ctx, reply);
+            }
+            return;
+        }
+        match pkt.decrement_ttl() {
+            Some(fwd) => self.route_packet_out(ctx, fwd),
+            None => {
+                self.stats.data_ttl_exceeded += 1;
+                ctx.trace(TraceCategory::Msg, || {
+                    format!("TTL exceeded for {} -> {}", pkt.src, pkt.dst)
+                });
+            }
+        }
+    }
+
+    fn route_packet_out(&mut self, ctx: &mut Ctx<'_, M>, pkt: DataPacket) {
+        match self.loc_rib.lpm(pkt.dst) {
+            Some((_, entry)) => match entry.source {
+                RouteSource::Local => {
+                    // Destination inside one of our prefixes but not
+                    // originated anymore: treat as delivered.
+                    self.stats.data_delivered += 1;
+                }
+                RouteSource::Peer(i) => {
+                    let link = self.cfg.neighbors[i].link;
+                    self.stats.data_forwarded += 1;
+                    ctx.send(link, M::from_data(pkt));
+                }
+            },
+            None => {
+                self.stats.data_no_route += 1;
+                ctx.trace(TraceCategory::Msg, || {
+                    format!("no route for {} -> {}", pkt.src, pkt.dst)
+                });
+            }
+        }
+    }
+
+    /// Originate a data packet from this AS (used by ping drivers).
+    pub fn send_packet(&mut self, ctx: &mut Ctx<'_, M>, pkt: DataPacket) {
+        self.route_packet_out(ctx, pkt);
+    }
+
+    fn handle_bgp(&mut self, ctx: &mut Ctx<'_, M>, env: &BgpEnvelope) {
+        if env.dst != self.id {
+            // Not for us: routers do not relay control traffic.
+            return;
+        }
+        let peer = match self.by_peer_node.get(&env.src) {
+            Some(&i) => i,
+            None => return, // unknown speaker; ignore
+        };
+        let msg = match env.decode() {
+            Ok(m) => m,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                ctx.trace(TraceCategory::Session, || format!("decode error: {e}"));
+                self.drop_session(
+                    ctx,
+                    peer,
+                    CloseReason::LocalError(NotifCode::MessageHeader),
+                    Some(NotifCode::MessageHeader),
+                );
+                return;
+            }
+        };
+        ctx.trace(TraceCategory::Msg, || format!("<- {} {}", env.src, msg));
+
+        // Any traffic refreshes the hold timer on an established session.
+        if self.peers[peer].handshake.is_established() {
+            let hold = self.peers[peer].handshake.negotiated_hold_secs();
+            if hold > 0 {
+                ctx.set_timer(
+                    SimDuration::from_secs(hold as u64),
+                    tok(K_HOLD, peer as u64),
+                    TimerClass::Maintenance,
+                );
+            }
+        }
+
+        if let BgpMessage::Update(upd) = msg {
+            if self.peers[peer].handshake.is_established() {
+                self.stats.updates_received += 1;
+                // Model router CPU: process after a jittered delay, FIFO.
+                let (lo, hi) = self.cfg.timing.processing_delay;
+                let delay = ctx.rng().duration_between(lo, hi);
+                let mut due = ctx.now() + delay;
+                let floor = self.last_proc_due + SimDuration::from_nanos(1);
+                if due < floor {
+                    due = floor;
+                }
+                self.last_proc_due = due;
+                let seq = self.in_seq;
+                self.in_seq += 1;
+                self.in_queue.insert(seq, (peer, upd));
+                ctx.set_timer_at(due, tok(K_PROCESS, seq), TimerClass::Progress);
+                return;
+            }
+            // Fall through to the FSM, which treats early UPDATE as an error.
+            let was = self.peers[peer].handshake.is_established();
+            let (to_send, event) = self.peers[peer]
+                .handshake
+                .on_message(&BgpMessage::Update(upd));
+            self.finish_fsm_step(ctx, peer, was, to_send, event);
+            return;
+        }
+
+        if matches!(msg, BgpMessage::RouteRefresh { .. })
+            && self.peers[peer].handshake.is_established()
+        {
+            // RFC 2918: re-send our full Adj-RIB-Out on this session.
+            self.peers[peer].adj_out.clear();
+            let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+            for p in prefixes {
+                self.enqueue_export(peer, p);
+            }
+            self.maybe_flush(ctx, peer);
+            return;
+        }
+
+        let was = self.peers[peer].handshake.is_established();
+        let (to_send, event) = self.peers[peer].handshake.on_message(&msg);
+        self.finish_fsm_step(ctx, peer, was, to_send, event);
+    }
+
+    fn finish_fsm_step(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        peer: PeerIdx,
+        was_established: bool,
+        to_send: Vec<BgpMessage>,
+        event: Option<SessionEvent>,
+    ) {
+        for m in to_send {
+            self.send_msg(ctx, peer, &m);
+        }
+        match event {
+            Some(SessionEvent::Established(_)) => self.on_established(ctx, peer),
+            Some(SessionEvent::Closed(reason)) => {
+                // The handshake already reset itself; run the cleanup that
+                // drop_session does for state above the FSM, then retry.
+                self.cleanup_after_close(ctx, peer, was_established, &reason);
+                self.schedule_retry(ctx, peer);
+            }
+            None => {}
+        }
+    }
+
+    /// Tear down per-peer routing state after the FSM returned to Idle.
+    fn cleanup_after_close(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        peer: PeerIdx,
+        was_established: bool,
+        reason: &CloseReason,
+    ) {
+        self.peers[peer].pending.clear();
+        self.peers[peer].adj_out.clear();
+        self.peers[peer].mrai_armed = false;
+        ctx.cancel_timer(tok(K_MRAI, peer as u64));
+        ctx.cancel_timer(tok(K_KEEPALIVE, peer as u64));
+        ctx.cancel_timer(tok(K_HOLD, peer as u64));
+        if !was_established {
+            return;
+        }
+        self.stats.sessions_dropped += 1;
+        ctx.report(Activity::SessionDown);
+        let peer_node = self.cfg.neighbors[peer].peer;
+        let reason_str = format!("{reason:?}");
+        ctx.trace(TraceCategory::Session, || {
+            format!("session with {peer_node} closed: {reason_str}")
+        });
+        let affected = self.adj_in.remove_peer(peer);
+        let had_routes = !affected.is_empty();
+        for p in affected {
+            self.reselect(ctx, p);
+        }
+        if had_routes {
+            self.flush_all(ctx);
+        }
+    }
+}
+
+impl<M: BgpApp> Node<M> for BgpRouter<M> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        // Install configured originations.
+        let origins: Vec<Prefix> = self.originated.iter().copied().collect();
+        for p in origins {
+            self.reselect(ctx, p);
+        }
+        // Stagger session bring-up so OPENs don't all collide at t=0.
+        for peer in 0..self.peers.len() {
+            let delay = ctx
+                .rng()
+                .duration_between(SimDuration::ZERO, self.cfg.timing.connect_stagger);
+            self.schedule_connect(ctx, peer, delay);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
+        if link.is_control() {
+            if let Some(cmd) = msg.as_command() {
+                let cmd = cmd.clone();
+                self.handle_command(ctx, &cmd);
+            } else if let Some(pkt) = msg.as_data() {
+                // Driver-originated traffic (ping drivers inject here).
+                let pkt = *pkt;
+                self.send_packet(ctx, pkt);
+            }
+            return;
+        }
+        if let Some(env) = msg.as_bgp() {
+            let env = env.clone();
+            self.handle_bgp(ctx, &env);
+            return;
+        }
+        if let Some(pkt) = msg.as_data() {
+            let pkt = *pkt;
+            self.handle_data(ctx, pkt);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: TimerToken) {
+        let kind = token.0 & KIND_MASK;
+        let payload = (token.0 & !KIND_MASK) as usize;
+        match kind {
+            K_CONNECT => self.connect_now(ctx, payload),
+            K_MRAI => {
+                self.peers[payload].mrai_armed = false;
+                self.maybe_flush(ctx, payload);
+            }
+            K_KEEPALIVE => {
+                if self.peers[payload].handshake.is_established() {
+                    self.send_msg(ctx, payload, &BgpMessage::Keepalive);
+                    let hold = self.peers[payload].handshake.negotiated_hold_secs();
+                    let ka = SimDuration::from_secs(hold as u64)
+                        / self.cfg.timing.keepalive_divisor as u64;
+                    ctx.set_timer(
+                        ka,
+                        tok(K_KEEPALIVE, payload as u64),
+                        TimerClass::Maintenance,
+                    );
+                }
+            }
+            K_HOLD => {
+                if self.peers[payload].handshake.is_established() {
+                    self.drop_session(
+                        ctx,
+                        payload,
+                        CloseReason::HoldExpired,
+                        Some(NotifCode::HoldTimerExpired),
+                    );
+                }
+            }
+            K_PROCESS => {
+                if let Some((peer, upd)) = self.in_queue.remove(&(payload as u64)) {
+                    self.process_update(ctx, peer, upd);
+                }
+            }
+            K_DAMP => {
+                if let Some(prefix) = self.damp_reuse.remove(&(payload as u64)) {
+                    // A suppressed candidate may be reusable now.
+                    self.reselect(ctx, prefix);
+                    self.flush_all(ctx);
+                }
+            }
+            _ => unreachable!("unknown timer kind"),
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
+        let peers: Vec<PeerIdx> = self
+            .cfg
+            .neighbors
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.link == link)
+            .map(|(i, _)| i)
+            .collect();
+        for peer in peers {
+            if up {
+                self.peers[peer].retries = 0;
+                let delay = ctx
+                    .rng()
+                    .duration_between(SimDuration::ZERO, self.cfg.timing.connect_stagger);
+                self.schedule_connect(ctx, peer, delay);
+            } else {
+                self.drop_session(ctx, peer, CloseReason::LinkDown, None);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests for the BGP wire codec: arbitrary messages must
+//! round-trip exactly, and arbitrary byte soup must never panic the decoder.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use bgpsdn_bgp::{
+    AsPath, Asn, BgpMessage, Community, NotifCode, NotificationMsg, OpenMsg, Origin,
+    PathAttributes, Prefix, RouterId, Segment, UpdateMsg,
+};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32)
+        .prop_map(|(addr, len)| Prefix::new_masked(Ipv4Addr::from(addr), len).expect("len <= 32"))
+}
+
+fn arb_asn() -> impl Strategy<Value = u32> {
+    prop_oneof![1u32..65536, 65536u32..4_294_967_295]
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        prop::collection::vec(arb_asn().prop_map(Asn), 1..8).prop_map(Segment::Sequence),
+        prop::collection::vec(arb_asn().prop_map(Asn), 1..5).prop_map(Segment::Set),
+    ]
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_segment(), 0..4).prop_map(|segments| AsPath { segments })
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = PathAttributes> {
+    (
+        arb_origin(),
+        arb_as_path(),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        any::<bool>(),
+        prop::option::of((arb_asn(), any::<u32>())),
+        prop::collection::vec(any::<u32>(), 0..6),
+    )
+        .prop_map(
+            |(origin, as_path, nh, med, local_pref, atomic, aggregator, comms)| {
+                let mut a = PathAttributes::originate(Ipv4Addr::from(nh));
+                a.origin = origin;
+                a.as_path = as_path;
+                a.med = med;
+                a.local_pref = local_pref;
+                a.atomic_aggregate = atomic;
+                a.aggregator = aggregator.map(|(asn, ip)| (Asn(asn), Ipv4Addr::from(ip)));
+                a.communities = comms.into_iter().map(Community).collect();
+                a
+            },
+        )
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMsg> {
+    (
+        prop::collection::vec(arb_prefix(), 0..12),
+        prop::option::of(arb_attrs()),
+        prop::collection::vec(arb_prefix(), 0..12),
+    )
+        .prop_map(|(withdrawn, attrs, mut nlri)| {
+            // NLRI requires attributes; drop NLRI when none were generated.
+            if attrs.is_none() {
+                nlri.clear();
+            }
+            UpdateMsg {
+                withdrawn,
+                attrs,
+                nlri,
+            }
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = BgpMessage> {
+    prop_oneof![
+        (arb_asn(), any::<u32>(), any::<u16>()).prop_map(|(asn, rid, hold)| {
+            BgpMessage::Open(OpenMsg::standard(Asn(asn), RouterId(rid), hold))
+        }),
+        arb_update().prop_map(BgpMessage::Update),
+        (
+            any::<u8>(),
+            any::<u8>(),
+            prop::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(code, subcode, data)| {
+                BgpMessage::Notification(NotificationMsg {
+                    code: NotifCode::Other(code).into_canonical(),
+                    subcode,
+                    data,
+                })
+            }),
+        Just(BgpMessage::Keepalive),
+        (any::<u16>(), any::<u8>()).prop_map(|(afi, safi)| BgpMessage::RouteRefresh { afi, safi }),
+    ]
+}
+
+/// Helper so generated notification codes survive the roundtrip (code 1..6
+/// decode to named variants, everything else to `Other`).
+trait Canonical {
+    fn into_canonical(self) -> NotifCode;
+}
+impl Canonical for NotifCode {
+    fn into_canonical(self) -> NotifCode {
+        match self {
+            NotifCode::Other(1) => NotifCode::MessageHeader,
+            NotifCode::Other(2) => NotifCode::OpenMessage,
+            NotifCode::Other(3) => NotifCode::UpdateMessage,
+            NotifCode::Other(4) => NotifCode::HoldTimerExpired,
+            NotifCode::Other(5) => NotifCode::FsmError,
+            NotifCode::Other(6) => NotifCode::Cease,
+            other => other,
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn message_roundtrips(msg in arb_message()) {
+        let bytes = msg.encode();
+        let back = BgpMessage::decode(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn attrs_roundtrip(attrs in arb_attrs()) {
+        let msg = BgpMessage::Update(UpdateMsg::announce(
+            vec!["10.0.0.0/8".parse().unwrap()],
+            attrs,
+        ));
+        let back = BgpMessage::decode(&msg.encode()).expect("decode");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BgpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_corrupted_valid(
+        msg in arb_message(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = msg.encode();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        let _ = BgpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_messages_error_cleanly(msg in arb_message(), cut in any::<prop::sample::Index>()) {
+        let bytes = msg.encode();
+        let n = cut.index(bytes.len());
+        if n < bytes.len() {
+            prop_assert!(BgpMessage::decode(&bytes[..n]).is_err());
+        }
+    }
+
+    #[test]
+    fn prefix_parse_display_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Prefix = s.parse().expect("display must parse");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn as_path_prepend_preserves_suffix(path in arb_as_path(), asn in arb_asn()) {
+        let mut p2 = path.clone();
+        p2.prepend(Asn(asn));
+        prop_assert_eq!(p2.first_asn(), Some(Asn(asn)));
+        prop_assert_eq!(p2.path_len(), path.path_len() + 1);
+        let flat_old = path.flatten();
+        let flat_new = p2.flatten();
+        prop_assert_eq!(&flat_new[1..], &flat_old[..]);
+        prop_assert!(p2.contains(Asn(asn)));
+    }
+}

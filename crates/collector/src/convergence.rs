@@ -1,0 +1,134 @@
+//! Convergence detection and measurement.
+//!
+//! The framework offers the paper's "wait until BGP has converged" command
+//! in two flavors:
+//!
+//! * **Quiescence-based** (exact): run the simulator until only maintenance
+//!   events remain, then read the last routing-plane change off the
+//!   [`ActivityBoard`]. Deterministic and precise — the default.
+//! * **Stability-window** (emulation-faithful): poll in fixed steps and
+//!   declare convergence after a window with no routing activity, the way a
+//!   real testbed (or the paper's Mininet framework) must. Useful when
+//!   background noise (keepalives with real BGP churn) never quiesces.
+
+use bgpsdn_netsim::{ActivityBoard, SimDuration, SimTime};
+
+/// Outcome of a convergence measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvergenceReport {
+    /// True when the network settled before the deadline.
+    pub converged: bool,
+    /// Time of the last routing-plane change at or after the event
+    /// (`None`: the event caused no visible change at all).
+    pub last_change: Option<SimTime>,
+    /// `last_change - event`, or zero when nothing changed.
+    pub duration: SimDuration,
+}
+
+/// Measure convergence of an event that happened at `event`, given the
+/// activity board after the simulator went quiescent (or hit its deadline).
+pub fn measure(board: &ActivityBoard, event: SimTime, quiescent: bool) -> ConvergenceReport {
+    let last = board.last_routing_change().filter(|&t| t >= event);
+    ConvergenceReport {
+        converged: quiescent,
+        last_change: last,
+        duration: last
+            .map(|t| t.saturating_since(event))
+            .unwrap_or(SimDuration::ZERO),
+    }
+}
+
+/// Incremental stability-window detector for step-wise runs.
+#[derive(Debug, Clone)]
+pub struct StabilityProbe {
+    window: SimDuration,
+    /// Last routing change the probe has seen.
+    last_change: Option<SimTime>,
+}
+
+impl StabilityProbe {
+    /// A probe declaring convergence after `window` without routing changes.
+    pub fn new(window: SimDuration) -> Self {
+        StabilityProbe {
+            window,
+            last_change: None,
+        }
+    }
+
+    /// Feed the current board state at time `now`; returns `Some(report)`
+    /// once the stability window has elapsed since the last change.
+    pub fn poll(&mut self, board: &ActivityBoard, now: SimTime) -> Option<ConvergenceReport> {
+        self.last_change = board.last_routing_change().or(self.last_change);
+        let reference = self.last_change.unwrap_or(SimTime::ZERO);
+        if now.saturating_since(reference) >= self.window {
+            Some(ConvergenceReport {
+                converged: true,
+                last_change: self.last_change,
+                duration: SimDuration::ZERO, // caller computes vs. its event
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The last routing change the probe observed.
+    pub fn last_change(&self) -> Option<SimTime> {
+        self.last_change
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsdn_netsim::Activity;
+
+    #[test]
+    fn measure_computes_duration_from_event() {
+        let mut board = ActivityBoard::default();
+        board.report(SimTime::from_secs(1), Activity::RibChange);
+        board.report(SimTime::from_secs(9), Activity::UpdateSent);
+        let r = measure(&board, SimTime::from_secs(2), true);
+        assert!(r.converged);
+        assert_eq!(r.last_change, Some(SimTime::from_secs(9)));
+        assert_eq!(r.duration, SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn measure_ignores_changes_before_event() {
+        let mut board = ActivityBoard::default();
+        board.report(SimTime::from_secs(1), Activity::RibChange);
+        let r = measure(&board, SimTime::from_secs(2), true);
+        assert_eq!(r.last_change, None);
+        assert_eq!(r.duration, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn measure_not_converged_on_deadline() {
+        let board = ActivityBoard::default();
+        let r = measure(&board, SimTime::ZERO, false);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn stability_probe_waits_out_the_window() {
+        let mut board = ActivityBoard::default();
+        let mut probe = StabilityProbe::new(SimDuration::from_secs(5));
+        board.report(SimTime::from_secs(1), Activity::FibChange);
+        assert!(probe.poll(&board, SimTime::from_secs(3)).is_none());
+        assert!(probe.poll(&board, SimTime::from_secs(5)).is_none());
+        let r = probe.poll(&board, SimTime::from_secs(6)).unwrap();
+        assert!(r.converged);
+        assert_eq!(probe.last_change(), Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn stability_probe_resets_on_new_activity() {
+        let mut board = ActivityBoard::default();
+        let mut probe = StabilityProbe::new(SimDuration::from_secs(5));
+        board.report(SimTime::from_secs(1), Activity::FibChange);
+        assert!(probe.poll(&board, SimTime::from_secs(4)).is_none());
+        board.report(SimTime::from_secs(4), Activity::FibChange);
+        assert!(probe.poll(&board, SimTime::from_secs(8)).is_none());
+        assert!(probe.poll(&board, SimTime::from_secs(9)).is_some());
+    }
+}

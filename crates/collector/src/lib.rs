@@ -1,0 +1,26 @@
+//! # bgpsdn-collector — monitoring, measurement and analysis
+//!
+//! The framework's measurement plane, mirroring the paper's tooling:
+//!
+//! * [`collector`]: the passive BGP route collector every router peers with;
+//! * [`logview`]: the update log and its analysis (convergence instants,
+//!   path-exploration counts, per-router update counts, timelines);
+//! * [`convergence`]: "wait until BGP has converged" — exact
+//!   quiescence-based measurement and an emulation-style stability window;
+//! * [`reach`]: offline data-plane reachability audit (loop and blackhole
+//!   detection over installed FIBs/flow tables);
+//! * [`viz`]: Graphviz export with best-path highlighting.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod convergence;
+pub mod logview;
+pub mod reach;
+pub mod viz;
+
+pub use collector::{CollectorStats, RouteCollector};
+pub use convergence::{measure, ConvergenceReport, StabilityProbe};
+pub use logview::{LogAction, LogEntry, UpdateLog};
+pub use reach::{audit, walk, ConnectivityReport, Hop, PathResult};
+pub use viz::{render_dot, VizNode, VizRole};

@@ -1,0 +1,128 @@
+//! Route-change and topology visualization: Graphviz DOT export of the
+//! network graph with current best-path highlighting — the paper's "network
+//! graph creation … and route change visualization" tooling.
+
+use std::collections::HashSet;
+
+use bgpsdn_netsim::NodeId;
+
+/// A node to draw.
+#[derive(Debug, Clone)]
+pub struct VizNode {
+    /// Simulator node.
+    pub id: NodeId,
+    /// Display label (e.g. "AS65001").
+    pub label: String,
+    /// Role controls the shape/color.
+    pub role: VizRole,
+}
+
+/// Drawing role of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VizRole {
+    /// Legacy BGP router.
+    LegacyRouter,
+    /// SDN cluster member (switch).
+    SdnSwitch,
+    /// Cluster BGP speaker.
+    Speaker,
+    /// IDR controller.
+    Controller,
+    /// Route collector.
+    Collector,
+}
+
+impl VizRole {
+    fn style(self) -> (&'static str, &'static str) {
+        match self {
+            VizRole::LegacyRouter => ("ellipse", "#d0e0ff"),
+            VizRole::SdnSwitch => ("box", "#d0ffd0"),
+            VizRole::Speaker => ("hexagon", "#ffe0b0"),
+            VizRole::Controller => ("diamond", "#ffc0c0"),
+            VizRole::Collector => ("note", "#e0e0e0"),
+        }
+    }
+}
+
+/// Render a DOT graph. `edges` are undirected node pairs; `highlight`
+/// contains directed `(from, to)` pairs to draw bold (current best paths).
+pub fn render_dot(
+    title: &str,
+    nodes: &[VizNode],
+    edges: &[(NodeId, NodeId)],
+    highlight: &[(NodeId, NodeId)],
+) -> String {
+    let hl: HashSet<(NodeId, NodeId)> = highlight.iter().copied().collect();
+    let mut out = String::new();
+    out.push_str(&format!("graph \"{title}\" {{\n"));
+    out.push_str("  layout=neato;\n  overlap=false;\n");
+    for n in nodes {
+        let (shape, fill) = n.role.style();
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}, style=filled, fillcolor=\"{}\"];\n",
+            n.id.0, n.label, shape, fill
+        ));
+    }
+    for &(a, b) in edges {
+        let bold = hl.contains(&(a, b)) || hl.contains(&(b, a));
+        if bold {
+            out.push_str(&format!(
+                "  n{} -- n{} [penwidth=3, color=\"#c03030\"];\n",
+                a.0, b.0
+            ));
+        } else {
+            out.push_str(&format!("  n{} -- n{};\n", a.0, b.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_highlights() {
+        let nodes = vec![
+            VizNode {
+                id: NodeId(0),
+                label: "AS1".into(),
+                role: VizRole::LegacyRouter,
+            },
+            VizNode {
+                id: NodeId(1),
+                label: "AS2".into(),
+                role: VizRole::SdnSwitch,
+            },
+            VizNode {
+                id: NodeId(2),
+                label: "ctrl".into(),
+                role: VizRole::Controller,
+            },
+        ];
+        let edges = vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))];
+        let dot = render_dot("t", &nodes, &edges, &[(NodeId(1), NodeId(0))]);
+        assert!(dot.starts_with("graph \"t\""));
+        assert!(dot.contains("label=\"AS1\", shape=ellipse"));
+        assert!(dot.contains("label=\"AS2\", shape=box"));
+        assert!(dot.contains("shape=diamond"));
+        // The 0-1 edge is highlighted regardless of direction.
+        assert!(dot.contains("n0 -- n1 [penwidth=3"));
+        assert!(dot.contains("n1 -- n2;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn all_roles_have_distinct_styles() {
+        let roles = [
+            VizRole::LegacyRouter,
+            VizRole::SdnSwitch,
+            VizRole::Speaker,
+            VizRole::Controller,
+            VizRole::Collector,
+        ];
+        let styles: HashSet<_> = roles.iter().map(|r| r.style()).collect();
+        assert_eq!(styles.len(), roles.len());
+    }
+}

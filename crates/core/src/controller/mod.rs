@@ -1,0 +1,598 @@
+//! The IDR SDN controller — the paper's proof-of-concept controller that
+//! "exploits centralization to improve IDR convergence time".
+//!
+//! Responsibilities (paper §3):
+//! * maintain the **switch graph** ([`switch_graph`]) from PortStatus input;
+//! * maintain external routes learned through the cluster BGP speaker and
+//!   transform them, per destination prefix, into the **AS topology graph**
+//!   ([`as_graph`]) with legacy-crossing **loop avoidance**;
+//! * run **Dijkstra** per prefix and compile the results into **flow rules**
+//!   on the member switches;
+//! * **delay recomputation** to rate-limit route flaps under bursty
+//!   external input;
+//! * announce the cluster's routes to external peers through the speaker,
+//!   preserving each member's **AS identity**;
+//! * keep working across **sub-clusters** when intra-cluster links fail.
+
+pub mod as_graph;
+pub mod switch_graph;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgpsdn_bgp::{Asn, BgpApp, Prefix, RouterCommand, UpdateMsg};
+use bgpsdn_netsim::{
+    Activity, Ctx, LinkId, Node, NodeId, SimDuration, TimerClass, TimerToken, TraceCategory,
+};
+use bgpsdn_sdn::{
+    FlowAction, FlowModOp, FlowRule, OfEnvelope, OfMessage, SdnApp, SpeakerCmd, SpeakerEvent,
+};
+
+use as_graph::{
+    accept_route, announced_path, compute, egress_session_of, ExternalRoute, MemberDecision,
+    PrefixComputation,
+};
+use switch_graph::SwitchGraph;
+
+const RECOMPUTE: TimerToken = TimerToken(1);
+
+/// One cluster member as the controller sees it.
+#[derive(Debug, Clone)]
+pub struct MemberConfig {
+    /// The member's switch node.
+    pub switch: NodeId,
+    /// The member's ASN (kept toward the legacy world).
+    pub asn: Asn,
+    /// The prefix this member AS originates.
+    pub prefix: Prefix,
+    /// The controller↔switch control link.
+    pub ctl_link: LinkId,
+}
+
+/// One external peering as the controller sees it.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Which member's border the session sits at.
+    pub member: usize,
+    /// The external router.
+    pub ext_peer: NodeId,
+    /// Its ASN.
+    pub ext_asn: Asn,
+    /// The physical member↔external link (egress port; PortStatus source).
+    pub ext_link: LinkId,
+}
+
+/// Full controller configuration. Speaker session indices must equal the
+/// positions in `sessions` (the framework builder guarantees this).
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Cluster members.
+    pub members: Vec<MemberConfig>,
+    /// Intra-cluster links as member-index pairs.
+    pub intra_links: Vec<(usize, usize, LinkId)>,
+    /// External sessions, aligned with the speaker's session indices.
+    pub sessions: Vec<SessionConfig>,
+    /// The controller↔speaker channel.
+    pub speaker_link: LinkId,
+    /// The paper's delayed recomputation: external updates are buffered for
+    /// this long before one batched recomputation runs. Zero recomputes on
+    /// the next event tick.
+    pub recompute_delay: SimDuration,
+    /// Priority used for all compiled flow rules.
+    pub flow_priority: u16,
+}
+
+impl ControllerConfig {
+    /// Config with the default 100 ms recompute delay and priority 100.
+    pub fn new(
+        members: Vec<MemberConfig>,
+        intra_links: Vec<(usize, usize, LinkId)>,
+        sessions: Vec<SessionConfig>,
+        speaker_link: LinkId,
+    ) -> Self {
+        ControllerConfig {
+            members,
+            intra_links,
+            sessions,
+            speaker_link,
+            recompute_delay: SimDuration::from_millis(100),
+            flow_priority: 100,
+        }
+    }
+}
+
+/// Controller counters.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStats {
+    /// Batched recomputations executed.
+    pub recomputes: u64,
+    /// External updates buffered (pre-batch).
+    pub updates_buffered: u64,
+    /// FlowMods emitted.
+    pub flow_mods: u64,
+    /// Announcements instructed to the speaker.
+    pub announcements: u64,
+    /// Withdrawals instructed to the speaker.
+    pub withdrawals: u64,
+    /// External routes accepted into the RIB.
+    pub routes_learned: u64,
+    /// External routes rejected by cluster loop avoidance.
+    pub routes_rejected_loop: u64,
+    /// PacketIn messages received (reactive path; unused by IDR policy).
+    pub packet_ins: u64,
+}
+
+/// The IDR controller node.
+pub struct IdrController<M> {
+    id: NodeId,
+    cfg: ControllerConfig,
+    sg: SwitchGraph,
+    member_asns: Vec<Asn>,
+    member_asn_set: BTreeSet<Asn>,
+    /// Active cluster-originated prefixes → owning member.
+    owned: BTreeMap<Prefix, usize>,
+    /// prefix → session → accepted external route.
+    ext_routes: BTreeMap<Prefix, BTreeMap<usize, ExternalRoute>>,
+    session_up: Vec<bool>,
+    /// Model of what is installed on each switch: prefix → action.
+    installed: Vec<BTreeMap<Prefix, FlowAction>>,
+    /// What was announced per session: prefix → AS path.
+    adj_out: Vec<BTreeMap<Prefix, Vec<Asn>>>,
+    pending: Vec<(usize, UpdateMsg)>,
+    recompute_armed: bool,
+    stats: ControllerStats,
+    _m: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: SdnApp + BgpApp> IdrController<M> {
+    /// Build the controller. Member prefixes start out announced.
+    pub fn new(id: NodeId, cfg: ControllerConfig) -> Self {
+        let n = cfg.members.len();
+        let member_asns: Vec<Asn> = cfg.members.iter().map(|m| m.asn).collect();
+        let owned = cfg
+            .members
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.prefix, i))
+            .collect();
+        IdrController {
+            sg: SwitchGraph::new(n, cfg.intra_links.clone()),
+            member_asn_set: member_asns.iter().copied().collect(),
+            member_asns,
+            owned,
+            ext_routes: BTreeMap::new(),
+            session_up: vec![false; cfg.sessions.len()],
+            installed: vec![BTreeMap::new(); n],
+            adj_out: vec![BTreeMap::new(); cfg.sessions.len()],
+            pending: Vec::new(),
+            recompute_armed: false,
+            stats: ControllerStats::default(),
+            id,
+            cfg,
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// Replace the configuration before the simulation starts. The network
+    /// builder constructs the controller node first (its node id is needed
+    /// for control links) and injects the final wiring afterwards.
+    pub fn set_config(&mut self, cfg: ControllerConfig) {
+        assert_eq!(self.stats.recomputes, 0, "reconfigure only before start");
+        *self = IdrController::new(self.id, cfg);
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection API
+    // ------------------------------------------------------------------
+
+    /// Counters.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// The live switch graph.
+    pub fn switch_graph(&self) -> &SwitchGraph {
+        &self.sg
+    }
+
+    /// Active cluster-originated prefixes.
+    pub fn owned_prefixes(&self) -> impl Iterator<Item = (Prefix, usize)> + '_ {
+        self.owned.iter().map(|(p, m)| (*p, *m))
+    }
+
+    /// Number of accepted external routes for a prefix.
+    pub fn ext_route_count(&self, prefix: Prefix) -> usize {
+        self.ext_routes.get(&prefix).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// The controller's current decision for a prefix (computed on demand
+    /// from live state; what the last recompute compiled).
+    pub fn computation_for(&self, prefix: Prefix) -> PrefixComputation {
+        let owner = self.owned.get(&prefix).copied();
+        let ext = self.live_ext_routes(prefix);
+        compute(&self.sg, owner, &ext)
+    }
+
+    /// The flow action the controller believes is installed at a member.
+    pub fn installed_action(&self, member: usize, prefix: Prefix) -> Option<FlowAction> {
+        self.installed[member].get(&prefix).copied()
+    }
+
+    /// Whether a speaker session is currently up from the controller's view.
+    pub fn session_is_up(&self, session: usize) -> bool {
+        self.session_up[session]
+    }
+
+    /// Usable external routes for a prefix under the current sub-cluster
+    /// structure. Every stored route is kept; usability is decided here,
+    /// at computation time, because it depends on the *live* components:
+    /// a route whose AS_PATH contains a member of the session's own
+    /// sub-cluster would loop and is filtered (the paper's transformation
+    /// "taking carefully into account paths that cross the legacy world and
+    /// the SDN cluster so as to avoid loops"), while a path through a member
+    /// of a *different* sub-cluster is exactly how partitioned sub-clusters
+    /// reconnect over the legacy Internet (§2).
+    fn live_ext_routes(&self, prefix: Prefix) -> Vec<ExternalRoute> {
+        let (comp, _) = self.sg.components();
+        // ASN sets per component.
+        let mut comp_asns: Vec<BTreeSet<Asn>> = Vec::new();
+        for (m, &c) in comp.iter().enumerate() {
+            if comp_asns.len() <= c {
+                comp_asns.resize_with(c + 1, BTreeSet::new);
+            }
+            comp_asns[c].insert(self.member_asns[m]);
+        }
+        self.ext_routes
+            .get(&prefix)
+            .map(|m| {
+                m.values()
+                    .filter(|r| self.session_up[r.session])
+                    .filter(|r| accept_route(&r.as_path, &comp_asns[comp[r.member]]))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    // ------------------------------------------------------------------
+    // Event intake
+    // ------------------------------------------------------------------
+
+    fn buffer_update(&mut self, ctx: &mut Ctx<'_, M>, session: usize, update: UpdateMsg) {
+        self.stats.updates_buffered += 1;
+        self.pending.push((session, update));
+        if !self.recompute_armed {
+            self.recompute_armed = true;
+            ctx.set_timer(self.cfg.recompute_delay, RECOMPUTE, TimerClass::Progress);
+        }
+    }
+
+    fn apply_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for (session, upd) in pending {
+            if !self.session_up[session] {
+                continue; // session died while the update was buffered
+            }
+            for p in &upd.withdrawn {
+                if let Some(slot) = self.ext_routes.get_mut(p) {
+                    slot.remove(&session);
+                    if slot.is_empty() {
+                        self.ext_routes.remove(p);
+                    }
+                }
+            }
+            if let Some(attrs) = &upd.attrs {
+                let path = attrs.as_path.flatten();
+                // Count cluster-crossing paths for observability, but store
+                // them regardless: whether such a path is usable depends on
+                // the sub-cluster structure at computation time.
+                if !accept_route(&path, &self.member_asn_set) {
+                    self.stats.routes_rejected_loop += upd.nlri.len() as u64;
+                }
+                for p in &upd.nlri {
+                    self.stats.routes_learned += 1;
+                    self.ext_routes.entry(*p).or_default().insert(
+                        session,
+                        ExternalRoute {
+                            session,
+                            member: self.cfg.sessions[session].member,
+                            as_path: path.clone(),
+                            med: attrs.med,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn session_down(&mut self, ctx: &mut Ctx<'_, M>, session: usize) {
+        if !self.session_up[session] {
+            return;
+        }
+        self.session_up[session] = false;
+        self.adj_out[session].clear();
+        self.ext_routes.retain(|_, slot| {
+            slot.remove(&session);
+            !slot.is_empty()
+        });
+        self.recompute_now(ctx);
+    }
+
+    fn recompute_now(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.apply_pending();
+        self.recompute_all(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // The centralized route computation
+    // ------------------------------------------------------------------
+
+    fn recompute_all(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.stats.recomputes += 1;
+        ctx.report(Activity::ControllerRecompute);
+
+        let mut prefixes: BTreeSet<Prefix> = self.owned.keys().copied().collect();
+        prefixes.extend(self.ext_routes.keys().copied());
+
+        let n = self.cfg.members.len();
+        let mut desired_flows: Vec<BTreeMap<Prefix, FlowAction>> = vec![BTreeMap::new(); n];
+        let mut desired_ann: Vec<BTreeMap<Prefix, Vec<Asn>>> =
+            vec![BTreeMap::new(); self.cfg.sessions.len()];
+
+        for &prefix in &prefixes {
+            let owner = self.owned.get(&prefix).copied();
+            let ext = self.live_ext_routes(prefix);
+            let comp = compute(&self.sg, owner, &ext);
+
+            for m in 0..n {
+                let action = match comp.decisions[m] {
+                    MemberDecision::Unreachable => continue,
+                    MemberDecision::Local => FlowAction::Local,
+                    MemberDecision::ViaMember(next) => {
+                        match self.sg.link_between(m, next) {
+                            Some(link) => FlowAction::Output(link.0),
+                            None => continue, // link died mid-computation
+                        }
+                    }
+                    MemberDecision::Egress(s) => {
+                        debug_assert_eq!(self.cfg.sessions[s].member, m);
+                        FlowAction::Output(self.cfg.sessions[s].ext_link.0)
+                    }
+                };
+                desired_flows[m].insert(prefix, action);
+            }
+
+            for (s, scfg) in self.cfg.sessions.iter().enumerate() {
+                if !self.session_up[s] {
+                    continue;
+                }
+                let x = scfg.member;
+                // Split horizon: never announce back onto the session the
+                // best route egresses through.
+                if egress_session_of(x, &comp) == Some(s) {
+                    continue;
+                }
+                if let Some(path) = announced_path(x, &comp, &ext, &self.member_asns) {
+                    // Don't announce a path the peer itself is on — it would
+                    // be loop-rejected anyway; skipping saves churn.
+                    if path.contains(&scfg.ext_asn) {
+                        continue;
+                    }
+                    desired_ann[s].insert(prefix, path);
+                }
+            }
+        }
+
+        // Diff and push flow state.
+        let mut changed_any = false;
+        for m in 0..n {
+            let ctl = self.cfg.members[m].ctl_link;
+            // Removals first (old prefixes no longer reachable).
+            let stale: Vec<Prefix> = self.installed[m]
+                .keys()
+                .filter(|p| !desired_flows[m].contains_key(p))
+                .copied()
+                .collect();
+            for p in stale {
+                self.stats.flow_mods += 1;
+                changed_any = true;
+                let msg = OfMessage::FlowMod {
+                    op: FlowModOp::Delete,
+                    rule: FlowRule {
+                        priority: self.cfg.flow_priority,
+                        prefix: p,
+                        action: FlowAction::Drop,
+                        cookie: 0,
+                    },
+                };
+                ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
+            }
+            for (p, action) in &desired_flows[m] {
+                if self.installed[m].get(p) == Some(action) {
+                    continue;
+                }
+                self.stats.flow_mods += 1;
+                changed_any = true;
+                let msg = OfMessage::FlowMod {
+                    op: FlowModOp::Add,
+                    rule: FlowRule {
+                        priority: self.cfg.flow_priority,
+                        prefix: *p,
+                        action: *action,
+                        cookie: 0,
+                    },
+                };
+                ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
+            }
+            self.installed[m] = std::mem::take(&mut desired_flows[m]);
+        }
+
+        // Diff and push announcements.
+        for s in 0..self.cfg.sessions.len() {
+            let stale: Vec<Prefix> = self.adj_out[s]
+                .keys()
+                .filter(|p| !desired_ann[s].contains_key(p))
+                .copied()
+                .collect();
+            for p in stale {
+                self.stats.withdrawals += 1;
+                changed_any = true;
+                ctx.send(
+                    self.cfg.speaker_link,
+                    M::from_speaker_cmd(SpeakerCmd::Withdraw {
+                        session: s,
+                        prefix: p,
+                    }),
+                );
+            }
+            for (p, path) in &desired_ann[s] {
+                if self.adj_out[s].get(p) == Some(path) {
+                    continue;
+                }
+                self.stats.announcements += 1;
+                changed_any = true;
+                ctx.send(
+                    self.cfg.speaker_link,
+                    M::from_speaker_cmd(SpeakerCmd::Announce {
+                        session: s,
+                        prefix: *p,
+                        as_path: path.clone(),
+                        med: None,
+                    }),
+                );
+            }
+            self.adj_out[s] = std::mem::take(&mut desired_ann[s]);
+        }
+
+        if changed_any {
+            ctx.report(Activity::RibChange);
+            ctx.trace(TraceCategory::Route, || {
+                format!(
+                    "recompute #{}: {} prefixes",
+                    self.stats.recomputes,
+                    prefixes.len()
+                )
+            });
+        }
+    }
+
+    fn handle_of(&mut self, ctx: &mut Ctx<'_, M>, env: &OfEnvelope) {
+        let msg = match env.decode() {
+            Ok(m) => m,
+            Err(_) => return,
+        };
+        match msg {
+            OfMessage::PortStatus { port, up } => {
+                let link = LinkId(port);
+                if self.sg.set_link_state(link, up) {
+                    ctx.trace(TraceCategory::Link, || {
+                        format!("intra-cluster {link} {}", if up { "up" } else { "down" })
+                    });
+                    // Failures must be repaired immediately; no delay.
+                    self.recompute_now(ctx);
+                    return;
+                }
+                // An external egress link: losing it kills that session's
+                // routes right away (the BGP teardown would come much later).
+                if !up {
+                    let victims: Vec<usize> = self
+                        .cfg
+                        .sessions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.ext_link == link)
+                        .map(|(i, _)| i)
+                        .collect();
+                    for s in victims {
+                        self.session_down(ctx, s);
+                    }
+                }
+            }
+            OfMessage::PacketIn { .. } => {
+                self.stats.packet_ins += 1;
+            }
+            // Hello / FeaturesReply / EchoReply / BarrierReply are accepted
+            // silently: the IDR controller programs proactively.
+            _ => {}
+        }
+    }
+
+    fn handle_command(&mut self, ctx: &mut Ctx<'_, M>, cmd: &RouterCommand) {
+        match cmd {
+            RouterCommand::Announce(p) => {
+                // The owner is the member whose configured prefix covers it.
+                let owner = self
+                    .cfg
+                    .members
+                    .iter()
+                    .position(|m| m.prefix.covers(*p) || m.prefix == *p);
+                if let Some(m) = owner {
+                    self.owned.insert(*p, m);
+                    ctx.report(Activity::PrefixOriginated);
+                    self.recompute_now(ctx);
+                }
+            }
+            RouterCommand::Withdraw(p) => {
+                if self.owned.remove(p).is_some() {
+                    ctx.report(Activity::PrefixWithdrawn);
+                    self.recompute_now(ctx);
+                }
+            }
+            RouterCommand::ResetSession(_) | RouterCommand::RequestRefresh(_) => {}
+        }
+    }
+}
+
+impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        // Compile the initial state (member prefixes) onto the switches.
+        self.recompute_all(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
+        if let Some(ev) = msg.as_speaker_event() {
+            let ev = ev.clone();
+            match ev {
+                SpeakerEvent::Update { session, update } => {
+                    ctx.report(Activity::UpdateReceived);
+                    self.buffer_update(ctx, session, update);
+                }
+                SpeakerEvent::SessionUp { session, .. } => {
+                    ctx.report(Activity::SessionUp);
+                    self.session_up[session] = true;
+                    self.recompute_now(ctx);
+                }
+                SpeakerEvent::SessionDown { session } => {
+                    ctx.report(Activity::SessionDown);
+                    self.session_down(ctx, session);
+                }
+            }
+            return;
+        }
+        if let Some(env) = msg.as_of() {
+            let env = env.clone();
+            self.handle_of(ctx, &env);
+            return;
+        }
+        if link.is_control() {
+            if let Some(cmd) = msg.as_command() {
+                let cmd = cmd.clone();
+                self.handle_command(ctx, &cmd);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: TimerToken) {
+        if token == RECOMPUTE {
+            self.recompute_armed = false;
+            self.recompute_now(ctx);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,276 @@
+//! The experiment lifecycle API — the framework's "Mininet-BGP commands".
+//!
+//! "We implemented several additional Mininet-BGP commands to announce
+//! prefixes, wait until BGP has converged, etc." plus "the user should be
+//! able to actively control the experiments, e.g., dynamically changing the
+//! topology and verifying the effects of changes". [`Experiment`] is that
+//! surface: announce/withdraw, link failure/restoration, convergence
+//! waiting/measurement, RIB and connectivity audits.
+
+use std::net::Ipv4Addr;
+
+use bgpsdn_bgp::{Prefix, RouterCommand};
+use bgpsdn_collector::{audit, measure, ConnectivityReport, ConvergenceReport, Hop};
+use bgpsdn_netsim::{Activity, NodeId, SimDuration, SimTime};
+use bgpsdn_sdn::{ClusterMsg, FlowAction};
+
+use super::network::{AsKind, Collector, Controller, HybridNetwork, Router, Switch};
+
+/// A running hybrid experiment.
+pub struct Experiment {
+    /// The underlying network (public: tests and tools reach in freely).
+    pub net: HybridNetwork,
+    /// Start of the current measurement phase.
+    phase_start: SimTime,
+}
+
+impl Experiment {
+    /// Wrap a built network.
+    pub fn new(net: HybridNetwork) -> Experiment {
+        Experiment {
+            net,
+            phase_start: SimTime::ZERO,
+        }
+    }
+
+    /// Bring the network up: run until sessions establish and initial
+    /// routing converges. Returns the convergence report of the bring-up
+    /// phase.
+    pub fn start(&mut self, max: SimDuration) -> ConvergenceReport {
+        let deadline = self.net.sim.now() + max;
+        let q = self.net.sim.run_until_quiescent(deadline);
+        measure(self.net.sim.board(), SimTime::ZERO, q.quiescent)
+    }
+
+    /// Begin a measurement phase: reset activity accounting and the
+    /// collector log, and remember the phase start.
+    pub fn mark(&mut self) -> SimTime {
+        self.net.sim.reset_board();
+        if let Some(c) = self.net.collector {
+            self.net.sim.with_node::<Collector, _>(c, |c| c.clear_log());
+        }
+        self.phase_start = self.net.sim.now();
+        self.phase_start
+    }
+
+    /// Run until the network re-converges (or `max` elapses) and measure
+    /// the convergence time of everything since [`Experiment::mark`].
+    pub fn wait_converged(&mut self, max: SimDuration) -> ConvergenceReport {
+        let deadline = self.net.sim.now() + max;
+        let q = self.net.sim.run_until_quiescent(deadline);
+        measure(self.net.sim.board(), self.phase_start, q.quiescent)
+    }
+
+    /// Testbed-style convergence waiting: step the clock and declare
+    /// convergence after `window` of routing-plane silence — what the
+    /// paper's Mininet framework has to do, since a real network never goes
+    /// event-quiescent. Pick `window` larger than the longest protocol
+    /// timer (MRAI) or the wait will end inside an exploration round.
+    pub fn wait_converged_windowed(
+        &mut self,
+        window: SimDuration,
+        max: SimDuration,
+    ) -> ConvergenceReport {
+        let deadline = self.net.sim.now() + max;
+        let step = (window / 4).max(SimDuration::from_millis(1));
+        loop {
+            let now = self.net.sim.now();
+            let last = self
+                .net
+                .sim
+                .board()
+                .last_routing_change()
+                .unwrap_or(self.phase_start)
+                .max(self.phase_start);
+            if now.saturating_since(last) >= window {
+                return measure(self.net.sim.board(), self.phase_start, true);
+            }
+            if now >= deadline {
+                return measure(self.net.sim.board(), self.phase_start, false);
+            }
+            self.net.sim.run_for(step);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scenario commands
+    // ------------------------------------------------------------------
+
+    /// The driver target for routing commands concerning AS `i`: the router
+    /// itself, or the controller when the AS is a cluster member.
+    fn command_target(&self, i: usize) -> NodeId {
+        match self.net.ases[i].kind {
+            AsKind::Legacy => self.net.ases[i].node,
+            AsKind::SdnMember => self.net.controller.expect("members imply a controller"),
+        }
+    }
+
+    /// AS `i` announces a prefix (its own /16 when `prefix` is `None`).
+    pub fn announce(&mut self, i: usize, prefix: Option<Prefix>) {
+        let p = prefix.unwrap_or(self.net.ases[i].prefix);
+        let target = self.command_target(i);
+        self.net
+            .sim
+            .inject(target, ClusterMsg::Command(RouterCommand::Announce(p)));
+    }
+
+    /// AS `i` withdraws a prefix (its own /16 when `prefix` is `None`).
+    pub fn withdraw(&mut self, i: usize, prefix: Option<Prefix>) {
+        let p = prefix.unwrap_or(self.net.ases[i].prefix);
+        let target = self.command_target(i);
+        self.net
+            .sim
+            .inject(target, ClusterMsg::Command(RouterCommand::Withdraw(p)));
+    }
+
+    /// Fail the link between adjacent ASes `a` and `b`.
+    pub fn fail_edge(&mut self, a: usize, b: usize) {
+        let link = self
+            .net
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
+        self.net.sim.set_link_admin(link, false);
+    }
+
+    /// Restore the link between adjacent ASes `a` and `b`.
+    pub fn restore_edge(&mut self, a: usize, b: usize) {
+        let link = self
+            .net
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
+        self.net.sim.set_link_admin(link, true);
+    }
+
+    // ------------------------------------------------------------------
+    // Audits
+    // ------------------------------------------------------------------
+
+    /// True when no AS (legacy Loc-RIB, controller RIB or switch flow
+    /// table) still carries a route for `prefix` — the paper's "verify the
+    /// effects of changes" for a withdrawal.
+    pub fn prefix_fully_gone(&self, prefix: Prefix) -> bool {
+        for a in &self.net.ases {
+            match a.kind {
+                AsKind::Legacy => {
+                    let r = self.net.sim.node_ref::<Router>(a.node);
+                    if r.best(prefix).is_some() {
+                        return false;
+                    }
+                }
+                AsKind::SdnMember => {
+                    let sw = self.net.sim.node_ref::<Switch>(a.node);
+                    if sw.table().iter().any(|rule| rule.prefix == prefix) {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some(c) = self.net.controller {
+            let ctl = self.net.sim.node_ref::<Controller>(c);
+            if ctl.ext_route_count(prefix) > 0 {
+                return false;
+            }
+            if ctl.owned_prefixes().any(|(p, _)| p == prefix) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// True when every *other* AS holds a route for `prefix`.
+    pub fn prefix_reachable_from_all(&self, prefix: Prefix, origin: usize) -> bool {
+        self.net.ases.iter().all(|a| {
+            if a.index == origin {
+                return true;
+            }
+            match a.kind {
+                AsKind::Legacy => self
+                    .net
+                    .sim
+                    .node_ref::<Router>(a.node)
+                    .best(prefix)
+                    .is_some(),
+                AsKind::SdnMember => self
+                    .net
+                    .sim
+                    .node_ref::<Switch>(a.node)
+                    .table()
+                    .iter()
+                    .any(|rule| rule.prefix == prefix),
+            }
+        })
+    }
+
+    /// Forwarding decision of any AS device for an address (the glue
+    /// between node types and the offline reachability walker).
+    fn decide(&self, node: NodeId, dst: Ipv4Addr) -> Hop {
+        let handle = self.net.ases.iter().find(|a| a.node == node);
+        match handle.map(|a| a.kind) {
+            Some(AsKind::Legacy) => {
+                let r = self.net.sim.node_ref::<Router>(node);
+                match r.forward_lookup(dst) {
+                    Some(None) => Hop::Deliver,
+                    Some(Some(next)) => Hop::Forward(next),
+                    None => Hop::Blackhole,
+                }
+            }
+            Some(AsKind::SdnMember) => {
+                let sw = self.net.sim.node_ref::<Switch>(node);
+                match sw.next_hop_port(dst) {
+                    Some(FlowAction::Local) => Hop::Deliver,
+                    Some(FlowAction::Output(port)) => {
+                        let link = self.net.sim.link(bgpsdn_netsim::LinkId(port));
+                        if link.up {
+                            Hop::Forward(link.other(node))
+                        } else {
+                            Hop::Blackhole
+                        }
+                    }
+                    _ => Hop::Blackhole,
+                }
+            }
+            None => Hop::Blackhole,
+        }
+    }
+
+    /// Audit data-plane connectivity from every AS to every AS's identity
+    /// address — the paper's "stable connectivity between all hosts" check.
+    pub fn connectivity_audit(&self) -> ConnectivityReport {
+        let sources: Vec<NodeId> = self.net.ases.iter().map(|a| a.node).collect();
+        let destinations: Vec<(NodeId, Ipv4Addr)> = self
+            .net
+            .ases
+            .iter()
+            .map(|a| (a.node, a.router_ip))
+            .collect();
+        let max_hops = self.net.ases.len() * 2 + 4;
+        audit(&sources, &destinations, max_hops, |n, d| self.decide(n, d))
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement helpers
+    // ------------------------------------------------------------------
+
+    /// Convergence measured from the collector's update log instead of the
+    /// global activity board (what a real testbed can observe).
+    pub fn collector_convergence(&self) -> Option<SimDuration> {
+        let c = self.net.collector?;
+        let log = self.net.sim.node_ref::<Collector>(c);
+        Some(log.log().convergence_duration(self.phase_start))
+    }
+
+    /// Total BGP updates sent since the last [`Experiment::mark`].
+    pub fn updates_sent(&self) -> u64 {
+        self.net.sim.board().count(Activity::UpdateSent)
+    }
+
+    /// Total flow-table changes since the last [`Experiment::mark`].
+    pub fn flows_installed(&self) -> u64 {
+        self.net.sim.board().count(Activity::FlowInstalled)
+    }
+
+    /// The start of the current measurement phase.
+    pub fn phase_start(&self) -> SimTime {
+        self.phase_start
+    }
+}

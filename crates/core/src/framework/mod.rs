@@ -1,0 +1,20 @@
+//! The hybrid BGP-SDN experiment framework: network assembly
+//! ([`network`]), experiment lifecycle ([`experiment`]) and canned
+//! evaluation scenarios ([`scenarios`]).
+
+pub mod experiment;
+pub mod network;
+pub mod scenarios;
+pub mod script;
+pub mod traffic;
+
+pub use experiment::Experiment;
+pub use network::{
+    AsHandle, AsKind, Collector, Controller, HybridNetwork, NetworkBuilder, Router, Sim, Speaker,
+    Switch, COLLECTOR_ASN,
+};
+pub use scenarios::{
+    clique_sweep_point, run_clique, run_clique_full, CliqueScenario, EventKind, ScenarioOutcome,
+};
+pub use script::{Script, ScriptAction, ScriptReport, StepOutcome};
+pub use traffic::ProbeReport;

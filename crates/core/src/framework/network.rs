@@ -1,0 +1,437 @@
+//! The hybrid network builder.
+//!
+//! Takes a [`TopologyPlan`] (annotated AS graph + addresses + per-AS router
+//! configs) and a set of SDN member indices, and assembles the complete
+//! simulation the paper's Figure 1 shows: legacy BGP routers on the left,
+//! the SDN cluster (switches, cluster BGP speaker, IDR controller) on the
+//! right, a route collector peering with every legacy router, and all the
+//! links and relay/control wiring in between. "The framework automatically
+//! assigns IP addresses and configures network devices" — this module is
+//! that configuration management.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use bgpsdn_bgp::{Asn, BgpRouter, NeighborConfig, Prefix, RouterId};
+use bgpsdn_collector::RouteCollector;
+use bgpsdn_netsim::{LatencyModel, LinkId, NodeId, SimDuration, Simulator};
+use bgpsdn_sdn::{AliasSessionConfig, ClusterMsg, ClusterSpeaker, SdnSwitch};
+use bgpsdn_topology::TopologyPlan;
+
+use crate::controller::{ControllerConfig, IdrController, MemberConfig, SessionConfig};
+
+/// Concrete node types instantiated by the framework.
+pub type Router = BgpRouter<ClusterMsg>;
+/// The switch type used by the framework.
+pub type Switch = SdnSwitch<ClusterMsg>;
+/// The speaker type used by the framework.
+pub type Speaker = ClusterSpeaker<ClusterMsg>;
+/// The controller type used by the framework.
+pub type Controller = IdrController<ClusterMsg>;
+/// The collector type used by the framework.
+pub type Collector = RouteCollector<ClusterMsg>;
+/// The simulator type used by the framework.
+pub type Sim = Simulator<ClusterMsg>;
+
+/// The collector's private ASN.
+pub const COLLECTOR_ASN: Asn = Asn(64512);
+
+/// Whether an AS runs legacy BGP or is a cluster member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsKind {
+    /// Standard BGP router.
+    Legacy,
+    /// SDN cluster member (switch; sessions terminated by the speaker).
+    SdnMember,
+}
+
+/// One AS in the built network.
+#[derive(Debug, Clone)]
+pub struct AsHandle {
+    /// Index in the topology plan.
+    pub index: usize,
+    /// The simulator node emulating this AS.
+    pub node: NodeId,
+    /// Legacy or member.
+    pub kind: AsKind,
+    /// The AS number.
+    pub asn: Asn,
+    /// The prefix this AS originates.
+    pub prefix: Prefix,
+    /// The AS device's identity address.
+    pub router_ip: Ipv4Addr,
+}
+
+/// A fully wired hybrid network, ready to run.
+pub struct HybridNetwork {
+    /// The simulator.
+    pub sim: Sim,
+    /// Per-AS handles, aligned with the plan's vertex indices.
+    pub ases: Vec<AsHandle>,
+    /// Inter-AS links, aligned with the plan's edge indices.
+    pub edge_links: Vec<LinkId>,
+    /// The cluster BGP speaker (present when there are members).
+    pub speaker: Option<NodeId>,
+    /// The IDR controller (present when there are members).
+    pub controller: Option<NodeId>,
+    /// The route collector (when enabled).
+    pub collector: Option<NodeId>,
+    /// The topology plan the network was built from.
+    pub plan: TopologyPlan,
+    /// AS index → member index for cluster members.
+    pub member_index: BTreeMap<usize, usize>,
+}
+
+impl HybridNetwork {
+    /// The link between two AS indices, if adjacent in the plan.
+    pub fn link_between(&self, a: usize, b: usize) -> Option<LinkId> {
+        self.plan
+            .as_graph
+            .edges
+            .iter()
+            .position(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+            .map(|k| self.edge_links[k])
+    }
+
+    /// Handles of all legacy ASes.
+    pub fn legacy(&self) -> impl Iterator<Item = &AsHandle> {
+        self.ases.iter().filter(|a| a.kind == AsKind::Legacy)
+    }
+
+    /// Handles of all cluster members.
+    pub fn members(&self) -> impl Iterator<Item = &AsHandle> {
+        self.ases.iter().filter(|a| a.kind == AsKind::SdnMember)
+    }
+}
+
+/// Builder with the framework's configuration-management defaults.
+pub struct NetworkBuilder {
+    plan: TopologyPlan,
+    sdn_members: Vec<usize>,
+    seed: u64,
+    data_latency: Option<LatencyModel>,
+    ctl_latency: LatencyModel,
+    with_collector: bool,
+    recompute_delay: SimDuration,
+    edge_latencies: Option<Vec<SimDuration>>,
+}
+
+impl NetworkBuilder {
+    /// Start from a plan and an experiment seed.
+    pub fn new(plan: TopologyPlan, seed: u64) -> Self {
+        NetworkBuilder {
+            plan,
+            sdn_members: Vec::new(),
+            seed,
+            data_latency: None,
+            ctl_latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
+            with_collector: true,
+            recompute_delay: SimDuration::from_millis(100),
+            edge_latencies: None,
+        }
+    }
+
+    /// Put these AS indices under centralized control.
+    pub fn with_sdn_members(mut self, members: impl IntoIterator<Item = usize>) -> Self {
+        self.sdn_members = members.into_iter().collect();
+        self.sdn_members.sort_unstable();
+        self.sdn_members.dedup();
+        self
+    }
+
+    /// Override the inter-AS link latency model (default: 5 ms + up to 5 ms
+    /// jitter).
+    pub fn with_data_latency(mut self, model: LatencyModel) -> Self {
+        self.data_latency = Some(model);
+        self
+    }
+
+    /// Per-edge fixed latencies (e.g. from an iPlane-derived topology),
+    /// aligned with the plan's edge order. Overrides the latency model.
+    pub fn with_edge_latencies(mut self, latencies: Vec<SimDuration>) -> Self {
+        assert_eq!(latencies.len(), self.plan.as_graph.edges.len());
+        self.edge_latencies = Some(latencies);
+        self
+    }
+
+    /// Disable the route collector.
+    pub fn without_collector(mut self) -> Self {
+        self.with_collector = false;
+        self
+    }
+
+    /// Set the controller's delayed-recomputation window.
+    pub fn with_recompute_delay(mut self, d: SimDuration) -> Self {
+        self.recompute_delay = d;
+        self
+    }
+
+    /// Assemble the network.
+    pub fn build(self) -> HybridNetwork {
+        let plan = self.plan;
+        let n = plan.as_graph.len();
+        for &m in &self.sdn_members {
+            assert!(m < n, "SDN member index {m} out of range");
+        }
+        let mut sim = Sim::new(self.seed);
+        let member_index: BTreeMap<usize, usize> = self
+            .sdn_members
+            .iter()
+            .enumerate()
+            .map(|(mi, &asi)| (asi, mi))
+            .collect();
+
+        // 1. AS nodes.
+        let mut ases: Vec<AsHandle> = Vec::with_capacity(n);
+        for i in 0..n {
+            let asn = plan.as_graph.asns[i];
+            let prefix = plan.addresses.as_prefixes[i];
+            let router_ip = plan.addresses.router_ips[i];
+            let (node, kind) = if member_index.contains_key(&i) {
+                let node = sim.add_node(format!("sw{}", asn.0), |id| Switch::new(id, asn.0 as u64));
+                (node, AsKind::SdnMember)
+            } else {
+                let cfg = plan.routers[i].clone();
+                let node = sim.add_node(format!("as{}", asn.0), |id| Router::new(id, cfg));
+                (node, AsKind::Legacy)
+            };
+            ases.push(AsHandle {
+                index: i,
+                node,
+                kind,
+                asn,
+                prefix,
+                router_ip,
+            });
+        }
+
+        let have_cluster = !self.sdn_members.is_empty();
+        let speaker = have_cluster.then(|| sim.add_node("speaker", Speaker::new));
+        let controller = have_cluster.then(|| {
+            sim.add_node("controller", |id| {
+                Controller::new(id, ControllerConfig::new(vec![], vec![], vec![], LinkId(0)))
+            })
+        });
+        let collector = self.with_collector.then(|| {
+            sim.add_node("collector", |id| {
+                Collector::new(id, COLLECTOR_ASN, RouterId(1))
+            })
+        });
+
+        // 2. Inter-AS links.
+        let default_latency = self.data_latency.unwrap_or(LatencyModel::Jittered {
+            base: SimDuration::from_millis(5),
+            jitter: SimDuration::from_millis(5),
+        });
+        let mut edge_links = Vec::with_capacity(plan.as_graph.edges.len());
+        for (k, e) in plan.as_graph.edges.iter().enumerate() {
+            let latency = match &self.edge_latencies {
+                Some(l) => LatencyModel::Fixed(l[k]),
+                None => default_latency.clone(),
+            };
+            let link = sim.add_link(ases[e.a].node, ases[e.b].node, latency);
+            edge_links.push(link);
+        }
+
+        // 3. Cluster wiring: relay links, control links, sessions.
+        let mut relay_links: BTreeMap<usize, LinkId> = BTreeMap::new(); // member idx → link
+        let mut ctl_links: BTreeMap<usize, LinkId> = BTreeMap::new();
+        let mut speaker_link = LinkId(0);
+        if let (Some(speaker_node), Some(controller_node)) = (speaker, controller) {
+            for (&asi, &mi) in &member_index {
+                let relay = sim.add_link(speaker_node, ases[asi].node, self.ctl_latency.clone());
+                relay_links.insert(mi, relay);
+                let ctl = sim.add_link(controller_node, ases[asi].node, self.ctl_latency.clone());
+                ctl_links.insert(mi, ctl);
+            }
+            speaker_link = sim.add_link(controller_node, speaker_node, self.ctl_latency.clone());
+        }
+
+        // 4. Per-edge configuration.
+        let mut sessions: Vec<SessionConfig> = Vec::new();
+        for (k, e) in plan.as_graph.edges.iter().enumerate() {
+            let link = edge_links[k];
+            let (a, b) = (e.a, e.b);
+            let a_member = member_index.get(&a).copied();
+            let b_member = member_index.get(&b).copied();
+            match (a_member, b_member) {
+                (None, None) => {
+                    // Legacy ↔ legacy: ordinary eBGP both ways.
+                    let rel_a = e.relationship_from(a);
+                    let (na, nb) = (ases[a].node, ases[b].node);
+                    let (asn_a, asn_b) = (ases[a].asn, ases[b].asn);
+                    sim.with_node::<Router, _>(na, |r| {
+                        r.add_neighbor(NeighborConfig::new(nb, link, asn_b, rel_a));
+                    });
+                    sim.with_node::<Router, _>(nb, |r| {
+                        r.add_neighbor(NeighborConfig::new(na, link, asn_a, rel_a.inverse()));
+                    });
+                }
+                (None, Some(mb)) | (Some(mb), None) => {
+                    // Legacy ↔ member: alias session via the speaker.
+                    let (legacy_i, member_i, member_mi) = if a_member.is_none() {
+                        (a, b, mb)
+                    } else {
+                        (b, a, mb)
+                    };
+                    let rel_legacy = e.relationship_from(legacy_i);
+                    let (ln, mn) = (ases[legacy_i].node, ases[member_i].node);
+                    let member_asn = ases[member_i].asn;
+                    sim.with_node::<Router, _>(ln, |r| {
+                        r.add_neighbor(NeighborConfig::new(mn, link, member_asn, rel_legacy));
+                    });
+                    let relay = relay_links[&member_mi];
+                    sim.with_node::<Switch, _>(mn, |s| {
+                        s.add_relay(mn, relay);
+                        s.add_relay(ln, link);
+                    });
+                    let speaker_node = speaker.expect("members imply a speaker");
+                    let legacy_asn = ases[legacy_i].asn;
+                    let alias_id = RouterId::from_ip(ases[member_i].router_ip);
+                    let alias_nh = ases[member_i].router_ip;
+                    let sess_idx = sim.with_node::<Speaker, _>(speaker_node, |s| {
+                        s.add_session(AliasSessionConfig {
+                            alias: mn,
+                            alias_asn: member_asn,
+                            alias_router_id: alias_id,
+                            alias_next_hop: alias_nh,
+                            ext_peer: ln,
+                            remote_asn: legacy_asn,
+                            via_link: relay,
+                        })
+                    });
+                    assert_eq!(sess_idx, sessions.len(), "session order must align");
+                    sessions.push(SessionConfig {
+                        member: member_mi,
+                        ext_peer: ln,
+                        ext_asn: legacy_asn,
+                        ext_link: link,
+                    });
+                }
+                (Some(_), Some(_)) => {
+                    // Member ↔ member: intra-cluster link, wired into the
+                    // controller config below; no BGP.
+                }
+            }
+        }
+
+        // 5. Finalize cluster configuration.
+        if let (Some(speaker_node), Some(controller_node)) = (speaker, controller) {
+            sim.with_node::<Speaker, _>(speaker_node, |s| {
+                s.set_controller_link(speaker_link);
+            });
+            for (&asi, &mi) in &member_index {
+                let ctl = ctl_links[&mi];
+                sim.with_node::<Switch, _>(ases[asi].node, |s| {
+                    s.set_controller_link(ctl);
+                });
+            }
+            let members: Vec<MemberConfig> = self
+                .sdn_members
+                .iter()
+                .enumerate()
+                .map(|(mi, &asi)| MemberConfig {
+                    switch: ases[asi].node,
+                    asn: ases[asi].asn,
+                    prefix: ases[asi].prefix,
+                    ctl_link: ctl_links[&mi],
+                })
+                .collect();
+            let intra: Vec<(usize, usize, LinkId)> = plan
+                .as_graph
+                .edges
+                .iter()
+                .enumerate()
+                .filter_map(|(k, e)| {
+                    let ma = member_index.get(&e.a)?;
+                    let mb = member_index.get(&e.b)?;
+                    Some((*ma, *mb, edge_links[k]))
+                })
+                .collect();
+            let mut cfg = ControllerConfig::new(members, intra, sessions, speaker_link);
+            cfg.recompute_delay = self.recompute_delay;
+            sim.with_node::<Controller, _>(controller_node, |c| c.set_config(cfg));
+        }
+
+        // 6. Collector peering with every legacy router.
+        if let Some(collector_node) = collector {
+            let legacy: Vec<usize> = (0..n).filter(|i| !member_index.contains_key(i)).collect();
+            for i in legacy {
+                let link = sim.add_link(ases[i].node, collector_node, self.ctl_latency.clone());
+                let rn = ases[i].node;
+                sim.with_node::<Router, _>(rn, |r| {
+                    r.add_neighbor(NeighborConfig::monitor(collector_node, link, COLLECTOR_ASN));
+                });
+                let asn = ases[i].asn;
+                sim.with_node::<Collector, _>(collector_node, |c| {
+                    c.add_monitored(rn, asn, link);
+                });
+            }
+        }
+
+        HybridNetwork {
+            sim,
+            ases,
+            edge_links,
+            speaker,
+            controller,
+            collector,
+            plan,
+            member_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsdn_bgp::{PolicyMode, TimingConfig};
+    use bgpsdn_topology::{gen, plan, AsGraph};
+
+    fn clique_plan(n: usize) -> TopologyPlan {
+        plan(
+            AsGraph::all_peer(&gen::clique(n), 65000),
+            PolicyMode::AllPermit,
+            TimingConfig::with_mrai(SimDuration::ZERO),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pure_legacy_network_has_no_cluster() {
+        let net = NetworkBuilder::new(clique_plan(4), 1).build();
+        assert!(net.speaker.is_none());
+        assert!(net.controller.is_none());
+        assert!(net.collector.is_some());
+        assert_eq!(net.ases.len(), 4);
+        assert_eq!(net.edge_links.len(), 6);
+        assert_eq!(net.legacy().count(), 4);
+        // 6 AS links + 4 collector links.
+        assert_eq!(net.sim.link_count(), 10);
+    }
+
+    #[test]
+    fn hybrid_network_wires_cluster() {
+        let net = NetworkBuilder::new(clique_plan(4), 1)
+            .with_sdn_members([2, 3])
+            .build();
+        assert!(net.speaker.is_some());
+        assert!(net.controller.is_some());
+        assert_eq!(net.members().count(), 2);
+        assert_eq!(net.legacy().count(), 2);
+        assert_eq!(net.member_index[&2], 0);
+        assert_eq!(net.member_index[&3], 1);
+        // Links: 6 AS + 2 relay + 2 ctl + 1 speaker-ctl + 2 collector = 13.
+        assert_eq!(net.sim.link_count(), 13);
+        assert!(net.link_between(0, 1).is_some());
+        assert!(net.link_between(0, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn member_out_of_range_panics() {
+        let _ = NetworkBuilder::new(clique_plan(3), 1)
+            .with_sdn_members([7])
+            .build();
+    }
+}

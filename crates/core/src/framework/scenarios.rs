@@ -1,0 +1,204 @@
+//! Canned experiment scenarios — the runs behind the paper's evaluation.
+//!
+//! [`run_clique`] reproduces the §4 experiments: an `n`-AS clique with a
+//! configurable number of ASes under centralized control, subjected to a
+//! route withdrawal (Figure 2), a route announcement, or a link fail-over,
+//! measuring IDR convergence time. Used by the benches, the examples and
+//! the integration tests.
+
+use bgpsdn_bgp::{PolicyMode, TimingConfig};
+use bgpsdn_netsim::{SimDuration, SimTime};
+use bgpsdn_topology::{gen, plan, AsGraph};
+
+use super::experiment::Experiment;
+use super::network::NetworkBuilder;
+
+/// Parameters of a clique experiment.
+#[derive(Debug, Clone)]
+pub struct CliqueScenario {
+    /// Clique size (the paper uses 16).
+    pub n: usize,
+    /// How many ASes are cluster members (taken from the high indices, so
+    /// the event origin AS 0 stays legacy until `sdn_count == n`).
+    pub sdn_count: usize,
+    /// eBGP MRAI (the paper's Quagga default: 30 s).
+    pub mrai: SimDuration,
+    /// Controller delayed-recomputation window.
+    pub recompute_delay: SimDuration,
+    /// Experiment seed (vary for boxplot runs).
+    pub seed: u64,
+}
+
+impl CliqueScenario {
+    /// The paper's Figure 2 configuration at a given SDN fraction and seed.
+    pub fn fig2(sdn_count: usize, seed: u64) -> CliqueScenario {
+        CliqueScenario {
+            n: 16,
+            sdn_count,
+            mrai: SimDuration::from_secs(30),
+            recompute_delay: SimDuration::from_millis(100),
+            seed,
+        }
+    }
+
+    /// The member AS indices implied by `sdn_count`.
+    pub fn members(&self) -> Vec<usize> {
+        (self.n - self.sdn_count..self.n).collect()
+    }
+}
+
+/// Which routing event the scenario applies after initial convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The origin AS withdraws its prefix (Figure 2).
+    Withdrawal,
+    /// The origin AS announces a fresh, previously unknown prefix.
+    Announcement,
+    /// The link between the origin and one neighbor fails; traffic must
+    /// fail over to two-hop paths.
+    Failover,
+}
+
+/// What a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Whether the network converged within the deadline.
+    pub converged: bool,
+    /// Convergence time of the event (activity-board based).
+    pub convergence: SimDuration,
+    /// Convergence time as seen by the route collector.
+    pub collector_convergence: Option<SimDuration>,
+    /// BGP updates sent during re-convergence.
+    pub updates: u64,
+    /// Flow-table changes during re-convergence.
+    pub flow_mods: u64,
+    /// Whether the event's post-state audit passed (withdrawn prefix fully
+    /// gone / new prefix reachable everywhere / fail-over path restored).
+    pub audit_ok: bool,
+}
+
+/// Hard deadline for a single convergence phase.
+const PHASE_DEADLINE: SimDuration = SimDuration::from_secs(3600);
+
+/// Build, bring up and drive one clique experiment, returning the outcome
+/// together with the still-inspectable experiment (collector log, RIBs,
+/// flow tables) — what log-analysis benches use.
+///
+/// Withdrawal and announcement events run on the full `n`-clique. The
+/// fail-over event runs on the thesis' variant: ASes `1..n` form the
+/// clique and the origin is dual-homed to AS 1 (primary) and AS 2
+/// (backup); failing the primary link forces the whole network from
+/// `… 1 0` paths onto `… 2 0` paths.
+pub fn run_clique_full(
+    scenario: &CliqueScenario,
+    event: EventKind,
+) -> (ScenarioOutcome, Experiment) {
+    let ag = match event {
+        EventKind::Withdrawal | EventKind::Announcement => {
+            AsGraph::all_peer(&gen::clique(scenario.n), 65000)
+        }
+        EventKind::Failover => {
+            // Origin 0 is dual-homed: primary link straight into the clique
+            // (AS 2), backup over a stub relay (AS 1), making the backup one
+            // hop longer. Failing the primary leaves equal-length ghost
+            // paths competing with the real backup — genuine fail-over
+            // exploration.
+            assert!(scenario.n >= 5, "fail-over needs n >= 5");
+            let mut g = bgpsdn_topology::Graph::new(scenario.n);
+            for i in 2..scenario.n {
+                for j in (i + 1)..scenario.n {
+                    g.add_edge(i, j);
+                }
+            }
+            g.add_edge(0, 2); // primary
+            g.add_edge(0, 1); // origin — relay
+            g.add_edge(1, 3); // relay — backup entry
+            AsGraph::all_peer(&g, 65000)
+        }
+    };
+    let tp = plan(
+        ag,
+        PolicyMode::AllPermit,
+        TimingConfig::with_mrai(scenario.mrai),
+    )
+    .expect("address plan");
+    let net = NetworkBuilder::new(tp, scenario.seed)
+        .with_sdn_members(scenario.members())
+        .with_recompute_delay(scenario.recompute_delay)
+        .build();
+    let mut exp = Experiment::new(net);
+
+    let up = exp.start(PHASE_DEADLINE);
+    assert!(up.converged, "bring-up did not converge");
+
+    let origin = 0usize;
+    let origin_prefix = exp.net.ases[origin].prefix;
+
+    exp.mark();
+    let (audit_prefix, expect_gone) = match event {
+        EventKind::Withdrawal => {
+            exp.withdraw(origin, None);
+            (origin_prefix, true)
+        }
+        EventKind::Announcement => {
+            // A fresh /17 inside the origin's block: unknown to everyone.
+            let (lo, _) = origin_prefix.split();
+            exp.announce(origin, Some(lo));
+            (lo, false)
+        }
+        EventKind::Failover => {
+            // Fail the dual-homed origin's primary link (into clique AS 2);
+            // the network must converge onto the longer backup via the
+            // relay, exploring equal-length ghost paths on the way.
+            exp.fail_edge(origin, 2);
+            (origin_prefix, false)
+        }
+    };
+    let report = exp.wait_converged(PHASE_DEADLINE);
+
+    let audit_ok = match event {
+        EventKind::Withdrawal => exp.prefix_fully_gone(audit_prefix) == expect_gone,
+        EventKind::Announcement => exp.prefix_reachable_from_all(audit_prefix, origin),
+        EventKind::Failover => {
+            // AS 1 must still reach the origin prefix (via some 2-hop path).
+            exp.prefix_reachable_from_all(audit_prefix, origin)
+        }
+    };
+
+    let outcome = ScenarioOutcome {
+        converged: report.converged,
+        convergence: report.duration,
+        collector_convergence: exp.collector_convergence(),
+        updates: exp.updates_sent(),
+        flow_mods: exp.flows_installed(),
+        audit_ok,
+    };
+    (outcome, exp)
+}
+
+/// Build, bring up and drive one clique experiment.
+pub fn run_clique(scenario: &CliqueScenario, event: EventKind) -> ScenarioOutcome {
+    run_clique_full(scenario, event).0
+}
+
+/// Run `runs` seeded repetitions and collect the convergence durations —
+/// one boxplot point of Figure 2.
+pub fn clique_sweep_point(base: &CliqueScenario, event: EventKind, runs: u64) -> Vec<SimDuration> {
+    (0..runs)
+        .map(|r| {
+            let scenario = CliqueScenario {
+                seed: base.seed.wrapping_add(r * 7919),
+                ..base.clone()
+            };
+            let out = run_clique(&scenario, event);
+            assert!(out.converged, "run {r} did not converge");
+            assert!(out.audit_ok, "run {r} failed its post-event audit");
+            out.convergence
+        })
+        .collect()
+}
+
+/// Convenience: the `SimTime` horizon scenarios run within.
+pub fn phase_deadline() -> SimTime {
+    SimTime::ZERO + PHASE_DEADLINE
+}

@@ -1,0 +1,266 @@
+//! Declarative experiment scripts.
+//!
+//! The paper's framework lets experimenters write setups in Python and
+//! "actively control the experiments, e.g., dynamically changing the
+//! topology and verifying the effects of changes". [`Script`] is that
+//! orchestration layer in data form: a sequence of actions (announce,
+//! withdraw, fail/restore links, wait for convergence) interleaved with
+//! executable expectations (prefix reachable/gone, full connectivity),
+//! replayed against an [`Experiment`] into a step-by-step report.
+
+use std::fmt;
+
+use bgpsdn_bgp::Prefix;
+use bgpsdn_collector::ConvergenceReport;
+use bgpsdn_netsim::SimDuration;
+
+use super::experiment::Experiment;
+
+/// One scripted step.
+#[derive(Debug, Clone)]
+pub enum ScriptAction {
+    /// AS announces a prefix (its own when `None`).
+    Announce {
+        /// AS index in the plan.
+        as_index: usize,
+        /// Specific prefix, or the AS's own.
+        prefix: Option<Prefix>,
+    },
+    /// AS withdraws a prefix (its own when `None`).
+    Withdraw {
+        /// AS index in the plan.
+        as_index: usize,
+        /// Specific prefix, or the AS's own.
+        prefix: Option<Prefix>,
+    },
+    /// Fail the link between two adjacent ASes.
+    FailEdge(usize, usize),
+    /// Restore the link between two adjacent ASes.
+    RestoreEdge(usize, usize),
+    /// Start a fresh measurement phase (reset activity and collector log).
+    Mark,
+    /// Run until the network converges (or the deadline passes); records a
+    /// convergence report for the current phase.
+    WaitConverged {
+        /// Give up after this much simulated time.
+        max: SimDuration,
+    },
+    /// Advance simulated time unconditionally.
+    RunFor(SimDuration),
+    /// Expect every other AS to hold a route for `prefix`.
+    ExpectReachable {
+        /// The prefix to check.
+        prefix: Prefix,
+        /// Its origin (excluded from the check).
+        origin: usize,
+    },
+    /// Expect no AS to hold any state for `prefix`.
+    ExpectGone {
+        /// The prefix to check.
+        prefix: Prefix,
+    },
+    /// Expect the all-pairs forwarding audit to pass.
+    ExpectFullConnectivity,
+}
+
+impl fmt::Display for ScriptAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptAction::Announce { as_index, prefix } => match prefix {
+                Some(p) => write!(f, "announce {p} from AS#{as_index}"),
+                None => write!(f, "announce own prefix of AS#{as_index}"),
+            },
+            ScriptAction::Withdraw { as_index, prefix } => match prefix {
+                Some(p) => write!(f, "withdraw {p} from AS#{as_index}"),
+                None => write!(f, "withdraw own prefix of AS#{as_index}"),
+            },
+            ScriptAction::FailEdge(a, b) => write!(f, "fail link {a}-{b}"),
+            ScriptAction::RestoreEdge(a, b) => write!(f, "restore link {a}-{b}"),
+            ScriptAction::Mark => write!(f, "mark"),
+            ScriptAction::WaitConverged { max } => write!(f, "wait converged (max {max})"),
+            ScriptAction::RunFor(d) => write!(f, "run for {d}"),
+            ScriptAction::ExpectReachable { prefix, .. } => {
+                write!(f, "expect {prefix} reachable everywhere")
+            }
+            ScriptAction::ExpectGone { prefix } => write!(f, "expect {prefix} fully gone"),
+            ScriptAction::ExpectFullConnectivity => write!(f, "expect full connectivity"),
+        }
+    }
+}
+
+/// An ordered experiment script with a builder API.
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    /// The steps, executed in order.
+    pub steps: Vec<ScriptAction>,
+}
+
+impl Script {
+    /// Empty script.
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Append any action.
+    pub fn step(mut self, action: ScriptAction) -> Self {
+        self.steps.push(action);
+        self
+    }
+
+    /// Announce the AS's own prefix.
+    pub fn announce(self, as_index: usize) -> Self {
+        self.step(ScriptAction::Announce {
+            as_index,
+            prefix: None,
+        })
+    }
+
+    /// Withdraw the AS's own prefix.
+    pub fn withdraw(self, as_index: usize) -> Self {
+        self.step(ScriptAction::Withdraw {
+            as_index,
+            prefix: None,
+        })
+    }
+
+    /// Fail a link.
+    pub fn fail_edge(self, a: usize, b: usize) -> Self {
+        self.step(ScriptAction::FailEdge(a, b))
+    }
+
+    /// Restore a link.
+    pub fn restore_edge(self, a: usize, b: usize) -> Self {
+        self.step(ScriptAction::RestoreEdge(a, b))
+    }
+
+    /// Begin a measurement phase.
+    pub fn mark(self) -> Self {
+        self.step(ScriptAction::Mark)
+    }
+
+    /// Wait for convergence.
+    pub fn wait_converged(self, max: SimDuration) -> Self {
+        self.step(ScriptAction::WaitConverged { max })
+    }
+
+    /// Advance time.
+    pub fn run_for(self, d: SimDuration) -> Self {
+        self.step(ScriptAction::RunFor(d))
+    }
+
+    /// Assert reachability.
+    pub fn expect_reachable(self, prefix: Prefix, origin: usize) -> Self {
+        self.step(ScriptAction::ExpectReachable { prefix, origin })
+    }
+
+    /// Assert a prefix is fully gone.
+    pub fn expect_gone(self, prefix: Prefix) -> Self {
+        self.step(ScriptAction::ExpectGone { prefix })
+    }
+
+    /// Assert the forwarding audit passes.
+    pub fn expect_full_connectivity(self) -> Self {
+        self.step(ScriptAction::ExpectFullConnectivity)
+    }
+}
+
+/// What one step did.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Step index.
+    pub index: usize,
+    /// Human-readable description of the action.
+    pub action: String,
+    /// Convergence report when the step waited for convergence.
+    pub convergence: Option<ConvergenceReport>,
+    /// Whether the step succeeded (expectations can fail).
+    pub ok: bool,
+}
+
+/// Result of replaying a script.
+#[derive(Debug, Clone)]
+pub struct ScriptReport {
+    /// Per-step outcomes.
+    pub steps: Vec<StepOutcome>,
+}
+
+impl ScriptReport {
+    /// True when every step succeeded.
+    pub fn ok(&self) -> bool {
+        self.steps.iter().all(|s| s.ok)
+    }
+
+    /// The first failing step, if any.
+    pub fn first_failure(&self) -> Option<&StepOutcome> {
+        self.steps.iter().find(|s| !s.ok)
+    }
+
+    /// Render a human-readable transcript.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            let mark = if s.ok { "ok " } else { "FAIL" };
+            out.push_str(&format!("[{mark}] step {:>2}: {}", s.index, s.action));
+            if let Some(c) = &s.convergence {
+                out.push_str(&format!(" (converged={} in {})", c.converged, c.duration));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Experiment {
+    /// Replay a script. Expectation failures are recorded (not panics) so a
+    /// report always comes back; driving continues after failures.
+    pub fn run_script(&mut self, script: &Script) -> ScriptReport {
+        let mut steps = Vec::with_capacity(script.steps.len());
+        for (index, action) in script.steps.iter().enumerate() {
+            let mut convergence = None;
+            let ok = match action {
+                ScriptAction::Announce { as_index, prefix } => {
+                    self.announce(*as_index, *prefix);
+                    true
+                }
+                ScriptAction::Withdraw { as_index, prefix } => {
+                    self.withdraw(*as_index, *prefix);
+                    true
+                }
+                ScriptAction::FailEdge(a, b) => {
+                    self.fail_edge(*a, *b);
+                    true
+                }
+                ScriptAction::RestoreEdge(a, b) => {
+                    self.restore_edge(*a, *b);
+                    true
+                }
+                ScriptAction::Mark => {
+                    self.mark();
+                    true
+                }
+                ScriptAction::WaitConverged { max } => {
+                    let report = self.wait_converged(*max);
+                    let ok = report.converged;
+                    convergence = Some(report);
+                    ok
+                }
+                ScriptAction::RunFor(d) => {
+                    self.net.sim.run_for(*d);
+                    true
+                }
+                ScriptAction::ExpectReachable { prefix, origin } => {
+                    self.prefix_reachable_from_all(*prefix, *origin)
+                }
+                ScriptAction::ExpectGone { prefix } => self.prefix_fully_gone(*prefix),
+                ScriptAction::ExpectFullConnectivity => self.connectivity_audit().fully_connected(),
+            };
+            steps.push(StepOutcome {
+                index,
+                action: action.to_string(),
+                convergence,
+                ok,
+            });
+        }
+        ScriptReport { steps }
+    }
+}

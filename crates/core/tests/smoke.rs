@@ -1,0 +1,22 @@
+use bgpsdn_core::{run_clique, CliqueScenario, EventKind};
+use bgpsdn_netsim::SimDuration;
+
+#[test]
+fn smoke_hybrid_withdrawal() {
+    for &k in &[0usize, 3, 6] {
+        let s = CliqueScenario {
+            n: 6,
+            sdn_count: k,
+            mrai: SimDuration::from_secs(10),
+            recompute_delay: SimDuration::from_millis(100),
+            seed: 42,
+        };
+        let out = run_clique(&s, EventKind::Withdrawal);
+        eprintln!(
+            "k={k}: conv={} updates={} flows={} audit={} converged={}",
+            out.convergence, out.updates, out.flow_mods, out.audit_ok, out.converged
+        );
+        assert!(out.converged, "k={k}");
+        assert!(out.audit_ok, "k={k}");
+    }
+}

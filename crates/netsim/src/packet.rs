@@ -1,0 +1,126 @@
+//! Data-plane packets.
+//!
+//! The paper monitors "end-to-end connectivity with tools like ping".
+//! [`DataPacket`] is the simulator's IP packet: routers forward it by
+//! longest-prefix match over their FIBs, SDN switches by flow-table lookup,
+//! and echo requests are answered by the owner of the destination prefix.
+
+use std::net::Ipv4Addr;
+
+use crate::node::Message;
+
+/// What a data packet carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketKind {
+    /// ICMP-style echo request.
+    EchoRequest,
+    /// ICMP-style echo reply.
+    EchoReply,
+    /// Opaque payload of the given size (video/bulk traffic stand-in).
+    Payload(u16),
+}
+
+/// A simulated IP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Correlation id (sequence number for pings, flow id for payload).
+    pub id: u64,
+    /// Remaining hop budget; dropped at zero.
+    pub ttl: u8,
+    /// Payload discriminator.
+    pub kind: PacketKind,
+}
+
+impl DataPacket {
+    /// Default initial TTL.
+    pub const DEFAULT_TTL: u8 = 64;
+
+    /// Build an echo request.
+    pub fn echo_request(src: Ipv4Addr, dst: Ipv4Addr, id: u64) -> DataPacket {
+        DataPacket {
+            src,
+            dst,
+            id,
+            ttl: Self::DEFAULT_TTL,
+            kind: PacketKind::EchoRequest,
+        }
+    }
+
+    /// The matching echo reply (addresses swapped, TTL refreshed).
+    pub fn reply_to(&self) -> DataPacket {
+        debug_assert_eq!(self.kind, PacketKind::EchoRequest);
+        DataPacket {
+            src: self.dst,
+            dst: self.src,
+            id: self.id,
+            ttl: Self::DEFAULT_TTL,
+            kind: PacketKind::EchoReply,
+        }
+    }
+
+    /// Copy with TTL decremented; `None` when the budget is exhausted.
+    pub fn decrement_ttl(&self) -> Option<DataPacket> {
+        if self.ttl <= 1 {
+            return None;
+        }
+        Some(DataPacket {
+            ttl: self.ttl - 1,
+            ..*self
+        })
+    }
+
+    /// Nominal on-wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        20 + match self.kind {
+            PacketKind::EchoRequest | PacketKind::EchoReply => 8,
+            PacketKind::Payload(n) => n as usize,
+        }
+    }
+}
+
+/// Implemented by simulator message types that can carry data packets.
+pub trait DataApp: Message {
+    /// Wrap a packet.
+    fn from_data(p: DataPacket) -> Self;
+    /// Unwrap a packet.
+    fn as_data(&self) -> Option<&DataPacket>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 1, 0, 1);
+        let req = DataPacket::echo_request(a, b, 42);
+        assert_eq!(req.ttl, 64);
+        let rep = req.reply_to();
+        assert_eq!(rep.src, b);
+        assert_eq!(rep.dst, a);
+        assert_eq!(rep.id, 42);
+        assert_eq!(rep.kind, PacketKind::EchoReply);
+    }
+
+    #[test]
+    fn ttl_exhaustion() {
+        let mut p = DataPacket::echo_request(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 1);
+        p.ttl = 2;
+        let p1 = p.decrement_ttl().unwrap();
+        assert_eq!(p1.ttl, 1);
+        assert!(p1.decrement_ttl().is_none());
+    }
+
+    #[test]
+    fn wire_len_by_kind() {
+        let mut p = DataPacket::echo_request(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, 1);
+        assert_eq!(p.wire_len(), 28);
+        p.kind = PacketKind::Payload(1000);
+        assert_eq!(p.wire_len(), 1020);
+    }
+}

@@ -1,0 +1,864 @@
+//! The discrete-event simulator.
+//!
+//! [`Simulator`] owns the nodes, links, event queue, clock, RNG, trace and
+//! statistics for one run. Nodes interact with the world only through the
+//! [`Ctx`] passed to their callbacks; every effect they request (sends,
+//! timers, activity reports, trace records) is buffered and applied by the
+//! engine after the callback returns, in order. Together with the seeded RNG
+//! and the tie-breaking event queue this makes runs bit-for-bit reproducible.
+
+use std::collections::HashMap;
+
+use crate::event::{EventBody, EventQueue};
+use crate::link::{LatencyModel, Link, LinkId};
+use crate::node::{Message, Node, NodeId, TimerClass, TimerToken};
+use crate::rng::SimRng;
+use crate::stats::{Activity, ActivityBoard, SimStats};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{Trace, TraceCategory};
+
+/// Effects a node requests during a callback, applied afterwards by the
+/// engine.
+enum Action<M> {
+    Send {
+        link: LinkId,
+        msg: M,
+    },
+    SetTimerAt {
+        at: SimTime,
+        token: TimerToken,
+        class: TimerClass,
+    },
+    CancelTimer {
+        token: TimerToken,
+    },
+    Report(Activity),
+    Trace {
+        category: TraceCategory,
+        detail: String,
+    },
+}
+
+/// The world as one node sees it during a callback.
+pub struct Ctx<'a, M: Message> {
+    now: SimTime,
+    me: NodeId,
+    rng: &'a mut SimRng,
+    links: &'a [Link],
+    adjacency: &'a [Vec<(LinkId, NodeId)>],
+    trace_enabled: &'a Trace,
+    actions: Vec<Action<M>>,
+}
+
+impl<'a, M: Message> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's identifier.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The run's random stream. All randomness must come from here.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Queue `msg` for transmission on `link`. The message is silently
+    /// dropped if the link is down when the send is applied or when the
+    /// delivery would occur.
+    pub fn send(&mut self, link: LinkId, msg: M) {
+        self.actions.push(Action::Send { link, msg });
+    }
+
+    /// Arm (or re-arm) the timer named `token` to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken, class: TimerClass) {
+        let at = self.now + delay;
+        self.actions.push(Action::SetTimerAt { at, token, class });
+    }
+
+    /// Arm (or re-arm) the timer named `token` to fire at absolute time `at`.
+    pub fn set_timer_at(&mut self, at: SimTime, token: TimerToken, class: TimerClass) {
+        self.actions.push(Action::SetTimerAt { at, token, class });
+    }
+
+    /// Cancel the timer named `token` (no-op if not armed).
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.actions.push(Action::CancelTimer { token });
+    }
+
+    /// Report semantic routing-plane activity to the measurement board.
+    pub fn report(&mut self, kind: Activity) {
+        self.actions.push(Action::Report(kind));
+    }
+
+    /// Record a trace entry. The detail closure runs only when `category`
+    /// is enabled, so hot paths pay nothing when tracing is off.
+    pub fn trace(&mut self, category: TraceCategory, detail: impl FnOnce() -> String) {
+        if self.trace_enabled.is_enabled(category) {
+            self.actions.push(Action::Trace {
+                category,
+                detail: detail(),
+            });
+        }
+    }
+
+    /// The links adjacent to this node, with the neighbor at the far end.
+    pub fn neighbors(&self) -> &[(LinkId, NodeId)] {
+        &self.adjacency[self.me.index()]
+    }
+
+    /// Look up a link by id. Panics on [`LinkId::CONTROL`].
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Whether `id` is operationally up.
+    pub fn link_up(&self, id: LinkId) -> bool {
+        self.links[id.index()].up
+    }
+
+    /// The node at the far end of `id` relative to this node.
+    pub fn peer(&self, id: LinkId) -> NodeId {
+        self.links[id.index()].other(self.me)
+    }
+}
+
+/// Result of [`Simulator::run_until_quiescent`].
+#[derive(Debug, Clone, Copy)]
+pub struct Quiescence {
+    /// True when the run stopped because only maintenance events remained.
+    pub quiescent: bool,
+    /// Simulated time when the run stopped.
+    pub time: SimTime,
+    /// Events processed during this call.
+    pub events: u64,
+}
+
+/// A deterministic discrete-event network simulator.
+pub struct Simulator<M: Message> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    node_names: Vec<String>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(LinkId, NodeId)>>,
+    timer_gens: HashMap<(NodeId, TimerToken), (u64, bool)>,
+    rng: SimRng,
+    board: ActivityBoard,
+    trace: Trace,
+    stats: SimStats,
+    started: bool,
+    /// Hard cap on events per `run_*` call, against livelock.
+    pub max_events_per_run: u64,
+}
+
+impl<M: Message> Simulator<M> {
+    /// Create an empty simulator with the given experiment seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            node_names: Vec::new(),
+            links: Vec::new(),
+            adjacency: Vec::new(),
+            timer_gens: HashMap::new(),
+            rng: SimRng::seed_from_u64(seed),
+            board: ActivityBoard::default(),
+            trace: Trace::default(),
+            stats: SimStats::default(),
+            started: false,
+            max_events_per_run: 200_000_000,
+        }
+    }
+
+    /// Add a node. The builder receives the id the node will have, so nodes
+    /// can store their own identity.
+    pub fn add_node<N, F>(&mut self, name: impl Into<String>, build: F) -> NodeId
+    where
+        N: Node<M>,
+        F: FnOnce(NodeId) -> N,
+    {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(build(id))));
+        self.node_names.push(name.into());
+        self.adjacency.push(Vec::new());
+        if self.started {
+            self.queue.push(self.now, EventBody::Start { node: id });
+        }
+        id
+    }
+
+    /// Connect two nodes with a link.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, latency: LatencyModel) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, a, b, latency));
+        self.adjacency[a.index()].push((id, b));
+        self.adjacency[b.index()].push((id, a));
+        id
+    }
+
+    /// Set the random per-message loss probability of a link.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss));
+        self.links[link.index()].loss = loss;
+    }
+
+    /// Administratively bring a link up or down right now.
+    pub fn set_link_admin(&mut self, link: LinkId, up: bool) {
+        self.schedule_link_admin(self.now, link, up);
+    }
+
+    /// Schedule a link state change at an absolute time.
+    pub fn schedule_link_admin(&mut self, at: SimTime, link: LinkId, up: bool) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, EventBody::LinkAdmin { link, up });
+    }
+
+    /// Deliver `msg` to `to` immediately, as driver input (the `link` seen by
+    /// the node is [`LinkId::CONTROL`]).
+    pub fn inject(&mut self, to: NodeId, msg: M) {
+        self.inject_at(self.now, to, msg);
+    }
+
+    /// Deliver `msg` to `to` at an absolute time, as driver input.
+    pub fn inject_at(&mut self, at: SimTime, to: NodeId, msg: M) {
+        assert!(at >= self.now, "cannot inject in the past");
+        self.queue.push(
+            at,
+            EventBody::Deliver {
+                link: LinkId::CONTROL,
+                from: to,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The display name given to a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.index()]
+    }
+
+    /// Immutable view of a link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Adjacent `(link, neighbor)` pairs of a node.
+    pub fn neighbors(&self, id: NodeId) -> &[(LinkId, NodeId)] {
+        &self.adjacency[id.index()]
+    }
+
+    /// The semantic activity board (measurement surface).
+    pub fn board(&self) -> &ActivityBoard {
+        &self.board
+    }
+
+    /// Reset activity accounting, typically between experiment phases.
+    pub fn reset_board(&mut self) {
+        self.board.reset();
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Trace buffer (enable categories before running).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
+    /// Trace buffer, read-only.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Fork an independent random substream (for topology builders etc.).
+    pub fn fork_rng(&mut self, stream: u64) -> SimRng {
+        self.rng.fork(stream)
+    }
+
+    /// Typed mutable access to a node between events, e.g. to reconfigure it
+    /// or inspect its RIB. Panics if `T` is not the node's concrete type.
+    pub fn with_node<T: 'static, R>(&mut self, id: NodeId, f: impl FnOnce(&mut T) -> R) -> R {
+        let node = self.nodes[id.index()]
+            .as_mut()
+            .expect("node is being dispatched");
+        let t = node
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()));
+        f(t)
+    }
+
+    /// Typed shared access to a node.
+    pub fn node_ref<T: 'static>(&self, id: NodeId) -> &T {
+        self.nodes[id.index()]
+            .as_ref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} is not a {}", std::any::type_name::<T>()))
+    }
+
+    /// Schedule `on_start` for every node if not done yet. Called implicitly
+    /// by the `run_*` methods.
+    pub fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.queue.push(
+                self.now,
+                EventBody::Start {
+                    node: NodeId(i as u32),
+                },
+            );
+        }
+    }
+
+    /// Process a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        let ev = match self.queue.pop() {
+            Some(ev) => ev,
+            None => return false,
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.stats.events_processed += 1;
+        match ev.body {
+            EventBody::Start { node } => {
+                self.dispatch(node, |n, ctx| n.on_start(ctx));
+            }
+            EventBody::Deliver {
+                link,
+                from,
+                to,
+                msg,
+            } => {
+                if !link.is_control() && !self.links[link.index()].up {
+                    self.stats.msgs_dropped_link_down += 1;
+                    return true;
+                }
+                self.stats.msgs_delivered += 1;
+                self.stats.bytes_delivered += msg.wire_len() as u64;
+                self.dispatch(to, move |n, ctx| n.on_message(ctx, from, link, msg));
+            }
+            EventBody::Timer {
+                node,
+                token,
+                gen,
+                class: _,
+            } => {
+                let fire = match self.timer_gens.get_mut(&(node, token)) {
+                    Some((cur, armed)) if *cur == gen && *armed => {
+                        *armed = false;
+                        true
+                    }
+                    _ => false,
+                };
+                if fire {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+                } else {
+                    self.stats.timers_stale += 1;
+                }
+            }
+            EventBody::LinkAdmin { link, up } => {
+                let l = &mut self.links[link.index()];
+                if l.up == up {
+                    return true;
+                }
+                l.up = up;
+                let (a, b) = (l.a, l.b);
+                self.trace.record(
+                    self.now,
+                    None,
+                    TraceCategory::Link,
+                    format!("{link} {}", if up { "up" } else { "down" }),
+                );
+                self.dispatch(a, |n, ctx| n.on_link_change(ctx, link, up));
+                self.dispatch(b, |n, ctx| n.on_link_change(ctx, link, up));
+            }
+        }
+        true
+    }
+
+    /// Run until the queue empties or simulated time would pass `deadline`.
+    /// The clock is left at `deadline` (or later if an event landed exactly
+    /// on it) so successive calls compose.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        self.ensure_started();
+        let mut events = 0u64;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            events += 1;
+            if events >= self.max_events_per_run {
+                panic!(
+                    "run_until processed {events} events without reaching {deadline}: livelock?"
+                );
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        events
+    }
+
+    /// Run for a relative duration.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        let deadline = self.now + d;
+        self.run_until(deadline)
+    }
+
+    /// Run until only maintenance events (keepalives, periodic probes)
+    /// remain, or until `max` is reached.
+    pub fn run_until_quiescent(&mut self, max: SimTime) -> Quiescence {
+        self.ensure_started();
+        let mut events = 0u64;
+        loop {
+            if self.queue.only_maintenance() {
+                return Quiescence {
+                    quiescent: true,
+                    time: self.now,
+                    events,
+                };
+            }
+            let t = self.queue.peek_time().expect("progress events pending");
+            if t > max {
+                self.now = max;
+                return Quiescence {
+                    quiescent: false,
+                    time: self.now,
+                    events,
+                };
+            }
+            self.step();
+            events += 1;
+            if events >= self.max_events_per_run {
+                return Quiescence {
+                    quiescent: false,
+                    time: self.now,
+                    events,
+                };
+            }
+        }
+    }
+
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>),
+    {
+        let mut node = self.nodes[id.index()]
+            .take()
+            .unwrap_or_else(|| panic!("re-entrant dispatch on node {id}"));
+        let mut ctx = Ctx {
+            now: self.now,
+            me: id,
+            rng: &mut self.rng,
+            links: &self.links,
+            adjacency: &self.adjacency,
+            trace_enabled: &self.trace,
+            actions: Vec::new(),
+        };
+        f(node.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        self.nodes[id.index()] = Some(node);
+        self.apply_actions(id, actions);
+    }
+
+    fn apply_actions(&mut self, id: NodeId, actions: Vec<Action<M>>) {
+        for act in actions {
+            match act {
+                Action::Send { link, msg } => {
+                    assert!(!link.is_control(), "cannot send on the control sentinel");
+                    let l = &mut self.links[link.index()];
+                    debug_assert!(l.touches(id), "{id} sent on non-adjacent {link}");
+                    if !l.up {
+                        self.stats.msgs_dropped_link_down += 1;
+                        continue;
+                    }
+                    if l.loss > 0.0 && self.rng.chance(l.loss) {
+                        self.stats.msgs_dropped_loss += 1;
+                        continue;
+                    }
+                    let to = l.other(id);
+                    let delay = l.latency.sample(&mut self.rng, msg.wire_len());
+                    let dir = l.dir(id);
+                    // FIFO per direction: never deliver before an earlier send.
+                    let mut at = self.now + delay;
+                    let floor = l.last_arrival[dir] + SimDuration::from_nanos(1);
+                    if at < floor {
+                        at = floor;
+                    }
+                    l.last_arrival[dir] = at;
+                    self.queue.push(
+                        at,
+                        EventBody::Deliver {
+                            link,
+                            from: id,
+                            to,
+                            msg,
+                        },
+                    );
+                }
+                Action::SetTimerAt { at, token, class } => {
+                    let entry = self.timer_gens.entry((id, token)).or_insert((0, false));
+                    entry.0 += 1;
+                    entry.1 = true;
+                    let at = at.max(self.now);
+                    self.queue.push(
+                        at,
+                        EventBody::Timer {
+                            node: id,
+                            token,
+                            class,
+                            gen: entry.0,
+                        },
+                    );
+                }
+                Action::CancelTimer { token } => {
+                    if let Some(entry) = self.timer_gens.get_mut(&(id, token)) {
+                        entry.0 += 1;
+                        entry.1 = false;
+                    }
+                }
+                Action::Report(kind) => {
+                    self.board.report(self.now, kind);
+                }
+                Action::Trace { category, detail } => {
+                    self.trace.record(self.now, Some(id), category, detail);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    enum TestMsg {
+        Ping(u32),
+        Pong(u32),
+    }
+    impl Message for TestMsg {
+        fn wire_len(&self) -> usize {
+            16
+        }
+    }
+
+    /// Sends `Ping(i)` for i in 0..count on start; counts pongs.
+    struct Pinger {
+        count: u32,
+        pongs: Vec<u32>,
+        link: Option<LinkId>,
+    }
+    impl Node<TestMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            let link = ctx.neighbors()[0].0;
+            self.link = Some(link);
+            for i in 0..self.count {
+                ctx.send(link, TestMsg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, _l: LinkId, m: TestMsg) {
+            if let TestMsg::Pong(i) = m {
+                self.pongs.push(i);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Replies Pong(i) to every Ping(i).
+    struct Ponger;
+    impl Node<TestMsg> for Ponger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, _f: NodeId, l: LinkId, m: TestMsg) {
+            if let TestMsg::Ping(i) = m {
+                ctx.send(l, TestMsg::Pong(i));
+                ctx.report(Activity::RibChange);
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn build(seed: u64, jitter_ms: u64, count: u32) -> (Simulator<TestMsg>, NodeId, LinkId) {
+        let mut sim = Simulator::new(seed);
+        let a = sim.add_node("pinger", |_| Pinger {
+            count,
+            pongs: vec![],
+            link: None,
+        });
+        let b = sim.add_node("ponger", |_| Ponger);
+        let lat = if jitter_ms == 0 {
+            LatencyModel::Fixed(SimDuration::from_millis(5))
+        } else {
+            LatencyModel::Jittered {
+                base: SimDuration::from_millis(5),
+                jitter: SimDuration::from_millis(jitter_ms),
+            }
+        };
+        let l = sim.add_link(a, b, lat);
+        (sim, a, l)
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let (mut sim, a, _) = build(1, 0, 3);
+        let q = sim.run_until_quiescent(SimTime::from_secs(10));
+        assert!(q.quiescent);
+        sim.with_node::<Pinger, _>(a, |p| {
+            assert_eq!(p.pongs, vec![0, 1, 2]);
+        });
+        assert_eq!(sim.stats().msgs_delivered, 6);
+        assert_eq!(sim.board().count(Activity::RibChange), 3);
+        // 5ms out + 5ms back (plus FIFO nudges measured in ns)
+        assert!(q.time >= SimTime::from_millis(10));
+        assert!(q.time < SimTime::from_millis(11));
+    }
+
+    #[test]
+    fn fifo_holds_under_jitter() {
+        // Large jitter would reorder messages; FIFO clamping must prevent it.
+        let (mut sim, a, _) = build(7, 50, 20);
+        sim.run_until_quiescent(SimTime::from_secs(10));
+        sim.with_node::<Pinger, _>(a, |p| {
+            assert_eq!(p.pongs, (0..20).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let (mut s1, _, _) = build(42, 10, 10);
+        let (mut s2, _, _) = build(42, 10, 10);
+        let q1 = s1.run_until_quiescent(SimTime::from_secs(10));
+        let q2 = s2.run_until_quiescent(SimTime::from_secs(10));
+        assert_eq!(q1.time, q2.time);
+        assert_eq!(s1.stats().events_processed, s2.stats().events_processed);
+    }
+
+    #[test]
+    fn different_seed_different_timing() {
+        let (mut s1, _, _) = build(1, 40, 10);
+        let (mut s2, _, _) = build(2, 40, 10);
+        let q1 = s1.run_until_quiescent(SimTime::from_secs(10));
+        let q2 = s2.run_until_quiescent(SimTime::from_secs(10));
+        assert_ne!(q1.time, q2.time);
+    }
+
+    #[test]
+    fn link_down_drops_messages() {
+        let (mut sim, a, l) = build(3, 0, 5);
+        sim.set_link_admin(l, false);
+        let q = sim.run_until_quiescent(SimTime::from_secs(5));
+        assert!(q.quiescent);
+        sim.with_node::<Pinger, _>(a, |p| assert!(p.pongs.is_empty()));
+        assert_eq!(sim.stats().msgs_dropped_link_down, 5);
+    }
+
+    #[test]
+    fn in_flight_messages_lost_on_failure() {
+        let (mut sim, a, l) = build(3, 0, 5);
+        // Fail the link 1ms in: pings (sent at t=0, arriving t=5ms) die mid-flight.
+        sim.schedule_link_admin(SimTime::from_millis(1), l, false);
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        sim.with_node::<Pinger, _>(a, |p| assert!(p.pongs.is_empty()));
+        assert_eq!(sim.stats().msgs_dropped_link_down, 5);
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let (mut sim, a, l) = build(5, 0, 200);
+        sim.set_link_loss(l, 0.5);
+        sim.run_until_quiescent(SimTime::from_secs(30));
+        sim.with_node::<Pinger, _>(a, |p| {
+            assert!(p.pongs.len() < 150, "got {}", p.pongs.len());
+            assert!(!p.pongs.is_empty());
+        });
+        assert!(sim.stats().msgs_dropped_loss > 50);
+    }
+
+    /// Node with one self-rearming maintenance timer and one progress timer.
+    struct TimerNode {
+        fired: Vec<&'static str>,
+    }
+    const KEEPALIVE: TimerToken = TimerToken(1);
+    const WORK: TimerToken = TimerToken(2);
+    impl Node<TestMsg> for TimerNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            ctx.set_timer(
+                SimDuration::from_secs(1),
+                KEEPALIVE,
+                TimerClass::Maintenance,
+            );
+            ctx.set_timer(SimDuration::from_secs(3), WORK, TimerClass::Progress);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, _: LinkId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, token: TimerToken) {
+            if token == KEEPALIVE {
+                self.fired.push("ka");
+                ctx.set_timer(
+                    SimDuration::from_secs(1),
+                    KEEPALIVE,
+                    TimerClass::Maintenance,
+                );
+            } else {
+                self.fired.push("work");
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn quiescence_ignores_maintenance_timers() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        let n = sim.add_node("t", |_| TimerNode { fired: vec![] });
+        let q = sim.run_until_quiescent(SimTime::from_secs(100));
+        assert!(q.quiescent);
+        // Stops right after the WORK timer at t=3s even though keepalives
+        // would fire forever.
+        assert_eq!(q.time, SimTime::from_secs(3));
+        sim.with_node::<TimerNode, _>(n, |t| {
+            assert!(t.fired.contains(&"work"));
+        });
+    }
+
+    /// Node that re-arms and cancels timers to exercise generation tracking.
+    struct RearmNode {
+        fired: u32,
+    }
+    impl Node<TestMsg> for RearmNode {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+            // Arm, then immediately re-arm later: only the second may fire.
+            ctx.set_timer(SimDuration::from_secs(1), WORK, TimerClass::Progress);
+            ctx.set_timer(SimDuration::from_secs(2), WORK, TimerClass::Progress);
+            // Arm and cancel: must never fire.
+            ctx.set_timer(SimDuration::from_secs(1), KEEPALIVE, TimerClass::Progress);
+            ctx.cancel_timer(KEEPALIVE);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, _: LinkId, _: TestMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, _token: TimerToken) {
+            self.fired += 1;
+            assert_eq!(ctx.now(), SimTime::from_secs(2));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timer_rearm_and_cancel() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        let n = sim.add_node("r", |_| RearmNode { fired: 0 });
+        let q = sim.run_until_quiescent(SimTime::from_secs(10));
+        assert!(q.quiescent);
+        sim.with_node::<RearmNode, _>(n, |r| assert_eq!(r.fired, 1));
+        assert_eq!(sim.stats().timers_fired, 1);
+        assert_eq!(sim.stats().timers_stale, 2);
+    }
+
+    #[test]
+    fn inject_delivers_on_control_link() {
+        struct Sink {
+            got: Vec<(LinkId, u32)>,
+        }
+        impl Node<TestMsg> for Sink {
+            fn on_message(&mut self, _: &mut Ctx<'_, TestMsg>, _: NodeId, l: LinkId, m: TestMsg) {
+                if let TestMsg::Ping(i) = m {
+                    self.got.push((l, i));
+                }
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        let n = sim.add_node("sink", |_| Sink { got: vec![] });
+        sim.inject(n, TestMsg::Ping(9));
+        sim.inject_at(SimTime::from_secs(1), n, TestMsg::Ping(10));
+        sim.run_until_quiescent(SimTime::from_secs(5));
+        sim.with_node::<Sink, _>(n, |s| {
+            assert_eq!(s.got, vec![(LinkId::CONTROL, 9), (LinkId::CONTROL, 10)]);
+        });
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn node_added_after_start_gets_on_start() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        sim.run_until(SimTime::from_secs(1));
+        let n = sim.add_node("late", |_| TimerNode { fired: vec![] });
+        sim.run_until_quiescent(SimTime::from_secs(100));
+        sim.with_node::<TimerNode, _>(n, |t| assert!(t.fired.contains(&"work")));
+    }
+
+    #[test]
+    fn names_and_counts() {
+        let (sim, _, _) = build(1, 0, 1);
+        assert_eq!(sim.node_count(), 2);
+        assert_eq!(sim.link_count(), 1);
+        assert_eq!(sim.node_name(NodeId(0)), "pinger");
+        assert_eq!(sim.neighbors(NodeId(0)).len(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! Event tracing.
+//!
+//! The trace is the framework's equivalent of the paper's Quagga/collector
+//! log files: a time-ordered record of interesting events, filterable by
+//! category, from which the analysis tools (convergence measurement, route
+//! change visualization) work. Tracing is off by default; experiments enable
+//! the categories they need.
+
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// Category of a trace record, used for enable/disable filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Message sends and deliveries.
+    Msg,
+    /// Timer arming and firing.
+    Timer,
+    /// Link state changes.
+    Link,
+    /// Routing decisions (best path changes, RIB operations).
+    Route,
+    /// Flow table operations.
+    Flow,
+    /// BGP session lifecycle.
+    Session,
+    /// Experiment lifecycle markers (scenario steps, phase boundaries).
+    Experiment,
+}
+
+impl TraceCategory {
+    const COUNT: usize = 7;
+
+    fn bit(self) -> u8 {
+        match self {
+            TraceCategory::Msg => 1 << 0,
+            TraceCategory::Timer => 1 << 1,
+            TraceCategory::Link => 1 << 2,
+            TraceCategory::Route => 1 << 3,
+            TraceCategory::Flow => 1 << 4,
+            TraceCategory::Session => 1 << 5,
+            TraceCategory::Experiment => 1 << 6,
+        }
+    }
+
+    /// All categories, for "enable everything".
+    pub fn all() -> [TraceCategory; Self::COUNT] {
+        [
+            TraceCategory::Msg,
+            TraceCategory::Timer,
+            TraceCategory::Link,
+            TraceCategory::Route,
+            TraceCategory::Flow,
+            TraceCategory::Session,
+            TraceCategory::Experiment,
+        ]
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceCategory::Msg => "msg",
+            TraceCategory::Timer => "timer",
+            TraceCategory::Link => "link",
+            TraceCategory::Route => "route",
+            TraceCategory::Flow => "flow",
+            TraceCategory::Session => "session",
+            TraceCategory::Experiment => "exp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace entry.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Node the event is attributed to, if any.
+    pub node: Option<NodeId>,
+    /// Filter category.
+    pub category: TraceCategory,
+    /// Human-readable payload.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "[{} {} {}] {}", self.time, self.category, n, self.detail),
+            None => write!(f, "[{} {}] {}", self.time, self.category, self.detail),
+        }
+    }
+}
+
+/// A bounded, category-filtered trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    mask: u8,
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(1_000_000)
+    }
+}
+
+impl Trace {
+    /// Create a trace buffer that keeps at most `capacity` records; further
+    /// records are counted but discarded.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            mask: 0,
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Enable recording of a category.
+    pub fn enable(&mut self, cat: TraceCategory) {
+        self.mask |= cat.bit();
+    }
+
+    /// Enable every category.
+    pub fn enable_all(&mut self) {
+        for c in TraceCategory::all() {
+            self.enable(c);
+        }
+    }
+
+    /// Disable recording of a category.
+    pub fn disable(&mut self, cat: TraceCategory) {
+        self.mask &= !cat.bit();
+    }
+
+    /// True when `cat` is currently recorded.
+    pub fn is_enabled(&self, cat: TraceCategory) -> bool {
+        self.mask & cat.bit() != 0
+    }
+
+    /// Append a record if its category is enabled and capacity remains.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        node: Option<NodeId>,
+        category: TraceCategory,
+        detail: String,
+    ) {
+        if !self.is_enabled(category) {
+            return;
+        }
+        if self.records.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.records.push(TraceRecord {
+            time,
+            node,
+            category,
+            detail,
+        });
+    }
+
+    /// All retained records in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records of one category.
+    pub fn by_category(&self, cat: TraceCategory) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.category == cat)
+    }
+
+    /// Records attributed to one node.
+    pub fn by_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter().filter(move |r| r.node == Some(node))
+    }
+
+    /// How many records were discarded after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drop all retained records (filter mask is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_categories_are_not_recorded() {
+        let mut t = Trace::new(10);
+        t.record(SimTime::ZERO, None, TraceCategory::Msg, "x".into());
+        assert!(t.records().is_empty());
+        t.enable(TraceCategory::Msg);
+        t.record(SimTime::ZERO, None, TraceCategory::Msg, "y".into());
+        t.record(SimTime::ZERO, None, TraceCategory::Route, "z".into());
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].detail, "y");
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        let mut t = Trace::new(2);
+        t.enable_all();
+        for i in 0..5 {
+            t.record(SimTime::ZERO, None, TraceCategory::Link, format!("{i}"));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        t.clear();
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn filters_by_node_and_category() {
+        let mut t = Trace::new(10);
+        t.enable_all();
+        t.record(
+            SimTime::ZERO,
+            Some(NodeId(1)),
+            TraceCategory::Route,
+            "a".into(),
+        );
+        t.record(
+            SimTime::ZERO,
+            Some(NodeId(2)),
+            TraceCategory::Route,
+            "b".into(),
+        );
+        t.record(
+            SimTime::ZERO,
+            Some(NodeId(1)),
+            TraceCategory::Flow,
+            "c".into(),
+        );
+        assert_eq!(t.by_node(NodeId(1)).count(), 2);
+        assert_eq!(t.by_category(TraceCategory::Route).count(), 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = TraceRecord {
+            time: SimTime::from_secs(1),
+            node: Some(NodeId(4)),
+            category: TraceCategory::Session,
+            detail: "established".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("session"), "{s}");
+        assert!(s.contains("n4"), "{s}");
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let mut t = Trace::new(1);
+        t.enable(TraceCategory::Timer);
+        assert!(t.is_enabled(TraceCategory::Timer));
+        t.disable(TraceCategory::Timer);
+        assert!(!t.is_enabled(TraceCategory::Timer));
+    }
+}

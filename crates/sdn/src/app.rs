@@ -1,0 +1,194 @@
+//! Glue between the SDN components and the simulator's message type,
+//! plus the structured speaker↔controller API.
+//!
+//! The cluster BGP speaker exposes the controller-facing API that ExaBGP
+//! provides in the paper's framework: session lifecycle events and decoded
+//! route updates flow up ([`SpeakerEvent`]); announce/withdraw instructions
+//! flow down ([`SpeakerCmd`]).
+
+use std::net::Ipv4Addr;
+
+use bgpsdn_bgp::{Asn, Prefix, UpdateMsg};
+use bgpsdn_netsim::Message;
+
+use crate::openflow::OfEnvelope;
+
+/// Upward API: what the speaker tells the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpeakerEvent {
+    /// An alias session reached Established.
+    SessionUp {
+        /// Speaker-local session index.
+        session: usize,
+        /// The external peer's ASN (from its OPEN).
+        peer_asn: Asn,
+    },
+    /// An alias session closed.
+    SessionDown {
+        /// Speaker-local session index.
+        session: usize,
+    },
+    /// A decoded UPDATE arrived on a session.
+    Update {
+        /// Speaker-local session index.
+        session: usize,
+        /// The decoded message.
+        update: UpdateMsg,
+    },
+}
+
+/// Downward API: what the controller tells the speaker to say.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpeakerCmd {
+    /// Announce `prefix` on `session` with the given AS path (the egress
+    /// member's ASN must already be prepended — cluster members keep their
+    /// AS identity toward the legacy world).
+    Announce {
+        /// Speaker-local session index.
+        session: usize,
+        /// Prefix to advertise.
+        prefix: Prefix,
+        /// Full AS path to send.
+        as_path: Vec<Asn>,
+        /// Optional MED.
+        med: Option<u32>,
+    },
+    /// Withdraw `prefix` on `session`.
+    Withdraw {
+        /// Speaker-local session index.
+        session: usize,
+        /// Prefix to withdraw.
+        prefix: Prefix,
+    },
+}
+
+/// Implemented by the application's simulator message enum so SDN nodes
+/// (switches, speaker, controller) can speak over it.
+pub trait SdnApp: Message {
+    /// Wrap an encoded OpenFlow message.
+    fn from_of(env: OfEnvelope) -> Self;
+    /// Unwrap an encoded OpenFlow message.
+    fn as_of(&self) -> Option<&OfEnvelope>;
+    /// Wrap a speaker event.
+    fn from_speaker_event(e: SpeakerEvent) -> Self;
+    /// Unwrap a speaker event.
+    fn as_speaker_event(&self) -> Option<&SpeakerEvent>;
+    /// Wrap a speaker command.
+    fn from_speaker_cmd(c: SpeakerCmd) -> Self;
+    /// Unwrap a speaker command.
+    fn as_speaker_cmd(&self) -> Option<&SpeakerCmd>;
+}
+
+/// Alias address derivation: the IP the speaker answers with when speaking
+/// *as* a cluster member (used as NEXT_HOP toward external peers so the
+/// legacy data plane points at the member switch).
+pub fn alias_next_hop(member_router_ip: Ipv4Addr) -> Ipv4Addr {
+    member_router_ip
+}
+
+/// The complete hybrid-experiment message type: everything that can cross a
+/// link in a BGP+SDN emulation. This is the message type the framework crate
+/// instantiates the simulator with.
+#[derive(Debug, Clone)]
+pub enum ClusterMsg {
+    /// BGP wire traffic.
+    Bgp(bgpsdn_bgp::BgpEnvelope),
+    /// Experiment-driver command to a router.
+    Command(bgpsdn_bgp::RouterCommand),
+    /// Data-plane packet.
+    Data(bgpsdn_netsim::DataPacket),
+    /// OpenFlow control-channel traffic.
+    Of(OfEnvelope),
+    /// Speaker → controller event.
+    SpeakerEvent(SpeakerEvent),
+    /// Controller → speaker command.
+    SpeakerCmd(SpeakerCmd),
+}
+
+impl Message for ClusterMsg {
+    fn wire_len(&self) -> usize {
+        match self {
+            ClusterMsg::Bgp(env) => env.wire_len(),
+            ClusterMsg::Command(_) => 0,
+            ClusterMsg::Data(p) => p.wire_len(),
+            ClusterMsg::Of(env) => env.wire_len(),
+            // The speaker/controller API rides a local channel; model a
+            // small JSON-ish message like ExaBGP's API lines.
+            ClusterMsg::SpeakerEvent(_) | ClusterMsg::SpeakerCmd(_) => 128,
+        }
+    }
+}
+
+impl bgpsdn_netsim::DataApp for ClusterMsg {
+    fn from_data(p: bgpsdn_netsim::DataPacket) -> Self {
+        ClusterMsg::Data(p)
+    }
+    fn as_data(&self) -> Option<&bgpsdn_netsim::DataPacket> {
+        match self {
+            ClusterMsg::Data(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl bgpsdn_bgp::BgpApp for ClusterMsg {
+    fn from_bgp(env: bgpsdn_bgp::BgpEnvelope) -> Self {
+        ClusterMsg::Bgp(env)
+    }
+    fn as_bgp(&self) -> Option<&bgpsdn_bgp::BgpEnvelope> {
+        match self {
+            ClusterMsg::Bgp(env) => Some(env),
+            _ => None,
+        }
+    }
+    fn from_command(cmd: bgpsdn_bgp::RouterCommand) -> Self {
+        ClusterMsg::Command(cmd)
+    }
+    fn as_command(&self) -> Option<&bgpsdn_bgp::RouterCommand> {
+        match self {
+            ClusterMsg::Command(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl SdnApp for ClusterMsg {
+    fn from_of(env: OfEnvelope) -> Self {
+        ClusterMsg::Of(env)
+    }
+    fn as_of(&self) -> Option<&OfEnvelope> {
+        match self {
+            ClusterMsg::Of(env) => Some(env),
+            _ => None,
+        }
+    }
+    fn from_speaker_event(e: SpeakerEvent) -> Self {
+        ClusterMsg::SpeakerEvent(e)
+    }
+    fn as_speaker_event(&self) -> Option<&SpeakerEvent> {
+        match self {
+            ClusterMsg::SpeakerEvent(e) => Some(e),
+            _ => None,
+        }
+    }
+    fn from_speaker_cmd(c: SpeakerCmd) -> Self {
+        ClusterMsg::SpeakerCmd(c)
+    }
+    fn as_speaker_cmd(&self) -> Option<&SpeakerCmd> {
+        match self {
+            ClusterMsg::SpeakerCmd(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_next_hop_is_identity() {
+        let ip = Ipv4Addr::new(10, 3, 0, 1);
+        assert_eq!(alias_next_hop(ip), ip);
+    }
+}

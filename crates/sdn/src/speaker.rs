@@ -1,0 +1,350 @@
+//! The cluster BGP speaker (the framework's ExaBGP replacement).
+//!
+//! One speaker terminates every eBGP session between the cluster and the
+//! legacy world. Each session is an *alias session*: the speaker answers as
+//! the cluster member AS (same ASN, same router identity), so "the cluster
+//! network is transparent to the legacy BGP world" and "ASes within the
+//! cluster maintain their AS identity". Messages reach external routers by
+//! relay over the member's border switch.
+//!
+//! Toward the controller the speaker exposes the structured API
+//! ([`SpeakerEvent`]/[`SpeakerCmd`]) that ExaBGP's JSON pipe provides in the
+//! paper's stack: decoded updates and session lifecycle up, announce /
+//! withdraw instructions down. The speaker itself makes no routing
+//! decisions and applies no MRAI — rate limiting is the controller's job
+//! (its delayed recomputation).
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use bgpsdn_bgp::{
+    Asn, BgpApp, BgpEnvelope, BgpMessage, PathAttributes, Prefix, RouterId, SessionEvent,
+    SessionHandshake, UpdateMsg,
+};
+use bgpsdn_netsim::{
+    Activity, Ctx, LinkId, Node, NodeId, SimDuration, TimerClass, TimerToken, TraceCategory,
+};
+
+use crate::app::{SdnApp, SpeakerCmd, SpeakerEvent};
+
+const K_CONNECT: u64 = 1 << 56;
+
+/// Configuration of one alias session.
+#[derive(Debug, Clone)]
+pub struct AliasSessionConfig {
+    /// The cluster member the speaker impersonates (its switch's node id).
+    pub alias: NodeId,
+    /// The member's ASN (kept toward the legacy world).
+    pub alias_asn: Asn,
+    /// The member's BGP identifier.
+    pub alias_router_id: RouterId,
+    /// NEXT_HOP announced for cluster routes: the member's address, so the
+    /// legacy data plane forwards into the cluster at that border.
+    pub alias_next_hop: Ipv4Addr,
+    /// The external BGP router at the far end.
+    pub ext_peer: NodeId,
+    /// Its expected ASN.
+    pub remote_asn: Asn,
+    /// The speaker→border-switch relay link this session rides.
+    pub via_link: LinkId,
+}
+
+/// Speaker counters.
+#[derive(Debug, Clone, Default)]
+pub struct SpeakerStats {
+    /// Decoded UPDATEs relayed up to the controller.
+    pub updates_in: u64,
+    /// UPDATEs sent on behalf of cluster members.
+    pub updates_out: u64,
+    /// Alias sessions currently established.
+    pub sessions_up: usize,
+    /// Envelope decode failures.
+    pub decode_errors: u64,
+    /// Duplicate announcements suppressed.
+    pub dup_suppressed: u64,
+}
+
+struct SessionRuntime {
+    cfg: AliasSessionConfig,
+    handshake: SessionHandshake,
+    /// What the controller last announced here, for dedup.
+    advertised: BTreeMap<Prefix, (Vec<Asn>, Option<u32>)>,
+    retries: u32,
+}
+
+/// The cluster BGP speaker node.
+pub struct ClusterSpeaker<M> {
+    id: NodeId,
+    controller_link: Option<LinkId>,
+    sessions: Vec<SessionRuntime>,
+    by_endpoint: HashMap<(NodeId, NodeId), usize>,
+    stats: SpeakerStats,
+    _m: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
+    /// New speaker with no sessions.
+    pub fn new(id: NodeId) -> Self {
+        ClusterSpeaker {
+            id,
+            controller_link: None,
+            sessions: Vec::new(),
+            by_endpoint: HashMap::new(),
+            stats: SpeakerStats::default(),
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// Attach the controller channel.
+    pub fn set_controller_link(&mut self, link: LinkId) {
+        self.controller_link = Some(link);
+    }
+
+    /// Register an alias session (before the simulation starts). Returns its
+    /// speaker-local index, which the controller uses in commands.
+    pub fn add_session(&mut self, cfg: AliasSessionConfig) -> usize {
+        let idx = self.sessions.len();
+        let dup = self.by_endpoint.insert((cfg.alias, cfg.ext_peer), idx);
+        assert!(dup.is_none(), "duplicate alias session");
+        let handshake = SessionHandshake::new(
+            cfg.alias_asn,
+            cfg.alias_router_id,
+            0, // hold disabled: liveness comes from link state via the switch
+            Some(cfg.remote_asn),
+        );
+        self.sessions.push(SessionRuntime {
+            cfg,
+            handshake,
+            advertised: BTreeMap::new(),
+            retries: 0,
+        });
+        idx
+    }
+
+    /// Number of registered sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// This speaker's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SpeakerStats {
+        &self.stats
+    }
+
+    /// Is session `idx` established?
+    pub fn session_established(&self, idx: usize) -> bool {
+        self.sessions[idx].handshake.is_established()
+    }
+
+    /// The configuration of session `idx`.
+    pub fn session_config(&self, idx: usize) -> &AliasSessionConfig {
+        &self.sessions[idx].cfg
+    }
+
+    fn send_bgp(&mut self, ctx: &mut Ctx<'_, M>, idx: usize, msg: &BgpMessage) {
+        let s = &self.sessions[idx];
+        if matches!(msg, BgpMessage::Update(_)) {
+            self.stats.updates_out += 1;
+            ctx.report(Activity::UpdateSent);
+        }
+        ctx.trace(TraceCategory::Msg, || {
+            format!("alias {} -> {} {}", s.cfg.alias, s.cfg.ext_peer, msg)
+        });
+        let env = BgpEnvelope::new(s.cfg.alias, s.cfg.ext_peer, msg);
+        ctx.send(s.cfg.via_link, M::from_bgp(env));
+    }
+
+    fn notify_controller(&mut self, ctx: &mut Ctx<'_, M>, ev: SpeakerEvent) {
+        if let Some(link) = self.controller_link {
+            ctx.send(link, M::from_speaker_event(ev));
+        }
+    }
+
+    fn handle_bgp(&mut self, ctx: &mut Ctx<'_, M>, env: &BgpEnvelope) {
+        let idx = match self.by_endpoint.get(&(env.dst, env.src)) {
+            Some(&i) => i,
+            None => return, // not one of our sessions
+        };
+        let msg = match env.decode() {
+            Ok(m) => m,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                ctx.trace(TraceCategory::Session, || format!("decode error: {e}"));
+                return;
+            }
+        };
+        if let BgpMessage::Update(upd) = &msg {
+            if self.sessions[idx].handshake.is_established() {
+                self.stats.updates_in += 1;
+                ctx.report(Activity::UpdateReceived);
+                self.notify_controller(
+                    ctx,
+                    SpeakerEvent::Update {
+                        session: idx,
+                        update: upd.clone(),
+                    },
+                );
+                return;
+            }
+        }
+        let (to_send, event) = self.sessions[idx].handshake.on_message(&msg);
+        for m in to_send {
+            self.send_bgp(ctx, idx, &m);
+        }
+        match event {
+            Some(SessionEvent::Established(open)) => {
+                self.stats.sessions_up += 1;
+                self.sessions[idx].retries = 0;
+                ctx.report(Activity::SessionUp);
+                ctx.trace(TraceCategory::Session, || {
+                    format!("alias session {idx} established")
+                });
+                self.notify_controller(
+                    ctx,
+                    SpeakerEvent::SessionUp {
+                        session: idx,
+                        peer_asn: open.asn,
+                    },
+                );
+            }
+            Some(SessionEvent::Closed(_)) => {
+                self.session_down(ctx, idx, true);
+            }
+            None => {}
+        }
+    }
+
+    fn session_down(&mut self, ctx: &mut Ctx<'_, M>, idx: usize, retry: bool) {
+        self.stats.sessions_up = self.stats.sessions_up.saturating_sub(1);
+        self.sessions[idx].handshake.reset();
+        self.sessions[idx].advertised.clear();
+        ctx.report(Activity::SessionDown);
+        self.notify_controller(ctx, SpeakerEvent::SessionDown { session: idx });
+        if retry && self.sessions[idx].retries < 5 {
+            self.sessions[idx].retries += 1;
+            let delay = ctx
+                .rng()
+                .jittered(SimDuration::from_secs(1), 0.75, 1.0)
+                .saturating_mul(1 << (self.sessions[idx].retries - 1).min(4));
+            ctx.set_timer(
+                delay,
+                TimerToken(K_CONNECT | idx as u64),
+                TimerClass::Progress,
+            );
+        }
+    }
+
+    fn handle_cmd(&mut self, ctx: &mut Ctx<'_, M>, cmd: &SpeakerCmd) {
+        match cmd {
+            SpeakerCmd::Announce {
+                session,
+                prefix,
+                as_path,
+                med,
+            } => {
+                let s = &mut self.sessions[*session];
+                if !s.handshake.is_established() {
+                    return;
+                }
+                let key = (as_path.clone(), *med);
+                if s.advertised.get(prefix) == Some(&key) {
+                    self.stats.dup_suppressed += 1;
+                    return;
+                }
+                s.advertised.insert(*prefix, key);
+                let mut attrs = PathAttributes::originate(s.cfg.alias_next_hop);
+                attrs.as_path = bgpsdn_bgp::AsPath::from_seq(as_path.iter().map(|a| a.0));
+                attrs.med = *med;
+                let msg = BgpMessage::Update(UpdateMsg::announce(vec![*prefix], attrs));
+                self.send_bgp(ctx, *session, &msg);
+            }
+            SpeakerCmd::Withdraw { session, prefix } => {
+                let s = &mut self.sessions[*session];
+                if !s.handshake.is_established() {
+                    return;
+                }
+                if s.advertised.remove(prefix).is_none() {
+                    return; // never announced here
+                }
+                let msg = BgpMessage::Update(UpdateMsg::withdraw(vec![*prefix]));
+                self.send_bgp(ctx, *session, &msg);
+            }
+        }
+    }
+}
+
+impl<M: SdnApp + BgpApp> Node<M> for ClusterSpeaker<M> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        for idx in 0..self.sessions.len() {
+            let delay = ctx
+                .rng()
+                .duration_between(SimDuration::ZERO, SimDuration::from_millis(100));
+            ctx.set_timer(
+                delay,
+                TimerToken(K_CONNECT | idx as u64),
+                TimerClass::Progress,
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, _link: LinkId, msg: M) {
+        if let Some(env) = msg.as_bgp() {
+            let env = env.clone();
+            self.handle_bgp(ctx, &env);
+            return;
+        }
+        if let Some(cmd) = msg.as_speaker_cmd() {
+            let cmd = cmd.clone();
+            self.handle_cmd(ctx, &cmd);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: TimerToken) {
+        let idx = (token.0 & !(0xFFu64 << 56)) as usize;
+        if self.sessions[idx].handshake.state() == bgpsdn_bgp::SessionState::Idle {
+            let msgs = self.sessions[idx].handshake.start();
+            for m in msgs {
+                self.send_bgp(ctx, idx, &m);
+            }
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
+        // A relay link failing kills every session riding it.
+        let affected: Vec<usize> = self
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.cfg.via_link == link)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in affected {
+            if up {
+                self.sessions[idx].retries = 0;
+                let delay = ctx
+                    .rng()
+                    .duration_between(SimDuration::ZERO, SimDuration::from_millis(100));
+                ctx.set_timer(
+                    delay,
+                    TimerToken(K_CONNECT | idx as u64),
+                    TimerClass::Progress,
+                );
+            } else if self.sessions[idx].handshake.state() != bgpsdn_bgp::SessionState::Idle {
+                self.session_down(ctx, idx, false);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

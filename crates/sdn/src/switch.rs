@@ -1,0 +1,281 @@
+//! The SDN switch node.
+//!
+//! A cluster member AS is emulated by one switch (the paper's
+//! one-device-per-AS abstraction applies inside the cluster too). The switch
+//! does three jobs:
+//!
+//! 1. **Data plane**: forward [`DataPacket`](bgpsdn_netsim::DataPacket)s by flow-table lookup;
+//! 2. **Control channel**: obey FlowMod/PacketOut from the controller and
+//!    report Hello/PortStatus/PacketIn upward — as encoded OpenFlow bytes;
+//! 3. **Control-plane relay**: pass BGP envelopes between external routers
+//!    and the cluster BGP speaker using a static relay table ("for every BGP
+//!    peering there is a link from the cluster BGP speaker to the border SDN
+//!    switch, so as to relay control plane information over the switches").
+
+use std::collections::HashMap;
+
+use bgpsdn_bgp::BgpApp;
+use bgpsdn_netsim::{Activity, Ctx, LinkId, Node, NodeId, TraceCategory};
+
+use crate::app::SdnApp;
+use crate::flowtable::{FlowAction, FlowTable};
+use crate::openflow::{FlowModOp, OfEnvelope, OfMessage};
+
+/// Switch counters.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchStats {
+    /// Data packets forwarded by flow match.
+    pub packets_forwarded: u64,
+    /// Data packets dropped with no matching rule.
+    pub packets_no_match: u64,
+    /// Data packets punted to the controller.
+    pub packets_to_controller: u64,
+    /// Data packets dropped by an explicit Drop rule.
+    pub packets_dropped: u64,
+    /// Data packets dropped for TTL exhaustion.
+    pub packets_ttl_exceeded: u64,
+    /// Data packets delivered locally (destination inside this AS).
+    pub packets_delivered: u64,
+    /// Echo replies generated for locally delivered echo requests.
+    pub echo_replies: u64,
+    /// FlowMods applied.
+    pub flow_mods: u64,
+    /// BGP envelopes relayed.
+    pub relayed: u64,
+    /// BGP envelopes dropped for lack of a relay entry.
+    pub relay_misses: u64,
+    /// Control messages that failed to decode.
+    pub decode_errors: u64,
+}
+
+/// An OpenFlow switch standing in for a cluster member AS.
+pub struct SdnSwitch<M> {
+    id: NodeId,
+    datapath_id: u64,
+    controller_link: Option<LinkId>,
+    table: FlowTable,
+    relay: HashMap<NodeId, LinkId>,
+    stats: SwitchStats,
+    miss_to_controller: bool,
+    _m: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M: SdnApp + BgpApp> SdnSwitch<M> {
+    /// Build a switch. `datapath_id` identifies it on the control channel.
+    pub fn new(id: NodeId, datapath_id: u64) -> Self {
+        SdnSwitch {
+            id,
+            datapath_id,
+            controller_link: None,
+            table: FlowTable::new(),
+            relay: HashMap::new(),
+            stats: SwitchStats::default(),
+            miss_to_controller: false,
+            _m: std::marker::PhantomData,
+        }
+    }
+
+    /// Attach the controller channel (must be set before start).
+    pub fn set_controller_link(&mut self, link: LinkId) {
+        self.controller_link = Some(link);
+    }
+
+    /// Punt unmatched packets to the controller instead of dropping them.
+    pub fn set_miss_to_controller(&mut self, yes: bool) {
+        self.miss_to_controller = yes;
+    }
+
+    /// Install a control-plane relay entry: envelopes addressed to `dst`
+    /// leave through `out`.
+    pub fn add_relay(&mut self, dst: NodeId, out: LinkId) {
+        self.relay.insert(dst, out);
+    }
+
+    /// The flow table (for assertions and FIB audits).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &SwitchStats {
+        &self.stats
+    }
+
+    /// This switch's node id.
+    pub fn node_id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This switch's datapath id.
+    pub fn datapath_id(&self) -> u64 {
+        self.datapath_id
+    }
+
+    /// Where data for `dst` currently leaves this switch, if anywhere
+    /// (used by the offline connectivity walker).
+    pub fn next_hop_port(&self, dst: std::net::Ipv4Addr) -> Option<FlowAction> {
+        self.table.lookup(dst).map(|r| r.action)
+    }
+
+    fn send_to_controller(&mut self, ctx: &mut Ctx<'_, M>, msg: &OfMessage) {
+        if let Some(link) = self.controller_link {
+            ctx.send(link, M::from_of(OfEnvelope::new(msg)));
+        }
+    }
+
+    fn handle_of(&mut self, ctx: &mut Ctx<'_, M>, env: &OfEnvelope) {
+        let msg = match env.decode() {
+            Ok(m) => m,
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                ctx.trace(TraceCategory::Flow, || format!("of decode error: {e}"));
+                return;
+            }
+        };
+        match msg {
+            OfMessage::FlowMod { op, rule } => {
+                self.stats.flow_mods += 1;
+                let changed = match op {
+                    FlowModOp::Add => self.table.install(rule.clone()),
+                    FlowModOp::Delete => self.table.remove(rule.priority, rule.prefix),
+                };
+                if changed {
+                    ctx.report(Activity::FlowInstalled);
+                    ctx.report(Activity::FibChange);
+                    ctx.trace(TraceCategory::Flow, || {
+                        format!("flowmod {op:?} {} -> {:?}", rule.prefix, rule.action)
+                    });
+                }
+            }
+            OfMessage::PacketOut { out, packet } => {
+                ctx.send(LinkId(out), M::from_data(packet));
+            }
+            OfMessage::EchoRequest { xid } => {
+                self.send_to_controller(ctx, &OfMessage::EchoReply { xid });
+            }
+            OfMessage::FeaturesRequest => {
+                let ports: Vec<u32> = ctx.neighbors().iter().map(|(l, _)| l.0).collect();
+                let reply = OfMessage::FeaturesReply {
+                    datapath_id: self.datapath_id,
+                    ports,
+                };
+                self.send_to_controller(ctx, &reply);
+            }
+            OfMessage::BarrierRequest { xid } => {
+                self.send_to_controller(ctx, &OfMessage::BarrierReply { xid });
+            }
+            // Controller-bound messages arriving here are ignored.
+            OfMessage::Hello { .. }
+            | OfMessage::EchoReply { .. }
+            | OfMessage::FeaturesReply { .. }
+            | OfMessage::PacketIn { .. }
+            | OfMessage::PortStatus { .. }
+            | OfMessage::BarrierReply { .. } => {}
+        }
+    }
+
+    fn handle_data(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        pkt: bgpsdn_netsim::DataPacket,
+        ingress: LinkId,
+    ) {
+        match self.table.lookup(pkt.dst).map(|r| r.action) {
+            Some(FlowAction::Output(port)) => match pkt.decrement_ttl() {
+                Some(fwd) => {
+                    self.stats.packets_forwarded += 1;
+                    ctx.send(LinkId(port), M::from_data(fwd));
+                }
+                None => {
+                    self.stats.packets_ttl_exceeded += 1;
+                }
+            },
+            Some(FlowAction::ToController) => {
+                self.stats.packets_to_controller += 1;
+                let msg = OfMessage::PacketIn {
+                    ingress: ingress.0,
+                    packet: pkt,
+                };
+                self.send_to_controller(ctx, &msg);
+            }
+            Some(FlowAction::Drop) => {
+                self.stats.packets_dropped += 1;
+            }
+            Some(FlowAction::Local) => {
+                self.stats.packets_delivered += 1;
+                if pkt.kind == bgpsdn_netsim::PacketKind::EchoRequest {
+                    self.stats.echo_replies += 1;
+                    let reply = pkt.reply_to();
+                    // Route the reply through our own flow table.
+                    self.handle_data(ctx, reply, ingress);
+                }
+            }
+            None => {
+                if self.miss_to_controller {
+                    self.stats.packets_to_controller += 1;
+                    let msg = OfMessage::PacketIn {
+                        ingress: ingress.0,
+                        packet: pkt,
+                    };
+                    self.send_to_controller(ctx, &msg);
+                } else {
+                    self.stats.packets_no_match += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<M: SdnApp + BgpApp> Node<M> for SdnSwitch<M> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let hello = OfMessage::Hello {
+            datapath_id: self.datapath_id,
+        };
+        self.send_to_controller(ctx, &hello);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
+        // Control-plane relay: BGP envelopes pass through by destination.
+        if let Some(env) = msg.as_bgp() {
+            match self.relay.get(&env.dst) {
+                Some(&out) => {
+                    self.stats.relayed += 1;
+                    ctx.send(out, msg.clone());
+                }
+                None => {
+                    self.stats.relay_misses += 1;
+                    ctx.trace(TraceCategory::Msg, || {
+                        format!("relay miss for envelope to {}", env.dst)
+                    });
+                }
+            }
+            return;
+        }
+        // OF control traffic is accepted from the controller channel and
+        // from the driver-injection sentinel (tests and manual programming).
+        if Some(link) == self.controller_link || link.is_control() {
+            if let Some(env) = msg.as_of() {
+                let env = env.clone();
+                self.handle_of(ctx, &env);
+                return;
+            }
+        }
+        if let Some(pkt) = msg.as_data() {
+            let pkt = *pkt;
+            self.handle_data(ctx, pkt, link);
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
+        let msg = OfMessage::PortStatus { port: link.0, up };
+        self.send_to_controller(ctx, &msg);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,359 @@
+//! A small undirected graph library for topology work.
+//!
+//! Vertices are dense `usize` indices; parallel edges and self-loops are
+//! rejected. Provides the traversals and shortest-path machinery the
+//! framework needs: BFS, connected components, Dijkstra, eccentricity.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+/// An undirected graph with optional edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// adjacency[v] = (neighbor, edge index)
+    adj: Vec<Vec<(usize, usize)>>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Graph {
+    /// An empty graph with `n` vertices.
+    pub fn new(n: usize) -> Graph {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a new vertex, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add an undirected edge with weight 1. Returns its index.
+    /// Panics on self-loops, out-of-range vertices or duplicate edges.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> usize {
+        self.add_weighted_edge(a, b, 1.0)
+    }
+
+    /// Add an undirected weighted edge. Returns its index.
+    pub fn add_weighted_edge(&mut self, a: usize, b: usize, w: f64) -> usize {
+        assert!(a != b, "self-loop {a}");
+        assert!(
+            a < self.adj.len() && b < self.adj.len(),
+            "vertex out of range"
+        );
+        assert!(
+            !self.has_edge(a, b),
+            "duplicate edge {a}-{b} (parallel edges unsupported)"
+        );
+        assert!(w.is_finite() && w >= 0.0, "bad weight {w}");
+        let idx = self.edges.len();
+        self.edges.push((a, b, w));
+        self.adj[a].push((b, idx));
+        self.adj[b].push((a, idx));
+        idx
+    }
+
+    /// True when an edge `a`–`b` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].iter().any(|&(n, _)| n == b)
+    }
+
+    /// Neighbors of `v` with the connecting edge index, in insertion order.
+    pub fn neighbors(&self, v: usize) -> &[(usize, usize)] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// All edges as `(a, b, weight)` in insertion order.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Endpoints of edge `e`.
+    pub fn edge_endpoints(&self, e: usize) -> (usize, usize) {
+        let (a, b, _) = self.edges[e];
+        (a, b)
+    }
+
+    /// BFS hop distances from `src` (`None` = unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.adj.len()];
+        let mut q = VecDeque::new();
+        dist[src] = Some(0);
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            let d = dist[v].expect("queued implies visited");
+            for &(n, _) in &self.adj[v] {
+                if dist[n].is_none() {
+                    dist[n] = Some(d + 1);
+                    q.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected component id per vertex (ids dense from 0 in discovery
+    /// order) plus the number of components.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let mut comp = vec![usize::MAX; self.adj.len()];
+        let mut count = 0;
+        for start in 0..self.adj.len() {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut q = VecDeque::new();
+            comp[start] = count;
+            q.push_back(start);
+            while let Some(v) = q.pop_front() {
+                for &(n, _) in &self.adj[v] {
+                    if comp[n] == usize::MAX {
+                        comp[n] = count;
+                        q.push_back(n);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+
+    /// True when every vertex is reachable from every other (and the graph
+    /// is non-empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return false;
+        }
+        self.components().1 == 1
+    }
+
+    /// Dijkstra shortest weighted distances and predecessor edges from `src`.
+    /// Ties are broken toward the lower-indexed predecessor, so results are
+    /// deterministic.
+    pub fn dijkstra(&self, src: usize) -> ShortestPaths {
+        #[derive(PartialEq)]
+        struct Item(f64, usize);
+        impl Eq for Item {}
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reverse for a min-heap; break distance ties by vertex index.
+                other
+                    .0
+                    .partial_cmp(&self.0)
+                    .expect("weights are finite")
+                    .then(other.1.cmp(&self.1))
+            }
+        }
+
+        let n = self.adj.len();
+        let mut dist: Vec<f64> = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(Item(0.0, src));
+        while let Some(Item(d, v)) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            for &(nbr, e) in &self.adj[v] {
+                let nd = d + self.edges[e].2;
+                let better = nd < dist[nbr]
+                    || (nd == dist[nbr] && prev[nbr].map(|pv| v < pv).unwrap_or(false));
+                if better {
+                    dist[nbr] = nd;
+                    prev[nbr] = Some(v);
+                    heap.push(Item(nd, nbr));
+                }
+            }
+        }
+        ShortestPaths { src, dist, prev }
+    }
+
+    /// Longest shortest-path hop count from `v` (`None` when the graph is
+    /// disconnected from `v`'s perspective).
+    pub fn eccentricity(&self, v: usize) -> Option<usize> {
+        let d = self.bfs_distances(v);
+        let mut max = 0;
+        for x in d {
+            max = max.max(x?);
+        }
+        Some(max)
+    }
+
+    /// Graph diameter in hops (`None` if disconnected or empty).
+    pub fn diameter(&self) -> Option<usize> {
+        (0..self.adj.len())
+            .map(|v| self.eccentricity(v))
+            .try_fold(0usize, |acc, e| e.map(|e| acc.max(e)))
+    }
+}
+
+/// Result of a Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// The source vertex.
+    pub src: usize,
+    /// Weighted distance per vertex (`f64::INFINITY` = unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor vertex on a shortest path.
+    pub prev: Vec<Option<usize>>,
+}
+
+impl ShortestPaths {
+    /// The shortest path from the source to `dst`, inclusive of both ends,
+    /// or `None` when unreachable.
+    pub fn path_to(&self, dst: usize) -> Option<Vec<usize>> {
+        if self.dist[dst].is_infinite() {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.src {
+            cur = self.prev[cur]?;
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Next hop from the source toward `dst`.
+    pub fn next_hop(&self, dst: usize) -> Option<usize> {
+        let p = self.path_to(dst)?;
+        p.get(1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.node_count(), 3);
+        let v = g.add_node();
+        assert_eq!(v, 3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.edge_endpoints(0), (0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_rejected() {
+        Graph::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_edge_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let (comp, n) = g.components();
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!g.is_connected());
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        assert!(g.is_connected());
+        assert!(!Graph::new(0).is_connected());
+    }
+
+    #[test]
+    fn dijkstra_weighted_prefers_cheap_detour() {
+        let mut g = Graph::new(4);
+        g.add_weighted_edge(0, 1, 10.0);
+        g.add_weighted_edge(0, 2, 1.0);
+        g.add_weighted_edge(2, 3, 1.0);
+        g.add_weighted_edge(3, 1, 1.0);
+        let sp = g.dijkstra(0);
+        assert_eq!(sp.dist[1], 3.0);
+        assert_eq!(sp.path_to(1), Some(vec![0, 2, 3, 1]));
+        assert_eq!(sp.next_hop(1), Some(2));
+        assert_eq!(sp.next_hop(0), None, "source has no next hop");
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        let sp = g.dijkstra(0);
+        assert!(sp.dist[2].is_infinite());
+        assert_eq!(sp.path_to(2), None);
+    }
+
+    #[test]
+    fn dijkstra_tiebreak_is_deterministic() {
+        // Two equal-cost paths 0-1-3 and 0-2-3: predecessor of 3 must be the
+        // lower-indexed vertex 1.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let sp = g.dijkstra(0);
+        assert_eq!(sp.path_to(3), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = path_graph(5);
+        assert_eq!(g.eccentricity(0), Some(4));
+        assert_eq!(g.eccentricity(2), Some(2));
+        assert_eq!(g.diameter(), Some(4));
+
+        let mut disc = Graph::new(3);
+        disc.add_edge(0, 1);
+        assert_eq!(disc.diameter(), None);
+    }
+}

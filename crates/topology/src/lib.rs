@@ -1,0 +1,31 @@
+//! # bgpsdn-topology — topology toolkit for multi-AS experiments
+//!
+//! The paper's framework lets an experimenter "easily create topologies
+//! based on measured Internet data or theoretical models". This crate
+//! supplies both halves:
+//!
+//! * [`gen`]: artificial topologies (clique, line, ring, star, tree, grid)
+//!   and random models (Erdős–Rényi, Barabási–Albert, Waxman);
+//! * [`caida`] / [`iplane`]: parsers for the CAIDA AS-relationship and
+//!   iPlane Inter-PoP dataset formats, plus synthetic generators with the
+//!   same statistical shape (the real datasets cannot be redistributed);
+//! * [`relationships`]: AS graphs annotated with customer-provider /
+//!   peer-peer relationships, inference, and valley-free checking;
+//! * [`ipalloc`]: the automatic IP address plan;
+//! * [`templates`]: per-AS router configuration skeletons and Quagga-style
+//!   rendering.
+
+#![warn(missing_docs)]
+
+pub mod caida;
+pub mod gen;
+pub mod graph;
+pub mod ipalloc;
+pub mod iplane;
+pub mod relationships;
+pub mod templates;
+
+pub use graph::{Graph, ShortestPaths};
+pub use ipalloc::{AddressPlan, AllocError};
+pub use relationships::{AsEdge, AsGraph, EdgeKind};
+pub use templates::{plan, TopologyPlan};

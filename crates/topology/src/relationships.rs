@@ -1,0 +1,398 @@
+//! AS-level graphs annotated with business relationships.
+//!
+//! The paper's framework "configures network devices, including
+//! customer-to-provider and peer-to-peer relationships". [`AsGraph`] is the
+//! artifact that carries that information from topology generation / dataset
+//! parsing into router configuration.
+
+use bgpsdn_bgp::{Asn, Relationship};
+
+use crate::graph::Graph;
+
+/// Relationship annotation of one inter-AS link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// The `a` endpoint is the provider of the `b` endpoint.
+    ProviderCustomer,
+    /// Settlement-free peering.
+    PeerPeer,
+}
+
+/// One annotated inter-AS link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsEdge {
+    /// First endpoint (provider when `kind` is `ProviderCustomer`).
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// Relationship annotation.
+    pub kind: EdgeKind,
+}
+
+impl AsEdge {
+    /// The relationship of the *other* endpoint as seen from `from`
+    /// (`from` must be one of the endpoints).
+    pub fn relationship_from(&self, from: usize) -> Relationship {
+        match self.kind {
+            EdgeKind::PeerPeer => Relationship::Peer,
+            EdgeKind::ProviderCustomer => {
+                if from == self.a {
+                    Relationship::Customer // the other end is my customer
+                } else {
+                    debug_assert_eq!(from, self.b);
+                    Relationship::Provider
+                }
+            }
+        }
+    }
+
+    /// The endpoint opposite `from`.
+    pub fn other(&self, from: usize) -> usize {
+        if from == self.a {
+            self.b
+        } else {
+            debug_assert_eq!(from, self.b);
+            self.a
+        }
+    }
+}
+
+/// An AS-level topology: vertices carry ASNs, edges carry relationships.
+#[derive(Debug, Clone, Default)]
+pub struct AsGraph {
+    /// ASN per vertex index.
+    pub asns: Vec<Asn>,
+    /// Annotated links.
+    pub edges: Vec<AsEdge>,
+}
+
+impl AsGraph {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// True when there are no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Sequential ASNs starting at `base` over an unannotated graph, all
+    /// links peer-to-peer — the configuration of the paper's clique
+    /// experiments.
+    pub fn all_peer(g: &Graph, base_asn: u32) -> AsGraph {
+        AsGraph {
+            asns: (0..g.node_count())
+                .map(|i| Asn(base_asn + i as u32))
+                .collect(),
+            edges: g
+                .edges()
+                .iter()
+                .map(|&(a, b, _)| AsEdge {
+                    a,
+                    b,
+                    kind: EdgeKind::PeerPeer,
+                })
+                .collect(),
+        }
+    }
+
+    /// Degree-based relationship inference: for each link, the clearly
+    /// higher-degree endpoint becomes the provider; endpoints with degree
+    /// ratio below `peer_ratio` become peers. This is the standard cheap
+    /// approximation of the Gao algorithm used when no measured relationship
+    /// data is available.
+    pub fn infer_by_degree(g: &Graph, base_asn: u32, peer_ratio: f64) -> AsGraph {
+        assert!(peer_ratio >= 1.0);
+        let edges = g
+            .edges()
+            .iter()
+            .map(|&(a, b, _)| {
+                let (da, db) = (g.degree(a) as f64, g.degree(b) as f64);
+                let kind = if da / db <= peer_ratio && db / da <= peer_ratio {
+                    EdgeKind::PeerPeer
+                } else if da > db {
+                    return AsEdge {
+                        a,
+                        b,
+                        kind: EdgeKind::ProviderCustomer,
+                    };
+                } else {
+                    return AsEdge {
+                        a: b,
+                        b: a,
+                        kind: EdgeKind::ProviderCustomer,
+                    };
+                };
+                AsEdge { a, b, kind }
+            })
+            .collect();
+        AsGraph {
+            asns: (0..g.node_count())
+                .map(|i| Asn(base_asn + i as u32))
+                .collect(),
+            edges,
+        }
+    }
+
+    /// The plain connectivity graph.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.asns.len());
+        for e in &self.edges {
+            g.add_edge(e.a, e.b);
+        }
+        g
+    }
+
+    /// Vertex index of an ASN.
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.asns.iter().position(|&a| a == asn)
+    }
+
+    /// Edges incident to `v`.
+    pub fn edges_of(&self, v: usize) -> impl Iterator<Item = &AsEdge> {
+        self.edges.iter().filter(move |e| e.a == v || e.b == v)
+    }
+
+    /// Customers of `v` (vertex indices).
+    pub fn customers_of(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ProviderCustomer && e.a == v)
+            .map(|e| e.b)
+            .collect()
+    }
+
+    /// Providers of `v` (vertex indices).
+    pub fn providers_of(&self, v: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ProviderCustomer && e.b == v)
+            .map(|e| e.a)
+            .collect()
+    }
+
+    /// Stub ASes: no customers and exactly one non-peer uplink or degree 1.
+    pub fn stubs(&self) -> Vec<usize> {
+        let g = self.to_graph();
+        (0..self.len())
+            .filter(|&v| self.customers_of(v).is_empty() && g.degree(v) <= 1)
+            .collect()
+    }
+
+    /// `(provider-customer, peer-peer)` edge counts.
+    pub fn relationship_counts(&self) -> (usize, usize) {
+        let pc = self
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ProviderCustomer)
+            .count();
+        (pc, self.edges.len() - pc)
+    }
+
+    /// True when the provider hierarchy is acyclic (no AS is transitively
+    /// its own provider) — a sanity requirement for Gao–Rexford stability.
+    pub fn provider_hierarchy_acyclic(&self) -> bool {
+        // Kahn's algorithm over the customer -> provider direction.
+        let n = self.len();
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n]; // customer -> providers
+        let mut indeg = vec![0usize; n];
+        for e in &self.edges {
+            if e.kind == EdgeKind::ProviderCustomer {
+                out[e.b].push(e.a);
+                indeg[e.a] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &p in &out[v] {
+                indeg[p] -= 1;
+                if indeg[p] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Check a vertex-index path for valley-freeness under this graph's
+    /// relationships: once the path goes down (provider→customer) or
+    /// sideways (peer), it may never go up or sideways again.
+    pub fn is_valley_free(&self, path: &[usize]) -> bool {
+        let kind_between = |x: usize, y: usize| -> Option<Relationship> {
+            self.edges.iter().find_map(|e| {
+                if (e.a == x && e.b == y) || (e.a == y && e.b == x) {
+                    // Relationship of y from x's perspective.
+                    Some(e.relationship_from(x))
+                } else {
+                    None
+                }
+            })
+        };
+        let mut descending = false;
+        for w in path.windows(2) {
+            let step = match kind_between(w[0], w[1]) {
+                Some(r) => r,
+                None => return false, // not even a link
+            };
+            match step {
+                // Moving to my provider = going up.
+                Relationship::Provider => {
+                    if descending {
+                        return false;
+                    }
+                }
+                // Peer step: allowed once at the top; after it we descend.
+                Relationship::Peer => {
+                    if descending {
+                        return false;
+                    }
+                    descending = true;
+                }
+                // Moving to my customer = going down.
+                Relationship::Customer => {
+                    descending = true;
+                }
+                Relationship::Monitor => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn all_peer_clique() {
+        let ag = AsGraph::all_peer(&gen::clique(4), 65000);
+        assert_eq!(ag.len(), 4);
+        assert_eq!(ag.relationship_counts(), (0, 6));
+        assert_eq!(ag.asns[3], Asn(65003));
+        assert!(ag.provider_hierarchy_acyclic());
+    }
+
+    #[test]
+    fn edge_perspective() {
+        let e = AsEdge {
+            a: 0,
+            b: 1,
+            kind: EdgeKind::ProviderCustomer,
+        };
+        // 0 is the provider: from 0, 1 is a customer; from 1, 0 is a provider.
+        assert_eq!(e.relationship_from(0), Relationship::Customer);
+        assert_eq!(e.relationship_from(1), Relationship::Provider);
+        assert_eq!(e.other(0), 1);
+        let p = AsEdge {
+            a: 0,
+            b: 1,
+            kind: EdgeKind::PeerPeer,
+        };
+        assert_eq!(p.relationship_from(0), Relationship::Peer);
+        assert_eq!(p.relationship_from(1), Relationship::Peer);
+    }
+
+    #[test]
+    fn degree_inference_on_star() {
+        // Hub has degree 6, leaves degree 1: hub must be everyone's provider.
+        let ag = AsGraph::infer_by_degree(&gen::star(7), 1, 2.0);
+        assert_eq!(ag.relationship_counts(), (6, 0));
+        assert_eq!(ag.customers_of(0).len(), 6);
+        assert!(ag.providers_of(0).is_empty());
+        assert_eq!(ag.providers_of(3), vec![0]);
+        assert!(ag.provider_hierarchy_acyclic());
+        let mut stubs = ag.stubs();
+        stubs.sort_unstable();
+        assert_eq!(stubs, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn degree_inference_equal_degrees_peer() {
+        let ag = AsGraph::infer_by_degree(&gen::ring(5), 1, 2.0);
+        assert_eq!(ag.relationship_counts(), (0, 5));
+    }
+
+    #[test]
+    fn to_graph_roundtrip() {
+        let g = gen::grid(3, 3);
+        let ag = AsGraph::infer_by_degree(&g, 100, 1.5);
+        let g2 = ag.to_graph();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(ag.index_of(Asn(104)), Some(4));
+        assert_eq!(ag.index_of(Asn(999)), None);
+    }
+
+    #[test]
+    fn acyclicity_detects_provider_loop() {
+        let ag = AsGraph {
+            asns: vec![Asn(1), Asn(2), Asn(3)],
+            edges: vec![
+                AsEdge {
+                    a: 0,
+                    b: 1,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+                AsEdge {
+                    a: 1,
+                    b: 2,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+                AsEdge {
+                    a: 2,
+                    b: 0,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+            ],
+        };
+        assert!(!ag.provider_hierarchy_acyclic());
+    }
+
+    #[test]
+    fn valley_free_classification() {
+        // 0 provider of 1, 0 provider of 2, 1 peer 2, 3 customer of 1.
+        let ag = AsGraph {
+            asns: vec![Asn(1), Asn(2), Asn(3), Asn(4)],
+            edges: vec![
+                AsEdge {
+                    a: 0,
+                    b: 1,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+                AsEdge {
+                    a: 0,
+                    b: 2,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+                AsEdge {
+                    a: 1,
+                    b: 2,
+                    kind: EdgeKind::PeerPeer,
+                },
+                AsEdge {
+                    a: 1,
+                    b: 3,
+                    kind: EdgeKind::ProviderCustomer,
+                },
+            ],
+        };
+        // up then down: 3 -> 1 -> 0 ... wait 3->1 is up (1 is provider of 3),
+        // 1 -> 0 is up again, fine.
+        assert!(ag.is_valley_free(&[3, 1, 0]));
+        // up, peer, (end): fine.
+        assert!(ag.is_valley_free(&[3, 1, 2]));
+        // down then up is a valley: 0 -> 1 (down) -> ... 1 -> 0? use 0->1->0 invalid (repeat);
+        // 0 -> 2 (down), 2 -> 1 (peer after descending) must fail.
+        assert!(!ag.is_valley_free(&[0, 2, 1]));
+        // peer then up must fail: 2 -> 1 (peer), 1 -> 0 (up).
+        assert!(!ag.is_valley_free(&[2, 1, 0]));
+        // down then down is fine: 0 -> 1 -> 3.
+        assert!(ag.is_valley_free(&[0, 1, 3]));
+        // non-adjacent hop is not valley-free.
+        assert!(!ag.is_valley_free(&[3, 0]));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests of topology invariants: generator structure,
+//! dataset format roundtrips, relationship acyclicity and address-plan
+//! disjointness.
+
+use proptest::prelude::*;
+
+use bgpsdn_netsim::SimRng;
+use bgpsdn_topology::caida::{self, SynthesisParams};
+use bgpsdn_topology::iplane::{self, PopSynthesisParams};
+use bgpsdn_topology::{gen, AddressPlan, AsGraph};
+
+proptest! {
+    /// Barabási–Albert graphs are connected with exactly the expected node
+    /// count and (for m=1 starts) tree-like edge counts.
+    #[test]
+    fn barabasi_albert_structure(seed in any::<u64>(), n in 3usize..150, m in 1usize..4) {
+        prop_assume!(n > m);
+        let g = gen::barabasi_albert(n, m, &mut SimRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.is_connected());
+        // Each newcomer adds at most m edges, plus the initial clique.
+        prop_assert!(g.edge_count() <= m * (m - 1) / 2 + (n - m) * m);
+    }
+
+    /// Erdős–Rényi respects the vertex count and never duplicates edges.
+    #[test]
+    fn erdos_renyi_structure(seed in any::<u64>(), n in 2usize..60, p in 0.0f64..1.0) {
+        let g = gen::erdos_renyi(n, p, &mut SimRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+    }
+
+    /// ensure_connected always yields a connected graph and adds exactly
+    /// (components - 1) edges.
+    #[test]
+    fn ensure_connected_minimal(seed in any::<u64>(), n in 1usize..60, p in 0.0f64..0.2) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut g = gen::erdos_renyi(n, p, &mut rng);
+        let before = g.edge_count();
+        let (_, comps) = g.components();
+        gen::ensure_connected(&mut g, &mut rng);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.edge_count(), before + comps - 1);
+    }
+
+    /// Degree-based relationship inference can never create a provider
+    /// cycle: providers have strictly higher degree, so the hierarchy is a
+    /// DAG by construction.
+    #[test]
+    fn degree_inference_is_acyclic(seed in any::<u64>(), n in 3usize..80, m in 1usize..3) {
+        prop_assume!(n > m);
+        let g = gen::barabasi_albert(n, m, &mut SimRng::seed_from_u64(seed));
+        let ag = AsGraph::infer_by_degree(&g, 100, 1.2);
+        prop_assert!(ag.provider_hierarchy_acyclic());
+    }
+
+    /// The CAIDA-style synthesizer always produces connected, acyclic
+    /// hierarchies that roundtrip through the real file format.
+    #[test]
+    fn caida_synthesis_invariants(
+        seed in any::<u64>(),
+        tier1 in 2usize..5,
+        mid in 2usize..10,
+        stubs in 1usize..30,
+    ) {
+        let params = SynthesisParams {
+            tier1,
+            mid,
+            stubs,
+            ..Default::default()
+        };
+        let ag = caida::synthesize(&params, &mut SimRng::seed_from_u64(seed));
+        prop_assert_eq!(ag.len(), tier1 + mid + stubs);
+        prop_assert!(ag.provider_hierarchy_acyclic());
+        prop_assert!(ag.to_graph().is_connected());
+        let back = caida::parse(&caida::write(&ag)).expect("roundtrip");
+        prop_assert_eq!(back.edges, ag.edges);
+    }
+
+    /// iPlane synthesis collapses to a connected AS graph and roundtrips.
+    #[test]
+    fn iplane_synthesis_invariants(seed in any::<u64>(), ases in 2usize..30) {
+        let params = PopSynthesisParams {
+            ases,
+            ..Default::default()
+        };
+        let pg = iplane::synthesize(&params, &mut SimRng::seed_from_u64(seed));
+        let back = iplane::parse(&iplane::write(&pg)).expect("roundtrip");
+        prop_assert_eq!(back.links.len(), pg.links.len());
+        let (g, as_list, lats) = pg.collapse_to_as_graph();
+        prop_assert_eq!(as_list.len(), ases);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(lats.len(), g.edge_count());
+    }
+
+    /// Address plans never overlap: every AS prefix and link subnet is
+    /// disjoint from all others.
+    #[test]
+    fn address_plan_disjoint(ases in 1usize..120, links in 0usize..200) {
+        let plan = AddressPlan::build(ases, links).expect("plan");
+        for (i, a) in plan.as_prefixes.iter().enumerate() {
+            for b in &plan.as_prefixes[i + 1..] {
+                prop_assert!(!a.covers(*b) && !b.covers(*a));
+            }
+            // Router ip lives inside its AS prefix and nowhere else.
+            prop_assert!(a.contains(plan.router_ips[i]));
+        }
+        for (i, (n1, _, _)) in plan.link_nets.iter().enumerate() {
+            for (n2, _, _) in &plan.link_nets[i + 1..] {
+                prop_assert!(!n1.covers(*n2) && !n2.covers(*n1));
+            }
+        }
+    }
+
+    /// Dijkstra distances are consistent: every edge relaxation is tight
+    /// (no edge can improve a computed distance).
+    #[test]
+    fn dijkstra_triangle_inequality(seed in any::<u64>(), n in 2usize..40, extra in 0usize..60) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut g = gen::line(n);
+        for _ in 0..extra {
+            let a = rng.below_usize(n);
+            let b = rng.below_usize(n);
+            if a != b && !g.has_edge(a, b) {
+                g.add_weighted_edge(a, b, (rng.below(100) + 1) as f64);
+            }
+        }
+        let sp = g.dijkstra(0);
+        for &(a, b, w) in g.edges() {
+            if sp.dist[a].is_finite() {
+                prop_assert!(sp.dist[b] <= sp.dist[a] + w + 1e-9);
+            }
+            if sp.dist[b].is_finite() {
+                prop_assert!(sp.dist[a] <= sp.dist[b] + w + 1e-9);
+            }
+        }
+    }
+}

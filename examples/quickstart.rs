@@ -1,0 +1,42 @@
+//! Quickstart: build a small hybrid clique, withdraw a prefix, and watch
+//! how centralization changes convergence time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bgp_sdn_emu::prelude::*;
+
+fn main() {
+    println!("hybrid BGP-SDN quickstart: route withdrawal on an 8-AS clique");
+    println!("MRAI 10 s, controller recompute delay 100 ms\n");
+    println!(
+        "{:>10} {:>16} {:>10} {:>10}",
+        "SDN ASes", "convergence", "updates", "flowmods"
+    );
+
+    for sdn_count in [0, 2, 4, 6, 8] {
+        let scenario = CliqueScenario {
+            n: 8,
+            sdn_count,
+            mrai: SimDuration::from_secs(10),
+            recompute_delay: SimDuration::from_millis(100),
+            seed: 42,
+        };
+        let out = run_clique(&scenario, EventKind::Withdrawal);
+        assert!(out.converged, "did not converge");
+        assert!(out.audit_ok, "stale routing state after withdrawal");
+        println!(
+            "{:>9}/8 {:>16} {:>10} {:>10}",
+            sdn_count,
+            out.convergence.to_string(),
+            out.updates,
+            out.flow_mods
+        );
+    }
+
+    println!("\nThe trend is the paper's headline: the more ASes hand their");
+    println!("routing decisions to the centralized IDR controller, the less");
+    println!("MRAI-paced path exploration remains, and withdrawal convergence");
+    println!("drops roughly linearly toward zero.");
+}

@@ -1,0 +1,63 @@
+//! Scripted experiment lifecycle — the framework's replacement for the
+//! paper's Python experiment setups: declare the scenario as data, replay
+//! it, get a verified transcript.
+//!
+//! ```sh
+//! cargo run --release --example scripted_experiment
+//! ```
+
+use bgp_sdn_emu::core::Script;
+use bgp_sdn_emu::prelude::*;
+
+fn main() {
+    let topo = plan(
+        AsGraph::all_peer(&gen::clique(8), 65000),
+        PolicyMode::AllPermit,
+        TimingConfig::with_mrai(SimDuration::from_secs(5)),
+    )
+    .expect("plan");
+    let net = NetworkBuilder::new(topo, 3)
+        .with_sdn_members([4, 5, 6, 7])
+        .build();
+    let mut exp = Experiment::new(net);
+    assert!(exp.start(SimDuration::from_secs(3600)).converged);
+
+    let hour = SimDuration::from_secs(3600);
+    let p0 = exp.net.ases[0].prefix;
+
+    let script = Script::new()
+        .expect_full_connectivity()
+        // Withdrawal round-trip.
+        .mark()
+        .withdraw(0)
+        .wait_converged(hour)
+        .expect_gone(p0)
+        .mark()
+        .announce(0)
+        .wait_converged(hour)
+        .expect_reachable(p0, 0)
+        // A link failure and repair, with connectivity verified throughout.
+        .mark()
+        .fail_edge(0, 1)
+        .wait_converged(hour)
+        .expect_reachable(p0, 0)
+        .mark()
+        .restore_edge(0, 1)
+        .wait_converged(hour)
+        .expect_full_connectivity();
+
+    let report = exp.run_script(&script);
+    print!("{}", report.render());
+    if report.ok() {
+        println!(
+            "\nscript completed: all {} steps passed",
+            report.steps.len()
+        );
+    } else {
+        println!(
+            "\nscript FAILED at step {:?}",
+            report.first_failure().map(|s| s.index)
+        );
+        std::process::exit(1);
+    }
+}

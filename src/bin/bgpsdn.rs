@@ -1,0 +1,207 @@
+//! `bgpsdn` — command-line front end for the hybrid BGP-SDN framework.
+//!
+//! ```text
+//! bgpsdn fig2 [--runs N] [--n SIZE] [--mrai SECS]
+//! bgpsdn run  --event withdrawal|announcement|failover --sdn K
+//!             [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
+//! bgpsdn ping --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
+//! ```
+
+use std::process::ExitCode;
+
+use bgp_sdn_emu::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  bgpsdn fig2 [--runs N] [--n SIZE] [--mrai SECS]
+      regenerate the paper's Figure 2 sweep
+
+  bgpsdn run --event withdrawal|announcement|failover --sdn K
+             [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
+      one clique experiment, printing the outcome
+
+  bgpsdn ping --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
+      data-plane probe stream across a link failure"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Option<Args> {
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(flag) = it.next() {
+            let name = flag.strip_prefix("--")?;
+            let value = it.next()?;
+            flags.push((name.to_string(), value.clone()));
+        }
+        Some(Args { flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.iter().find(|(n, _)| n == name) {
+            Some((_, v)) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn scenario(args: &Args, sdn: usize) -> Result<CliqueScenario, String> {
+    Ok(CliqueScenario {
+        n: args.get("n", 16usize)?,
+        sdn_count: sdn,
+        mrai: SimDuration::from_secs(args.get("mrai", 30u64)?),
+        recompute_delay: SimDuration::from_millis(args.get("recompute-ms", 100u64)?),
+        seed: args.get("seed", 1u64)?,
+    })
+}
+
+fn cmd_fig2(args: &Args) -> Result<(), String> {
+    let runs: u64 = args.get("runs", 10)?;
+    let n: usize = args.get("n", 16)?;
+    let mrai: u64 = args.get("mrai", 30)?;
+    println!("Figure 2 sweep: {n}-AS clique, MRAI {mrai}s, {runs} runs/point\n");
+    println!("{:>8} {:>10} {:>10} {:>10}", "SDN", "min", "median", "max");
+    let step = (n / 8).max(1);
+    for k in (0..=n).step_by(step) {
+        let base = CliqueScenario {
+            n,
+            sdn_count: k,
+            mrai: SimDuration::from_secs(mrai),
+            recompute_delay: SimDuration::from_millis(100),
+            seed: 1000 + k as u64,
+        };
+        let times = clique_sweep_point(&base, EventKind::Withdrawal, runs);
+        let s = Summary::of_durations(&times).expect("non-empty");
+        println!(
+            "{:>5}/{n} {:>9.2}s {:>9.2}s {:>9.2}s",
+            k, s.min, s.median, s.max
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let event = match args.get_str("event") {
+        Some("withdrawal") => EventKind::Withdrawal,
+        Some("announcement") => EventKind::Announcement,
+        Some("failover") => EventKind::Failover,
+        other => {
+            return Err(format!(
+                "--event must be withdrawal|announcement|failover, got {other:?}"
+            ))
+        }
+    };
+    let sdn: usize = args.get("sdn", 0)?;
+    let s = scenario(args, sdn)?;
+    println!(
+        "running {event:?} on a {}-AS clique, {} SDN members, MRAI {}, seed {}",
+        s.n, s.sdn_count, s.mrai, s.seed
+    );
+    let out = run_clique(&s, event);
+    println!("converged:        {}", out.converged);
+    println!("convergence time: {}", out.convergence);
+    if let Some(c) = out.collector_convergence {
+        println!("collector view:   {c}");
+    }
+    println!("updates sent:     {}", out.updates);
+    println!("flow mods:        {}", out.flow_mods);
+    println!(
+        "post-event audit: {}",
+        if out.audit_ok { "PASS" } else { "FAIL" }
+    );
+    if !out.audit_ok {
+        return Err("audit failed".into());
+    }
+    Ok(())
+}
+
+fn cmd_ping(args: &Args) -> Result<(), String> {
+    let sdn: usize = args.get("sdn", 3)?;
+    let n: usize = args.get("n", 6)?;
+    let fail_at: u64 = args.get("fail-at", 20)?;
+    let heal_at: u64 = args.get("heal-at", 50)?;
+    if sdn == 0 || sdn >= n {
+        return Err("--sdn must be in 1..n-1 for the ping demo".into());
+    }
+    let topo = plan(
+        AsGraph::all_peer(&gen::clique(n), 65000),
+        PolicyMode::AllPermit,
+        TimingConfig::with_mrai(SimDuration::from_secs(5)),
+    )
+    .map_err(|e| e.to_string())?;
+    let net = NetworkBuilder::new(topo, args.get("seed", 7u64)?)
+        .with_sdn_members(n - sdn..n)
+        .build();
+    let mut exp = Experiment::new(net);
+    if !exp.start(SimDuration::from_secs(3600)).converged {
+        return Err("bring-up did not converge".into());
+    }
+    let dst = exp.net.ases[n - 1].prefix.nth(9);
+    let (src, member) = (1usize, n - 1);
+    println!(
+        "probing from AS{} to {dst} (inside member AS{})",
+        65001,
+        65000 + member
+    );
+    println!("link fails at tick {fail_at}, heals at tick {heal_at} (100 ms ticks)\n");
+    let report = exp.ping_stream(src, dst, SimDuration::from_millis(100), 80, |exp, tick| {
+        if tick == fail_at {
+            exp.fail_edge(1, member);
+        }
+        if tick == heal_at {
+            exp.restore_edge(1, member);
+        }
+    });
+    let line: String = report
+        .timeline
+        .iter()
+        .map(|&ok| if ok { '#' } else { '.' })
+        .collect();
+    println!("timeline: {line}");
+    println!(
+        "sent {} received {} loss {:.1}% longest outage {}",
+        report.sent,
+        report.received,
+        report.loss_ratio * 100.0,
+        report.longest_outage
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let Some(args) = Args::parse(rest) else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "fig2" => cmd_fig2(&args),
+        "run" => cmd_run(&args),
+        "ping" => cmd_ping(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # bgp-sdn-emu — a hybrid BGP-SDN emulation framework
+//!
+//! A from-scratch Rust reproduction of *"Evaluating the Effect of
+//! Centralization on Routing Convergence on a Hybrid BGP-SDN Emulation
+//! Framework"* (Gämperli, Kotronis, Dimitropoulos — SIGCOMM 2014):
+//! a deterministic discrete-event framework for multi-AS inter-domain
+//! routing experiments that mix legacy BGP routers with an SDN cluster
+//! under a centralized IDR controller.
+//!
+//! The workspace crates, re-exported here:
+//!
+//! * [`netsim`] — the discrete-event network simulator (Mininet's role);
+//! * [`bgp`] — a complete BGP-4 implementation (Quagga's role);
+//! * [`sdn`] — OpenFlow-subset switches and the cluster BGP speaker
+//!   (Open vSwitch + ExaBGP's roles);
+//! * [`topology`] — generators, CAIDA/iPlane dataset support, relationship
+//!   policy templates, IP allocation;
+//! * [`collector`] — route collector, convergence measurement, log
+//!   analysis, reachability audits, visualization;
+//! * [`core`] — the paper's contribution: the hybrid experiment framework
+//!   and the IDR SDN controller.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bgp_sdn_emu::prelude::*;
+//!
+//! // An 8-AS clique, half of it under centralized control.
+//! let scenario = CliqueScenario {
+//!     n: 8,
+//!     sdn_count: 4,
+//!     mrai: SimDuration::from_secs(5),
+//!     recompute_delay: SimDuration::from_millis(100),
+//!     seed: 1,
+//! };
+//! let out = run_clique(&scenario, EventKind::Withdrawal);
+//! assert!(out.converged);
+//! println!("withdrawal convergence: {}", out.convergence);
+//! ```
+
+pub use bgpsdn_bgp as bgp;
+pub use bgpsdn_collector as collector;
+pub use bgpsdn_core as core;
+pub use bgpsdn_netsim as netsim;
+pub use bgpsdn_sdn as sdn;
+pub use bgpsdn_topology as topology;
+
+/// The names almost every experiment needs.
+pub mod prelude {
+    pub use bgpsdn_bgp::{
+        pfx, Asn, BgpRouter, NeighborConfig, PolicyMode, Prefix, Relationship, RouterCommand,
+        RouterConfig, TimingConfig,
+    };
+    pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
+    pub use bgpsdn_core::{
+        clique_sweep_point, run_clique, AsKind, CliqueScenario, Controller, EventKind, Experiment,
+        HybridNetwork, NetworkBuilder, Router, ScenarioOutcome, Speaker, Switch,
+    };
+    pub use bgpsdn_netsim::{
+        Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,
+    };
+    pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
+    pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
+}
