@@ -5,7 +5,9 @@
 //! Paper-shape expectations: a roughly linear decrease of the median as the
 //! SDN fraction grows, collapsing to ~0 at full deployment.
 
-use bgpsdn_bench::{print_header, print_row, runs_per_point, write_json, SweepRow};
+use bgpsdn_bench::{
+    print_header, print_row, runs_per_point, write_json, write_run_artifact, SweepRow,
+};
 use bgpsdn_core::{clique_sweep_point, CliqueScenario, EventKind};
 
 fn main() {
@@ -45,4 +47,13 @@ fn main() {
     println!("\nshape check: PASS (monotone decrease, collapse at 100%)");
 
     write_json("fig2_withdrawal", &rows);
+
+    // One representative run (50 % SDN) re-traced with full telemetry: the
+    // typed-event JSONL artifact lands next to the summary JSON, ready for
+    // `bgpsdn report`.
+    write_run_artifact(
+        "fig2_withdrawal",
+        &CliqueScenario::fig2(8, 1000 + 8 * 131),
+        EventKind::Withdrawal,
+    );
 }

@@ -104,6 +104,42 @@ fn bench_topology_gen(c: &mut Criterion) {
     });
 }
 
+fn bench_trace_disabled(c: &mut Criterion) {
+    use bgpsdn_netsim::{NodeId, SimTime, Trace, TraceCategory, TraceEvent};
+    // No categories enabled: record() is a single mask test and the event
+    // closure never runs.
+    let mut trace = Trace::new(1024);
+    c.bench_function("trace_record_disabled", |b| {
+        b.iter(|| {
+            trace.record(SimTime::ZERO, Some(NodeId(1)), TraceCategory::Msg, || {
+                TraceEvent::SessionUp { peer: 1 }
+            })
+        })
+    });
+    // Hard budget: disabled tracing must stay under 5 ns per record() call,
+    // or instrumenting the hot paths was not actually free.
+    let best = (0..10)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            for i in 0..1_000_000u32 {
+                trace.record(
+                    SimTime::ZERO,
+                    Some(NodeId(black_box(i) % 16)),
+                    TraceCategory::Msg,
+                    || TraceEvent::SessionUp { peer: 1 },
+                );
+            }
+            t0.elapsed().as_nanos() as f64 / 1e6
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!("trace_record_disabled hard check: best {best:.2} ns/call (budget 5 ns)");
+    assert!(
+        best < 5.0,
+        "disabled tracing must cost < 5 ns per record() call, measured {best:.2} ns"
+    );
+    assert!(trace.is_empty(), "nothing may be recorded while disabled");
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     // A full framework run: build + bring-up + withdrawal + convergence on
     // a 8-AS clique with half the ASes centralized (MRAI 0 keeps it tight).
@@ -127,6 +163,7 @@ criterion_group!(
         bench_flowtable,
         bench_controller_compute,
         bench_topology_gen,
+        bench_trace_disabled,
         bench_end_to_end
 );
 criterion_main!(benches);

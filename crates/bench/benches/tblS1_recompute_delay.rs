@@ -11,9 +11,8 @@
 use bgpsdn_bench::{runs_per_point, write_json};
 use bgpsdn_core::{run_clique_full, CliqueScenario, EventKind};
 use bgpsdn_netsim::{SimDuration, Summary};
-use serde::Serialize;
+use bgpsdn_obs::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     delay_ms: u64,
     conv_median_s: f64,
@@ -21,6 +20,8 @@ struct Row {
     flow_mods_mean: f64,
     announcements_mean: f64,
 }
+
+impl_to_json!(Row { delay_ms, conv_median_s, recomputes_mean, flow_mods_mean, announcements_mean });
 
 fn main() {
     let runs = runs_per_point();

@@ -7,15 +7,16 @@
 use bgpsdn_bench::{runs_per_point, write_json};
 use bgpsdn_core::{clique_sweep_point, CliqueScenario, EventKind};
 use bgpsdn_netsim::{SimDuration, Summary};
-use serde::Serialize;
+use bgpsdn_obs::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     mrai_s: u64,
     pure_bgp_median_s: f64,
     half_sdn_median_s: f64,
     speedup: f64,
 }
+
+impl_to_json!(Row { mrai_s, pure_bgp_median_s, half_sdn_median_s, speedup });
 
 fn main() {
     let runs = runs_per_point();

@@ -16,15 +16,16 @@ use bgpsdn_bgp::{Asn, PolicyMode, TimingConfig};
 use bgpsdn_core::{Controller, Experiment, NetworkBuilder};
 use bgpsdn_netsim::{SimDuration, Summary};
 use bgpsdn_topology::{plan, AsEdge, AsGraph, EdgeKind};
-use serde::Serialize;
+use bgpsdn_obs::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     phase: &'static str,
     conv_median_s: f64,
     connectivity: f64,
     subclusters: usize,
 }
+
+impl_to_json!(Row { phase, conv_median_s, connectivity, subclusters });
 
 fn bridge_plan(extra_legacy: usize) -> bgpsdn_topology::TopologyPlan {
     // l0..l_{k-1} in a legacy chain; l0-A, l_{last}-B, A==B.

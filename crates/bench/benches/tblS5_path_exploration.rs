@@ -7,15 +7,16 @@
 use bgpsdn_bench::{runs_per_point, write_json};
 use bgpsdn_core::{run_clique_full, CliqueScenario, EventKind};
 use bgpsdn_netsim::SimTime;
-use serde::Serialize;
+use bgpsdn_obs::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     sdn_pct: f64,
     mean_paths_per_router: f64,
     max_paths: usize,
     updates_total: f64,
 }
+
+impl_to_json!(Row { sdn_pct, mean_paths_per_router, max_paths, updates_total });
 
 fn main() {
     let runs = runs_per_point();

@@ -15,15 +15,16 @@ use bgpsdn_bgp::{DampingConfig, PolicyMode, TimingConfig};
 use bgpsdn_core::{Experiment, NetworkBuilder};
 use bgpsdn_netsim::{SimDuration, Summary};
 use bgpsdn_topology::{gen, plan, AsGraph};
-use serde::Serialize;
+use bgpsdn_obs::impl_to_json;
 
-#[derive(Serialize)]
 struct Row {
     damping: bool,
     sdn_count: usize,
     recovery_median_s: f64,
     suppressed_mean: f64,
 }
+
+impl_to_json!(Row { damping, sdn_count, recovery_median_s, suppressed_mean });
 
 const N: usize = 10;
 const FLAPS: usize = 6;

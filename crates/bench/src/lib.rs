@@ -4,13 +4,16 @@
 //! `benches/` that regenerates it: a workload, a parameter sweep, and
 //! printed rows matching what the paper reports. Results are also written
 //! as JSON under `bench-results/` at the workspace root so figures can be
-//! re-plotted.
+//! re-plotted, and [`write_run_artifact`] captures one representative run
+//! per bench as a typed-event JSONL artifact (`bgpsdn report` input) next
+//! to the summary JSON.
 
 use std::fs;
 use std::path::PathBuf;
 
+use bgpsdn_core::{event_phase_name, run_clique_traced, CliqueScenario, EventKind, Experiment};
 use bgpsdn_netsim::{SimDuration, Summary};
-use serde::Serialize;
+use bgpsdn_obs::{impl_to_json, metrics_line, run_line, Json, ToJson};
 
 /// Number of seeded repetitions per sweep point: the paper uses 10;
 /// override with `BGPSDN_RUNS` for quicker passes.
@@ -31,7 +34,7 @@ pub fn output_dir() -> PathBuf {
 }
 
 /// One boxplot row of a sweep.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct SweepRow {
     /// The swept parameter value (e.g. SDN fraction in percent).
     pub x: f64,
@@ -50,6 +53,8 @@ pub struct SweepRow {
     /// Mean.
     pub mean: f64,
 }
+
+impl_to_json!(SweepRow { x, n, min, q1, median, q3, max, mean });
 
 impl SweepRow {
     /// Build a row from raw durations.
@@ -85,16 +90,54 @@ pub fn print_row(label: &str, row: &SweepRow) {
 }
 
 /// Persist a bench result as JSON.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let path = output_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize");
+    let json = value.to_json().to_pretty();
     fs::write(&path, json).expect("write json");
     println!("\n[written {}]", path.display());
+}
+
+/// Run one fully-traced representative of a sweep and persist its JSONL
+/// artifact as `bench-results/<name>.jsonl`: a `run` header, the typed
+/// event stream, and one metrics snapshot per phase. `bgpsdn report` reads
+/// it back; figures can mine it without re-running the sweep.
+pub fn write_run_artifact(name: &str, scenario: &CliqueScenario, event: EventKind) -> PathBuf {
+    let (out, exp) = run_clique_traced(scenario, event);
+    assert!(out.converged, "artifact run did not converge");
+    let info = Json::Obj(vec![
+        ("bench".into(), Json::Str(name.to_string())),
+        ("scenario".into(), Json::Str("clique".into())),
+        (
+            "event".into(),
+            Json::Str(event_phase_name(event).to_string()),
+        ),
+        ("n".into(), Json::U64(scenario.n as u64)),
+        ("sdn".into(), Json::U64(scenario.sdn_count as u64)),
+        ("seed".into(), Json::U64(scenario.seed)),
+    ]);
+    let path = output_dir().join(format!("{name}.jsonl"));
+    fs::write(&path, render_artifact(&info, &exp)).expect("write jsonl artifact");
+    println!("[written {}]", path.display());
+    path
+}
+
+/// Render a finished experiment's telemetry as a JSONL artifact document.
+pub fn render_artifact(info: &Json, exp: &Experiment) -> String {
+    let mut text = String::new();
+    text.push_str(&run_line(info));
+    text.push('\n');
+    text.push_str(&exp.net.sim.trace().export_jsonl());
+    for (phase, snap) in exp.phase_snapshots() {
+        text.push_str(&metrics_line(phase, snap));
+        text.push('\n');
+    }
+    text
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgpsdn_obs::RunArtifact;
 
     #[test]
     fn sweep_row_from_durations() {
@@ -111,6 +154,17 @@ mod tests {
     }
 
     #[test]
+    fn sweep_row_serializes_to_json_object() {
+        let row = SweepRow::from_durations(25.0, &[SimDuration::from_secs(2)]);
+        let j = row.to_json();
+        assert_eq!(j.get("x").unwrap().as_f64(), Some(25.0));
+        assert_eq!(j.get("n").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("median").unwrap().as_f64(), Some(2.0));
+        // And the pretty form reparses.
+        assert_eq!(Json::parse(&j.to_pretty()).unwrap(), j);
+    }
+
+    #[test]
     fn output_dir_exists() {
         let d = output_dir();
         assert!(d.ends_with("bench-results"));
@@ -122,5 +176,24 @@ mod tests {
         if std::env::var("BGPSDN_RUNS").is_err() {
             assert_eq!(runs_per_point(), 10);
         }
+    }
+
+    #[test]
+    fn rendered_artifact_parses_back() {
+        let scenario = CliqueScenario {
+            n: 5,
+            sdn_count: 2,
+            mrai: SimDuration::from_secs(1),
+            recompute_delay: SimDuration::from_millis(100),
+            seed: 11,
+        };
+        let (out, exp) = run_clique_traced(&scenario, EventKind::Withdrawal);
+        assert!(out.converged);
+        let info = Json::Obj(vec![("bench".into(), Json::Str("test".into()))]);
+        let artifact = RunArtifact::parse(&render_artifact(&info, &exp)).unwrap();
+        assert!(!artifact.events.is_empty());
+        assert_eq!(artifact.snapshots.len(), 2, "bring-up + withdrawal phases");
+        assert_eq!(artifact.snapshots[0].0, "bring-up");
+        assert_eq!(artifact.snapshots[1].0, "withdrawal");
     }
 }

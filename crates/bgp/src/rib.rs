@@ -221,6 +221,11 @@ impl AdjRibOut {
         self.advertised.len()
     }
 
+    /// True when nothing has been advertised.
+    pub fn is_empty(&self) -> bool {
+        self.advertised.is_empty()
+    }
+
     /// Drop all state (session reset).
     pub fn clear(&mut self) {
         self.advertised.clear();

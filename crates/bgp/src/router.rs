@@ -11,8 +11,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::marker::PhantomData;
 
 use bgpsdn_netsim::{
-    Activity, Ctx, DataPacket, LinkId, Node, NodeId, PacketKind, SimDuration, SimTime, TimerClass,
-    TimerToken, TraceCategory,
+    Activity, Ctx, DataPacket, LinkId, Node, NodeId, ObsPrefix, PacketKind, SimDuration, SimTime,
+    TimerClass, TimerToken, TraceCategory, TraceEvent,
 };
 
 use crate::attrs::PathAttributes;
@@ -38,6 +38,20 @@ const KIND_MASK: u64 = 0xFF << 56;
 fn tok(kind: u64, payload: u64) -> TimerToken {
     debug_assert_eq!(payload & KIND_MASK, 0);
     TimerToken(kind | payload)
+}
+
+/// Telemetry-plane form of a prefix.
+fn obs(p: Prefix) -> ObsPrefix {
+    ObsPrefix::new(p.network_u32(), p.len())
+}
+
+fn obs_list(ps: &[Prefix]) -> Vec<ObsPrefix> {
+    ps.iter().map(|&p| obs(p)).collect()
+}
+
+/// Flattened AS path of a Loc-RIB entry, for [`TraceEvent::RibChange`].
+fn obs_path(e: &LocRibEntry) -> Vec<u32> {
+    e.attrs.as_path.flatten().into_iter().map(|a| a.0).collect()
 }
 
 /// Counters exposed for measurement and tests.
@@ -274,12 +288,22 @@ impl<M: BgpApp> BgpRouter<M> {
             let n = &self.cfg.neighbors[peer];
             (n.peer, n.link)
         };
-        ctx.trace(TraceCategory::Msg, || format!("-> {peer_node} {msg}"));
         if let BgpMessage::Update(u) = msg {
+            ctx.trace(TraceCategory::Msg, || TraceEvent::UpdateSent {
+                peer: peer_node.0,
+                announced: obs_list(&u.nlri),
+                withdrawn: obs_list(&u.withdrawn),
+            });
             self.stats.updates_sent += 1;
             self.stats.prefixes_announced += u.nlri.len() as u64;
             self.stats.prefixes_withdrawn += u.withdrawn.len() as u64;
+            ctx.count("bgp.router.updates_sent", 1);
             ctx.report(Activity::UpdateSent);
+        } else {
+            ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                category: TraceCategory::Msg,
+                text: format!("-> {peer_node} {msg}"),
+            });
         }
         if matches!(msg, BgpMessage::Notification(_)) {
             self.stats.notifications_sent += 1;
@@ -323,9 +347,11 @@ impl<M: BgpApp> BgpRouter<M> {
             .expect("established implies OPEN")
             .router_id;
         ctx.report(Activity::SessionUp);
-        ctx.trace(TraceCategory::Session, || {
-            format!("established with {}", self.cfg.neighbors[peer].peer)
+        let peer_node = self.cfg.neighbors[peer].peer;
+        ctx.trace(TraceCategory::Session, || TraceEvent::SessionUp {
+            peer: peer_node.0,
         });
+        ctx.count("bgp.router.sessions_established", 1);
         // Arm keepalive/hold when negotiated.
         let hold = self.peers[peer].handshake.negotiated_hold_secs();
         if hold > 0 {
@@ -389,6 +415,7 @@ impl<M: BgpApp> BgpRouter<M> {
     /// Re-run the decision process for `prefix`; on change, update the
     /// Loc-RIB and enqueue exports to every peer. Returns true on change.
     fn reselect(&mut self, ctx: &mut Ctx<'_, M>, prefix: Prefix) -> bool {
+        let old_path: Option<Vec<u32>> = self.loc_rib.get(prefix).map(obs_path);
         let new_entry: Option<LocRibEntry> = if self.originated.contains(&prefix) {
             // A locally originated route always wins the decision process.
             Some(LocRibEntry {
@@ -407,34 +434,33 @@ impl<M: BgpApp> BgpRouter<M> {
             let dcfg = self.cfg.damping.as_ref();
             let cands = self.adj_in.candidates(prefix).filter(|(i, _)| {
                 let Some(dcfg) = dcfg else { return true };
-                match damping_map.get_mut(&(*i, prefix)) {
-                    Some(st) => {
-                        if st.is_suppressed(dcfg, now) {
-                            suppressed_count += 1;
-                            if let Some(eta) = st.reuse_eta(dcfg, now) {
-                                earliest_reuse = Some(match earliest_reuse {
-                                    Some(cur) if cur <= eta => cur,
-                                    _ => eta,
-                                });
-                            }
-                            false
-                        } else {
-                            true
-                        }
+                let suppressed = damping_map.get_mut(&(*i, prefix)).is_some_and(|st| {
+                    if !st.is_suppressed(dcfg, now) {
+                        return false;
                     }
-                    None => true,
-                }
+                    suppressed_count += 1;
+                    if let Some(eta) = st.reuse_eta(dcfg, now) {
+                        earliest_reuse = Some(match earliest_reuse {
+                            Some(cur) if cur <= eta => cur,
+                            _ => eta,
+                        });
+                    }
+                    true
+                });
+                !suppressed
             });
             let cands = cands.map(|(i, e)| Candidate {
                 attrs: &e.attrs,
                 source: RouteSource::Peer(i),
                 peer_router_id: e.peer_router_id,
             });
+            let span = ctx.span();
             let selected = decision::select(cands, &self.cfg.decision).map(|best| LocRibEntry {
                 source: best.source,
                 attrs: best.attrs.clone(),
                 since: now,
             });
+            ctx.end_span("bgp.decision.select_wall_ns", span);
             self.stats.damped_suppressed += suppressed_count;
             if let Some(eta) = earliest_reuse {
                 let seq = self.damp_seq;
@@ -457,9 +483,12 @@ impl<M: BgpApp> BgpRouter<M> {
             self.stats.best_path_changes += 1;
             ctx.report(Activity::RibChange);
             ctx.report(Activity::FibChange);
-            ctx.trace(TraceCategory::Route, || match self.loc_rib.get(prefix) {
-                Some(e) => format!("best {prefix} via {:?} [{}]", e.source, e.attrs.as_path),
-                None => format!("best {prefix} -> unreachable"),
+            ctx.count("bgp.router.best_path_changes", 1);
+            let new_path = self.loc_rib.get(prefix).map(obs_path);
+            ctx.trace(TraceCategory::Route, || TraceEvent::RibChange {
+                prefix: obs(prefix),
+                old_path,
+                new_path,
             });
             for peer in 0..self.peers.len() {
                 self.enqueue_export(peer, prefix);
@@ -682,8 +711,9 @@ impl<M: BgpApp> BgpRouter<M> {
         if let Some(limit) = self.cfg.neighbors[peer].max_prefixes {
             if self.adj_in.count_for_peer(peer) > limit {
                 self.stats.max_prefix_teardowns += 1;
-                ctx.trace(TraceCategory::Session, || {
-                    format!("max-prefix limit {limit} exceeded; tearing session down")
+                ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                    category: TraceCategory::Session,
+                    text: format!("max-prefix limit {limit} exceeded; tearing session down"),
                 });
                 self.drop_session(ctx, peer, CloseReason::AdminReset, Some(NotifCode::Cease));
                 return;
@@ -701,14 +731,20 @@ impl<M: BgpApp> BgpRouter<M> {
             RouterCommand::Announce(p) => {
                 self.originated.insert(*p);
                 ctx.report(Activity::PrefixOriginated);
-                ctx.trace(TraceCategory::Experiment, || format!("announce {p}"));
+                ctx.trace(TraceCategory::Experiment, || TraceEvent::Note {
+                    category: TraceCategory::Experiment,
+                    text: format!("announce {p}"),
+                });
                 self.reselect(ctx, *p);
                 self.flush_all(ctx);
             }
             RouterCommand::Withdraw(p) => {
                 self.originated.remove(p);
                 ctx.report(Activity::PrefixWithdrawn);
-                ctx.trace(TraceCategory::Experiment, || format!("withdraw {p}"));
+                ctx.trace(TraceCategory::Experiment, || TraceEvent::Note {
+                    category: TraceCategory::Experiment,
+                    text: format!("withdraw {p}"),
+                });
                 self.reselect(ctx, *p);
                 self.flush_all(ctx);
             }
@@ -749,8 +785,9 @@ impl<M: BgpApp> BgpRouter<M> {
             Some(fwd) => self.route_packet_out(ctx, fwd),
             None => {
                 self.stats.data_ttl_exceeded += 1;
-                ctx.trace(TraceCategory::Msg, || {
-                    format!("TTL exceeded for {} -> {}", pkt.src, pkt.dst)
+                ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                    category: TraceCategory::Msg,
+                    text: format!("TTL exceeded for {} -> {}", pkt.src, pkt.dst),
                 });
             }
         }
@@ -772,8 +809,9 @@ impl<M: BgpApp> BgpRouter<M> {
             },
             None => {
                 self.stats.data_no_route += 1;
-                ctx.trace(TraceCategory::Msg, || {
-                    format!("no route for {} -> {}", pkt.src, pkt.dst)
+                ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                    category: TraceCategory::Msg,
+                    text: format!("no route for {} -> {}", pkt.src, pkt.dst),
                 });
             }
         }
@@ -797,7 +835,10 @@ impl<M: BgpApp> BgpRouter<M> {
             Ok(m) => m,
             Err(e) => {
                 self.stats.decode_errors += 1;
-                ctx.trace(TraceCategory::Session, || format!("decode error: {e}"));
+                ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                    category: TraceCategory::Session,
+                    text: format!("decode error: {e}"),
+                });
                 self.drop_session(
                     ctx,
                     peer,
@@ -807,7 +848,18 @@ impl<M: BgpApp> BgpRouter<M> {
                 return;
             }
         };
-        ctx.trace(TraceCategory::Msg, || format!("<- {} {}", env.src, msg));
+        if let BgpMessage::Update(u) = &msg {
+            ctx.trace(TraceCategory::Msg, || TraceEvent::UpdateDelivered {
+                peer: env.src.0,
+                announced: obs_list(&u.nlri),
+                withdrawn: obs_list(&u.withdrawn),
+            });
+        } else {
+            ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                category: TraceCategory::Msg,
+                text: format!("<- {} {}", env.src, msg),
+            });
+        }
 
         // Any traffic refreshes the hold timer on an established session.
         if self.peers[peer].handshake.is_established() {
@@ -908,10 +960,11 @@ impl<M: BgpApp> BgpRouter<M> {
         }
         self.stats.sessions_dropped += 1;
         ctx.report(Activity::SessionDown);
+        ctx.count("bgp.router.sessions_dropped", 1);
         let peer_node = self.cfg.neighbors[peer].peer;
-        let reason_str = format!("{reason:?}");
-        ctx.trace(TraceCategory::Session, || {
-            format!("session with {peer_node} closed: {reason_str}")
+        ctx.trace(TraceCategory::Session, || TraceEvent::SessionDown {
+            peer: peer_node.0,
+            reason: format!("{reason:?}"),
         });
         let affected = self.adj_in.remove_peer(peer);
         let had_routes = !affected.is_empty();

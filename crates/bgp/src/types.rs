@@ -128,7 +128,8 @@ impl Prefix {
         self.addr
     }
 
-    /// Prefix length in bits.
+    /// Prefix length in bits (not a container size — a /0 is not "empty").
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use bgpsdn_bgp::{Asn, BgpApp, BgpEnvelope, BgpMessage, RouterId, SessionEvent, SessionHandshake};
-use bgpsdn_netsim::{Ctx, LinkId, Node, NodeId, TraceCategory};
+use bgpsdn_netsim::{Ctx, LinkId, Node, NodeId, TraceCategory, TraceEvent};
 
 use crate::logview::{LogAction, LogEntry, UpdateLog};
 
@@ -109,7 +109,10 @@ impl<M: BgpApp> Node<M> for RouteCollector<M> {
             Ok(m) => m,
             Err(e) => {
                 self.stats.decode_errors += 1;
-                ctx.trace(TraceCategory::Session, || format!("decode error: {e}"));
+                ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                    category: TraceCategory::Session,
+                    text: format!("decode error: {e}"),
+                });
                 return;
             }
         };
@@ -150,16 +153,14 @@ impl<M: BgpApp> Node<M> for RouteCollector<M> {
         match event {
             Some(SessionEvent::Established(_)) => {
                 self.stats.sessions_up += 1;
-                ctx.trace(TraceCategory::Session, || {
-                    format!("collector session with {peer_node} up")
+                ctx.trace(TraceCategory::Session, || TraceEvent::SessionUp {
+                    peer: peer_node.0,
                 });
             }
-            Some(SessionEvent::Closed(_)) => {
-                if was_up {
-                    self.stats.sessions_up = self.stats.sessions_up.saturating_sub(1);
-                }
+            Some(SessionEvent::Closed(_)) if was_up => {
+                self.stats.sessions_up = self.stats.sessions_up.saturating_sub(1);
             }
-            None => {}
+            _ => {}
         }
     }
 

@@ -11,7 +11,7 @@
 //!   real testbed (or the paper's Mininet framework) must. Useful when
 //!   background noise (keepalives with real BGP churn) never quiesces.
 
-use bgpsdn_netsim::{ActivityBoard, SimDuration, SimTime};
+use bgpsdn_netsim::{ActivityBoard, SimDuration, SimTime, TraceRecord};
 
 /// Outcome of a convergence measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,31 @@ pub struct ConvergenceReport {
 /// activity board after the simulator went quiescent (or hit its deadline).
 pub fn measure(board: &ActivityBoard, event: SimTime, quiescent: bool) -> ConvergenceReport {
     let last = board.last_routing_change().filter(|&t| t >= event);
+    ConvergenceReport {
+        converged: quiescent,
+        last_change: last,
+        duration: last
+            .map(|t| t.saturating_since(event))
+            .unwrap_or(SimDuration::ZERO),
+    }
+}
+
+/// Measure convergence from typed trace records instead of the activity
+/// board: the last record at or after `event` whose payload
+/// [`is_routing_change`](bgpsdn_netsim::TraceEvent::is_routing_change) —
+/// RIB changes and flow-table mutations, never free-text notes — marks the
+/// end of the transient. This is what `bgpsdn report` computes offline from
+/// a JSONL artifact; the board-based [`measure`] is its online equivalent.
+pub fn measure_trace<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+    event: SimTime,
+    quiescent: bool,
+) -> ConvergenceReport {
+    let last = records
+        .into_iter()
+        .filter(|r| r.time >= event && r.event.is_routing_change())
+        .map(|r| r.time)
+        .max();
     ConvergenceReport {
         converged: quiescent,
         last_change: last,
@@ -107,6 +132,39 @@ mod tests {
         let board = ActivityBoard::default();
         let r = measure(&board, SimTime::ZERO, false);
         assert!(!r.converged);
+    }
+
+    #[test]
+    fn measure_trace_uses_typed_routing_changes_only() {
+        use bgpsdn_netsim::{NodeId, ObsPrefix, Trace, TraceCategory, TraceEvent};
+        let mut t = Trace::new(16);
+        t.enable_all();
+        t.record(SimTime::from_secs(1), Some(NodeId(1)), TraceCategory::Route, || {
+            TraceEvent::RibChange {
+                prefix: ObsPrefix::new(0x0a000000, 8),
+                old_path: None,
+                new_path: Some(vec![65001]),
+            }
+        });
+        t.record(SimTime::from_secs(5), Some(NodeId(2)), TraceCategory::Route, || {
+            TraceEvent::RibChange {
+                prefix: ObsPrefix::new(0x0a000000, 8),
+                old_path: Some(vec![65001]),
+                new_path: None,
+            }
+        });
+        // A later session event is not a routing change and must not extend
+        // the measured transient.
+        t.record(SimTime::from_secs(9), Some(NodeId(2)), TraceCategory::Session, || {
+            TraceEvent::SessionUp { peer: 3 }
+        });
+        let r = measure_trace(t.records(), SimTime::from_secs(2), true);
+        assert!(r.converged);
+        assert_eq!(r.last_change, Some(SimTime::from_secs(5)));
+        assert_eq!(r.duration, SimDuration::from_secs(3));
+        // Changes before the event are excluded.
+        let r = measure_trace(t.records(), SimTime::from_secs(6), true);
+        assert_eq!(r.last_change, None);
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod reach;
 pub mod viz;
 
 pub use collector::{CollectorStats, RouteCollector};
-pub use convergence::{measure, ConvergenceReport, StabilityProbe};
+pub use convergence::{measure, measure_trace, ConvergenceReport, StabilityProbe};
 pub use logview::{LogAction, LogEntry, UpdateLog};
 pub use reach::{audit, walk, ConnectivityReport, Hop, PathResult};
 pub use viz::{render_dot, VizNode, VizRole};

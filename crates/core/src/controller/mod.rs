@@ -21,7 +21,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use bgpsdn_bgp::{Asn, BgpApp, Prefix, RouterCommand, UpdateMsg};
 use bgpsdn_netsim::{
-    Activity, Ctx, LinkId, Node, NodeId, SimDuration, TimerClass, TimerToken, TraceCategory,
+    Activity, Ctx, LinkId, Node, NodeId, RecomputeTrigger, SimDuration, TimerClass, TimerToken,
+    TraceCategory, TraceEvent,
 };
 use bgpsdn_sdn::{
     FlowAction, FlowModOp, FlowRule, OfEnvelope, OfMessage, SdnApp, SpeakerCmd, SpeakerEvent,
@@ -314,21 +315,28 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             slot.remove(&session);
             !slot.is_empty()
         });
-        self.recompute_now(ctx);
+        self.recompute_now(ctx, RecomputeTrigger::SessionDown);
     }
 
-    fn recompute_now(&mut self, ctx: &mut Ctx<'_, M>) {
+    fn recompute_now(&mut self, ctx: &mut Ctx<'_, M>, trigger: RecomputeTrigger) {
         self.apply_pending();
-        self.recompute_all(ctx);
+        self.recompute_all(ctx, trigger);
     }
 
     // ------------------------------------------------------------------
     // The centralized route computation
     // ------------------------------------------------------------------
 
-    fn recompute_all(&mut self, ctx: &mut Ctx<'_, M>) {
+    fn recompute_all(&mut self, ctx: &mut Ctx<'_, M>, trigger: RecomputeTrigger) {
         self.stats.recomputes += 1;
         ctx.report(Activity::ControllerRecompute);
+        ctx.count("core.controller.recomputes", 1);
+        let span = ctx.span();
+        let (flow_mods_before, ann_before, wd_before) = (
+            self.stats.flow_mods,
+            self.stats.announcements,
+            self.stats.withdrawals,
+        );
 
         let mut prefixes: BTreeSet<Prefix> = self.owned.keys().copied().collect();
         prefixes.extend(self.ext_routes.keys().copied());
@@ -343,8 +351,8 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             let ext = self.live_ext_routes(prefix);
             let comp = compute(&self.sg, owner, &ext);
 
-            for m in 0..n {
-                let action = match comp.decisions[m] {
+            for (m, decision) in comp.decisions.iter().enumerate() {
+                let action = match *decision {
                     MemberDecision::Unreachable => continue,
                     MemberDecision::Local => FlowAction::Local,
                     MemberDecision::ViaMember(next) => {
@@ -384,12 +392,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
 
         // Diff and push flow state.
         let mut changed_any = false;
-        for m in 0..n {
+        for (m, desired) in desired_flows.iter_mut().enumerate() {
             let ctl = self.cfg.members[m].ctl_link;
             // Removals first (old prefixes no longer reachable).
             let stale: Vec<Prefix> = self.installed[m]
                 .keys()
-                .filter(|p| !desired_flows[m].contains_key(p))
+                .filter(|p| !desired.contains_key(p))
                 .copied()
                 .collect();
             for p in stale {
@@ -406,7 +414,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 };
                 ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
             }
-            for (p, action) in &desired_flows[m] {
+            for (p, action) in desired.iter() {
                 if self.installed[m].get(p) == Some(action) {
                     continue;
                 }
@@ -423,14 +431,14 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 };
                 ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
             }
-            self.installed[m] = std::mem::take(&mut desired_flows[m]);
+            self.installed[m] = std::mem::take(desired);
         }
 
         // Diff and push announcements.
-        for s in 0..self.cfg.sessions.len() {
+        for (s, desired) in desired_ann.iter_mut().enumerate() {
             let stale: Vec<Prefix> = self.adj_out[s]
                 .keys()
-                .filter(|p| !desired_ann[s].contains_key(p))
+                .filter(|p| !desired.contains_key(p))
                 .copied()
                 .collect();
             for p in stale {
@@ -444,7 +452,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     }),
                 );
             }
-            for (p, path) in &desired_ann[s] {
+            for (p, path) in desired.iter() {
                 if self.adj_out[s].get(p) == Some(path) {
                     continue;
                 }
@@ -460,19 +468,32 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     }),
                 );
             }
-            self.adj_out[s] = std::mem::take(&mut desired_ann[s]);
+            self.adj_out[s] = std::mem::take(desired);
         }
 
         if changed_any {
             ctx.report(Activity::RibChange);
-            ctx.trace(TraceCategory::Route, || {
-                format!(
-                    "recompute #{}: {} prefixes",
-                    self.stats.recomputes,
-                    prefixes.len()
-                )
-            });
         }
+        let wall_ns = ctx
+            .end_span("core.controller.recompute_wall_ns", span)
+            .unwrap_or(0);
+        ctx.gauge("core.controller.ext_routes", self.ext_routes.len() as i64);
+        let links_up = self.sg.links().iter().filter(|l| l.up).count() as u32;
+        let (flow_mods, announcements, withdrawals) = (
+            (self.stats.flow_mods - flow_mods_before) as u32,
+            (self.stats.announcements - ann_before) as u32,
+            (self.stats.withdrawals - wd_before) as u32,
+        );
+        ctx.trace(TraceCategory::Route, || TraceEvent::ControllerRecompute {
+            trigger,
+            prefixes: prefixes.len() as u32,
+            members: n as u32,
+            links_up,
+            flow_mods,
+            announcements,
+            withdrawals,
+            wall_ns,
+        });
     }
 
     fn handle_of(&mut self, ctx: &mut Ctx<'_, M>, env: &OfEnvelope) {
@@ -484,11 +505,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             OfMessage::PortStatus { port, up } => {
                 let link = LinkId(port);
                 if self.sg.set_link_state(link, up) {
-                    ctx.trace(TraceCategory::Link, || {
-                        format!("intra-cluster {link} {}", if up { "up" } else { "down" })
+                    ctx.trace(TraceCategory::Link, || TraceEvent::LinkAdmin {
+                        link: link.0,
+                        up,
                     });
                     // Failures must be repaired immediately; no delay.
-                    self.recompute_now(ctx);
+                    self.recompute_now(ctx, RecomputeTrigger::LinkChange);
                     return;
                 }
                 // An external egress link: losing it kills that session's
@@ -528,13 +550,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 if let Some(m) = owner {
                     self.owned.insert(*p, m);
                     ctx.report(Activity::PrefixOriginated);
-                    self.recompute_now(ctx);
+                    self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
             }
             RouterCommand::Withdraw(p) => {
                 if self.owned.remove(p).is_some() {
                     ctx.report(Activity::PrefixWithdrawn);
-                    self.recompute_now(ctx);
+                    self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
             }
             RouterCommand::ResetSession(_) | RouterCommand::RequestRefresh(_) => {}
@@ -545,7 +567,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
 impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         // Compile the initial state (member prefixes) onto the switches.
-        self.recompute_all(ctx);
+        self.recompute_all(ctx, RecomputeTrigger::Startup);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
@@ -559,7 +581,7 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
                 SpeakerEvent::SessionUp { session, .. } => {
                     ctx.report(Activity::SessionUp);
                     self.session_up[session] = true;
-                    self.recompute_now(ctx);
+                    self.recompute_now(ctx, RecomputeTrigger::SessionUp);
                 }
                 SpeakerEvent::SessionDown { session } => {
                     ctx.report(Activity::SessionDown);
@@ -584,7 +606,7 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: TimerToken) {
         if token == RECOMPUTE {
             self.recompute_armed = false;
-            self.recompute_now(ctx);
+            self.recompute_now(ctx, RecomputeTrigger::UpdateBatch);
         }
     }
 

@@ -11,7 +11,9 @@ use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{Prefix, RouterCommand};
 use bgpsdn_collector::{audit, measure, ConnectivityReport, ConvergenceReport, Hop};
-use bgpsdn_netsim::{Activity, NodeId, SimDuration, SimTime};
+use bgpsdn_netsim::{
+    Activity, MetricsSnapshot, NodeId, SimDuration, SimTime, TraceCategory, TraceEvent,
+};
 use bgpsdn_sdn::{ClusterMsg, FlowAction};
 
 use super::network::{AsKind, Collector, Controller, HybridNetwork, Router, Switch};
@@ -22,6 +24,15 @@ pub struct Experiment {
     pub net: HybridNetwork,
     /// Start of the current measurement phase.
     phase_start: SimTime,
+    /// Name of the current measurement phase (appears in `Phase` trace
+    /// markers and as the key of the matching metrics snapshot).
+    phase_name: String,
+    /// Auto-numbering for anonymous [`Experiment::mark`] phases.
+    phase_seq: u32,
+    /// Completed phases: `(name, metrics accumulated during that phase)`.
+    snapshots: Vec<(String, MetricsSnapshot)>,
+    /// Whether the current phase's start marker has been emitted.
+    phase_open: bool,
 }
 
 impl Experiment {
@@ -30,6 +41,40 @@ impl Experiment {
         Experiment {
             net,
             phase_start: SimTime::ZERO,
+            phase_name: "bring-up".to_string(),
+            phase_seq: 0,
+            snapshots: Vec::new(),
+            phase_open: false,
+        }
+    }
+
+    /// Emit a `Phase` trace marker (global: no node attribution).
+    fn emit_phase_marker(&mut self, name: &str, started: bool) {
+        let now = self.net.sim.now();
+        let name = name.to_string();
+        self.net
+            .sim
+            .trace_mut()
+            .record(now, None, TraceCategory::Experiment, || TraceEvent::Phase {
+                name,
+                started,
+            });
+    }
+
+    /// Close the current phase: emit its end marker and capture the metrics
+    /// accumulated since its start as a phase-scoped snapshot, then reset
+    /// the registry so the next phase starts from zero.
+    fn close_phase(&mut self) {
+        if self.phase_open {
+            let name = self.phase_name.clone();
+            self.emit_phase_marker(&name, false);
+            self.phase_open = false;
+        }
+        let metrics = self.net.sim.metrics_mut();
+        if !metrics.is_empty() {
+            let snap = metrics.snapshot();
+            metrics.reset();
+            self.snapshots.push((self.phase_name.clone(), snap));
         }
     }
 
@@ -37,20 +82,57 @@ impl Experiment {
     /// routing converges. Returns the convergence report of the bring-up
     /// phase.
     pub fn start(&mut self, max: SimDuration) -> ConvergenceReport {
+        self.emit_phase_marker("bring-up", true);
+        self.phase_open = true;
         let deadline = self.net.sim.now() + max;
         let q = self.net.sim.run_until_quiescent(deadline);
         measure(self.net.sim.board(), SimTime::ZERO, q.quiescent)
     }
 
     /// Begin a measurement phase: reset activity accounting and the
-    /// collector log, and remember the phase start.
+    /// collector log, and remember the phase start. Anonymous phases are
+    /// auto-numbered `phase-1`, `phase-2`, …; use
+    /// [`Experiment::mark_named`] for self-describing trace artifacts.
     pub fn mark(&mut self) -> SimTime {
+        self.phase_seq += 1;
+        let name = format!("phase-{}", self.phase_seq);
+        self.mark_named(&name)
+    }
+
+    /// Begin a named measurement phase. Closes the previous phase (emitting
+    /// its `Phase` end marker and snapshotting its metrics), emits the new
+    /// phase's start marker, resets activity accounting and the collector
+    /// log, and remembers the phase start.
+    pub fn mark_named(&mut self, name: &str) -> SimTime {
+        self.close_phase();
+        self.phase_name = name.to_string();
+        self.emit_phase_marker(name, true);
+        self.phase_open = true;
         self.net.sim.reset_board();
         if let Some(c) = self.net.collector {
             self.net.sim.with_node::<Collector, _>(c, |c| c.clear_log());
         }
         self.phase_start = self.net.sim.now();
         self.phase_start
+    }
+
+    /// Finish the experiment's telemetry: close the still-open phase and
+    /// return all phase-scoped metric snapshots in phase order. Idempotent —
+    /// calling it twice adds nothing new.
+    pub fn finish(&mut self) -> &[(String, MetricsSnapshot)] {
+        self.close_phase();
+        &self.snapshots
+    }
+
+    /// Phase-scoped metric snapshots captured so far (the current phase is
+    /// included only after [`Experiment::finish`] or the next mark).
+    pub fn phase_snapshots(&self) -> &[(String, MetricsSnapshot)] {
+        &self.snapshots
+    }
+
+    /// Name of the current measurement phase.
+    pub fn phase_name(&self) -> &str {
+        &self.phase_name
     }
 
     /// Run until the network re-converges (or `max` elapses) and measure

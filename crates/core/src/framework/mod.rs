@@ -14,7 +14,8 @@ pub use network::{
     Switch, COLLECTOR_ASN,
 };
 pub use scenarios::{
-    clique_sweep_point, run_clique, run_clique_full, CliqueScenario, EventKind, ScenarioOutcome,
+    clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
+    run_clique_traced, CliqueScenario, EventKind, ScenarioOutcome,
 };
 pub use script::{Script, ScriptAction, ScriptReport, StepOutcome};
 pub use traffic::ProbeReport;

@@ -93,6 +93,18 @@ pub fn run_clique_full(
     scenario: &CliqueScenario,
     event: EventKind,
 ) -> (ScenarioOutcome, Experiment) {
+    run_clique_instrumented(scenario, event, |_| {})
+}
+
+/// [`run_clique_full`] with a caller-chosen instrumentation hook applied to
+/// the simulator between build and bring-up — enable trace categories, turn
+/// on profiling, resize the trace ring. Phases are closed on return, so the
+/// experiment's `phase_snapshots()` is complete.
+pub fn run_clique_instrumented(
+    scenario: &CliqueScenario,
+    event: EventKind,
+    instrument: impl FnOnce(&mut super::network::Sim),
+) -> (ScenarioOutcome, Experiment) {
     let ag = match event {
         EventKind::Withdrawal | EventKind::Announcement => {
             AsGraph::all_peer(&gen::clique(scenario.n), 65000)
@@ -127,6 +139,7 @@ pub fn run_clique_full(
         .with_recompute_delay(scenario.recompute_delay)
         .build();
     let mut exp = Experiment::new(net);
+    instrument(&mut exp.net.sim);
 
     let up = exp.start(PHASE_DEADLINE);
     assert!(up.converged, "bring-up did not converge");
@@ -134,7 +147,7 @@ pub fn run_clique_full(
     let origin = 0usize;
     let origin_prefix = exp.net.ases[origin].prefix;
 
-    exp.mark();
+    exp.mark_named(event_phase_name(event));
     let (audit_prefix, expect_gone) = match event {
         EventKind::Withdrawal => {
             exp.withdraw(origin, None);
@@ -173,12 +186,38 @@ pub fn run_clique_full(
         flow_mods: exp.flows_installed(),
         audit_ok,
     };
+    exp.finish();
     (outcome, exp)
+}
+
+/// The phase name a routing event runs under in trace artifacts.
+pub fn event_phase_name(event: EventKind) -> &'static str {
+    match event {
+        EventKind::Withdrawal => "withdrawal",
+        EventKind::Announcement => "announcement",
+        EventKind::Failover => "failover",
+    }
 }
 
 /// Build, bring up and drive one clique experiment.
 pub fn run_clique(scenario: &CliqueScenario, event: EventKind) -> ScenarioOutcome {
     run_clique_full(scenario, event).0
+}
+
+/// [`run_clique_full`] with the telemetry layer switched on: every trace
+/// category enabled, wall-clock profiling spans collected, and the
+/// experiment's phases closed out so `phase_snapshots()` holds one
+/// metrics snapshot per phase (`bring-up`, then the event phase). The
+/// returned experiment's simulator trace buffer holds the typed event
+/// stream — ready for JSONL export (`bgpsdn run --trace-out`).
+pub fn run_clique_traced(
+    scenario: &CliqueScenario,
+    event: EventKind,
+) -> (ScenarioOutcome, Experiment) {
+    run_clique_instrumented(scenario, event, |sim| {
+        sim.trace_mut().enable_all();
+        sim.set_profiling(true);
+    })
 }
 
 /// Run `runs` seeded repetitions and collect the convergence durations —

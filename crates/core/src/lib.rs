@@ -30,7 +30,8 @@ pub use controller::{
     ControllerConfig, ControllerStats, IdrController, MemberConfig, SessionConfig,
 };
 pub use framework::{
-    clique_sweep_point, run_clique, run_clique_full, AsHandle, AsKind, CliqueScenario, Collector,
-    Controller, EventKind, Experiment, HybridNetwork, NetworkBuilder, ProbeReport, Router,
-    ScenarioOutcome, Script, ScriptAction, ScriptReport, Sim, Speaker, Switch, COLLECTOR_ASN,
+    clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
+    run_clique_traced, AsHandle, AsKind, CliqueScenario, Collector, Controller, EventKind,
+    Experiment, HybridNetwork, NetworkBuilder, ProbeReport, Router, ScenarioOutcome, Script,
+    ScriptAction, ScriptReport, Sim, Speaker, Switch, COLLECTOR_ASN,
 };

@@ -23,7 +23,10 @@
 //!   half of "wait until BGP has converged".
 //! * **Measurement surface.** Nodes report semantic activity
 //!   ([`Activity`]) to an [`ActivityBoard`]; convergence detectors read the
-//!   board rather than scraping logs.
+//!   board rather than scraping logs. Richer telemetry — typed
+//!   [`TraceEvent`] records, the [`MetricsRegistry`] of counters/gauges/
+//!   histograms, wall-clock profiling spans — comes from `bgpsdn_obs` and
+//!   is re-exported here.
 
 #![warn(missing_docs)]
 
@@ -45,3 +48,8 @@ pub use sim::{Ctx, Quiescence, Simulator};
 pub use stats::{Activity, ActivityBoard, SimStats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceCategory, TraceRecord};
+
+pub use bgpsdn_obs::{
+    FlowActionRepr, Histogram, MetricsRegistry, MetricsSnapshot, ObsPrefix, RecomputeTrigger,
+    TraceEvent, WallSpan,
+};

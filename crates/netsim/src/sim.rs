@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use bgpsdn_obs::{MetricsRegistry, TraceEvent, WallSpan};
+
 use crate::event::{EventBody, EventQueue};
 use crate::link::{LatencyModel, Link, LinkId};
 use crate::node::{Message, Node, NodeId, TimerClass, TimerToken};
@@ -35,7 +37,19 @@ enum Action<M> {
     Report(Activity),
     Trace {
         category: TraceCategory,
-        detail: String,
+        event: TraceEvent,
+    },
+    Count {
+        name: &'static str,
+        delta: u64,
+    },
+    Gauge {
+        name: &'static str,
+        value: i64,
+    },
+    Observe {
+        name: &'static str,
+        value: u64,
     },
 }
 
@@ -47,6 +61,7 @@ pub struct Ctx<'a, M: Message> {
     links: &'a [Link],
     adjacency: &'a [Vec<(LinkId, NodeId)>],
     trace_enabled: &'a Trace,
+    profiling: bool,
     actions: Vec<Action<M>>,
 }
 
@@ -94,15 +109,54 @@ impl<'a, M: Message> Ctx<'a, M> {
         self.actions.push(Action::Report(kind));
     }
 
-    /// Record a trace entry. The detail closure runs only when `category`
-    /// is enabled, so hot paths pay nothing when tracing is off.
-    pub fn trace(&mut self, category: TraceCategory, detail: impl FnOnce() -> String) {
+    /// Record a typed trace event. The closure runs only when `category` is
+    /// enabled, so hot paths pay one mask test when tracing is off. The
+    /// event's own category must match `category` (debug-asserted when the
+    /// record is applied).
+    pub fn trace(&mut self, category: TraceCategory, event: impl FnOnce() -> TraceEvent) {
         if self.trace_enabled.is_enabled(category) {
             self.actions.push(Action::Trace {
                 category,
-                detail: detail(),
+                event: event(),
             });
         }
+    }
+
+    /// Add `delta` to this node's counter `name`
+    /// (`<crate>.<subsystem>.<name>` convention).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        self.actions.push(Action::Count { name, delta });
+    }
+
+    /// Set this node's gauge `name`.
+    pub fn gauge(&mut self, name: &'static str, value: i64) {
+        self.actions.push(Action::Gauge { name, value });
+    }
+
+    /// Record a sample into this node's histogram `name`.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.actions.push(Action::Observe { name, value });
+    }
+
+    /// Start a wall-clock span; no-op (and no clock read) unless the
+    /// simulator has profiling enabled. Close with [`Ctx::end_span`].
+    #[inline]
+    pub fn span(&self) -> WallSpan {
+        WallSpan::start(self.profiling)
+    }
+
+    /// Record the elapsed wall time of `span` into histogram `name`, if the
+    /// span was started with profiling enabled. Returns the sample.
+    #[inline]
+    pub fn end_span(&mut self, name: &'static str, span: WallSpan) -> Option<u64> {
+        let ns = span.elapsed_ns()?;
+        self.observe(name, ns);
+        Some(ns)
+    }
+
+    /// True when wall-clock profiling spans are being collected.
+    pub fn profiling(&self) -> bool {
+        self.profiling
     }
 
     /// The links adjacent to this node, with the neighbor at the far end.
@@ -149,6 +203,8 @@ pub struct Simulator<M: Message> {
     rng: SimRng,
     board: ActivityBoard,
     trace: Trace,
+    metrics: MetricsRegistry,
+    profiling: bool,
     stats: SimStats,
     started: bool,
     /// Hard cap on events per `run_*` call, against livelock.
@@ -169,6 +225,8 @@ impl<M: Message> Simulator<M> {
             rng: SimRng::seed_from_u64(seed),
             board: ActivityBoard::default(),
             trace: Trace::default(),
+            metrics: MetricsRegistry::new(),
+            profiling: false,
             stats: SimStats::default(),
             started: false,
             max_events_per_run: 200_000_000,
@@ -298,6 +356,28 @@ impl<M: Message> Simulator<M> {
         &self.trace
     }
 
+    /// The metrics registry, read-only.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The metrics registry (snapshot/reset at phase boundaries).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Enable or disable wall-clock profiling spans. Off by default: spans
+    /// then cost one branch and no clock read. Wall times never influence
+    /// simulation behavior, so determinism is unaffected either way.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// True when wall-clock profiling spans are being collected.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
     /// Fork an independent random substream (for topology builders etc.).
     pub fn fork_rng(&mut self, stream: u64) -> SimRng {
         self.rng.fork(stream)
@@ -353,7 +433,16 @@ impl<M: Message> Simulator<M> {
         debug_assert!(ev.at >= self.now, "time went backwards");
         self.now = ev.at;
         self.stats.events_processed += 1;
-        match ev.body {
+        let span = WallSpan::start(self.profiling);
+        let alive = self.step_body(ev.body);
+        if let Some(ns) = span.elapsed_ns() {
+            self.metrics.observe(None, "netsim.loop.dispatch_wall_ns", ns);
+        }
+        alive
+    }
+
+    fn step_body(&mut self, body: EventBody<M>) -> bool {
+        match body {
             EventBody::Start { node } => {
                 self.dispatch(node, |n, ctx| n.on_start(ctx));
             }
@@ -398,12 +487,9 @@ impl<M: Message> Simulator<M> {
                 }
                 l.up = up;
                 let (a, b) = (l.a, l.b);
-                self.trace.record(
-                    self.now,
-                    None,
-                    TraceCategory::Link,
-                    format!("{link} {}", if up { "up" } else { "down" }),
-                );
+                self.trace.record(self.now, None, TraceCategory::Link, || {
+                    TraceEvent::LinkAdmin { link: link.0, up }
+                });
                 self.dispatch(a, |n, ctx| n.on_link_change(ctx, link, up));
                 self.dispatch(b, |n, ctx| n.on_link_change(ctx, link, up));
             }
@@ -489,6 +575,7 @@ impl<M: Message> Simulator<M> {
             links: &self.links,
             adjacency: &self.adjacency,
             trace_enabled: &self.trace,
+            profiling: self.profiling,
             actions: Vec::new(),
         };
         f(node.as_mut(), &mut ctx);
@@ -556,8 +643,17 @@ impl<M: Message> Simulator<M> {
                 Action::Report(kind) => {
                     self.board.report(self.now, kind);
                 }
-                Action::Trace { category, detail } => {
-                    self.trace.record(self.now, Some(id), category, detail);
+                Action::Trace { category, event } => {
+                    self.trace.record(self.now, Some(id), category, || event);
+                }
+                Action::Count { name, delta } => {
+                    self.metrics.count(Some(id.0), name, delta);
+                }
+                Action::Gauge { name, value } => {
+                    self.metrics.gauge(Some(id.0), name, value);
+                }
+                Action::Observe { name, value } => {
+                    self.metrics.observe(Some(id.0), name, value);
                 }
             }
         }

@@ -3,104 +3,59 @@
 //! The trace is the framework's equivalent of the paper's Quagga/collector
 //! log files: a time-ordered record of interesting events, filterable by
 //! category, from which the analysis tools (convergence measurement, route
-//! change visualization) work. Tracing is off by default; experiments enable
-//! the categories they need.
+//! change visualization, `bgpsdn report`) work. Records carry a typed
+//! [`TraceEvent`] payload — machine-readable facts, not strings — and the
+//! buffer exports/imports the JSONL artifact schema from `bgpsdn_obs`.
+//!
+//! Tracing is off by default; experiments enable the categories they need.
+//! The buffer is a ring: when full, the *oldest* records are dropped so the
+//! tail of a long run (usually the interesting part) is always retained,
+//! and [`Trace::dropped`] counts what was evicted.
 
+use std::collections::VecDeque;
 use std::fmt;
+
+use bgpsdn_obs::{event_line, RunArtifact, TraceEvent};
+
+pub use bgpsdn_obs::TraceCategory;
 
 use crate::node::NodeId;
 use crate::time::SimTime;
 
-/// Category of a trace record, used for enable/disable filtering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TraceCategory {
-    /// Message sends and deliveries.
-    Msg,
-    /// Timer arming and firing.
-    Timer,
-    /// Link state changes.
-    Link,
-    /// Routing decisions (best path changes, RIB operations).
-    Route,
-    /// Flow table operations.
-    Flow,
-    /// BGP session lifecycle.
-    Session,
-    /// Experiment lifecycle markers (scenario steps, phase boundaries).
-    Experiment,
-}
-
-impl TraceCategory {
-    const COUNT: usize = 7;
-
-    fn bit(self) -> u8 {
-        match self {
-            TraceCategory::Msg => 1 << 0,
-            TraceCategory::Timer => 1 << 1,
-            TraceCategory::Link => 1 << 2,
-            TraceCategory::Route => 1 << 3,
-            TraceCategory::Flow => 1 << 4,
-            TraceCategory::Session => 1 << 5,
-            TraceCategory::Experiment => 1 << 6,
-        }
-    }
-
-    /// All categories, for "enable everything".
-    pub fn all() -> [TraceCategory; Self::COUNT] {
-        [
-            TraceCategory::Msg,
-            TraceCategory::Timer,
-            TraceCategory::Link,
-            TraceCategory::Route,
-            TraceCategory::Flow,
-            TraceCategory::Session,
-            TraceCategory::Experiment,
-        ]
-    }
-}
-
-impl fmt::Display for TraceCategory {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceCategory::Msg => "msg",
-            TraceCategory::Timer => "timer",
-            TraceCategory::Link => "link",
-            TraceCategory::Route => "route",
-            TraceCategory::Flow => "flow",
-            TraceCategory::Session => "session",
-            TraceCategory::Experiment => "exp",
-        };
-        f.write_str(s)
-    }
-}
-
 /// One trace entry.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecord {
     /// When the event happened.
     pub time: SimTime,
     /// Node the event is attributed to, if any.
     pub node: Option<NodeId>,
-    /// Filter category.
+    /// Filter category (always `event.category()`).
     pub category: TraceCategory,
-    /// Human-readable payload.
-    pub detail: String,
+    /// Typed payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// The record as one JSONL artifact line.
+    pub fn to_jsonl(&self) -> String {
+        event_line(self.time.as_nanos(), self.node.map(|n| n.0), &self.event)
+    }
 }
 
 impl fmt::Display for TraceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.node {
-            Some(n) => write!(f, "[{} {} {}] {}", self.time, self.category, n, self.detail),
-            None => write!(f, "[{} {}] {}", self.time, self.category, self.detail),
+            Some(n) => write!(f, "[{} {} {}] {}", self.time, self.category, n, self.event),
+            None => write!(f, "[{} {}] {}", self.time, self.category, self.event),
         }
     }
 }
 
-/// A bounded, category-filtered trace buffer.
+/// A bounded, category-filtered trace ring buffer.
 #[derive(Debug)]
 pub struct Trace {
     mask: u8,
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,
 }
@@ -112,12 +67,12 @@ impl Default for Trace {
 }
 
 impl Trace {
-    /// Create a trace buffer that keeps at most `capacity` records; further
-    /// records are counted but discarded.
+    /// Create a trace buffer that keeps at most `capacity` records; once
+    /// full, each new record evicts the oldest (drop-oldest ring).
     pub fn new(capacity: usize) -> Self {
         Trace {
             mask: 0,
-            records: Vec::new(),
+            records: VecDeque::new(),
             capacity,
             dropped: 0,
         }
@@ -145,32 +100,55 @@ impl Trace {
         self.mask & cat.bit() != 0
     }
 
-    /// Append a record if its category is enabled and capacity remains.
+    /// Append a record. The event closure runs only when `category` is
+    /// enabled, so disabled tracing costs one mask test. When the buffer is
+    /// full the oldest record is evicted and counted in [`Trace::dropped`].
+    #[inline]
     pub fn record(
         &mut self,
         time: SimTime,
         node: Option<NodeId>,
         category: TraceCategory,
-        detail: String,
+        event: impl FnOnce() -> TraceEvent,
     ) {
         if !self.is_enabled(category) {
             return;
         }
-        if self.records.len() >= self.capacity {
+        let event = event();
+        debug_assert_eq!(
+            event.category(),
+            category,
+            "trace category mismatch for {event}"
+        );
+        if self.capacity == 0 {
             self.dropped += 1;
             return;
         }
-        self.records.push(TraceRecord {
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
             time,
             node,
             category,
-            detail,
+            event,
         });
     }
 
     /// All retained records in time order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
     }
 
     /// Records of one category.
@@ -183,7 +161,8 @@ impl Trace {
         self.records.iter().filter(move |r| r.node == Some(node))
     }
 
-    /// How many records were discarded after the buffer filled.
+    /// How many records were evicted (ring overwrite) or discarded
+    /// (zero-capacity buffer).
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
@@ -193,60 +172,130 @@ impl Trace {
         self.records.clear();
         self.dropped = 0;
     }
+
+    /// Export every retained record as JSONL artifact lines.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse records back from JSONL (non-event lines are ignored).
+    pub fn import_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+        let artifact = RunArtifact::parse(text)?;
+        Ok(artifact
+            .events
+            .into_iter()
+            .map(|r| TraceRecord {
+                time: SimTime::from_nanos(r.t),
+                node: r.node.map(NodeId),
+                category: r.event.category(),
+                event: r.event,
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgpsdn_obs::ObsPrefix;
+
+    fn note(cat: TraceCategory, text: &str) -> TraceEvent {
+        TraceEvent::Note {
+            category: cat,
+            text: text.into(),
+        }
+    }
 
     #[test]
     fn disabled_categories_are_not_recorded() {
         let mut t = Trace::new(10);
-        t.record(SimTime::ZERO, None, TraceCategory::Msg, "x".into());
-        assert!(t.records().is_empty());
+        t.record(SimTime::ZERO, None, TraceCategory::Msg, || {
+            note(TraceCategory::Msg, "x")
+        });
+        assert!(t.is_empty());
         t.enable(TraceCategory::Msg);
-        t.record(SimTime::ZERO, None, TraceCategory::Msg, "y".into());
-        t.record(SimTime::ZERO, None, TraceCategory::Route, "z".into());
-        assert_eq!(t.records().len(), 1);
-        assert_eq!(t.records()[0].detail, "y");
+        t.record(SimTime::ZERO, None, TraceCategory::Msg, || {
+            note(TraceCategory::Msg, "y")
+        });
+        t.record(SimTime::ZERO, None, TraceCategory::Route, || {
+            note(TraceCategory::Route, "z")
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.records().next().unwrap().event,
+            note(TraceCategory::Msg, "y")
+        );
     }
 
     #[test]
-    fn capacity_bounds_and_counts_drops() {
+    fn disabled_category_never_runs_the_closure() {
+        let mut t = Trace::new(10);
+        let mut ran = false;
+        t.record(SimTime::ZERO, None, TraceCategory::Flow, || {
+            ran = true;
+            note(TraceCategory::Flow, "should not happen")
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
         let mut t = Trace::new(2);
         t.enable_all();
-        for i in 0..5 {
-            t.record(SimTime::ZERO, None, TraceCategory::Link, format!("{i}"));
+        for i in 0..5u32 {
+            t.record(SimTime::from_secs(i as u64), None, TraceCategory::Link, || {
+                TraceEvent::LinkAdmin { link: i, up: true }
+            });
         }
-        assert_eq!(t.records().len(), 2);
+        // Drop-oldest: the two *newest* records survive.
+        assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
+        let kept: Vec<u32> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::LinkAdmin { link, .. } => link,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![3, 4]);
         t.clear();
-        assert!(t.records().is_empty());
+        assert!(t.is_empty());
         assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_dropped() {
+        let mut t = Trace::new(0);
+        t.enable_all();
+        t.record(SimTime::ZERO, None, TraceCategory::Link, || {
+            TraceEvent::LinkAdmin { link: 0, up: false }
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
     }
 
     #[test]
     fn filters_by_node_and_category() {
         let mut t = Trace::new(10);
         t.enable_all();
-        t.record(
-            SimTime::ZERO,
-            Some(NodeId(1)),
-            TraceCategory::Route,
-            "a".into(),
-        );
-        t.record(
-            SimTime::ZERO,
-            Some(NodeId(2)),
-            TraceCategory::Route,
-            "b".into(),
-        );
-        t.record(
-            SimTime::ZERO,
-            Some(NodeId(1)),
-            TraceCategory::Flow,
-            "c".into(),
-        );
+        t.record(SimTime::ZERO, Some(NodeId(1)), TraceCategory::Route, || {
+            TraceEvent::RibChange {
+                prefix: ObsPrefix::new(0, 0),
+                old_path: None,
+                new_path: Some(vec![1]),
+            }
+        });
+        t.record(SimTime::ZERO, Some(NodeId(2)), TraceCategory::Route, || {
+            note(TraceCategory::Route, "b")
+        });
+        t.record(SimTime::ZERO, Some(NodeId(1)), TraceCategory::Flow, || {
+            note(TraceCategory::Flow, "c")
+        });
         assert_eq!(t.by_node(NodeId(1)).count(), 2);
         assert_eq!(t.by_category(TraceCategory::Route).count(), 2);
     }
@@ -257,11 +306,12 @@ mod tests {
             time: SimTime::from_secs(1),
             node: Some(NodeId(4)),
             category: TraceCategory::Session,
-            detail: "established".into(),
+            event: TraceEvent::SessionUp { peer: 9 },
         };
         let s = r.to_string();
         assert!(s.contains("session"), "{s}");
         assert!(s.contains("n4"), "{s}");
+        assert!(s.contains("n9"), "{s}");
     }
 
     #[test]
@@ -271,5 +321,32 @@ mod tests {
         assert!(t.is_enabled(TraceCategory::Timer));
         t.disable(TraceCategory::Timer);
         assert!(!t.is_enabled(TraceCategory::Timer));
+    }
+
+    #[test]
+    fn jsonl_export_import_roundtrip() {
+        let mut t = Trace::new(10);
+        t.enable_all();
+        t.record(
+            SimTime::from_millis(5),
+            Some(NodeId(3)),
+            TraceCategory::Msg,
+            || TraceEvent::UpdateSent {
+                peer: 1,
+                announced: vec![ObsPrefix::new(0x0a000000, 8)],
+                withdrawn: vec![],
+            },
+        );
+        t.record(SimTime::from_millis(9), None, TraceCategory::Experiment, || {
+            TraceEvent::Phase {
+                name: "bring-up".into(),
+                started: true,
+            }
+        });
+        let text = t.export_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = Trace::import_jsonl(&text).unwrap();
+        let original: Vec<TraceRecord> = t.records().cloned().collect();
+        assert_eq!(back, original);
     }
 }

@@ -1,0 +1,483 @@
+//! JSONL run artifacts: writing, parsing, and analysis.
+//!
+//! A run artifact is a line-oriented file; each line is one JSON object
+//! distinguished by its `"type"` member:
+//!
+//! * `{"type":"run", ...}` — free-form run header (scenario parameters);
+//! * `{"type":"event","t":<sim ns>,"node":<id|null>,"kind":...,<fields>}` —
+//!   one typed [`TraceEvent`], flattened;
+//! * `{"type":"metrics","phase":<name>,"metrics":[...]}` — a phase-scoped
+//!   [`MetricsSnapshot`].
+//!
+//! The analysis half ([`RunAnalysis`]) derives per-node update counts,
+//! recompute latency histograms and a convergence timeline purely from the
+//! typed events — no string parsing anywhere.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::TraceEvent;
+use crate::json::Json;
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// One event line, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Simulation time in nanoseconds.
+    pub t: u64,
+    /// Node the event is attributed to, if any.
+    pub node: Option<u32>,
+    /// The typed payload.
+    pub event: TraceEvent,
+}
+
+/// Serialize one event line.
+pub fn event_line(t: u64, node: Option<u32>, event: &TraceEvent) -> String {
+    let mut members: Vec<(String, Json)> = vec![
+        ("type".into(), Json::Str("event".into())),
+        ("t".into(), Json::U64(t)),
+        (
+            "node".into(),
+            match node {
+                Some(n) => Json::U64(n as u64),
+                None => Json::Null,
+            },
+        ),
+    ];
+    if let Json::Obj(event_members) = event.to_json() {
+        members.extend(event_members);
+    }
+    Json::Obj(members).to_compact()
+}
+
+/// Serialize one metrics-snapshot line.
+pub fn metrics_line(phase: &str, snapshot: &MetricsSnapshot) -> String {
+    Json::Obj(vec![
+        ("type".into(), Json::Str("metrics".into())),
+        ("phase".into(), Json::Str(phase.to_string())),
+        ("metrics".into(), snapshot.to_json()),
+    ])
+    .to_compact()
+}
+
+/// Serialize the run-header line. `info` should be an object; its members
+/// are merged after the `"type"` tag.
+pub fn run_line(info: &Json) -> String {
+    let mut members: Vec<(String, Json)> = vec![("type".into(), Json::Str("run".into()))];
+    if let Json::Obj(m) = info {
+        members.extend(m.iter().cloned());
+    }
+    Json::Obj(members).to_compact()
+}
+
+/// A parsed run artifact.
+#[derive(Debug, Clone, Default)]
+pub struct RunArtifact {
+    /// The run header, minus the `"type"` tag, if present.
+    pub run: Option<Json>,
+    /// All event lines in file order.
+    pub events: Vec<EventRecord>,
+    /// Phase-tagged metric snapshots (kept as raw JSON).
+    pub snapshots: Vec<(String, Json)>,
+}
+
+impl RunArtifact {
+    /// Parse a whole JSONL document. Unknown line types are ignored (forward
+    /// compatibility); malformed lines are errors.
+    pub fn parse(text: &str) -> Result<RunArtifact, String> {
+        let mut out = RunArtifact::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            match v.get("type").and_then(Json::as_str) {
+                Some("event") => {
+                    let t = v
+                        .get("t")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("line {}: bad \"t\"", lineno + 1))?;
+                    let node = match v.get("node") {
+                        None | Some(Json::Null) => None,
+                        Some(n) => Some(
+                            n.as_u64()
+                                .and_then(|n| u32::try_from(n).ok())
+                                .ok_or_else(|| format!("line {}: bad \"node\"", lineno + 1))?,
+                        ),
+                    };
+                    let event = TraceEvent::from_json(&v)
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                    out.events.push(EventRecord { t, node, event });
+                }
+                Some("metrics") => {
+                    let phase = v
+                        .get("phase")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string();
+                    let metrics = v
+                        .get("metrics")
+                        .cloned()
+                        .ok_or_else(|| format!("line {}: missing \"metrics\"", lineno + 1))?;
+                    out.snapshots.push((phase, metrics));
+                }
+                Some("run") => {
+                    let members = match &v {
+                        Json::Obj(m) => m
+                            .iter()
+                            .filter(|(k, _)| k != "type")
+                            .cloned()
+                            .collect::<Vec<_>>(),
+                        _ => Vec::new(),
+                    };
+                    out.run = Some(Json::Obj(members));
+                }
+                Some(_) => {} // unknown line type: skip
+                None => return Err(format!("line {}: missing \"type\"", lineno + 1)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The latest sim-time of a routing-state change at or after `after`.
+pub fn last_routing_change<'a>(
+    events: impl IntoIterator<Item = (u64, &'a TraceEvent)>,
+    after: u64,
+) -> Option<u64> {
+    events
+        .into_iter()
+        .filter(|(t, e)| *t >= after && e.is_routing_change())
+        .map(|(t, _)| t)
+        .max()
+}
+
+/// Per-phase convergence summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSummary {
+    /// Phase name ("run" when the artifact has no phase markers).
+    pub name: String,
+    /// Phase start, sim ns.
+    pub start: u64,
+    /// Phase end marker, if recorded.
+    pub end: Option<u64>,
+    /// Last routing change within the phase, sim ns.
+    pub last_change: Option<u64>,
+    /// UPDATE messages sent during the phase.
+    pub updates_sent: u64,
+}
+
+impl PhaseSummary {
+    /// Time from phase start to last routing change (the convergence time).
+    pub fn convergence_ns(&self) -> Option<u64> {
+        self.last_change.map(|t| t.saturating_sub(self.start))
+    }
+}
+
+/// Everything `bgpsdn report` prints, computed from typed events.
+#[derive(Debug, Clone, Default)]
+pub struct RunAnalysis {
+    /// node → (updates sent, updates delivered).
+    pub updates_by_node: BTreeMap<u32, (u64, u64)>,
+    /// Controller recompute wall-clock latencies.
+    pub recompute_wall_ns: Histogram,
+    /// Number of recompute events.
+    pub recomputes: u64,
+    /// Flow mods reported by recompute events.
+    pub flow_mods: u64,
+    /// Session up / down event counts.
+    pub sessions: (u64, u64),
+    /// The convergence timeline, one entry per phase.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl RunAnalysis {
+    /// Analyze a parsed artifact.
+    pub fn from_artifact(artifact: &RunArtifact) -> RunAnalysis {
+        let mut a = RunAnalysis::default();
+        let mut open_phase: Option<PhaseSummary> = None;
+        let mut saw_phase_marker = false;
+        for rec in &artifact.events {
+            match &rec.event {
+                TraceEvent::UpdateSent { .. } => {
+                    if let Some(node) = rec.node {
+                        a.updates_by_node.entry(node).or_default().0 += 1;
+                    }
+                    if let Some(p) = open_phase.as_mut() {
+                        p.updates_sent += 1;
+                    }
+                }
+                TraceEvent::UpdateDelivered { .. } => {
+                    if let Some(node) = rec.node {
+                        a.updates_by_node.entry(node).or_default().1 += 1;
+                    }
+                }
+                TraceEvent::ControllerRecompute { wall_ns, flow_mods, .. } => {
+                    a.recomputes += 1;
+                    a.flow_mods += *flow_mods as u64;
+                    a.recompute_wall_ns.record(*wall_ns);
+                }
+                TraceEvent::SessionUp { .. } => a.sessions.0 += 1,
+                TraceEvent::SessionDown { .. } => a.sessions.1 += 1,
+                TraceEvent::Phase { name, started } => {
+                    saw_phase_marker = true;
+                    if *started {
+                        if let Some(p) = open_phase.take() {
+                            a.phases.push(p);
+                        }
+                        open_phase = Some(PhaseSummary {
+                            name: name.clone(),
+                            start: rec.t,
+                            end: None,
+                            last_change: None,
+                            updates_sent: 0,
+                        });
+                    } else if let Some(mut p) = open_phase.take() {
+                        p.end = Some(rec.t);
+                        a.phases.push(p);
+                    }
+                }
+                other => {
+                    if other.is_routing_change() {
+                        if let Some(p) = open_phase.as_mut() {
+                            p.last_change = Some(rec.t);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(p) = open_phase.take() {
+            a.phases.push(p);
+        }
+        if !saw_phase_marker && !artifact.events.is_empty() {
+            // No markers: treat the whole run as one phase.
+            let start = artifact.events.first().map(|r| r.t).unwrap_or(0);
+            let end = artifact.events.last().map(|r| r.t);
+            let last_change = last_routing_change(
+                artifact.events.iter().map(|r| (r.t, &r.event)),
+                0,
+            );
+            let updates_sent = artifact
+                .events
+                .iter()
+                .filter(|r| matches!(r.event, TraceEvent::UpdateSent { .. }))
+                .count() as u64;
+            a.phases.push(PhaseSummary {
+                name: "run".into(),
+                start,
+                end,
+                last_change,
+                updates_sent,
+            });
+        }
+        a
+    }
+
+    /// Human-readable report (what `bgpsdn report` prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== per-node BGP update counts");
+        if self.updates_by_node.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for (node, (sent, delivered)) in &self.updates_by_node {
+            let _ = writeln!(out, "  n{node:<4} sent {sent:>6}  delivered {delivered:>6}");
+        }
+        let _ = writeln!(out, "== controller recompute latency (wall-clock)");
+        if self.recomputes == 0 {
+            let _ = writeln!(out, "  (no recompute events)");
+        } else {
+            let h = &self.recompute_wall_ns;
+            let _ = writeln!(
+                out,
+                "  {} recomputes, {} flowmods, mean {:.0} ns, p50 >= {} ns, max {} ns",
+                self.recomputes,
+                self.flow_mods,
+                h.mean().unwrap_or(0.0),
+                h.quantile(0.5).unwrap_or(0),
+                h.max().unwrap_or(0),
+            );
+            let _ = write!(out, "{h}");
+        }
+        let _ = writeln!(out, "== convergence timeline");
+        for p in &self.phases {
+            match p.convergence_ns() {
+                Some(ns) => {
+                    let _ = writeln!(
+                        out,
+                        "  phase {:<12} start {:>10.3}s  last change {:>10.3}s  converged in {:.3}s  ({} updates)",
+                        p.name,
+                        p.start as f64 / 1e9,
+                        p.last_change.unwrap_or(p.start) as f64 / 1e9,
+                        ns as f64 / 1e9,
+                        p.updates_sent,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  phase {:<12} start {:>10.3}s  no routing change  ({} updates)",
+                        p.name,
+                        p.start as f64 / 1e9,
+                        p.updates_sent,
+                    );
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "== sessions: {} up events, {} down events",
+            self.sessions.0, self.sessions.1
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObsPrefix, RecomputeTrigger};
+
+    fn pfx() -> ObsPrefix {
+        ObsPrefix::new(0x0a000000, 8)
+    }
+
+    #[test]
+    fn lines_roundtrip_through_parse() {
+        let mut text = String::new();
+        text.push_str(&run_line(&Json::Obj(vec![(
+            "scenario".into(),
+            Json::Str("clique".into()),
+        )])));
+        text.push('\n');
+        text.push_str(&event_line(
+            5,
+            Some(3),
+            &TraceEvent::UpdateSent {
+                peer: 1,
+                announced: vec![pfx()],
+                withdrawn: vec![],
+            },
+        ));
+        text.push('\n');
+        text.push_str(&metrics_line("bring-up", &MetricsSnapshot::default()));
+        text.push('\n');
+        let artifact = RunArtifact::parse(&text).unwrap();
+        assert_eq!(
+            artifact.run.as_ref().unwrap().get("scenario").unwrap().as_str(),
+            Some("clique")
+        );
+        assert_eq!(artifact.events.len(), 1);
+        assert_eq!(artifact.events[0].t, 5);
+        assert_eq!(artifact.events[0].node, Some(3));
+        assert_eq!(artifact.snapshots.len(), 1);
+        assert_eq!(artifact.snapshots[0].0, "bring-up");
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines_and_skips_unknown_types() {
+        assert!(RunArtifact::parse("{\"type\":\"event\"}").is_err()); // no t
+        assert!(RunArtifact::parse("not json").is_err());
+        let ok = RunArtifact::parse("{\"type\":\"future-thing\",\"x\":1}\n\n").unwrap();
+        assert!(ok.events.is_empty());
+    }
+
+    fn ev(t: u64, node: Option<u32>, event: TraceEvent) -> EventRecord {
+        EventRecord { t, node, event }
+    }
+
+    #[test]
+    fn analysis_counts_and_timeline() {
+        let artifact = RunArtifact {
+            run: None,
+            events: vec![
+                ev(0, None, TraceEvent::Phase { name: "bring-up".into(), started: true }),
+                ev(
+                    10,
+                    Some(1),
+                    TraceEvent::UpdateSent { peer: 2, announced: vec![pfx()], withdrawn: vec![] },
+                ),
+                ev(
+                    12,
+                    Some(2),
+                    TraceEvent::UpdateDelivered { peer: 1, announced: vec![pfx()], withdrawn: vec![] },
+                ),
+                ev(
+                    20,
+                    Some(2),
+                    TraceEvent::RibChange {
+                        prefix: pfx(),
+                        old_path: None,
+                        new_path: Some(vec![65001]),
+                    },
+                ),
+                ev(
+                    25,
+                    Some(9),
+                    TraceEvent::ControllerRecompute {
+                        trigger: RecomputeTrigger::UpdateBatch,
+                        prefixes: 1,
+                        members: 4,
+                        links_up: 6,
+                        flow_mods: 3,
+                        announcements: 1,
+                        withdrawals: 0,
+                        wall_ns: 900,
+                    },
+                ),
+                ev(30, None, TraceEvent::Phase { name: "bring-up".into(), started: false }),
+                ev(40, None, TraceEvent::Phase { name: "withdrawal".into(), started: true }),
+                ev(
+                    55,
+                    Some(1),
+                    TraceEvent::UpdateSent { peer: 2, announced: vec![], withdrawn: vec![pfx()] },
+                ),
+                ev(
+                    70,
+                    Some(2),
+                    TraceEvent::RibChange {
+                        prefix: pfx(),
+                        old_path: Some(vec![65001]),
+                        new_path: None,
+                    },
+                ),
+            ],
+            snapshots: vec![],
+        };
+        let a = RunAnalysis::from_artifact(&artifact);
+        assert_eq!(a.updates_by_node.get(&1), Some(&(2, 0)));
+        assert_eq!(a.updates_by_node.get(&2), Some(&(0, 1)));
+        assert_eq!(a.recomputes, 1);
+        assert_eq!(a.flow_mods, 3);
+        assert_eq!(a.recompute_wall_ns.max(), Some(900));
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.phases[0].name, "bring-up");
+        assert_eq!(a.phases[0].convergence_ns(), Some(20));
+        assert_eq!(a.phases[0].updates_sent, 1);
+        assert_eq!(a.phases[1].name, "withdrawal");
+        assert_eq!(a.phases[1].start, 40);
+        assert_eq!(a.phases[1].convergence_ns(), Some(30));
+        let report = a.render();
+        assert!(report.contains("n1"), "{report}");
+        assert!(report.contains("recompute"), "{report}");
+        assert!(report.contains("withdrawal"), "{report}");
+    }
+
+    #[test]
+    fn analysis_without_phase_markers_uses_whole_run() {
+        let artifact = RunArtifact {
+            run: None,
+            events: vec![ev(
+                7,
+                Some(1),
+                TraceEvent::RibChange { prefix: pfx(), old_path: None, new_path: Some(vec![1]) },
+            )],
+            snapshots: vec![],
+        };
+        let a = RunAnalysis::from_artifact(&artifact);
+        assert_eq!(a.phases.len(), 1);
+        assert_eq!(a.phases[0].name, "run");
+        assert_eq!(a.phases[0].convergence_ns(), Some(0));
+    }
+}

@@ -1,0 +1,853 @@
+//! Typed trace events.
+//!
+//! Every record the simulator traces is one of these variants — a
+//! machine-readable fact, not a formatted string — so downstream consumers
+//! (the collector's convergence detector, `bgpsdn report`, the bench
+//! harness) analyze runs without parsing free text.
+//!
+//! The crate sits below `netsim`, so events use plain representations: node
+//! ids are `u32`, prefixes are [`ObsPrefix`], AS paths are `Vec<u32>`.
+
+use std::fmt;
+
+use crate::json::{Json, ToJson};
+
+/// Category of a trace record, used for enable/disable filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    /// Message sends and deliveries.
+    Msg,
+    /// Timer arming and firing.
+    Timer,
+    /// Link state changes.
+    Link,
+    /// Routing decisions (best path changes, RIB operations).
+    Route,
+    /// Flow table operations.
+    Flow,
+    /// BGP session lifecycle.
+    Session,
+    /// Experiment lifecycle markers (scenario steps, phase boundaries).
+    Experiment,
+}
+
+impl TraceCategory {
+    const COUNT: usize = 7;
+
+    /// Bit for mask-based filtering.
+    pub fn bit(self) -> u8 {
+        match self {
+            TraceCategory::Msg => 1 << 0,
+            TraceCategory::Timer => 1 << 1,
+            TraceCategory::Link => 1 << 2,
+            TraceCategory::Route => 1 << 3,
+            TraceCategory::Flow => 1 << 4,
+            TraceCategory::Session => 1 << 5,
+            TraceCategory::Experiment => 1 << 6,
+        }
+    }
+
+    /// All categories, for "enable everything".
+    pub fn all() -> [TraceCategory; Self::COUNT] {
+        [
+            TraceCategory::Msg,
+            TraceCategory::Timer,
+            TraceCategory::Link,
+            TraceCategory::Route,
+            TraceCategory::Flow,
+            TraceCategory::Session,
+            TraceCategory::Experiment,
+        ]
+    }
+
+    /// Short lowercase name (stable; used in JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCategory::Msg => "msg",
+            TraceCategory::Timer => "timer",
+            TraceCategory::Link => "link",
+            TraceCategory::Route => "route",
+            TraceCategory::Flow => "flow",
+            TraceCategory::Session => "session",
+            TraceCategory::Experiment => "exp",
+        }
+    }
+
+    /// Inverse of [`TraceCategory::name`].
+    pub fn from_name(name: &str) -> Option<TraceCategory> {
+        TraceCategory::all().into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for TraceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An IPv4 prefix in the telemetry plane (`addr`/`len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObsPrefix {
+    /// Network address as a big-endian u32.
+    pub addr: u32,
+    /// Mask length, 0..=32.
+    pub len: u8,
+}
+
+impl ObsPrefix {
+    /// Construct, masking off host bits.
+    pub fn new(addr: u32, len: u8) -> ObsPrefix {
+        let len = len.min(32);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        ObsPrefix {
+            addr: addr & mask,
+            len,
+        }
+    }
+}
+
+impl fmt::Display for ObsPrefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.addr.to_be_bytes();
+        write!(f, "{a}.{b}.{c}.{d}/{}", self.len)
+    }
+}
+
+impl std::str::FromStr for ObsPrefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ObsPrefix, String> {
+        let (ip, len) = s.split_once('/').ok_or_else(|| format!("no '/' in {s:?}"))?;
+        let len: u8 = len.parse().map_err(|_| format!("bad mask length in {s:?}"))?;
+        if len > 32 {
+            return Err(format!("mask length {len} > 32"));
+        }
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in ip.split('.') {
+            if n == 4 {
+                return Err(format!("too many octets in {s:?}"));
+            }
+            octets[n] = part.parse().map_err(|_| format!("bad octet in {s:?}"))?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(format!("too few octets in {s:?}"));
+        }
+        Ok(ObsPrefix::new(u32::from_be_bytes(octets), len))
+    }
+}
+
+impl ToJson for ObsPrefix {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+/// Flow-rule action, mirrored from `bgpsdn_sdn::FlowAction` so this crate
+/// stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowActionRepr {
+    /// Forward out a port (the peer node id in the emulation).
+    Output(u32),
+    /// Punt to the controller.
+    ToController,
+    /// Discard.
+    Drop,
+    /// Deliver locally.
+    Local,
+}
+
+impl fmt::Display for FlowActionRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowActionRepr::Output(p) => write!(f, "output:{p}"),
+            FlowActionRepr::ToController => f.write_str("controller"),
+            FlowActionRepr::Drop => f.write_str("drop"),
+            FlowActionRepr::Local => f.write_str("local"),
+        }
+    }
+}
+
+impl FlowActionRepr {
+    fn to_json(self) -> Json {
+        Json::Str(self.to_string())
+    }
+
+    fn from_json(v: &Json) -> Option<FlowActionRepr> {
+        let s = v.as_str()?;
+        match s {
+            "controller" => Some(FlowActionRepr::ToController),
+            "drop" => Some(FlowActionRepr::Drop),
+            "local" => Some(FlowActionRepr::Local),
+            _ => {
+                let port = s.strip_prefix("output:")?.parse().ok()?;
+                Some(FlowActionRepr::Output(port))
+            }
+        }
+    }
+}
+
+/// Why the controller recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecomputeTrigger {
+    /// The delayed-update batch timer fired.
+    UpdateBatch,
+    /// An intra-cluster link changed state.
+    LinkChange,
+    /// An alias session came up.
+    SessionUp,
+    /// An alias session went down.
+    SessionDown,
+    /// An operator command (announce/withdraw).
+    Command,
+    /// Initial compilation at simulation start.
+    Startup,
+}
+
+impl RecomputeTrigger {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecomputeTrigger::UpdateBatch => "update_batch",
+            RecomputeTrigger::LinkChange => "link_change",
+            RecomputeTrigger::SessionUp => "session_up",
+            RecomputeTrigger::SessionDown => "session_down",
+            RecomputeTrigger::Command => "command",
+            RecomputeTrigger::Startup => "startup",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<RecomputeTrigger> {
+        [
+            RecomputeTrigger::UpdateBatch,
+            RecomputeTrigger::LinkChange,
+            RecomputeTrigger::SessionUp,
+            RecomputeTrigger::SessionDown,
+            RecomputeTrigger::Command,
+            RecomputeTrigger::Startup,
+        ]
+        .into_iter()
+        .find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for RecomputeTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed trace event — the payload of every trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A BGP UPDATE left a node toward `peer`.
+    UpdateSent {
+        /// Receiving node id.
+        peer: u32,
+        /// Prefixes announced.
+        announced: Vec<ObsPrefix>,
+        /// Prefixes withdrawn.
+        withdrawn: Vec<ObsPrefix>,
+    },
+    /// A BGP UPDATE was delivered from `peer`.
+    UpdateDelivered {
+        /// Sending node id.
+        peer: u32,
+        /// Prefixes announced.
+        announced: Vec<ObsPrefix>,
+        /// Prefixes withdrawn.
+        withdrawn: Vec<ObsPrefix>,
+    },
+    /// A node's best path for `prefix` changed.
+    RibChange {
+        /// The affected prefix.
+        prefix: ObsPrefix,
+        /// Previous best AS path (None = no route).
+        old_path: Option<Vec<u32>>,
+        /// New best AS path (None = route lost).
+        new_path: Option<Vec<u32>>,
+    },
+    /// A flow rule was installed in a switch.
+    FlowInstalled {
+        /// Matched prefix.
+        prefix: ObsPrefix,
+        /// Rule priority.
+        priority: u16,
+        /// Rule action.
+        action: FlowActionRepr,
+    },
+    /// A flow rule was removed from a switch.
+    FlowRemoved {
+        /// Matched prefix.
+        prefix: ObsPrefix,
+        /// Rule priority.
+        priority: u16,
+        /// Rule action.
+        action: FlowActionRepr,
+    },
+    /// A BGP session reached Established.
+    SessionUp {
+        /// The remote node id.
+        peer: u32,
+    },
+    /// A BGP session left Established.
+    SessionDown {
+        /// The remote node id.
+        peer: u32,
+        /// Short reason ("closed", "hold expired", "link down", ...).
+        reason: String,
+    },
+    /// The IDR controller recomputed routing.
+    ControllerRecompute {
+        /// What triggered the recomputation.
+        trigger: RecomputeTrigger,
+        /// Prefixes considered.
+        prefixes: u32,
+        /// Cluster members in the switch graph.
+        members: u32,
+        /// Intra-cluster links currently up.
+        links_up: u32,
+        /// FlowMods emitted by the diff.
+        flow_mods: u32,
+        /// Announcements pushed to the speaker.
+        announcements: u32,
+        /// Withdrawals pushed to the speaker.
+        withdrawals: u32,
+        /// Wall-clock duration of the recomputation (0 when profiling off).
+        wall_ns: u64,
+    },
+    /// An experiment phase boundary.
+    Phase {
+        /// Phase name ("bring-up", "withdrawal", ...).
+        name: String,
+        /// True at phase start, false at phase end.
+        started: bool,
+    },
+    /// A link was administratively toggled.
+    LinkAdmin {
+        /// The link id.
+        link: u32,
+        /// New state.
+        up: bool,
+    },
+    /// A timer fired (rarely traced; used by timer debugging).
+    TimerFired {
+        /// The timer token value.
+        token: u64,
+    },
+    /// Free-form diagnostic text (decode errors, relay misses). Never
+    /// parsed by analysis code — everything analyzable has a typed variant.
+    Note {
+        /// The category the note belongs to.
+        category: TraceCategory,
+        /// The text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// The filter category this event belongs to.
+    pub fn category(&self) -> TraceCategory {
+        match self {
+            TraceEvent::UpdateSent { .. } | TraceEvent::UpdateDelivered { .. } => {
+                TraceCategory::Msg
+            }
+            TraceEvent::RibChange { .. } | TraceEvent::ControllerRecompute { .. } => {
+                TraceCategory::Route
+            }
+            TraceEvent::FlowInstalled { .. } | TraceEvent::FlowRemoved { .. } => {
+                TraceCategory::Flow
+            }
+            TraceEvent::SessionUp { .. } | TraceEvent::SessionDown { .. } => {
+                TraceCategory::Session
+            }
+            TraceEvent::Phase { .. } => TraceCategory::Experiment,
+            TraceEvent::LinkAdmin { .. } => TraceCategory::Link,
+            TraceEvent::TimerFired { .. } => TraceCategory::Timer,
+            TraceEvent::Note { category, .. } => *category,
+        }
+    }
+
+    /// Stable kind tag used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::UpdateSent { .. } => "update_sent",
+            TraceEvent::UpdateDelivered { .. } => "update_delivered",
+            TraceEvent::RibChange { .. } => "rib_change",
+            TraceEvent::FlowInstalled { .. } => "flow_installed",
+            TraceEvent::FlowRemoved { .. } => "flow_removed",
+            TraceEvent::SessionUp { .. } => "session_up",
+            TraceEvent::SessionDown { .. } => "session_down",
+            TraceEvent::ControllerRecompute { .. } => "recompute",
+            TraceEvent::Phase { .. } => "phase",
+            TraceEvent::LinkAdmin { .. } => "link_admin",
+            TraceEvent::TimerFired { .. } => "timer_fired",
+            TraceEvent::Note { .. } => "note",
+        }
+    }
+
+    /// True when this event represents a routing state change — the signal
+    /// the convergence detector watches.
+    pub fn is_routing_change(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::RibChange { .. }
+                | TraceEvent::FlowInstalled { .. }
+                | TraceEvent::FlowRemoved { .. }
+        )
+    }
+
+    /// JSON object form: `{"kind": ..., ...fields}`.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(String, Json)> = vec![("kind".into(), Json::Str(self.kind().into()))];
+        match self {
+            TraceEvent::UpdateSent {
+                peer,
+                announced,
+                withdrawn,
+            }
+            | TraceEvent::UpdateDelivered {
+                peer,
+                announced,
+                withdrawn,
+            } => {
+                m.push(("peer".into(), Json::U64(*peer as u64)));
+                m.push(("announced".into(), announced.to_json()));
+                m.push(("withdrawn".into(), withdrawn.to_json()));
+            }
+            TraceEvent::RibChange {
+                prefix,
+                old_path,
+                new_path,
+            } => {
+                m.push(("prefix".into(), prefix.to_json()));
+                m.push(("old".into(), path_json(old_path)));
+                m.push(("new".into(), path_json(new_path)));
+            }
+            TraceEvent::FlowInstalled {
+                prefix,
+                priority,
+                action,
+            }
+            | TraceEvent::FlowRemoved {
+                prefix,
+                priority,
+                action,
+            } => {
+                m.push(("prefix".into(), prefix.to_json()));
+                m.push(("priority".into(), Json::U64(*priority as u64)));
+                m.push(("action".into(), action.to_json()));
+            }
+            TraceEvent::SessionUp { peer } => {
+                m.push(("peer".into(), Json::U64(*peer as u64)));
+            }
+            TraceEvent::SessionDown { peer, reason } => {
+                m.push(("peer".into(), Json::U64(*peer as u64)));
+                m.push(("reason".into(), Json::Str(reason.clone())));
+            }
+            TraceEvent::ControllerRecompute {
+                trigger,
+                prefixes,
+                members,
+                links_up,
+                flow_mods,
+                announcements,
+                withdrawals,
+                wall_ns,
+            } => {
+                m.push(("trigger".into(), Json::Str(trigger.name().into())));
+                m.push(("prefixes".into(), Json::U64(*prefixes as u64)));
+                m.push(("members".into(), Json::U64(*members as u64)));
+                m.push(("links_up".into(), Json::U64(*links_up as u64)));
+                m.push(("flow_mods".into(), Json::U64(*flow_mods as u64)));
+                m.push(("announcements".into(), Json::U64(*announcements as u64)));
+                m.push(("withdrawals".into(), Json::U64(*withdrawals as u64)));
+                m.push(("wall_ns".into(), Json::U64(*wall_ns)));
+            }
+            TraceEvent::Phase { name, started } => {
+                m.push(("name".into(), Json::Str(name.clone())));
+                m.push(("started".into(), Json::Bool(*started)));
+            }
+            TraceEvent::LinkAdmin { link, up } => {
+                m.push(("link".into(), Json::U64(*link as u64)));
+                m.push(("up".into(), Json::Bool(*up)));
+            }
+            TraceEvent::TimerFired { token } => {
+                m.push(("token".into(), Json::U64(*token)));
+            }
+            TraceEvent::Note { category, text } => {
+                m.push(("cat".into(), Json::Str(category.name().into())));
+                m.push(("text".into(), Json::Str(text.clone())));
+            }
+        }
+        Json::Obj(m)
+    }
+
+    /// Parse an event from its JSON object form. Extra keys are ignored, so
+    /// artifact lines (which add `t`/`node`) parse directly.
+    pub fn from_json(v: &Json) -> Result<TraceEvent, String> {
+        let kind = v
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("missing \"kind\"")?;
+        let peer = || -> Result<u32, String> { get_u32(v, "peer") };
+        Ok(match kind {
+            "update_sent" | "update_delivered" => {
+                let announced = prefix_list(v, "announced")?;
+                let withdrawn = prefix_list(v, "withdrawn")?;
+                if kind == "update_sent" {
+                    TraceEvent::UpdateSent {
+                        peer: peer()?,
+                        announced,
+                        withdrawn,
+                    }
+                } else {
+                    TraceEvent::UpdateDelivered {
+                        peer: peer()?,
+                        announced,
+                        withdrawn,
+                    }
+                }
+            }
+            "rib_change" => TraceEvent::RibChange {
+                prefix: get_prefix(v, "prefix")?,
+                old_path: path_from_json(v.get("old").ok_or("missing \"old\"")?)?,
+                new_path: path_from_json(v.get("new").ok_or("missing \"new\"")?)?,
+            },
+            "flow_installed" | "flow_removed" => {
+                let prefix = get_prefix(v, "prefix")?;
+                let priority = get_u32(v, "priority")? as u16;
+                let action = v
+                    .get("action")
+                    .and_then(FlowActionRepr::from_json)
+                    .ok_or("bad \"action\"")?;
+                if kind == "flow_installed" {
+                    TraceEvent::FlowInstalled {
+                        prefix,
+                        priority,
+                        action,
+                    }
+                } else {
+                    TraceEvent::FlowRemoved {
+                        prefix,
+                        priority,
+                        action,
+                    }
+                }
+            }
+            "session_up" => TraceEvent::SessionUp { peer: peer()? },
+            "session_down" => TraceEvent::SessionDown {
+                peer: peer()?,
+                reason: get_str(v, "reason")?,
+            },
+            "recompute" => TraceEvent::ControllerRecompute {
+                trigger: v
+                    .get("trigger")
+                    .and_then(Json::as_str)
+                    .and_then(RecomputeTrigger::from_name)
+                    .ok_or("bad \"trigger\"")?,
+                prefixes: get_u32(v, "prefixes")?,
+                members: get_u32(v, "members")?,
+                links_up: get_u32(v, "links_up")?,
+                flow_mods: get_u32(v, "flow_mods")?,
+                announcements: get_u32(v, "announcements")?,
+                withdrawals: get_u32(v, "withdrawals")?,
+                wall_ns: v
+                    .get("wall_ns")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad \"wall_ns\"")?,
+            },
+            "phase" => TraceEvent::Phase {
+                name: get_str(v, "name")?,
+                started: v
+                    .get("started")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad \"started\"")?,
+            },
+            "link_admin" => TraceEvent::LinkAdmin {
+                link: get_u32(v, "link")?,
+                up: v.get("up").and_then(Json::as_bool).ok_or("bad \"up\"")?,
+            },
+            "timer_fired" => TraceEvent::TimerFired {
+                token: v
+                    .get("token")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad \"token\"")?,
+            },
+            "note" => TraceEvent::Note {
+                category: v
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .and_then(TraceCategory::from_name)
+                    .ok_or("bad \"cat\"")?,
+                text: get_str(v, "text")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        })
+    }
+}
+
+fn path_json(path: &Option<Vec<u32>>) -> Json {
+    match path {
+        None => Json::Null,
+        Some(hops) => Json::Arr(hops.iter().map(|&a| Json::U64(a as u64)).collect()),
+    }
+}
+
+fn path_from_json(v: &Json) -> Result<Option<Vec<u32>>, String> {
+    match v {
+        Json::Null => Ok(None),
+        Json::Arr(items) => items
+            .iter()
+            .map(|i| {
+                i.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| "bad AS number in path".to_string())
+            })
+            .collect::<Result<Vec<u32>, String>>()
+            .map(Some),
+        _ => Err("path must be null or an array".into()),
+    }
+}
+
+fn get_u32(v: &Json, key: &str) -> Result<u32, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| format!("bad {key:?}"))
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("bad {key:?}"))
+}
+
+fn get_prefix(v: &Json, key: &str) -> Result<ObsPrefix, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("bad {key:?}"))?
+        .parse()
+}
+
+fn prefix_list(v: &Json, key: &str) -> Result<Vec<ObsPrefix>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("bad {key:?}"))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .ok_or_else(|| format!("non-string prefix in {key:?}"))?
+                .parse()
+        })
+        .collect()
+}
+
+fn fmt_path(f: &mut fmt::Formatter<'_>, path: &Option<Vec<u32>>) -> fmt::Result {
+    match path {
+        None => f.write_str("-"),
+        Some(hops) => {
+            for (i, h) in hops.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" ")?;
+                }
+                write!(f, "{h}")?;
+            }
+            if hops.is_empty() {
+                f.write_str("[]")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::UpdateSent {
+                peer,
+                announced,
+                withdrawn,
+            } => write!(
+                f,
+                "update -> n{peer} (+{} -{})",
+                announced.len(),
+                withdrawn.len()
+            ),
+            TraceEvent::UpdateDelivered {
+                peer,
+                announced,
+                withdrawn,
+            } => write!(
+                f,
+                "update <- n{peer} (+{} -{})",
+                announced.len(),
+                withdrawn.len()
+            ),
+            TraceEvent::RibChange {
+                prefix,
+                old_path,
+                new_path,
+            } => {
+                write!(f, "best {prefix}: ")?;
+                fmt_path(f, old_path)?;
+                f.write_str(" => ")?;
+                fmt_path(f, new_path)
+            }
+            TraceEvent::FlowInstalled {
+                prefix,
+                priority,
+                action,
+            } => write!(f, "flow + {prefix} p{priority} {action}"),
+            TraceEvent::FlowRemoved {
+                prefix,
+                priority,
+                action,
+            } => write!(f, "flow - {prefix} p{priority} {action}"),
+            TraceEvent::SessionUp { peer } => write!(f, "session up n{peer}"),
+            TraceEvent::SessionDown { peer, reason } => {
+                write!(f, "session down n{peer} ({reason})")
+            }
+            TraceEvent::ControllerRecompute {
+                trigger,
+                prefixes,
+                flow_mods,
+                announcements,
+                withdrawals,
+                wall_ns,
+                ..
+            } => write!(
+                f,
+                "recompute[{trigger}] {prefixes} prefixes, {flow_mods} flowmods, \
+                 {announcements} ann, {withdrawals} wd, {wall_ns} ns"
+            ),
+            TraceEvent::Phase { name, started } => {
+                write!(f, "phase {name} {}", if *started { "start" } else { "end" })
+            }
+            TraceEvent::LinkAdmin { link, up } => {
+                write!(f, "link {link} {}", if *up { "up" } else { "down" })
+            }
+            TraceEvent::TimerFired { token } => write!(f, "timer {token:#x}"),
+            TraceEvent::Note { text, .. } => f.write_str(text),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: TraceEvent) {
+        let j = e.to_json();
+        let text = j.to_compact();
+        let back = TraceEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let p = ObsPrefix::new(0x0a010000, 16);
+        roundtrip(TraceEvent::UpdateSent {
+            peer: 3,
+            announced: vec![p],
+            withdrawn: vec![],
+        });
+        roundtrip(TraceEvent::UpdateDelivered {
+            peer: 9,
+            announced: vec![],
+            withdrawn: vec![p, ObsPrefix::new(0, 0)],
+        });
+        roundtrip(TraceEvent::RibChange {
+            prefix: p,
+            old_path: None,
+            new_path: Some(vec![65001, 65000]),
+        });
+        roundtrip(TraceEvent::RibChange {
+            prefix: p,
+            old_path: Some(vec![]),
+            new_path: None,
+        });
+        roundtrip(TraceEvent::FlowInstalled {
+            prefix: p,
+            priority: 100,
+            action: FlowActionRepr::Output(7),
+        });
+        roundtrip(TraceEvent::FlowRemoved {
+            prefix: p,
+            priority: 0,
+            action: FlowActionRepr::Drop,
+        });
+        roundtrip(TraceEvent::SessionUp { peer: 1 });
+        roundtrip(TraceEvent::SessionDown {
+            peer: 2,
+            reason: "link down".into(),
+        });
+        roundtrip(TraceEvent::ControllerRecompute {
+            trigger: RecomputeTrigger::UpdateBatch,
+            prefixes: 4,
+            members: 8,
+            links_up: 28,
+            flow_mods: 12,
+            announcements: 3,
+            withdrawals: 1,
+            wall_ns: (1 << 53) + 1,
+        });
+        roundtrip(TraceEvent::Phase {
+            name: "withdrawal".into(),
+            started: true,
+        });
+        roundtrip(TraceEvent::LinkAdmin { link: 5, up: false });
+        roundtrip(TraceEvent::TimerFired { token: u64::MAX });
+        roundtrip(TraceEvent::Note {
+            category: TraceCategory::Session,
+            text: "decode error: bad \"marker\"\n".into(),
+        });
+    }
+
+    #[test]
+    fn category_mapping() {
+        assert_eq!(
+            TraceEvent::SessionUp { peer: 0 }.category(),
+            TraceCategory::Session
+        );
+        assert_eq!(
+            TraceEvent::Note {
+                category: TraceCategory::Flow,
+                text: String::new()
+            }
+            .category(),
+            TraceCategory::Flow
+        );
+        for c in TraceCategory::all() {
+            assert_eq!(TraceCategory::from_name(c.name()), Some(c));
+        }
+    }
+
+    #[test]
+    fn prefix_parse_display() {
+        let p: ObsPrefix = "10.42.0.0/16".parse().unwrap();
+        assert_eq!(p, ObsPrefix::new(0x0a2a0000, 16));
+        assert_eq!(p.to_string(), "10.42.0.0/16");
+        assert_eq!("0.0.0.0/0".parse::<ObsPrefix>().unwrap().to_string(), "0.0.0.0/0");
+        assert!("10.0.0.0/33".parse::<ObsPrefix>().is_err());
+        assert!("10.0.0/8".parse::<ObsPrefix>().is_err());
+        // Host bits are masked off.
+        assert_eq!(
+            ObsPrefix::new(0x0a0a0a0a, 8).to_string(),
+            "10.0.0.0/8"
+        );
+    }
+
+    #[test]
+    fn routing_change_classification() {
+        assert!(TraceEvent::RibChange {
+            prefix: ObsPrefix::new(0, 0),
+            old_path: None,
+            new_path: None
+        }
+        .is_routing_change());
+        assert!(!TraceEvent::SessionUp { peer: 0 }.is_routing_change());
+    }
+}

@@ -1,0 +1,39 @@
+//! # bgpsdn-obs — structured telemetry
+//!
+//! The observability foundation every other crate records into:
+//!
+//! * [`event`]: the typed [`TraceEvent`] enum — update send/deliver, RIB
+//!   changes with old/new best path, flow install/remove, session
+//!   transitions, controller recomputes, experiment phase markers — plus
+//!   the [`TraceCategory`] filter taxonomy;
+//! * [`metrics`]: [`MetricsRegistry`] — counters, gauges, and log2-bucket
+//!   histograms keyed by `(node, metric)`, with snapshot/export;
+//! * [`span`]: wall-clock timing spans that cost one branch when disabled;
+//! * [`json`]: the dependency-free JSON value type the above serialize
+//!   through;
+//! * [`artifact`]: JSONL run artifacts and the analysis behind
+//!   `bgpsdn report` (per-node update counts, recompute latency
+//!   histograms, convergence timelines).
+//!
+//! Metric names follow `<crate>.<subsystem>.<name>`; see DESIGN.md's
+//! "Observability" section for the full convention and JSONL schema.
+//!
+//! This crate sits below `netsim` and has no dependencies, so events use
+//! plain representations (`u32` node ids, [`ObsPrefix`] prefixes).
+
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use artifact::{
+    event_line, last_routing_change, metrics_line, run_line, EventRecord, PhaseSummary,
+    RunAnalysis, RunArtifact,
+};
+pub use event::{FlowActionRepr, ObsPrefix, RecomputeTrigger, TraceCategory, TraceEvent};
+pub use json::{Json, JsonError, ToJson};
+pub use metrics::{log2_bucket, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use span::{sim_span_ns, WallSpan};

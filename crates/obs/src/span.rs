@@ -1,0 +1,68 @@
+//! Lightweight timing spans.
+//!
+//! A [`WallSpan`] wraps `Instant::now()` behind an enabled flag so disabled
+//! profiling costs one branch and no clock read. Sim-time spans need no
+//! helper — subtract two `SimTime`s — but [`sim_span_ns`] documents the
+//! convention of recording them into `*_sim_ns` histograms.
+
+use std::time::Instant;
+
+/// A wall-clock span; zero-cost when started disabled.
+#[derive(Debug, Clone, Copy)]
+pub struct WallSpan {
+    start: Option<Instant>,
+}
+
+impl WallSpan {
+    /// Start a span (reads the clock only when `enabled`).
+    #[inline]
+    pub fn start(enabled: bool) -> WallSpan {
+        WallSpan {
+            start: if enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// A span that records nothing.
+    #[inline]
+    pub fn disabled() -> WallSpan {
+        WallSpan { start: None }
+    }
+
+    /// Nanoseconds since start, or None when started disabled.
+    #[inline]
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start
+            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+/// Sim-time span duration in nanoseconds: `end - start`, saturating.
+/// Record into a histogram named `<crate>.<subsystem>.<name>_sim_ns`.
+#[inline]
+pub fn sim_span_ns(start_ns: u64, end_ns: u64) -> u64 {
+    end_ns.saturating_sub(start_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_reports_nothing() {
+        assert_eq!(WallSpan::disabled().elapsed_ns(), None);
+        assert_eq!(WallSpan::start(false).elapsed_ns(), None);
+    }
+
+    #[test]
+    fn enabled_span_measures() {
+        let s = WallSpan::start(true);
+        let ns = s.elapsed_ns().unwrap();
+        assert!(ns < 10_000_000_000, "clock went backwards? {ns}");
+    }
+
+    #[test]
+    fn sim_span_saturates() {
+        assert_eq!(sim_span_ns(10, 25), 15);
+        assert_eq!(sim_span_ns(25, 10), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the telemetry layer: any `TraceEvent` must
+//! survive the JSONL round trip (to_json → compact text → parse →
+//! from_json) exactly, including hostile strings and extreme numbers.
+
+use proptest::prelude::*;
+
+use bgpsdn_obs::{
+    event_line, FlowActionRepr, Json, ObsPrefix, RecomputeTrigger, RunArtifact, TraceCategory,
+    TraceEvent,
+};
+
+fn arb_prefix() -> impl Strategy<Value = ObsPrefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| ObsPrefix::new(addr, len))
+}
+
+fn arb_prefixes() -> impl Strategy<Value = Vec<ObsPrefix>> {
+    prop::collection::vec(arb_prefix(), 0..6)
+}
+
+/// Strings exercising every JSON escape class: quotes, backslashes,
+/// control characters, multi-byte UTF-8 incl. astral-plane codepoints.
+fn arb_text() -> impl Strategy<Value = String> {
+    const ALPHABET: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '/', '{', '\u{08}', '\u{0c}', '\u{1}',
+        'é', '\u{2192}', '\u{1F600}', '\u{10FFFF}',
+    ];
+    prop::collection::vec(any::<u16>(), 0..16)
+        .prop_map(|cs| cs.into_iter().map(|c| ALPHABET[c as usize % ALPHABET.len()]).collect())
+}
+
+fn arb_path() -> impl Strategy<Value = Option<Vec<u32>>> {
+    prop::option::of(prop::collection::vec(any::<u32>(), 0..8))
+}
+
+fn arb_action() -> impl Strategy<Value = FlowActionRepr> {
+    prop_oneof![
+        any::<u32>().prop_map(FlowActionRepr::Output),
+        Just(FlowActionRepr::ToController),
+        Just(FlowActionRepr::Drop),
+        Just(FlowActionRepr::Local),
+    ]
+}
+
+fn arb_trigger() -> impl Strategy<Value = RecomputeTrigger> {
+    prop_oneof![
+        Just(RecomputeTrigger::UpdateBatch),
+        Just(RecomputeTrigger::LinkChange),
+        Just(RecomputeTrigger::SessionUp),
+        Just(RecomputeTrigger::SessionDown),
+        Just(RecomputeTrigger::Command),
+        Just(RecomputeTrigger::Startup),
+    ]
+}
+
+fn arb_category() -> impl Strategy<Value = TraceCategory> {
+    (0usize..TraceCategory::all().len()).prop_map(|i| TraceCategory::all()[i])
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (any::<u32>(), arb_prefixes(), arb_prefixes()).prop_map(|(peer, announced, withdrawn)| {
+            TraceEvent::UpdateSent {
+                peer,
+                announced,
+                withdrawn,
+            }
+        }),
+        (any::<u32>(), arb_prefixes(), arb_prefixes()).prop_map(|(peer, announced, withdrawn)| {
+            TraceEvent::UpdateDelivered {
+                peer,
+                announced,
+                withdrawn,
+            }
+        }),
+        (arb_prefix(), arb_path(), arb_path()).prop_map(|(prefix, old_path, new_path)| {
+            TraceEvent::RibChange {
+                prefix,
+                old_path,
+                new_path,
+            }
+        }),
+        (arb_prefix(), any::<u16>(), arb_action()).prop_map(|(prefix, priority, action)| {
+            TraceEvent::FlowInstalled {
+                prefix,
+                priority,
+                action,
+            }
+        }),
+        (arb_prefix(), any::<u16>(), arb_action()).prop_map(|(prefix, priority, action)| {
+            TraceEvent::FlowRemoved {
+                prefix,
+                priority,
+                action,
+            }
+        }),
+        any::<u32>().prop_map(|peer| TraceEvent::SessionUp { peer }),
+        (any::<u32>(), arb_text())
+            .prop_map(|(peer, reason)| TraceEvent::SessionDown { peer, reason }),
+        (
+            arb_trigger(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+        )
+            .prop_map(
+                |(trigger, prefixes, members, links_up, flow_mods, announcements, withdrawals, wall_ns)| {
+                    TraceEvent::ControllerRecompute {
+                        trigger,
+                        prefixes,
+                        members,
+                        links_up,
+                        flow_mods,
+                        announcements,
+                        withdrawals,
+                        wall_ns,
+                    }
+                },
+            ),
+        (arb_text(), any::<bool>())
+            .prop_map(|(name, started)| TraceEvent::Phase { name, started }),
+        (any::<u32>(), any::<bool>()).prop_map(|(link, up)| TraceEvent::LinkAdmin { link, up }),
+        any::<u64>().prop_map(|token| TraceEvent::TimerFired { token }),
+        (arb_category(), arb_text())
+            .prop_map(|(category, text)| TraceEvent::Note { category, text }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn event_roundtrips_through_json(event in arb_event()) {
+        let line = event.to_json().to_compact();
+        let back = TraceEvent::from_json(&Json::parse(&line).unwrap())
+            .expect("own serialization must parse");
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn event_line_roundtrips_through_artifact(
+        event in arb_event(),
+        t in any::<u64>(),
+        node in prop::option::of(any::<u32>()),
+    ) {
+        let doc = event_line(t, node, &event);
+        let artifact = RunArtifact::parse(&doc).expect("artifact line must parse");
+        prop_assert_eq!(artifact.events.len(), 1);
+        prop_assert_eq!(artifact.events[0].t, t);
+        prop_assert_eq!(artifact.events[0].node, node);
+        prop_assert_eq!(&artifact.events[0].event, &event);
+    }
+
+    #[test]
+    fn category_is_stable_across_roundtrip(event in arb_event()) {
+        let line = event.to_json().to_compact();
+        let back = TraceEvent::from_json(&Json::parse(&line).unwrap()).unwrap();
+        prop_assert_eq!(back.category(), event.category());
+        prop_assert_eq!(back.kind(), event.kind());
+        prop_assert_eq!(back.is_routing_change(), event.is_routing_change());
+    }
+}

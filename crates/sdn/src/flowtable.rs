@@ -23,6 +23,18 @@ pub enum FlowAction {
     Local,
 }
 
+impl FlowAction {
+    /// Telemetry-plane representation ([`bgpsdn_netsim::FlowActionRepr`]).
+    pub fn repr(self) -> bgpsdn_netsim::FlowActionRepr {
+        match self {
+            FlowAction::Output(p) => bgpsdn_netsim::FlowActionRepr::Output(p),
+            FlowAction::ToController => bgpsdn_netsim::FlowActionRepr::ToController,
+            FlowAction::Drop => bgpsdn_netsim::FlowActionRepr::Drop,
+            FlowAction::Local => bgpsdn_netsim::FlowActionRepr::Local,
+        }
+    }
+}
+
 /// One flow rule.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowRule {

@@ -22,12 +22,19 @@ use bgpsdn_bgp::{
     SessionHandshake, UpdateMsg,
 };
 use bgpsdn_netsim::{
-    Activity, Ctx, LinkId, Node, NodeId, SimDuration, TimerClass, TimerToken, TraceCategory,
+    Activity, Ctx, LinkId, Node, NodeId, ObsPrefix, SimDuration, TimerClass, TimerToken,
+    TraceCategory, TraceEvent,
 };
 
 use crate::app::{SdnApp, SpeakerCmd, SpeakerEvent};
 
 const K_CONNECT: u64 = 1 << 56;
+
+fn obs_list(ps: &[Prefix]) -> Vec<ObsPrefix> {
+    ps.iter()
+        .map(|p| ObsPrefix::new(p.network_u32(), p.len()))
+        .collect()
+}
 
 /// Configuration of one alias session.
 #[derive(Debug, Clone)]
@@ -148,13 +155,21 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
 
     fn send_bgp(&mut self, ctx: &mut Ctx<'_, M>, idx: usize, msg: &BgpMessage) {
         let s = &self.sessions[idx];
-        if matches!(msg, BgpMessage::Update(_)) {
+        if let BgpMessage::Update(u) = msg {
             self.stats.updates_out += 1;
             ctx.report(Activity::UpdateSent);
+            ctx.count("sdn.speaker.updates_out", 1);
+            ctx.trace(TraceCategory::Msg, || TraceEvent::UpdateSent {
+                peer: s.cfg.ext_peer.0,
+                announced: obs_list(&u.nlri),
+                withdrawn: obs_list(&u.withdrawn),
+            });
+        } else {
+            ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                category: TraceCategory::Msg,
+                text: format!("alias {} -> {} {}", s.cfg.alias, s.cfg.ext_peer, msg),
+            });
         }
-        ctx.trace(TraceCategory::Msg, || {
-            format!("alias {} -> {} {}", s.cfg.alias, s.cfg.ext_peer, msg)
-        });
         let env = BgpEnvelope::new(s.cfg.alias, s.cfg.ext_peer, msg);
         ctx.send(s.cfg.via_link, M::from_bgp(env));
     }
@@ -174,7 +189,10 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             Ok(m) => m,
             Err(e) => {
                 self.stats.decode_errors += 1;
-                ctx.trace(TraceCategory::Session, || format!("decode error: {e}"));
+                ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                    category: TraceCategory::Session,
+                    text: format!("decode error: {e}"),
+                });
                 return;
             }
         };
@@ -182,6 +200,12 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             if self.sessions[idx].handshake.is_established() {
                 self.stats.updates_in += 1;
                 ctx.report(Activity::UpdateReceived);
+                ctx.count("sdn.speaker.updates_in", 1);
+                ctx.trace(TraceCategory::Msg, || TraceEvent::UpdateDelivered {
+                    peer: env.src.0,
+                    announced: obs_list(&upd.nlri),
+                    withdrawn: obs_list(&upd.withdrawn),
+                });
                 self.notify_controller(
                     ctx,
                     SpeakerEvent::Update {
@@ -201,8 +225,9 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 self.stats.sessions_up += 1;
                 self.sessions[idx].retries = 0;
                 ctx.report(Activity::SessionUp);
-                ctx.trace(TraceCategory::Session, || {
-                    format!("alias session {idx} established")
+                let ext_peer = self.sessions[idx].cfg.ext_peer;
+                ctx.trace(TraceCategory::Session, || TraceEvent::SessionUp {
+                    peer: ext_peer.0,
                 });
                 self.notify_controller(
                     ctx,
@@ -224,6 +249,11 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
         self.sessions[idx].handshake.reset();
         self.sessions[idx].advertised.clear();
         ctx.report(Activity::SessionDown);
+        let ext_peer = self.sessions[idx].cfg.ext_peer;
+        ctx.trace(TraceCategory::Session, || TraceEvent::SessionDown {
+            peer: ext_peer.0,
+            reason: if retry { "closed" } else { "link down" }.into(),
+        });
         self.notify_controller(ctx, SpeakerEvent::SessionDown { session: idx });
         if retry && self.sessions[idx].retries < 5 {
             self.sessions[idx].retries += 1;

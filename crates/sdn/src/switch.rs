@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use bgpsdn_bgp::BgpApp;
-use bgpsdn_netsim::{Activity, Ctx, LinkId, Node, NodeId, TraceCategory};
+use bgpsdn_netsim::{Activity, Ctx, LinkId, Node, NodeId, ObsPrefix, TraceCategory, TraceEvent};
 
 use crate::app::SdnApp;
 use crate::flowtable::{FlowAction, FlowTable};
@@ -128,22 +128,39 @@ impl<M: SdnApp + BgpApp> SdnSwitch<M> {
             Ok(m) => m,
             Err(e) => {
                 self.stats.decode_errors += 1;
-                ctx.trace(TraceCategory::Flow, || format!("of decode error: {e}"));
+                ctx.trace(TraceCategory::Flow, || TraceEvent::Note {
+                    category: TraceCategory::Flow,
+                    text: format!("of decode error: {e}"),
+                });
                 return;
             }
         };
         match msg {
             OfMessage::FlowMod { op, rule } => {
                 self.stats.flow_mods += 1;
+                ctx.count("sdn.flowtable.flow_mods", 1);
+                let span = ctx.span();
                 let changed = match op {
                     FlowModOp::Add => self.table.install(rule.clone()),
                     FlowModOp::Delete => self.table.remove(rule.priority, rule.prefix),
                 };
+                ctx.end_span("sdn.flowtable.mutate_wall_ns", span);
                 if changed {
                     ctx.report(Activity::FlowInstalled);
                     ctx.report(Activity::FibChange);
-                    ctx.trace(TraceCategory::Flow, || {
-                        format!("flowmod {op:?} {} -> {:?}", rule.prefix, rule.action)
+                    let prefix = ObsPrefix::new(rule.prefix.network_u32(), rule.prefix.len());
+                    let (priority, action) = (rule.priority, rule.action.repr());
+                    ctx.trace(TraceCategory::Flow, || match op {
+                        FlowModOp::Add => TraceEvent::FlowInstalled {
+                            prefix,
+                            priority,
+                            action,
+                        },
+                        FlowModOp::Delete => TraceEvent::FlowRemoved {
+                            prefix,
+                            priority,
+                            action,
+                        },
                     });
                 }
             }
@@ -244,8 +261,9 @@ impl<M: SdnApp + BgpApp> Node<M> for SdnSwitch<M> {
                 }
                 None => {
                     self.stats.relay_misses += 1;
-                    ctx.trace(TraceCategory::Msg, || {
-                        format!("relay miss for envelope to {}", env.dst)
+                    ctx.trace(TraceCategory::Msg, || TraceEvent::Note {
+                        category: TraceCategory::Msg,
+                        text: format!("relay miss for envelope to {}", env.dst),
                     });
                 }
             }

@@ -95,7 +95,7 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> Graph {
 /// probability proportional to degree. Produces the heavy-tailed degree
 /// distributions seen in AS-level graphs.
 pub fn barabasi_albert(n: usize, m: usize, rng: &mut SimRng) -> Graph {
-    assert!(m >= 1 && n >= m + 1, "need n > m >= 1");
+    assert!(m >= 1 && n > m, "need n > m >= 1");
     let mut g = clique(m);
     // Repeated-endpoints list: vertex v appears deg(v) times.
     let mut lottery: Vec<usize> = Vec::new();

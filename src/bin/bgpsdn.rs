@@ -1,10 +1,12 @@
 //! `bgpsdn` — command-line front end for the hybrid BGP-SDN framework.
 //!
 //! ```text
-//! bgpsdn fig2 [--runs N] [--n SIZE] [--mrai SECS]
-//! bgpsdn run  --event withdrawal|announcement|failover --sdn K
-//!             [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
-//! bgpsdn ping --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
+//! bgpsdn fig2   [--runs N] [--n SIZE] [--mrai SECS]
+//! bgpsdn run    --event withdrawal|announcement|failover --sdn K
+//!               [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
+//!               [--trace-out FILE]
+//! bgpsdn report FILE
+//! bgpsdn ping   --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
 //! ```
 
 use std::process::ExitCode;
@@ -19,7 +21,13 @@ fn usage() -> ExitCode {
 
   bgpsdn run --event withdrawal|announcement|failover --sdn K
              [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
-      one clique experiment, printing the outcome
+             [--trace-out FILE]
+      one clique experiment, printing the outcome; with --trace-out,
+      write the full typed-event JSONL artifact
+
+  bgpsdn report FILE
+      analyze a JSONL trace artifact: per-node update counts, recompute
+      latency histogram, convergence timeline
 
   bgpsdn ping --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
       data-plane probe stream across a link failure"
@@ -112,7 +120,14 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "running {event:?} on a {}-AS clique, {} SDN members, MRAI {}, seed {}",
         s.n, s.sdn_count, s.mrai, s.seed
     );
-    let out = run_clique(&s, event);
+    let out = match args.get_str("trace-out") {
+        Some(path) => {
+            let (out, exp) = run_clique_traced(&s, event);
+            write_artifact(path, &s, event, &exp)?;
+            out
+        }
+        None => run_clique(&s, event),
+    };
     println!("converged:        {}", out.converged);
     println!("convergence time: {}", out.convergence);
     if let Some(c) = out.collector_convergence {
@@ -126,6 +141,60 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     );
     if !out.audit_ok {
         return Err("audit failed".into());
+    }
+    Ok(())
+}
+
+/// Write the run's JSONL artifact: a `run` header line, every retained
+/// typed trace event, and one phase-scoped metrics snapshot per phase.
+fn write_artifact(
+    path: &str,
+    s: &CliqueScenario,
+    event: EventKind,
+    exp: &Experiment,
+) -> Result<(), String> {
+    let trace = exp.net.sim.trace();
+    let mut text = String::new();
+    text.push_str(&run_line(&Json::Obj(vec![
+        ("scenario".into(), Json::Str("clique".into())),
+        ("event".into(), Json::Str(event_phase_name(event).into())),
+        ("n".into(), Json::U64(s.n as u64)),
+        ("sdn".into(), Json::U64(s.sdn_count as u64)),
+        ("mrai_ns".into(), Json::U64(s.mrai.as_nanos())),
+        (
+            "recompute_delay_ns".into(),
+            Json::U64(s.recompute_delay.as_nanos()),
+        ),
+        ("seed".into(), Json::U64(s.seed)),
+        ("dropped_events".into(), Json::U64(trace.dropped())),
+    ])));
+    text.push('\n');
+    text.push_str(&trace.export_jsonl());
+    for (phase, snap) in exp.phase_snapshots() {
+        text.push_str(&metrics_line(phase, snap));
+        text.push('\n');
+    }
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    println!(
+        "trace artifact:   {path} ({} events, {} dropped, {} phases)",
+        trace.len(),
+        trace.dropped(),
+        exp.phase_snapshots().len()
+    );
+    Ok(())
+}
+
+fn cmd_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let artifact = RunArtifact::parse(&text)?;
+    if let Some(run) = &artifact.run {
+        println!("run: {}", run.to_compact());
+    }
+    let analysis = RunAnalysis::from_artifact(&artifact);
+    print!("{}", analysis.render());
+    for (phase, metrics) in &artifact.snapshots {
+        println!("== metrics [{phase}]");
+        println!("{}", metrics.to_compact());
     }
     Ok(())
 }
@@ -188,6 +257,18 @@ fn main() -> ExitCode {
     let Some((cmd, rest)) = argv.split_first() else {
         return usage();
     };
+    if cmd == "report" {
+        let Some(path) = rest.first().filter(|_| rest.len() == 1) else {
+            return usage();
+        };
+        return match cmd_report(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some(args) = Args::parse(rest) else {
         return usage();
     };

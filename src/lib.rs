@@ -42,6 +42,7 @@ pub use bgpsdn_bgp as bgp;
 pub use bgpsdn_collector as collector;
 pub use bgpsdn_core as core;
 pub use bgpsdn_netsim as netsim;
+pub use bgpsdn_obs as obs;
 pub use bgpsdn_sdn as sdn;
 pub use bgpsdn_topology as topology;
 
@@ -53,12 +54,15 @@ pub mod prelude {
     };
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
-        clique_sweep_point, run_clique, AsKind, CliqueScenario, Controller, EventKind, Experiment,
-        HybridNetwork, NetworkBuilder, Router, ScenarioOutcome, Speaker, Switch,
+        clique_sweep_point, event_phase_name, run_clique, run_clique_traced, AsKind,
+        CliqueScenario, Controller, EventKind, Experiment, HybridNetwork, NetworkBuilder, Router,
+        ScenarioOutcome, Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,
+        TraceCategory, TraceEvent,
     };
+    pub use bgpsdn_obs::{metrics_line, run_line, Json, RunAnalysis, RunArtifact};
     pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
     pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
 }

@@ -1,0 +1,95 @@
+//! End-to-end CLI test: `bgpsdn run --trace-out` must produce a JSONL
+//! artifact that `bgpsdn report` parses and analyzes — per-node update
+//! counts, recompute latency, and a convergence timeline, all from typed
+//! events.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bgp_sdn_emu::prelude::*;
+
+fn bgpsdn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bgpsdn"))
+}
+
+fn artifact_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bgpsdn-test-{}-{name}.jsonl", std::process::id()));
+    p
+}
+
+#[test]
+fn run_trace_out_then_report() {
+    let path = artifact_path("withdrawal");
+    let run = bgpsdn()
+        .args([
+            "run",
+            "--event",
+            "withdrawal",
+            "--sdn",
+            "4",
+            "--n",
+            "8",
+            "--mrai",
+            "5",
+            "--trace-out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("spawn bgpsdn run");
+    assert!(
+        run.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    let run_stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(run_stdout.contains("trace artifact:"), "{run_stdout}");
+
+    // The artifact parses with the library API and carries typed events.
+    let text = std::fs::read_to_string(&path).expect("artifact written");
+    let artifact = RunArtifact::parse(&text).expect("artifact parses");
+    assert!(artifact.run.is_some(), "run header line present");
+    assert!(!artifact.events.is_empty(), "typed events present");
+    assert_eq!(
+        artifact.snapshots.len(),
+        2,
+        "bring-up + withdrawal metric snapshots"
+    );
+    // Phase markers bracket the event phase.
+    assert!(artifact.events.iter().any(|r| matches!(
+        &r.event,
+        TraceEvent::Phase { name, started: true } if name == "withdrawal"
+    )));
+
+    // `bgpsdn report` renders the analysis without string-parsing anything.
+    let report = bgpsdn().arg("report").arg(&path).output().expect("spawn report");
+    assert!(
+        report.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let out = String::from_utf8_lossy(&report.stdout);
+    assert!(out.contains("per-node BGP update counts"), "{out}");
+    assert!(out.contains("controller recompute latency"), "{out}");
+    assert!(out.contains("convergence timeline"), "{out}");
+    assert!(out.contains("phase withdrawal"), "{out}");
+    assert!(out.contains("converged in"), "{out}");
+    assert!(out.contains("metrics [withdrawal]"), "{out}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn report_rejects_malformed_artifacts() {
+    let path = artifact_path("garbage");
+    std::fs::write(&path, "this is not json\n").unwrap();
+    let report = bgpsdn().arg("report").arg(&path).output().expect("spawn report");
+    assert!(!report.status.success(), "malformed artifact must fail");
+    let _ = std::fs::remove_file(&path);
+
+    let missing = bgpsdn()
+        .args(["report", "/nonexistent/nowhere.jsonl"])
+        .output()
+        .expect("spawn report");
+    assert!(!missing.status.success(), "missing file must fail");
+}
