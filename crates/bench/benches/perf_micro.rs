@@ -12,7 +12,10 @@ use bgpsdn_bgp::{
     pfx, AsPath, Asn, BgpMessage, Candidate, DecisionConfig, PathAttributes, RouteSource, RouterId,
     UpdateMsg,
 };
-use bgpsdn_core::{compute, run_clique, CliqueScenario, EventKind, ExternalRoute, SwitchGraph};
+use bgpsdn_core::{
+    compute, compute_into, run_clique, CliqueScenario, ComputeScratch, EventKind, ExternalRoute,
+    PrefixComputation, SwitchGraph,
+};
 use bgpsdn_netsim::{SimDuration, SimRng};
 use bgpsdn_sdn::{FlowAction, FlowRule, FlowTable};
 use bgpsdn_topology::gen;
@@ -86,12 +89,28 @@ fn bench_controller_compute(c: &mut Criterion) {
         .map(|s| ExternalRoute {
             session: s,
             member: s % 16,
-            as_path: vec![Asn(100 + s as u32), Asn(200)],
+            as_path: vec![Asn(100 + s as u32), Asn(200)].into(),
             med: None,
         })
         .collect();
     c.bench_function("controller_prefix_compute_16_members", |b| {
         b.iter(|| compute(black_box(&sg), None, black_box(&ext)))
+    });
+    // The same computation through the reusable-scratch entry point the
+    // incremental controller uses: no per-call allocation once warm.
+    let mut scratch = ComputeScratch::default();
+    let mut out = PrefixComputation::default();
+    c.bench_function("controller_prefix_compute_16_members_scratch", |b| {
+        b.iter(|| {
+            compute_into(
+                black_box(&sg),
+                None,
+                black_box(&ext),
+                &mut scratch,
+                &mut out,
+            );
+            black_box(&out);
+        })
     });
 }
 

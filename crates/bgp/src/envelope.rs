@@ -72,10 +72,19 @@ pub trait BgpApp: Message + DataApp {
     fn from_bgp(env: BgpEnvelope) -> Self;
     /// Unwrap an envelope.
     fn as_bgp(&self) -> Option<&BgpEnvelope>;
+    /// Take the envelope out of the message, or give the message back —
+    /// lets dispatch paths consume their payload without a defensive clone.
+    fn into_bgp(self) -> Result<BgpEnvelope, Self>
+    where
+        Self: Sized;
     /// Wrap a driver command.
     fn from_command(cmd: RouterCommand) -> Self;
     /// Unwrap a driver command.
     fn as_command(&self) -> Option<&RouterCommand>;
+    /// Take the driver command out of the message, or give the message back.
+    fn into_command(self) -> Result<RouterCommand, Self>
+    where
+        Self: Sized;
 }
 
 /// A minimal message type for tests and single-protocol simulations that
@@ -122,6 +131,12 @@ impl BgpApp for BgpOnlyMsg {
             _ => None,
         }
     }
+    fn into_bgp(self) -> Result<BgpEnvelope, Self> {
+        match self {
+            BgpOnlyMsg::Bgp(env) => Ok(env),
+            other => Err(other),
+        }
+    }
     fn from_command(cmd: RouterCommand) -> Self {
         BgpOnlyMsg::Command(cmd)
     }
@@ -129,6 +144,12 @@ impl BgpApp for BgpOnlyMsg {
         match self {
             BgpOnlyMsg::Command(c) => Some(c),
             _ => None,
+        }
+    }
+    fn into_command(self) -> Result<RouterCommand, Self> {
+        match self {
+            BgpOnlyMsg::Command(c) => Ok(c),
+            other => Err(other),
         }
     }
 }

@@ -43,5 +43,5 @@ pub use msg::{BgpMessage, Capability, NotifCode, NotificationMsg, OpenMsg, Updat
 pub use policy::{MatchCond, PolicyMode, Relationship, RouteMap, Rule, SetAction};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};
 pub use router::{BgpRouter, RouterStats};
-pub use types::{pfx, Asn, Prefix, PrefixError, RouterId};
+pub use types::{pfx, Asn, Prefix, PrefixError, RouterId, SharedPath};
 pub use wire::CodecError;

@@ -127,9 +127,22 @@ pub struct LocRibEntry {
 }
 
 /// The router's view of best routes.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LocRib {
     best: BTreeMap<Prefix, LocRibEntry>,
+    /// Number of stored prefixes per prefix length, so `lpm` probes only
+    /// the populated lengths (one exact-match lookup each) instead of
+    /// scanning the whole table.
+    len_counts: [u32; 33],
+}
+
+impl Default for LocRib {
+    fn default() -> Self {
+        LocRib {
+            best: BTreeMap::new(),
+            len_counts: [0; 33],
+        }
+    }
 }
 
 impl LocRib {
@@ -139,7 +152,9 @@ impl LocRib {
         match self.best.get(&prefix) {
             Some(old) if old.source == entry.source && old.attrs == entry.attrs => false,
             _ => {
-                self.best.insert(prefix, entry);
+                if self.best.insert(prefix, entry).is_none() {
+                    self.len_counts[prefix.len() as usize] += 1;
+                }
                 true
             }
         }
@@ -148,7 +163,11 @@ impl LocRib {
     /// Remove the best route (prefix now unreachable). Returns the removed
     /// entry when there was one.
     pub fn clear(&mut self, prefix: Prefix) -> Option<LocRibEntry> {
-        self.best.remove(&prefix)
+        let removed = self.best.remove(&prefix);
+        if removed.is_some() {
+            self.len_counts[prefix.len() as usize] -= 1;
+        }
+        removed
     }
 
     /// Current best route for a prefix.
@@ -157,12 +176,21 @@ impl LocRib {
     }
 
     /// Longest-prefix match for a destination address (the FIB lookup).
+    ///
+    /// Walks the populated prefix lengths from most to least specific and
+    /// probes each bucket with one exact lookup of the address masked to
+    /// that length — O(lengths present × log n) instead of O(table size).
     pub fn lpm(&self, ip: std::net::Ipv4Addr) -> Option<(Prefix, &LocRibEntry)> {
-        self.best
-            .iter()
-            .filter(|(p, _)| p.contains(ip))
-            .max_by_key(|(p, _)| p.len())
-            .map(|(p, e)| (*p, e))
+        for len in (0..=32u8).rev() {
+            if self.len_counts[len as usize] == 0 {
+                continue;
+            }
+            let probe = Prefix::new_masked(ip, len).expect("length in range");
+            if let Some(e) = self.best.get(&probe) {
+                return Some((probe, e));
+            }
+        }
+        None
     }
 
     /// All `(prefix, best)` pairs in prefix order.
@@ -334,6 +362,38 @@ mod tests {
         assert!(out.advertise(p, a1));
         out.clear();
         assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn loc_rib_lpm_prefers_most_specific() {
+        let mut rib = LocRib::default();
+        let mk = |nh: u8| LocRibEntry {
+            source: RouteSource::Peer(nh as usize),
+            attrs: PathAttributes::originate(Ipv4Addr::new(10, 0, 0, nh)),
+            since: SimTime::ZERO,
+        };
+        rib.set(pfx("10.0.0.0/8"), mk(1));
+        rib.set(pfx("10.1.0.0/16"), mk(2));
+        rib.set(pfx("10.1.2.0/24"), mk(3));
+        rib.set(pfx("0.0.0.0/0"), mk(4));
+        fn hit(rib: &LocRib, ip: [u8; 4]) -> Option<Prefix> {
+            rib.lpm(Ipv4Addr::from(ip)).map(|(p, _)| p)
+        }
+        assert_eq!(hit(&rib, [10, 1, 2, 9]), Some(pfx("10.1.2.0/24")));
+        assert_eq!(hit(&rib, [10, 1, 9, 9]), Some(pfx("10.1.0.0/16")));
+        assert_eq!(hit(&rib, [10, 9, 9, 9]), Some(pfx("10.0.0.0/8")));
+        assert_eq!(hit(&rib, [9, 9, 9, 9]), Some(pfx("0.0.0.0/0")));
+        // Re-setting an existing prefix must not corrupt bucket counts …
+        rib.set(pfx("10.1.2.0/24"), mk(5));
+        assert_eq!(hit(&rib, [10, 1, 2, 9]), Some(pfx("10.1.2.0/24")));
+        // … and clearing empties its bucket so lookups fall through.
+        rib.clear(pfx("10.1.2.0/24"));
+        assert_eq!(hit(&rib, [10, 1, 2, 9]), Some(pfx("10.1.0.0/16")));
+        rib.clear(pfx("0.0.0.0/0"));
+        rib.clear(pfx("10.0.0.0/8"));
+        rib.clear(pfx("10.1.0.0/16"));
+        assert_eq!(hit(&rib, [10, 1, 2, 9]), None);
+        assert!(rib.clear(pfx("10.1.0.0/16")).is_none(), "double clear");
     }
 
     #[test]

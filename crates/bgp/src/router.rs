@@ -995,21 +995,25 @@ impl<M: BgpApp> Node<M> for BgpRouter<M> {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
         if link.is_control() {
-            if let Some(cmd) = msg.as_command() {
-                let cmd = cmd.clone();
-                self.handle_command(ctx, &cmd);
-            } else if let Some(pkt) = msg.as_data() {
-                // Driver-originated traffic (ping drivers inject here).
-                let pkt = *pkt;
-                self.send_packet(ctx, pkt);
+            match msg.into_command() {
+                Ok(cmd) => self.handle_command(ctx, &cmd),
+                Err(msg) => {
+                    if let Some(pkt) = msg.as_data() {
+                        // Driver-originated traffic (ping drivers inject here).
+                        let pkt = *pkt;
+                        self.send_packet(ctx, pkt);
+                    }
+                }
             }
             return;
         }
-        if let Some(env) = msg.as_bgp() {
-            let env = env.clone();
-            self.handle_bgp(ctx, &env);
-            return;
-        }
+        let msg = match msg.into_bgp() {
+            Ok(env) => {
+                self.handle_bgp(ctx, &env);
+                return;
+            }
+            Err(msg) => msg,
+        };
         if let Some(pkt) = msg.as_data() {
             let pkt = *pkt;
             self.handle_data(ctx, pkt);

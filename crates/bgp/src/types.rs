@@ -204,6 +204,66 @@ pub fn pfx(s: &str) -> Prefix {
     s.parse().unwrap_or_else(|e| panic!("pfx({s:?}): {e}"))
 }
 
+/// An immutable, interned AS-path sequence shared by reference count.
+///
+/// A flattened AS path flows controller → speaker → BGP encoder and is
+/// stored per prefix on both ends; behind an `Arc<[Asn]>`, every hand-off
+/// and per-prefix copy is a pointer bump instead of a heap clone. Derefs
+/// to `[Asn]`, so slice-based helpers (`accept_route`, `from_seq`) take it
+/// unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SharedPath(std::sync::Arc<[Asn]>);
+
+impl SharedPath {
+    /// The ASNs of the path.
+    pub fn as_slice(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// True when two handles share the same interned allocation (cheap
+    /// equality fast path; falls back to slice comparison when false).
+    pub fn same_interned(&self, other: &SharedPath) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl std::ops::Deref for SharedPath {
+    type Target = [Asn];
+    fn deref(&self) -> &[Asn] {
+        &self.0
+    }
+}
+
+impl From<Vec<Asn>> for SharedPath {
+    fn from(v: Vec<Asn>) -> Self {
+        SharedPath(v.into())
+    }
+}
+
+impl From<&[Asn]> for SharedPath {
+    fn from(v: &[Asn]) -> Self {
+        SharedPath(v.into())
+    }
+}
+
+impl FromIterator<Asn> for SharedPath {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        SharedPath(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for SharedPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,5 +368,25 @@ mod tests {
             v,
             vec![pfx("9.0.0.0/8"), pfx("10.0.0.0/8"), pfx("10.0.0.0/16")]
         );
+    }
+
+    #[test]
+    fn shared_path_clones_are_interned() {
+        let p: SharedPath = vec![Asn(65000), Asn(65001)].into();
+        let q = p.clone();
+        assert!(p.same_interned(&q), "clone must share the allocation");
+        assert_eq!(p, q);
+        assert_eq!(p.as_slice(), &[Asn(65000), Asn(65001)]);
+        // Deref gives slice methods for free.
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&Asn(65001)));
+        assert_eq!(p.to_string(), "65000 65001");
+        // Structurally equal but separately built: equal, not interned.
+        let r: SharedPath = [Asn(65000), Asn(65001)].as_slice().into();
+        assert_eq!(p, r);
+        assert!(!p.same_interned(&r));
+        // Ordering follows the ASN sequence.
+        let s: SharedPath = vec![Asn(65000)].into();
+        assert!(s < p);
     }
 }

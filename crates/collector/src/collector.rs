@@ -97,8 +97,8 @@ impl<M: BgpApp> RouteCollector<M> {
 
 impl<M: BgpApp> Node<M> for RouteCollector<M> {
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, _link: LinkId, msg: M) {
-        let env = match msg.as_bgp() {
-            Some(env) if env.dst == self.id => env.clone(),
+        let env = match msg.into_bgp() {
+            Ok(env) if env.dst == self.id => env,
             _ => return,
         };
         let peer_node = env.src;

@@ -26,9 +26,9 @@
 //! cluster through the legacy world, and using it could form a forwarding
 //! loop that distributed BGP's per-hop AS_PATH check would have caught.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
-use bgpsdn_bgp::Asn;
+use bgpsdn_bgp::{Asn, SharedPath};
 
 use super::switch_graph::SwitchGraph;
 
@@ -40,7 +40,8 @@ pub struct ExternalRoute {
     /// Member whose border that session sits at.
     pub member: usize,
     /// The advertised AS path (first element = the external neighbor).
-    pub as_path: Vec<Asn>,
+    /// Interned: one UPDATE announcing many prefixes shares one allocation.
+    pub as_path: SharedPath,
     /// MED, if sent.
     pub med: Option<u32>,
 }
@@ -64,7 +65,7 @@ pub enum MemberDecision {
 }
 
 /// The full routing decision for one prefix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PrefixComputation {
     /// Per-member decision, indexed by member.
     pub decisions: Vec<MemberDecision>,
@@ -82,16 +83,49 @@ impl PrefixComputation {
     }
 }
 
+/// Reusable Dijkstra/BFS scratch buffers for [`compute_into`].
+///
+/// One prefix computation needs five working vectors plus a BFS queue; a
+/// controller recomputing hundreds of prefixes per batch reuses one scratch
+/// across all of them instead of allocating per prefix.
+#[derive(Debug, Default)]
+pub struct ComputeScratch {
+    seeds: Vec<(u32, usize, MemberDecision)>,
+    decided: Vec<bool>,
+    done: Vec<bool>,
+    bfs_dist: Vec<Option<usize>>,
+    bfs_prev: Vec<Option<usize>>,
+    bfs_queue: VecDeque<usize>,
+}
+
 /// Run the per-prefix computation.
 ///
 /// `owner` is the member originating the prefix (if cluster-owned); `ext`
 /// are the accepted external routes. Deterministic: ties break toward the
 /// lower session index, then the lower member index.
 pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) -> PrefixComputation {
+    let mut out = PrefixComputation::default();
+    compute_into(sg, owner, ext, &mut ComputeScratch::default(), &mut out);
+    out
+}
+
+/// [`compute`] into caller-provided scratch and output buffers. Identical
+/// results; no per-call allocation once the buffers have warmed up.
+pub fn compute_into(
+    sg: &SwitchGraph,
+    owner: Option<usize>,
+    ext: &[ExternalRoute],
+    scratch: &mut ComputeScratch,
+    out: &mut PrefixComputation,
+) {
     let n = sg.len();
-    let mut dist: Vec<Option<u32>> = vec![None; n];
+    let dist = &mut out.dist;
+    dist.clear();
+    dist.resize(n, None);
     // How the best path leaves each member.
-    let mut via: Vec<MemberDecision> = vec![MemberDecision::Unreachable; n];
+    let via = &mut out.decisions;
+    via.clear();
+    via.resize(n, MemberDecision::Unreachable);
 
     // Cluster-owned prefixes route internally wherever the owner is
     // reachable (a local route beats any external candidate, like the
@@ -99,14 +133,19 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
     // a partition fall through to the egress computation below — reaching
     // the other sub-cluster over the legacy world (§2's sub-cluster goal).
     if let Some(o) = owner {
-        let (bfs_dist, prev) = sg.bfs(o);
+        sg.bfs_into(
+            o,
+            &mut scratch.bfs_dist,
+            &mut scratch.bfs_prev,
+            &mut scratch.bfs_queue,
+        );
         for m in 0..n {
-            if let Some(d) = bfs_dist[m] {
+            if let Some(d) = scratch.bfs_dist[m] {
                 dist[m] = Some(d as u32);
                 via[m] = if m == o {
                     MemberDecision::Local
                 } else {
-                    MemberDecision::ViaMember(prev[m].expect("non-root has parent"))
+                    MemberDecision::ViaMember(scratch.bfs_prev[m].expect("non-root has parent"))
                 };
             }
         }
@@ -115,7 +154,8 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
     // Seed egress distances for the undecided members. A member may hold
     // several candidate seeds; the best (lowest cost, then lowest session)
     // wins.
-    let mut seeds: Vec<(u32, usize, MemberDecision)> = Vec::new();
+    let seeds = &mut scratch.seeds;
+    seeds.clear();
     for r in ext {
         // An egress costs the external AS-path length (at least 1).
         let cost = (r.as_path.len() as u32).max(1);
@@ -123,10 +163,12 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
     }
     // Members already decided by the owner pass are fixed; the egress
     // Dijkstra runs only over the rest (they live in other sub-clusters).
-    let decided: Vec<bool> = via
-        .iter()
-        .map(|d| !matches!(d, MemberDecision::Unreachable))
-        .collect();
+    let decided = &mut scratch.decided;
+    decided.clear();
+    decided.extend(
+        via.iter()
+            .map(|d| !matches!(d, MemberDecision::Unreachable)),
+    );
 
     // Deterministic seed application: sort by (cost, member, session).
     seeds.sort_by_key(|(c, m, d)| {
@@ -136,7 +178,7 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
         };
         (*c, *m, rank)
     });
-    for (cost, m, d) in seeds {
+    for &(cost, m, d) in seeds.iter() {
         if decided[m] {
             continue;
         }
@@ -148,7 +190,9 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
 
     // Dijkstra relaxation over up intra-cluster edges (weight 1).
     // n is small (cluster size); a simple O(n²) scan keeps this obvious.
-    let mut done = decided.clone();
+    let done = &mut scratch.done;
+    done.clear();
+    done.extend_from_slice(decided);
     loop {
         let mut best: Option<(u32, usize)> = None;
         for m in 0..n {
@@ -163,7 +207,7 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
         }
         let Some((d, m)) = best else { break };
         done[m] = true;
-        for (nbr, _) in sg.neighbors_up(m) {
+        for (nbr, _) in sg.neighbors_up_iter(m) {
             if decided[nbr] {
                 continue;
             }
@@ -180,11 +224,6 @@ pub fn compute(sg: &SwitchGraph, owner: Option<usize>, ext: &[ExternalRoute]) ->
                 via[nbr] = MemberDecision::ViaMember(m);
             }
         }
-    }
-
-    PrefixComputation {
-        decisions: via,
-        dist,
     }
 }
 
@@ -273,7 +312,7 @@ mod tests {
         let ext = vec![ExternalRoute {
             session: 5,
             member: 0,
-            as_path: vec![Asn(7), Asn(8)],
+            as_path: vec![Asn(7), Asn(8)].into(),
             med: None,
         }];
         let comp = compute(&sg, None, &ext);
@@ -297,13 +336,13 @@ mod tests {
             ExternalRoute {
                 session: 0,
                 member: 0,
-                as_path: vec![Asn(7), Asn(8), Asn(9)],
+                as_path: vec![Asn(7), Asn(8), Asn(9)].into(),
                 med: None,
             },
             ExternalRoute {
                 session: 1,
                 member: 2,
-                as_path: vec![Asn(5)],
+                as_path: vec![Asn(5)].into(),
                 med: None,
             },
         ];
@@ -322,7 +361,7 @@ mod tests {
         let ext = vec![ExternalRoute {
             session: 0,
             member: 1,
-            as_path: vec![Asn(7)],
+            as_path: vec![Asn(7)].into(),
             med: None,
         }];
         let comp = compute(&sg, Some(0), &ext);
@@ -337,7 +376,7 @@ mod tests {
         let ext = vec![ExternalRoute {
             session: 9,
             member: 0,
-            as_path: vec![Asn(7)],
+            as_path: vec![Asn(7)].into(),
             med: None,
         }];
         let comp = compute(&sg, None, &ext);
@@ -366,13 +405,13 @@ mod tests {
             ExternalRoute {
                 session: 3,
                 member: 0,
-                as_path: vec![Asn(7)],
+                as_path: vec![Asn(7)].into(),
                 med: None,
             },
             ExternalRoute {
                 session: 1,
                 member: 0,
-                as_path: vec![Asn(8)],
+                as_path: vec![Asn(8)].into(),
                 med: None,
             },
         ];
@@ -386,7 +425,7 @@ mod tests {
         let ext = vec![ExternalRoute {
             session: 0,
             member: 1,
-            as_path: vec![],
+            as_path: vec![].into(),
             med: None,
         }];
         let comp = compute(&sg, None, &ext);

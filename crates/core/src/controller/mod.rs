@@ -19,7 +19,7 @@ pub mod switch_graph;
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bgpsdn_bgp::{Asn, BgpApp, Prefix, RouterCommand, UpdateMsg};
+use bgpsdn_bgp::{Asn, BgpApp, Prefix, RouterCommand, SharedPath, UpdateMsg};
 use bgpsdn_netsim::{
     Activity, Ctx, LinkId, Node, NodeId, RecomputeTrigger, SimDuration, TimerClass, TimerToken,
     TraceCategory, TraceEvent,
@@ -29,8 +29,8 @@ use bgpsdn_sdn::{
 };
 
 use as_graph::{
-    accept_route, announced_path, compute, egress_session_of, ExternalRoute, MemberDecision,
-    PrefixComputation,
+    accept_route, announced_path, compute, compute_into, egress_session_of, ComputeScratch,
+    ExternalRoute, MemberDecision, PrefixComputation,
 };
 use switch_graph::SwitchGraph;
 
@@ -80,6 +80,12 @@ pub struct ControllerConfig {
     pub recompute_delay: SimDuration,
     /// Priority used for all compiled flow rules.
     pub flow_priority: u16,
+    /// Incremental recomputation: track dirty prefixes and re-run the
+    /// per-prefix Dijkstra only for those, diffing against the cached
+    /// compiled state. `false` re-derives every prefix on every trigger
+    /// (the pre-optimization behavior; kept as a correctness oracle and
+    /// scaling baseline). Both modes compile identical state.
+    pub incremental: bool,
 }
 
 impl ControllerConfig {
@@ -97,6 +103,7 @@ impl ControllerConfig {
             speaker_link,
             recompute_delay: SimDuration::from_millis(100),
             flow_priority: 100,
+            incremental: true,
         }
     }
 }
@@ -120,6 +127,12 @@ pub struct ControllerStats {
     pub routes_rejected_loop: u64,
     /// PacketIn messages received (reactive path; unused by IDR policy).
     pub packet_ins: u64,
+    /// Prefixes in the dirty set across all recomputes.
+    pub prefixes_dirty: u64,
+    /// Per-prefix Dijkstra runs actually executed.
+    pub prefixes_recomputed: u64,
+    /// Tracked prefixes whose cached compiled state was reused untouched.
+    pub prefixes_cached: u64,
 }
 
 /// The IDR controller node.
@@ -134,13 +147,27 @@ pub struct IdrController<M> {
     /// prefix → session → accepted external route.
     ext_routes: BTreeMap<Prefix, BTreeMap<usize, ExternalRoute>>,
     session_up: Vec<bool>,
-    /// Model of what is installed on each switch: prefix → action.
+    /// Model of what is installed on each switch: prefix → action. This is
+    /// the compiled per-prefix flow cache the incremental recompute diffs
+    /// against.
     installed: Vec<BTreeMap<Prefix, FlowAction>>,
-    /// What was announced per session: prefix → AS path.
-    adj_out: Vec<BTreeMap<Prefix, Vec<Asn>>>,
+    /// What was announced per session: prefix → AS path (the compiled
+    /// announcement cache).
+    adj_out: Vec<BTreeMap<Prefix, SharedPath>>,
     pending: Vec<(usize, UpdateMsg)>,
+    /// Prefixes whose inputs changed since the last recompute.
+    dirty: BTreeSet<Prefix>,
+    /// Events that invalidate every prefix (switch-graph or session-set
+    /// changes alter the shared inputs of all per-prefix computations).
+    all_dirty: bool,
     recompute_armed: bool,
     stats: ControllerStats,
+    /// Reusable Dijkstra/BFS scratch across prefixes and recomputes.
+    scratch: ComputeScratch,
+    /// Reusable per-prefix computation output buffer.
+    comp_buf: PrefixComputation,
+    /// Reusable live-external-route buffer.
+    ext_buf: Vec<ExternalRoute>,
     _m: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -165,8 +192,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             installed: vec![BTreeMap::new(); n],
             adj_out: vec![BTreeMap::new(); cfg.sessions.len()],
             pending: Vec::new(),
+            dirty: BTreeSet::new(),
+            all_dirty: true, // nothing is compiled yet
             recompute_armed: false,
             stats: ControllerStats::default(),
+            scratch: ComputeScratch::default(),
+            comp_buf: PrefixComputation::default(),
+            ext_buf: Vec::new(),
             id,
             cfg,
             _m: std::marker::PhantomData,
@@ -218,9 +250,31 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         self.installed[member].get(&prefix).copied()
     }
 
+    /// The full compiled flow table the controller believes is installed at
+    /// a member (the incremental recompute's per-prefix cache).
+    pub fn installed_table(&self, member: usize) -> &BTreeMap<Prefix, FlowAction> {
+        &self.installed[member]
+    }
+
+    /// The full announcement state for a speaker session (prefix → AS path
+    /// last instructed to the speaker).
+    pub fn adj_out_table(&self, session: usize) -> &BTreeMap<Prefix, SharedPath> {
+        &self.adj_out[session]
+    }
+
     /// Whether a speaker session is currently up from the controller's view.
     pub fn session_is_up(&self, session: usize) -> bool {
         self.session_up[session]
+    }
+
+    /// Number of cluster members (bound for [`Self::installed_table`]).
+    pub fn member_count(&self) -> usize {
+        self.cfg.members.len()
+    }
+
+    /// Number of speaker sessions (bound for [`Self::adj_out_table`]).
+    pub fn session_count(&self) -> usize {
+        self.cfg.sessions.len()
     }
 
     /// Usable external routes for a prefix under the current sub-cluster
@@ -233,8 +287,17 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     /// of a *different* sub-cluster is exactly how partitioned sub-clusters
     /// reconnect over the legacy Internet (§2).
     fn live_ext_routes(&self, prefix: Prefix) -> Vec<ExternalRoute> {
+        let (comp, comp_asns) = self.component_asns();
+        let mut out = Vec::new();
+        self.live_ext_routes_into(prefix, &comp, &comp_asns, &mut out);
+        out
+    }
+
+    /// The current sub-cluster structure: component id per member plus the
+    /// member-ASN set of each component. Shared by every per-prefix
+    /// computation in a batch, so it is derived once per recompute.
+    fn component_asns(&self) -> (Vec<usize>, Vec<BTreeSet<Asn>>) {
         let (comp, _) = self.sg.components();
-        // ASN sets per component.
         let mut comp_asns: Vec<BTreeSet<Asn>> = Vec::new();
         for (m, &c) in comp.iter().enumerate() {
             if comp_asns.len() <= c {
@@ -242,16 +305,25 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             }
             comp_asns[c].insert(self.member_asns[m]);
         }
-        self.ext_routes
-            .get(&prefix)
-            .map(|m| {
+        (comp, comp_asns)
+    }
+
+    fn live_ext_routes_into(
+        &self,
+        prefix: Prefix,
+        comp: &[usize],
+        comp_asns: &[BTreeSet<Asn>],
+        out: &mut Vec<ExternalRoute>,
+    ) {
+        out.clear();
+        if let Some(m) = self.ext_routes.get(&prefix) {
+            out.extend(
                 m.values()
                     .filter(|r| self.session_up[r.session])
                     .filter(|r| accept_route(&r.as_path, &comp_asns[comp[r.member]]))
-                    .cloned()
-                    .collect()
-            })
-            .unwrap_or_default()
+                    .cloned(),
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -280,9 +352,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         self.ext_routes.remove(p);
                     }
                 }
+                self.dirty.insert(*p);
             }
             if let Some(attrs) = &upd.attrs {
-                let path = attrs.as_path.flatten();
+                // Intern the path once per UPDATE: every NLRI prefix (and
+                // the downstream speaker command) shares the allocation.
+                let path: SharedPath = attrs.as_path.flatten().into();
                 // Count cluster-crossing paths for observability, but store
                 // them regardless: whether such a path is usable depends on
                 // the sub-cluster structure at computation time.
@@ -300,6 +375,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                             med: attrs.med,
                         },
                     );
+                    self.dirty.insert(*p);
                 }
             }
         }
@@ -310,9 +386,15 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             return;
         }
         self.session_up[session] = false;
+        // No withdrawals toward a dead peer: just forget what it was told.
         self.adj_out[session].clear();
-        self.ext_routes.retain(|_, slot| {
-            slot.remove(&session);
+        // Only the prefixes that actually lost a route need recomputing —
+        // the sub-cluster structure is untouched by a session loss.
+        let dirty = &mut self.dirty;
+        self.ext_routes.retain(|p, slot| {
+            if slot.remove(&session).is_some() {
+                dirty.insert(*p);
+            }
             !slot.is_empty()
         });
         self.recompute_now(ctx, RecomputeTrigger::SessionDown);
@@ -327,6 +409,14 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     // The centralized route computation
     // ------------------------------------------------------------------
 
+    /// One batched recomputation. In incremental mode only the prefixes in
+    /// the dirty set are re-derived; everything else keeps its cached
+    /// compiled state (`installed` / `adj_out`). This is sound because one
+    /// prefix's computation depends only on the switch graph, the session-up
+    /// vector, its owner, and its own external routes — any event touching
+    /// the shared inputs sets `all_dirty`, and per-prefix input changes mark
+    /// that prefix. A clean prefix would therefore diff to zero messages;
+    /// skipping it is observationally identical to the full sweep.
     fn recompute_all(&mut self, ctx: &mut Ctx<'_, M>, trigger: RecomputeTrigger) {
         self.stats.recomputes += 1;
         ctx.report(Activity::ControllerRecompute);
@@ -338,138 +428,154 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             self.stats.withdrawals,
         );
 
-        let mut prefixes: BTreeSet<Prefix> = self.owned.keys().copied().collect();
-        prefixes.extend(self.ext_routes.keys().copied());
+        // Prefixes with live inputs (owned or externally routed).
+        let tracked = self.owned.len()
+            + self
+                .ext_routes
+                .keys()
+                .filter(|p| !self.owned.contains_key(p))
+                .count();
+
+        let full = self.all_dirty || !self.cfg.incremental;
+        self.all_dirty = false;
+        let mut dirty = std::mem::take(&mut self.dirty);
+        if full {
+            // Everything with live inputs, plus anything still compiled
+            // from earlier state (so stale entries get torn down).
+            dirty.extend(self.owned.keys().copied());
+            dirty.extend(self.ext_routes.keys().copied());
+            for table in &self.installed {
+                dirty.extend(table.keys().copied());
+            }
+            for table in &self.adj_out {
+                dirty.extend(table.keys().copied());
+            }
+        }
 
         let n = self.cfg.members.len();
-        let mut desired_flows: Vec<BTreeMap<Prefix, FlowAction>> = vec![BTreeMap::new(); n];
-        let mut desired_ann: Vec<BTreeMap<Prefix, Vec<Asn>>> =
-            vec![BTreeMap::new(); self.cfg.sessions.len()];
+        // Sub-cluster structure is shared by every prefix: derive it once
+        // per batch, not once per prefix.
+        let (comp_of, comp_asns) = self.component_asns();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut comp = std::mem::take(&mut self.comp_buf);
+        let mut ext = std::mem::take(&mut self.ext_buf);
 
-        for &prefix in &prefixes {
+        let mut changed_any = false;
+        for &prefix in &dirty {
             let owner = self.owned.get(&prefix).copied();
-            let ext = self.live_ext_routes(prefix);
-            let comp = compute(&self.sg, owner, &ext);
+            self.live_ext_routes_into(prefix, &comp_of, &comp_asns, &mut ext);
+            compute_into(&self.sg, owner, &ext, &mut scratch, &mut comp);
 
+            // Diff desired flow state against the compiled cache, member by
+            // member. At most one FlowMod per (member, prefix): control
+            // links are FIFO, so per-prefix emission order is immaterial.
             for (m, decision) in comp.decisions.iter().enumerate() {
-                let action = match *decision {
-                    MemberDecision::Unreachable => continue,
-                    MemberDecision::Local => FlowAction::Local,
-                    MemberDecision::ViaMember(next) => {
-                        match self.sg.link_between(m, next) {
-                            Some(link) => FlowAction::Output(link.0),
-                            None => continue, // link died mid-computation
-                        }
-                    }
+                let desired = match *decision {
+                    MemberDecision::Unreachable => None,
+                    MemberDecision::Local => Some(FlowAction::Local),
+                    MemberDecision::ViaMember(next) => self
+                        .sg
+                        .link_between(m, next)
+                        .map(|link| FlowAction::Output(link.0)),
                     MemberDecision::Egress(s) => {
                         debug_assert_eq!(self.cfg.sessions[s].member, m);
-                        FlowAction::Output(self.cfg.sessions[s].ext_link.0)
+                        Some(FlowAction::Output(self.cfg.sessions[s].ext_link.0))
                     }
                 };
-                desired_flows[m].insert(prefix, action);
+                let (op, rule_action) = match desired {
+                    Some(action) => {
+                        if self.installed[m].insert(prefix, action) == Some(action) {
+                            continue; // cache hit: already compiled
+                        }
+                        (FlowModOp::Add, action)
+                    }
+                    None => {
+                        if self.installed[m].remove(&prefix).is_none() {
+                            continue; // nothing installed to tear down
+                        }
+                        (FlowModOp::Delete, FlowAction::Drop)
+                    }
+                };
+                self.stats.flow_mods += 1;
+                changed_any = true;
+                let msg = OfMessage::FlowMod {
+                    op,
+                    rule: FlowRule {
+                        priority: self.cfg.flow_priority,
+                        prefix,
+                        action: rule_action,
+                        cookie: 0,
+                    },
+                };
+                ctx.send(self.cfg.members[m].ctl_link, M::from_of(OfEnvelope::new(&msg)));
             }
 
+            // Diff desired announcements against the per-session cache.
             for (s, scfg) in self.cfg.sessions.iter().enumerate() {
-                if !self.session_up[s] {
-                    continue;
-                }
-                let x = scfg.member;
-                // Split horizon: never announce back onto the session the
-                // best route egresses through.
-                if egress_session_of(x, &comp) == Some(s) {
-                    continue;
-                }
-                if let Some(path) = announced_path(x, &comp, &ext, &self.member_asns) {
-                    // Don't announce a path the peer itself is on — it would
-                    // be loop-rejected anyway; skipping saves churn.
-                    if path.contains(&scfg.ext_asn) {
-                        continue;
+                let desired: Option<SharedPath> = if !self.session_up[s] {
+                    None
+                } else {
+                    let x = scfg.member;
+                    // Split horizon: never announce back onto the session
+                    // the best route egresses through.
+                    if egress_session_of(x, &comp) == Some(s) {
+                        None
+                    } else {
+                        announced_path(x, &comp, &ext, &self.member_asns)
+                            // Don't announce a path the peer itself is on —
+                            // it would be loop-rejected anyway; skipping
+                            // saves churn.
+                            .filter(|path| !path.contains(&scfg.ext_asn))
+                            .map(SharedPath::from)
                     }
-                    desired_ann[s].insert(prefix, path);
-                }
-            }
-        }
-
-        // Diff and push flow state.
-        let mut changed_any = false;
-        for (m, desired) in desired_flows.iter_mut().enumerate() {
-            let ctl = self.cfg.members[m].ctl_link;
-            // Removals first (old prefixes no longer reachable).
-            let stale: Vec<Prefix> = self.installed[m]
-                .keys()
-                .filter(|p| !desired.contains_key(p))
-                .copied()
-                .collect();
-            for p in stale {
-                self.stats.flow_mods += 1;
-                changed_any = true;
-                let msg = OfMessage::FlowMod {
-                    op: FlowModOp::Delete,
-                    rule: FlowRule {
-                        priority: self.cfg.flow_priority,
-                        prefix: p,
-                        action: FlowAction::Drop,
-                        cookie: 0,
-                    },
                 };
-                ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
-            }
-            for (p, action) in desired.iter() {
-                if self.installed[m].get(p) == Some(action) {
-                    continue;
+                match desired {
+                    Some(path) => {
+                        if self.adj_out[s].get(&prefix) == Some(&path) {
+                            continue;
+                        }
+                        self.adj_out[s].insert(prefix, path.clone());
+                        self.stats.announcements += 1;
+                        changed_any = true;
+                        ctx.send(
+                            self.cfg.speaker_link,
+                            M::from_speaker_cmd(SpeakerCmd::Announce {
+                                session: s,
+                                prefix,
+                                as_path: path,
+                                med: None,
+                            }),
+                        );
+                    }
+                    None => {
+                        if self.adj_out[s].remove(&prefix).is_none() {
+                            continue;
+                        }
+                        self.stats.withdrawals += 1;
+                        changed_any = true;
+                        ctx.send(
+                            self.cfg.speaker_link,
+                            M::from_speaker_cmd(SpeakerCmd::Withdraw {
+                                session: s,
+                                prefix,
+                            }),
+                        );
+                    }
                 }
-                self.stats.flow_mods += 1;
-                changed_any = true;
-                let msg = OfMessage::FlowMod {
-                    op: FlowModOp::Add,
-                    rule: FlowRule {
-                        priority: self.cfg.flow_priority,
-                        prefix: *p,
-                        action: *action,
-                        cookie: 0,
-                    },
-                };
-                ctx.send(ctl, M::from_of(OfEnvelope::new(&msg)));
             }
-            self.installed[m] = std::mem::take(desired);
         }
+        self.scratch = scratch;
+        self.comp_buf = comp;
+        self.ext_buf = ext;
 
-        // Diff and push announcements.
-        for (s, desired) in desired_ann.iter_mut().enumerate() {
-            let stale: Vec<Prefix> = self.adj_out[s]
-                .keys()
-                .filter(|p| !desired.contains_key(p))
-                .copied()
-                .collect();
-            for p in stale {
-                self.stats.withdrawals += 1;
-                changed_any = true;
-                ctx.send(
-                    self.cfg.speaker_link,
-                    M::from_speaker_cmd(SpeakerCmd::Withdraw {
-                        session: s,
-                        prefix: p,
-                    }),
-                );
-            }
-            for (p, path) in desired.iter() {
-                if self.adj_out[s].get(p) == Some(path) {
-                    continue;
-                }
-                self.stats.announcements += 1;
-                changed_any = true;
-                ctx.send(
-                    self.cfg.speaker_link,
-                    M::from_speaker_cmd(SpeakerCmd::Announce {
-                        session: s,
-                        prefix: *p,
-                        as_path: path.clone(),
-                        med: None,
-                    }),
-                );
-            }
-            self.adj_out[s] = std::mem::take(desired);
-        }
+        let recomputed = dirty.len() as u32;
+        let cached = (tracked as u32).saturating_sub(recomputed);
+        self.stats.prefixes_dirty += u64::from(recomputed);
+        self.stats.prefixes_recomputed += u64::from(recomputed);
+        self.stats.prefixes_cached += u64::from(cached);
+        ctx.count("core.controller.prefixes_dirty", u64::from(recomputed));
+        ctx.count("core.controller.prefixes_recomputed", u64::from(recomputed));
+        ctx.count("core.controller.prefixes_cached", u64::from(cached));
 
         if changed_any {
             ctx.report(Activity::RibChange);
@@ -486,7 +592,10 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         );
         ctx.trace(TraceCategory::Route, || TraceEvent::ControllerRecompute {
             trigger,
-            prefixes: prefixes.len() as u32,
+            prefixes: tracked as u32,
+            prefixes_dirty: recomputed,
+            prefixes_recomputed: recomputed,
+            prefixes_cached: cached,
             members: n as u32,
             links_up,
             flow_mods,
@@ -509,6 +618,9 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         link: link.0,
                         up,
                     });
+                    // The switch graph feeds every per-prefix computation:
+                    // invalidate the lot.
+                    self.all_dirty = true;
                     // Failures must be repaired immediately; no delay.
                     self.recompute_now(ctx, RecomputeTrigger::LinkChange);
                     return;
@@ -549,12 +661,14 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     .position(|m| m.prefix.covers(*p) || m.prefix == *p);
                 if let Some(m) = owner {
                     self.owned.insert(*p, m);
+                    self.dirty.insert(*p);
                     ctx.report(Activity::PrefixOriginated);
                     self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
             }
             RouterCommand::Withdraw(p) => {
                 if self.owned.remove(p).is_some() {
+                    self.dirty.insert(*p);
                     ctx.report(Activity::PrefixWithdrawn);
                     self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
@@ -571,33 +685,39 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
-        if let Some(ev) = msg.as_speaker_event() {
-            let ev = ev.clone();
-            match ev {
-                SpeakerEvent::Update { session, update } => {
-                    ctx.report(Activity::UpdateReceived);
-                    self.buffer_update(ctx, session, update);
+        let msg = match msg.into_speaker_event() {
+            Ok(ev) => {
+                match ev {
+                    SpeakerEvent::Update { session, update } => {
+                        ctx.report(Activity::UpdateReceived);
+                        self.buffer_update(ctx, session, update);
+                    }
+                    SpeakerEvent::SessionUp { session, .. } => {
+                        ctx.report(Activity::SessionUp);
+                        self.session_up[session] = true;
+                        // A new egress changes the announcement surface of
+                        // every prefix (it must receive the full table).
+                        self.all_dirty = true;
+                        self.recompute_now(ctx, RecomputeTrigger::SessionUp);
+                    }
+                    SpeakerEvent::SessionDown { session } => {
+                        ctx.report(Activity::SessionDown);
+                        self.session_down(ctx, session);
+                    }
                 }
-                SpeakerEvent::SessionUp { session, .. } => {
-                    ctx.report(Activity::SessionUp);
-                    self.session_up[session] = true;
-                    self.recompute_now(ctx, RecomputeTrigger::SessionUp);
-                }
-                SpeakerEvent::SessionDown { session } => {
-                    ctx.report(Activity::SessionDown);
-                    self.session_down(ctx, session);
-                }
+                return;
             }
-            return;
-        }
-        if let Some(env) = msg.as_of() {
-            let env = env.clone();
-            self.handle_of(ctx, &env);
-            return;
-        }
+            Err(msg) => msg,
+        };
+        let msg = match msg.into_of() {
+            Ok(env) => {
+                self.handle_of(ctx, &env);
+                return;
+            }
+            Err(msg) => msg,
+        };
         if link.is_control() {
-            if let Some(cmd) = msg.as_command() {
-                let cmd = cmd.clone();
+            if let Ok(cmd) = msg.into_command() {
                 self.handle_command(ctx, &cmd);
             }
         }

@@ -83,19 +83,21 @@ impl SwitchGraph {
 
     /// Up neighbors of a member: `(other member, link)`.
     pub fn neighbors_up(&self, m: usize) -> Vec<(usize, LinkId)> {
-        self.links
-            .iter()
-            .filter(|l| l.up)
-            .filter_map(|l| {
-                if l.a == m {
-                    Some((l.b, l.link))
-                } else if l.b == m {
-                    Some((l.a, l.link))
-                } else {
-                    None
-                }
-            })
-            .collect()
+        self.neighbors_up_iter(m).collect()
+    }
+
+    /// Non-allocating variant of [`neighbors_up`](Self::neighbors_up) —
+    /// iterates in link insertion order, so traversals stay deterministic.
+    pub fn neighbors_up_iter(&self, m: usize) -> impl Iterator<Item = (usize, LinkId)> + '_ {
+        self.links.iter().filter(|l| l.up).filter_map(move |l| {
+            if l.a == m {
+                Some((l.b, l.link))
+            } else if l.b == m {
+                Some((l.a, l.link))
+            } else {
+                None
+            }
+        })
     }
 
     /// The link between two members, if up.
@@ -118,7 +120,7 @@ impl SwitchGraph {
             comp[start] = count;
             let mut q = VecDeque::from([start]);
             while let Some(v) = q.pop_front() {
-                for (nbr, _) in self.neighbors_up(v) {
+                for (nbr, _) in self.neighbors_up_iter(v) {
                     if comp[nbr] == usize::MAX {
                         comp[nbr] = count;
                         q.push_back(nbr);
@@ -133,14 +135,33 @@ impl SwitchGraph {
     /// BFS hop distances from `src` over up links, with the predecessor
     /// member toward `src`.
     pub fn bfs(&self, src: usize) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
-        let mut dist = vec![None; self.n];
-        let mut prev = vec![None; self.n];
+        let mut dist = Vec::new();
+        let mut prev = Vec::new();
+        let mut q = VecDeque::new();
+        self.bfs_into(src, &mut dist, &mut prev, &mut q);
+        (dist, prev)
+    }
+
+    /// BFS into caller-provided buffers, so a hot loop running one search
+    /// per prefix reuses its allocations instead of growing fresh vectors.
+    pub fn bfs_into(
+        &self,
+        src: usize,
+        dist: &mut Vec<Option<usize>>,
+        prev: &mut Vec<Option<usize>>,
+        q: &mut VecDeque<usize>,
+    ) {
+        dist.clear();
+        dist.resize(self.n, None);
+        prev.clear();
+        prev.resize(self.n, None);
+        q.clear();
         dist[src] = Some(0);
-        let mut q = VecDeque::from([src]);
+        q.push_back(src);
         while let Some(v) = q.pop_front() {
             let d = dist[v].expect("queued implies visited");
-            // Deterministic order: neighbors_up preserves link insertion order.
-            for (nbr, _) in self.neighbors_up(v) {
+            // Deterministic order: neighbors preserve link insertion order.
+            for (nbr, _) in self.neighbors_up_iter(v) {
                 if dist[nbr].is_none() {
                     dist[nbr] = Some(d + 1);
                     prev[nbr] = Some(v);
@@ -148,7 +169,6 @@ impl SwitchGraph {
                 }
             }
         }
-        (dist, prev)
     }
 
     /// Shortest member path `from → to` over up links, inclusive, or `None`

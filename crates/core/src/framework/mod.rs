@@ -15,7 +15,8 @@ pub use network::{
 };
 pub use scenarios::{
     clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
-    run_clique_traced, CliqueScenario, EventKind, ScenarioOutcome,
+    run_clique_traced, run_scale, run_scale_instrumented, CliqueScenario, EventKind,
+    ScaleOutcome, ScaleScenario, ScenarioOutcome, SCALE_UPDATE_PHASE,
 };
 pub use script::{Script, ScriptAction, ScriptReport, StepOutcome};
 pub use traffic::ProbeReport;

@@ -114,6 +114,7 @@ pub struct NetworkBuilder {
     with_collector: bool,
     recompute_delay: SimDuration,
     edge_latencies: Option<Vec<SimDuration>>,
+    incremental: bool,
 }
 
 impl NetworkBuilder {
@@ -128,6 +129,7 @@ impl NetworkBuilder {
             with_collector: true,
             recompute_delay: SimDuration::from_millis(100),
             edge_latencies: None,
+            incremental: true,
         }
     }
 
@@ -166,6 +168,14 @@ impl NetworkBuilder {
         self
     }
 
+    /// Disable incremental recomputation: the controller re-derives every
+    /// prefix on every trigger. Used as the correctness oracle and as the
+    /// scaling baseline in benchmarks.
+    pub fn with_full_recompute(mut self) -> Self {
+        self.incremental = false;
+        self
+    }
+
     /// Assemble the network.
     pub fn build(self) -> HybridNetwork {
         let plan = self.plan;
@@ -173,7 +183,14 @@ impl NetworkBuilder {
         for &m in &self.sdn_members {
             assert!(m < n, "SDN member index {m} out of range");
         }
-        let mut sim = Sim::new(self.seed);
+        // Pre-size the event heap: steady state carries roughly one in-flight
+        // event per link (delivery or timer) plus per-node timers, so nodes +
+        // links is a good floor that avoids growth reallocations mid-dispatch.
+        let n_edges = plan.as_graph.edges.len();
+        let n_members = self.sdn_members.len();
+        let approx_nodes = n + 3; // ASes + speaker + controller + collector
+        let approx_links = n_edges + 2 * n_members + 1 + n;
+        let mut sim = Sim::with_event_capacity(self.seed, 2 * (approx_nodes + approx_links));
         let member_index: BTreeMap<usize, usize> = self
             .sdn_members
             .iter()
@@ -350,6 +367,7 @@ impl NetworkBuilder {
                 .collect();
             let mut cfg = ControllerConfig::new(members, intra, sessions, speaker_link);
             cfg.recompute_delay = self.recompute_delay;
+            cfg.incremental = self.incremental;
             sim.with_node::<Controller, _>(controller_node, |c| c.set_config(cfg));
         }
 

@@ -6,9 +6,11 @@
 //! measuring IDR convergence time. Used by the benches, the examples and
 //! the integration tests.
 
-use bgpsdn_bgp::{PolicyMode, TimingConfig};
-use bgpsdn_netsim::{SimDuration, SimTime};
-use bgpsdn_topology::{gen, plan, AsGraph};
+use std::net::Ipv4Addr;
+
+use bgpsdn_bgp::{PolicyMode, Prefix, TimingConfig};
+use bgpsdn_netsim::{SimDuration, SimRng, SimTime};
+use bgpsdn_topology::{caida, gen, plan, AsGraph};
 
 use super::experiment::Experiment;
 use super::network::NetworkBuilder;
@@ -240,4 +242,181 @@ pub fn clique_sweep_point(base: &CliqueScenario, event: EventKind, runs: u64) ->
 /// Convenience: the `SimTime` horizon scenarios run within.
 pub fn phase_deadline() -> SimTime {
     SimTime::ZERO + PHASE_DEADLINE
+}
+
+// ----------------------------------------------------------------------
+// Table S7: scale run on a CAIDA-like tiered topology
+// ----------------------------------------------------------------------
+
+/// Parameters of a scale experiment (Table S7): a CAIDA-derived tiered AS
+/// topology with the SDN cluster at tier-1, seeded with hundreds of
+/// prefixes, then hit with a single-prefix update — the workload that
+/// separates the controller's incremental dirty-set recompute from the
+/// full-table baseline.
+#[derive(Debug, Clone)]
+pub struct ScaleScenario {
+    /// Tier-1 AS count (full peer mesh; the cluster is taken from these).
+    pub tier1: usize,
+    /// Mid-tier provider count.
+    pub mid: usize,
+    /// Stub AS count — each stub seeds extra sub-prefixes.
+    pub stubs: usize,
+    /// How many tier-1 ASes are cluster members (`<= tier1`).
+    pub cluster_size: usize,
+    /// Extra /24 sub-prefixes each stub announces during the seeding phase.
+    pub prefixes_per_stub: usize,
+    /// eBGP MRAI.
+    pub mrai: SimDuration,
+    /// Controller delayed-recomputation window.
+    pub recompute_delay: SimDuration,
+    /// `true` runs the dirty-set incremental recompute; `false` forces the
+    /// full-table baseline on every trigger.
+    pub incremental: bool,
+    /// Experiment seed (drives both topology synthesis and the simulator).
+    pub seed: u64,
+}
+
+impl ScaleScenario {
+    /// The Table S7 configuration: ~64 ASes, the whole tier-1 mesh
+    /// centralized, a few hundred prefixes, MRAI 0 to keep runs tight.
+    pub fn tbl_s7(seed: u64) -> ScaleScenario {
+        ScaleScenario {
+            tier1: 4,
+            mid: 12,
+            stubs: 48,
+            cluster_size: 4,
+            prefixes_per_stub: 4,
+            mrai: SimDuration::ZERO,
+            recompute_delay: SimDuration::from_millis(100),
+            incremental: true,
+            seed,
+        }
+    }
+
+    /// Total AS count.
+    pub fn n(&self) -> usize {
+        self.tier1 + self.mid + self.stubs
+    }
+
+    /// AS indices of the stub tier (the prefix seeders).
+    pub fn stub_indices(&self) -> std::ops::Range<usize> {
+        self.tier1 + self.mid..self.n()
+    }
+
+    /// Prefixes the run tracks once seeded: every AS's own /16 plus the
+    /// stub sub-prefixes.
+    pub fn expected_prefixes(&self) -> usize {
+        self.n() + self.stubs * self.prefixes_per_stub
+    }
+
+    fn synthesis_params(&self) -> caida::SynthesisParams {
+        caida::SynthesisParams {
+            tier1: self.tier1,
+            mid: self.mid,
+            stubs: self.stubs,
+            ..caida::SynthesisParams::default()
+        }
+    }
+
+    /// The `j`-th /24 inside stub `i`'s /16 block — the sub-prefixes the
+    /// seeding phase announces (`j < prefixes_per_stub`) and the one extra
+    /// the single-update phase adds (`j == prefixes_per_stub`).
+    fn sub_prefix(base: Prefix, j: usize) -> Prefix {
+        assert!(j < 256, "sub-prefix index {j} does not fit a /16 block");
+        Prefix::new(Ipv4Addr::from(base.network_u32() + ((j as u32) << 8)), 24)
+            .expect("aligned /24 inside the /16")
+    }
+}
+
+/// What a scale run produced.
+#[derive(Debug, Clone)]
+pub struct ScaleOutcome {
+    /// Whether every phase converged within the deadline.
+    pub converged: bool,
+    /// Prefixes seeded beyond the per-AS /16s.
+    pub seeded_prefixes: usize,
+    /// Convergence time of the seeding burst.
+    pub seed_convergence: SimDuration,
+    /// Convergence time of the single-prefix update after steady state.
+    pub update_convergence: SimDuration,
+    /// The prefix the single-update phase announced.
+    pub update_prefix: Prefix,
+    /// Whether that prefix became reachable from every AS.
+    pub audit_ok: bool,
+}
+
+/// The phase name the single-prefix update runs under in trace artifacts
+/// (what `tblS7_scale` filters `ControllerRecompute` events by).
+pub const SCALE_UPDATE_PHASE: &str = "single-update";
+
+/// Build, bring up and drive one scale experiment: synthesize the tiered
+/// topology, centralize `cluster_size` tier-1 ASes, seed the stub
+/// sub-prefixes, reach steady state, then announce one more prefix from
+/// the first stub. Returns the outcome plus the still-inspectable
+/// experiment (trace buffer, metrics snapshots per phase).
+pub fn run_scale_instrumented(
+    scenario: &ScaleScenario,
+    instrument: impl FnOnce(&mut super::network::Sim),
+) -> (ScaleOutcome, Experiment) {
+    assert!(
+        scenario.cluster_size <= scenario.tier1,
+        "cluster must fit inside tier-1"
+    );
+    let mut topo_rng = SimRng::seed_from_u64(scenario.seed);
+    let ag = caida::synthesize(&scenario.synthesis_params(), &mut topo_rng);
+    let tp = plan(
+        ag,
+        PolicyMode::GaoRexford,
+        TimingConfig::with_mrai(scenario.mrai),
+    )
+    .expect("address plan");
+    let mut builder = NetworkBuilder::new(tp, scenario.seed)
+        .with_sdn_members((0..scenario.cluster_size).collect::<Vec<_>>())
+        .with_recompute_delay(scenario.recompute_delay);
+    if !scenario.incremental {
+        builder = builder.with_full_recompute();
+    }
+    let net = builder.build();
+    let mut exp = Experiment::new(net);
+    instrument(&mut exp.net.sim);
+
+    let up = exp.start(PHASE_DEADLINE);
+    assert!(up.converged, "scale bring-up did not converge");
+
+    // Seeding: every stub announces its sub-prefixes in one burst.
+    exp.mark_named("seeding");
+    let mut seeded = 0usize;
+    for i in scenario.stub_indices() {
+        let base = exp.net.ases[i].prefix;
+        for j in 0..scenario.prefixes_per_stub {
+            exp.announce(i, Some(ScaleScenario::sub_prefix(base, j)));
+            seeded += 1;
+        }
+    }
+    let seed_report = exp.wait_converged(PHASE_DEADLINE);
+
+    // Steady state reached; now the probe: one new prefix from one stub.
+    let origin = scenario.stub_indices().start;
+    let update_prefix =
+        ScaleScenario::sub_prefix(exp.net.ases[origin].prefix, scenario.prefixes_per_stub);
+    exp.mark_named(SCALE_UPDATE_PHASE);
+    exp.announce(origin, Some(update_prefix));
+    let update_report = exp.wait_converged(PHASE_DEADLINE);
+
+    let audit_ok = exp.prefix_reachable_from_all(update_prefix, origin);
+    let outcome = ScaleOutcome {
+        converged: up.converged && seed_report.converged && update_report.converged,
+        seeded_prefixes: seeded,
+        seed_convergence: seed_report.duration,
+        update_convergence: update_report.duration,
+        update_prefix,
+        audit_ok,
+    };
+    exp.finish();
+    (outcome, exp)
+}
+
+/// Build, bring up and drive one scale experiment.
+pub fn run_scale(scenario: &ScaleScenario) -> ScaleOutcome {
+    run_scale_instrumented(scenario, |_| {}).0
 }

@@ -23,7 +23,8 @@ pub mod controller;
 pub mod framework;
 
 pub use controller::as_graph::{
-    accept_route, announced_path, compute, ExternalRoute, MemberDecision, PrefixComputation,
+    accept_route, announced_path, compute, compute_into, ComputeScratch, ExternalRoute,
+    MemberDecision, PrefixComputation,
 };
 pub use controller::switch_graph::{IntraLink, SwitchGraph};
 pub use controller::{
@@ -31,7 +32,8 @@ pub use controller::{
 };
 pub use framework::{
     clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
-    run_clique_traced, AsHandle, AsKind, CliqueScenario, Collector, Controller, EventKind,
-    Experiment, HybridNetwork, NetworkBuilder, ProbeReport, Router, ScenarioOutcome, Script,
-    ScriptAction, ScriptReport, Sim, Speaker, Switch, COLLECTOR_ASN,
+    run_clique_traced, run_scale, run_scale_instrumented, AsHandle, AsKind, CliqueScenario,
+    Collector, Controller, EventKind, Experiment, HybridNetwork, NetworkBuilder, ProbeReport,
+    Router, ScaleOutcome, ScaleScenario, ScenarioOutcome, Script, ScriptAction, ScriptReport, Sim,
+    Speaker, Switch, COLLECTOR_ASN, SCALE_UPDATE_PHASE,
 };

@@ -1,0 +1,137 @@
+//! Oracle property test for the controller's incremental recompute: over
+//! random announce / withdraw / link-flap sequences, the dirty-set
+//! incremental path and the full-table baseline must compile **identical**
+//! state — byte-identical installed flow tables on every member and
+//! byte-identical adj-out on every speaker session. Both runs share one
+//! seed, so any divergence is the incremental invalidation logic missing a
+//! dependency.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use bgpsdn_bgp::{PolicyMode, Prefix, TimingConfig};
+use bgpsdn_core::{Controller, Experiment, NetworkBuilder};
+use bgpsdn_netsim::SimDuration;
+use bgpsdn_topology::{gen, plan, AsGraph};
+
+/// Clique size: ASes 0..2 stay legacy, 3..5 form the cluster, so every op
+/// class exists — external sessions (legacy↔member), intra-cluster links
+/// (member↔member), and both legacy and cluster prefix origination.
+const N: usize = 6;
+const MEMBERS: [usize; 3] = [3, 4, 5];
+
+/// One step of the random schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// AS `origin` announces its `sub`-th /24.
+    Announce { origin: usize, sub: usize },
+    /// AS `origin` withdraws its `sub`-th /24 (a no-op when never
+    /// announced — the schedule need not be well-formed).
+    Withdraw { origin: usize, sub: usize },
+    /// The clique edge `a`–`b` goes down, the network converges, then the
+    /// edge comes back. Member–member pairs exercise the switch-graph
+    /// (all-dirty) path; legacy–member pairs the session up/down path.
+    Flap { a: usize, b: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..4usize).prop_map(|(origin, sub)| Op::Announce { origin, sub }),
+        (0..N, 0..4usize).prop_map(|(origin, sub)| Op::Withdraw { origin, sub }),
+        (0..N, 1..N).prop_map(|(a, d)| Op::Flap { a, b: (a + d) % N }),
+    ]
+}
+
+const DEADLINE: SimDuration = SimDuration::from_secs(3600);
+
+fn build(seed: u64, incremental: bool) -> Experiment {
+    let ag = AsGraph::all_peer(&gen::clique(N), 65000);
+    let tp = plan(ag, PolicyMode::AllPermit, TimingConfig::with_mrai(SimDuration::ZERO))
+        .expect("address plan");
+    let mut b = NetworkBuilder::new(tp, seed)
+        .with_sdn_members(MEMBERS.to_vec())
+        .with_recompute_delay(SimDuration::from_millis(50));
+    if !incremental {
+        b = b.with_full_recompute();
+    }
+    let mut exp = Experiment::new(b.build());
+    let up = exp.start(DEADLINE);
+    assert!(up.converged, "bring-up did not converge");
+    exp
+}
+
+fn quiesce(exp: &mut Experiment) {
+    let deadline = exp.net.sim.now() + DEADLINE;
+    let q = exp.net.sim.run_until_quiescent(deadline);
+    assert!(q.quiescent, "schedule step did not quiesce");
+}
+
+fn apply(exp: &mut Experiment, op: Op) {
+    match op {
+        Op::Announce { origin, sub } => {
+            let p = sub_prefix(exp.net.ases[origin].prefix, sub);
+            exp.announce(origin, Some(p));
+            quiesce(exp);
+        }
+        Op::Withdraw { origin, sub } => {
+            let p = sub_prefix(exp.net.ases[origin].prefix, sub);
+            exp.withdraw(origin, Some(p));
+            quiesce(exp);
+        }
+        Op::Flap { a, b } => {
+            exp.fail_edge(a, b);
+            quiesce(exp);
+            exp.restore_edge(a, b);
+            quiesce(exp);
+        }
+    }
+}
+
+/// The `sub`-th aligned /24 inside an AS's /16 block.
+fn sub_prefix(base: Prefix, sub: usize) -> Prefix {
+    Prefix::new(Ipv4Addr::from(base.network_u32() + ((sub as u32) << 8)), 24)
+        .expect("aligned /24 inside the /16")
+}
+
+proptest! {
+    #[test]
+    fn incremental_recompute_matches_full_oracle(
+        seed in 0u64..1000,
+        ops in prop::collection::vec(arb_op(), 1..10),
+    ) {
+        let mut inc = build(seed, true);
+        let mut full = build(seed, false);
+        for &op in &ops {
+            apply(&mut inc, op);
+            apply(&mut full, op);
+        }
+
+        let inc_ctl = inc.net.controller.expect("cluster implies controller");
+        let full_ctl = full.net.controller.expect("cluster implies controller");
+        let a = inc.net.sim.node_ref::<Controller>(inc_ctl);
+        let b = full.net.sim.node_ref::<Controller>(full_ctl);
+
+        prop_assert_eq!(a.member_count(), b.member_count());
+        for m in 0..a.member_count() {
+            prop_assert_eq!(
+                a.installed_table(m),
+                b.installed_table(m),
+                "installed flow table diverged at member {} after {:?}",
+                m,
+                ops
+            );
+        }
+        prop_assert_eq!(a.session_count(), b.session_count());
+        for s in 0..a.session_count() {
+            prop_assert_eq!(
+                a.adj_out_table(s),
+                b.adj_out_table(s),
+                "adj-out diverged at session {} after {:?}",
+                s,
+                ops
+            );
+            prop_assert_eq!(a.session_is_up(s), b.session_is_up(s));
+        }
+    }
+}

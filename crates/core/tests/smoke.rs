@@ -1,4 +1,4 @@
-use bgpsdn_core::{run_clique, CliqueScenario, EventKind};
+use bgpsdn_core::{run_clique, run_scale, CliqueScenario, EventKind, ScaleScenario};
 use bgpsdn_netsim::SimDuration;
 
 #[test]
@@ -18,5 +18,28 @@ fn smoke_hybrid_withdrawal() {
         );
         assert!(out.converged, "k={k}");
         assert!(out.audit_ok, "k={k}");
+    }
+}
+
+#[test]
+fn smoke_scale_incremental_and_full() {
+    for &incremental in &[true, false] {
+        let s = ScaleScenario {
+            tier1: 3,
+            mid: 4,
+            stubs: 8,
+            cluster_size: 3,
+            prefixes_per_stub: 2,
+            incremental,
+            ..ScaleScenario::tbl_s7(11)
+        };
+        let out = run_scale(&s);
+        eprintln!(
+            "incremental={incremental}: seeded={} seed_conv={} update_conv={} audit={}",
+            out.seeded_prefixes, out.seed_convergence, out.update_convergence, out.audit_ok
+        );
+        assert!(out.converged, "incremental={incremental}");
+        assert!(out.audit_ok, "incremental={incremental}");
+        assert_eq!(out.seeded_prefixes, 16);
     }
 }

@@ -88,12 +88,32 @@ pub(crate) struct EventQueue<M> {
 }
 
 impl<M: Message> EventQueue<M> {
+    #[allow(dead_code)]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// A queue with `capacity` event slots pre-reserved, so a simulation
+    /// whose in-flight event count is predictable (roughly proportional to
+    /// nodes + links) never reallocates the heap mid-dispatch.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             progress: 0,
         }
+    }
+
+    /// Reserve room for at least `additional` more events.
+    #[allow(dead_code)]
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Current allocated capacity.
+    #[allow(dead_code)]
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// Schedule `body` at `at`.
@@ -154,6 +174,19 @@ mod tests {
 
     fn start(n: u32) -> EventBody<NoMsg> {
         EventBody::Start { node: NodeId(n) }
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<NoMsg> = EventQueue::with_capacity(64);
+        assert!(q.capacity() >= 64);
+        let before = q.capacity();
+        for n in 0..64u32 {
+            q.push(t(n as u64), start(n));
+        }
+        assert_eq!(q.capacity(), before, "no growth within the reservation");
+        q.reserve(128);
+        assert!(q.capacity() >= 64 + 128);
     }
 
     #[test]

@@ -214,9 +214,16 @@ pub struct Simulator<M: Message> {
 impl<M: Message> Simulator<M> {
     /// Create an empty simulator with the given experiment seed.
     pub fn new(seed: u64) -> Self {
+        Self::with_event_capacity(seed, 0)
+    }
+
+    /// [`Simulator::new`] with `events` slots of event-queue capacity
+    /// pre-reserved. Builders that know the node/link counts up front use
+    /// this so the dispatch loop never reallocates the heap.
+    pub fn with_event_capacity(seed: u64, events: usize) -> Self {
         Simulator {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(events),
             nodes: Vec::new(),
             node_names: Vec::new(),
             links: Vec::new(),

@@ -186,6 +186,10 @@ pub struct RunAnalysis {
     pub recomputes: u64,
     /// Flow mods reported by recompute events.
     pub flow_mods: u64,
+    /// Per-prefix computations executed across all recomputes.
+    pub prefixes_recomputed: u64,
+    /// Tracked prefixes served from the controller's compiled cache.
+    pub prefixes_cached: u64,
     /// Session up / down event counts.
     pub sessions: (u64, u64),
     /// The convergence timeline, one entry per phase.
@@ -213,9 +217,17 @@ impl RunAnalysis {
                         a.updates_by_node.entry(node).or_default().1 += 1;
                     }
                 }
-                TraceEvent::ControllerRecompute { wall_ns, flow_mods, .. } => {
+                TraceEvent::ControllerRecompute {
+                    wall_ns,
+                    flow_mods,
+                    prefixes_recomputed,
+                    prefixes_cached,
+                    ..
+                } => {
                     a.recomputes += 1;
                     a.flow_mods += *flow_mods as u64;
+                    a.prefixes_recomputed += *prefixes_recomputed as u64;
+                    a.prefixes_cached += *prefixes_cached as u64;
                     a.recompute_wall_ns.record(*wall_ns);
                 }
                 TraceEvent::SessionUp { .. } => a.sessions.0 += 1,
@@ -297,6 +309,11 @@ impl RunAnalysis {
                 h.mean().unwrap_or(0.0),
                 h.quantile(0.5).unwrap_or(0),
                 h.max().unwrap_or(0),
+            );
+            let _ = writeln!(
+                out,
+                "  incremental: {} prefixes recomputed, {} served from cache",
+                self.prefixes_recomputed, self.prefixes_cached,
             );
             let _ = write!(out, "{h}");
         }
@@ -418,6 +435,9 @@ mod tests {
                     TraceEvent::ControllerRecompute {
                         trigger: RecomputeTrigger::UpdateBatch,
                         prefixes: 1,
+                        prefixes_dirty: 1,
+                        prefixes_recomputed: 1,
+                        prefixes_cached: 0,
                         members: 4,
                         links_up: 6,
                         flow_mods: 3,
@@ -450,6 +470,8 @@ mod tests {
         assert_eq!(a.updates_by_node.get(&2), Some(&(0, 1)));
         assert_eq!(a.recomputes, 1);
         assert_eq!(a.flow_mods, 3);
+        assert_eq!(a.prefixes_recomputed, 1);
+        assert_eq!(a.prefixes_cached, 0);
         assert_eq!(a.recompute_wall_ns.max(), Some(900));
         assert_eq!(a.phases.len(), 2);
         assert_eq!(a.phases[0].name, "bring-up");

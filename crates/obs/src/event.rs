@@ -304,6 +304,12 @@ pub enum TraceEvent {
         trigger: RecomputeTrigger,
         /// Prefixes considered.
         prefixes: u32,
+        /// Prefixes in the dirty set for this batch.
+        prefixes_dirty: u32,
+        /// Per-prefix computations actually executed.
+        prefixes_recomputed: u32,
+        /// Tracked prefixes served from the compiled cache.
+        prefixes_cached: u32,
         /// Cluster members in the switch graph.
         members: u32,
         /// Intra-cluster links currently up.
@@ -449,6 +455,9 @@ impl TraceEvent {
             TraceEvent::ControllerRecompute {
                 trigger,
                 prefixes,
+                prefixes_dirty,
+                prefixes_recomputed,
+                prefixes_cached,
                 members,
                 links_up,
                 flow_mods,
@@ -458,6 +467,9 @@ impl TraceEvent {
             } => {
                 m.push(("trigger".into(), Json::Str(trigger.name().into())));
                 m.push(("prefixes".into(), Json::U64(*prefixes as u64)));
+                m.push(("dirty".into(), Json::U64(*prefixes_dirty as u64)));
+                m.push(("recomputed".into(), Json::U64(*prefixes_recomputed as u64)));
+                m.push(("cached".into(), Json::U64(*prefixes_cached as u64)));
                 m.push(("members".into(), Json::U64(*members as u64)));
                 m.push(("links_up".into(), Json::U64(*links_up as u64)));
                 m.push(("flow_mods".into(), Json::U64(*flow_mods as u64)));
@@ -548,6 +560,11 @@ impl TraceEvent {
                     .and_then(RecomputeTrigger::from_name)
                     .ok_or("bad \"trigger\"")?,
                 prefixes: get_u32(v, "prefixes")?,
+                // Absent in artifacts written before incremental
+                // recomputation existed; default to 0 so old runs parse.
+                prefixes_dirty: get_u32(v, "dirty").unwrap_or(0),
+                prefixes_recomputed: get_u32(v, "recomputed").unwrap_or(0),
+                prefixes_cached: get_u32(v, "cached").unwrap_or(0),
                 members: get_u32(v, "members")?,
                 links_up: get_u32(v, "links_up")?,
                 flow_mods: get_u32(v, "flow_mods")?,
@@ -713,6 +730,7 @@ impl fmt::Display for TraceEvent {
             TraceEvent::ControllerRecompute {
                 trigger,
                 prefixes,
+                prefixes_recomputed,
                 flow_mods,
                 announcements,
                 withdrawals,
@@ -720,8 +738,8 @@ impl fmt::Display for TraceEvent {
                 ..
             } => write!(
                 f,
-                "recompute[{trigger}] {prefixes} prefixes, {flow_mods} flowmods, \
-                 {announcements} ann, {withdrawals} wd, {wall_ns} ns"
+                "recompute[{trigger}] {prefixes} prefixes ({prefixes_recomputed} dirty), \
+                 {flow_mods} flowmods, {announcements} ann, {withdrawals} wd, {wall_ns} ns"
             ),
             TraceEvent::Phase { name, started } => {
                 write!(f, "phase {name} {}", if *started { "start" } else { "end" })
@@ -787,6 +805,9 @@ mod tests {
         roundtrip(TraceEvent::ControllerRecompute {
             trigger: RecomputeTrigger::UpdateBatch,
             prefixes: 4,
+            prefixes_dirty: 2,
+            prefixes_recomputed: 2,
+            prefixes_cached: 2,
             members: 8,
             links_up: 28,
             flow_mods: 12,

@@ -98,7 +98,7 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
             .prop_map(|(peer, reason)| TraceEvent::SessionDown { peer, reason }),
         (
             arb_trigger(),
-            any::<u32>(),
+            (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
             any::<u32>(),
             any::<u32>(),
             any::<u32>(),
@@ -107,10 +107,14 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
             any::<u64>(),
         )
             .prop_map(
-                |(trigger, prefixes, members, links_up, flow_mods, announcements, withdrawals, wall_ns)| {
+                |(trigger, counts, members, links_up, flow_mods, announcements, withdrawals, wall_ns)| {
+                    let (prefixes, prefixes_dirty, prefixes_recomputed, prefixes_cached) = counts;
                     TraceEvent::ControllerRecompute {
                         trigger,
                         prefixes,
+                        prefixes_dirty,
+                        prefixes_recomputed,
+                        prefixes_cached,
                         members,
                         links_up,
                         flow_mods,

@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use bgpsdn_bgp::{Asn, Prefix, UpdateMsg};
+use bgpsdn_bgp::{Asn, Prefix, SharedPath, UpdateMsg};
 use bgpsdn_netsim::Message;
 
 use crate::openflow::OfEnvelope;
@@ -48,8 +48,9 @@ pub enum SpeakerCmd {
         session: usize,
         /// Prefix to advertise.
         prefix: Prefix,
-        /// Full AS path to send.
-        as_path: Vec<Asn>,
+        /// Full AS path to send (interned: cloning a command is a refcount
+        /// bump, not a path copy).
+        as_path: SharedPath,
         /// Optional MED.
         med: Option<u32>,
     },
@@ -77,6 +78,19 @@ pub trait SdnApp: Message {
     fn from_speaker_cmd(c: SpeakerCmd) -> Self;
     /// Unwrap a speaker command.
     fn as_speaker_cmd(&self) -> Option<&SpeakerCmd>;
+    /// Consume the message if it is an OpenFlow envelope; hand it back
+    /// otherwise. Lets dispatch take ownership instead of cloning.
+    fn into_of(self) -> Result<OfEnvelope, Self>
+    where
+        Self: Sized;
+    /// Consume the message if it is a speaker event; hand it back otherwise.
+    fn into_speaker_event(self) -> Result<SpeakerEvent, Self>
+    where
+        Self: Sized;
+    /// Consume the message if it is a speaker command; hand it back otherwise.
+    fn into_speaker_cmd(self) -> Result<SpeakerCmd, Self>
+    where
+        Self: Sized;
 }
 
 /// Alias address derivation: the IP the speaker answers with when speaking
@@ -150,6 +164,18 @@ impl bgpsdn_bgp::BgpApp for ClusterMsg {
             _ => None,
         }
     }
+    fn into_bgp(self) -> Result<bgpsdn_bgp::BgpEnvelope, Self> {
+        match self {
+            ClusterMsg::Bgp(env) => Ok(env),
+            other => Err(other),
+        }
+    }
+    fn into_command(self) -> Result<bgpsdn_bgp::RouterCommand, Self> {
+        match self {
+            ClusterMsg::Command(c) => Ok(c),
+            other => Err(other),
+        }
+    }
 }
 
 impl SdnApp for ClusterMsg {
@@ -178,6 +204,24 @@ impl SdnApp for ClusterMsg {
         match self {
             ClusterMsg::SpeakerCmd(c) => Some(c),
             _ => None,
+        }
+    }
+    fn into_of(self) -> Result<OfEnvelope, Self> {
+        match self {
+            ClusterMsg::Of(env) => Ok(env),
+            other => Err(other),
+        }
+    }
+    fn into_speaker_event(self) -> Result<SpeakerEvent, Self> {
+        match self {
+            ClusterMsg::SpeakerEvent(e) => Ok(e),
+            other => Err(other),
+        }
+    }
+    fn into_speaker_cmd(self) -> Result<SpeakerCmd, Self> {
+        match self {
+            ClusterMsg::SpeakerCmd(c) => Ok(c),
+            other => Err(other),
         }
     }
 }

@@ -19,7 +19,7 @@ use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{
     Asn, BgpApp, BgpEnvelope, BgpMessage, PathAttributes, Prefix, RouterId, SessionEvent,
-    SessionHandshake, UpdateMsg,
+    SessionHandshake, SharedPath, UpdateMsg,
 };
 use bgpsdn_netsim::{
     Activity, Ctx, LinkId, Node, NodeId, ObsPrefix, SimDuration, TimerClass, TimerToken,
@@ -74,8 +74,9 @@ pub struct SpeakerStats {
 struct SessionRuntime {
     cfg: AliasSessionConfig,
     handshake: SessionHandshake,
-    /// What the controller last announced here, for dedup.
-    advertised: BTreeMap<Prefix, (Vec<Asn>, Option<u32>)>,
+    /// What the controller last announced here, for dedup. The path is
+    /// interned, shared with the controller's adjacency cache.
+    advertised: BTreeMap<Prefix, (SharedPath, Option<u32>)>,
     retries: u32,
 }
 
@@ -269,7 +270,7 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
         }
     }
 
-    fn handle_cmd(&mut self, ctx: &mut Ctx<'_, M>, cmd: &SpeakerCmd) {
+    fn handle_cmd(&mut self, ctx: &mut Ctx<'_, M>, cmd: SpeakerCmd) {
         match cmd {
             SpeakerCmd::Announce {
                 session,
@@ -277,32 +278,32 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 as_path,
                 med,
             } => {
-                let s = &mut self.sessions[*session];
+                let s = &mut self.sessions[session];
                 if !s.handshake.is_established() {
                     return;
                 }
-                let key = (as_path.clone(), *med);
-                if s.advertised.get(prefix) == Some(&key) {
+                let key = (as_path, med);
+                if s.advertised.get(&prefix) == Some(&key) {
                     self.stats.dup_suppressed += 1;
                     return;
                 }
-                s.advertised.insert(*prefix, key);
                 let mut attrs = PathAttributes::originate(s.cfg.alias_next_hop);
-                attrs.as_path = bgpsdn_bgp::AsPath::from_seq(as_path.iter().map(|a| a.0));
-                attrs.med = *med;
-                let msg = BgpMessage::Update(UpdateMsg::announce(vec![*prefix], attrs));
-                self.send_bgp(ctx, *session, &msg);
+                attrs.as_path = bgpsdn_bgp::AsPath::from_seq(key.0.iter().map(|a| a.0));
+                attrs.med = med;
+                s.advertised.insert(prefix, key);
+                let msg = BgpMessage::Update(UpdateMsg::announce(vec![prefix], attrs));
+                self.send_bgp(ctx, session, &msg);
             }
             SpeakerCmd::Withdraw { session, prefix } => {
-                let s = &mut self.sessions[*session];
+                let s = &mut self.sessions[session];
                 if !s.handshake.is_established() {
                     return;
                 }
-                if s.advertised.remove(prefix).is_none() {
+                if s.advertised.remove(&prefix).is_none() {
                     return; // never announced here
                 }
-                let msg = BgpMessage::Update(UpdateMsg::withdraw(vec![*prefix]));
-                self.send_bgp(ctx, *session, &msg);
+                let msg = BgpMessage::Update(UpdateMsg::withdraw(vec![prefix]));
+                self.send_bgp(ctx, session, &msg);
             }
         }
     }
@@ -323,14 +324,15 @@ impl<M: SdnApp + BgpApp> Node<M> for ClusterSpeaker<M> {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, _link: LinkId, msg: M) {
-        if let Some(env) = msg.as_bgp() {
-            let env = env.clone();
-            self.handle_bgp(ctx, &env);
-            return;
-        }
-        if let Some(cmd) = msg.as_speaker_cmd() {
-            let cmd = cmd.clone();
-            self.handle_cmd(ctx, &cmd);
+        let msg = match msg.into_bgp() {
+            Ok(env) => {
+                self.handle_bgp(ctx, &env);
+                return;
+            }
+            Err(msg) => msg,
+        };
+        if let Ok(cmd) = msg.into_speaker_cmd() {
+            self.handle_cmd(ctx, cmd);
         }
     }
 

@@ -181,7 +181,7 @@ fn controller_announce_reaches_external_router() {
         ClusterMsg::SpeakerCmd(SpeakerCmd::Announce {
             session: 0,
             prefix: p,
-            as_path: vec![Asn(200)],
+            as_path: vec![Asn(200)].into(),
             med: None,
         }),
     );
@@ -196,7 +196,7 @@ fn controller_announce_reaches_external_router() {
         ClusterMsg::SpeakerCmd(SpeakerCmd::Announce {
             session: 0,
             prefix: p,
-            as_path: vec![Asn(200)],
+            as_path: vec![Asn(200)].into(),
             med: None,
         }),
     );
