@@ -168,6 +168,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         mrai: SimDuration::ZERO,
         recompute_delay: SimDuration::from_millis(10),
         seed: 7,
+        control_loss: 0.0,
     };
     c.bench_function("framework_8clique_withdrawal_e2e", |b| {
         b.iter(|| run_clique(black_box(&scenario), EventKind::Withdrawal))

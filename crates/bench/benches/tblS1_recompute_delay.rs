@@ -45,6 +45,7 @@ fn main() {
                 mrai: SimDuration::from_secs(30),
                 recompute_delay: SimDuration::from_millis(delay_ms),
                 seed: 4000 + r * 7919,
+                control_loss: 0.0,
             };
             let (out, exp) = run_clique_full(&scenario, EventKind::Withdrawal);
             assert!(out.converged && out.audit_ok);

@@ -36,6 +36,7 @@ fn main() {
                 mrai: SimDuration::from_secs(mrai_s),
                 recompute_delay: SimDuration::from_millis(100),
                 seed,
+                control_loss: 0.0,
             };
             let times = clique_sweep_point(&base, EventKind::Withdrawal, runs);
             Summary::of_durations(&times).unwrap().median

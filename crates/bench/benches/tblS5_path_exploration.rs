@@ -36,6 +36,7 @@ fn main() {
         for r in 0..runs {
             let scenario = CliqueScenario {
                 seed: 9000 + r * 7919,
+                control_loss: 0.0,
                 ..CliqueScenario::fig2(sdn_count, 0)
             };
             let (out, exp) = run_clique_full(&scenario, EventKind::Withdrawal);

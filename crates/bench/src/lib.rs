@@ -186,6 +186,7 @@ mod tests {
             mrai: SimDuration::from_secs(1),
             recompute_delay: SimDuration::from_millis(100),
             seed: 11,
+            control_loss: 0.0,
         };
         let (out, exp) = run_clique_traced(&scenario, EventKind::Withdrawal);
         assert!(out.converged);

@@ -25,7 +25,8 @@ use bgpsdn_netsim::{
     TraceCategory, TraceEvent,
 };
 use bgpsdn_sdn::{
-    FlowAction, FlowModOp, FlowRule, OfEnvelope, OfMessage, SdnApp, SpeakerCmd, SpeakerEvent,
+    Accept, CtrlMsg, FlowAction, FlowModOp, FlowRule, OfEnvelope, OfMessage, ReliableReceiver,
+    ReliableSender, SdnApp, SpeakerCmd, SpeakerEvent, SpeakerSyncState, HEARTBEAT_EVERY, HOLD_TIME,
 };
 
 use as_graph::{
@@ -35,6 +36,9 @@ use as_graph::{
 use switch_graph::SwitchGraph;
 
 const RECOMPUTE: TimerToken = TimerToken(1);
+const RETX: TimerToken = TimerToken(2);
+const HEARTBEAT: TimerToken = TimerToken(3);
+const HOLD: TimerToken = TimerToken(4);
 
 /// One cluster member as the controller sees it.
 #[derive(Debug, Clone)]
@@ -133,6 +137,10 @@ pub struct ControllerStats {
     pub prefixes_recomputed: u64,
     /// Tracked prefixes whose cached compiled state was reused untouched.
     pub prefixes_cached: u64,
+    /// Full-state resyncs adopted from the speaker.
+    pub resyncs: u64,
+    /// Control-channel retransmission rounds toward the speaker.
+    pub retransmits: u64,
 }
 
 /// The IDR controller node.
@@ -168,6 +176,15 @@ pub struct IdrController<M> {
     comp_buf: PrefixComputation,
     /// Reusable live-external-route buffer.
     ext_buf: Vec<ExternalRoute>,
+    /// Reliable sender toward the speaker (commands). Its epoch doubles as
+    /// the controller's channel epoch; 0 means unsynced (speaker lost), in
+    /// which state no commands are issued until a Sync is adopted.
+    tx: ReliableSender,
+    /// Reliable receiver for speaker events.
+    rx: ReliableReceiver,
+    /// Switches whose [`OfMessage::TableReply`] is still outstanding during
+    /// a resync. Recomputation is deferred until this reaches zero.
+    table_syncs_pending: usize,
     _m: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -199,6 +216,11 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             scratch: ComputeScratch::default(),
             comp_buf: PrefixComputation::default(),
             ext_buf: Vec::new(),
+            // Both channel ends start in epoch 1 with empty state, matching
+            // the speaker's bring-up assumption (no resync needed).
+            tx: ReliableSender::new(1),
+            rx: ReliableReceiver::new(1),
+            table_syncs_pending: 0,
             id,
             cfg,
             _m: std::marker::PhantomData,
@@ -275,6 +297,17 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     /// Number of speaker sessions (bound for [`Self::adj_out_table`]).
     pub fn session_count(&self) -> usize {
         self.cfg.sessions.len()
+    }
+
+    /// Current control-channel epoch. 0 means unsynced: the speaker is
+    /// considered lost and no commands are issued until it resyncs.
+    pub fn epoch(&self) -> u64 {
+        self.tx.epoch()
+    }
+
+    /// Whether a resync is still waiting on switch table replies.
+    pub fn resync_pending(&self) -> bool {
+        self.table_syncs_pending > 0
     }
 
     /// Usable external routes for a prefix under the current sub-cluster
@@ -406,6 +439,173 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     }
 
     // ------------------------------------------------------------------
+    // The reliable speaker channel
+    // ------------------------------------------------------------------
+
+    fn send_ctrl(&mut self, ctx: &mut Ctx<'_, M>, msg: CtrlMsg) {
+        ctx.send(self.cfg.speaker_link, M::from_ctrl(msg));
+    }
+
+    fn arm_retx(&mut self, ctx: &mut Ctx<'_, M>) {
+        ctx.set_timer(self.tx.rto(), RETX, TimerClass::Progress);
+    }
+
+    fn arm_hold(&mut self, ctx: &mut Ctx<'_, M>) {
+        ctx.set_timer(HOLD_TIME, HOLD, TimerClass::Maintenance);
+    }
+
+    /// Sequence and transmit a batch of speaker commands, arming the
+    /// retransmit timer when the channel transitions to having payloads in
+    /// flight.
+    fn send_speaker_cmds(&mut self, ctx: &mut Ctx<'_, M>, cmds: Vec<SpeakerCmd>) {
+        if cmds.is_empty() {
+            return;
+        }
+        debug_assert_ne!(self.tx.epoch(), 0, "no commands while unsynced");
+        let was_pending = self.tx.pending();
+        for cmd in cmds {
+            let msg = self.tx.push(|epoch, seq| CtrlMsg::Cmd { epoch, seq, cmd });
+            self.send_ctrl(ctx, msg);
+        }
+        if !was_pending {
+            self.arm_retx(ctx);
+        }
+    }
+
+    fn handle_speaker_event(&mut self, ctx: &mut Ctx<'_, M>, ev: SpeakerEvent) {
+        match ev {
+            SpeakerEvent::Update { session, update } => {
+                ctx.report(Activity::UpdateReceived);
+                self.buffer_update(ctx, session, update);
+            }
+            SpeakerEvent::SessionUp { session, .. } => {
+                ctx.report(Activity::SessionUp);
+                self.session_up[session] = true;
+                // A new egress changes the announcement surface of every
+                // prefix (it must receive the full table).
+                self.all_dirty = true;
+                self.recompute_now(ctx, RecomputeTrigger::SessionUp);
+            }
+            SpeakerEvent::SessionDown { session } => {
+                ctx.report(Activity::SessionDown);
+                self.session_down(ctx, session);
+            }
+        }
+    }
+
+    fn handle_ctrl(&mut self, ctx: &mut Ctx<'_, M>, msg: CtrlMsg) {
+        // Anything from the speaker proves liveness.
+        self.arm_hold(ctx);
+        match msg {
+            CtrlMsg::Event { epoch, seq, event } => match self.rx.accept(epoch, seq) {
+                Accept::Deliver => {
+                    let ack = self.rx.ack_seq();
+                    self.send_ctrl(ctx, CtrlMsg::EventAck { epoch, seq: ack });
+                    self.handle_speaker_event(ctx, event);
+                }
+                Accept::Duplicate | Accept::Gap => {
+                    let (epoch, seq) = (self.rx.epoch(), self.rx.ack_seq());
+                    self.send_ctrl(ctx, CtrlMsg::EventAck { epoch, seq });
+                }
+                Accept::WrongEpoch => {}
+            },
+            CtrlMsg::Sync { epoch, state, .. } => {
+                if epoch == self.rx.epoch() {
+                    // Retransmit of a snapshot already adopted: re-ack only.
+                    let (epoch, seq) = (self.rx.epoch(), self.rx.ack_seq());
+                    self.send_ctrl(ctx, CtrlMsg::EventAck { epoch, seq });
+                } else {
+                    self.apply_sync(ctx, epoch, &state);
+                }
+            }
+            CtrlMsg::CmdAck { epoch, seq } => {
+                if self.tx.on_ack(epoch, seq) {
+                    if self.tx.pending() {
+                        self.arm_retx(ctx);
+                    } else {
+                        ctx.cancel_timer(RETX);
+                    }
+                }
+            }
+            // Liveness only (handled by the arm_hold above). The speaker
+            // resyncs on epoch mismatch from *our* heartbeats; the reverse
+            // direction needs no action here.
+            CtrlMsg::Heartbeat { .. } => {}
+            // Controller-bound messages echoed back are ignored.
+            CtrlMsg::Cmd { .. } | CtrlMsg::EventAck { .. } => {}
+        }
+    }
+
+    /// Adopt a full-state snapshot from the speaker: wipe everything learned
+    /// through the old channel incarnation, rebuild sessions and external
+    /// routes from the snapshot, and re-learn the switches' installed tables
+    /// before recompiling (so the post-outage recompute diffs against what
+    /// is *actually* installed, not against a stale model).
+    fn apply_sync(&mut self, ctx: &mut Ctx<'_, M>, epoch: u64, state: &SpeakerSyncState) {
+        self.rx.reset(epoch);
+        let accepted = self.rx.accept(epoch, 1); // the Sync itself is seq 1
+        debug_assert_eq!(accepted, Accept::Deliver);
+        self.tx.reset(epoch);
+        ctx.cancel_timer(RETX);
+        self.pending.clear();
+        self.dirty.clear();
+        self.ext_routes.clear();
+        self.session_up = vec![false; self.cfg.sessions.len()];
+        self.adj_out = vec![BTreeMap::new(); self.cfg.sessions.len()];
+        let mut sessions = 0u32;
+        let mut routes = 0u32;
+        for (s, ss) in state.sessions.iter().enumerate() {
+            if s >= self.cfg.sessions.len() {
+                break;
+            }
+            self.session_up[s] = ss.established;
+            if ss.established {
+                sessions += 1;
+            }
+            let member = self.cfg.sessions[s].member;
+            for (prefix, path, med) in &ss.adj_in {
+                routes += 1;
+                self.ext_routes.entry(*prefix).or_default().insert(
+                    s,
+                    ExternalRoute {
+                        session: s,
+                        member,
+                        as_path: path.clone(),
+                        med: *med,
+                    },
+                );
+            }
+            // The speaker's adj-out is what external peers actually heard:
+            // seed the announcement cache from it so the recompute only
+            // sends real differences.
+            for (prefix, path, _med) in &ss.adj_out {
+                self.adj_out[s].insert(*prefix, path.clone());
+            }
+        }
+        self.stats.resyncs += 1;
+        ctx.count("core.ctrl.resyncs", 1);
+        ctx.trace(TraceCategory::Ctrl, || TraceEvent::ControlResync {
+            epoch,
+            sessions,
+            routes,
+        });
+        self.send_ctrl(ctx, CtrlMsg::EventAck { epoch, seq: 1 });
+        // Ask every switch for its live table; recomputation waits for the
+        // replies (see the guard in `recompute_all`).
+        self.installed = vec![BTreeMap::new(); self.cfg.members.len()];
+        self.table_syncs_pending = self.cfg.members.len();
+        for (m, mc) in self.cfg.members.iter().enumerate() {
+            let msg = OfMessage::TableRequest { xid: m as u32 };
+            ctx.send(mc.ctl_link, M::from_of(OfEnvelope::new(&msg)));
+        }
+        self.all_dirty = true;
+        if self.table_syncs_pending == 0 {
+            // Degenerate memberless config: nothing to wait for.
+            self.recompute_now(ctx, RecomputeTrigger::Resync);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // The centralized route computation
     // ------------------------------------------------------------------
 
@@ -418,6 +618,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     /// that prefix. A clean prefix would therefore diff to zero messages;
     /// skipping it is observationally identical to the full sweep.
     fn recompute_all(&mut self, ctx: &mut Ctx<'_, M>, trigger: RecomputeTrigger) {
+        if self.table_syncs_pending > 0 {
+            // Mid-resync: the installed-state model is being re-learned from
+            // the switches; recompiling against it now would emit bogus
+            // diffs. Everything recompiles once the last TableReply lands.
+            self.all_dirty = true;
+            return;
+        }
         self.stats.recomputes += 1;
         ctx.report(Activity::ControllerRecompute);
         ctx.count("core.controller.recomputes", 1);
@@ -460,6 +667,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         let mut comp = std::mem::take(&mut self.comp_buf);
         let mut ext = std::mem::take(&mut self.ext_buf);
 
+        // While unsynced (epoch 0) the speaker is unreachable: keep driving
+        // the switches (fail-static repair still works through the OF
+        // channel) but leave the announcement cache untouched — the next
+        // Sync reseeds it from the speaker's real adj-out and the resync
+        // recompute emits the catch-up diffs.
+        let speaker_reachable = self.tx.epoch() != 0;
+        let mut out_cmds: Vec<SpeakerCmd> = Vec::new();
         let mut changed_any = false;
         for &prefix in &dirty {
             let owner = self.owned.get(&prefix).copied();
@@ -511,6 +725,9 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             }
 
             // Diff desired announcements against the per-session cache.
+            if !speaker_reachable {
+                continue;
+            }
             for (s, scfg) in self.cfg.sessions.iter().enumerate() {
                 let desired: Option<SharedPath> = if !self.session_up[s] {
                     None
@@ -537,15 +754,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         self.adj_out[s].insert(prefix, path.clone());
                         self.stats.announcements += 1;
                         changed_any = true;
-                        ctx.send(
-                            self.cfg.speaker_link,
-                            M::from_speaker_cmd(SpeakerCmd::Announce {
-                                session: s,
-                                prefix,
-                                as_path: path,
-                                med: None,
-                            }),
-                        );
+                        out_cmds.push(SpeakerCmd::Announce {
+                            session: s,
+                            prefix,
+                            as_path: path,
+                            med: None,
+                        });
                     }
                     None => {
                         if self.adj_out[s].remove(&prefix).is_none() {
@@ -553,17 +767,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         }
                         self.stats.withdrawals += 1;
                         changed_any = true;
-                        ctx.send(
-                            self.cfg.speaker_link,
-                            M::from_speaker_cmd(SpeakerCmd::Withdraw {
-                                session: s,
-                                prefix,
-                            }),
-                        );
+                        out_cmds.push(SpeakerCmd::Withdraw { session: s, prefix });
                     }
                 }
             }
         }
+        self.send_speaker_cmds(ctx, out_cmds);
         self.scratch = scratch;
         self.comp_buf = comp;
         self.ext_buf = ext;
@@ -644,6 +853,46 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             OfMessage::PacketIn { .. } => {
                 self.stats.packet_ins += 1;
             }
+            OfMessage::TableReply { xid, rules, ports } => {
+                let m = xid as usize;
+                if m >= self.cfg.members.len() {
+                    return;
+                }
+                // Adopt the switch's live table as the compiled model for
+                // this member (only our own rules; the priority filter
+                // guards against foreign state).
+                self.installed[m] = rules
+                    .iter()
+                    .filter(|r| r.priority == self.cfg.flow_priority)
+                    .map(|r| (r.prefix, r.action))
+                    .collect();
+                // Reconcile link state that changed while we were away.
+                for (port, up) in ports {
+                    let link = LinkId(port);
+                    if self.sg.set_link_state(link, up) {
+                        self.all_dirty = true;
+                    } else if !up {
+                        let victims: Vec<usize> = self
+                            .cfg
+                            .sessions
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.ext_link == link)
+                            .map(|(i, _)| i)
+                            .collect();
+                        for s in victims {
+                            self.session_down(ctx, s);
+                        }
+                    }
+                }
+                if self.table_syncs_pending > 0 {
+                    self.table_syncs_pending -= 1;
+                    if self.table_syncs_pending == 0 {
+                        self.all_dirty = true;
+                        self.recompute_now(ctx, RecomputeTrigger::Resync);
+                    }
+                }
+            }
             // Hello / FeaturesReply / EchoReply / BarrierReply are accepted
             // silently: the IDR controller programs proactively.
             _ => {}
@@ -682,29 +931,49 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         // Compile the initial state (member prefixes) onto the switches.
         self.recompute_all(ctx, RecomputeTrigger::Startup);
+        // Liveness toward the speaker: beat forever, expect beats back.
+        let epoch = self.tx.epoch();
+        self.send_ctrl(
+            ctx,
+            CtrlMsg::Heartbeat {
+                from_controller: true,
+                epoch,
+            },
+        );
+        ctx.set_timer(HEARTBEAT_EVERY, HEARTBEAT, TimerClass::Maintenance);
+        self.arm_hold(ctx);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>) {
+        // Crash-restart: the operator's intent (configured plus
+        // runtime-announced prefixes) is the controller's only stable
+        // storage. Everything learned — external routes, session states,
+        // the installed-table model — is wiped and re-acquired from the
+        // speaker's resync and the switches' table replies.
+        let owned = std::mem::take(&mut self.owned);
+        let cfg = self.cfg.clone();
+        *self = IdrController::new(self.id, cfg);
+        self.owned = owned;
+        // Unsynced until the speaker pushes a fresh snapshot (it will: our
+        // heartbeats carry epoch 0, which mismatches whatever it has).
+        self.tx.reset(0);
+        self.rx.reset(0);
+        self.on_start(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, link: LinkId, msg: M) {
+        let msg = match msg.into_ctrl() {
+            Ok(m) => {
+                self.handle_ctrl(ctx, m);
+                return;
+            }
+            Err(msg) => msg,
+        };
+        // Bare speaker events remain accepted for direct injection in tests
+        // and single-process deployments with a lossless channel.
         let msg = match msg.into_speaker_event() {
             Ok(ev) => {
-                match ev {
-                    SpeakerEvent::Update { session, update } => {
-                        ctx.report(Activity::UpdateReceived);
-                        self.buffer_update(ctx, session, update);
-                    }
-                    SpeakerEvent::SessionUp { session, .. } => {
-                        ctx.report(Activity::SessionUp);
-                        self.session_up[session] = true;
-                        // A new egress changes the announcement surface of
-                        // every prefix (it must receive the full table).
-                        self.all_dirty = true;
-                        self.recompute_now(ctx, RecomputeTrigger::SessionUp);
-                    }
-                    SpeakerEvent::SessionDown { session } => {
-                        ctx.report(Activity::SessionDown);
-                        self.session_down(ctx, session);
-                    }
-                }
+                self.handle_speaker_event(ctx, ev);
                 return;
             }
             Err(msg) => msg,
@@ -727,6 +996,54 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
         if token == RECOMPUTE {
             self.recompute_armed = false;
             self.recompute_now(ctx, RecomputeTrigger::UpdateBatch);
+        } else if token == RETX {
+            if !self.tx.pending() {
+                return;
+            }
+            self.stats.retransmits += 1;
+            ctx.count("core.ctrl.retransmits", 1);
+            let oldest_seq = self.tx.oldest_seq().unwrap_or(0);
+            let outstanding = self.tx.outstanding() as u32;
+            ctx.trace(TraceCategory::Ctrl, || TraceEvent::ControlRetransmit {
+                from_controller: true,
+                oldest_seq,
+                outstanding,
+            });
+            for msg in self.tx.on_retransmit_timer() {
+                self.send_ctrl(ctx, msg);
+            }
+            self.arm_retx(ctx);
+        } else if token == HEARTBEAT {
+            let epoch = self.tx.epoch();
+            self.send_ctrl(
+                ctx,
+                CtrlMsg::Heartbeat {
+                    from_controller: true,
+                    epoch,
+                },
+            );
+            ctx.set_timer(HEARTBEAT_EVERY, HEARTBEAT, TimerClass::Maintenance);
+        } else if token == HOLD && self.tx.epoch() != 0 {
+            // Speaker lost: go unsynced. Outstanding commands are dropped
+            // (the next Sync supersedes them); switch programming continues
+            // headless through the OF channel. The speaker resyncs as soon
+            // as it hears our epoch-0 heartbeats again.
+            self.tx.reset(0);
+            self.rx.reset(0);
+            ctx.cancel_timer(RETX);
+        }
+    }
+
+    fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
+        // Probe the instant the control channel heals rather than waiting
+        // out the periodic (Maintenance-class) heartbeat: the speaker hears
+        // us, leaves headless mode, and resyncs in the same event cascade.
+        if up && link == self.cfg.speaker_link {
+            let hb = CtrlMsg::Heartbeat {
+                from_controller: true,
+                epoch: self.tx.epoch(),
+            };
+            self.send_ctrl(ctx, hb);
         }
     }
 

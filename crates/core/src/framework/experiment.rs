@@ -223,6 +223,76 @@ impl Experiment {
         self.net.sim.set_link_admin(link, true);
     }
 
+    /// Set the random per-message loss probability of the link between
+    /// adjacent ASes `a` and `b`.
+    pub fn set_edge_loss(&mut self, a: usize, b: usize, loss: f64) {
+        let link = self
+            .net
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
+        self.net.sim.set_link_loss(link, loss);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the chaos layer)
+    // ------------------------------------------------------------------
+
+    fn controller_node(&self) -> NodeId {
+        self.net
+            .controller
+            .expect("fault injection targets a cluster controller")
+    }
+
+    fn control_channel(&self) -> bgpsdn_netsim::LinkId {
+        self.net
+            .speaker_link
+            .expect("fault injection targets the control channel")
+    }
+
+    /// Crash the IDR controller: it stops processing entirely, its timers
+    /// die, and in-flight messages toward it are lost. Speakers fall back
+    /// to headless fail-static forwarding.
+    pub fn crash_controller(&mut self) {
+        let c = self.controller_node();
+        self.net.sim.set_node_admin(c, false);
+    }
+
+    /// Restart a crashed controller. It comes back with operator intent
+    /// only (configuration + announced prefixes) and re-learns everything
+    /// else through the speaker resync and switch table replies.
+    pub fn restore_controller(&mut self) {
+        let c = self.controller_node();
+        self.net.sim.set_node_admin(c, true);
+    }
+
+    /// Whether the controller node is currently up.
+    pub fn controller_is_up(&self) -> bool {
+        self.net
+            .controller
+            .map(|c| self.net.sim.node_is_up(c))
+            .unwrap_or(false)
+    }
+
+    /// Partition the speaker↔controller channel (both stay alive but cannot
+    /// talk; each side's hold timer eventually fires).
+    pub fn partition_control_channel(&mut self) {
+        let l = self.control_channel();
+        self.net.sim.set_link_admin(l, false);
+    }
+
+    /// Heal a control-channel partition.
+    pub fn heal_control_channel(&mut self) {
+        let l = self.control_channel();
+        self.net.sim.set_link_admin(l, true);
+    }
+
+    /// Set the random per-message loss probability of the
+    /// speaker↔controller channel.
+    pub fn set_control_loss(&mut self, loss: f64) {
+        let l = self.control_channel();
+        self.net.sim.set_link_loss(l, loss);
+    }
+
     // ------------------------------------------------------------------
     // Audits
     // ------------------------------------------------------------------

@@ -1,0 +1,159 @@
+//! Seeded chaos schedules for the control plane.
+//!
+//! A [`FaultPlan`] is a time-ordered list of control-plane faults —
+//! controller crashes/restarts and control-channel partitions/heals — that
+//! replays deterministically against an [`Experiment`]. The
+//! [`FaultPlan::chaos`] constructor derives a random-looking but fully
+//! seeded schedule, so robustness tests and benchmarks can explore many
+//! outage patterns while staying reproducible event-for-event.
+
+use bgpsdn_netsim::{SimDuration, SimTime};
+
+use super::experiment::Experiment;
+
+/// One injectable control-plane fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash the IDR controller.
+    CrashController,
+    /// Restart a crashed controller.
+    RestoreController,
+    /// Partition the speaker↔controller channel.
+    PartitionControlChannel,
+    /// Heal a control-channel partition.
+    HealControlChannel,
+}
+
+impl std::fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultAction::CrashController => write!(f, "crash controller"),
+            FaultAction::RestoreController => write!(f, "restore controller"),
+            FaultAction::PartitionControlChannel => write!(f, "partition control channel"),
+            FaultAction::HealControlChannel => write!(f, "heal control channel"),
+        }
+    }
+}
+
+/// A deterministic schedule of control-plane faults, with offsets relative
+/// to the moment [`FaultPlan::apply`] is called.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(offset, fault)` pairs; applied in offset order.
+    pub events: Vec<(SimDuration, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a fault at an offset from the plan's application time.
+    pub fn at(mut self, offset: SimDuration, action: FaultAction) -> Self {
+        self.events.push((offset, action));
+        self
+    }
+
+    /// A seeded chaos schedule: `outages` paired down/up faults placed
+    /// within `horizon`. Each outage independently picks its start, a
+    /// duration between 5% and 25% of the horizon, and whether it is a
+    /// controller crash or a channel partition. The same seed always yields
+    /// the same schedule; outages may overlap (the underlying admin
+    /// operations are idempotent).
+    pub fn chaos(seed: u64, horizon: SimDuration, outages: usize) -> FaultPlan {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let span = horizon.as_nanos().max(1);
+        let mut events = Vec::with_capacity(outages * 2);
+        for _ in 0..outages {
+            let start = next() % span;
+            let dur = span / 20 + next() % (span / 5).max(1);
+            let (down, up) = if next() & 1 == 1 {
+                (
+                    FaultAction::PartitionControlChannel,
+                    FaultAction::HealControlChannel,
+                )
+            } else {
+                (FaultAction::CrashController, FaultAction::RestoreController)
+            };
+            events.push((SimDuration::from_nanos(start), down));
+            events.push((SimDuration::from_nanos(start.saturating_add(dur)), up));
+        }
+        events.sort_by_key(|(at, _)| *at);
+        FaultPlan { events }
+    }
+
+    /// The offset of the last event, i.e. the schedule's length.
+    pub fn horizon(&self) -> SimDuration {
+        self.events
+            .iter()
+            .map(|(at, _)| *at)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Replay the plan: advance the simulation to each fault's time (in
+    /// offset order, relative to now) and inject it. Returns the absolute
+    /// time of the last fault.
+    pub fn apply(&self, exp: &mut Experiment) -> SimTime {
+        let mut events = self.events.clone();
+        events.sort_by_key(|(at, _)| *at);
+        let base = exp.net.sim.now();
+        for (offset, action) in events {
+            let target = base + offset;
+            if target > exp.net.sim.now() {
+                exp.net.sim.run_until(target);
+            }
+            match action {
+                FaultAction::CrashController => exp.crash_controller(),
+                FaultAction::RestoreController => exp.restore_controller(),
+                FaultAction::PartitionControlChannel => exp.partition_control_channel(),
+                FaultAction::HealControlChannel => exp.heal_control_channel(),
+            }
+        }
+        base + self.horizon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_is_deterministic_and_paired() {
+        let a = FaultPlan::chaos(42, SimDuration::from_secs(60), 4);
+        let b = FaultPlan::chaos(42, SimDuration::from_secs(60), 4);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.events.len(), 8, "each outage is a down/up pair");
+        let downs = a
+            .events
+            .iter()
+            .filter(|(_, f)| {
+                matches!(
+                    f,
+                    FaultAction::CrashController | FaultAction::PartitionControlChannel
+                )
+            })
+            .count();
+        assert_eq!(downs, 4);
+        assert!(a.events.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+
+        let c = FaultPlan::chaos(43, SimDuration::from_secs(60), 4);
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn builder_orders_by_offset_at_apply_time() {
+        let plan = FaultPlan::new()
+            .at(SimDuration::from_secs(9), FaultAction::RestoreController)
+            .at(SimDuration::from_secs(3), FaultAction::CrashController);
+        assert_eq!(plan.horizon(), SimDuration::from_secs(9));
+        assert_eq!(plan.events.len(), 2);
+    }
+}

@@ -1,14 +1,16 @@
 //! The hybrid BGP-SDN experiment framework: network assembly
-//! ([`network`]), experiment lifecycle ([`experiment`]) and canned
-//! evaluation scenarios ([`scenarios`]).
+//! ([`network`]), experiment lifecycle ([`experiment`]), chaos fault
+//! injection ([`faults`]) and canned evaluation scenarios ([`scenarios`]).
 
 pub mod experiment;
+pub mod faults;
 pub mod network;
 pub mod scenarios;
 pub mod script;
 pub mod traffic;
 
 pub use experiment::Experiment;
+pub use faults::{FaultAction, FaultPlan};
 pub use network::{
     AsHandle, AsKind, Collector, Controller, HybridNetwork, NetworkBuilder, Router, Sim, Speaker,
     Switch, COLLECTOR_ASN,

@@ -76,6 +76,10 @@ pub struct HybridNetwork {
     pub controller: Option<NodeId>,
     /// The route collector (when enabled).
     pub collector: Option<NodeId>,
+    /// The controller↔speaker control channel (present with a cluster).
+    /// This is the link fault-injection targets: partitioning it or giving
+    /// it loss exercises the reliable control protocol.
+    pub speaker_link: Option<LinkId>,
     /// The topology plan the network was built from.
     pub plan: TopologyPlan,
     /// AS index → member index for cluster members.
@@ -115,6 +119,8 @@ pub struct NetworkBuilder {
     recompute_delay: SimDuration,
     edge_latencies: Option<Vec<SimDuration>>,
     incremental: bool,
+    control_loss: f64,
+    data_loss: f64,
 }
 
 impl NetworkBuilder {
@@ -130,6 +136,8 @@ impl NetworkBuilder {
             recompute_delay: SimDuration::from_millis(100),
             edge_latencies: None,
             incremental: true,
+            control_loss: 0.0,
+            data_loss: 0.0,
         }
     }
 
@@ -159,6 +167,29 @@ impl NetworkBuilder {
     /// Disable the route collector.
     pub fn without_collector(mut self) -> Self {
         self.with_collector = false;
+        self
+    }
+
+    /// Override the control-plane link latency model (relay, OF control and
+    /// speaker↔controller links; default: fixed 1 ms).
+    pub fn with_ctl_latency(mut self, model: LatencyModel) -> Self {
+        self.ctl_latency = model;
+        self
+    }
+
+    /// Random per-message loss probability on the speaker↔controller
+    /// channel. The reliable control protocol must mask this; it is the
+    /// knob the controller-outage experiments turn.
+    pub fn with_control_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss));
+        self.control_loss = loss;
+        self
+    }
+
+    /// Random per-message loss probability on every inter-AS link.
+    pub fn with_data_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss));
+        self.data_loss = loss;
         self
     }
 
@@ -247,6 +278,9 @@ impl NetworkBuilder {
                 None => default_latency.clone(),
             };
             let link = sim.add_link(ases[e.a].node, ases[e.b].node, latency);
+            if self.data_loss > 0.0 {
+                sim.set_link_loss(link, self.data_loss);
+            }
             edge_links.push(link);
         }
 
@@ -262,6 +296,9 @@ impl NetworkBuilder {
                 ctl_links.insert(mi, ctl);
             }
             speaker_link = sim.add_link(controller_node, speaker_node, self.ctl_latency.clone());
+            if self.control_loss > 0.0 {
+                sim.set_link_loss(speaker_link, self.control_loss);
+            }
         }
 
         // 4. Per-edge configuration.
@@ -394,6 +431,7 @@ impl NetworkBuilder {
             speaker,
             controller,
             collector,
+            speaker_link: have_cluster.then_some(speaker_link),
             plan,
             member_index,
         }

@@ -29,6 +29,10 @@ pub struct CliqueScenario {
     pub recompute_delay: SimDuration,
     /// Experiment seed (vary for boxplot runs).
     pub seed: u64,
+    /// Random per-message loss probability on the speaker↔controller
+    /// channel (0.0 = lossless). The reliable control protocol must mask
+    /// any non-zero setting.
+    pub control_loss: f64,
 }
 
 impl CliqueScenario {
@@ -40,6 +44,7 @@ impl CliqueScenario {
             mrai: SimDuration::from_secs(30),
             recompute_delay: SimDuration::from_millis(100),
             seed,
+            control_loss: 0.0,
         }
     }
 
@@ -139,6 +144,7 @@ pub fn run_clique_instrumented(
     let net = NetworkBuilder::new(tp, scenario.seed)
         .with_sdn_members(scenario.members())
         .with_recompute_delay(scenario.recompute_delay)
+        .with_control_loss(scenario.control_loss)
         .build();
     let mut exp = Experiment::new(net);
     instrument(&mut exp.net.sim);

@@ -37,6 +37,19 @@ pub enum ScriptAction {
     FailEdge(usize, usize),
     /// Restore the link between two adjacent ASes.
     RestoreEdge(usize, usize),
+    /// Crash the IDR controller (speakers go headless; fail-static
+    /// forwarding keeps the data plane up).
+    CrashController,
+    /// Restart a crashed controller (triggers a full-state resync).
+    RestoreController,
+    /// Partition the speaker↔controller channel.
+    PartitionControlChannel,
+    /// Heal a control-channel partition.
+    HealControlChannel,
+    /// Set random per-message loss on the speaker↔controller channel.
+    SetControlLoss(f64),
+    /// Set random per-message loss on the link between two adjacent ASes.
+    SetEdgeLoss(usize, usize, f64),
     /// Start a fresh measurement phase (reset activity and collector log).
     Mark,
     /// Run until the network converges (or the deadline passes); records a
@@ -76,6 +89,12 @@ impl fmt::Display for ScriptAction {
             },
             ScriptAction::FailEdge(a, b) => write!(f, "fail link {a}-{b}"),
             ScriptAction::RestoreEdge(a, b) => write!(f, "restore link {a}-{b}"),
+            ScriptAction::CrashController => write!(f, "crash controller"),
+            ScriptAction::RestoreController => write!(f, "restore controller"),
+            ScriptAction::PartitionControlChannel => write!(f, "partition control channel"),
+            ScriptAction::HealControlChannel => write!(f, "heal control channel"),
+            ScriptAction::SetControlLoss(p) => write!(f, "set control-channel loss to {p}"),
+            ScriptAction::SetEdgeLoss(a, b, p) => write!(f, "set link {a}-{b} loss to {p}"),
             ScriptAction::Mark => write!(f, "mark"),
             ScriptAction::WaitConverged { max } => write!(f, "wait converged (max {max})"),
             ScriptAction::RunFor(d) => write!(f, "run for {d}"),
@@ -131,6 +150,36 @@ impl Script {
     /// Restore a link.
     pub fn restore_edge(self, a: usize, b: usize) -> Self {
         self.step(ScriptAction::RestoreEdge(a, b))
+    }
+
+    /// Crash the controller.
+    pub fn crash_controller(self) -> Self {
+        self.step(ScriptAction::CrashController)
+    }
+
+    /// Restart the controller.
+    pub fn restore_controller(self) -> Self {
+        self.step(ScriptAction::RestoreController)
+    }
+
+    /// Partition the speaker↔controller channel.
+    pub fn partition_control_channel(self) -> Self {
+        self.step(ScriptAction::PartitionControlChannel)
+    }
+
+    /// Heal the speaker↔controller channel.
+    pub fn heal_control_channel(self) -> Self {
+        self.step(ScriptAction::HealControlChannel)
+    }
+
+    /// Set control-channel loss.
+    pub fn set_control_loss(self, loss: f64) -> Self {
+        self.step(ScriptAction::SetControlLoss(loss))
+    }
+
+    /// Set loss on an inter-AS link.
+    pub fn set_edge_loss(self, a: usize, b: usize, loss: f64) -> Self {
+        self.step(ScriptAction::SetEdgeLoss(a, b, loss))
     }
 
     /// Begin a measurement phase.
@@ -232,6 +281,30 @@ impl Experiment {
                 }
                 ScriptAction::RestoreEdge(a, b) => {
                     self.restore_edge(*a, *b);
+                    true
+                }
+                ScriptAction::CrashController => {
+                    self.crash_controller();
+                    true
+                }
+                ScriptAction::RestoreController => {
+                    self.restore_controller();
+                    true
+                }
+                ScriptAction::PartitionControlChannel => {
+                    self.partition_control_channel();
+                    true
+                }
+                ScriptAction::HealControlChannel => {
+                    self.heal_control_channel();
+                    true
+                }
+                ScriptAction::SetControlLoss(p) => {
+                    self.set_control_loss(*p);
+                    true
+                }
+                ScriptAction::SetEdgeLoss(a, b, p) => {
+                    self.set_edge_loss(*a, *b, *p);
                     true
                 }
                 ScriptAction::Mark => {

@@ -94,6 +94,7 @@ fn withdrawal_converges_and_cleans_up_at_all_fractions() {
             mrai: SimDuration::from_secs(5),
             recompute_delay: SimDuration::from_millis(100),
             seed: 77,
+            control_loss: 0.0,
         };
         let out = run_clique(&s, EventKind::Withdrawal);
         assert!(out.converged, "k={k}");
@@ -110,6 +111,7 @@ fn announcement_event_reaches_everyone() {
             mrai: SimDuration::from_secs(5),
             recompute_delay: SimDuration::from_millis(100),
             seed: 5,
+            control_loss: 0.0,
         };
         let out = run_clique(&s, EventKind::Announcement);
         assert!(out.converged && out.audit_ok, "k={k}");
@@ -126,6 +128,7 @@ fn failover_event_restores_reachability() {
             mrai: SimDuration::from_secs(5),
             recompute_delay: SimDuration::from_millis(100),
             seed: 6,
+            control_loss: 0.0,
         };
         let out = run_clique(&s, EventKind::Failover);
         assert!(out.converged && out.audit_ok, "k={k}");
@@ -143,6 +146,7 @@ fn centralization_reduces_withdrawal_convergence_monotonically() {
             mrai: SimDuration::from_secs(10),
             recompute_delay: SimDuration::from_millis(100),
             seed: 31,
+            control_loss: 0.0,
         };
         let out = run_clique(&s, EventKind::Withdrawal);
         assert!(out.converged && out.audit_ok, "k={k}");
@@ -315,6 +319,7 @@ fn scenario_runs_are_deterministic() {
         mrai: SimDuration::from_secs(5),
         recompute_delay: SimDuration::from_millis(100),
         seed: 99,
+        control_loss: 0.0,
     };
     let a = run_clique(&s, EventKind::Withdrawal);
     let b = run_clique(&s, EventKind::Withdrawal);
@@ -379,6 +384,7 @@ fn recompute_delay_batches_bursty_input() {
             mrai: SimDuration::ZERO,
             recompute_delay: SimDuration::from_millis(delay_ms),
             seed: 303,
+            control_loss: 0.0,
         };
         let ag = AsGraph::all_peer(&gen::clique(s.n), 65000);
         let tp = plan(ag, PolicyMode::AllPermit, TimingConfig::with_mrai(s.mrai)).unwrap();
@@ -412,6 +418,7 @@ fn collector_sees_the_withdrawal_storm() {
         mrai: SimDuration::from_secs(5),
         recompute_delay: SimDuration::from_millis(100),
         seed: 404,
+        control_loss: 0.0,
     };
     let out = run_clique(&s, EventKind::Withdrawal);
     let collector_time = out.collector_convergence.expect("collector present");

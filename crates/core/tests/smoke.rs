@@ -10,6 +10,7 @@ fn smoke_hybrid_withdrawal() {
             mrai: SimDuration::from_secs(10),
             recompute_delay: SimDuration::from_millis(100),
             seed: 42,
+            control_loss: 0.0,
         };
         let out = run_clique(&s, EventKind::Withdrawal);
         eprintln!(

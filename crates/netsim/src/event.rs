@@ -33,6 +33,8 @@ pub(crate) enum EventBody<M> {
     },
     /// Administratively set a link up or down.
     LinkAdmin { link: LinkId, up: bool },
+    /// Administratively crash (`up = false`) or restore (`up = true`) a node.
+    NodeAdmin { node: NodeId, up: bool },
     /// Invoke a node's `on_start`.
     Start { node: NodeId },
 }

@@ -84,6 +84,15 @@ pub trait Node<M: Message>: 'static {
     /// A timer armed by this node has fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _token: TimerToken) {}
 
+    /// The node was administratively restored after a crash
+    /// ([`Simulator::set_node_admin`](crate::sim::Simulator::set_node_admin)).
+    /// The crash dropped all pending timers and in-flight deliveries;
+    /// implementations that keep no stable storage should wipe learned state
+    /// here. Defaults to re-running [`Node::on_start`].
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>) {
+        self.on_start(ctx);
+    }
+
     /// An adjacent link changed administrative/operational state.
     fn on_link_change(&mut self, _ctx: &mut Ctx<'_, M>, _link: LinkId, _up: bool) {}
 

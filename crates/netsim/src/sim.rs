@@ -197,6 +197,7 @@ pub struct Simulator<M: Message> {
     queue: EventQueue<M>,
     nodes: Vec<Option<Box<dyn Node<M>>>>,
     node_names: Vec<String>,
+    node_up: Vec<bool>,
     links: Vec<Link>,
     adjacency: Vec<Vec<(LinkId, NodeId)>>,
     timer_gens: HashMap<(NodeId, TimerToken), (u64, bool)>,
@@ -226,6 +227,7 @@ impl<M: Message> Simulator<M> {
             queue: EventQueue::with_capacity(events),
             nodes: Vec::new(),
             node_names: Vec::new(),
+            node_up: Vec::new(),
             links: Vec::new(),
             adjacency: Vec::new(),
             timer_gens: HashMap::new(),
@@ -250,6 +252,7 @@ impl<M: Message> Simulator<M> {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(Box::new(build(id))));
         self.node_names.push(name.into());
+        self.node_up.push(true);
         self.adjacency.push(Vec::new());
         if self.started {
             self.queue.push(self.now, EventBody::Start { node: id });
@@ -281,6 +284,25 @@ impl<M: Message> Simulator<M> {
     pub fn schedule_link_admin(&mut self, at: SimTime, link: LinkId, up: bool) {
         assert!(at >= self.now, "cannot schedule in the past");
         self.queue.push(at, EventBody::LinkAdmin { link, up });
+    }
+
+    /// Administratively crash (`up = false`) or restore (`up = true`) a node
+    /// right now. Crashing drops the node's pending timers and any message
+    /// delivered to it while down; restoring invokes
+    /// [`Node::on_restart`].
+    pub fn set_node_admin(&mut self, node: NodeId, up: bool) {
+        self.schedule_node_admin(self.now, node, up);
+    }
+
+    /// Schedule a node crash/restore at an absolute time.
+    pub fn schedule_node_admin(&mut self, at: SimTime, node: NodeId, up: bool) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, EventBody::NodeAdmin { node, up });
+    }
+
+    /// Whether a node is administratively up (not crashed).
+    pub fn node_is_up(&self, node: NodeId) -> bool {
+        self.node_up[node.index()]
     }
 
     /// Deliver `msg` to `to` immediately, as driver input (the `link` seen by
@@ -451,7 +473,9 @@ impl<M: Message> Simulator<M> {
     fn step_body(&mut self, body: EventBody<M>) -> bool {
         match body {
             EventBody::Start { node } => {
-                self.dispatch(node, |n, ctx| n.on_start(ctx));
+                if self.node_up[node.index()] {
+                    self.dispatch(node, |n, ctx| n.on_start(ctx));
+                }
             }
             EventBody::Deliver {
                 link,
@@ -461,6 +485,10 @@ impl<M: Message> Simulator<M> {
             } => {
                 if !link.is_control() && !self.links[link.index()].up {
                     self.stats.msgs_dropped_link_down += 1;
+                    return true;
+                }
+                if !self.node_up[to.index()] {
+                    self.stats.msgs_dropped_node_down += 1;
                     return true;
                 }
                 self.stats.msgs_delivered += 1;
@@ -473,13 +501,14 @@ impl<M: Message> Simulator<M> {
                 gen,
                 class: _,
             } => {
-                let fire = match self.timer_gens.get_mut(&(node, token)) {
-                    Some((cur, armed)) if *cur == gen && *armed => {
-                        *armed = false;
-                        true
-                    }
-                    _ => false,
-                };
+                let fire = self.node_up[node.index()]
+                    && match self.timer_gens.get_mut(&(node, token)) {
+                        Some((cur, armed)) if *cur == gen && *armed => {
+                            *armed = false;
+                            true
+                        }
+                        _ => false,
+                    };
                 if fire {
                     self.stats.timers_fired += 1;
                     self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
@@ -497,8 +526,34 @@ impl<M: Message> Simulator<M> {
                 self.trace.record(self.now, None, TraceCategory::Link, || {
                     TraceEvent::LinkAdmin { link: link.0, up }
                 });
-                self.dispatch(a, |n, ctx| n.on_link_change(ctx, link, up));
-                self.dispatch(b, |n, ctx| n.on_link_change(ctx, link, up));
+                if self.node_up[a.index()] {
+                    self.dispatch(a, |n, ctx| n.on_link_change(ctx, link, up));
+                }
+                if self.node_up[b.index()] {
+                    self.dispatch(b, |n, ctx| n.on_link_change(ctx, link, up));
+                }
+            }
+            EventBody::NodeAdmin { node, up } => {
+                if self.node_up[node.index()] == up {
+                    return true;
+                }
+                self.node_up[node.index()] = up;
+                self.trace.record(self.now, Some(node), TraceCategory::Link, || {
+                    TraceEvent::NodeAdmin { node: node.0, up }
+                });
+                if up {
+                    self.dispatch(node, |n, ctx| n.on_restart(ctx));
+                } else {
+                    // A crash loses every armed timer: bump the generation so
+                    // the queued firings arrive stale even if the node is
+                    // restored and re-arms the same tokens.
+                    for ((n, _), entry) in self.timer_gens.iter_mut() {
+                        if *n == node {
+                            entry.0 += 1;
+                            entry.1 = false;
+                        }
+                    }
+                }
             }
         }
         true
@@ -936,6 +991,56 @@ mod tests {
         sim.with_node::<Sink, _>(n, |s| {
             assert_eq!(s.got, vec![(LinkId::CONTROL, 9), (LinkId::CONTROL, 10)]);
         });
+    }
+
+    #[test]
+    fn crashed_node_drops_deliveries() {
+        let (mut sim, a, _) = build(3, 0, 5);
+        let ponger = NodeId(1);
+        sim.set_node_admin(ponger, false);
+        let q = sim.run_until_quiescent(SimTime::from_secs(5));
+        assert!(q.quiescent);
+        assert!(!sim.node_is_up(ponger));
+        sim.with_node::<Pinger, _>(a, |p| assert!(p.pongs.is_empty()));
+        assert_eq!(sim.stats().msgs_dropped_node_down, 5);
+    }
+
+    #[test]
+    fn crash_invalidates_timers_and_restore_restarts() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        let n = sim.add_node("t", |_| TimerNode { fired: vec![] });
+        // Crash at 1.5s: the keepalive armed at 1s and the WORK timer armed
+        // at start (due 3s) must both die with the node.
+        sim.schedule_node_admin(SimTime::from_millis(1500), n, false);
+        sim.run_until(SimTime::from_secs(5));
+        sim.with_node::<TimerNode, _>(n, |t| {
+            assert_eq!(t.fired, vec!["ka"], "only the pre-crash keepalive fires");
+        });
+        // Restore at 5s: the default on_restart re-runs on_start, so WORK
+        // fires again 3s later.
+        sim.set_node_admin(n, true);
+        let q = sim.run_until_quiescent(SimTime::from_secs(100));
+        assert!(q.quiescent);
+        assert!(sim.node_is_up(n));
+        assert_eq!(q.time, SimTime::from_secs(5 + 3));
+        sim.with_node::<TimerNode, _>(n, |t| {
+            assert_eq!(t.fired.iter().filter(|f| **f == "work").count(), 1);
+        });
+    }
+
+    #[test]
+    fn redundant_node_admin_is_a_no_op() {
+        let mut sim: Simulator<TestMsg> = Simulator::new(1);
+        let n = sim.add_node("t", |_| TimerNode { fired: vec![] });
+        sim.run_until(SimTime::from_secs(5));
+        let fired_before = sim.stats().timers_fired;
+        sim.set_node_admin(n, true); // already up
+        sim.run_until(SimTime::from_secs(6));
+        // No on_restart happened, so no new WORK timer was armed.
+        sim.with_node::<TimerNode, _>(n, |t| {
+            assert_eq!(t.fired.iter().filter(|f| **f == "work").count(), 1);
+        });
+        assert!(sim.stats().timers_fired > fired_before, "keepalives continue");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct SimStats {
     pub msgs_dropped_link_down: u64,
     /// Messages dropped by the link's random-loss model.
     pub msgs_dropped_loss: u64,
+    /// Messages dropped because the destination node was crashed.
+    pub msgs_dropped_node_down: u64,
     /// Timer firings dispatched to nodes.
     pub timers_fired: u64,
     /// Timer firings suppressed because the timer was cancelled or re-armed.

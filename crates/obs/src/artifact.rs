@@ -192,6 +192,14 @@ pub struct RunAnalysis {
     pub prefixes_cached: u64,
     /// Session up / down event counts.
     pub sessions: (u64, u64),
+    /// Speaker events dropped with no controller link (lost state).
+    pub events_dropped: u64,
+    /// Control-channel retransmit bursts (both directions).
+    pub retransmits: u64,
+    /// Full-state resyncs after channel re-establishment.
+    pub resyncs: u64,
+    /// Times a speaker entered headless (fail-static) mode.
+    pub headless_entries: u64,
     /// The convergence timeline, one entry per phase.
     pub phases: Vec<PhaseSummary>,
 }
@@ -232,6 +240,14 @@ impl RunAnalysis {
                 }
                 TraceEvent::SessionUp { .. } => a.sessions.0 += 1,
                 TraceEvent::SessionDown { .. } => a.sessions.1 += 1,
+                TraceEvent::SpeakerEventDropped { .. } => a.events_dropped += 1,
+                TraceEvent::ControlRetransmit { .. } => a.retransmits += 1,
+                TraceEvent::ControlResync { .. } => a.resyncs += 1,
+                TraceEvent::SpeakerHeadless { entered } => {
+                    if *entered {
+                        a.headless_entries += 1;
+                    }
+                }
                 TraceEvent::Phase { name, started } => {
                     saw_phase_marker = true;
                     if *started {
@@ -316,6 +332,14 @@ impl RunAnalysis {
                 self.prefixes_recomputed, self.prefixes_cached,
             );
             let _ = write!(out, "{h}");
+        }
+        if self.events_dropped + self.retransmits + self.resyncs + self.headless_entries > 0 {
+            let _ = writeln!(out, "== control channel");
+            let _ = writeln!(
+                out,
+                "  {} events dropped, {} retransmit bursts, {} resyncs, {} headless entries",
+                self.events_dropped, self.retransmits, self.resyncs, self.headless_entries,
+            );
         }
         let _ = writeln!(out, "== convergence timeline");
         for p in &self.phases {
@@ -484,6 +508,37 @@ mod tests {
         assert!(report.contains("n1"), "{report}");
         assert!(report.contains("recompute"), "{report}");
         assert!(report.contains("withdrawal"), "{report}");
+    }
+
+    #[test]
+    fn analysis_counts_control_channel_events() {
+        let artifact = RunArtifact {
+            run: None,
+            events: vec![
+                ev(1, Some(4), TraceEvent::SpeakerEventDropped { session: 0 }),
+                ev(2, Some(4), TraceEvent::SpeakerHeadless { entered: true }),
+                ev(
+                    3,
+                    Some(4),
+                    TraceEvent::ControlRetransmit {
+                        from_controller: false,
+                        oldest_seq: 1,
+                        outstanding: 2,
+                    },
+                ),
+                ev(4, Some(4), TraceEvent::SpeakerHeadless { entered: false }),
+                ev(5, Some(9), TraceEvent::ControlResync { epoch: 2, sessions: 3, routes: 7 }),
+            ],
+            snapshots: vec![],
+        };
+        let a = RunAnalysis::from_artifact(&artifact);
+        assert_eq!(a.events_dropped, 1);
+        assert_eq!(a.retransmits, 1);
+        assert_eq!(a.resyncs, 1);
+        assert_eq!(a.headless_entries, 1);
+        let report = a.render();
+        assert!(report.contains("control channel"), "{report}");
+        assert!(report.contains("1 resyncs"), "{report}");
     }
 
     #[test]

@@ -29,10 +29,13 @@ pub enum TraceCategory {
     Session,
     /// Experiment lifecycle markers (scenario steps, phase boundaries).
     Experiment,
+    /// Speaker↔controller control-channel protocol (acks, retransmits,
+    /// headless transitions, resyncs).
+    Ctrl,
 }
 
 impl TraceCategory {
-    const COUNT: usize = 7;
+    const COUNT: usize = 8;
 
     /// Bit for mask-based filtering.
     pub fn bit(self) -> u8 {
@@ -44,6 +47,7 @@ impl TraceCategory {
             TraceCategory::Flow => 1 << 4,
             TraceCategory::Session => 1 << 5,
             TraceCategory::Experiment => 1 << 6,
+            TraceCategory::Ctrl => 1 << 7,
         }
     }
 
@@ -57,6 +61,7 @@ impl TraceCategory {
             TraceCategory::Flow,
             TraceCategory::Session,
             TraceCategory::Experiment,
+            TraceCategory::Ctrl,
         ]
     }
 
@@ -70,6 +75,7 @@ impl TraceCategory {
             TraceCategory::Flow => "flow",
             TraceCategory::Session => "session",
             TraceCategory::Experiment => "exp",
+            TraceCategory::Ctrl => "ctrl",
         }
     }
 
@@ -203,6 +209,8 @@ pub enum RecomputeTrigger {
     Command,
     /// Initial compilation at simulation start.
     Startup,
+    /// A full-state resync after the control channel was re-established.
+    Resync,
 }
 
 impl RecomputeTrigger {
@@ -215,6 +223,7 @@ impl RecomputeTrigger {
             RecomputeTrigger::SessionDown => "session_down",
             RecomputeTrigger::Command => "command",
             RecomputeTrigger::Startup => "startup",
+            RecomputeTrigger::Resync => "resync",
         }
     }
 
@@ -226,6 +235,7 @@ impl RecomputeTrigger {
             RecomputeTrigger::SessionDown,
             RecomputeTrigger::Command,
             RecomputeTrigger::Startup,
+            RecomputeTrigger::Resync,
         ]
         .into_iter()
         .find(|t| t.name() == name)
@@ -342,6 +352,45 @@ pub enum TraceEvent {
         /// The timer token value.
         token: u64,
     },
+    /// A node was administratively crashed or restarted.
+    NodeAdmin {
+        /// The node id.
+        node: u32,
+        /// New state (false = crashed, true = restored).
+        up: bool,
+    },
+    /// A speaker entered or left headless mode (controller hold timer
+    /// expired / control channel re-established).
+    SpeakerHeadless {
+        /// True on entry into headless mode, false on recovery.
+        entered: bool,
+    },
+    /// A full-state resync ran over the control channel.
+    ControlResync {
+        /// The new channel epoch after the resync.
+        epoch: u64,
+        /// Alias sessions replayed in the sync snapshot.
+        sessions: u32,
+        /// Adj-in routes replayed in the sync snapshot.
+        routes: u32,
+    },
+    /// The reliable control channel retransmitted unacked messages.
+    ControlRetransmit {
+        /// True when the controller side retransmitted (commands), false
+        /// for the speaker side (events).
+        from_controller: bool,
+        /// Sequence number of the oldest unacked message.
+        oldest_seq: u64,
+        /// Messages outstanding (unacked) at retransmit time.
+        outstanding: u32,
+    },
+    /// A speaker event was dropped because no controller link was
+    /// configured or the channel was frozen — state the controller will
+    /// only recover via resync.
+    SpeakerEventDropped {
+        /// The alias session index the event belonged to.
+        session: u32,
+    },
     /// Free-form diagnostic text (decode errors, relay misses). Never
     /// parsed by analysis code — everything analyzable has a typed variant.
     Note {
@@ -369,8 +418,12 @@ impl TraceEvent {
                 TraceCategory::Session
             }
             TraceEvent::Phase { .. } => TraceCategory::Experiment,
-            TraceEvent::LinkAdmin { .. } => TraceCategory::Link,
+            TraceEvent::LinkAdmin { .. } | TraceEvent::NodeAdmin { .. } => TraceCategory::Link,
             TraceEvent::TimerFired { .. } => TraceCategory::Timer,
+            TraceEvent::SpeakerHeadless { .. }
+            | TraceEvent::ControlResync { .. }
+            | TraceEvent::ControlRetransmit { .. }
+            | TraceEvent::SpeakerEventDropped { .. } => TraceCategory::Ctrl,
             TraceEvent::Note { category, .. } => *category,
         }
     }
@@ -389,6 +442,11 @@ impl TraceEvent {
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::LinkAdmin { .. } => "link_admin",
             TraceEvent::TimerFired { .. } => "timer_fired",
+            TraceEvent::NodeAdmin { .. } => "node_admin",
+            TraceEvent::SpeakerHeadless { .. } => "speaker_headless",
+            TraceEvent::ControlResync { .. } => "control_resync",
+            TraceEvent::ControlRetransmit { .. } => "control_retransmit",
+            TraceEvent::SpeakerEventDropped { .. } => "speaker_event_dropped",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -487,6 +545,36 @@ impl TraceEvent {
             }
             TraceEvent::TimerFired { token } => {
                 m.push(("token".into(), Json::U64(*token)));
+            }
+            TraceEvent::NodeAdmin { node, up } => {
+                // "target", not "node": artifact lines already use a
+                // top-level "node" key for event attribution.
+                m.push(("target".into(), Json::U64(*node as u64)));
+                m.push(("up".into(), Json::Bool(*up)));
+            }
+            TraceEvent::SpeakerHeadless { entered } => {
+                m.push(("entered".into(), Json::Bool(*entered)));
+            }
+            TraceEvent::ControlResync {
+                epoch,
+                sessions,
+                routes,
+            } => {
+                m.push(("epoch".into(), Json::U64(*epoch)));
+                m.push(("sessions".into(), Json::U64(*sessions as u64)));
+                m.push(("routes".into(), Json::U64(*routes as u64)));
+            }
+            TraceEvent::ControlRetransmit {
+                from_controller,
+                oldest_seq,
+                outstanding,
+            } => {
+                m.push(("from_controller".into(), Json::Bool(*from_controller)));
+                m.push(("oldest_seq".into(), Json::U64(*oldest_seq)));
+                m.push(("outstanding".into(), Json::U64(*outstanding as u64)));
+            }
+            TraceEvent::SpeakerEventDropped { session } => {
+                m.push(("session".into(), Json::U64(*session as u64)));
             }
             TraceEvent::Note { category, text } => {
                 m.push(("cat".into(), Json::Str(category.name().into())));
@@ -591,6 +679,38 @@ impl TraceEvent {
                     .get("token")
                     .and_then(Json::as_u64)
                     .ok_or("bad \"token\"")?,
+            },
+            "node_admin" => TraceEvent::NodeAdmin {
+                node: get_u32(v, "target")?,
+                up: v.get("up").and_then(Json::as_bool).ok_or("bad \"up\"")?,
+            },
+            "speaker_headless" => TraceEvent::SpeakerHeadless {
+                entered: v
+                    .get("entered")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad \"entered\"")?,
+            },
+            "control_resync" => TraceEvent::ControlResync {
+                epoch: v
+                    .get("epoch")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad \"epoch\"")?,
+                sessions: get_u32(v, "sessions")?,
+                routes: get_u32(v, "routes")?,
+            },
+            "control_retransmit" => TraceEvent::ControlRetransmit {
+                from_controller: v
+                    .get("from_controller")
+                    .and_then(Json::as_bool)
+                    .ok_or("bad \"from_controller\"")?,
+                oldest_seq: v
+                    .get("oldest_seq")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad \"oldest_seq\"")?,
+                outstanding: get_u32(v, "outstanding")?,
+            },
+            "speaker_event_dropped" => TraceEvent::SpeakerEventDropped {
+                session: get_u32(v, "session")?,
             },
             "note" => TraceEvent::Note {
                 category: v
@@ -748,6 +868,33 @@ impl fmt::Display for TraceEvent {
                 write!(f, "link {link} {}", if *up { "up" } else { "down" })
             }
             TraceEvent::TimerFired { token } => write!(f, "timer {token:#x}"),
+            TraceEvent::NodeAdmin { node, up } => {
+                write!(f, "node n{node} {}", if *up { "up" } else { "down" })
+            }
+            TraceEvent::SpeakerHeadless { entered } => {
+                if *entered {
+                    f.write_str("headless: controller lost, fail-static")
+                } else {
+                    f.write_str("headless: controller back")
+                }
+            }
+            TraceEvent::ControlResync {
+                epoch,
+                sessions,
+                routes,
+            } => write!(f, "resync epoch {epoch} ({sessions} sessions, {routes} routes)"),
+            TraceEvent::ControlRetransmit {
+                from_controller,
+                oldest_seq,
+                outstanding,
+            } => write!(
+                f,
+                "retransmit {} seq {oldest_seq}+ ({outstanding} unacked)",
+                if *from_controller { "cmds" } else { "events" }
+            ),
+            TraceEvent::SpeakerEventDropped { session } => {
+                write!(f, "event dropped (no controller) session {session}")
+            }
             TraceEvent::Note { text, .. } => f.write_str(text),
         }
     }
@@ -821,6 +968,19 @@ mod tests {
         });
         roundtrip(TraceEvent::LinkAdmin { link: 5, up: false });
         roundtrip(TraceEvent::TimerFired { token: u64::MAX });
+        roundtrip(TraceEvent::NodeAdmin { node: 7, up: false });
+        roundtrip(TraceEvent::SpeakerHeadless { entered: true });
+        roundtrip(TraceEvent::ControlResync {
+            epoch: 3,
+            sessions: 4,
+            routes: 17,
+        });
+        roundtrip(TraceEvent::ControlRetransmit {
+            from_controller: false,
+            oldest_seq: 42,
+            outstanding: 6,
+        });
+        roundtrip(TraceEvent::SpeakerEventDropped { session: 2 });
         roundtrip(TraceEvent::Note {
             category: TraceCategory::Session,
             text: "decode error: bad \"marker\"\n".into(),

@@ -49,6 +49,7 @@ fn arb_trigger() -> impl Strategy<Value = RecomputeTrigger> {
         Just(RecomputeTrigger::SessionDown),
         Just(RecomputeTrigger::Command),
         Just(RecomputeTrigger::Startup),
+        Just(RecomputeTrigger::Resync),
     ]
 }
 
@@ -128,6 +129,23 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
             .prop_map(|(name, started)| TraceEvent::Phase { name, started }),
         (any::<u32>(), any::<bool>()).prop_map(|(link, up)| TraceEvent::LinkAdmin { link, up }),
         any::<u64>().prop_map(|token| TraceEvent::TimerFired { token }),
+        (any::<u32>(), any::<bool>()).prop_map(|(node, up)| TraceEvent::NodeAdmin { node, up }),
+        any::<bool>().prop_map(|entered| TraceEvent::SpeakerHeadless { entered }),
+        (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(epoch, sessions, routes)| {
+            TraceEvent::ControlResync {
+                epoch,
+                sessions,
+                routes,
+            }
+        }),
+        (any::<bool>(), any::<u64>(), any::<u32>()).prop_map(
+            |(from_controller, oldest_seq, outstanding)| TraceEvent::ControlRetransmit {
+                from_controller,
+                oldest_seq,
+                outstanding,
+            },
+        ),
+        any::<u32>().prop_map(|session| TraceEvent::SpeakerEventDropped { session }),
         (arb_category(), arb_text())
             .prop_map(|(category, text)| TraceEvent::Note { category, text }),
     ]

@@ -63,6 +63,135 @@ pub enum SpeakerCmd {
     },
 }
 
+/// Snapshot of one alias session, replayed to the controller during a
+/// full-state resync.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SessionSync {
+    /// Whether the session is currently Established.
+    pub established: bool,
+    /// The external peer's ASN (known once Established).
+    pub peer_asn: Option<Asn>,
+    /// Routes learned from the peer and still valid (Adj-RIB-In).
+    pub adj_in: Vec<(Prefix, SharedPath, Option<u32>)>,
+    /// Routes the speaker has advertised to the peer (Adj-RIB-Out), so the
+    /// controller can diff its desired advertisements against reality
+    /// instead of blindly re-announcing.
+    pub adj_out: Vec<(Prefix, SharedPath, Option<u32>)>,
+}
+
+/// Full speaker state replayed to the controller on resync, indexed by
+/// speaker-local session index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpeakerSyncState {
+    /// One entry per alias session, in session-index order.
+    pub sessions: Vec<SessionSync>,
+}
+
+/// Reliable speaker↔controller control-channel message.
+///
+/// Payload-bearing messages ([`CtrlMsg::Event`], [`CtrlMsg::Sync`],
+/// [`CtrlMsg::Cmd`]) carry `(epoch, seq)` and are retransmitted until
+/// cumulatively acknowledged; acks and heartbeats are fire-and-forget.
+/// Epochs are owned by the speaker: each resync starts a new epoch whose
+/// first message is the [`CtrlMsg::Sync`] snapshot itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlMsg {
+    /// Speaker → controller: a session event, reliably delivered.
+    Event {
+        /// Resync epoch this event belongs to.
+        epoch: u64,
+        /// Per-epoch sequence number, from 1.
+        seq: u64,
+        /// The event.
+        event: SpeakerEvent,
+    },
+    /// Speaker → controller: full-state snapshot opening a new epoch.
+    Sync {
+        /// The new epoch (greater than any prior epoch of this speaker).
+        epoch: u64,
+        /// Per-epoch sequence number (always 1: the Sync opens the epoch).
+        seq: u64,
+        /// The snapshot.
+        state: SpeakerSyncState,
+    },
+    /// Controller → speaker: a command, reliably delivered.
+    Cmd {
+        /// Epoch the controller believes is current; the speaker drops
+        /// commands from stale epochs.
+        epoch: u64,
+        /// Per-epoch sequence number, from 1.
+        seq: u64,
+        /// The command.
+        cmd: SpeakerCmd,
+    },
+    /// Controller → speaker: cumulative ack of events/syncs up to `seq`.
+    EventAck {
+        /// Epoch being acknowledged.
+        epoch: u64,
+        /// Highest in-order sequence received.
+        seq: u64,
+    },
+    /// Speaker → controller: cumulative ack of commands up to `seq`.
+    CmdAck {
+        /// Epoch being acknowledged.
+        epoch: u64,
+        /// Highest in-order sequence received.
+        seq: u64,
+    },
+    /// Periodic liveness probe; carries the sender's current epoch so an
+    /// epoch mismatch is detected even across idle periods.
+    Heartbeat {
+        /// True when the controller sent it, false for the speaker.
+        from_controller: bool,
+        /// The sender's current epoch (0 = controller unsynced).
+        epoch: u64,
+    },
+}
+
+impl CtrlMsg {
+    /// The epoch carried by this message.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            CtrlMsg::Event { epoch, .. }
+            | CtrlMsg::Sync { epoch, .. }
+            | CtrlMsg::Cmd { epoch, .. }
+            | CtrlMsg::EventAck { epoch, .. }
+            | CtrlMsg::CmdAck { epoch, .. }
+            | CtrlMsg::Heartbeat { epoch, .. } => *epoch,
+        }
+    }
+
+    /// The sequence number, when the message is sequenced (payload or ack).
+    pub fn seq(&self) -> Option<u64> {
+        match self {
+            CtrlMsg::Event { seq, .. }
+            | CtrlMsg::Sync { seq, .. }
+            | CtrlMsg::Cmd { seq, .. }
+            | CtrlMsg::EventAck { seq, .. }
+            | CtrlMsg::CmdAck { seq, .. } => Some(*seq),
+            CtrlMsg::Heartbeat { .. } => None,
+        }
+    }
+
+    /// Modeled wire size: the ExaBGP-style JSON line plus the reliability
+    /// header for payloads, a small fixed frame for acks and heartbeats,
+    /// and a per-route cost for snapshots.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            CtrlMsg::Event { .. } | CtrlMsg::Cmd { .. } => 144,
+            CtrlMsg::EventAck { .. } | CtrlMsg::CmdAck { .. } | CtrlMsg::Heartbeat { .. } => 32,
+            CtrlMsg::Sync { state, .. } => {
+                let routes: usize = state
+                    .sessions
+                    .iter()
+                    .map(|s| s.adj_in.len() + s.adj_out.len())
+                    .sum();
+                64 + state.sessions.len() * 16 + routes * 32
+            }
+        }
+    }
+}
+
 /// Implemented by the application's simulator message enum so SDN nodes
 /// (switches, speaker, controller) can speak over it.
 pub trait SdnApp: Message {
@@ -78,6 +207,10 @@ pub trait SdnApp: Message {
     fn from_speaker_cmd(c: SpeakerCmd) -> Self;
     /// Unwrap a speaker command.
     fn as_speaker_cmd(&self) -> Option<&SpeakerCmd>;
+    /// Wrap a reliable control-channel message.
+    fn from_ctrl(m: CtrlMsg) -> Self;
+    /// Unwrap a reliable control-channel message.
+    fn as_ctrl(&self) -> Option<&CtrlMsg>;
     /// Consume the message if it is an OpenFlow envelope; hand it back
     /// otherwise. Lets dispatch take ownership instead of cloning.
     fn into_of(self) -> Result<OfEnvelope, Self>
@@ -89,6 +222,11 @@ pub trait SdnApp: Message {
         Self: Sized;
     /// Consume the message if it is a speaker command; hand it back otherwise.
     fn into_speaker_cmd(self) -> Result<SpeakerCmd, Self>
+    where
+        Self: Sized;
+    /// Consume the message if it is a reliable control-channel message;
+    /// hand it back otherwise.
+    fn into_ctrl(self) -> Result<CtrlMsg, Self>
     where
         Self: Sized;
 }
@@ -117,6 +255,8 @@ pub enum ClusterMsg {
     SpeakerEvent(SpeakerEvent),
     /// Controller → speaker command.
     SpeakerCmd(SpeakerCmd),
+    /// Reliable speaker↔controller control-channel traffic.
+    Ctrl(CtrlMsg),
 }
 
 impl Message for ClusterMsg {
@@ -129,6 +269,7 @@ impl Message for ClusterMsg {
             // The speaker/controller API rides a local channel; model a
             // small JSON-ish message like ExaBGP's API lines.
             ClusterMsg::SpeakerEvent(_) | ClusterMsg::SpeakerCmd(_) => 128,
+            ClusterMsg::Ctrl(m) => m.wire_len(),
         }
     }
 }
@@ -206,6 +347,15 @@ impl SdnApp for ClusterMsg {
             _ => None,
         }
     }
+    fn from_ctrl(m: CtrlMsg) -> Self {
+        ClusterMsg::Ctrl(m)
+    }
+    fn as_ctrl(&self) -> Option<&CtrlMsg> {
+        match self {
+            ClusterMsg::Ctrl(m) => Some(m),
+            _ => None,
+        }
+    }
     fn into_of(self) -> Result<OfEnvelope, Self> {
         match self {
             ClusterMsg::Of(env) => Ok(env),
@@ -224,6 +374,12 @@ impl SdnApp for ClusterMsg {
             other => Err(other),
         }
     }
+    fn into_ctrl(self) -> Result<CtrlMsg, Self> {
+        match self {
+            ClusterMsg::Ctrl(m) => Ok(m),
+            other => Err(other),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +390,64 @@ mod tests {
     fn alias_next_hop_is_identity() {
         let ip = Ipv4Addr::new(10, 3, 0, 1);
         assert_eq!(alias_next_hop(ip), ip);
+    }
+
+    #[test]
+    fn ctrl_msg_accessors() {
+        let hb = CtrlMsg::Heartbeat {
+            from_controller: true,
+            epoch: 3,
+        };
+        assert_eq!(hb.epoch(), 3);
+        assert_eq!(hb.seq(), None);
+        assert_eq!(hb.wire_len(), 32);
+
+        let ev = CtrlMsg::Event {
+            epoch: 2,
+            seq: 9,
+            event: SpeakerEvent::SessionDown { session: 0 },
+        };
+        assert_eq!(ev.epoch(), 2);
+        assert_eq!(ev.seq(), Some(9));
+        assert_eq!(ev.wire_len(), 144);
+    }
+
+    #[test]
+    fn sync_wire_len_scales_with_contents() {
+        use bgpsdn_bgp::pfx;
+        let empty = CtrlMsg::Sync {
+            epoch: 2,
+            seq: 1,
+            state: SpeakerSyncState::default(),
+        };
+        let one_route = CtrlMsg::Sync {
+            epoch: 2,
+            seq: 1,
+            state: SpeakerSyncState {
+                sessions: vec![SessionSync {
+                    established: true,
+                    peer_asn: Some(Asn(65001)),
+                    adj_in: vec![(pfx("10.0.0.0/8"), SharedPath::from(vec![Asn(65001)]), None)],
+                    adj_out: vec![],
+                }],
+            },
+        };
+        assert!(one_route.wire_len() > empty.wire_len());
+    }
+
+    #[test]
+    fn cluster_msg_ctrl_roundtrips() {
+        let m = ClusterMsg::from_ctrl(CtrlMsg::EventAck { epoch: 1, seq: 5 });
+        assert_eq!(m.wire_len(), 32);
+        assert!(m.as_ctrl().is_some());
+        let back = m.into_ctrl().expect("ctrl");
+        assert_eq!(back, CtrlMsg::EventAck { epoch: 1, seq: 5 });
+        assert!(ClusterMsg::Data(bgpsdn_netsim::DataPacket::echo_request(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+        ))
+        .into_ctrl()
+        .is_err());
     }
 }

@@ -1,0 +1,328 @@
+//! Reliable delivery for the speaker↔controller control channel.
+//!
+//! The control link can lose messages ([`Link.loss`] > 0) or go away
+//! entirely (controller crash, partition). Flow-table correctness depends
+//! on the controller seeing *every* session event in order and the speaker
+//! executing *every* command in order, so both directions run a small
+//! go-back-N protocol: payloads carry `(epoch, seq)`, the receiver delivers
+//! strictly in order and returns cumulative acks, and the sender
+//! retransmits everything unacked when its retransmit timer fires, with
+//! exponential backoff.
+//!
+//! The state machines here are pure (no timers, no I/O): the speaker and
+//! controller nodes own the timer wiring, which keeps this logic unit
+//! testable without a simulator.
+//!
+//! [`Link.loss`]: bgpsdn_netsim::Link
+
+use std::collections::VecDeque;
+
+use bgpsdn_netsim::SimDuration;
+
+use crate::app::CtrlMsg;
+
+/// Initial retransmit timeout.
+pub const RTO_INITIAL: SimDuration = SimDuration::from_millis(50);
+/// Retransmit timeout ceiling under backoff.
+pub const RTO_MAX: SimDuration = SimDuration::from_millis(1000);
+
+/// Sending half of the go-back-N channel: assigns sequence numbers, keeps
+/// unacked payloads for retransmission, and tracks the backoff RTO.
+#[derive(Debug, Clone)]
+pub struct ReliableSender {
+    epoch: u64,
+    next_seq: u64,
+    unacked: VecDeque<CtrlMsg>,
+    rto: SimDuration,
+}
+
+impl ReliableSender {
+    /// A sender starting in `epoch` with no outstanding payloads.
+    pub fn new(epoch: u64) -> ReliableSender {
+        ReliableSender {
+            epoch,
+            next_seq: 1,
+            unacked: VecDeque::new(),
+            rto: RTO_INITIAL,
+        }
+    }
+
+    /// The epoch this sender stamps on payloads.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Drop all outstanding payloads and restart sequencing in `epoch`.
+    pub fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.next_seq = 1;
+        self.unacked.clear();
+        self.rto = RTO_INITIAL;
+    }
+
+    /// Sequence a new payload: `build` receives `(epoch, seq)` and returns
+    /// the stamped message, which is retained for retransmission. Returns a
+    /// clone to put on the wire.
+    pub fn push(&mut self, build: impl FnOnce(u64, u64) -> CtrlMsg) -> CtrlMsg {
+        let msg = build(self.epoch, self.next_seq);
+        debug_assert_eq!(msg.epoch(), self.epoch);
+        debug_assert_eq!(msg.seq(), Some(self.next_seq));
+        self.next_seq += 1;
+        self.unacked.push_back(msg.clone());
+        msg
+    }
+
+    /// Process a cumulative ack for `(epoch, seq)`: drops every retained
+    /// payload with sequence ≤ `seq` and resets the backoff. Acks from other
+    /// epochs are ignored. Returns true when the ack retired anything.
+    pub fn on_ack(&mut self, epoch: u64, seq: u64) -> bool {
+        if epoch != self.epoch {
+            return false;
+        }
+        let before = self.unacked.len();
+        while self
+            .unacked
+            .front()
+            .is_some_and(|m| m.seq().expect("payloads are sequenced") <= seq)
+        {
+            self.unacked.pop_front();
+        }
+        let progressed = self.unacked.len() != before;
+        if progressed {
+            self.rto = RTO_INITIAL;
+        }
+        progressed
+    }
+
+    /// True while payloads await acknowledgment (the retransmit timer
+    /// should be armed exactly then).
+    pub fn pending(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// Number of unacked payloads.
+    pub fn outstanding(&self) -> usize {
+        self.unacked.len()
+    }
+
+    /// Sequence number of the oldest unacked payload.
+    pub fn oldest_seq(&self) -> Option<u64> {
+        self.unacked.front().map(|m| m.seq().expect("sequenced"))
+    }
+
+    /// Current retransmit timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// The retransmit timer fired: double the RTO (capped) and return
+    /// clones of every unacked payload, oldest first, for resending.
+    pub fn on_retransmit_timer(&mut self) -> Vec<CtrlMsg> {
+        self.rto = SimDuration::from_nanos((self.rto.as_nanos() * 2).min(RTO_MAX.as_nanos()));
+        self.unacked.iter().cloned().collect()
+    }
+}
+
+/// What [`ReliableReceiver::accept`] decided about an incoming payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accept {
+    /// In-order: deliver to the application, then ack.
+    Deliver,
+    /// Already delivered (retransmit of old data): re-ack, don't deliver.
+    Duplicate,
+    /// Out of order (a gap precedes it): drop; the sender's go-back-N
+    /// retransmission will fill the gap. Re-ack to speed recovery.
+    Gap,
+    /// Different epoch than expected: drop silently; epoch changes are
+    /// negotiated via Sync/heartbeats, not data.
+    WrongEpoch,
+}
+
+/// Receiving half of the go-back-N channel: delivers strictly in order and
+/// produces cumulative acks.
+#[derive(Debug, Clone)]
+pub struct ReliableReceiver {
+    epoch: u64,
+    next_expected: u64,
+}
+
+impl ReliableReceiver {
+    /// A receiver expecting sequence 1 of `epoch`.
+    pub fn new(epoch: u64) -> ReliableReceiver {
+        ReliableReceiver {
+            epoch,
+            next_expected: 1,
+        }
+    }
+
+    /// The epoch this receiver accepts.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Restart in-order delivery from sequence 1 of `epoch`.
+    pub fn reset(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.next_expected = 1;
+    }
+
+    /// Classify an incoming payload with `(epoch, seq)`. On
+    /// [`Accept::Deliver`] the caller must process the payload and should
+    /// send the cumulative ack from [`ReliableReceiver::ack_seq`].
+    pub fn accept(&mut self, epoch: u64, seq: u64) -> Accept {
+        if epoch != self.epoch {
+            return Accept::WrongEpoch;
+        }
+        match seq.cmp(&self.next_expected) {
+            std::cmp::Ordering::Equal => {
+                self.next_expected += 1;
+                Accept::Deliver
+            }
+            std::cmp::Ordering::Less => Accept::Duplicate,
+            std::cmp::Ordering::Greater => Accept::Gap,
+        }
+    }
+
+    /// Highest in-order sequence delivered so far (the cumulative ack
+    /// value); 0 when nothing has been delivered this epoch.
+    pub fn ack_seq(&self) -> u64 {
+        self.next_expected - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::SpeakerEvent;
+
+    fn ev(epoch: u64, seq: u64) -> CtrlMsg {
+        CtrlMsg::Event {
+            epoch,
+            seq,
+            event: SpeakerEvent::SessionDown { session: 0 },
+        }
+    }
+
+    #[test]
+    fn sender_sequences_and_acks_cumulatively() {
+        let mut tx = ReliableSender::new(1);
+        assert!(!tx.pending());
+        for want in 1..=3u64 {
+            let m = tx.push(ev);
+            assert_eq!((m.epoch(), m.seq()), (1, Some(want)));
+        }
+        assert_eq!(tx.outstanding(), 3);
+        assert_eq!(tx.oldest_seq(), Some(1));
+
+        assert!(tx.on_ack(1, 2), "cumulative ack retires 1 and 2");
+        assert_eq!(tx.outstanding(), 1);
+        assert_eq!(tx.oldest_seq(), Some(3));
+
+        assert!(!tx.on_ack(1, 2), "stale ack is a no-op");
+        assert!(!tx.on_ack(7, 3), "wrong-epoch ack is a no-op");
+        assert!(tx.on_ack(1, 3));
+        assert!(!tx.pending());
+    }
+
+    #[test]
+    fn retransmit_backs_off_and_ack_resets_rto() {
+        let mut tx = ReliableSender::new(1);
+        tx.push(ev);
+        tx.push(ev);
+        assert_eq!(tx.rto(), RTO_INITIAL);
+
+        let again = tx.on_retransmit_timer();
+        assert_eq!(again.len(), 2);
+        assert_eq!(again[0].seq(), Some(1));
+        assert_eq!(tx.rto(), SimDuration::from_millis(100));
+
+        for _ in 0..10 {
+            tx.on_retransmit_timer();
+        }
+        assert_eq!(tx.rto(), RTO_MAX, "backoff is capped");
+
+        assert!(tx.on_ack(1, 1));
+        assert_eq!(tx.rto(), RTO_INITIAL, "progress resets backoff");
+        assert_eq!(tx.on_retransmit_timer().len(), 1);
+    }
+
+    #[test]
+    fn sender_reset_starts_new_epoch() {
+        let mut tx = ReliableSender::new(1);
+        tx.push(ev);
+        tx.reset(2);
+        assert!(!tx.pending());
+        let m = tx.push(ev);
+        assert_eq!((m.epoch(), m.seq()), (2, Some(1)));
+        assert!(!tx.on_ack(1, 1), "old-epoch ack ignored after reset");
+    }
+
+    #[test]
+    fn receiver_delivers_in_order_only() {
+        let mut rx = ReliableReceiver::new(1);
+        assert_eq!(rx.ack_seq(), 0);
+        assert_eq!(rx.accept(1, 1), Accept::Deliver);
+        assert_eq!(rx.accept(1, 3), Accept::Gap, "seq 2 missing");
+        assert_eq!(rx.ack_seq(), 1, "gap does not advance the ack");
+        assert_eq!(rx.accept(1, 1), Accept::Duplicate);
+        assert_eq!(rx.accept(1, 2), Accept::Deliver);
+        assert_eq!(rx.accept(1, 3), Accept::Deliver);
+        assert_eq!(rx.ack_seq(), 3);
+        assert_eq!(rx.accept(9, 4), Accept::WrongEpoch);
+        assert_eq!(rx.ack_seq(), 3);
+    }
+
+    #[test]
+    fn receiver_reset_restarts_sequencing() {
+        let mut rx = ReliableReceiver::new(1);
+        assert_eq!(rx.accept(1, 1), Accept::Deliver);
+        rx.reset(2);
+        assert_eq!(rx.epoch(), 2);
+        assert_eq!(rx.ack_seq(), 0);
+        assert_eq!(rx.accept(1, 2), Accept::WrongEpoch);
+        assert_eq!(rx.accept(2, 1), Accept::Deliver);
+    }
+
+    #[test]
+    fn lossy_channel_converges_via_retransmission() {
+        // Simulate a deterministic lossy pipe: every other transmission is
+        // dropped. The receiver must still deliver 1..=N exactly once, in
+        // order, purely through go-back-N retransmits.
+        let mut tx = ReliableSender::new(1);
+        let mut rx = ReliableReceiver::new(1);
+        let mut delivered = Vec::new();
+        let mut wire: Vec<CtrlMsg> = Vec::new();
+        // Seeded LCG deciding drops (~50% loss), so the pattern never
+        // aligns with the retransmit round structure and starves one seq.
+        let mut state = 0x853c49e6748fea9bu64;
+        let lossy = |s: &mut u64| {
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (*s >> 63) == 1
+        };
+
+        for _ in 0..5 {
+            wire.push(tx.push(ev));
+        }
+        let mut rounds = 0;
+        while tx.pending() {
+            rounds += 1;
+            assert!(rounds < 200, "must converge");
+            for m in wire.drain(..) {
+                if lossy(&mut state) {
+                    continue; // lost on the wire
+                }
+                if rx.accept(m.epoch(), m.seq().unwrap()) == Accept::Deliver {
+                    delivered.push(m.seq().unwrap());
+                }
+            }
+            // Ack path is lossy too.
+            if !lossy(&mut state) {
+                tx.on_ack(rx.epoch(), rx.ack_seq());
+            }
+            wire = tx.on_retransmit_timer();
+        }
+        assert_eq!(delivered, vec![1, 2, 3, 4, 5]);
+    }
+}

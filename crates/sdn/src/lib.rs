@@ -12,19 +12,26 @@
 //! * [`speaker`]: the cluster BGP speaker terminating eBGP *as* each
 //!   cluster member (alias sessions), exposing an ExaBGP-style structured
 //!   API to the controller;
+//! * [`channel`]: go-back-N reliability (sequencing, cumulative acks,
+//!   retransmit backoff) for the speaker↔controller control channel;
 //! * [`app`]: the [`ClusterMsg`] hybrid message type and the
 //!   speaker↔controller API types.
 
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod channel;
 pub mod flowtable;
 pub mod openflow;
 pub mod speaker;
 pub mod switch;
 
-pub use app::{alias_next_hop, ClusterMsg, SdnApp, SpeakerCmd, SpeakerEvent};
+pub use app::{
+    alias_next_hop, ClusterMsg, CtrlMsg, SdnApp, SessionSync, SpeakerCmd, SpeakerEvent,
+    SpeakerSyncState,
+};
+pub use channel::{Accept, ReliableReceiver, ReliableSender};
 pub use flowtable::{FlowAction, FlowRule, FlowTable};
 pub use openflow::{FlowModOp, OfEnvelope, OfMessage};
-pub use speaker::{AliasSessionConfig, ClusterSpeaker, SpeakerStats};
+pub use speaker::{AliasSessionConfig, ClusterSpeaker, SpeakerStats, HEARTBEAT_EVERY, HOLD_TIME};
 pub use switch::{SdnSwitch, SwitchStats};

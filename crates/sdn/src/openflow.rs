@@ -24,6 +24,10 @@ const T_PACKET_IN: u8 = 10;
 const T_PORT_STATUS: u8 = 12;
 const T_PACKET_OUT: u8 = 13;
 const T_FLOW_MOD: u8 = 14;
+// Stats request/reply type bytes, carrying the flow-table dump used by
+// the controller's post-outage resync.
+const T_TABLE_REQUEST: u8 = 16;
+const T_TABLE_REPLY: u8 = 17;
 const T_BARRIER_REQUEST: u8 = 18;
 const T_BARRIER_REPLY: u8 = 19;
 
@@ -90,6 +94,21 @@ pub enum OfMessage {
         port: u32,
         /// New state.
         up: bool,
+    },
+    /// Controller asks for a full flow-table + port-state dump (the
+    /// OF stats-request role, used when resyncing after an outage).
+    TableRequest {
+        /// Transaction id echoed in the reply.
+        xid: u32,
+    },
+    /// Switch dumps its installed rules and current port states.
+    TableReply {
+        /// Transaction id from the request.
+        xid: u32,
+        /// Every installed flow rule.
+        rules: Vec<FlowRule>,
+        /// `(raw link id, operationally up)` for every port.
+        ports: Vec<(u32, bool)>,
     },
     /// Flush barrier.
     BarrierRequest {
@@ -205,6 +224,8 @@ impl OfMessage {
             OfMessage::PacketOut { .. } => (T_PACKET_OUT, 0),
             OfMessage::FlowMod { .. } => (T_FLOW_MOD, 0),
             OfMessage::PortStatus { .. } => (T_PORT_STATUS, 0),
+            OfMessage::TableRequest { xid } => (T_TABLE_REQUEST, *xid),
+            OfMessage::TableReply { xid, .. } => (T_TABLE_REPLY, *xid),
             OfMessage::BarrierRequest { xid } => (T_BARRIER_REQUEST, *xid),
             OfMessage::BarrierReply { xid } => (T_BARRIER_REPLY, *xid),
         };
@@ -216,6 +237,7 @@ impl OfMessage {
             OfMessage::EchoRequest { .. }
             | OfMessage::EchoReply { .. }
             | OfMessage::FeaturesRequest
+            | OfMessage::TableRequest { .. }
             | OfMessage::BarrierRequest { .. }
             | OfMessage::BarrierReply { .. } => {}
             OfMessage::FeaturesReply { datapath_id, ports } => {
@@ -246,6 +268,20 @@ impl OfMessage {
             OfMessage::PortStatus { port, up } => {
                 w.u32(*port);
                 w.u8(u8::from(*up));
+            }
+            OfMessage::TableReply { rules, ports, .. } => {
+                w.u16(rules.len() as u16);
+                for rule in rules {
+                    w.u16(rule.priority);
+                    w.nlri_prefix(rule.prefix);
+                    encode_action(&mut w, rule.action);
+                    w.bytes(&rule.cookie.to_be_bytes());
+                }
+                w.u16(ports.len() as u16);
+                for (port, up) in ports {
+                    w.u32(*port);
+                    w.u8(u8::from(*up));
+                }
             }
         }
         let len = w.len();
@@ -323,6 +359,31 @@ impl OfMessage {
                 port: r.u32("port")?,
                 up: r.u8("port state")? != 0,
             },
+            T_TABLE_REQUEST => OfMessage::TableRequest { xid },
+            T_TABLE_REPLY => {
+                let n = r.u16("rule count")? as usize;
+                let mut rules = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let priority = r.u16("priority")?;
+                    let prefix: Prefix = r.nlri_prefix()?;
+                    let action = decode_action(&mut r)?;
+                    let cookie_bytes = r.take(8, "cookie")?;
+                    rules.push(FlowRule {
+                        priority,
+                        prefix,
+                        action,
+                        cookie: u64::from_be_bytes(cookie_bytes.try_into().expect("8 bytes")),
+                    });
+                }
+                let np = r.u16("port count")? as usize;
+                let mut ports = Vec::with_capacity(np);
+                for _ in 0..np {
+                    let port = r.u32("port")?;
+                    let up = r.u8("port state")? != 0;
+                    ports.push((port, up));
+                }
+                OfMessage::TableReply { xid, rules, ports }
+            }
             T_BARRIER_REQUEST => OfMessage::BarrierRequest { xid },
             T_BARRIER_REPLY => OfMessage::BarrierReply { xid },
             other => return Err(CodecError::BadMessageType(other)),
@@ -415,6 +476,30 @@ mod tests {
             },
         });
         roundtrip(OfMessage::PortStatus { port: 9, up: false });
+        roundtrip(OfMessage::TableRequest { xid: 11 });
+        roundtrip(OfMessage::TableReply {
+            xid: 11,
+            rules: vec![
+                FlowRule {
+                    priority: 100,
+                    prefix: pfx("10.2.0.0/16"),
+                    action: FlowAction::Output(5),
+                    cookie: 42,
+                },
+                FlowRule {
+                    priority: 1,
+                    prefix: pfx("0.0.0.0/0"),
+                    action: FlowAction::ToController,
+                    cookie: 0,
+                },
+            ],
+            ports: vec![(0, true), (3, false), (17, true)],
+        });
+        roundtrip(OfMessage::TableReply {
+            xid: 0,
+            rules: vec![],
+            ports: vec![],
+        });
         roundtrip(OfMessage::BarrierRequest { xid: 1 });
         roundtrip(OfMessage::BarrierReply { xid: 1 });
     }

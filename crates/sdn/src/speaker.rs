@@ -13,6 +13,20 @@
 //! withdraw instructions down. The speaker itself makes no routing
 //! decisions and applies no MRAI — rate limiting is the controller's job
 //! (its delayed recomputation).
+//!
+//! ## Surviving the controller
+//!
+//! The speaker↔controller channel runs the go-back-N protocol from
+//! [`crate::channel`]: events up and commands down carry `(epoch, seq)`
+//! and are retransmitted until acked, so a lossy control link no longer
+//! desynchronizes flow tables. Liveness comes from periodic heartbeats;
+//! when the speaker hears nothing for [`HOLD_TIME`] it enters **headless**
+//! mode: forwarding stays as last programmed (fail-static), legacy BGP
+//! sessions stay up, and events are dropped (counted) instead of queued.
+//! The first controller message after an outage triggers a full-state
+//! **resync**: the speaker opens a new epoch whose first payload is a
+//! [`SpeakerSyncState`] snapshot (session states, Adj-RIB-In, Adj-RIB-Out),
+//! from which the controller rebuilds everything it missed.
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -26,9 +40,20 @@ use bgpsdn_netsim::{
     TraceCategory, TraceEvent,
 };
 
-use crate::app::{SdnApp, SpeakerCmd, SpeakerEvent};
+use crate::app::{CtrlMsg, SdnApp, SessionSync, SpeakerCmd, SpeakerEvent, SpeakerSyncState};
+use crate::channel::{Accept, ReliableReceiver, ReliableSender};
 
+// Timer-token namespaces, dispatched on the high byte. K_CONNECT carries a
+// session index in its low bits; the others name singleton timers.
 const K_CONNECT: u64 = 1 << 56;
+const K_RETX: u64 = 2 << 56;
+const K_HEARTBEAT: u64 = 3 << 56;
+const K_HOLD: u64 = 4 << 56;
+
+/// Heartbeat interval on the speaker↔controller channel (both directions).
+pub const HEARTBEAT_EVERY: SimDuration = SimDuration::from_secs(1);
+/// Silence tolerated on the channel before the peer is declared dead.
+pub const HOLD_TIME: SimDuration = SimDuration::from_secs(3);
 
 fn obs_list(ps: &[Prefix]) -> Vec<ObsPrefix> {
     ps.iter()
@@ -69,6 +94,14 @@ pub struct SpeakerStats {
     pub decode_errors: u64,
     /// Duplicate announcements suppressed.
     pub dup_suppressed: u64,
+    /// Controller-bound events dropped (no controller link, or headless).
+    pub events_dropped: u64,
+    /// Full-state resyncs initiated toward the controller.
+    pub resyncs: u64,
+    /// Retransmit-timer firings (each resends every unacked payload).
+    pub retransmits: u64,
+    /// Times the speaker entered headless mode (controller declared dead).
+    pub headless_entries: u64,
 }
 
 struct SessionRuntime {
@@ -77,6 +110,13 @@ struct SessionRuntime {
     /// What the controller last announced here, for dedup. The path is
     /// interned, shared with the controller's adjacency cache.
     advertised: BTreeMap<Prefix, (SharedPath, Option<u32>)>,
+    /// Routes learned from the peer and still valid (Adj-RIB-In), retained
+    /// so a resync can replay the controller's entire input. Paths are
+    /// interned exactly as the controller interns them, so a replayed
+    /// snapshot reproduces the controller's state byte-for-byte.
+    adj_in: BTreeMap<Prefix, (SharedPath, Option<u32>)>,
+    /// The peer's ASN from its OPEN (known while Established).
+    peer_asn: Option<Asn>,
     retries: u32,
 }
 
@@ -87,11 +127,23 @@ pub struct ClusterSpeaker<M> {
     sessions: Vec<SessionRuntime>,
     by_endpoint: HashMap<(NodeId, NodeId), usize>,
     stats: SpeakerStats,
+    /// Reliable event/sync transmission toward the controller.
+    tx: ReliableSender,
+    /// In-order command reception from the controller.
+    rx: ReliableReceiver,
+    /// Next epoch to open on resync (epochs are speaker-owned, monotonic).
+    next_epoch: u64,
+    /// Controller declared dead; forwarding is frozen fail-static.
+    headless: bool,
+    /// A Sync is in flight and unacked: ignore heartbeat epoch mismatches
+    /// (the controller hasn't adopted the new epoch yet).
+    resync_in_flight: bool,
     _m: std::marker::PhantomData<fn() -> M>,
 }
 
 impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
-    /// New speaker with no sessions.
+    /// New speaker with no sessions. Speaker and controller both start in
+    /// epoch 1 with empty state, so bring-up needs no initial resync.
     pub fn new(id: NodeId) -> Self {
         ClusterSpeaker {
             id,
@@ -99,6 +151,11 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             sessions: Vec::new(),
             by_endpoint: HashMap::new(),
             stats: SpeakerStats::default(),
+            tx: ReliableSender::new(1),
+            rx: ReliableReceiver::new(1),
+            next_epoch: 2,
+            headless: false,
+            resync_in_flight: false,
             _m: std::marker::PhantomData,
         }
     }
@@ -124,6 +181,8 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             cfg,
             handshake,
             advertised: BTreeMap::new(),
+            adj_in: BTreeMap::new(),
+            peer_asn: None,
             retries: 0,
         });
         idx
@@ -154,6 +213,173 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
         &self.sessions[idx].cfg
     }
 
+    /// Current resync epoch.
+    pub fn epoch(&self) -> u64 {
+        self.tx.epoch()
+    }
+
+    /// Is the speaker running without a live controller?
+    pub fn is_headless(&self) -> bool {
+        self.headless
+    }
+
+    /// What session `idx` has actually advertised to its peer (Adj-RIB-Out),
+    /// sorted by prefix — the ground truth oracle tests compare.
+    pub fn adj_out_table(&self, idx: usize) -> Vec<(Prefix, SharedPath, Option<u32>)> {
+        self.sessions[idx]
+            .advertised
+            .iter()
+            .map(|(p, (path, med))| (*p, path.clone(), *med))
+            .collect()
+    }
+
+    /// Routes currently held from session `idx`'s peer (Adj-RIB-In).
+    pub fn adj_in_table(&self, idx: usize) -> Vec<(Prefix, SharedPath, Option<u32>)> {
+        self.sessions[idx]
+            .adj_in
+            .iter()
+            .map(|(p, (path, med))| (*p, path.clone(), *med))
+            .collect()
+    }
+
+    fn send_ctrl(&self, ctx: &mut Ctx<'_, M>, m: CtrlMsg) {
+        if let Some(link) = self.controller_link {
+            ctx.send(link, M::from_ctrl(m));
+        }
+    }
+
+    fn arm_retx(&self, ctx: &mut Ctx<'_, M>) {
+        ctx.set_timer(self.tx.rto(), TimerToken(K_RETX), TimerClass::Progress);
+    }
+
+    fn arm_hold(&self, ctx: &mut Ctx<'_, M>) {
+        if self.controller_link.is_some() {
+            ctx.set_timer(HOLD_TIME, TimerToken(K_HOLD), TimerClass::Maintenance);
+        }
+    }
+
+    /// Open a new epoch and send the controller a full-state snapshot. The
+    /// Sync is sequence 1 of the epoch, so go-back-N covers its loss too.
+    fn start_resync(&mut self, ctx: &mut Ctx<'_, M>) {
+        if self.controller_link.is_none() {
+            return;
+        }
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.tx.reset(epoch);
+        self.rx.reset(epoch);
+        self.resync_in_flight = true;
+        self.stats.resyncs += 1;
+        let state = SpeakerSyncState {
+            sessions: self
+                .sessions
+                .iter()
+                .map(|s| SessionSync {
+                    established: s.handshake.is_established(),
+                    peer_asn: s.peer_asn,
+                    adj_in: s
+                        .adj_in
+                        .iter()
+                        .map(|(p, (path, med))| (*p, path.clone(), *med))
+                        .collect(),
+                    adj_out: s
+                        .advertised
+                        .iter()
+                        .map(|(p, (path, med))| (*p, path.clone(), *med))
+                        .collect(),
+                })
+                .collect(),
+        };
+        let msg = self.tx.push(|e, s| CtrlMsg::Sync {
+            epoch: e,
+            seq: s,
+            state,
+        });
+        self.send_ctrl(ctx, msg);
+        self.arm_retx(ctx);
+    }
+
+    fn enter_headless(&mut self, ctx: &mut Ctx<'_, M>) {
+        if self.headless {
+            return;
+        }
+        self.headless = true;
+        self.resync_in_flight = false;
+        self.stats.headless_entries += 1;
+        ctx.count("core.speaker.headless_entered", 1);
+        ctx.trace(TraceCategory::Ctrl, || TraceEvent::SpeakerHeadless {
+            entered: true,
+        });
+        // Freeze the channel: no retransmissions while the controller is
+        // gone, so an outage quiesces instead of spinning the retx timer.
+        ctx.cancel_timer(TimerToken(K_RETX));
+    }
+
+    fn handle_ctrl(&mut self, ctx: &mut Ctx<'_, M>, m: CtrlMsg) {
+        // Any controller traffic refreshes liveness.
+        self.arm_hold(ctx);
+        if self.headless {
+            // The controller is back. Whatever it sent reflects a stale
+            // view; rejoin via a fresh epoch and snapshot instead.
+            self.headless = false;
+            ctx.trace(TraceCategory::Ctrl, || TraceEvent::SpeakerHeadless {
+                entered: false,
+            });
+            self.start_resync(ctx);
+            return;
+        }
+        match m {
+            CtrlMsg::Heartbeat {
+                from_controller: true,
+                epoch,
+            } => {
+                // Epoch mismatch across an idle channel means the
+                // controller lost state (restart or hold expiry) without
+                // the speaker noticing: resync. Suppressed while a Sync is
+                // unacked — the controller adopts the new epoch only when
+                // the Sync arrives.
+                if !self.resync_in_flight && epoch != self.tx.epoch() {
+                    self.start_resync(ctx);
+                }
+            }
+            CtrlMsg::Heartbeat { .. } => {}
+            CtrlMsg::Cmd { epoch, seq, cmd } => match self.rx.accept(epoch, seq) {
+                Accept::Deliver => {
+                    self.handle_cmd(ctx, cmd);
+                    let ack = CtrlMsg::CmdAck {
+                        epoch,
+                        seq: self.rx.ack_seq(),
+                    };
+                    self.send_ctrl(ctx, ack);
+                }
+                Accept::Duplicate | Accept::Gap => {
+                    let ack = CtrlMsg::CmdAck {
+                        epoch: self.rx.epoch(),
+                        seq: self.rx.ack_seq(),
+                    };
+                    self.send_ctrl(ctx, ack);
+                }
+                Accept::WrongEpoch => {}
+            },
+            CtrlMsg::EventAck { epoch, seq } => {
+                let progressed = self.tx.on_ack(epoch, seq);
+                if epoch == self.tx.epoch() && seq >= 1 {
+                    // The Sync (seq 1 of its epoch) has been received.
+                    self.resync_in_flight = false;
+                }
+                if progressed {
+                    if self.tx.pending() {
+                        self.arm_retx(ctx);
+                    } else {
+                        ctx.cancel_timer(TimerToken(K_RETX));
+                    }
+                }
+            }
+            // Speaker-originated kinds echoed back: ignore.
+            CtrlMsg::Event { .. } | CtrlMsg::Sync { .. } | CtrlMsg::CmdAck { .. } => {}
+        }
+    }
+
     fn send_bgp(&mut self, ctx: &mut Ctx<'_, M>, idx: usize, msg: &BgpMessage) {
         let s = &self.sessions[idx];
         if let BgpMessage::Update(u) = msg {
@@ -176,8 +402,30 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
     }
 
     fn notify_controller(&mut self, ctx: &mut Ctx<'_, M>, ev: SpeakerEvent) {
-        if let Some(link) = self.controller_link {
-            ctx.send(link, M::from_speaker_event(ev));
+        if self.controller_link.is_none() || self.headless {
+            // No live controller. Drop visibly — the retained session state
+            // and Adj-RIB-In mean the next resync replays what was missed.
+            let session = match &ev {
+                SpeakerEvent::SessionUp { session, .. }
+                | SpeakerEvent::SessionDown { session }
+                | SpeakerEvent::Update { session, .. } => *session as u32,
+            };
+            self.stats.events_dropped += 1;
+            ctx.count("sdn.speaker.events_dropped", 1);
+            ctx.trace(TraceCategory::Ctrl, || TraceEvent::SpeakerEventDropped {
+                session,
+            });
+            return;
+        }
+        let was_pending = self.tx.pending();
+        let msg = self.tx.push(|epoch, seq| CtrlMsg::Event {
+            epoch,
+            seq,
+            event: ev,
+        });
+        self.send_ctrl(ctx, msg);
+        if !was_pending {
+            self.arm_retx(ctx);
         }
     }
 
@@ -207,6 +455,18 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                     announced: obs_list(&upd.nlri),
                     withdrawn: obs_list(&upd.withdrawn),
                 });
+                // Maintain the Adj-RIB-In replayed on resync, interning
+                // paths exactly as the controller does on this UPDATE.
+                let s = &mut self.sessions[idx];
+                for p in &upd.withdrawn {
+                    s.adj_in.remove(p);
+                }
+                if let Some(attrs) = &upd.attrs {
+                    let path: SharedPath = attrs.as_path.flatten().into();
+                    for p in &upd.nlri {
+                        s.adj_in.insert(*p, (path.clone(), attrs.med));
+                    }
+                }
                 self.notify_controller(
                     ctx,
                     SpeakerEvent::Update {
@@ -225,6 +485,7 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             Some(SessionEvent::Established(open)) => {
                 self.stats.sessions_up += 1;
                 self.sessions[idx].retries = 0;
+                self.sessions[idx].peer_asn = Some(open.asn);
                 ctx.report(Activity::SessionUp);
                 let ext_peer = self.sessions[idx].cfg.ext_peer;
                 ctx.trace(TraceCategory::Session, || TraceEvent::SessionUp {
@@ -249,6 +510,8 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
         self.stats.sessions_up = self.stats.sessions_up.saturating_sub(1);
         self.sessions[idx].handshake.reset();
         self.sessions[idx].advertised.clear();
+        self.sessions[idx].adj_in.clear();
+        self.sessions[idx].peer_asn = None;
         ctx.report(Activity::SessionDown);
         let ext_peer = self.sessions[idx].cfg.ext_peer;
         ctx.trace(TraceCategory::Session, || TraceEvent::SessionDown {
@@ -321,6 +584,14 @@ impl<M: SdnApp + BgpApp> Node<M> for ClusterSpeaker<M> {
                 TimerClass::Progress,
             );
         }
+        if self.controller_link.is_some() {
+            ctx.set_timer(
+                HEARTBEAT_EVERY,
+                TimerToken(K_HEARTBEAT),
+                TimerClass::Maintenance,
+            );
+            self.arm_hold(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, M>, _from: NodeId, _link: LinkId, msg: M) {
@@ -331,22 +602,82 @@ impl<M: SdnApp + BgpApp> Node<M> for ClusterSpeaker<M> {
             }
             Err(msg) => msg,
         };
+        let msg = match msg.into_ctrl() {
+            Ok(m) => {
+                self.handle_ctrl(ctx, m);
+                return;
+            }
+            Err(msg) => msg,
+        };
+        // Bare (unsequenced) commands still work — driver injection and
+        // legacy single-link setups bypass the reliable channel.
         if let Ok(cmd) = msg.into_speaker_cmd() {
             self.handle_cmd(ctx, cmd);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, token: TimerToken) {
-        let idx = (token.0 & !(0xFFu64 << 56)) as usize;
-        if self.sessions[idx].handshake.state() == bgpsdn_bgp::SessionState::Idle {
-            let msgs = self.sessions[idx].handshake.start();
-            for m in msgs {
-                self.send_bgp(ctx, idx, &m);
+        match token.0 >> 56 {
+            1 => {
+                let idx = (token.0 & !(0xFFu64 << 56)) as usize;
+                if self.sessions[idx].handshake.state() == bgpsdn_bgp::SessionState::Idle {
+                    let msgs = self.sessions[idx].handshake.start();
+                    for m in msgs {
+                        self.send_bgp(ctx, idx, &m);
+                    }
+                }
             }
+            2 => {
+                // Retransmit everything unacked, with exponential backoff.
+                if self.headless || !self.tx.pending() {
+                    return;
+                }
+                self.stats.retransmits += 1;
+                ctx.count("core.ctrl.retransmits", 1);
+                let oldest_seq = self.tx.oldest_seq().unwrap_or(0);
+                let outstanding = self.tx.outstanding() as u32;
+                ctx.trace(TraceCategory::Ctrl, || TraceEvent::ControlRetransmit {
+                    from_controller: false,
+                    oldest_seq,
+                    outstanding,
+                });
+                for m in self.tx.on_retransmit_timer() {
+                    self.send_ctrl(ctx, m);
+                }
+                self.arm_retx(ctx);
+            }
+            3 => {
+                let hb = CtrlMsg::Heartbeat {
+                    from_controller: false,
+                    epoch: self.tx.epoch(),
+                };
+                self.send_ctrl(ctx, hb);
+                ctx.set_timer(
+                    HEARTBEAT_EVERY,
+                    TimerToken(K_HEARTBEAT),
+                    TimerClass::Maintenance,
+                );
+            }
+            4 => {
+                // Hold expired: nothing heard from the controller.
+                self.enter_headless(ctx);
+            }
+            _ => {}
         }
     }
 
     fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
+        // The control channel healing is a recovery opportunity the
+        // periodic (Maintenance-class) heartbeat would only seize up to an
+        // interval later: probe immediately so the controller refreshes its
+        // hold timer — and answers — in the same event cascade.
+        if up && Some(link) == self.controller_link {
+            let hb = CtrlMsg::Heartbeat {
+                from_controller: false,
+                epoch: self.tx.epoch(),
+            };
+            self.send_ctrl(ctx, hb);
+        }
         // A relay link failing kills every session riding it.
         let affected: Vec<usize> = self
             .sessions

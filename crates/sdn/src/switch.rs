@@ -181,12 +181,25 @@ impl<M: SdnApp + BgpApp> SdnSwitch<M> {
             OfMessage::BarrierRequest { xid } => {
                 self.send_to_controller(ctx, &OfMessage::BarrierReply { xid });
             }
+            OfMessage::TableRequest { xid } => {
+                let reply = OfMessage::TableReply {
+                    xid,
+                    rules: self.table.iter().cloned().collect(),
+                    ports: ctx
+                        .neighbors()
+                        .iter()
+                        .map(|&(l, _)| (l.0, ctx.link_up(l)))
+                        .collect(),
+                };
+                self.send_to_controller(ctx, &reply);
+            }
             // Controller-bound messages arriving here are ignored.
             OfMessage::Hello { .. }
             | OfMessage::EchoReply { .. }
             | OfMessage::FeaturesReply { .. }
             | OfMessage::PacketIn { .. }
             | OfMessage::PortStatus { .. }
+            | OfMessage::TableReply { .. }
             | OfMessage::BarrierReply { .. } => {}
         }
     }

@@ -22,6 +22,7 @@ fn main() {
             mrai: SimDuration::from_secs(10),
             recompute_delay: SimDuration::from_millis(100),
             seed: 42,
+            control_loss: 0.0,
         };
         let out = run_clique(&scenario, EventKind::Withdrawal);
         assert!(out.converged, "did not converge");

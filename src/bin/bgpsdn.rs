@@ -75,6 +75,7 @@ fn scenario(args: &Args, sdn: usize) -> Result<CliqueScenario, String> {
         mrai: SimDuration::from_secs(args.get("mrai", 30u64)?),
         recompute_delay: SimDuration::from_millis(args.get("recompute-ms", 100u64)?),
         seed: args.get("seed", 1u64)?,
+        control_loss: 0.0,
     })
 }
 
@@ -92,6 +93,7 @@ fn cmd_fig2(args: &Args) -> Result<(), String> {
             mrai: SimDuration::from_secs(mrai),
             recompute_delay: SimDuration::from_millis(100),
             seed: 1000 + k as u64,
+            control_loss: 0.0,
         };
         let times = clique_sweep_point(&base, EventKind::Withdrawal, runs);
         let s = Summary::of_durations(&times).expect("non-empty");

@@ -32,6 +32,7 @@
 //!     mrai: SimDuration::from_secs(5),
 //!     recompute_delay: SimDuration::from_millis(100),
 //!     seed: 1,
+//!     control_loss: 0.0,
 //! };
 //! let out = run_clique(&scenario, EventKind::Withdrawal);
 //! assert!(out.converged);
@@ -55,8 +56,8 @@ pub mod prelude {
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
         clique_sweep_point, event_phase_name, run_clique, run_clique_traced, AsKind,
-        CliqueScenario, Controller, EventKind, Experiment, HybridNetwork, NetworkBuilder, Router,
-        ScenarioOutcome, Speaker, Switch,
+        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultPlan, HybridNetwork,
+        NetworkBuilder, Router, ScenarioOutcome, Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,

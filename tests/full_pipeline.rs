@@ -129,6 +129,7 @@ fn facade_prelude_runs_a_scenario() {
             mrai: SimDuration::from_secs(2),
             recompute_delay: SimDuration::from_millis(50),
             seed: 3,
+            control_loss: 0.0,
         },
         EventKind::Withdrawal,
     );
@@ -145,6 +146,7 @@ fn whole_pipeline_is_deterministic() {
                 mrai: SimDuration::from_secs(5),
                 recompute_delay: SimDuration::from_millis(100),
                 seed: 9,
+                control_loss: 0.0,
             },
             EventKind::Failover,
         );
