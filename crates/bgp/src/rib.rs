@@ -397,6 +397,52 @@ mod tests {
     }
 
     #[test]
+    fn loc_rib_lpm_edge_cases() {
+        let mut rib = LocRib::default();
+        let mk = |nh: u8| LocRibEntry {
+            source: RouteSource::Peer(nh as usize),
+            attrs: PathAttributes::originate(Ipv4Addr::new(10, 0, 0, nh)),
+            since: SimTime::ZERO,
+        };
+        let hit = |rib: &LocRib, ip: [u8; 4]| rib.lpm(Ipv4Addr::from(ip)).map(|(p, _)| p);
+
+        // A /0-only table is a default route: every address matches it,
+        // including the extremes of the space.
+        rib.set(pfx("0.0.0.0/0"), mk(1));
+        assert_eq!(hit(&rib, [0, 0, 0, 0]), Some(pfx("0.0.0.0/0")));
+        assert_eq!(hit(&rib, [255, 255, 255, 255]), Some(pfx("0.0.0.0/0")));
+
+        // Exact /32 host route vs a covering /24: the host route wins for
+        // its one address, the /24 for every neighbor.
+        rib.set(pfx("10.1.2.0/24"), mk(2));
+        rib.set(pfx("10.1.2.7/32"), mk(3));
+        assert_eq!(hit(&rib, [10, 1, 2, 7]), Some(pfx("10.1.2.7/32")));
+        assert_eq!(hit(&rib, [10, 1, 2, 8]), Some(pfx("10.1.2.0/24")));
+
+        // Bucket boundaries: the first and last address of each of the
+        // /8, /16, /24 blocks stay inside that block, and one step past
+        // the block's top falls through to the next-shorter covering
+        // prefix, never to a sibling.
+        rib.set(pfx("10.0.0.0/8"), mk(4));
+        rib.set(pfx("10.1.0.0/16"), mk(5));
+        assert_eq!(hit(&rib, [10, 1, 2, 0]), Some(pfx("10.1.2.0/24")));
+        assert_eq!(hit(&rib, [10, 1, 2, 255]), Some(pfx("10.1.2.0/24")));
+        assert_eq!(hit(&rib, [10, 1, 3, 0]), Some(pfx("10.1.0.0/16")));
+        assert_eq!(hit(&rib, [10, 1, 0, 0]), Some(pfx("10.1.0.0/16")));
+        assert_eq!(hit(&rib, [10, 1, 255, 255]), Some(pfx("10.1.0.0/16")));
+        assert_eq!(hit(&rib, [10, 2, 0, 0]), Some(pfx("10.0.0.0/8")));
+        assert_eq!(hit(&rib, [10, 0, 0, 0]), Some(pfx("10.0.0.0/8")));
+        assert_eq!(hit(&rib, [10, 255, 255, 255]), Some(pfx("10.0.0.0/8")));
+        assert_eq!(hit(&rib, [11, 0, 0, 0]), Some(pfx("0.0.0.0/0")));
+
+        // Dropping the default leaves off-tree addresses unroutable while
+        // the specific buckets keep answering.
+        rib.clear(pfx("0.0.0.0/0"));
+        assert_eq!(hit(&rib, [11, 0, 0, 0]), None);
+        assert_eq!(hit(&rib, [10, 1, 2, 7]), Some(pfx("10.1.2.7/32")));
+    }
+
+    #[test]
     fn iteration_is_prefix_ordered() {
         let mut rib = AdjRibIn::default();
         rib.insert(pfx("30.0.0.0/8"), 0, entry(1));

@@ -185,6 +185,10 @@ pub struct IdrController<M> {
     /// Switches whose [`OfMessage::TableReply`] is still outstanding during
     /// a resync. Recomputation is deferred until this reaches zero.
     table_syncs_pending: usize,
+    /// Every prefix the controller has ever been told about, for the
+    /// debug-build invariant that the dirty set never invents prefixes.
+    #[cfg(debug_assertions)]
+    ever_known: BTreeSet<Prefix>,
     _m: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -221,6 +225,8 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             tx: ReliableSender::new(1),
             rx: ReliableReceiver::new(1),
             table_syncs_pending: 0,
+            #[cfg(debug_assertions)]
+            ever_known: cfg.members.iter().map(|m| m.prefix).collect(),
             id,
             cfg,
             _m: std::marker::PhantomData,
@@ -310,6 +316,19 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         self.table_syncs_pending > 0
     }
 
+    /// The priority all controller-compiled flow rules are installed at.
+    pub fn flow_priority(&self) -> u16 {
+        self.cfg.flow_priority
+    }
+
+    /// Record that a prefix is now known (debug-build bookkeeping for the
+    /// dirty-set invariant checked at recompute time).
+    #[inline]
+    fn note_known(&mut self, _p: Prefix) {
+        #[cfg(debug_assertions)]
+        self.ever_known.insert(_p);
+    }
+
     /// Usable external routes for a prefix under the current sub-cluster
     /// structure. Every stored route is kept; usability is decided here,
     /// at computation time, because it depends on the *live* components:
@@ -385,6 +404,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         self.ext_routes.remove(p);
                     }
                 }
+                self.note_known(*p);
                 self.dirty.insert(*p);
             }
             if let Some(attrs) = &upd.attrs {
@@ -399,6 +419,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 }
                 for p in &upd.nlri {
                     self.stats.routes_learned += 1;
+                    self.note_known(*p);
                     self.ext_routes.entry(*p).or_default().insert(
                         session,
                         ExternalRoute {
@@ -519,6 +540,14 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 }
             }
             CtrlMsg::CmdAck { epoch, seq } => {
+                // Invariant: epochs originate at the speaker and only move
+                // forward; an ack can lag the current epoch (stale channel
+                // incarnation) but never lead it.
+                debug_assert!(
+                    epoch <= self.tx.epoch(),
+                    "CmdAck from future epoch {epoch} (current {})",
+                    self.tx.epoch()
+                );
                 if self.tx.on_ack(epoch, seq) {
                     if self.tx.pending() {
                         self.arm_retx(ctx);
@@ -565,6 +594,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             let member = self.cfg.sessions[s].member;
             for (prefix, path, med) in &ss.adj_in {
                 routes += 1;
+                self.note_known(*prefix);
                 self.ext_routes.entry(*prefix).or_default().insert(
                     s,
                     ExternalRoute {
@@ -646,6 +676,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         let full = self.all_dirty || !self.cfg.incremental;
         self.all_dirty = false;
         let mut dirty = std::mem::take(&mut self.dirty);
+        // Invariant: the dirty set never invents prefixes — everything in
+        // it was learned through an update, a sync, or an origination.
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            dirty.iter().all(|p| self.ever_known.contains(p)),
+            "dirty set contains a never-known prefix"
+        );
         if full {
             // Everything with live inputs, plus anything still compiled
             // from earlier state (so stale entries get torn down).
@@ -909,6 +946,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     .iter()
                     .position(|m| m.prefix.covers(*p) || m.prefix == *p);
                 if let Some(m) = owner {
+                    self.note_known(*p);
                     self.owned.insert(*p, m);
                     self.dirty.insert(*p);
                     ctx.report(Activity::PrefixOriginated);

@@ -14,9 +14,12 @@ use bgpsdn_collector::{audit, measure, ConnectivityReport, ConvergenceReport, Ho
 use bgpsdn_netsim::{
     Activity, MetricsSnapshot, NodeId, SimDuration, SimTime, TraceCategory, TraceEvent,
 };
+use bgpsdn_netsim::ObsPrefix;
 use bgpsdn_sdn::{ClusterMsg, FlowAction};
+use bgpsdn_verify::{Report, Snapshot, Verifier};
 
 use super::network::{AsKind, Collector, Controller, HybridNetwork, Router, Switch};
+use super::verify::capture_snapshot;
 
 /// A running hybrid experiment.
 pub struct Experiment {
@@ -33,6 +36,8 @@ pub struct Experiment {
     snapshots: Vec<(String, MetricsSnapshot)>,
     /// Whether the current phase's start marker has been emitted.
     phase_open: bool,
+    /// The static verifier, kept across checks so its scratch is reused.
+    verifier: Verifier,
 }
 
 impl Experiment {
@@ -45,6 +50,7 @@ impl Experiment {
             phase_seq: 0,
             snapshots: Vec::new(),
             phase_open: false,
+            verifier: Verifier::new(),
         }
     }
 
@@ -140,7 +146,9 @@ impl Experiment {
     pub fn wait_converged(&mut self, max: SimDuration) -> ConvergenceReport {
         let deadline = self.net.sim.now() + max;
         let q = self.net.sim.run_until_quiescent(deadline);
-        measure(self.net.sim.board(), self.phase_start, q.quiescent)
+        let report = measure(self.net.sim.board(), self.phase_start, q.quiescent);
+        self.auto_verify_checkpoint();
+        report
     }
 
     /// Testbed-style convergence waiting: step the clock and declare
@@ -165,10 +173,14 @@ impl Experiment {
                 .unwrap_or(self.phase_start)
                 .max(self.phase_start);
             if now.saturating_since(last) >= window {
-                return measure(self.net.sim.board(), self.phase_start, true);
+                let report = measure(self.net.sim.board(), self.phase_start, true);
+                self.auto_verify_checkpoint();
+                return report;
             }
             if now >= deadline {
-                return measure(self.net.sim.board(), self.phase_start, false);
+                let report = measure(self.net.sim.board(), self.phase_start, false);
+                self.auto_verify_checkpoint();
+                return report;
             }
             self.net.sim.run_for(step);
         }
@@ -291,6 +303,63 @@ impl Experiment {
     pub fn set_control_loss(&mut self, loss: f64) {
         let l = self.control_channel();
         self.net.sim.set_link_loss(l, loss);
+    }
+
+    // ------------------------------------------------------------------
+    // Static verification
+    // ------------------------------------------------------------------
+
+    /// Freeze the current network state into a verifier snapshot.
+    pub fn capture_snapshot(&self) -> Snapshot {
+        capture_snapshot(&self.net)
+    }
+
+    /// Run the static data-plane verifier against the live network:
+    /// loop-freedom, blackhole detection, intent consistency and
+    /// valley-free conformance over a frozen snapshot.
+    ///
+    /// Violations are recorded as `VerifyViolation` trace events and
+    /// `verify.*` counters; the returned [`Report`] carries the witnesses.
+    pub fn verify_now(&mut self) -> Report {
+        let snap = capture_snapshot(&self.net);
+        let report = self.verifier.verify(&snap);
+        let now = self.net.sim.now();
+        for v in &report.violations {
+            let (check, prefix, offender, witness) = (
+                v.kind.name().to_string(),
+                v.prefix.map(|p| ObsPrefix::new(p.network_u32(), p.len())),
+                v.node.clone(),
+                v.witness.clone(),
+            );
+            self.net.sim.trace_mut().record(
+                now,
+                None,
+                TraceCategory::Experiment,
+                || TraceEvent::VerifyViolation {
+                    check,
+                    prefix,
+                    offender,
+                    witness,
+                },
+            );
+        }
+        let m = self.net.sim.metrics_mut();
+        m.count(None, "verify.checks", report.checks as u64);
+        m.count(None, "verify.violations", report.violations.len() as u64);
+        m.count(
+            None,
+            "verify.prefixes_checked",
+            report.prefixes_checked as u64,
+        );
+        report
+    }
+
+    /// Run the verifier if the network was built `with_verification()`.
+    /// Called automatically after convergence waits and fault actions.
+    pub(crate) fn auto_verify_checkpoint(&mut self) {
+        if self.net.auto_verify {
+            let _ = self.verify_now();
+        }
     }
 
     // ------------------------------------------------------------------

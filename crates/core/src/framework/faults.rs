@@ -116,6 +116,7 @@ impl FaultPlan {
                 FaultAction::PartitionControlChannel => exp.partition_control_channel(),
                 FaultAction::HealControlChannel => exp.heal_control_channel(),
             }
+            exp.auto_verify_checkpoint();
         }
         base + self.horizon()
     }

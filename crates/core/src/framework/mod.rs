@@ -8,6 +8,7 @@ pub mod network;
 pub mod scenarios;
 pub mod script;
 pub mod traffic;
+pub mod verify;
 
 pub use experiment::Experiment;
 pub use faults::{FaultAction, FaultPlan};
@@ -22,3 +23,4 @@ pub use scenarios::{
 };
 pub use script::{Script, ScriptAction, ScriptReport, StepOutcome};
 pub use traffic::ProbeReport;
+pub use verify::capture_snapshot;

@@ -84,6 +84,9 @@ pub struct HybridNetwork {
     pub plan: TopologyPlan,
     /// AS index → member index for cluster members.
     pub member_index: BTreeMap<usize, usize>,
+    /// Auto-run the static verifier at experiment checkpoints (after
+    /// convergence waits and after each fault-plan action).
+    pub auto_verify: bool,
 }
 
 impl HybridNetwork {
@@ -121,6 +124,7 @@ pub struct NetworkBuilder {
     incremental: bool,
     control_loss: f64,
     data_loss: f64,
+    auto_verify: bool,
 }
 
 impl NetworkBuilder {
@@ -138,7 +142,17 @@ impl NetworkBuilder {
             incremental: true,
             control_loss: 0.0,
             data_loss: 0.0,
+            auto_verify: false,
         }
+    }
+
+    /// Run the static data-plane verifier automatically at experiment
+    /// checkpoints (after `wait_converged` and after each fault action).
+    /// Violations are emitted as `VerifyViolation` trace events and
+    /// `verify.*` counters; they never panic.
+    pub fn with_verification(mut self) -> Self {
+        self.auto_verify = true;
+        self
     }
 
     /// Put these AS indices under centralized control.
@@ -434,6 +448,7 @@ impl NetworkBuilder {
             speaker_link: have_cluster.then_some(speaker_link),
             plan,
             member_index,
+            auto_verify: self.auto_verify,
         }
     }
 }

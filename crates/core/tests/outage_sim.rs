@@ -282,6 +282,10 @@ fn chaos_fault_plan_converges_to_oracle_state() {
     quiesce(&mut oracle);
 
     assert_state_identical(&faulty, &oracle, "chaos plan");
+
+    // And the restored data plane must pass the full static verifier.
+    let v = faulty.verify_now();
+    assert!(v.ok(), "post-chaos invariant violations:\n{v}");
 }
 
 #[test]
@@ -296,4 +300,6 @@ fn explicit_fault_plan_replays_in_offset_order() {
     quiesce(&mut exp);
     assert!(exp.controller_is_up());
     assert!(exp.connectivity_audit().fully_connected());
+    let v = exp.verify_now();
+    assert!(v.ok(), "post-replay invariant violations:\n{v}");
 }

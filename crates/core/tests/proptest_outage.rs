@@ -166,6 +166,11 @@ proptest! {
             .node_ref::<Speaker>(faulty.net.speaker.unwrap());
         prop_assert!(!spk.is_headless(), "speaker must have rejoined");
         prop_assert!(spk.stats().resyncs >= 1, "the outage must force a resync");
+
+        // Final sweep: the settled faulty run must pass the full static
+        // verifier — loop-free, blackhole-free, intent-consistent.
+        let v = faulty.verify_now();
+        prop_assert!(v.ok(), "post-outage invariant violations:\n{}", v.render());
     }
 }
 

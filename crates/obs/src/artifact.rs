@@ -200,6 +200,9 @@ pub struct RunAnalysis {
     pub resyncs: u64,
     /// Times a speaker entered headless (fail-static) mode.
     pub headless_entries: u64,
+    /// Static-verification violations, in event order: `(t, check, prefix,
+    /// offender, witness)`.
+    pub verify_violations: Vec<(u64, String, Option<String>, String, String)>,
     /// The convergence timeline, one entry per phase.
     pub phases: Vec<PhaseSummary>,
 }
@@ -247,6 +250,20 @@ impl RunAnalysis {
                     if *entered {
                         a.headless_entries += 1;
                     }
+                }
+                TraceEvent::VerifyViolation {
+                    check,
+                    prefix,
+                    offender,
+                    witness,
+                } => {
+                    a.verify_violations.push((
+                        rec.t,
+                        check.clone(),
+                        prefix.map(|p| p.to_string()),
+                        offender.clone(),
+                        witness.clone(),
+                    ));
                 }
                 TraceEvent::Phase { name, started } => {
                     saw_phase_marker = true;
@@ -340,6 +357,31 @@ impl RunAnalysis {
                 "  {} events dropped, {} retransmit bursts, {} resyncs, {} headless entries",
                 self.events_dropped, self.retransmits, self.resyncs, self.headless_entries,
             );
+        }
+        if !self.verify_violations.is_empty() {
+            let _ = writeln!(
+                out,
+                "== verification: {} violations",
+                self.verify_violations.len()
+            );
+            for (t, check, prefix, offender, witness) in &self.verify_violations {
+                match prefix {
+                    Some(p) => {
+                        let _ = writeln!(
+                            out,
+                            "  t={:.3}s [{check}] {p} at {offender}: {witness}",
+                            *t as f64 / 1e9
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  t={:.3}s [{check}] at {offender}: {witness}",
+                            *t as f64 / 1e9
+                        );
+                    }
+                }
+            }
         }
         let _ = writeln!(out, "== convergence timeline");
         for p in &self.phases {
@@ -539,6 +581,30 @@ mod tests {
         let report = a.render();
         assert!(report.contains("control channel"), "{report}");
         assert!(report.contains("1 resyncs"), "{report}");
+    }
+
+    #[test]
+    fn analysis_collects_verify_violations() {
+        let artifact = RunArtifact {
+            run: None,
+            events: vec![ev(
+                9_000_000_000,
+                None,
+                TraceEvent::VerifyViolation {
+                    check: "loop".into(),
+                    prefix: Some(pfx()),
+                    offender: "sw20".into(),
+                    witness: "sw20 --[10.0.0.0/8 p100 output:2]--> sw30".into(),
+                },
+            )],
+            snapshots: vec![],
+        };
+        let a = RunAnalysis::from_artifact(&artifact);
+        assert_eq!(a.verify_violations.len(), 1);
+        assert_eq!(a.verify_violations[0].1, "loop");
+        let report = a.render();
+        assert!(report.contains("verification: 1 violations"), "{report}");
+        assert!(report.contains("sw20"), "{report}");
     }
 
     #[test]

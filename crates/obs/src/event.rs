@@ -391,6 +391,19 @@ pub enum TraceEvent {
         /// The alias session index the event belonged to.
         session: u32,
     },
+    /// The static verifier found an invariant violation in a frozen
+    /// network snapshot (loop, blackhole, intent drift, or valley).
+    VerifyViolation {
+        /// The invariant broken ("loop", "blackhole", "intent_drift",
+        /// "valley").
+        check: String,
+        /// The destination prefix, when the check is prefix-scoped.
+        prefix: Option<ObsPrefix>,
+        /// The primary offending node (device name).
+        offender: String,
+        /// Human-readable witness path demonstrating the violation.
+        witness: String,
+    },
     /// Free-form diagnostic text (decode errors, relay misses). Never
     /// parsed by analysis code — everything analyzable has a typed variant.
     Note {
@@ -417,7 +430,11 @@ impl TraceEvent {
             TraceEvent::SessionUp { .. } | TraceEvent::SessionDown { .. } => {
                 TraceCategory::Session
             }
-            TraceEvent::Phase { .. } => TraceCategory::Experiment,
+            // VerifyViolation shares Experiment: the 8-bit category mask
+            // is full, and verification runs are experiment-level events.
+            TraceEvent::Phase { .. } | TraceEvent::VerifyViolation { .. } => {
+                TraceCategory::Experiment
+            }
             TraceEvent::LinkAdmin { .. } | TraceEvent::NodeAdmin { .. } => TraceCategory::Link,
             TraceEvent::TimerFired { .. } => TraceCategory::Timer,
             TraceEvent::SpeakerHeadless { .. }
@@ -447,6 +464,7 @@ impl TraceEvent {
             TraceEvent::ControlResync { .. } => "control_resync",
             TraceEvent::ControlRetransmit { .. } => "control_retransmit",
             TraceEvent::SpeakerEventDropped { .. } => "speaker_event_dropped",
+            TraceEvent::VerifyViolation { .. } => "verify_violation",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -575,6 +593,21 @@ impl TraceEvent {
             }
             TraceEvent::SpeakerEventDropped { session } => {
                 m.push(("session".into(), Json::U64(*session as u64)));
+            }
+            TraceEvent::VerifyViolation {
+                check,
+                prefix,
+                offender,
+                witness,
+            } => {
+                m.push(("check".into(), Json::Str(check.clone())));
+                if let Some(p) = prefix {
+                    m.push(("prefix".into(), Json::Str(p.to_string())));
+                }
+                // "offender", not "node": artifact lines already use a
+                // top-level "node" key for event attribution.
+                m.push(("offender".into(), Json::Str(offender.clone())));
+                m.push(("witness".into(), Json::Str(witness.clone())));
             }
             TraceEvent::Note { category, text } => {
                 m.push(("cat".into(), Json::Str(category.name().into())));
@@ -711,6 +744,20 @@ impl TraceEvent {
             },
             "speaker_event_dropped" => TraceEvent::SpeakerEventDropped {
                 session: get_u32(v, "session")?,
+            },
+            "verify_violation" => TraceEvent::VerifyViolation {
+                check: get_str(v, "check")?,
+                prefix: match v.get("prefix") {
+                    Some(p) => Some(
+                        p.as_str()
+                            .ok_or("bad \"prefix\"")?
+                            .parse()
+                            .map_err(|e: String| e)?,
+                    ),
+                    None => None,
+                },
+                offender: get_str(v, "offender")?,
+                witness: get_str(v, "witness")?,
             },
             "note" => TraceEvent::Note {
                 category: v
@@ -895,6 +942,15 @@ impl fmt::Display for TraceEvent {
             TraceEvent::SpeakerEventDropped { session } => {
                 write!(f, "event dropped (no controller) session {session}")
             }
+            TraceEvent::VerifyViolation {
+                check,
+                prefix,
+                offender,
+                witness,
+            } => match prefix {
+                Some(p) => write!(f, "VIOLATION [{check}] {p} at {offender}: {witness}"),
+                None => write!(f, "VIOLATION [{check}] at {offender}: {witness}"),
+            },
             TraceEvent::Note { text, .. } => f.write_str(text),
         }
     }
@@ -981,6 +1037,18 @@ mod tests {
             outstanding: 6,
         });
         roundtrip(TraceEvent::SpeakerEventDropped { session: 2 });
+        roundtrip(TraceEvent::VerifyViolation {
+            check: "loop".into(),
+            prefix: Some(ObsPrefix::new(0x0a00_0000, 24)),
+            offender: "sw20".into(),
+            witness: "sw20 --[10.0.0.0/24 p100 output:2]--> sw30".into(),
+        });
+        roundtrip(TraceEvent::VerifyViolation {
+            check: "intent_drift".into(),
+            prefix: None,
+            offender: "session#0 sw30->as40".into(),
+            witness: "speaker says established=true, controller says up=false".into(),
+        });
         roundtrip(TraceEvent::Note {
             category: TraceCategory::Session,
             text: "decode error: bad \"marker\"\n".into(),

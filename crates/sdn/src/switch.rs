@@ -96,6 +96,13 @@ impl<M: SdnApp + BgpApp> SdnSwitch<M> {
         &self.table
     }
 
+    /// Mutable flow table access, for fault injection: corrupting an entry
+    /// out from under the controller's intent is how verifier tests prove
+    /// the static checks catch real data-plane drift.
+    pub fn table_mut(&mut self) -> &mut FlowTable {
+        &mut self.table
+    }
+
     /// Counters.
     pub fn stats(&self) -> &SwitchStats {
         &self.stats

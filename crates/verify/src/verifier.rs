@@ -1,0 +1,886 @@
+//! The static checks: per-prefix forwarding-graph construction plus the
+//! four invariants (loop-freedom, blackhole-freedom, intent consistency,
+//! valley-free conformance).
+//!
+//! The verifier is Veriflow-shaped: it never simulates packets. For each
+//! tracked destination prefix it resolves every node's own longest-prefix
+//! lookup into a successor function (at most one out-edge per node), then
+//! classifies the resulting functional graph with one O(nodes + edges)
+//! walk using preallocated scratch buffers, so a full run over hundreds of
+//! prefixes stays in the low milliseconds.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use bgpsdn_bgp::{Asn, Prefix};
+
+use crate::snapshot::{
+    ControlHealth, Device, NextHop, PolicyKind, RelKind, RuleAction, SessionSnap, Snapshot,
+};
+
+/// Which invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// The forwarding graph for a prefix contains a cycle.
+    Loop,
+    /// A node holds a route but traffic dies before the origin (down link,
+    /// routeless next hop, controller punt, or off-origin delivery).
+    Blackhole,
+    /// Installed device state does not byte-match controller intent while
+    /// the control plane is synced.
+    IntentDrift,
+    /// An advertised or selected AS path violates the valley-free export
+    /// rules.
+    Valley,
+}
+
+impl ViolationKind {
+    /// Stable lowercase name (used in trace events and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::Loop => "loop",
+            ViolationKind::Blackhole => "blackhole",
+            ViolationKind::IntentDrift => "intent_drift",
+            ViolationKind::Valley => "valley",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation, with a human-readable witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant broken.
+    pub kind: ViolationKind,
+    /// The destination prefix the check ran for, when prefix-scoped.
+    pub prefix: Option<Prefix>,
+    /// The primary offending node (device name).
+    pub node: String,
+    /// The offending rule or mismatch, in one line.
+    pub detail: String,
+    /// The witness path demonstrating the violation.
+    pub witness: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.prefix {
+            Some(p) => write!(f, "[{}] {p} at {}: {}", self.kind, self.node, self.witness),
+            None => write!(f, "[{}] at {}: {}", self.kind, self.node, self.witness),
+        }
+    }
+}
+
+/// A note about state that is stale because the control plane is degraded
+/// (headless or resyncing) — reported, but not a violation.
+pub type StaleNote = String;
+
+/// The outcome of one verification pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Destination prefixes whose forwarding graphs were analyzed.
+    pub prefixes_checked: usize,
+    /// Individual invariant evaluations executed.
+    pub checks: usize,
+    /// All violations found, in discovery order.
+    pub violations: Vec<Violation>,
+    /// Stale-but-consistent observations (headless/resync intent drift).
+    pub stale: Vec<StaleNote>,
+    /// Control-plane health at snapshot time.
+    pub control: ControlHealth,
+}
+
+impl Report {
+    /// True when no invariant was violated.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Count of violations of one kind.
+    #[must_use]
+    pub fn count_of(&self, kind: ViolationKind) -> usize {
+        self.violations.iter().filter(|v| v.kind == kind).count()
+    }
+
+    /// Human-readable multi-line report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verify: {} prefixes, {} checks, {} violations, {} stale notes (control: {})",
+            self.prefixes_checked,
+            self.checks,
+            self.violations.len(),
+            self.stale.len(),
+            self.control.name(),
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  VIOLATION {v}");
+        }
+        for s in &self.stale {
+            let _ = writeln!(out, "  stale: {s}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Resolved forwarding decision of one node for the current prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Hop {
+    /// No matching route/rule — fine for the node itself.
+    NoRoute,
+    /// Local delivery.
+    Deliver,
+    /// Explicit drop rule.
+    Drop,
+    /// Punt to controller (never legitimate in a converged snapshot).
+    Punt,
+    /// Forward to vertex; `up` is the link state, `entry` indexes the
+    /// node's table for witness rendering.
+    Via { peer: usize, up: bool, entry: u32 },
+    /// The rule outputs to a port with no data-plane peer.
+    DeadPort { port: u32, entry: u32 },
+}
+
+/// Terminal classification of a node's forwarding chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Unknown,
+    /// Chain ends in legitimate delivery or an explicit drop.
+    Ok,
+    /// Chain ends in a dead end (violation already reported downstream).
+    Bad,
+    /// Chain enters a cycle (violation already reported).
+    Cycle,
+}
+
+/// Walk colors for the functional-graph traversal.
+const UNVISITED: u8 = 0;
+const ON_STACK: u8 = 1;
+const DONE: u8 = 2;
+
+/// One (priority, length) lookup group of a node table.
+#[derive(Debug, Clone, Copy)]
+struct LookupGroup {
+    priority: u16,
+    len: u8,
+}
+
+/// Preprocessed per-node lookup structure: exact-match maps per populated
+/// (priority, prefix-length) pair, probed in match order.
+#[derive(Debug, Default)]
+struct NodeTable {
+    /// Distinct (priority desc, length desc) groups.
+    groups: Vec<LookupGroup>,
+    /// `(priority, len, masked network) → entry index`.
+    exact: BTreeMap<(u16, u8, u32), u32>,
+}
+
+impl NodeTable {
+    fn clear(&mut self) {
+        self.groups.clear();
+        self.exact.clear();
+    }
+
+    fn insert(&mut self, priority: u16, prefix: Prefix, entry: u32) {
+        let key = (priority, prefix.len(), prefix.network_u32());
+        self.exact.entry(key).or_insert(entry);
+        if !self
+            .groups
+            .iter()
+            .any(|g| g.priority == priority && g.len == prefix.len())
+        {
+            self.groups.push(LookupGroup {
+                priority,
+                len: prefix.len(),
+            });
+        }
+    }
+
+    fn seal(&mut self) {
+        // Match order: priority desc, then prefix length desc.
+        self.groups
+            .sort_by(|x, y| y.priority.cmp(&x.priority).then(y.len.cmp(&x.len)));
+    }
+
+    /// Longest-prefix/priority lookup of an address, as the device does it.
+    fn lookup(&self, addr: u32) -> Option<u32> {
+        for g in &self.groups {
+            let mask = if g.len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - g.len)
+            };
+            if let Some(&entry) = self.exact.get(&(g.priority, g.len, addr & mask)) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+}
+
+/// The verifier, holding reusable scratch so repeated passes (one per
+/// convergence point, one per fault action) allocate nothing per prefix.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    tables: Vec<NodeTable>,
+    /// Relationship of `b` as seen from `a`: `(a, b) → rel`.
+    rel: BTreeMap<(usize, usize), RelStep>,
+    asn_index: BTreeMap<u32, usize>,
+    is_member: Vec<bool>,
+    prefixes: Vec<Prefix>,
+    hops: Vec<Hop>,
+    state: Vec<u8>,
+    outcome: Vec<Outcome>,
+    path: Vec<usize>,
+    verts: Vec<usize>,
+}
+
+/// A set of announcements: `(prefix, AS path)` pairs.
+type AnnounceSet = Vec<(Prefix, Vec<Asn>)>;
+
+/// One valley-free step direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RelStep {
+    /// Next hop is my provider (going up).
+    Up,
+    /// Next hop is my peer (sideways).
+    Side,
+    /// Next hop is my customer (going down).
+    Down,
+}
+
+impl Verifier {
+    /// Fresh verifier with empty scratch.
+    #[must_use]
+    pub fn new() -> Verifier {
+        Verifier::default()
+    }
+
+    /// Run all checks over a snapshot and produce a report.
+    pub fn verify(&mut self, snap: &Snapshot) -> Report {
+        let mut report = Report {
+            control: snap.control,
+            ..Report::default()
+        };
+        self.prepare(snap);
+        self.check_forwarding(snap, &mut report);
+        self.check_intent(snap, &mut report);
+        self.check_valley(snap, &mut report);
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Preparation
+    // ------------------------------------------------------------------
+
+    fn prepare(&mut self, snap: &Snapshot) {
+        let n = snap.nodes.len();
+        self.tables.resize_with(n, NodeTable::default);
+        self.is_member.clear();
+        self.asn_index.clear();
+        self.prefixes.clear();
+        let mut universe: BTreeSet<Prefix> = BTreeSet::new();
+        for (v, node) in snap.nodes.iter().enumerate() {
+            self.is_member
+                .push(matches!(node.device, Device::Member { .. }));
+            self.asn_index.insert(node.asn.0, v);
+            universe.extend(node.originated.iter().copied());
+            let table = &mut self.tables[v];
+            table.clear();
+            match &node.device {
+                Device::Legacy { routes } => {
+                    for (i, r) in routes.iter().enumerate() {
+                        universe.insert(r.prefix);
+                        table.insert(0, r.prefix, to_entry(i));
+                    }
+                }
+                Device::Member { rules, .. } => {
+                    for (i, r) in rules.iter().enumerate() {
+                        universe.insert(r.prefix);
+                        table.insert(r.priority, r.prefix, to_entry(i));
+                    }
+                }
+            }
+            table.seal();
+        }
+        for flows in &snap.intent_flows {
+            universe.extend(flows.iter().map(|(p, _)| *p));
+        }
+        self.prefixes.extend(universe);
+        self.rel.clear();
+        for e in &snap.edges {
+            match e.kind {
+                RelKind::PeerPeer => {
+                    self.rel.insert((e.a, e.b), RelStep::Side);
+                    self.rel.insert((e.b, e.a), RelStep::Side);
+                }
+                RelKind::ProviderCustomer => {
+                    // From the provider `a`, the next hop `b` is a customer.
+                    self.rel.insert((e.a, e.b), RelStep::Down);
+                    self.rel.insert((e.b, e.a), RelStep::Up);
+                }
+            }
+        }
+        self.hops.resize(n, Hop::NoRoute);
+        self.state.resize(n, UNVISITED);
+        self.outcome.resize(n, Outcome::Unknown);
+    }
+
+    // ------------------------------------------------------------------
+    // Per-prefix forwarding-graph checks (loop-freedom + blackholes)
+    // ------------------------------------------------------------------
+
+    fn check_forwarding(&mut self, snap: &Snapshot, report: &mut Report) {
+        // The prefix list lives in scratch; take it out so `self` stays
+        // borrowable, and put it back for the next pass.
+        let prefixes = std::mem::take(&mut self.prefixes);
+        for &prefix in &prefixes {
+            self.resolve_hops(snap, prefix);
+            self.walk_prefix(snap, prefix, report);
+            report.prefixes_checked += 1;
+            report.checks += 2; // loop-freedom + blackhole for this prefix
+        }
+        self.prefixes = prefixes;
+    }
+
+    /// Resolve every node's own lookup of the prefix's probe address into
+    /// the successor function for this prefix.
+    fn resolve_hops(&mut self, snap: &Snapshot, prefix: Prefix) {
+        let addr = prefix.network_u32();
+        for (v, node) in snap.nodes.iter().enumerate() {
+            self.state[v] = UNVISITED;
+            self.outcome[v] = Outcome::Unknown;
+            // Originated prefixes deliver locally before any table lookup
+            // (mirrors the legacy router's `forward_lookup`).
+            if node.originated.iter().any(|p| p.contains(prefix.network())) {
+                self.hops[v] = Hop::Deliver;
+                continue;
+            }
+            self.hops[v] = match (&node.device, self.tables[v].lookup(addr)) {
+                (_, None) => Hop::NoRoute,
+                (Device::Legacy { routes }, Some(entry)) => {
+                    match routes[from_entry(entry)].next {
+                        NextHop::Deliver => Hop::Deliver,
+                        NextHop::Via { peer, up } => Hop::Via { peer, up, entry },
+                    }
+                }
+                (Device::Member { rules, ports, .. }, Some(entry)) => {
+                    match rules[from_entry(entry)].action {
+                        RuleAction::Local => Hop::Deliver,
+                        RuleAction::Drop => Hop::Drop,
+                        RuleAction::ToController => Hop::Punt,
+                        RuleAction::Output(port) => {
+                            match ports.iter().find(|p| p.port == port) {
+                                Some(p) => Hop::Via {
+                                    peer: p.peer,
+                                    up: p.up,
+                                    entry,
+                                },
+                                None => Hop::DeadPort { port, entry },
+                            }
+                        }
+                    }
+                }
+            };
+        }
+    }
+
+    /// Classify the functional graph: one violation per distinct cycle or
+    /// dead end, with the discovering walk as the witness path.
+    fn walk_prefix(&mut self, snap: &Snapshot, prefix: Prefix, report: &mut Report) {
+        for start in 0..snap.nodes.len() {
+            if self.state[start] != UNVISITED {
+                continue;
+            }
+            self.path.clear();
+            let mut cur = start;
+            let outcome = loop {
+                match self.state[cur] {
+                    DONE => {
+                        // A routeless node is fine standalone but a dead
+                        // end for any chain that forwards into it; report
+                        // that once, on first arrival.
+                        if matches!(self.hops[cur], Hop::NoRoute)
+                            && self.outcome[cur] == Outcome::Ok
+                        {
+                            self.path.push(cur);
+                            self.report_dead_end(snap, prefix, "next hop has no route", report);
+                            break Outcome::Bad;
+                        }
+                        break self.outcome[cur];
+                    }
+                    ON_STACK => {
+                        self.report_loop(snap, prefix, cur, report);
+                        break Outcome::Cycle;
+                    }
+                    _ => {}
+                }
+                self.state[cur] = ON_STACK;
+                self.path.push(cur);
+                match self.hops[cur] {
+                    Hop::NoRoute => {
+                        // The chain *arrived* here over a route; a routeless
+                        // node mid-chain is a dead end for its predecessors
+                        // (but fine when it is the start of the walk).
+                        if self.path.len() > 1 {
+                            self.report_dead_end(
+                                snap,
+                                prefix,
+                                "next hop has no route",
+                                report,
+                            );
+                            break Outcome::Bad;
+                        }
+                        break Outcome::Ok;
+                    }
+                    Hop::Deliver => {
+                        if origin_covers(snap, cur, prefix) {
+                            break Outcome::Ok;
+                        }
+                        self.report_dead_end(snap, prefix, "delivered off-origin", report);
+                        break Outcome::Bad;
+                    }
+                    Hop::Drop => break Outcome::Ok, // explicit drop is a legal terminal
+                    Hop::Punt => {
+                        self.report_dead_end(snap, prefix, "punts to controller", report);
+                        break Outcome::Bad;
+                    }
+                    Hop::DeadPort { port, .. } => {
+                        let detail = format!("rule outputs to unknown port {port}");
+                        self.report_dead_end(snap, prefix, &detail, report);
+                        break Outcome::Bad;
+                    }
+                    Hop::Via { peer, up, .. } => {
+                        if !up {
+                            self.report_dead_end(snap, prefix, "next-hop link is down", report);
+                            break Outcome::Bad;
+                        }
+                        cur = peer;
+                    }
+                }
+            };
+            let settled = match outcome {
+                Outcome::Cycle => Outcome::Cycle,
+                Outcome::Bad => Outcome::Bad,
+                _ => Outcome::Ok,
+            };
+            for &v in &self.path {
+                self.state[v] = DONE;
+                self.outcome[v] = settled;
+            }
+        }
+    }
+
+    /// Emit a loop violation; `reentry` is the node closing the cycle.
+    fn report_loop(&mut self, snap: &Snapshot, prefix: Prefix, reentry: usize, report: &mut Report) {
+        let cycle_start = self
+            .path
+            .iter()
+            .position(|&v| v == reentry)
+            .unwrap_or(0);
+        let cycle = &self.path[cycle_start..];
+        let mut witness = String::new();
+        for &v in cycle {
+            let _ = write!(
+                witness,
+                "{} --[{}]--> ",
+                snap.nodes[v].name,
+                self.hop_detail(snap, v)
+            );
+        }
+        let _ = write!(witness, "{}", snap.nodes[reentry].name);
+        report.violations.push(Violation {
+            kind: ViolationKind::Loop,
+            prefix: Some(prefix),
+            node: snap.nodes[reentry].name.clone(),
+            detail: self.hop_detail(snap, reentry),
+            witness,
+        });
+    }
+
+    /// Emit a blackhole violation for the tail of the current walk path.
+    fn report_dead_end(
+        &mut self,
+        snap: &Snapshot,
+        prefix: Prefix,
+        reason: &str,
+        report: &mut Report,
+    ) {
+        // The offender is the last node on the path that still has a route.
+        let offender_pos = if matches!(
+            self.hops[*self.path.last().expect("walk path is non-empty")],
+            Hop::NoRoute
+        ) && self.path.len() > 1
+        {
+            self.path.len() - 2
+        } else {
+            self.path.len() - 1
+        };
+        let offender = self.path[offender_pos];
+        let mut witness = String::new();
+        for (i, &v) in self.path.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(witness, " -> ");
+            }
+            let _ = write!(witness, "{}", snap.nodes[v].name);
+            if !matches!(self.hops[v], Hop::NoRoute) {
+                let _ = write!(witness, "[{}]", self.hop_detail(snap, v));
+            }
+        }
+        let _ = write!(witness, " ({reason})");
+        report.violations.push(Violation {
+            kind: ViolationKind::Blackhole,
+            prefix: Some(prefix),
+            node: snap.nodes[offender].name.clone(),
+            detail: format!("{} ({reason})", self.hop_detail(snap, offender)),
+            witness,
+        });
+    }
+
+    /// Render the rule/route a node's current hop came from.
+    fn hop_detail(&self, snap: &Snapshot, v: usize) -> String {
+        let entry = match self.hops[v] {
+            Hop::Via { entry, .. } | Hop::DeadPort { entry, .. } => Some(entry),
+            _ => None,
+        };
+        match (&snap.nodes[v].device, entry) {
+            (Device::Legacy { routes }, Some(e)) => {
+                let r = &routes[from_entry(e)];
+                match r.next {
+                    NextHop::Via { peer, .. } => {
+                        format!("{} via {}", r.prefix, snap.nodes[peer].name)
+                    }
+                    NextHop::Deliver => format!("{} local", r.prefix),
+                }
+            }
+            (Device::Member { rules, .. }, Some(e)) => {
+                let r = &rules[from_entry(e)];
+                format!("{} p{} {}", r.prefix, r.priority, r.action)
+            }
+            _ => match self.hops[v] {
+                Hop::Deliver => "local delivery".to_string(),
+                Hop::Drop => "drop".to_string(),
+                Hop::Punt => "punt to controller".to_string(),
+                _ => "no route".to_string(),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Intent consistency
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::unused_self)] // kept as a method for check symmetry
+    fn check_intent(&self, snap: &Snapshot, report: &mut Report) {
+        if snap.control == ControlHealth::NoCluster {
+            return;
+        }
+        for (v, node) in snap.nodes.iter().enumerate() {
+            let Device::Member { member, rules, .. } = &node.device else {
+                continue;
+            };
+            report.checks += 1;
+            let Some(intent) = snap.intent_flows.get(*member) else {
+                continue;
+            };
+            diff_member(snap, v, *member, rules, intent, report);
+        }
+        for (s, sess) in snap.sessions.iter().enumerate() {
+            report.checks += 1;
+            diff_session(snap, s, sess, report);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Valley-free conformance
+    // ------------------------------------------------------------------
+
+    fn check_valley(&mut self, snap: &Snapshot, report: &mut Report) {
+        if snap.policy != PolicyKind::GaoRexford {
+            return;
+        }
+        // Advertised paths: the speaker's actual adj-out toward each
+        // external peer.
+        let sessions: Vec<(usize, AnnounceSet)> = snap
+            .sessions
+            .iter()
+            .map(|s| (s.ext_peer, s.actual.clone()))
+            .collect();
+        for (ext_peer, actual) in &sessions {
+            for (prefix, path) in actual {
+                report.checks += 1;
+                self.check_one_path(snap, *ext_peer, *prefix, path, report);
+            }
+        }
+        // Selected paths: every legacy router's Loc-RIB best routes.
+        for v in 0..snap.nodes.len() {
+            let Device::Legacy { routes } = &snap.nodes[v].device else {
+                continue;
+            };
+            let routes = routes.clone();
+            for r in &routes {
+                if r.as_path.is_empty() {
+                    continue; // locally originated
+                }
+                report.checks += 1;
+                self.check_one_path(snap, v, r.prefix, &r.as_path, report);
+            }
+        }
+    }
+
+    /// Check the traffic path `receiver → as_path…` for valley-freeness.
+    /// Hops between two cluster members are administrative (the cluster is
+    /// one routing domain) and do not change the up/down state.
+    fn check_one_path(
+        &mut self,
+        snap: &Snapshot,
+        receiver: usize,
+        prefix: Prefix,
+        as_path: &[Asn],
+        report: &mut Report,
+    ) {
+        self.verts.clear();
+        self.verts.push(receiver);
+        for asn in as_path {
+            if let Some(&v) = self.asn_index.get(&asn.0) {
+                // Path prepending repeats an ASN; collapse it.
+                if self.verts.last() != Some(&v) {
+                    self.verts.push(v);
+                }
+            } else {
+                record_drift(
+                    snap,
+                    report,
+                    ViolationKind::Valley,
+                    Some(prefix),
+                    &snap.nodes[receiver].name,
+                    format!("path references unknown {asn}"),
+                );
+                return;
+            }
+        }
+        let mut descending = false;
+        for i in 1..self.verts.len() {
+            let (x, y) = (self.verts[i - 1], self.verts[i]);
+            if self.is_member[x] && self.is_member[y] {
+                continue; // intra-cluster hop
+            }
+            let step = self.rel.get(&(x, y)).copied();
+            let bad = match step {
+                None => Some("non-adjacent hop"),
+                Some(RelStep::Up | RelStep::Side) if descending => {
+                    Some("path climbs after descending (valley)")
+                }
+                Some(RelStep::Side | RelStep::Down) => {
+                    descending = true;
+                    None
+                }
+                Some(RelStep::Up) => None,
+            };
+            if let Some(reason) = bad {
+                let mut witness = String::new();
+                for (k, &v) in self.verts.iter().enumerate() {
+                    if k > 0 {
+                        let _ = write!(witness, " -> ");
+                    }
+                    let _ = write!(witness, "{}", snap.nodes[v].name);
+                }
+                let _ = write!(
+                    witness,
+                    " ({reason} at {} -> {})",
+                    snap.nodes[x].name, snap.nodes[y].name
+                );
+                report.violations.push(Violation {
+                    kind: ViolationKind::Valley,
+                    prefix: Some(prefix),
+                    node: snap.nodes[x].name.clone(),
+                    detail: format!("{reason}: {} -> {}", snap.nodes[x].name, snap.nodes[y].name),
+                    witness,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Compare a member switch's installed rules against controller intent.
+fn diff_member(
+    snap: &Snapshot,
+    v: usize,
+    member: usize,
+    rules: &[crate::snapshot::SwitchRule],
+    intent: &[(Prefix, RuleAction)],
+    report: &mut Report,
+) {
+    let name = &snap.nodes[v].name;
+    let mut drift = |prefix: Prefix, detail: String| {
+        record_drift(
+            snap,
+            report,
+            ViolationKind::IntentDrift,
+            Some(prefix),
+            name,
+            detail,
+        );
+    };
+    // Every installed rule must be intended (at the controller priority,
+    // with the intended action)…
+    for r in rules {
+        match intent.iter().find(|(p, _)| *p == r.prefix) {
+            None => drift(
+                r.prefix,
+                format!("unexpected rule {} p{} {}", r.prefix, r.priority, r.action),
+            ),
+            Some((_, want)) if r.priority != snap.flow_priority => drift(
+                r.prefix,
+                format!(
+                    "rule {} installed at p{} (controller installs p{}, {want})",
+                    r.prefix, r.priority, snap.flow_priority
+                ),
+            ),
+            Some((_, want)) if *want != r.action => drift(
+                r.prefix,
+                format!("rule {} has action {} (intent {want})", r.prefix, r.action),
+            ),
+            Some(_) => {}
+        }
+    }
+    // …and every intended rule must be installed.
+    for (p, want) in intent {
+        if !rules.iter().any(|r| r.prefix == *p) {
+            drift(
+                *p,
+                format!("missing rule {p} {want} (member {member} intent)"),
+            );
+        }
+    }
+}
+
+/// Compare a session's actual adj-out against controller intent.
+fn diff_session(snap: &Snapshot, s: usize, sess: &SessionSnap, report: &mut Report) {
+    let name = format!(
+        "session#{s} {}->{}",
+        snap.nodes[sess.member].name, snap.nodes[sess.ext_peer].name
+    );
+    if sess.established != sess.ctrl_up {
+        record_drift(
+            snap,
+            report,
+            ViolationKind::IntentDrift,
+            None,
+            &name,
+            format!(
+                "speaker says established={}, controller says up={}",
+                sess.established, sess.ctrl_up
+            ),
+        );
+    }
+    for (p, path) in &sess.actual {
+        match sess.intent.iter().find(|(ip, _)| ip == p) {
+            None => record_drift(
+                snap,
+                report,
+                ViolationKind::IntentDrift,
+                Some(*p),
+                &name,
+                format!("unexpected announcement {p} {}", fmt_path(path)),
+            ),
+            Some((_, want)) if want != path => record_drift(
+                snap,
+                report,
+                ViolationKind::IntentDrift,
+                Some(*p),
+                &name,
+                format!(
+                    "announced path {} (intent {})",
+                    fmt_path(path),
+                    fmt_path(want)
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    for (p, want) in &sess.intent {
+        if !sess.actual.iter().any(|(ap, _)| ap == p) {
+            record_drift(
+                snap,
+                report,
+                ViolationKind::IntentDrift,
+                Some(*p),
+                &name,
+                format!("missing announcement {p} {}", fmt_path(want)),
+            );
+        }
+    }
+}
+
+/// Record an intent-class mismatch: a violation when the control plane is
+/// synced, a stale-but-consistent note when it is headless or resyncing.
+fn record_drift(
+    snap: &Snapshot,
+    report: &mut Report,
+    kind: ViolationKind,
+    prefix: Option<Prefix>,
+    node: &str,
+    detail: String,
+) {
+    match snap.control {
+        ControlHealth::Headless | ControlHealth::Resyncing => {
+            report
+                .stale
+                .push(format!("{node}: {detail} ({})", snap.control.name()));
+        }
+        _ => {
+            report.violations.push(Violation {
+                kind,
+                prefix,
+                node: node.to_string(),
+                detail: detail.clone(),
+                witness: detail,
+            });
+        }
+    }
+}
+
+/// True when node `v` legitimately terminates traffic for `prefix`.
+fn origin_covers(snap: &Snapshot, v: usize, prefix: Prefix) -> bool {
+    snap.nodes[v]
+        .originated
+        .iter()
+        .any(|p| p.covers(prefix) || *p == prefix)
+}
+
+fn fmt_path(path: &[Asn]) -> String {
+    let mut out = String::from("[");
+    for (i, a) in path.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{}", a.0);
+    }
+    out.push(']');
+    out
+}
+
+fn to_entry(i: usize) -> u32 {
+    u32::try_from(i).expect("table entry index fits u32")
+}
+
+fn from_entry(e: u32) -> usize {
+    e as usize
+}

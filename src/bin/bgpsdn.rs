@@ -6,6 +6,7 @@
 //!               [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
 //!               [--trace-out FILE]
 //! bgpsdn report FILE
+//! bgpsdn verify --snapshot FILE
 //! bgpsdn ping   --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
 //! ```
 
@@ -28,6 +29,11 @@ fn usage() -> ExitCode {
   bgpsdn report FILE
       analyze a JSONL trace artifact: per-node update counts, recompute
       latency histogram, convergence timeline
+
+  bgpsdn verify --snapshot FILE
+      run the static data-plane verifier (loop-freedom, blackholes,
+      intent consistency, valley-free) over a JSONL artifact's frozen
+      snapshot line; exits nonzero if any invariant is violated
 
   bgpsdn ping --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
       data-plane probe stream across a link failure"
@@ -172,6 +178,12 @@ fn write_artifact(
     ])));
     text.push('\n');
     text.push_str(&trace.export_jsonl());
+    let snapshot = exp.capture_snapshot().to_json();
+    if let Json::Obj(mut kv) = snapshot {
+        kv.insert(0, ("type".into(), Json::Str("snapshot".into())));
+        text.push_str(&Json::Obj(kv).to_compact());
+        text.push('\n');
+    }
     for (phase, snap) in exp.phase_snapshots() {
         text.push_str(&metrics_line(phase, snap));
         text.push('\n');
@@ -199,6 +211,59 @@ fn cmd_report(path: &str) -> Result<(), String> {
         println!("{}", metrics.to_compact());
     }
     Ok(())
+}
+
+/// Offline verification of a run artifact: find the frozen
+/// `{"type":"snapshot",...}` line and run the full invariant suite over
+/// it. Older artifacts without a snapshot line fall back to summarizing
+/// any `verify_violation` events recorded during the run.
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let Some(path) = args.get_str("snapshot") else {
+        return Err("--snapshot FILE is required".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut snap = None;
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let Ok(v) = Json::parse(line) else { continue };
+        if v.get("type").and_then(Json::as_str) == Some("snapshot") {
+            snap = Some(Snapshot::from_json(&v)?);
+        }
+    }
+    if let Some(snap) = snap {
+        let mut verifier = Verifier::new();
+        let report = verifier.verify(&snap);
+        print!("{}", report.render());
+        return if report.ok() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} invariant violation(s)",
+                report.violations.len()
+            ))
+        };
+    }
+    // No snapshot line: PR-1-era artifact. Report what the run recorded.
+    let artifact = RunArtifact::parse(&text)?;
+    let analysis = RunAnalysis::from_artifact(&artifact);
+    println!(
+        "no snapshot line in {path}; scanned {} events for recorded violations",
+        artifact.events.len()
+    );
+    if analysis.verify_violations.is_empty() {
+        println!("no verify_violation events recorded");
+        return Ok(());
+    }
+    for (t, check, prefix, offender, witness) in &analysis.verify_violations {
+        let p = prefix.as_deref().unwrap_or("-");
+        println!(
+            "t={:.3}s [{check}] {p} at {offender}: {witness}",
+            *t as f64 / 1e9
+        );
+    }
+    Err(format!(
+        "{} recorded violation(s)",
+        analysis.verify_violations.len()
+    ))
 }
 
 fn cmd_ping(args: &Args) -> Result<(), String> {
@@ -277,6 +342,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "fig2" => cmd_fig2(&args),
         "run" => cmd_run(&args),
+        "verify" => cmd_verify(&args),
         "ping" => cmd_ping(&args),
         _ => return usage(),
     };

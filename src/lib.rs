@@ -46,6 +46,7 @@ pub use bgpsdn_netsim as netsim;
 pub use bgpsdn_obs as obs;
 pub use bgpsdn_sdn as sdn;
 pub use bgpsdn_topology as topology;
+pub use bgpsdn_verify as verify;
 
 /// The names almost every experiment needs.
 pub mod prelude {
@@ -66,4 +67,5 @@ pub mod prelude {
     pub use bgpsdn_obs::{metrics_line, run_line, Json, RunAnalysis, RunArtifact};
     pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
     pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
+    pub use bgpsdn_verify::{Report as VerifyReport, Snapshot, Verifier, Violation, ViolationKind};
 }

@@ -5,7 +5,7 @@
 //! of its API the test suite uses, with the same surface syntax:
 //!
 //! * the [`proptest!`] macro with `name in strategy` parameters,
-//! * [`Strategy`] (`prop_map`, `boxed`), [`strategy::Just`], range and tuple
+//! * [`strategy::Strategy`] (`prop_map`, `boxed`), [`strategy::Just`], range and tuple
 //!   strategies, `prop::collection::vec`, `prop::option::of`,
 //!   `prop::sample::Index`, `any::<T>()`,
 //! * `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!` and
