@@ -148,7 +148,11 @@ fn main() {
         last.loss_ratio
     );
     for row in &rows {
-        assert!(row.headless >= 1, "D={}: cluster must go headless", row.outage_s);
+        assert!(
+            row.headless >= 1,
+            "D={}: cluster must go headless",
+            row.outage_s
+        );
         assert!(row.resyncs >= 1, "D={}: restart must resync", row.outage_s);
         assert!(
             row.reconverge_s <= 10.0,

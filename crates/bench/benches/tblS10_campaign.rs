@@ -1,0 +1,165 @@
+//! **Table S10** (campaign throughput): the parallel sweep runner against
+//! serial execution on an identical grid.
+//!
+//! A campaign expands a parameter grid (cluster size × seeds here) into
+//! independent jobs on a `std::thread::scope` worker pool; determinism is
+//! the load-bearing property — per-job seeds derive from grid coordinates,
+//! wall-clock profiling stays off inside jobs, and metric snapshots iterate
+//! in BTreeMap order — so a parallel campaign must reproduce the serial one
+//! *byte for byte*, per job. This bench asserts exactly that, measures
+//! per-job cost and pool speedup, and emits `BENCH_campaign.json` for the
+//! CI regression gate. The ≥3× speedup bar only applies on machines with
+//! at least 8 cores; single-core CI still checks byte-identity.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use bgpsdn_bench::{runs_per_point, write_json};
+use bgpsdn_core::{run_campaign_with, run_job, CampaignGrid, EventKind};
+use bgpsdn_netsim::SimDuration;
+use bgpsdn_obs::{impl_to_json, Json, ToJson};
+
+const SPEEDUP_WORKERS: usize = 8;
+
+#[derive(Debug)]
+struct Row {
+    jobs: u64,
+    cells: u64,
+    workers: u64,
+    serial_wall_ns: u64,
+    parallel_wall_ns: u64,
+    speedup: f64,
+    per_job_wall_ns_p50: u64,
+    per_job_wall_ns_max: u64,
+    byte_identical_jobs: u64,
+}
+
+impl_to_json!(Row {
+    jobs,
+    cells,
+    workers,
+    serial_wall_ns,
+    parallel_wall_ns,
+    speedup,
+    per_job_wall_ns_p50,
+    per_job_wall_ns_max,
+    byte_identical_jobs,
+});
+
+fn bench_grid() -> CampaignGrid {
+    CampaignGrid {
+        name: "tblS10".to_string(),
+        n: 10,
+        event: EventKind::Withdrawal,
+        cluster_sizes: vec![0, 2, 4, 6, 8, 10],
+        loss: vec![0.0],
+        ctl_latency: vec![SimDuration::from_millis(1)],
+        mrai: SimDuration::from_secs(2),
+        recompute_delay: SimDuration::from_millis(100),
+        seeds: runs_per_point().max(2),
+        base_seed: 4242,
+        faults: None,
+        verify: false,
+    }
+}
+
+/// Run the grid traced on `workers` threads; return (wall, job → artifact).
+fn run_traced(
+    grid: &CampaignGrid,
+    workers: usize,
+) -> (Duration, BTreeMap<usize, String>, Vec<u64>) {
+    let report = run_campaign_with(grid.expand(), workers, |job| run_job(job, true), |_| {});
+    let mut artifacts = BTreeMap::new();
+    let mut walls = Vec::new();
+    for r in &report.results {
+        walls.push(r.wall_ns);
+        let out = r.outcome.as_ref().expect("bench job must not panic");
+        assert!(out.outcome.converged && out.outcome.audit_ok);
+        artifacts.insert(r.job.id, out.artifact.clone().expect("traced job artifact"));
+    }
+    (report.wall, artifacts, walls)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let grid = bench_grid();
+    let jobs = grid.job_count();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("== Table S10: campaign runner throughput ==");
+    println!(
+        "{} cells x {} seeds = {jobs} jobs (10-AS clique withdrawal), {cores} cores\n",
+        grid.cell_count(),
+        grid.seeds
+    );
+
+    let (serial_wall, serial_artifacts, mut walls) = run_traced(&grid, 1);
+    let (parallel_wall, parallel_artifacts, _) = run_traced(&grid, SPEEDUP_WORKERS);
+
+    // Determinism: every job's artifact must match byte for byte.
+    assert_eq!(serial_artifacts.len(), parallel_artifacts.len());
+    let mut identical = 0u64;
+    for (id, text) in &serial_artifacts {
+        assert_eq!(
+            Some(text),
+            parallel_artifacts.get(id),
+            "job {id}: parallel artifact diverged from serial"
+        );
+        identical += 1;
+    }
+    println!("byte-identity: {identical}/{jobs} job artifacts identical across pools");
+
+    walls.sort_unstable();
+    let p50 = percentile(&walls, 0.50);
+    let max = *walls.last().expect("non-empty campaign");
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+
+    println!(
+        "\n{:>10} {:>16} {:>16} {:>8} {:>16} {:>16}",
+        "workers", "serial (ms)", "parallel (ms)", "speedup", "job p50 (ns)", "job max (ns)"
+    );
+    println!(
+        "{:>10} {:>16.1} {:>16.1} {:>8.2} {:>16} {:>16}",
+        SPEEDUP_WORKERS,
+        serial_wall.as_secs_f64() * 1e3,
+        parallel_wall.as_secs_f64() * 1e3,
+        speedup,
+        p50,
+        max
+    );
+
+    if cores >= SPEEDUP_WORKERS {
+        assert!(
+            speedup >= 3.0,
+            "{SPEEDUP_WORKERS}-worker campaign must run >= 3x faster than \
+             serial on a {cores}-core machine (measured {speedup:.2}x)"
+        );
+        println!("\nshape check: PASS (>= 3x speedup at {SPEEDUP_WORKERS} workers)");
+    } else {
+        println!(
+            "\nshape check: SKIPPED speedup bar ({cores} cores < {SPEEDUP_WORKERS}); \
+             byte-identity held"
+        );
+    }
+
+    let row = Row {
+        jobs: jobs as u64,
+        cells: grid.cell_count() as u64,
+        workers: SPEEDUP_WORKERS as u64,
+        serial_wall_ns: u64::try_from(serial_wall.as_nanos()).unwrap_or(u64::MAX),
+        parallel_wall_ns: u64::try_from(parallel_wall.as_nanos()).unwrap_or(u64::MAX),
+        speedup,
+        per_job_wall_ns_p50: p50,
+        per_job_wall_ns_max: max,
+        byte_identical_jobs: identical,
+    };
+    write_json("tblS10_campaign", &row.to_json());
+    write_json(
+        "BENCH_campaign",
+        &Json::Obj(vec![("campaign".into(), row.to_json())]),
+    );
+}

@@ -21,7 +21,13 @@ struct Row {
     announcements_mean: f64,
 }
 
-impl_to_json!(Row { delay_ms, conv_median_s, recomputes_mean, flow_mods_mean, announcements_mean });
+impl_to_json!(Row {
+    delay_ms,
+    conv_median_s,
+    recomputes_mean,
+    flow_mods_mean,
+    announcements_mean
+});
 
 fn main() {
     let runs = runs_per_point();

@@ -16,7 +16,12 @@ struct Row {
     speedup: f64,
 }
 
-impl_to_json!(Row { mrai_s, pure_bgp_median_s, half_sdn_median_s, speedup });
+impl_to_json!(Row {
+    mrai_s,
+    pure_bgp_median_s,
+    half_sdn_median_s,
+    speedup
+});
 
 fn main() {
     let runs = runs_per_point();

@@ -15,8 +15,8 @@ use bgpsdn_bench::{runs_per_point, write_json};
 use bgpsdn_bgp::{Asn, PolicyMode, TimingConfig};
 use bgpsdn_core::{Controller, Experiment, NetworkBuilder};
 use bgpsdn_netsim::{SimDuration, Summary};
-use bgpsdn_topology::{plan, AsEdge, AsGraph, EdgeKind};
 use bgpsdn_obs::impl_to_json;
+use bgpsdn_topology::{plan, AsEdge, AsGraph, EdgeKind};
 
 struct Row {
     phase: &'static str,
@@ -25,7 +25,12 @@ struct Row {
     subclusters: usize,
 }
 
-impl_to_json!(Row { phase, conv_median_s, connectivity, subclusters });
+impl_to_json!(Row {
+    phase,
+    conv_median_s,
+    connectivity,
+    subclusters
+});
 
 fn bridge_plan(extra_legacy: usize) -> bgpsdn_topology::TopologyPlan {
     // l0..l_{k-1} in a legacy chain; l0-A, l_{last}-B, A==B.

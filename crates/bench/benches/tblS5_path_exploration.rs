@@ -16,7 +16,12 @@ struct Row {
     updates_total: f64,
 }
 
-impl_to_json!(Row { sdn_pct, mean_paths_per_router, max_paths, updates_total });
+impl_to_json!(Row {
+    sdn_pct,
+    mean_paths_per_router,
+    max_paths,
+    updates_total
+});
 
 fn main() {
     let runs = runs_per_point();

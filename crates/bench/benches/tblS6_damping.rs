@@ -14,8 +14,8 @@ use bgpsdn_bench::{runs_per_point, write_json};
 use bgpsdn_bgp::{DampingConfig, PolicyMode, TimingConfig};
 use bgpsdn_core::{Experiment, NetworkBuilder};
 use bgpsdn_netsim::{SimDuration, Summary};
-use bgpsdn_topology::{gen, plan, AsGraph};
 use bgpsdn_obs::impl_to_json;
+use bgpsdn_topology::{gen, plan, AsGraph};
 
 struct Row {
     damping: bool,
@@ -24,7 +24,12 @@ struct Row {
     suppressed_mean: f64,
 }
 
-impl_to_json!(Row { damping, sdn_count, recovery_median_s, suppressed_mean });
+impl_to_json!(Row {
+    damping,
+    sdn_count,
+    recovery_median_s,
+    suppressed_mean
+});
 
 const N: usize = 10;
 const FLAPS: usize = 6;

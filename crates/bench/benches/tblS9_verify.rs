@@ -114,6 +114,12 @@ fn main() {
         ns_per_prefix_p50: per_prefix,
     };
     write_json("tblS9_verify", &row.to_json());
-    write_json("BENCH_verify", &Json::Obj(vec![("sweep".into(), row.to_json())]));
-    println!("[written {}]", output_dir().join("BENCH_verify.json").display());
+    write_json(
+        "BENCH_verify",
+        &Json::Obj(vec![("sweep".into(), row.to_json())]),
+    );
+    println!(
+        "[written {}]",
+        output_dir().join("BENCH_verify.json").display()
+    );
 }

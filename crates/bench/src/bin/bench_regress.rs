@@ -1,0 +1,57 @@
+//! `bench_regress` — CI gate diffing fresh bench results against the
+//! committed baselines.
+//!
+//! ```text
+//! bench_regress --baseline bench-results --current bench-current [--threshold 0.30]
+//! ```
+//!
+//! Exits 0 when every tracked metric is within the threshold, 1 on any
+//! regression, 2 on usage or IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bgpsdn_bench::regress::{compare_dirs, render};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 0.30f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from),
+            "--current" => current = it.next().map(PathBuf::from),
+            "--threshold" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => threshold = t,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        return usage();
+    };
+
+    match compare_dirs(&baseline, &current, threshold) {
+        Ok(comparisons) => {
+            let (report, ok) = render(&comparisons, threshold);
+            print!("{report}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_regress --baseline DIR --current DIR [--threshold FRACTION]");
+    ExitCode::from(2)
+}

@@ -8,6 +8,8 @@
 //! per bench as a typed-event JSONL artifact (`bgpsdn report` input) next
 //! to the summary JSON.
 
+pub mod regress;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -24,11 +26,18 @@ pub fn runs_per_point() -> u64 {
         .unwrap_or(10)
 }
 
-/// Where bench outputs land: `<workspace>/bench-results`.
+/// Where bench outputs land: `<workspace>/bench-results`, or
+/// `BGPSDN_BENCH_DIR` when set (CI writes fresh results beside the
+/// committed baselines so the regression gate can diff them).
 pub fn output_dir() -> PathBuf {
-    let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let root = here.parent().and_then(|p| p.parent()).unwrap_or(&here);
-    let dir = root.join("bench-results");
+    let dir = match std::env::var_os("BGPSDN_BENCH_DIR") {
+        Some(d) => PathBuf::from(d),
+        None => {
+            let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            let root = here.parent().and_then(|p| p.parent()).unwrap_or(&here);
+            root.join("bench-results")
+        }
+    };
     fs::create_dir_all(&dir).expect("create bench-results");
     dir
 }
@@ -54,7 +63,16 @@ pub struct SweepRow {
     pub mean: f64,
 }
 
-impl_to_json!(SweepRow { x, n, min, q1, median, q3, max, mean });
+impl_to_json!(SweepRow {
+    x,
+    n,
+    min,
+    q1,
+    median,
+    q3,
+    max,
+    mean
+});
 
 impl SweepRow {
     /// Build a row from raw durations.

@@ -1,0 +1,290 @@
+//! Bench-regression gate: diff current `BENCH_*.json` results against the
+//! committed baselines in `bench-results/`.
+//!
+//! A small manifest ([`MANIFEST`]) names the load-bearing metric of each
+//! bench — median wall time of an incremental recompute, a verifier sweep,
+//! a campaign job — and whether lower or higher is better. The comparator
+//! flags any metric that moved past the threshold (default 30%) in the bad
+//! direction; CI runs it via the `bench_regress` binary and fails the
+//! build. Medians over `BGPSDN_RUNS` repetitions keep single-run jitter
+//! below the bar.
+
+use std::path::Path;
+
+use bgpsdn_obs::Json;
+
+/// Which way a metric is supposed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Wall times: a regression is the current value rising past
+    /// `baseline * (1 + threshold)`.
+    LowerIsBetter,
+    /// Speedups: a regression is the current value falling below
+    /// `baseline * (1 - threshold)`.
+    HigherIsBetter,
+}
+
+/// One tracked metric: a JSON file under the bench output dir and a key
+/// path into it.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// File name inside the results directory (e.g. `BENCH_verify.json`).
+    pub file: &'static str,
+    /// Key path into the parsed JSON document.
+    pub path: &'static [&'static str],
+    /// Direction of goodness.
+    pub direction: Direction,
+}
+
+impl Metric {
+    /// `file:a.b.c` — the name regressions are reported under.
+    pub fn name(&self) -> String {
+        format!("{}:{}", self.file, self.path.join("."))
+    }
+}
+
+/// Every metric the CI gate watches.
+pub const MANIFEST: &[Metric] = &[
+    Metric {
+        file: "BENCH_recompute.json",
+        path: &["incremental", "wall_ns_p50"],
+        direction: Direction::LowerIsBetter,
+    },
+    Metric {
+        file: "BENCH_recompute.json",
+        path: &["speedup_p50"],
+        direction: Direction::HigherIsBetter,
+    },
+    Metric {
+        file: "BENCH_verify.json",
+        path: &["sweep", "wall_ns_p50"],
+        direction: Direction::LowerIsBetter,
+    },
+    Metric {
+        file: "BENCH_campaign.json",
+        path: &["campaign", "per_job_wall_ns_p50"],
+        direction: Direction::LowerIsBetter,
+    },
+];
+
+/// Outcome of one metric comparison.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// `file:key.path` of the metric.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Did it move past the threshold in the bad direction?
+    pub regressed: bool,
+}
+
+fn lookup(json: &Json, path: &[&str]) -> Option<f64> {
+    let mut node = json;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+/// Compare one metric value pair against a fractional threshold.
+pub fn compare_values(
+    baseline: f64,
+    current: f64,
+    direction: Direction,
+    threshold: f64,
+) -> Comparison {
+    let ratio = if baseline > 0.0 {
+        current / baseline
+    } else {
+        1.0
+    };
+    let regressed = match direction {
+        Direction::LowerIsBetter => ratio > 1.0 + threshold,
+        Direction::HigherIsBetter => ratio < 1.0 - threshold,
+    };
+    Comparison {
+        name: String::new(),
+        baseline,
+        current,
+        ratio,
+        regressed,
+    }
+}
+
+/// Diff every manifest metric present in `baseline_dir` against
+/// `current_dir`. A bench file or key absent from the *baseline* is skipped
+/// (a new bench with no committed reference yet); absent from the
+/// *current* side it is an error — the bench did not run.
+pub fn compare_dirs(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    threshold: f64,
+) -> Result<Vec<Comparison>, String> {
+    let mut out = Vec::new();
+    for metric in MANIFEST {
+        let base_path = baseline_dir.join(metric.file);
+        if !base_path.exists() {
+            eprintln!("[skip] no baseline {}", base_path.display());
+            continue;
+        }
+        let base_json = read_json(&base_path)?;
+        let Some(baseline) = lookup(&base_json, metric.path) else {
+            eprintln!(
+                "[skip] baseline {} lacks {}",
+                metric.file,
+                metric.path.join(".")
+            );
+            continue;
+        };
+        let cur_path = current_dir.join(metric.file);
+        let cur_json = read_json(&cur_path)?;
+        let current = lookup(&cur_json, metric.path)
+            .ok_or_else(|| format!("{} lacks {}", cur_path.display(), metric.path.join(".")))?;
+        let mut cmp = compare_values(baseline, current, metric.direction, threshold);
+        cmp.name = metric.name();
+        out.push(cmp);
+    }
+    Ok(out)
+}
+
+fn read_json(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+}
+
+/// Render the comparison table; returns `true` when the gate passes.
+pub fn render(comparisons: &[Comparison], threshold: f64) -> (String, bool) {
+    let mut text = format!(
+        "{:<48} {:>14} {:>14} {:>8}  verdict\n",
+        "metric", "baseline", "current", "ratio"
+    );
+    let mut ok = true;
+    for c in comparisons {
+        let verdict = if c.regressed {
+            ok = false;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        text.push_str(&format!(
+            "{:<48} {:>14.0} {:>14.0} {:>8.2}  {verdict}\n",
+            c.name, c.baseline, c.current, c.ratio
+        ));
+    }
+    text.push_str(&format!(
+        "gate: {} ({} metrics, threshold {:.0}%)\n",
+        if ok { "PASS" } else { "FAIL" },
+        comparisons.len(),
+        threshold * 100.0
+    ));
+    (text, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_pass() {
+        let c = compare_values(100.0, 100.0, Direction::LowerIsBetter, 0.30);
+        assert!(!c.regressed);
+        assert_eq!(c.ratio, 1.0);
+    }
+
+    #[test]
+    fn injected_twofold_slowdown_fails() {
+        let c = compare_values(100.0, 200.0, Direction::LowerIsBetter, 0.30);
+        assert!(c.regressed, "2x slowdown must trip a 30% gate");
+        assert_eq!(c.ratio, 2.0);
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let c = compare_values(100.0, 125.0, Direction::LowerIsBetter, 0.30);
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn improvement_never_regresses_lower_better() {
+        let c = compare_values(100.0, 10.0, Direction::LowerIsBetter, 0.30);
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn speedup_collapse_fails_higher_better() {
+        let c = compare_values(36.0, 18.0, Direction::HigherIsBetter, 0.30);
+        assert!(c.regressed, "halved speedup must trip the gate");
+    }
+
+    #[test]
+    fn speedup_gain_passes_higher_better() {
+        let c = compare_values(36.0, 72.0, Direction::HigherIsBetter, 0.30);
+        assert!(!c.regressed);
+    }
+
+    #[test]
+    fn manifest_names_are_unique() {
+        let mut names: Vec<String> = MANIFEST.iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), MANIFEST.len());
+    }
+
+    #[test]
+    fn compare_dirs_flags_injected_regression() {
+        let dir = std::env::temp_dir().join(format!("regress-test-{}", std::process::id()));
+        let base = dir.join("base");
+        let cur = dir.join("cur");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&cur).unwrap();
+        std::fs::write(
+            base.join("BENCH_verify.json"),
+            r#"{"sweep":{"wall_ns_p50":1000000}}"#,
+        )
+        .unwrap();
+        // Injected 2x slowdown on the current side.
+        std::fs::write(
+            cur.join("BENCH_verify.json"),
+            r#"{"sweep":{"wall_ns_p50":2000000}}"#,
+        )
+        .unwrap();
+        let cmps = compare_dirs(&base, &cur, 0.30).unwrap();
+        assert_eq!(cmps.len(), 1, "only the baselined metric is compared");
+        assert!(cmps[0].regressed);
+        let (report, ok) = render(&cmps, 0.30);
+        assert!(!ok);
+        assert!(report.contains("REGRESSED"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compare_dirs_errors_when_current_missing() {
+        let dir = std::env::temp_dir().join(format!("regress-miss-{}", std::process::id()));
+        let base = dir.join("base");
+        let cur = dir.join("cur");
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&cur).unwrap();
+        std::fs::write(
+            base.join("BENCH_campaign.json"),
+            r#"{"campaign":{"per_job_wall_ns_p50":5}}"#,
+        )
+        .unwrap();
+        assert!(compare_dirs(&base, &cur, 0.30).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn committed_baselines_cover_manifest() {
+        // The real bench-results/ directory must satisfy the gate against
+        // itself: every manifest metric resolves and self-compares clean.
+        let dir = crate::output_dir();
+        let cmps = compare_dirs(&dir, &dir, 0.30).unwrap();
+        assert_eq!(cmps.len(), MANIFEST.len(), "all baselines committed");
+        assert!(cmps.iter().all(|c| !c.regressed));
+    }
+}

@@ -65,8 +65,12 @@ impl bgpsdn_netsim::Node<BgpOnlyMsg> for Corruptor {
         _link: bgpsdn_netsim::LinkId,
         msg: BgpOnlyMsg,
     ) {
-        let BgpOnlyMsg::Bgp(mut env) = msg else { return };
-        let Some(&out) = self.relay.get(&env.dst) else { return };
+        let BgpOnlyMsg::Bgp(mut env) = msg else {
+            return;
+        };
+        let Some(&out) = self.relay.get(&env.dst) else {
+            return;
+        };
         // Count only UPDATEs (type byte 2 at offset 18).
         if env.bytes.len() > 18 && env.bytes[18] == 2 {
             self.updates_seen += 1;

@@ -139,25 +139,34 @@ mod tests {
         use bgpsdn_netsim::{NodeId, ObsPrefix, Trace, TraceCategory, TraceEvent};
         let mut t = Trace::new(16);
         t.enable_all();
-        t.record(SimTime::from_secs(1), Some(NodeId(1)), TraceCategory::Route, || {
-            TraceEvent::RibChange {
+        t.record(
+            SimTime::from_secs(1),
+            Some(NodeId(1)),
+            TraceCategory::Route,
+            || TraceEvent::RibChange {
                 prefix: ObsPrefix::new(0x0a000000, 8),
                 old_path: None,
                 new_path: Some(vec![65001]),
-            }
-        });
-        t.record(SimTime::from_secs(5), Some(NodeId(2)), TraceCategory::Route, || {
-            TraceEvent::RibChange {
+            },
+        );
+        t.record(
+            SimTime::from_secs(5),
+            Some(NodeId(2)),
+            TraceCategory::Route,
+            || TraceEvent::RibChange {
                 prefix: ObsPrefix::new(0x0a000000, 8),
                 old_path: Some(vec![65001]),
                 new_path: None,
-            }
-        });
+            },
+        );
         // A later session event is not a routing change and must not extend
         // the measured transient.
-        t.record(SimTime::from_secs(9), Some(NodeId(2)), TraceCategory::Session, || {
-            TraceEvent::SessionUp { peer: 3 }
-        });
+        t.record(
+            SimTime::from_secs(9),
+            Some(NodeId(2)),
+            TraceCategory::Session,
+            || TraceEvent::SessionUp { peer: 3 },
+        );
         let r = measure_trace(t.records(), SimTime::from_secs(2), true);
         assert!(r.converged);
         assert_eq!(r.last_change, Some(SimTime::from_secs(5)));

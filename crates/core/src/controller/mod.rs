@@ -758,7 +758,10 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         cookie: 0,
                     },
                 };
-                ctx.send(self.cfg.members[m].ctl_link, M::from_of(OfEnvelope::new(&msg)));
+                ctx.send(
+                    self.cfg.members[m].ctl_link,
+                    M::from_of(OfEnvelope::new(&msg)),
+                );
             }
 
             // Diff desired announcements against the per-session cache.

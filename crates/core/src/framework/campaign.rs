@@ -1,0 +1,644 @@
+//! The campaign engine: declarative parameter grids executed as a pool of
+//! independent emulation jobs.
+//!
+//! The paper's headline result (Figure 2) is a *parameter sweep* — many
+//! independent runs over SDN cluster sizes and seeds. A [`CampaignGrid`]
+//! declares such a sweep (cluster size × control-channel loss × latency ×
+//! fault plan × N seeds); [`CampaignGrid::expand`] turns it into a
+//! deterministic job list with stable per-job RNG seeds, and
+//! [`run_campaign`] executes the jobs on a `std::thread::scope` worker
+//! pool. Each job owns its entire simulation (build → bring-up → event →
+//! convergence → audit), so jobs share no mutable state; a panicking job
+//! is isolated by `catch_unwind` and reported as a failed [`JobResult`]
+//! while every other job completes.
+//!
+//! Job seeds depend only on the job's own parameters — never on its
+//! position in the grid — so growing a sweep (more cluster sizes, more
+//! seeds) reproduces the old runs bit-for-bit and merely adds new ones.
+//! For the same reason a campaign executed with one worker produces
+//! byte-identical per-job artifacts to the same campaign on eight
+//! workers: parallelism only reorders wall-clock completion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bgpsdn_netsim::{LatencyModel, SimDuration};
+use bgpsdn_obs::{CampaignArtifact, JobRecord, Json};
+
+use super::experiment::Experiment;
+use super::faults::FaultPlan;
+use super::scenarios::{
+    event_phase_name, run_clique_with, CliqueRunOptions, CliqueScenario, EventKind, ScenarioOutcome,
+};
+
+/// A seeded chaos-schedule spec applied to every job: each job derives its
+/// own [`FaultPlan::chaos`] from its job seed, so different seeds explore
+/// different outage patterns of the same intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Paired down/up outages per job.
+    pub outages: usize,
+    /// Window the outages land in, measured from event injection.
+    pub horizon: SimDuration,
+}
+
+/// A declarative parameter grid: the cartesian product of the swept axes,
+/// times `seeds` repetitions per cell.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// Campaign name (lands in the merged artifact header).
+    pub name: String,
+    /// Clique size.
+    pub n: usize,
+    /// The routing event every job injects.
+    pub event: EventKind,
+    /// Swept axis: SDN cluster sizes.
+    pub cluster_sizes: Vec<usize>,
+    /// Swept axis: control-channel loss probabilities.
+    pub loss: Vec<f64>,
+    /// Swept axis: control-channel latency.
+    pub ctl_latency: Vec<SimDuration>,
+    /// eBGP MRAI.
+    pub mrai: SimDuration,
+    /// Controller delayed-recomputation window.
+    pub recompute_delay: SimDuration,
+    /// Seeded repetitions per grid cell.
+    pub seeds: u64,
+    /// Base seed every job seed is derived from.
+    pub base_seed: u64,
+    /// Optional per-job chaos schedule.
+    pub faults: Option<FaultSpec>,
+    /// Run the static verifier at every job's checkpoints, making the
+    /// campaign a parallel invariant-hunting harness.
+    pub verify: bool,
+}
+
+impl CampaignGrid {
+    /// The paper's Figure 2 campaign: a 16-AS clique withdrawal swept over
+    /// every cluster size 0..=16 with `seeds` repetitions per point.
+    pub fn fig2(seeds: u64) -> CampaignGrid {
+        CampaignGrid {
+            name: "fig2".to_string(),
+            n: 16,
+            event: EventKind::Withdrawal,
+            cluster_sizes: (0..=16).collect(),
+            loss: vec![0.0],
+            ctl_latency: vec![SimDuration::from_millis(1)],
+            mrai: SimDuration::from_secs(30),
+            recompute_delay: SimDuration::from_millis(100),
+            seeds,
+            base_seed: 1000,
+            faults: None,
+            verify: false,
+        }
+    }
+
+    /// Number of grid cells (parameter combinations).
+    pub fn cell_count(&self) -> usize {
+        self.cluster_sizes.len() * self.loss.len().max(1) * self.ctl_latency.len().max(1)
+    }
+
+    /// Number of jobs the grid expands into.
+    pub fn job_count(&self) -> usize {
+        self.cell_count() * self.seeds as usize
+    }
+
+    /// Expand into the deterministic job list: cells ordered by (cluster
+    /// size, loss, latency), seeds `0..seeds` within each cell, ids
+    /// sequential in that order.
+    pub fn expand(&self) -> Vec<CampaignJob> {
+        let losses = if self.loss.is_empty() {
+            vec![0.0]
+        } else {
+            self.loss.clone()
+        };
+        let latencies = if self.ctl_latency.is_empty() {
+            vec![SimDuration::from_millis(1)]
+        } else {
+            self.ctl_latency.clone()
+        };
+        let mut jobs = Vec::with_capacity(self.job_count());
+        let mut cell = 0usize;
+        for &cluster in &self.cluster_sizes {
+            for &loss in &losses {
+                for &lat in &latencies {
+                    for seed_index in 0..self.seeds {
+                        let seed = job_seed(
+                            self.base_seed,
+                            cluster as u64,
+                            loss_ppm(loss),
+                            lat.as_nanos(),
+                            seed_index,
+                        );
+                        jobs.push(CampaignJob {
+                            id: jobs.len(),
+                            cell,
+                            cluster,
+                            loss,
+                            ctl_latency: lat,
+                            seed_index,
+                            seed,
+                            n: self.n,
+                            event: self.event,
+                            mrai: self.mrai,
+                            recompute_delay: self.recompute_delay,
+                            faults: self.faults,
+                            verify: self.verify,
+                        });
+                    }
+                    cell += 1;
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The merged-artifact header for this grid.
+    pub fn header(&self, workers: usize, wall: std::time::Duration) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("scenario".into(), Json::Str("clique".into())),
+            (
+                "event".into(),
+                Json::Str(event_phase_name(self.event).into()),
+            ),
+            ("n".into(), Json::U64(self.n as u64)),
+            ("cells".into(), Json::U64(self.cell_count() as u64)),
+            ("seeds".into(), Json::U64(self.seeds)),
+            ("jobs".into(), Json::U64(self.job_count() as u64)),
+            ("base_seed".into(), Json::U64(self.base_seed)),
+            ("mrai_ns".into(), Json::U64(self.mrai.as_nanos())),
+            (
+                "recompute_delay_ns".into(),
+                Json::U64(self.recompute_delay.as_nanos()),
+            ),
+            ("verify".into(), Json::Bool(self.verify)),
+            ("workers".into(), Json::U64(workers as u64)),
+            ("wall_ms".into(), Json::U64(wall.as_millis() as u64)),
+        ])
+    }
+}
+
+/// Control-channel loss as exact parts-per-million (the artifact's cell
+/// key must be hashable and byte-stable; floats are neither).
+pub fn loss_ppm(loss: f64) -> u64 {
+    (loss * 1e6).round() as u64
+}
+
+/// Derive a job's RNG seed from its own parameters only (SplitMix64 over
+/// the parameter tuple). Stable under grid growth: the seed never depends
+/// on the job's index in the expansion.
+pub fn job_seed(base: u64, cluster: u64, loss_ppm: u64, latency_ns: u64, seed_index: u64) -> u64 {
+    let mut h = base ^ 0x9e37_79b9_7f4a_7c15;
+    for v in [cluster, loss_ppm, latency_ns, seed_index] {
+        h = splitmix64(h ^ v.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    }
+    // Seed 0 is reserved-looking in several RNGs; nudge away from it.
+    h | 1
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One expanded grid cell × seed repetition: everything a worker needs to
+/// run the job without touching the grid again.
+#[derive(Debug, Clone)]
+pub struct CampaignJob {
+    /// Job index in expansion order.
+    pub id: usize,
+    /// Grid-cell index the job belongs to.
+    pub cell: usize,
+    /// SDN cluster size.
+    pub cluster: usize,
+    /// Control-channel loss probability.
+    pub loss: f64,
+    /// Control-channel latency.
+    pub ctl_latency: SimDuration,
+    /// Repetition index within the cell.
+    pub seed_index: u64,
+    /// The derived RNG seed driving the whole run.
+    pub seed: u64,
+    /// Clique size.
+    pub n: usize,
+    /// The routing event to inject.
+    pub event: EventKind,
+    /// eBGP MRAI.
+    pub mrai: SimDuration,
+    /// Controller delayed-recomputation window.
+    pub recompute_delay: SimDuration,
+    /// Chaos spec, if the campaign injects faults.
+    pub faults: Option<FaultSpec>,
+    /// Whether to run verifier checkpoints.
+    pub verify: bool,
+}
+
+impl CampaignJob {
+    /// The clique scenario this job runs.
+    pub fn scenario(&self) -> CliqueScenario {
+        CliqueScenario {
+            n: self.n,
+            sdn_count: self.cluster,
+            mrai: self.mrai,
+            recompute_delay: self.recompute_delay,
+            seed: self.seed,
+            control_loss: self.loss,
+        }
+    }
+
+    /// The run options this job carries (fault plan derived from the job
+    /// seed, verification flag, latency override). Chaos plans target the
+    /// control plane, so pure-BGP cells (cluster size 0) run fault-free.
+    pub fn run_options(&self) -> CliqueRunOptions {
+        CliqueRunOptions {
+            fault_plan: self
+                .faults
+                .filter(|_| self.cluster > 0)
+                .map(|f| FaultPlan::chaos(self.seed, f.horizon, f.outages)),
+            verification: self.verify,
+            ctl_latency: Some(LatencyModel::Fixed(self.ctl_latency)),
+        }
+    }
+}
+
+/// What one completed job produced.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The scenario-level outcome (convergence, audit, message counts).
+    pub outcome: ScenarioOutcome,
+    /// Static-verifier violations recorded across all phases.
+    pub verify_violations: u64,
+    /// The job's isolated JSONL artifact, when tracing was requested.
+    pub artifact: Option<String>,
+}
+
+/// One job's slot in the campaign result: the job, what happened, and how
+/// long it took on the wall clock.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job as expanded from the grid.
+    pub job: CampaignJob,
+    /// `Ok` when the run completed, `Err(panic message)` when it died.
+    pub outcome: Result<JobOutcome, String>,
+    /// Wall-clock time the job took (diagnostic; not part of artifacts).
+    pub wall_ns: u64,
+}
+
+impl JobResult {
+    /// Flatten into the plain-data record the merged artifact stores.
+    pub fn record(&self) -> JobRecord {
+        let base = JobRecord {
+            id: self.job.id as u64,
+            cell: self.job.cell as u64,
+            cluster: self.job.cluster as u64,
+            loss_ppm: loss_ppm(self.job.loss),
+            ctl_latency_ns: self.job.ctl_latency.as_nanos(),
+            seed: self.job.seed,
+            converged: false,
+            convergence_ns: 0,
+            updates: 0,
+            flow_mods: 0,
+            audit_ok: false,
+            verify_violations: 0,
+            error: None,
+        };
+        match &self.outcome {
+            Ok(o) => JobRecord {
+                converged: o.outcome.converged,
+                convergence_ns: o.outcome.convergence.as_nanos(),
+                updates: o.outcome.updates,
+                flow_mods: o.outcome.flow_mods,
+                audit_ok: o.outcome.audit_ok,
+                verify_violations: o.verify_violations,
+                ..base
+            },
+            Err(msg) => JobRecord {
+                error: Some(msg.clone()),
+                ..base
+            },
+        }
+    }
+}
+
+/// A finished campaign: every job's result in job order, plus pool-level
+/// accounting.
+#[derive(Debug)]
+pub struct CampaignRunReport {
+    /// Results indexed by job id.
+    pub results: Vec<JobResult>,
+    /// Wall-clock time of the whole pool.
+    pub wall: std::time::Duration,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl CampaignRunReport {
+    /// Flatten into the records the merged artifact stores.
+    pub fn records(&self) -> Vec<JobRecord> {
+        self.results.iter().map(JobResult::record).collect()
+    }
+
+    /// Render the merged campaign artifact for a grid.
+    pub fn render_artifact(&self, grid: &CampaignGrid) -> String {
+        CampaignArtifact::render(&grid.header(self.workers, self.wall), &self.records())
+    }
+
+    /// Jobs that panicked or errored.
+    pub fn failed(&self) -> usize {
+        self.results.iter().filter(|r| r.outcome.is_err()).count()
+    }
+}
+
+/// Run one campaign job to completion: build the network, bring it up,
+/// inject the event (and the job's fault schedule, if any), wait for
+/// re-convergence, audit. With `trace` the full typed-event stream is
+/// recorded (wall-clock profiling stays off so artifacts are
+/// byte-deterministic) and rendered as the job's isolated JSONL artifact.
+pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
+    let scenario = job.scenario();
+    let opts = job.run_options();
+    let (outcome, mut exp) = run_clique_with(&scenario, job.event, &opts, |sim| {
+        if trace {
+            sim.trace_mut().enable_all();
+        }
+    });
+    // Health gates on the *final steady state*: checkpoints taken right
+    // after a fault injection legitimately see transient loops/blackholes
+    // while BGP is still path-hunting (they stay visible in the trace and
+    // phase counters), so a verifying job re-verifies once after the run.
+    let verify_violations = if job.verify {
+        exp.verify_now().violations.len() as u64
+    } else {
+        0
+    };
+    exp.finish();
+    let artifact = trace.then(|| render_job_artifact(job, &exp));
+    JobOutcome {
+        outcome,
+        verify_violations,
+        artifact,
+    }
+}
+
+/// Render one job's isolated JSONL artifact: a `run` header carrying the
+/// job coordinates, the typed event stream, the final verifier snapshot,
+/// and one metrics line per phase — the same document shape `bgpsdn run
+/// --trace-out` writes, so `bgpsdn report` and `bgpsdn verify` work on
+/// per-job artifacts unchanged.
+pub fn render_job_artifact(job: &CampaignJob, exp: &Experiment) -> String {
+    let trace = exp.net.sim.trace();
+    let info = Json::Obj(vec![
+        ("type".into(), Json::Str("run".into())),
+        ("scenario".into(), Json::Str("clique".into())),
+        (
+            "event".into(),
+            Json::Str(event_phase_name(job.event).into()),
+        ),
+        ("job".into(), Json::U64(job.id as u64)),
+        ("cell".into(), Json::U64(job.cell as u64)),
+        ("n".into(), Json::U64(job.n as u64)),
+        ("sdn".into(), Json::U64(job.cluster as u64)),
+        ("loss_ppm".into(), Json::U64(loss_ppm(job.loss))),
+        (
+            "ctl_latency_ns".into(),
+            Json::U64(job.ctl_latency.as_nanos()),
+        ),
+        ("mrai_ns".into(), Json::U64(job.mrai.as_nanos())),
+        ("seed".into(), Json::U64(job.seed)),
+        ("dropped_events".into(), Json::U64(trace.dropped())),
+    ]);
+    let mut text = info.to_compact();
+    text.push('\n');
+    text.push_str(&trace.export_jsonl());
+    let snapshot = exp.capture_snapshot().to_json();
+    if let Json::Obj(mut kv) = snapshot {
+        kv.insert(0, ("type".into(), Json::Str("snapshot".into())));
+        text.push_str(&Json::Obj(kv).to_compact());
+        text.push('\n');
+    }
+    for (phase, snap) in exp.phase_snapshots() {
+        text.push_str(&bgpsdn_obs::metrics_line(phase, snap));
+        text.push('\n');
+    }
+    text
+}
+
+/// Execute a grid on `workers` threads. See [`run_campaign_with`] for the
+/// pool semantics.
+pub fn run_campaign(grid: &CampaignGrid, workers: usize, trace: bool) -> CampaignRunReport {
+    run_campaign_with(grid.expand(), workers, |job| run_job(job, trace), |_| {})
+}
+
+/// Execute an explicit job list on a `std::thread::scope` worker pool.
+///
+/// Jobs are claimed from a shared atomic cursor in expansion order, so a
+/// single worker degrades to exact serial execution. Each `runner` call is
+/// wrapped in `catch_unwind`: a panicking job yields an `Err` result with
+/// the panic message and the pool keeps draining the remaining jobs.
+/// `on_done` fires on the worker thread as each job finishes (progress
+/// reporting, streaming artifacts to disk); it must therefore be `Sync`.
+pub fn run_campaign_with(
+    jobs: Vec<CampaignJob>,
+    workers: usize,
+    runner: impl Fn(&CampaignJob) -> JobOutcome + Sync,
+    on_done: impl Fn(&JobResult) + Sync,
+) -> CampaignRunReport {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let started = std::time::Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = &jobs[i];
+                let job_started = std::time::Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| runner(job)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                let result = JobResult {
+                    job: job.clone(),
+                    outcome,
+                    wall_ns: u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                };
+                on_done(&result);
+                *slots[i].lock().expect("job slot poisoned") = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("job slot poisoned")
+                .expect("pool drained every job")
+        })
+        .collect();
+    CampaignRunReport {
+        results,
+        wall: started.elapsed(),
+        workers,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> CampaignGrid {
+        CampaignGrid {
+            name: "test".into(),
+            n: 6,
+            event: EventKind::Withdrawal,
+            cluster_sizes: vec![0, 3, 6],
+            loss: vec![0.0, 0.05],
+            ctl_latency: vec![SimDuration::from_millis(1)],
+            mrai: SimDuration::from_secs(2),
+            recompute_delay: SimDuration::from_millis(100),
+            seeds: 2,
+            base_seed: 77,
+            faults: None,
+            verify: false,
+        }
+    }
+
+    #[test]
+    fn expansion_counts_and_ordering() {
+        let grid = tiny_grid();
+        assert_eq!(grid.cell_count(), 6);
+        assert_eq!(grid.job_count(), 12);
+        let jobs = grid.expand();
+        assert_eq!(jobs.len(), 12);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i, "ids are sequential in expansion order");
+        }
+        // Cells ordered by (cluster, loss); seeds contiguous within a cell.
+        assert_eq!(jobs[0].cluster, 0);
+        assert_eq!(jobs[0].loss, 0.0);
+        assert_eq!(jobs[1].seed_index, 1);
+        assert_eq!(jobs[1].cell, jobs[0].cell);
+        assert_eq!(jobs[2].loss, 0.05);
+        assert_eq!(jobs[2].cell, jobs[0].cell + 1);
+        assert_eq!(jobs[11].cluster, 6);
+        // All job seeds distinct.
+        let mut seeds: Vec<u64> = jobs.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 12, "derived seeds collide");
+    }
+
+    #[test]
+    fn job_seeds_are_stable_under_grid_growth() {
+        let small = tiny_grid();
+        let mut grown = tiny_grid();
+        grown.cluster_sizes = vec![0, 1, 2, 3, 6];
+        grown.seeds = 4;
+        let by_key = |jobs: Vec<CampaignJob>| {
+            jobs.into_iter()
+                .map(|j| ((j.cluster, loss_ppm(j.loss), j.seed_index), j.seed))
+                .collect::<std::collections::BTreeMap<_, _>>()
+        };
+        let small_seeds = by_key(small.expand());
+        let grown_seeds = by_key(grown.expand());
+        for (key, seed) in &small_seeds {
+            assert_eq!(
+                grown_seeds.get(key),
+                Some(seed),
+                "seed for {key:?} changed when the grid grew"
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_grid_covers_every_cluster_size() {
+        let grid = CampaignGrid::fig2(10);
+        assert_eq!(grid.cluster_sizes, (0..=16).collect::<Vec<_>>());
+        assert_eq!(grid.job_count(), 170);
+        assert_eq!(grid.n, 16);
+    }
+
+    #[test]
+    fn pool_isolates_panicking_jobs() {
+        let jobs = tiny_grid().expand();
+        let total = jobs.len();
+        let report = run_campaign_with(
+            jobs,
+            3,
+            |job| {
+                if job.id == 4 {
+                    panic!("injected failure in job 4");
+                }
+                // A stub outcome: the pool is what is under test here.
+                JobOutcome {
+                    outcome: ScenarioOutcome {
+                        converged: true,
+                        convergence: SimDuration::from_secs(1),
+                        collector_convergence: None,
+                        updates: 1,
+                        flow_mods: 0,
+                        audit_ok: true,
+                    },
+                    verify_violations: 0,
+                    artifact: None,
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(report.results.len(), total);
+        assert_eq!(report.failed(), 1);
+        let failed = &report.results[4];
+        assert!(failed
+            .outcome
+            .as_ref()
+            .is_err_and(|m| m.contains("injected failure")));
+        for r in report.results.iter().filter(|r| r.job.id != 4) {
+            assert!(r.outcome.is_ok(), "job {} should have survived", r.job.id);
+        }
+        let record = failed.record();
+        assert_eq!(record.error.as_deref(), Some("injected failure in job 4"));
+    }
+
+    #[test]
+    fn single_worker_pool_preserves_job_order() {
+        let jobs = tiny_grid().expand();
+        let order = Mutex::new(Vec::new());
+        run_campaign_with(
+            jobs,
+            1,
+            |job| {
+                order.lock().unwrap().push(job.id);
+                JobOutcome {
+                    outcome: ScenarioOutcome {
+                        converged: true,
+                        convergence: SimDuration::ZERO,
+                        collector_convergence: None,
+                        updates: 0,
+                        flow_mods: 0,
+                        audit_ok: true,
+                    },
+                    verify_violations: 0,
+                    artifact: None,
+                }
+            },
+            |_| {},
+        );
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -11,10 +11,10 @@ use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{Prefix, RouterCommand};
 use bgpsdn_collector::{audit, measure, ConnectivityReport, ConvergenceReport, Hop};
+use bgpsdn_netsim::ObsPrefix;
 use bgpsdn_netsim::{
     Activity, MetricsSnapshot, NodeId, SimDuration, SimTime, TraceCategory, TraceEvent,
 };
-use bgpsdn_netsim::ObsPrefix;
 use bgpsdn_sdn::{ClusterMsg, FlowAction};
 use bgpsdn_verify::{Report, Snapshot, Verifier};
 
@@ -331,17 +331,17 @@ impl Experiment {
                 v.node.clone(),
                 v.witness.clone(),
             );
-            self.net.sim.trace_mut().record(
-                now,
-                None,
-                TraceCategory::Experiment,
-                || TraceEvent::VerifyViolation {
-                    check,
-                    prefix,
-                    offender,
-                    witness,
-                },
-            );
+            self.net
+                .sim
+                .trace_mut()
+                .record(now, None, TraceCategory::Experiment, || {
+                    TraceEvent::VerifyViolation {
+                        check,
+                        prefix,
+                        offender,
+                        witness,
+                    }
+                });
         }
         let m = self.net.sim.metrics_mut();
         m.count(None, "verify.checks", report.checks as u64);

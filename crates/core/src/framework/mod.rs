@@ -1,7 +1,9 @@
 //! The hybrid BGP-SDN experiment framework: network assembly
 //! ([`network`]), experiment lifecycle ([`experiment`]), chaos fault
-//! injection ([`faults`]) and canned evaluation scenarios ([`scenarios`]).
+//! injection ([`faults`]), canned evaluation scenarios ([`scenarios`]) and
+//! multi-threaded parameter-sweep campaigns ([`campaign`]).
 
+pub mod campaign;
 pub mod experiment;
 pub mod faults;
 pub mod network;
@@ -10,6 +12,10 @@ pub mod script;
 pub mod traffic;
 pub mod verify;
 
+pub use campaign::{
+    job_seed, loss_ppm, render_job_artifact, run_campaign, run_campaign_with, run_job,
+    CampaignGrid, CampaignJob, CampaignRunReport, FaultSpec, JobOutcome, JobResult,
+};
 pub use experiment::Experiment;
 pub use faults::{FaultAction, FaultPlan};
 pub use network::{
@@ -18,8 +24,8 @@ pub use network::{
 };
 pub use scenarios::{
     clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
-    run_clique_traced, run_scale, run_scale_instrumented, CliqueScenario, EventKind,
-    ScaleOutcome, ScaleScenario, ScenarioOutcome, SCALE_UPDATE_PHASE,
+    run_clique_traced, run_clique_with, run_scale, run_scale_instrumented, CliqueRunOptions,
+    CliqueScenario, EventKind, ScaleOutcome, ScaleScenario, ScenarioOutcome, SCALE_UPDATE_PHASE,
 };
 pub use script::{Script, ScriptAction, ScriptReport, StepOutcome};
 pub use traffic::ProbeReport;

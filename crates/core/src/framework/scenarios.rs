@@ -9,10 +9,11 @@
 use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{PolicyMode, Prefix, TimingConfig};
-use bgpsdn_netsim::{SimDuration, SimRng, SimTime};
+use bgpsdn_netsim::{LatencyModel, SimDuration, SimRng, SimTime};
 use bgpsdn_topology::{caida, gen, plan, AsGraph};
 
 use super::experiment::Experiment;
+use super::faults::FaultPlan;
 use super::network::NetworkBuilder;
 
 /// Parameters of a clique experiment.
@@ -103,6 +104,19 @@ pub fn run_clique_full(
     run_clique_instrumented(scenario, event, |_| {})
 }
 
+/// Extra knobs a clique run can carry beyond the [`CliqueScenario`]
+/// parameters — what the campaign engine sweeps and injects per job.
+#[derive(Debug, Clone, Default)]
+pub struct CliqueRunOptions {
+    /// A control-plane fault schedule replayed after the routing event is
+    /// injected (the convergence wait resumes once the schedule finishes).
+    pub fault_plan: Option<FaultPlan>,
+    /// Run the static data-plane verifier at experiment checkpoints.
+    pub verification: bool,
+    /// Override the speaker↔controller channel latency model.
+    pub ctl_latency: Option<LatencyModel>,
+}
+
 /// [`run_clique_full`] with a caller-chosen instrumentation hook applied to
 /// the simulator between build and bring-up — enable trace categories, turn
 /// on profiling, resize the trace ring. Phases are closed on return, so the
@@ -110,6 +124,18 @@ pub fn run_clique_full(
 pub fn run_clique_instrumented(
     scenario: &CliqueScenario,
     event: EventKind,
+    instrument: impl FnOnce(&mut super::network::Sim),
+) -> (ScenarioOutcome, Experiment) {
+    run_clique_with(scenario, event, &CliqueRunOptions::default(), instrument)
+}
+
+/// [`run_clique_instrumented`] plus per-run options: an optional fault
+/// schedule, automatic verification checkpoints, and a control-channel
+/// latency override. This is the campaign engine's job runner.
+pub fn run_clique_with(
+    scenario: &CliqueScenario,
+    event: EventKind,
+    opts: &CliqueRunOptions,
     instrument: impl FnOnce(&mut super::network::Sim),
 ) -> (ScenarioOutcome, Experiment) {
     let ag = match event {
@@ -141,11 +167,17 @@ pub fn run_clique_instrumented(
         TimingConfig::with_mrai(scenario.mrai),
     )
     .expect("address plan");
-    let net = NetworkBuilder::new(tp, scenario.seed)
+    let mut builder = NetworkBuilder::new(tp, scenario.seed)
         .with_sdn_members(scenario.members())
         .with_recompute_delay(scenario.recompute_delay)
-        .with_control_loss(scenario.control_loss)
-        .build();
+        .with_control_loss(scenario.control_loss);
+    if let Some(model) = &opts.ctl_latency {
+        builder = builder.with_ctl_latency(model.clone());
+    }
+    if opts.verification {
+        builder = builder.with_verification();
+    }
+    let net = builder.build();
     let mut exp = Experiment::new(net);
     instrument(&mut exp.net.sim);
 
@@ -175,6 +207,9 @@ pub fn run_clique_instrumented(
             (origin_prefix, false)
         }
     };
+    if let Some(plan) = &opts.fault_plan {
+        plan.apply(&mut exp);
+    }
     let report = exp.wait_converged(PHASE_DEADLINE);
 
     let audit_ok = match event {

@@ -35,8 +35,7 @@ fn rule_action(action: FlowAction) -> RuleAction {
 /// indices, ports are simulator link ids, and link/node liveness is baked
 /// into the port map and next-hop entries.
 pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
-    let vert_of: BTreeMap<NodeId, usize> =
-        net.ases.iter().map(|a| (a.node, a.index)).collect();
+    let vert_of: BTreeMap<NodeId, usize> = net.ases.iter().map(|a| (a.node, a.index)).collect();
     // member index → plan vertex (member_index maps the other way).
     let member_vertex: BTreeMap<usize, usize> =
         net.member_index.iter().map(|(v, m)| (*m, *v)).collect();
@@ -46,9 +45,7 @@ pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
         _ => PolicyKind::AllPermit,
     };
 
-    let ctl = net
-        .controller
-        .map(|c| net.sim.node_ref::<Controller>(c));
+    let ctl = net.controller.map(|c| net.sim.node_ref::<Controller>(c));
     let speaker = net.speaker.map(|s| net.sim.node_ref::<Speaker>(s));
 
     // Cluster-originated prefixes, attributed to the owning member's vertex.

@@ -236,7 +236,10 @@ fn headless_cluster_keeps_forwarding() {
     // keeps the data plane fully connected.
     let mut exp = build(17, 0.0);
     let before = exp.connectivity_audit();
-    assert!(before.fully_connected(), "bring-up must leave full connectivity");
+    assert!(
+        before.fully_connected(),
+        "bring-up must leave full connectivity"
+    );
     exp.crash_controller();
     exp.net.sim.run_for(SimDuration::from_secs(10));
     let after = exp.connectivity_audit();

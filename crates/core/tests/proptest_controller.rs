@@ -47,8 +47,12 @@ const DEADLINE: SimDuration = SimDuration::from_secs(3600);
 
 fn build(seed: u64, incremental: bool) -> Experiment {
     let ag = AsGraph::all_peer(&gen::clique(N), 65000);
-    let tp = plan(ag, PolicyMode::AllPermit, TimingConfig::with_mrai(SimDuration::ZERO))
-        .expect("address plan");
+    let tp = plan(
+        ag,
+        PolicyMode::AllPermit,
+        TimingConfig::with_mrai(SimDuration::ZERO),
+    )
+    .expect("address plan");
     let mut b = NetworkBuilder::new(tp, seed)
         .with_sdn_members(MEMBERS.to_vec())
         .with_recompute_delay(SimDuration::from_millis(50));

@@ -4,11 +4,9 @@
 //! must produce exactly the expected violations with usable witnesses.
 
 use bgpsdn_bgp::{PolicyMode, TimingConfig};
-use bgpsdn_core::{
-    run_scale_instrumented, Experiment, NetworkBuilder, ScaleScenario, Switch,
-};
-use bgpsdn_sdn::FlowAction;
+use bgpsdn_core::{run_scale_instrumented, Experiment, NetworkBuilder, ScaleScenario, Switch};
 use bgpsdn_netsim::SimDuration;
+use bgpsdn_sdn::FlowAction;
 use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
 use bgpsdn_verify::ViolationKind;
 
@@ -38,11 +36,11 @@ fn converged_clique_verifies_clean() {
     let report = exp.verify_now();
     assert!(report.ok(), "violations on a converged clique:\n{report}");
     assert!(report.prefixes_checked >= 8, "{report}");
-    assert!(report.stale.is_empty(), "stale notes while synced: {report}");
-    assert_eq!(
-        exp.net.sim.metrics().counter(None, "verify.violations"),
-        0
+    assert!(
+        report.stale.is_empty(),
+        "stale notes while synced: {report}"
     );
+    assert_eq!(exp.net.sim.metrics().counter(None, "verify.violations"), 0);
     assert!(exp.net.sim.metrics().counter(None, "verify.checks") > 0);
 }
 
@@ -82,7 +80,7 @@ fn scale_scenario_verifies_clean() {
     let report = exp.verify_now();
     assert!(report.ok(), "violations at scale steady state:\n{report}");
     assert!(
-        report.prefixes_checked as usize >= scenario.expected_prefixes(),
+        report.prefixes_checked >= scenario.expected_prefixes(),
         "checked {} of {} prefixes",
         report.prefixes_checked,
         scenario.expected_prefixes()
@@ -124,7 +122,7 @@ fn live_flow_loop_is_caught_with_witness() {
     assert_eq!(lp.prefix, Some(p0));
     let (n4, n5) = (exp.net.sim.node_name(m4), exp.net.sim.node_name(m5));
     assert!(
-        lp.witness.contains(&n4) && lp.witness.contains(&n5),
+        lp.witness.contains(n4) && lp.witness.contains(n5),
         "loop witness must name both switches: {}",
         lp.witness
     );
@@ -133,7 +131,11 @@ fn live_flow_loop_is_caught_with_witness() {
     assert!(report.count_of(ViolationKind::IntentDrift) >= 2, "{report}");
     // And the violation reached the trace buffer as a typed event.
     assert!(
-        exp.net.sim.trace().export_jsonl().contains("verify_violation"),
+        exp.net
+            .sim
+            .trace()
+            .export_jsonl()
+            .contains("verify_violation"),
         "violations must be recorded as trace events"
     );
 }

@@ -465,7 +465,8 @@ impl<M: Message> Simulator<M> {
         let span = WallSpan::start(self.profiling);
         let alive = self.step_body(ev.body);
         if let Some(ns) = span.elapsed_ns() {
-            self.metrics.observe(None, "netsim.loop.dispatch_wall_ns", ns);
+            self.metrics
+                .observe(None, "netsim.loop.dispatch_wall_ns", ns);
         }
         alive
     }
@@ -538,9 +539,10 @@ impl<M: Message> Simulator<M> {
                     return true;
                 }
                 self.node_up[node.index()] = up;
-                self.trace.record(self.now, Some(node), TraceCategory::Link, || {
-                    TraceEvent::NodeAdmin { node: node.0, up }
-                });
+                self.trace
+                    .record(self.now, Some(node), TraceCategory::Link, || {
+                        TraceEvent::NodeAdmin { node: node.0, up }
+                    });
                 if up {
                     self.dispatch(node, |n, ctx| n.on_restart(ctx));
                 } else {
@@ -1040,7 +1042,10 @@ mod tests {
         sim.with_node::<TimerNode, _>(n, |t| {
             assert_eq!(t.fired.iter().filter(|f| **f == "work").count(), 1);
         });
-        assert!(sim.stats().timers_fired > fired_before, "keepalives continue");
+        assert!(
+            sim.stats().timers_fired > fired_before,
+            "keepalives continue"
+        );
     }
 
     #[test]

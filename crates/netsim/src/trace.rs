@@ -248,9 +248,12 @@ mod tests {
         let mut t = Trace::new(2);
         t.enable_all();
         for i in 0..5u32 {
-            t.record(SimTime::from_secs(i as u64), None, TraceCategory::Link, || {
-                TraceEvent::LinkAdmin { link: i, up: true }
-            });
+            t.record(
+                SimTime::from_secs(i as u64),
+                None,
+                TraceCategory::Link,
+                || TraceEvent::LinkAdmin { link: i, up: true },
+            );
         }
         // Drop-oldest: the two *newest* records survive.
         assert_eq!(t.len(), 2);
@@ -337,12 +340,15 @@ mod tests {
                 withdrawn: vec![],
             },
         );
-        t.record(SimTime::from_millis(9), None, TraceCategory::Experiment, || {
-            TraceEvent::Phase {
+        t.record(
+            SimTime::from_millis(9),
+            None,
+            TraceCategory::Experiment,
+            || TraceEvent::Phase {
                 name: "bring-up".into(),
                 started: true,
-            }
-        });
+            },
+        );
         let text = t.export_jsonl();
         assert_eq!(text.lines().count(), 2);
         let back = Trace::import_jsonl(&text).unwrap();

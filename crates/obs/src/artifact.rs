@@ -299,10 +299,8 @@ impl RunAnalysis {
             // No markers: treat the whole run as one phase.
             let start = artifact.events.first().map(|r| r.t).unwrap_or(0);
             let end = artifact.events.last().map(|r| r.t);
-            let last_change = last_routing_change(
-                artifact.events.iter().map(|r| (r.t, &r.event)),
-                0,
-            );
+            let last_change =
+                last_routing_change(artifact.events.iter().map(|r| (r.t, &r.event)), 0);
             let updates_sent = artifact
                 .events
                 .iter()
@@ -448,7 +446,13 @@ mod tests {
         text.push('\n');
         let artifact = RunArtifact::parse(&text).unwrap();
         assert_eq!(
-            artifact.run.as_ref().unwrap().get("scenario").unwrap().as_str(),
+            artifact
+                .run
+                .as_ref()
+                .unwrap()
+                .get("scenario")
+                .unwrap()
+                .as_str(),
             Some("clique")
         );
         assert_eq!(artifact.events.len(), 1);
@@ -475,16 +479,31 @@ mod tests {
         let artifact = RunArtifact {
             run: None,
             events: vec![
-                ev(0, None, TraceEvent::Phase { name: "bring-up".into(), started: true }),
+                ev(
+                    0,
+                    None,
+                    TraceEvent::Phase {
+                        name: "bring-up".into(),
+                        started: true,
+                    },
+                ),
                 ev(
                     10,
                     Some(1),
-                    TraceEvent::UpdateSent { peer: 2, announced: vec![pfx()], withdrawn: vec![] },
+                    TraceEvent::UpdateSent {
+                        peer: 2,
+                        announced: vec![pfx()],
+                        withdrawn: vec![],
+                    },
                 ),
                 ev(
                     12,
                     Some(2),
-                    TraceEvent::UpdateDelivered { peer: 1, announced: vec![pfx()], withdrawn: vec![] },
+                    TraceEvent::UpdateDelivered {
+                        peer: 1,
+                        announced: vec![pfx()],
+                        withdrawn: vec![],
+                    },
                 ),
                 ev(
                     20,
@@ -512,12 +531,30 @@ mod tests {
                         wall_ns: 900,
                     },
                 ),
-                ev(30, None, TraceEvent::Phase { name: "bring-up".into(), started: false }),
-                ev(40, None, TraceEvent::Phase { name: "withdrawal".into(), started: true }),
+                ev(
+                    30,
+                    None,
+                    TraceEvent::Phase {
+                        name: "bring-up".into(),
+                        started: false,
+                    },
+                ),
+                ev(
+                    40,
+                    None,
+                    TraceEvent::Phase {
+                        name: "withdrawal".into(),
+                        started: true,
+                    },
+                ),
                 ev(
                     55,
                     Some(1),
-                    TraceEvent::UpdateSent { peer: 2, announced: vec![], withdrawn: vec![pfx()] },
+                    TraceEvent::UpdateSent {
+                        peer: 2,
+                        announced: vec![],
+                        withdrawn: vec![pfx()],
+                    },
                 ),
                 ev(
                     70,
@@ -569,7 +606,15 @@ mod tests {
                     },
                 ),
                 ev(4, Some(4), TraceEvent::SpeakerHeadless { entered: false }),
-                ev(5, Some(9), TraceEvent::ControlResync { epoch: 2, sessions: 3, routes: 7 }),
+                ev(
+                    5,
+                    Some(9),
+                    TraceEvent::ControlResync {
+                        epoch: 2,
+                        sessions: 3,
+                        routes: 7,
+                    },
+                ),
             ],
             snapshots: vec![],
         };
@@ -614,7 +659,11 @@ mod tests {
             events: vec![ev(
                 7,
                 Some(1),
-                TraceEvent::RibChange { prefix: pfx(), old_path: None, new_path: Some(vec![1]) },
+                TraceEvent::RibChange {
+                    prefix: pfx(),
+                    old_path: None,
+                    new_path: Some(vec![1]),
+                },
             )],
             snapshots: vec![],
         };

@@ -1,0 +1,627 @@
+//! Campaign artifacts: merging per-run results into one JSONL document and
+//! aggregating per-grid-cell statistics.
+//!
+//! A *campaign* is a parameter sweep of independent emulation runs — the
+//! shape of the paper's Figure 2 (withdrawal convergence vs. SDN cluster
+//! size, many seeds per point). The campaign engine lives in
+//! `bgpsdn-core::framework::campaign`; this module owns the artifact format
+//! and the statistics, so `bgpsdn report` can render a campaign without
+//! depending on the framework.
+//!
+//! A merged campaign artifact is line-oriented JSONL:
+//!
+//! * `{"type":"campaign", ...}` — free-form campaign header (grid
+//!   parameters, worker count, wall time);
+//! * `{"type":"job", ...}` — one [`JobRecord`] per executed run, in job
+//!   order;
+//! * `{"type":"cell", ...}` — one [`CellStats`] per grid cell, aggregated
+//!   over that cell's seeds (min/median/p90/max for convergence time,
+//!   update count and flow-mod count).
+//!
+//! Cell lines are derivable from the job lines; they are materialized so
+//! plotting scripts can consume the artifact without re-implementing the
+//! quantile conventions.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Summary of one campaign job (a single emulation run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Job index in deterministic grid-expansion order.
+    pub id: u64,
+    /// Index of the grid cell this job belongs to.
+    pub cell: u64,
+    /// Swept parameter: SDN cluster size.
+    pub cluster: u64,
+    /// Swept parameter: control-channel loss, in parts per million.
+    pub loss_ppm: u64,
+    /// Swept parameter: control-channel latency, in nanoseconds.
+    pub ctl_latency_ns: u64,
+    /// The job's derived RNG seed.
+    pub seed: u64,
+    /// Whether the run converged within its deadline.
+    pub converged: bool,
+    /// Event convergence time, sim nanoseconds.
+    pub convergence_ns: u64,
+    /// BGP updates sent during re-convergence.
+    pub updates: u64,
+    /// Flow-table changes during re-convergence.
+    pub flow_mods: u64,
+    /// Whether the post-event audit passed.
+    pub audit_ok: bool,
+    /// Static-verifier violations recorded during the run.
+    pub verify_violations: u64,
+    /// Panic message when the job died instead of completing.
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// Serialize as one artifact line.
+    pub fn to_line(&self) -> String {
+        let mut m: Vec<(String, Json)> = vec![
+            ("type".into(), Json::Str("job".into())),
+            ("id".into(), Json::U64(self.id)),
+            ("cell".into(), Json::U64(self.cell)),
+            ("cluster".into(), Json::U64(self.cluster)),
+            ("loss_ppm".into(), Json::U64(self.loss_ppm)),
+            ("ctl_latency_ns".into(), Json::U64(self.ctl_latency_ns)),
+            ("seed".into(), Json::U64(self.seed)),
+            ("converged".into(), Json::Bool(self.converged)),
+            ("convergence_ns".into(), Json::U64(self.convergence_ns)),
+            ("updates".into(), Json::U64(self.updates)),
+            ("flow_mods".into(), Json::U64(self.flow_mods)),
+            ("audit_ok".into(), Json::Bool(self.audit_ok)),
+            (
+                "verify_violations".into(),
+                Json::U64(self.verify_violations),
+            ),
+        ];
+        if let Some(e) = &self.error {
+            m.push(("error".into(), Json::Str(e.clone())));
+        }
+        Json::Obj(m).to_compact()
+    }
+
+    /// Parse from one artifact line (an object with `"type":"job"`).
+    pub fn from_json(v: &Json) -> Result<JobRecord, String> {
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("bad {k:?}"));
+        let b = |k: &str| v.get(k).and_then(Json::as_bool).ok_or(format!("bad {k:?}"));
+        Ok(JobRecord {
+            id: u("id")?,
+            cell: u("cell")?,
+            cluster: u("cluster")?,
+            loss_ppm: u("loss_ppm")?,
+            ctl_latency_ns: u("ctl_latency_ns")?,
+            seed: u("seed")?,
+            converged: b("converged")?,
+            convergence_ns: u("convergence_ns")?,
+            updates: u("updates")?,
+            flow_mods: u("flow_mods")?,
+            audit_ok: b("audit_ok")?,
+            verify_violations: u("verify_violations")?,
+            error: v.get("error").and_then(Json::as_str).map(|s| s.to_string()),
+        })
+    }
+}
+
+/// Order statistics over one metric of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggStats {
+    /// Sample count.
+    pub n: u64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (type-7 linear interpolation).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl AggStats {
+    /// Summarize raw samples. Returns `None` for an empty input.
+    pub fn of(values: &[f64]) -> Option<AggStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in campaign stats"));
+        let q = |p: f64| -> f64 {
+            let h = p * (v.len() - 1) as f64;
+            let (lo, hi) = (h.floor() as usize, h.ceil() as usize);
+            v[lo] + (h - lo as f64) * (v[hi] - v[lo])
+        };
+        Some(AggStats {
+            n: v.len() as u64,
+            min: v[0],
+            median: q(0.5),
+            p90: q(0.9),
+            max: v[v.len() - 1],
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), Json::U64(self.n)),
+            ("min".into(), Json::F64(self.min)),
+            ("median".into(), Json::F64(self.median)),
+            ("p90".into(), Json::F64(self.p90)),
+            ("max".into(), Json::F64(self.max)),
+            ("mean".into(), Json::F64(self.mean)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<AggStats> {
+        Some(AggStats {
+            n: v.get("n")?.as_u64()?,
+            min: v.get("min")?.as_f64()?,
+            median: v.get("median")?.as_f64()?,
+            p90: v.get("p90")?.as_f64()?,
+            max: v.get("max")?.as_f64()?,
+            mean: v.get("mean")?.as_f64()?,
+        })
+    }
+}
+
+/// Aggregated statistics of one grid cell (all seeds of one parameter
+/// combination).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellStats {
+    /// The cell index jobs referenced.
+    pub cell: u64,
+    /// SDN cluster size of the cell.
+    pub cluster: u64,
+    /// Control-channel loss of the cell, parts per million.
+    pub loss_ppm: u64,
+    /// Control-channel latency of the cell, nanoseconds.
+    pub ctl_latency_ns: u64,
+    /// Jobs that completed (panicked jobs are excluded from the stats).
+    pub runs: u64,
+    /// Jobs that panicked or errored.
+    pub failed: u64,
+    /// Completed jobs that missed their convergence deadline.
+    pub unconverged: u64,
+    /// Completed jobs whose post-event audit failed.
+    pub audit_failures: u64,
+    /// Static-verifier violations summed over the cell's jobs.
+    pub verify_violations: u64,
+    /// Convergence time in seconds.
+    pub convergence_s: Option<AggStats>,
+    /// BGP updates sent.
+    pub updates: Option<AggStats>,
+    /// Flow-table changes.
+    pub flow_mods: Option<AggStats>,
+}
+
+impl CellStats {
+    /// Serialize as one artifact line.
+    pub fn to_line(&self) -> String {
+        let mut m: Vec<(String, Json)> = vec![
+            ("type".into(), Json::Str("cell".into())),
+            ("cell".into(), Json::U64(self.cell)),
+            ("cluster".into(), Json::U64(self.cluster)),
+            ("loss_ppm".into(), Json::U64(self.loss_ppm)),
+            ("ctl_latency_ns".into(), Json::U64(self.ctl_latency_ns)),
+            ("runs".into(), Json::U64(self.runs)),
+            ("failed".into(), Json::U64(self.failed)),
+            ("unconverged".into(), Json::U64(self.unconverged)),
+            ("audit_failures".into(), Json::U64(self.audit_failures)),
+            (
+                "verify_violations".into(),
+                Json::U64(self.verify_violations),
+            ),
+        ];
+        for (key, stats) in [
+            ("convergence_s", &self.convergence_s),
+            ("updates", &self.updates),
+            ("flow_mods", &self.flow_mods),
+        ] {
+            if let Some(s) = stats {
+                m.push((key.into(), s.to_json()));
+            }
+        }
+        Json::Obj(m).to_compact()
+    }
+
+    /// Parse from one artifact line (an object with `"type":"cell"`).
+    pub fn from_json(v: &Json) -> Result<CellStats, String> {
+        let u = |k: &str| v.get(k).and_then(Json::as_u64).ok_or(format!("bad {k:?}"));
+        Ok(CellStats {
+            cell: u("cell")?,
+            cluster: u("cluster")?,
+            loss_ppm: u("loss_ppm")?,
+            ctl_latency_ns: u("ctl_latency_ns")?,
+            runs: u("runs")?,
+            failed: u("failed")?,
+            unconverged: u("unconverged")?,
+            audit_failures: u("audit_failures")?,
+            verify_violations: u("verify_violations")?,
+            convergence_s: v.get("convergence_s").and_then(AggStats::from_json),
+            updates: v.get("updates").and_then(AggStats::from_json),
+            flow_mods: v.get("flow_mods").and_then(AggStats::from_json),
+        })
+    }
+}
+
+/// Group job records by cell and compute each cell's statistics. Cells come
+/// back sorted by cell index; jobs that carry an `error` count as `failed`
+/// and contribute nothing to the order statistics.
+pub fn aggregate_cells(jobs: &[JobRecord]) -> Vec<CellStats> {
+    let mut by_cell: BTreeMap<u64, Vec<&JobRecord>> = BTreeMap::new();
+    for j in jobs {
+        by_cell.entry(j.cell).or_default().push(j);
+    }
+    by_cell
+        .into_iter()
+        .map(|(cell, members)| {
+            let first = members[0];
+            let ok: Vec<&&JobRecord> = members.iter().filter(|j| j.error.is_none()).collect();
+            let conv: Vec<f64> = ok.iter().map(|j| j.convergence_ns as f64 / 1e9).collect();
+            let updates: Vec<f64> = ok.iter().map(|j| j.updates as f64).collect();
+            let flow_mods: Vec<f64> = ok.iter().map(|j| j.flow_mods as f64).collect();
+            CellStats {
+                cell,
+                cluster: first.cluster,
+                loss_ppm: first.loss_ppm,
+                ctl_latency_ns: first.ctl_latency_ns,
+                runs: ok.len() as u64,
+                failed: (members.len() - ok.len()) as u64,
+                unconverged: ok.iter().filter(|j| !j.converged).count() as u64,
+                audit_failures: ok.iter().filter(|j| !j.audit_ok).count() as u64,
+                verify_violations: ok.iter().map(|j| j.verify_violations).sum(),
+                convergence_s: AggStats::of(&conv),
+                updates: AggStats::of(&updates),
+                flow_mods: AggStats::of(&flow_mods),
+            }
+        })
+        .collect()
+}
+
+/// A parsed (or freshly merged) campaign artifact.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignArtifact {
+    /// The campaign header, minus the `"type"` tag.
+    pub header: Option<Json>,
+    /// All job records in job order.
+    pub jobs: Vec<JobRecord>,
+    /// Aggregated per-cell statistics.
+    pub cells: Vec<CellStats>,
+}
+
+impl CampaignArtifact {
+    /// Whether a JSONL document is a campaign artifact (first non-empty
+    /// line is a `campaign` header).
+    pub fn sniff(text: &str) -> bool {
+        text.lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty())
+            .and_then(|l| Json::parse(l).ok())
+            .map(|v| v.get("type").and_then(Json::as_str) == Some("campaign"))
+            .unwrap_or(false)
+    }
+
+    /// Merge job records into one artifact document: the header line, one
+    /// `job` line per record, and one freshly aggregated `cell` line per
+    /// grid cell. `info` should be an object; its members follow the
+    /// `"type"` tag.
+    pub fn render(info: &Json, jobs: &[JobRecord]) -> String {
+        let mut members: Vec<(String, Json)> = vec![("type".into(), Json::Str("campaign".into()))];
+        if let Json::Obj(m) = info {
+            members.extend(m.iter().cloned());
+        }
+        let mut text = Json::Obj(members).to_compact();
+        text.push('\n');
+        for j in jobs {
+            text.push_str(&j.to_line());
+            text.push('\n');
+        }
+        for c in aggregate_cells(jobs) {
+            text.push_str(&c.to_line());
+            text.push('\n');
+        }
+        text
+    }
+
+    /// Parse a campaign artifact. Cell lines are read back when present
+    /// and recomputed from the job lines when absent, so a truncated
+    /// artifact (jobs only) still reports. Unknown line types are skipped.
+    pub fn parse(text: &str) -> Result<CampaignArtifact, String> {
+        let mut out = CampaignArtifact::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            match v.get("type").and_then(Json::as_str) {
+                Some("campaign") => {
+                    let members = match &v {
+                        Json::Obj(m) => m
+                            .iter()
+                            .filter(|(k, _)| k != "type")
+                            .cloned()
+                            .collect::<Vec<_>>(),
+                        _ => Vec::new(),
+                    };
+                    out.header = Some(Json::Obj(members));
+                }
+                Some("job") => out.jobs.push(
+                    JobRecord::from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                ),
+                Some("cell") => out.cells.push(
+                    CellStats::from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                ),
+                Some(_) => {}
+                None => return Err(format!("line {}: missing \"type\"", lineno + 1)),
+            }
+        }
+        if out.cells.is_empty() && !out.jobs.is_empty() {
+            out.cells = aggregate_cells(&out.jobs);
+        }
+        Ok(out)
+    }
+
+    /// Human-readable grid-cell table (what `bgpsdn report` prints for a
+    /// campaign artifact).
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        if let Some(h) = &self.header {
+            let _ = writeln!(out, "campaign: {}", h.to_compact());
+        }
+        let sweep_loss = self.cells.iter().any(|c| c.loss_ppm != 0);
+        let sweep_lat = {
+            let first = self.cells.first().map(|c| c.ctl_latency_ns);
+            self.cells.iter().any(|c| Some(c.ctl_latency_ns) != first)
+        };
+        let _ = writeln!(out, "== grid cells ({} jobs)", self.jobs.len());
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            "cell",
+            "cluster",
+            "loss",
+            "runs",
+            "conv min",
+            "median",
+            "p90",
+            "max",
+            "updates",
+            "flowmods"
+        );
+        for c in &self.cells {
+            let loss = if sweep_loss || sweep_lat {
+                format!("{:.2}%", c.loss_ppm as f64 / 10_000.0)
+            } else {
+                "-".to_string()
+            };
+            let (cmin, cmed, cp90, cmax) = match &c.convergence_s {
+                Some(s) => (
+                    format!("{:.2}s", s.min),
+                    format!("{:.2}s", s.median),
+                    format!("{:.2}s", s.p90),
+                    format!("{:.2}s", s.max),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            let med = |s: &Option<AggStats>| {
+                s.as_ref()
+                    .map(|s| format!("{:.0}", s.median))
+                    .unwrap_or_else(|| "-".into())
+            };
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+                c.cell,
+                c.cluster,
+                loss,
+                c.runs,
+                cmin,
+                cmed,
+                cp90,
+                cmax,
+                med(&c.updates),
+                med(&c.flow_mods),
+            );
+        }
+        let failed: u64 = self.cells.iter().map(|c| c.failed).sum();
+        let unconverged: u64 = self.cells.iter().map(|c| c.unconverged).sum();
+        let audit_failures: u64 = self.cells.iter().map(|c| c.audit_failures).sum();
+        let violations: u64 = self.cells.iter().map(|c| c.verify_violations).sum();
+        let _ = writeln!(
+            out,
+            "== health: {failed} failed, {unconverged} unconverged, {audit_failures} audit failures, {violations} verifier violations",
+        );
+        for j in self.jobs.iter().filter(|j| j.error.is_some()) {
+            let _ = writeln!(
+                out,
+                "  job {} (cell {}, seed {}): {}",
+                j.id,
+                j.cell,
+                j.seed,
+                j.error.as_deref().unwrap_or("?")
+            );
+        }
+        out
+    }
+}
+
+/// Canonicalize a per-run JSONL artifact for byte-comparison: zero the
+/// wall-clock `wall_ns` member of event lines and drop wall-clock
+/// histograms (`*wall_ns` metric names) from metrics lines. Everything a
+/// deterministic simulation controls survives untouched, so two runs of
+/// the same seed must canonicalize identically.
+pub fn canonicalize_jsonl(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(v) = Json::parse(trimmed) else {
+            out.push_str(trimmed);
+            out.push('\n');
+            continue;
+        };
+        let canonical = match v.get("type").and_then(Json::as_str) {
+            Some("event") => {
+                let Json::Obj(members) = v else {
+                    unreachable!()
+                };
+                Json::Obj(
+                    members
+                        .into_iter()
+                        .map(|(k, val)| {
+                            if k == "wall_ns" {
+                                (k, Json::U64(0))
+                            } else {
+                                (k, val)
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Some("metrics") => {
+                let Json::Obj(members) = v else {
+                    unreachable!()
+                };
+                Json::Obj(
+                    members
+                        .into_iter()
+                        .map(|(k, val)| {
+                            if k != "metrics" {
+                                return (k, val);
+                            }
+                            let Json::Arr(entries) = val else {
+                                return (k, val);
+                            };
+                            let kept = entries
+                                .into_iter()
+                                .filter(|e| {
+                                    e.get("name")
+                                        .and_then(Json::as_str)
+                                        .map(|n| !n.ends_with("wall_ns"))
+                                        .unwrap_or(true)
+                                })
+                                .collect();
+                            (k, Json::Arr(kept))
+                        })
+                        .collect(),
+                )
+            }
+            _ => v,
+        };
+        out.push_str(&canonical.to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, cell: u64, cluster: u64, conv_s: f64) -> JobRecord {
+        JobRecord {
+            id,
+            cell,
+            cluster,
+            loss_ppm: 0,
+            ctl_latency_ns: 1_000_000,
+            seed: 100 + id,
+            converged: true,
+            convergence_ns: (conv_s * 1e9) as u64,
+            updates: 10 * (id + 1),
+            flow_mods: id,
+            audit_ok: true,
+            verify_violations: 0,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn agg_stats_quantiles() {
+        let s = AggStats::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.p90 - 4.6).abs() < 1e-9, "type-7 p90 of 1..5 is 4.6");
+        assert!(AggStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn aggregate_groups_by_cell_and_excludes_failures() {
+        let mut jobs = vec![job(0, 0, 4, 10.0), job(1, 0, 4, 20.0), job(2, 1, 8, 5.0)];
+        jobs.push(JobRecord {
+            error: Some("boom".into()),
+            ..job(3, 1, 8, 999.0)
+        });
+        let cells = aggregate_cells(&jobs);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].cell, 0);
+        assert_eq!(cells[0].runs, 2);
+        assert_eq!(cells[0].convergence_s.as_ref().unwrap().median, 15.0);
+        assert_eq!(cells[1].runs, 1);
+        assert_eq!(cells[1].failed, 1);
+        assert_eq!(cells[1].convergence_s.as_ref().unwrap().max, 5.0);
+    }
+
+    #[test]
+    fn campaign_roundtrips_through_render_and_parse() {
+        let jobs = vec![job(0, 0, 4, 10.0), job(1, 0, 4, 20.0)];
+        let info = Json::Obj(vec![("name".into(), Json::Str("fig2".into()))]);
+        let text = CampaignArtifact::render(&info, &jobs);
+        assert!(CampaignArtifact::sniff(&text));
+        let parsed = CampaignArtifact::parse(&text).unwrap();
+        assert_eq!(parsed.jobs, jobs);
+        assert_eq!(parsed.cells, aggregate_cells(&jobs));
+        assert_eq!(
+            parsed.header.unwrap().get("name").unwrap().as_str(),
+            Some("fig2")
+        );
+        let report = CampaignArtifact::parse(&text).unwrap().render_report();
+        assert!(report.contains("grid cells"), "{report}");
+        assert!(report.contains("15.00s"), "median in table: {report}");
+    }
+
+    #[test]
+    fn parse_recomputes_cells_when_absent() {
+        let jobs = vec![job(0, 0, 4, 10.0)];
+        let info = Json::Obj(vec![]);
+        let text: String = CampaignArtifact::render(&info, &jobs)
+            .lines()
+            .filter(|l| !l.contains("\"cell\",") && !l.contains("\"type\":\"cell\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = CampaignArtifact::parse(&text).unwrap();
+        assert_eq!(parsed.cells, aggregate_cells(&jobs));
+    }
+
+    #[test]
+    fn sniff_rejects_run_artifacts() {
+        assert!(!CampaignArtifact::sniff("{\"type\":\"run\",\"x\":1}\n"));
+        assert!(!CampaignArtifact::sniff(""));
+    }
+
+    #[test]
+    fn canonicalize_zeroes_wall_clock_fields() {
+        let text = "{\"type\":\"event\",\"t\":5,\"kind\":\"x\",\"wall_ns\":12345}\n\
+                    {\"type\":\"metrics\",\"phase\":\"p\",\"metrics\":[\
+                    {\"node\":null,\"name\":\"core.controller.recompute_wall_ns\",\"count\":3},\
+                    {\"node\":null,\"name\":\"verify.checks\",\"counter\":7}]}\n";
+        let canon = canonicalize_jsonl(text);
+        assert!(canon.contains("\"wall_ns\":0"), "{canon}");
+        assert!(!canon.contains("recompute_wall_ns"), "{canon}");
+        assert!(canon.contains("verify.checks"), "{canon}");
+        // Idempotent.
+        assert_eq!(canonicalize_jsonl(&canon), canon);
+    }
+}

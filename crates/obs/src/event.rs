@@ -123,8 +123,12 @@ impl std::str::FromStr for ObsPrefix {
     type Err = String;
 
     fn from_str(s: &str) -> Result<ObsPrefix, String> {
-        let (ip, len) = s.split_once('/').ok_or_else(|| format!("no '/' in {s:?}"))?;
-        let len: u8 = len.parse().map_err(|_| format!("bad mask length in {s:?}"))?;
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("no '/' in {s:?}"))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| format!("bad mask length in {s:?}"))?;
         if len > 32 {
             return Err(format!("mask length {len} > 32"));
         }
@@ -427,9 +431,7 @@ impl TraceEvent {
             TraceEvent::FlowInstalled { .. } | TraceEvent::FlowRemoved { .. } => {
                 TraceCategory::Flow
             }
-            TraceEvent::SessionUp { .. } | TraceEvent::SessionDown { .. } => {
-                TraceCategory::Session
-            }
+            TraceEvent::SessionUp { .. } | TraceEvent::SessionDown { .. } => TraceCategory::Session,
             // VerifyViolation shares Experiment: the 8-bit category mask
             // is full, and verification runs are experiment-level events.
             TraceEvent::Phase { .. } | TraceEvent::VerifyViolation { .. } => {
@@ -929,7 +931,10 @@ impl fmt::Display for TraceEvent {
                 epoch,
                 sessions,
                 routes,
-            } => write!(f, "resync epoch {epoch} ({sessions} sessions, {routes} routes)"),
+            } => write!(
+                f,
+                "resync epoch {epoch} ({sessions} sessions, {routes} routes)"
+            ),
             TraceEvent::ControlRetransmit {
                 from_controller,
                 oldest_seq,
@@ -1079,14 +1084,14 @@ mod tests {
         let p: ObsPrefix = "10.42.0.0/16".parse().unwrap();
         assert_eq!(p, ObsPrefix::new(0x0a2a0000, 16));
         assert_eq!(p.to_string(), "10.42.0.0/16");
-        assert_eq!("0.0.0.0/0".parse::<ObsPrefix>().unwrap().to_string(), "0.0.0.0/0");
+        assert_eq!(
+            "0.0.0.0/0".parse::<ObsPrefix>().unwrap().to_string(),
+            "0.0.0.0/0"
+        );
         assert!("10.0.0.0/33".parse::<ObsPrefix>().is_err());
         assert!("10.0.0/8".parse::<ObsPrefix>().is_err());
         // Host bits are masked off.
-        assert_eq!(
-            ObsPrefix::new(0x0a0a0a0a, 8).to_string(),
-            "10.0.0.0/8"
-        );
+        assert_eq!(ObsPrefix::new(0x0a0a0a0a, 8).to_string(), "10.0.0.0/8");
     }
 
     #[test]

@@ -417,7 +417,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let mut v: u32 = 0;
         for _ in 0..4 {
-            let b = self.peek().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = match b {
                 b'0'..=b'9' => (b - b'0') as u32,
                 b'a'..=b'f' => (b - b'a' + 10) as u32,
@@ -603,7 +605,16 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "tru", "{", "[1,", "\"abc", "{\"a\" 1}", "1 2", "\"\\u12\""] {
+        for bad in [
+            "",
+            "tru",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\" 1}",
+            "1 2",
+            "\"\\u12\"",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

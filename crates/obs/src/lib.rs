@@ -13,7 +13,10 @@
 //!   through;
 //! * [`artifact`]: JSONL run artifacts and the analysis behind
 //!   `bgpsdn report` (per-node update counts, recompute latency
-//!   histograms, convergence timelines).
+//!   histograms, convergence timelines);
+//! * [`campaign`]: merged campaign artifacts for parameter sweeps —
+//!   per-job summary records, per-grid-cell min/median/p90/max
+//!   aggregation, and the grid-cell tables `bgpsdn report` renders.
 //!
 //! Metric names follow `<crate>.<subsystem>.<name>`; see DESIGN.md's
 //! "Observability" section for the full convention and JSONL schema.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod campaign;
 pub mod event;
 pub mod json;
 pub mod metrics;
@@ -33,7 +37,12 @@ pub use artifact::{
     event_line, last_routing_change, metrics_line, run_line, EventRecord, PhaseSummary,
     RunAnalysis, RunArtifact,
 };
+pub use campaign::{
+    aggregate_cells, canonicalize_jsonl, AggStats, CampaignArtifact, CellStats, JobRecord,
+};
 pub use event::{FlowActionRepr, ObsPrefix, RecomputeTrigger, TraceCategory, TraceEvent};
 pub use json::{Json, JsonError, ToJson};
-pub use metrics::{log2_bucket, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    log2_bucket, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
 pub use span::{sim_span_ns, WallSpan};

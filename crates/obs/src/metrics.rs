@@ -213,9 +213,7 @@ impl MetricsSnapshot {
                                 "buckets".into(),
                                 Json::Arr(
                                     h.nonzero_buckets()
-                                        .map(|(lo, c)| {
-                                            Json::Arr(vec![Json::U64(lo), Json::U64(c)])
-                                        })
+                                        .map(|(lo, c)| Json::Arr(vec![Json::U64(lo), Json::U64(c)]))
                                         .collect(),
                                 ),
                             ));
@@ -254,7 +252,10 @@ impl MetricsRegistry {
 
     /// Record a histogram sample.
     pub fn observe(&mut self, node: Option<u32>, name: &'static str, value: u64) {
-        self.histograms.entry((node, name)).or_default().record(value);
+        self.histograms
+            .entry((node, name))
+            .or_default()
+            .record(value);
     }
 
     /// Current counter value (0 when never touched).

@@ -21,11 +21,30 @@ fn arb_prefixes() -> impl Strategy<Value = Vec<ObsPrefix>> {
 /// control characters, multi-byte UTF-8 incl. astral-plane codepoints.
 fn arb_text() -> impl Strategy<Value = String> {
     const ALPHABET: &[char] = &[
-        'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '/', '{', '\u{08}', '\u{0c}', '\u{1}',
-        'é', '\u{2192}', '\u{1F600}', '\u{10FFFF}',
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '\n',
+        '\r',
+        '\t',
+        '/',
+        '{',
+        '\u{08}',
+        '\u{0c}',
+        '\u{1}',
+        'é',
+        '\u{2192}',
+        '\u{1F600}',
+        '\u{10FFFF}',
     ];
-    prop::collection::vec(any::<u16>(), 0..16)
-        .prop_map(|cs| cs.into_iter().map(|c| ALPHABET[c as usize % ALPHABET.len()]).collect())
+    prop::collection::vec(any::<u16>(), 0..16).prop_map(|cs| {
+        cs.into_iter()
+            .map(|c| ALPHABET[c as usize % ALPHABET.len()])
+            .collect()
+    })
 }
 
 fn arb_path() -> impl Strategy<Value = Option<Vec<u32>>> {
@@ -108,7 +127,16 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
             any::<u64>(),
         )
             .prop_map(
-                |(trigger, counts, members, links_up, flow_mods, announcements, withdrawals, wall_ns)| {
+                |(
+                    trigger,
+                    counts,
+                    members,
+                    links_up,
+                    flow_mods,
+                    announcements,
+                    withdrawals,
+                    wall_ns,
+                )| {
                     let (prefixes, prefixes_dirty, prefixes_recomputed, prefixes_cached) = counts;
                     TraceEvent::ControllerRecompute {
                         trigger,
@@ -125,8 +153,7 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                     }
                 },
             ),
-        (arb_text(), any::<bool>())
-            .prop_map(|(name, started)| TraceEvent::Phase { name, started }),
+        (arb_text(), any::<bool>()).prop_map(|(name, started)| TraceEvent::Phase { name, started }),
         (any::<u32>(), any::<bool>()).prop_map(|(link, up)| TraceEvent::LinkAdmin { link, up }),
         any::<u64>().prop_map(|token| TraceEvent::TimerFired { token }),
         (any::<u32>(), any::<bool>()).prop_map(|(node, up)| TraceEvent::NodeAdmin { node, up }),

@@ -33,13 +33,7 @@ struct EventSink {
 }
 
 impl Node<ClusterMsg> for EventSink {
-    fn on_message(
-        &mut self,
-        ctx: &mut Ctx<'_, ClusterMsg>,
-        _f: NodeId,
-        l: LinkId,
-        m: ClusterMsg,
-    ) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, ClusterMsg>, _f: NodeId, l: LinkId, m: ClusterMsg) {
         match m {
             ClusterMsg::SpeakerEvent(e) => self.events.push(e),
             ClusterMsg::Ctrl(CtrlMsg::Event { epoch, seq, event }) => {

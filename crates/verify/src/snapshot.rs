@@ -380,12 +380,11 @@ impl NodeState {
             .and_then(Json::as_str)
             .ok_or("bad \"name\"")?
             .to_string();
-        let asn = Asn(
-            v.get("asn")
-                .and_then(Json::as_u64)
-                .and_then(|n| u32::try_from(n).ok())
-                .ok_or("bad \"asn\"")?,
-        );
+        let asn = Asn(v
+            .get("asn")
+            .and_then(Json::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or("bad \"asn\"")?);
         let originated = v
             .get("originated")
             .and_then(Json::as_arr)
@@ -402,8 +401,7 @@ impl NodeState {
                     .iter()
                     .map(|r| {
                         let prefix = get_prefix(r, "prefix")?;
-                        let as_path =
-                            path_from_json(r.get("path").ok_or("missing \"path\"")?)?;
+                        let as_path = path_from_json(r.get("path").ok_or("missing \"path\"")?)?;
                         let next = match r.get("next") {
                             Some(Json::Null) | None => NextHop::Deliver,
                             Some(n) => NextHop::Via {
@@ -435,9 +433,7 @@ impl NodeState {
                             priority: u16::try_from(get_usize(r, "priority")?)
                                 .map_err(|_| "priority out of range".to_string())?,
                             prefix: get_prefix(r, "prefix")?,
-                            action: action_from_json(
-                                r.get("action").ok_or("missing \"action\"")?,
-                            )?,
+                            action: action_from_json(r.get("action").ok_or("missing \"action\"")?)?,
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
@@ -632,12 +628,8 @@ impl Snapshot {
                     ext_peer: get_usize(s, "peer")?,
                     established: get_bool(s, "established")?,
                     ctrl_up: get_bool(s, "ctrl_up")?,
-                    intent: announce_list_from_json(
-                        s.get("intent").ok_or("missing \"intent\"")?,
-                    )?,
-                    actual: announce_list_from_json(
-                        s.get("actual").ok_or("missing \"actual\"")?,
-                    )?,
+                    intent: announce_list_from_json(s.get("intent").ok_or("missing \"intent\"")?)?,
+                    actual: announce_list_from_json(s.get("actual").ok_or("missing \"actual\"")?)?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;

@@ -373,27 +373,23 @@ impl Verifier {
             }
             self.hops[v] = match (&node.device, self.tables[v].lookup(addr)) {
                 (_, None) => Hop::NoRoute,
-                (Device::Legacy { routes }, Some(entry)) => {
-                    match routes[from_entry(entry)].next {
-                        NextHop::Deliver => Hop::Deliver,
-                        NextHop::Via { peer, up } => Hop::Via { peer, up, entry },
-                    }
-                }
+                (Device::Legacy { routes }, Some(entry)) => match routes[from_entry(entry)].next {
+                    NextHop::Deliver => Hop::Deliver,
+                    NextHop::Via { peer, up } => Hop::Via { peer, up, entry },
+                },
                 (Device::Member { rules, ports, .. }, Some(entry)) => {
                     match rules[from_entry(entry)].action {
                         RuleAction::Local => Hop::Deliver,
                         RuleAction::Drop => Hop::Drop,
                         RuleAction::ToController => Hop::Punt,
-                        RuleAction::Output(port) => {
-                            match ports.iter().find(|p| p.port == port) {
-                                Some(p) => Hop::Via {
-                                    peer: p.peer,
-                                    up: p.up,
-                                    entry,
-                                },
-                                None => Hop::DeadPort { port, entry },
-                            }
-                        }
+                        RuleAction::Output(port) => match ports.iter().find(|p| p.port == port) {
+                            Some(p) => Hop::Via {
+                                peer: p.peer,
+                                up: p.up,
+                                entry,
+                            },
+                            None => Hop::DeadPort { port, entry },
+                        },
                     }
                 }
             };
@@ -438,12 +434,7 @@ impl Verifier {
                         // node mid-chain is a dead end for its predecessors
                         // (but fine when it is the start of the walk).
                         if self.path.len() > 1 {
-                            self.report_dead_end(
-                                snap,
-                                prefix,
-                                "next hop has no route",
-                                report,
-                            );
+                            self.report_dead_end(snap, prefix, "next hop has no route", report);
                             break Outcome::Bad;
                         }
                         break Outcome::Ok;
@@ -487,12 +478,14 @@ impl Verifier {
     }
 
     /// Emit a loop violation; `reentry` is the node closing the cycle.
-    fn report_loop(&mut self, snap: &Snapshot, prefix: Prefix, reentry: usize, report: &mut Report) {
-        let cycle_start = self
-            .path
-            .iter()
-            .position(|&v| v == reentry)
-            .unwrap_or(0);
+    fn report_loop(
+        &mut self,
+        snap: &Snapshot,
+        prefix: Prefix,
+        reentry: usize,
+        report: &mut Report,
+    ) {
+        let cycle_start = self.path.iter().position(|&v| v == reentry).unwrap_or(0);
         let cycle = &self.path[cycle_start..];
         let mut witness = String::new();
         for &v in cycle {

@@ -285,7 +285,11 @@ fn explicit_drop_is_a_legal_terminal() {
     snap.intent_flows[1][0].1 = RuleAction::Drop;
 
     let report = Verifier::new().verify(&snap);
-    assert!(report.ok(), "drop is explicit, not a blackhole:\n{}", report.render());
+    assert!(
+        report.ok(),
+        "drop is explicit, not a blackhole:\n{}",
+        report.render()
+    );
 }
 
 /// Three legacy ASes with Gao-Rexford relationships for valley tests:

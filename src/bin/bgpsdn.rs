@@ -5,12 +5,16 @@
 //! bgpsdn run    --event withdrawal|announcement|failover --sdn K
 //!               [--n SIZE] [--mrai SECS] [--seed S] [--recompute-ms MS]
 //!               [--trace-out FILE]
+//! bgpsdn sweep  --fig2 | --sizes K1,K2,... [--seeds N] [--workers W]
+//!               [--out FILE] [--artifacts DIR] [--loss L1,L2,...]
+//!               [--chaos OUTAGES] [--verify] ...
 //! bgpsdn report FILE
 //! bgpsdn verify --snapshot FILE
 //! bgpsdn ping   --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use bgp_sdn_emu::prelude::*;
 
@@ -26,9 +30,31 @@ fn usage() -> ExitCode {
       one clique experiment, printing the outcome; with --trace-out,
       write the full typed-event JSONL artifact
 
+  bgpsdn sweep --fig2 | --sizes K1,K2,... [options]
+      run a parameter-sweep campaign on a worker pool and merge the runs
+      into one campaign artifact with per-grid-cell statistics.
+      --fig2              the paper's Figure 2 grid (16-AS clique
+                          withdrawal, cluster sizes 0..=16)
+      --sizes K1,K2,...   explicit cluster-size axis
+      --loss L1,L2,...    control-channel loss axis (default 0)
+      --ctl-latency-ms L1,L2,...
+                          control-channel latency axis (default 1)
+      --seeds N           repetitions per grid cell (default 10)
+      --workers W         worker threads (default: all cores)
+      --n SIZE --mrai SECS --recompute-ms MS --base-seed S
+                          shared scenario parameters
+      --event withdrawal|announcement|failover (default withdrawal)
+      --chaos OUTAGES [--chaos-horizon SECS]
+                          seeded per-job control-plane outage schedules
+      --verify            static-verifier checkpoints in every job
+      --out FILE          merged campaign artifact (default
+                          <name>_campaign.jsonl)
+      --artifacts DIR     also write each job's isolated JSONL artifact
+
   bgpsdn report FILE
       analyze a JSONL trace artifact: per-node update counts, recompute
-      latency histogram, convergence timeline
+      latency histogram, convergence timeline; campaign artifacts render
+      as per-grid-cell tables
 
   bgpsdn verify --snapshot FILE
       run the static data-plane verifier (loop-freedom, blackholes,
@@ -48,13 +74,42 @@ struct Args {
 impl Args {
     fn parse(raw: &[String]) -> Option<Args> {
         let mut flags = Vec::new();
-        let mut it = raw.iter();
+        let mut it = raw.iter().peekable();
         while let Some(flag) = it.next() {
             let name = flag.strip_prefix("--")?;
-            let value = it.next()?;
-            flags.push((name.to_string(), value.clone()));
+            // A flag followed by another flag (or by nothing) is a bare
+            // boolean switch: `--fig2`, `--verify`.
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned()?,
+                _ => "true".to_string(),
+            };
+            flags.push((name.to_string(), value));
         }
         Some(Args { flags })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Comma-separated list flag.
+    fn get_list<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, String> {
+        match self.get_str(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("bad element in --{name}: {s:?}"))
+                })
+                .collect(),
+        }
     }
 
     fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -198,8 +253,163 @@ fn write_artifact(
     Ok(())
 }
 
+fn parse_event(raw: Option<&str>) -> Result<EventKind, String> {
+    match raw {
+        None | Some("withdrawal") => Ok(EventKind::Withdrawal),
+        Some("announcement") => Ok(EventKind::Announcement),
+        Some("failover") => Ok(EventKind::Failover),
+        other => Err(format!(
+            "--event must be withdrawal|announcement|failover, got {other:?}"
+        )),
+    }
+}
+
+/// Build the campaign grid a `sweep` invocation describes.
+fn sweep_grid(args: &Args) -> Result<CampaignGrid, String> {
+    let seeds: u64 = args.get("seeds", 10)?;
+    if seeds == 0 {
+        return Err("--seeds must be at least 1".into());
+    }
+    let mut grid = if args.has("fig2") {
+        CampaignGrid::fig2(seeds)
+    } else {
+        let sizes: Vec<usize> = args.get_list("sizes", vec![])?;
+        if sizes.is_empty() {
+            return Err("sweep needs --fig2 or --sizes K1,K2,...".into());
+        }
+        let n: usize = args.get("n", 16)?;
+        if sizes.iter().any(|&k| k > n) {
+            return Err(format!("--sizes entries must be <= --n ({n})"));
+        }
+        CampaignGrid {
+            name: "sweep".to_string(),
+            n,
+            event: parse_event(args.get_str("event"))?,
+            cluster_sizes: sizes,
+            loss: args.get_list("loss", vec![0.0])?,
+            ctl_latency: args
+                .get_list("ctl-latency-ms", vec![1u64])?
+                .into_iter()
+                .map(SimDuration::from_millis)
+                .collect(),
+            mrai: SimDuration::from_secs(args.get("mrai", 30u64)?),
+            recompute_delay: SimDuration::from_millis(args.get("recompute-ms", 100u64)?),
+            seeds,
+            base_seed: args.get("base-seed", 1000u64)?,
+            faults: None,
+            verify: args.has("verify"),
+        }
+    };
+    // Flags that refine the fig2 preset too.
+    if args.has("fig2") {
+        grid.base_seed = args.get("base-seed", grid.base_seed)?;
+        grid.verify = args.has("verify");
+    }
+    let outages: usize = args.get("chaos", 0)?;
+    if outages > 0 {
+        grid.faults = Some(FaultSpec {
+            outages,
+            horizon: SimDuration::from_secs(args.get("chaos-horizon", 60u64)?),
+        });
+    }
+    Ok(grid)
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let grid = sweep_grid(args)?;
+    let workers: usize = args.get(
+        "workers",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    )?;
+    let artifacts_dir = args.get_str("artifacts").map(std::path::PathBuf::from);
+    if let Some(dir) = &artifacts_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let default_out = format!("{}_campaign.jsonl", grid.name);
+    let out_path = args.get_str("out").unwrap_or(&default_out).to_string();
+
+    let jobs = grid.expand();
+    println!(
+        "campaign {}: {} cells x {} seeds = {} jobs on {} workers",
+        grid.name,
+        grid.cell_count(),
+        grid.seeds,
+        jobs.len(),
+        workers.max(1)
+    );
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    let trace = artifacts_dir.is_some();
+    let report = run_campaign_with(
+        jobs,
+        workers,
+        |job| {
+            let mut outcome = run_job(job, trace);
+            if let (Some(dir), Some(text)) = (&artifacts_dir, outcome.artifact.take()) {
+                let name = format!(
+                    "job-{:04}_k{}_s{}.jsonl",
+                    job.id, job.cluster, job.seed_index
+                );
+                if let Err(e) = std::fs::write(dir.join(&name), text) {
+                    eprintln!("warning: writing {name}: {e}");
+                }
+            }
+            outcome
+        },
+        |r| {
+            let i = done.fetch_add(1, Ordering::Relaxed) + 1;
+            match &r.outcome {
+                Ok(o) => println!(
+                    "[{i:>4}/{total}] job {:>4} cell {:>3} (k={:<2} loss={:.2}% seed#{}) {} in {}",
+                    r.job.id,
+                    r.job.cell,
+                    r.job.cluster,
+                    r.job.loss * 100.0,
+                    r.job.seed_index,
+                    if o.outcome.converged && o.outcome.audit_ok {
+                        "ok"
+                    } else {
+                        "FAIL"
+                    },
+                    o.outcome.convergence,
+                ),
+                Err(e) => println!(
+                    "[{i:>4}/{total}] job {:>4} cell {:>3} PANIC: {e}",
+                    r.job.id, r.job.cell
+                ),
+            }
+        },
+    );
+
+    let merged = report.render_artifact(&grid);
+    std::fs::write(&out_path, &merged).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "\ncampaign artifact: {out_path} ({} jobs, {} workers, {:.2}s wall)",
+        report.results.len(),
+        report.workers,
+        report.wall.as_secs_f64()
+    );
+    let parsed = CampaignArtifact::parse(&merged)?;
+    print!("{}", parsed.render_report());
+
+    let unhealthy: u64 = parsed
+        .cells
+        .iter()
+        .map(|c| c.failed + c.unconverged + c.audit_failures + c.verify_violations)
+        .sum();
+    if unhealthy > 0 {
+        return Err(format!("{unhealthy} unhealthy runs (see table above)"));
+    }
+    Ok(())
+}
+
 fn cmd_report(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if CampaignArtifact::sniff(&text) {
+        let campaign = CampaignArtifact::parse(&text)?;
+        print!("{}", campaign.render_report());
+        return Ok(());
+    }
     let artifact = RunArtifact::parse(&text)?;
     if let Some(run) = &artifact.run {
         println!("run: {}", run.to_compact());
@@ -342,6 +552,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "fig2" => cmd_fig2(&args),
         "run" => cmd_run(&args),
+        "sweep" => cmd_sweep(&args),
         "verify" => cmd_verify(&args),
         "ping" => cmd_ping(&args),
         _ => return usage(),

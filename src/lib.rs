@@ -56,15 +56,20 @@ pub mod prelude {
     };
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
-        clique_sweep_point, event_phase_name, run_clique, run_clique_traced, AsKind,
-        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultPlan, HybridNetwork,
-        NetworkBuilder, Router, ScenarioOutcome, Speaker, Switch,
+        clique_sweep_point, event_phase_name, run_campaign, run_campaign_with, run_clique,
+        run_clique_traced, run_clique_with, run_job, AsKind, CampaignGrid, CampaignJob,
+        CampaignRunReport, CliqueRunOptions, CliqueScenario, Controller, EventKind, Experiment,
+        FaultAction, FaultPlan, FaultSpec, HybridNetwork, JobResult, NetworkBuilder, Router,
+        ScenarioOutcome, Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,
         TraceCategory, TraceEvent,
     };
-    pub use bgpsdn_obs::{metrics_line, run_line, Json, RunAnalysis, RunArtifact};
+    pub use bgpsdn_obs::{
+        canonicalize_jsonl, metrics_line, run_line, CampaignArtifact, Json, RunAnalysis,
+        RunArtifact,
+    };
     pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
     pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
     pub use bgpsdn_verify::{Report as VerifyReport, Snapshot, Verifier, Violation, ViolationKind};

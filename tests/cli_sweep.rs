@@ -1,0 +1,111 @@
+//! End-to-end CLI test: `bgpsdn sweep` runs a small campaign on the worker
+//! pool, writes a merged campaign artifact, and `bgpsdn report` renders the
+//! per-grid-cell table from it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bgp_sdn_emu::prelude::*;
+
+fn bgpsdn() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bgpsdn"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bgpsdn-sweep-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn sweep_then_report() {
+    let out = tmp("campaign.jsonl");
+    let art_dir = tmp("jobs");
+    let sweep = bgpsdn()
+        .args([
+            "sweep",
+            "--sizes",
+            "0,3",
+            "--n",
+            "6",
+            "--mrai",
+            "2",
+            "--seeds",
+            "2",
+            "--workers",
+            "2",
+        ])
+        .arg("--out")
+        .arg(&out)
+        .arg("--artifacts")
+        .arg(&art_dir)
+        .output()
+        .expect("spawn bgpsdn sweep");
+    assert!(
+        sweep.status.success(),
+        "sweep failed: {}\n{}",
+        String::from_utf8_lossy(&sweep.stderr),
+        String::from_utf8_lossy(&sweep.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&sweep.stdout);
+    assert!(stdout.contains("2 cells x 2 seeds = 4 jobs"), "{stdout}");
+    assert!(stdout.contains("grid cells"), "{stdout}");
+    assert!(stdout.contains("0 failed"), "{stdout}");
+
+    // The merged artifact parses as a campaign document: header, one job
+    // line per run, one aggregated cell line per grid cell.
+    let text = std::fs::read_to_string(&out).expect("artifact written");
+    assert!(CampaignArtifact::sniff(&text));
+    let campaign = CampaignArtifact::parse(&text).expect("campaign parses");
+    assert_eq!(campaign.jobs.len(), 4);
+    assert_eq!(campaign.cells.len(), 2);
+    assert!(campaign.jobs.iter().all(|j| j.converged && j.audit_ok));
+
+    // Per-job isolated artifacts landed in --artifacts, one per run, and
+    // each parses as a plain run artifact.
+    let mut per_job: Vec<_> = std::fs::read_dir(&art_dir)
+        .expect("artifacts dir")
+        .map(|e| e.unwrap().path())
+        .collect();
+    per_job.sort();
+    assert_eq!(per_job.len(), 4);
+    let job_text = std::fs::read_to_string(&per_job[0]).unwrap();
+    assert!(!CampaignArtifact::sniff(&job_text), "job artifact is a run");
+    RunArtifact::parse(&job_text).expect("job artifact parses");
+
+    // `bgpsdn report` routes campaign artifacts to the grid-cell table.
+    let report = bgpsdn().arg("report").arg(&out).output().expect("report");
+    assert!(
+        report.status.success(),
+        "report failed: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let rep = String::from_utf8_lossy(&report.stdout);
+    assert!(rep.contains("campaign:"), "{rep}");
+    assert!(rep.contains("grid cells (4 jobs)"), "{rep}");
+    assert!(rep.contains("== health:"), "{rep}");
+
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_dir_all(&art_dir);
+}
+
+#[test]
+fn sweep_rejects_bad_grids() {
+    // No axis at all.
+    let none = bgpsdn().arg("sweep").output().expect("spawn");
+    assert!(!none.status.success());
+
+    // Cluster size exceeding the clique.
+    let too_big = bgpsdn()
+        .args(["sweep", "--sizes", "9", "--n", "6"])
+        .output()
+        .expect("spawn");
+    assert!(!too_big.status.success());
+
+    // Zero seeds.
+    let zero = bgpsdn()
+        .args(["sweep", "--sizes", "2", "--n", "6", "--seeds", "0"])
+        .output()
+        .expect("spawn");
+    assert!(!zero.status.success());
+}

@@ -62,7 +62,11 @@ fn run_trace_out_then_report() {
     )));
 
     // `bgpsdn report` renders the analysis without string-parsing anything.
-    let report = bgpsdn().arg("report").arg(&path).output().expect("spawn report");
+    let report = bgpsdn()
+        .arg("report")
+        .arg(&path)
+        .output()
+        .expect("spawn report");
     assert!(
         report.status.success(),
         "report failed: {}",
@@ -83,7 +87,11 @@ fn run_trace_out_then_report() {
 fn report_rejects_malformed_artifacts() {
     let path = artifact_path("garbage");
     std::fs::write(&path, "this is not json\n").unwrap();
-    let report = bgpsdn().arg("report").arg(&path).output().expect("spawn report");
+    let report = bgpsdn()
+        .arg("report")
+        .arg(&path)
+        .output()
+        .expect("spawn report");
     assert!(!report.status.success(), "malformed artifact must fail");
     let _ = std::fs::remove_file(&path);
 

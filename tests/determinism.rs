@@ -1,0 +1,92 @@
+//! Experiment determinism: the same seed must yield byte-identical
+//! artifacts.
+//!
+//! Campaign jobs run with wall-clock profiling off, so their JSONL
+//! artifacts are *raw-byte* reproducible — this is what lets the parallel
+//! sweep runner prove itself against serial execution. Profiled runs
+//! (`run_clique_traced`) carry host wall times in span events and metric
+//! histograms; those canonicalize away with [`canonicalize_jsonl`], and
+//! everything the simulation controls must survive identically.
+
+use bgp_sdn_emu::prelude::*;
+
+fn small_grid() -> CampaignGrid {
+    CampaignGrid {
+        name: "det".to_string(),
+        n: 6,
+        event: EventKind::Withdrawal,
+        cluster_sizes: vec![0, 3],
+        loss: vec![0.0],
+        ctl_latency: vec![SimDuration::from_millis(1)],
+        mrai: SimDuration::from_secs(2),
+        recompute_delay: SimDuration::from_millis(100),
+        seeds: 1,
+        base_seed: 77,
+        faults: None,
+        verify: false,
+    }
+}
+
+#[test]
+fn same_seed_jobs_produce_byte_identical_artifacts() {
+    for job in small_grid().expand() {
+        let a = run_job(&job, true);
+        let b = run_job(&job, true);
+        let (a, b) = (a.artifact.expect("traced"), b.artifact.expect("traced"));
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "job {} artifact must be byte-stable", job.id);
+    }
+}
+
+#[test]
+fn chaos_fault_jobs_are_equally_deterministic() {
+    let mut grid = small_grid();
+    grid.faults = Some(FaultSpec {
+        outages: 2,
+        horizon: SimDuration::from_secs(30),
+    });
+    // Outage schedules derive from the job seed, so reruns replay the
+    // exact same fault timeline.
+    for job in grid.expand() {
+        let a = run_job(&job, true).artifact.expect("traced");
+        let b = run_job(&job, true).artifact.expect("traced");
+        assert_eq!(a, b, "chaos job {} artifact must be byte-stable", job.id);
+    }
+}
+
+#[test]
+fn profiled_runs_canonicalize_identically() {
+    let scenario = CliqueScenario {
+        n: 6,
+        sdn_count: 3,
+        mrai: SimDuration::from_secs(2),
+        recompute_delay: SimDuration::from_millis(100),
+        seed: 9,
+        control_loss: 0.0,
+    };
+    let (out1, exp1) = run_clique_traced(&scenario, EventKind::Withdrawal);
+    let (out2, exp2) = run_clique_traced(&scenario, EventKind::Withdrawal);
+    assert!(out1.converged && out2.converged);
+    assert_eq!(out1.convergence, out2.convergence, "sim time is exact");
+
+    let a = exp1.net.sim.trace().export_jsonl();
+    let b = exp2.net.sim.trace().export_jsonl();
+    let (ca, cb) = (canonicalize_jsonl(&a), canonicalize_jsonl(&b));
+    assert!(!ca.is_empty());
+    assert_eq!(
+        ca, cb,
+        "profiled traces must agree once wall-clock noise is canonicalized"
+    );
+}
+
+#[test]
+fn campaign_records_are_identical_across_reruns() {
+    let grid = small_grid();
+    let r1 = run_campaign(&grid, 2, false);
+    let r2 = run_campaign(&grid, 1, false);
+    assert_eq!(
+        r1.records(),
+        r2.records(),
+        "records must not depend on worker count or rerun"
+    );
+}

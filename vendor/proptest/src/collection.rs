@@ -55,7 +55,12 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.hi - self.size.lo) as u64;
-        let len = self.size.lo + if span == 0 { 0 } else { rng.below(span + 1) as usize };
+        let len = self.size.lo
+            + if span == 0 {
+                0
+            } else {
+                rng.below(span + 1) as usize
+            };
         (0..len).map(|_| self.element.generate(rng)).collect()
     }
 }

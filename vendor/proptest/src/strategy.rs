@@ -176,9 +176,39 @@ tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
 tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
-tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6, S7 / 7);
-tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6, S7 / 7, S8 / 8);
-tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6, S7 / 7, S8 / 8, S9 / 9);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8
+);
+tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7,
+    S8 / 8,
+    S9 / 9
+);
 
 /// Strategy produced by [`crate::arbitrary::any`].
 pub struct Any<T>(pub(crate) PhantomData<fn() -> T>);
@@ -210,10 +240,7 @@ mod tests {
     #[test]
     fn map_and_union_compose() {
         let mut rng = TestRng::for_case("compose", 0);
-        let s = crate::prop_oneof![
-            (1u32..10).prop_map(|v| v * 2),
-            Just(100u32),
-        ];
+        let s = crate::prop_oneof![(1u32..10).prop_map(|v| v * 2), Just(100u32),];
         for _ in 0..200 {
             let v = s.generate(&mut rng);
             assert!(v == 100 || (2..20).contains(&v));
