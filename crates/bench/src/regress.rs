@@ -65,6 +65,11 @@ pub const MANIFEST: &[Metric] = &[
         path: &["campaign", "per_job_wall_ns_p50"],
         direction: Direction::LowerIsBetter,
     },
+    Metric {
+        file: "BENCH_causal.json",
+        path: &["overhead_ratio"],
+        direction: Direction::LowerIsBetter,
+    },
 ];
 
 /// Outcome of one metric comparison.

@@ -10,7 +10,7 @@
 //! router, speaker and collector nodes (which are generic over it) can wrap
 //! and unwrap their traffic.
 
-use bgpsdn_netsim::{DataApp, DataPacket, Message, NodeId};
+use bgpsdn_netsim::{Cause, DataApp, DataPacket, Message, NodeId};
 
 use crate::msg::BgpMessage;
 use crate::types::Prefix;
@@ -26,15 +26,30 @@ pub struct BgpEnvelope {
     pub dst: NodeId,
     /// Encoded BGP message (header included).
     pub bytes: Vec<u8>,
+    /// Causal lineage riding alongside the wire bytes (never encoded, never
+    /// counted in [`BgpEnvelope::wire_len`]); [`Cause::NONE`] when causal
+    /// tracing is off.
+    pub cause: Cause,
 }
 
 impl BgpEnvelope {
-    /// Encode `msg` into an envelope.
+    /// Encode `msg` into an envelope with no causal lineage.
     pub fn new(src: NodeId, dst: NodeId, msg: &BgpMessage) -> Self {
         BgpEnvelope {
             src,
             dst,
             bytes: msg.encode(),
+            cause: Cause::NONE,
+        }
+    }
+
+    /// Encode `msg` into an envelope carrying causal lineage.
+    pub fn with_cause(src: NodeId, dst: NodeId, msg: &BgpMessage, cause: Cause) -> Self {
+        BgpEnvelope {
+            src,
+            dst,
+            bytes: msg.encode(),
+            cause,
         }
     }
 

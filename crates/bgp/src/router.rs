@@ -11,8 +11,8 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::marker::PhantomData;
 
 use bgpsdn_netsim::{
-    Activity, Ctx, DataPacket, LinkId, Node, NodeId, ObsPrefix, PacketKind, SimDuration, SimTime,
-    TimerClass, TimerToken, TraceCategory, TraceEvent,
+    Activity, CausalPhase, Cause, Ctx, DataPacket, LinkId, Node, NodeId, ObsPrefix, PacketKind,
+    SimDuration, SimTime, TimerClass, TimerToken, TraceCategory, TraceEvent,
 };
 
 use crate::attrs::PathAttributes;
@@ -47,6 +47,12 @@ fn obs(p: Prefix) -> ObsPrefix {
 
 fn obs_list(ps: &[Prefix]) -> Vec<ObsPrefix> {
     ps.iter().map(|&p| obs(p)).collect()
+}
+
+/// The prefix an UPDATE's causal events are attributed to (first announced,
+/// else first withdrawn).
+fn first_prefix(u: &UpdateMsg) -> Option<Prefix> {
+    u.nlri.first().or_else(|| u.withdrawn.first()).copied()
 }
 
 /// Flattened AS path of a Loc-RIB entry, for [`TraceEvent::RibChange`].
@@ -102,6 +108,16 @@ enum OutChange {
     Withdraw,
 }
 
+/// Per-prefix causal lineage (only populated while causal tracing is on).
+/// `current` is the cause any further propagation of this prefix descends
+/// from; `last_rib` remembers the previous best-path-change event under the
+/// same trigger so consecutive changes chain into a path-hunting round.
+#[derive(Debug, Clone, Copy)]
+struct PrefixCause {
+    current: Cause,
+    last_rib: Option<u64>,
+}
+
 #[derive(Debug)]
 struct PeerRuntime {
     handshake: SessionHandshake,
@@ -122,8 +138,9 @@ pub struct BgpRouter<M: BgpApp> {
     loc_rib: LocRib,
     originated: BTreeSet<Prefix>,
     in_seq: u64,
-    in_queue: HashMap<u64, (PeerIdx, UpdateMsg)>,
+    in_queue: HashMap<u64, (PeerIdx, UpdateMsg, Cause)>,
     last_proc_due: SimTime,
+    causes: HashMap<Prefix, PrefixCause>,
     damping: HashMap<(PeerIdx, Prefix), crate::damping::DampingState>,
     damp_seq: u64,
     damp_reuse: HashMap<u64, Prefix>,
@@ -165,6 +182,7 @@ impl<M: BgpApp> BgpRouter<M> {
             in_seq: 0,
             in_queue: HashMap::new(),
             last_proc_due: SimTime::ZERO,
+            causes: HashMap::new(),
             damping: HashMap::new(),
             damp_seq: 0,
             damp_reuse: HashMap::new(),
@@ -284,6 +302,16 @@ impl<M: BgpApp> BgpRouter<M> {
     // ------------------------------------------------------------------
 
     fn send_msg(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, msg: &BgpMessage) {
+        self.send_msg_caused(ctx, peer, msg, Cause::NONE);
+    }
+
+    fn send_msg_caused(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        peer: PeerIdx,
+        msg: &BgpMessage,
+        cause: Cause,
+    ) {
         let (peer_node, link) = {
             let n = &self.cfg.neighbors[peer];
             (n.peer, n.link)
@@ -308,7 +336,90 @@ impl<M: BgpApp> BgpRouter<M> {
         if matches!(msg, BgpMessage::Notification(_)) {
             self.stats.notifications_sent += 1;
         }
-        ctx.send(link, M::from_bgp(BgpEnvelope::new(self.id, peer_node, msg)));
+        ctx.send(
+            link,
+            M::from_bgp(BgpEnvelope::with_cause(self.id, peer_node, msg, cause)),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Causal lineage
+    // ------------------------------------------------------------------
+
+    /// Mint a trigger-root causal event and seed the lineage of `prefix`.
+    /// No-op (returns 0) while causal tracing is off.
+    fn mint_trigger(&mut self, ctx: &mut Ctx<'_, M>, prefix: Option<Prefix>) -> u64 {
+        let id = ctx.causal_id();
+        if id == 0 {
+            return 0;
+        }
+        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+            id,
+            parents: vec![],
+            trigger: id,
+            hop: 0,
+            phase: CausalPhase::Trigger,
+            prefix: prefix.map(obs),
+        });
+        if let Some(p) = prefix {
+            self.causes.insert(
+                p,
+                PrefixCause {
+                    current: Cause {
+                        trigger: id,
+                        parent: id,
+                        hop: 0,
+                    },
+                    last_rib: None,
+                },
+            );
+        }
+        id
+    }
+
+    /// Point the lineage of `prefix` at `cause` (the event that just made
+    /// the prefix dirty), resetting the hunt chain when the trigger changed.
+    fn set_prefix_cause(&mut self, prefix: Prefix, cause: Cause) {
+        let e = self.causes.entry(prefix).or_insert(PrefixCause {
+            current: cause,
+            last_rib: None,
+        });
+        if e.current.trigger != cause.trigger {
+            e.last_rib = None;
+        }
+        e.current = cause;
+    }
+
+    /// Mint the `mrai_wait` causal event for an outgoing UPDATE carrying
+    /// `prefixes` and return the cause the envelope should ride with. The
+    /// edge spans from the best-path change that queued the advertisement
+    /// to the moment MRAI (plus grouping) lets it leave. Multi-prefix
+    /// UPDATEs are attributed to their first prefix — a deterministic
+    /// approximation, exact for the single-prefix paper scenarios.
+    fn update_cause(&mut self, ctx: &mut Ctx<'_, M>, prefixes: &[Prefix]) -> Cause {
+        let Some(&first) = prefixes.first() else {
+            return Cause::NONE;
+        };
+        let Some(pc) = self.causes.get(&first) else {
+            return Cause::NONE;
+        };
+        let cur = pc.current;
+        if cur.is_none() {
+            return Cause::NONE;
+        }
+        let id = ctx.causal_id();
+        if id == 0 {
+            return Cause::NONE;
+        }
+        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+            id,
+            parents: vec![cur.parent],
+            trigger: cur.trigger,
+            hop: cur.hop + 1,
+            phase: CausalPhase::MraiWait,
+            prefix: Some(obs(first)),
+        });
+        cur.step(id)
     }
 
     fn effective_mrai(&self, peer: PeerIdx) -> SimDuration {
@@ -490,6 +601,39 @@ impl<M: BgpApp> BgpRouter<M> {
                 old_path,
                 new_path,
             });
+            // Causal: every best-path change is a hunt step. The previous
+            // change under the same trigger is an extra (and earlier, hence
+            // critical-path-preferred) parent, so the edge spans one full
+            // hunting round including any damping hold-down.
+            if let Some(pc) = self.causes.get_mut(&prefix) {
+                let cur = pc.current;
+                if !cur.is_none() {
+                    let id = ctx.causal_id();
+                    if id != 0 {
+                        let mut parents = vec![cur.parent];
+                        if let Some(prev) = pc.last_rib {
+                            if prev != cur.parent {
+                                parents.insert(0, prev);
+                            }
+                        }
+                        let hop = cur.hop + 1;
+                        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                            id,
+                            parents,
+                            trigger: cur.trigger,
+                            hop,
+                            phase: CausalPhase::HuntStep,
+                            prefix: Some(obs(prefix)),
+                        });
+                        pc.current = Cause {
+                            trigger: cur.trigger,
+                            parent: id,
+                            hop,
+                        };
+                        pc.last_rib = Some(id);
+                    }
+                }
+            }
             for peer in 0..self.peers.len() {
                 self.enqueue_export(peer, prefix);
             }
@@ -564,8 +708,9 @@ impl<M: BgpApp> BgpRouter<M> {
                     }
                 }
                 if !really.is_empty() {
+                    let cause = self.update_cause(ctx, &really);
                     let msg = BgpMessage::Update(UpdateMsg::withdraw(really));
-                    self.send_msg(ctx, peer, &msg);
+                    self.send_msg_caused(ctx, peer, &msg, cause);
                 }
             }
             return;
@@ -606,13 +751,15 @@ impl<M: BgpApp> BgpRouter<M> {
         }
         let mut sent = false;
         if !withdraws.is_empty() {
+            let cause = self.update_cause(ctx, &withdraws);
             let msg = BgpMessage::Update(UpdateMsg::withdraw(withdraws));
-            self.send_msg(ctx, peer, &msg);
+            self.send_msg_caused(ctx, peer, &msg, cause);
             sent = true;
         }
         for (attrs, prefixes) in groups {
+            let cause = self.update_cause(ctx, &prefixes);
             let msg = BgpMessage::Update(UpdateMsg::announce(prefixes, attrs));
-            self.send_msg(ctx, peer, &msg);
+            self.send_msg_caused(ctx, peer, &msg, cause);
             sent = true;
         }
         sent
@@ -628,11 +775,34 @@ impl<M: BgpApp> BgpRouter<M> {
     // Inbound processing
     // ------------------------------------------------------------------
 
-    fn process_update(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, upd: UpdateMsg) {
+    fn process_update(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        peer: PeerIdx,
+        upd: UpdateMsg,
+        cause: Cause,
+    ) {
         if !self.peers[peer].handshake.is_established() {
             return; // session dropped while the update sat in the CPU queue
         }
         ctx.report(Activity::UpdateReceived);
+        // Causal: the dequeue closes the CPU processing-delay edge.
+        let mut cur = Cause::NONE;
+        if !cause.is_none() {
+            let id = ctx.causal_id();
+            if id != 0 {
+                let first = first_prefix(&upd);
+                ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                    id,
+                    parents: vec![cause.parent],
+                    trigger: cause.trigger,
+                    hop: cause.hop + 1,
+                    phase: CausalPhase::ProcDelay,
+                    prefix: first.map(obs),
+                });
+                cur = cause.step(id);
+            }
+        }
         let mut affected: BTreeSet<Prefix> = BTreeSet::new();
 
         for p in &upd.withdrawn {
@@ -720,6 +890,11 @@ impl<M: BgpApp> BgpRouter<M> {
             }
         }
 
+        if !cur.is_none() {
+            for &p in &affected {
+                self.set_prefix_cause(p, cur);
+            }
+        }
         for p in affected {
             self.reselect(ctx, p);
         }
@@ -735,6 +910,7 @@ impl<M: BgpApp> BgpRouter<M> {
                     category: TraceCategory::Experiment,
                     text: format!("announce {p}"),
                 });
+                self.mint_trigger(ctx, Some(*p));
                 self.reselect(ctx, *p);
                 self.flush_all(ctx);
             }
@@ -745,6 +921,7 @@ impl<M: BgpApp> BgpRouter<M> {
                     category: TraceCategory::Experiment,
                     text: format!("withdraw {p}"),
                 });
+                self.mint_trigger(ctx, Some(*p));
                 self.reselect(ctx, *p);
                 self.flush_all(ctx);
             }
@@ -885,9 +1062,28 @@ impl<M: BgpApp> BgpRouter<M> {
                     due = floor;
                 }
                 self.last_proc_due = due;
+                // Causal: the delivery closes the link-propagation edge; the
+                // queue entry inherits the lineage for the processing edge.
+                let mut qcause = Cause::NONE;
+                if !env.cause.is_none() {
+                    let id = ctx.causal_id();
+                    if id != 0 {
+                        let c = env.cause;
+                        let first = first_prefix(&upd);
+                        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                            id,
+                            parents: vec![c.parent],
+                            trigger: c.trigger,
+                            hop: c.hop + 1,
+                            phase: CausalPhase::LinkProp,
+                            prefix: first.map(obs),
+                        });
+                        qcause = c.step(id);
+                    }
+                }
                 let seq = self.in_seq;
                 self.in_seq += 1;
-                self.in_queue.insert(seq, (peer, upd));
+                self.in_queue.insert(seq, (peer, upd, qcause));
                 ctx.set_timer_at(due, tok(K_PROCESS, seq), TimerClass::Progress);
                 return;
             }
@@ -968,6 +1164,26 @@ impl<M: BgpApp> BgpRouter<M> {
         });
         let affected = self.adj_in.remove_peer(peer);
         let had_routes = !affected.is_empty();
+        // Causal: a session loss that invalidated routes is a convergence
+        // trigger of its own (one root per endpoint that notices the loss).
+        if had_routes {
+            let tid = self.mint_trigger(ctx, None);
+            if tid != 0 {
+                for &p in &affected {
+                    self.causes.insert(
+                        p,
+                        PrefixCause {
+                            current: Cause {
+                                trigger: tid,
+                                parent: tid,
+                                hop: 0,
+                            },
+                            last_rib: None,
+                        },
+                    );
+                }
+            }
+        }
         for p in affected {
             self.reselect(ctx, p);
         }
@@ -1053,8 +1269,8 @@ impl<M: BgpApp> Node<M> for BgpRouter<M> {
                 }
             }
             K_PROCESS => {
-                if let Some((peer, upd)) = self.in_queue.remove(&(payload as u64)) {
-                    self.process_update(ctx, peer, upd);
+                if let Some((peer, upd, cause)) = self.in_queue.remove(&(payload as u64)) {
+                    self.process_update(ctx, peer, upd, cause);
                 }
             }
             K_DAMP => {

@@ -21,8 +21,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use bgpsdn_bgp::{Asn, BgpApp, Prefix, RouterCommand, SharedPath, UpdateMsg};
 use bgpsdn_netsim::{
-    Activity, Ctx, LinkId, Node, NodeId, RecomputeTrigger, SimDuration, TimerClass, TimerToken,
-    TraceCategory, TraceEvent,
+    Activity, CausalPhase, Cause, Ctx, LinkId, Node, NodeId, ObsPrefix, RecomputeTrigger,
+    SimDuration, TimerClass, TimerToken, TraceCategory, TraceEvent,
 };
 use bgpsdn_sdn::{
     Accept, CtrlMsg, FlowAction, FlowModOp, FlowRule, OfEnvelope, OfMessage, ReliableReceiver,
@@ -162,7 +162,13 @@ pub struct IdrController<M> {
     /// What was announced per session: prefix → AS path (the compiled
     /// announcement cache).
     adj_out: Vec<BTreeMap<Prefix, SharedPath>>,
-    pending: Vec<(usize, UpdateMsg)>,
+    pending: Vec<(usize, UpdateMsg, Cause)>,
+    /// Cause lineage of everything feeding the next recompute batch: one
+    /// entry per buffered update or local trigger, deduplicated by parent
+    /// event id at merge time. Dirty-prefix batching merges *sets* of
+    /// causes — the ctrl_queue node records every parent so forensics can
+    /// attribute the batch wait honestly.
+    batch_causes: Vec<Cause>,
     /// Prefixes whose inputs changed since the last recompute.
     dirty: BTreeSet<Prefix>,
     /// Events that invalidate every prefix (switch-graph or session-set
@@ -213,6 +219,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             installed: vec![BTreeMap::new(); n],
             adj_out: vec![BTreeMap::new(); cfg.sessions.len()],
             pending: Vec::new(),
+            batch_causes: Vec::new(),
             dirty: BTreeSet::new(),
             all_dirty: true, // nothing is compiled yet
             recompute_armed: false,
@@ -382,9 +389,15 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
     // Event intake
     // ------------------------------------------------------------------
 
-    fn buffer_update(&mut self, ctx: &mut Ctx<'_, M>, session: usize, update: UpdateMsg) {
+    fn buffer_update(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        session: usize,
+        update: UpdateMsg,
+        cause: Cause,
+    ) {
         self.stats.updates_buffered += 1;
-        self.pending.push((session, update));
+        self.pending.push((session, update, cause));
         if !self.recompute_armed {
             self.recompute_armed = true;
             ctx.set_timer(self.cfg.recompute_delay, RECOMPUTE, TimerClass::Progress);
@@ -393,9 +406,12 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
 
     fn apply_pending(&mut self) {
         let pending = std::mem::take(&mut self.pending);
-        for (session, upd) in pending {
+        for (session, upd, cause) in pending {
             if !self.session_up[session] {
                 continue; // session died while the update was buffered
+            }
+            if !cause.is_none() {
+                self.batch_causes.push(cause);
             }
             for p in &upd.withdrawn {
                 if let Some(slot) = self.ext_routes.get_mut(p) {
@@ -459,6 +475,30 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         self.recompute_all(ctx, trigger);
     }
 
+    /// Mint a causal root for a convergence trigger that originates *at*
+    /// the controller (operator command, link-status change) and enroll it
+    /// in the next batch's cause set. No-op when causal tracing is off.
+    fn mint_trigger(&mut self, ctx: &mut Ctx<'_, M>, prefix: Option<Prefix>) {
+        let id = ctx.causal_id();
+        if id == 0 {
+            return;
+        }
+        let obs = prefix.map(|p| ObsPrefix::new(p.network_u32(), p.len()));
+        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+            id,
+            parents: vec![],
+            trigger: id,
+            hop: 0,
+            phase: CausalPhase::Trigger,
+            prefix: obs,
+        });
+        self.batch_causes.push(Cause {
+            trigger: id,
+            parent: id,
+            hop: 0,
+        });
+    }
+
     // ------------------------------------------------------------------
     // The reliable speaker channel
     // ------------------------------------------------------------------
@@ -495,9 +535,13 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
 
     fn handle_speaker_event(&mut self, ctx: &mut Ctx<'_, M>, ev: SpeakerEvent) {
         match ev {
-            SpeakerEvent::Update { session, update } => {
+            SpeakerEvent::Update {
+                session,
+                update,
+                cause,
+            } => {
                 ctx.report(Activity::UpdateReceived);
-                self.buffer_update(ctx, session, update);
+                self.buffer_update(ctx, session, update, cause);
             }
             SpeakerEvent::SessionUp { session, .. } => {
                 ctx.report(Activity::SessionUp);
@@ -577,6 +621,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         self.tx.reset(epoch);
         ctx.cancel_timer(RETX);
         self.pending.clear();
+        self.batch_causes.clear();
         self.dirty.clear();
         self.ext_routes.clear();
         self.session_up = vec![false; self.cfg.sessions.len()];
@@ -658,6 +703,50 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
         self.stats.recomputes += 1;
         ctx.report(Activity::ControllerRecompute);
         ctx.count("core.controller.recomputes", 1);
+
+        // Causal: merge the batch's cause *set* into one ctrl_queue node —
+        // each parent edge spans that input's time parked in the delayed
+        // batch — then a same-timestamp recompute node that every compiled
+        // output (FlowMod, speaker command) descends from. The earliest
+        // minted parent carries the trigger attribution.
+        let mut batch = std::mem::take(&mut self.batch_causes);
+        let mut out_cause = Cause::NONE;
+        if !batch.is_empty() {
+            batch.sort_by_key(|c| c.parent);
+            batch.dedup_by_key(|c| c.parent);
+            let first = batch[0];
+            let qid = ctx.causal_id();
+            if qid != 0 {
+                let parents: Vec<u64> = batch.iter().map(|c| c.parent).collect();
+                ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                    id: qid,
+                    parents,
+                    trigger: first.trigger,
+                    hop: first.hop + 1,
+                    phase: CausalPhase::CtrlQueue,
+                    prefix: None,
+                });
+                let rid = ctx.causal_id();
+                let rphase = if matches!(trigger, RecomputeTrigger::Resync) {
+                    CausalPhase::Resync
+                } else {
+                    CausalPhase::CtrlRecompute
+                };
+                ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                    id: rid,
+                    parents: vec![qid],
+                    trigger: first.trigger,
+                    hop: first.hop + 2,
+                    phase: rphase,
+                    prefix: None,
+                });
+                out_cause = Cause {
+                    trigger: first.trigger,
+                    parent: rid,
+                    hop: first.hop + 2,
+                };
+            }
+        }
         let span = ctx.span();
         let (flow_mods_before, ann_before, wd_before) = (
             self.stats.flow_mods,
@@ -760,7 +849,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 };
                 ctx.send(
                     self.cfg.members[m].ctl_link,
-                    M::from_of(OfEnvelope::new(&msg)),
+                    M::from_of(OfEnvelope::with_cause(&msg, out_cause)),
                 );
             }
 
@@ -799,6 +888,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                             prefix,
                             as_path: path,
                             med: None,
+                            cause: out_cause,
                         });
                     }
                     None => {
@@ -807,7 +897,11 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         }
                         self.stats.withdrawals += 1;
                         changed_any = true;
-                        out_cmds.push(SpeakerCmd::Withdraw { session: s, prefix });
+                        out_cmds.push(SpeakerCmd::Withdraw {
+                            session: s,
+                            prefix,
+                            cause: out_cause,
+                        });
                     }
                 }
             }
@@ -870,6 +964,9 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     // The switch graph feeds every per-prefix computation:
                     // invalidate the lot.
                     self.all_dirty = true;
+                    // An intra-cluster link change is its own convergence
+                    // trigger: root a lineage before repairing.
+                    self.mint_trigger(ctx, None);
                     // Failures must be repaired immediately; no delay.
                     self.recompute_now(ctx, RecomputeTrigger::LinkChange);
                     return;
@@ -885,6 +982,9 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                         .filter(|(_, s)| s.ext_link == link)
                         .map(|(i, _)| i)
                         .collect();
+                    if !victims.is_empty() {
+                        self.mint_trigger(ctx, None);
+                    }
                     for s in victims {
                         self.session_down(ctx, s);
                     }
@@ -953,6 +1053,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                     self.owned.insert(*p, m);
                     self.dirty.insert(*p);
                     ctx.report(Activity::PrefixOriginated);
+                    self.mint_trigger(ctx, Some(*p));
                     self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
             }
@@ -960,6 +1061,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
                 if self.owned.remove(p).is_some() {
                     self.dirty.insert(*p);
                     ctx.report(Activity::PrefixWithdrawn);
+                    self.mint_trigger(ctx, Some(*p));
                     self.recompute_now(ctx, RecomputeTrigger::Command);
                 }
             }

@@ -23,8 +23,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use bgpsdn_netsim::{LatencyModel, SimDuration};
-use bgpsdn_obs::{CampaignArtifact, JobRecord, Json};
+use bgpsdn_netsim::{LatencyModel, SimDuration, TraceCategory};
+use bgpsdn_obs::{CampaignArtifact, CausalAnalysis, JobRecord, Json, PhaseBreakdown};
 
 use super::experiment::Experiment;
 use super::faults::FaultPlan;
@@ -272,6 +272,10 @@ pub struct JobOutcome {
     pub outcome: ScenarioOutcome,
     /// Static-verifier violations recorded across all phases.
     pub verify_violations: u64,
+    /// Causal phase decomposition of the re-convergence (each event-phase
+    /// trigger's longest critical path, summed). Derived from sim time
+    /// only, so identical across reruns and worker counts.
+    pub phases: PhaseBreakdown,
     /// The job's isolated JSONL artifact, when tracing was requested.
     pub artifact: Option<String>,
 }
@@ -304,6 +308,7 @@ impl JobResult {
             flow_mods: 0,
             audit_ok: false,
             verify_violations: 0,
+            phases: PhaseBreakdown::default(),
             error: None,
         };
         match &self.outcome {
@@ -314,6 +319,7 @@ impl JobResult {
                 flow_mods: o.outcome.flow_mods,
                 audit_ok: o.outcome.audit_ok,
                 verify_violations: o.verify_violations,
+                phases: o.phases,
                 ..base
             },
             Err(msg) => JobRecord {
@@ -364,6 +370,11 @@ pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
     let (outcome, mut exp) = run_clique_with(&scenario, job.event, &opts, |sim| {
         if trace {
             sim.trace_mut().enable_all();
+        } else {
+            // Causal lineage is always recorded: the per-job phase
+            // breakdown feeds the campaign cell tables even when full
+            // artifact tracing is off.
+            sim.trace_mut().enable(TraceCategory::Causal);
         }
     });
     // Health gates on the *final steady state*: checkpoints taken right
@@ -376,10 +387,23 @@ pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
         0
     };
     exp.finish();
+    // Phase decomposition only covers the event phase: the bring-up
+    // floods every prefix and would swamp the re-convergence signal.
+    let phase_start = exp.phase_start().as_nanos();
+    let phases = CausalAnalysis::from_events(
+        exp.net
+            .sim
+            .trace()
+            .records()
+            .filter(|r| r.time.as_nanos() >= phase_start)
+            .map(|r| (r.time.as_nanos(), r.node.map(|n| n.0), &r.event)),
+    )
+    .phase_totals();
     let artifact = trace.then(|| render_job_artifact(job, &exp));
     JobOutcome {
         outcome,
         verify_violations,
+        phases,
         artifact,
     }
 }
@@ -595,6 +619,7 @@ mod tests {
                         audit_ok: true,
                     },
                     verify_violations: 0,
+                    phases: PhaseBreakdown::default(),
                     artifact: None,
                 }
             },
@@ -633,6 +658,7 @@ mod tests {
                         audit_ok: true,
                     },
                     verify_violations: 0,
+                    phases: PhaseBreakdown::default(),
                     artifact: None,
                 }
             },

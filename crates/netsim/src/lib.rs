@@ -50,6 +50,6 @@ pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceCategory, TraceRecord};
 
 pub use bgpsdn_obs::{
-    FlowActionRepr, Histogram, MetricsRegistry, MetricsSnapshot, ObsPrefix, RecomputeTrigger,
-    TraceEvent, WallSpan,
+    CausalPhase, Cause, FlowActionRepr, Histogram, MetricsRegistry, MetricsSnapshot, ObsPrefix,
+    RecomputeTrigger, TraceEvent, WallSpan,
 };

@@ -62,6 +62,8 @@ pub struct Ctx<'a, M: Message> {
     adjacency: &'a [Vec<(LinkId, NodeId)>],
     trace_enabled: &'a Trace,
     profiling: bool,
+    causal_enabled: bool,
+    causal_seq: &'a mut u64,
     actions: Vec<Action<M>>,
 }
 
@@ -159,6 +161,24 @@ impl<'a, M: Message> Ctx<'a, M> {
         self.profiling
     }
 
+    /// True when causal lineage tracing ([`TraceCategory::Causal`]) is
+    /// enabled — the gate for all causal bookkeeping in the apps.
+    pub fn causal_enabled(&self) -> bool {
+        self.causal_enabled
+    }
+
+    /// Mint a fresh causal event id, unique and monotone across the run,
+    /// or 0 when causal tracing is disabled (apps must treat 0 as "no
+    /// lineage"). Ids never influence simulation behavior, so runs with
+    /// tracing on and off stay identical in sim time.
+    pub fn causal_id(&mut self) -> u64 {
+        if !self.causal_enabled {
+            return 0;
+        }
+        *self.causal_seq += 1;
+        *self.causal_seq
+    }
+
     /// The links adjacent to this node, with the neighbor at the far end.
     pub fn neighbors(&self) -> &[(LinkId, NodeId)] {
         &self.adjacency[self.me.index()]
@@ -206,6 +226,7 @@ pub struct Simulator<M: Message> {
     trace: Trace,
     metrics: MetricsRegistry,
     profiling: bool,
+    causal_seq: u64,
     stats: SimStats,
     started: bool,
     /// Hard cap on events per `run_*` call, against livelock.
@@ -236,6 +257,7 @@ impl<M: Message> Simulator<M> {
             trace: Trace::default(),
             metrics: MetricsRegistry::new(),
             profiling: false,
+            causal_seq: 0,
             stats: SimStats::default(),
             started: false,
             max_events_per_run: 200_000_000,
@@ -632,6 +654,7 @@ impl<M: Message> Simulator<M> {
         let mut node = self.nodes[id.index()]
             .take()
             .unwrap_or_else(|| panic!("re-entrant dispatch on node {id}"));
+        let causal_enabled = self.trace.is_enabled(TraceCategory::Causal);
         let mut ctx = Ctx {
             now: self.now,
             me: id,
@@ -640,6 +663,8 @@ impl<M: Message> Simulator<M> {
             adjacency: &self.adjacency,
             trace_enabled: &self.trace,
             profiling: self.profiling,
+            causal_enabled,
+            causal_seq: &mut self.causal_seq,
             actions: Vec::new(),
         };
         f(node.as_mut(), &mut ctx);

@@ -54,7 +54,7 @@ impl fmt::Display for TraceRecord {
 /// A bounded, category-filtered trace ring buffer.
 #[derive(Debug)]
 pub struct Trace {
-    mask: u8,
+    mask: u16,
     records: VecDeque<TraceRecord>,
     capacity: usize,
     dropped: u64,

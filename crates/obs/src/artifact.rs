@@ -86,58 +86,74 @@ impl RunArtifact {
     /// compatibility); malformed lines are errors.
     pub fn parse(text: &str) -> Result<RunArtifact, String> {
         let mut out = RunArtifact::default();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            match v.get("type").and_then(Json::as_str) {
-                Some("event") => {
-                    let t = v
-                        .get("t")
-                        .and_then(Json::as_u64)
-                        .ok_or_else(|| format!("line {}: bad \"t\"", lineno + 1))?;
-                    let node = match v.get("node") {
-                        None | Some(Json::Null) => None,
-                        Some(n) => Some(
-                            n.as_u64()
-                                .and_then(|n| u32::try_from(n).ok())
-                                .ok_or_else(|| format!("line {}: bad \"node\"", lineno + 1))?,
-                        ),
-                    };
-                    let event = TraceEvent::from_json(&v)
-                        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                    out.events.push(EventRecord { t, node, event });
-                }
-                Some("metrics") => {
-                    let phase = v
-                        .get("phase")
-                        .and_then(Json::as_str)
-                        .unwrap_or("")
-                        .to_string();
-                    let metrics = v
-                        .get("metrics")
-                        .cloned()
-                        .ok_or_else(|| format!("line {}: missing \"metrics\"", lineno + 1))?;
-                    out.snapshots.push((phase, metrics));
-                }
-                Some("run") => {
-                    let members = match &v {
-                        Json::Obj(m) => m
-                            .iter()
-                            .filter(|(k, _)| k != "type")
-                            .cloned()
-                            .collect::<Vec<_>>(),
-                        _ => Vec::new(),
-                    };
-                    out.run = Some(Json::Obj(members));
-                }
-                Some(_) => {} // unknown line type: skip
-                None => return Err(format!("line {}: missing \"type\"", lineno + 1)),
-            }
-        }
+        crate::jsonl::scan(text, |_, v| out.ingest(&v))?;
         Ok(out)
+    }
+
+    /// Parse for reporting: a malformed *final* line (a run killed mid-write)
+    /// degrades to a warning instead of an error, and an artifact with no
+    /// trace events at all reports a warning rather than a garbled table.
+    /// Still fails when nothing recognizable survives — a file that is not
+    /// a run artifact at all should not render as an empty one.
+    pub fn parse_lenient(text: &str) -> Result<(RunArtifact, Vec<String>), String> {
+        let mut out = RunArtifact::default();
+        let mut warnings = Vec::new();
+        crate::jsonl::scan_lenient(text, &mut warnings, |_, v| out.ingest(&v))?;
+        if out.run.is_none() && out.events.is_empty() && out.snapshots.is_empty() {
+            return Err("artifact has no recognizable lines (not a run artifact?)".into());
+        }
+        if out.events.is_empty() {
+            warnings.push("artifact contains no trace events (tracing disabled?)".into());
+        }
+        Ok((out, warnings))
+    }
+
+    /// Dispatch one parsed artifact line into the accumulating document.
+    fn ingest(&mut self, v: &Json) -> Result<(), String> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("event") => {
+                let t = v
+                    .get("t")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "bad \"t\"".to_string())?;
+                let node = match v.get("node") {
+                    None | Some(Json::Null) => None,
+                    Some(n) => Some(
+                        n.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or_else(|| "bad \"node\"".to_string())?,
+                    ),
+                };
+                let event = TraceEvent::from_json(v)?;
+                self.events.push(EventRecord { t, node, event });
+            }
+            Some("metrics") => {
+                let phase = v
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                let metrics = v
+                    .get("metrics")
+                    .cloned()
+                    .ok_or_else(|| "missing \"metrics\"".to_string())?;
+                self.snapshots.push((phase, metrics));
+            }
+            Some("run") => {
+                let members = match v {
+                    Json::Obj(m) => m
+                        .iter()
+                        .filter(|(k, _)| k != "type")
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                    _ => Vec::new(),
+                };
+                self.run = Some(Json::Obj(members));
+            }
+            Some(_) => {} // unknown line type: skip
+            None => return Err("missing \"type\"".into()),
+        }
+        Ok(())
     }
 }
 
@@ -468,6 +484,29 @@ mod tests {
         assert!(RunArtifact::parse("not json").is_err());
         let ok = RunArtifact::parse("{\"type\":\"future-thing\",\"x\":1}\n\n").unwrap();
         assert!(ok.events.is_empty());
+    }
+
+    #[test]
+    fn parse_lenient_degrades_gracefully() {
+        // Truncated final line: everything before it survives, one warning.
+        let text = "{\"type\":\"run\",\"scenario\":\"clique\"}\n{\"type\":\"event\",\"t\":1,\"no";
+        assert!(RunArtifact::parse(text).is_err());
+        let (artifact, warnings) = RunArtifact::parse_lenient(text).unwrap();
+        assert!(artifact.run.is_some());
+        assert!(
+            warnings.iter().any(|w| w.contains("final line")),
+            "{warnings:?}"
+        );
+        // Valid header, zero events: a warning, not a garbled table.
+        let (empty, warnings) = RunArtifact::parse_lenient("{\"type\":\"run\",\"n\":4}\n").unwrap();
+        assert!(empty.events.is_empty());
+        assert!(
+            warnings.iter().any(|w| w.contains("no trace events")),
+            "{warnings:?}"
+        );
+        // A file with nothing recognizable is still a hard error.
+        assert!(RunArtifact::parse_lenient("this is not json\n").is_err());
+        assert!(RunArtifact::parse_lenient("").is_err());
     }
 
     fn ev(t: u64, node: Option<u32>, event: TraceEvent) -> EventRecord {

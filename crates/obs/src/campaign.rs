@@ -25,6 +25,8 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::causal::PhaseBreakdown;
+use crate::event::CausalPhase;
 use crate::json::Json;
 
 /// Summary of one campaign job (a single emulation run).
@@ -54,6 +56,10 @@ pub struct JobRecord {
     pub audit_ok: bool,
     /// Static-verifier violations recorded during the run.
     pub verify_violations: u64,
+    /// Causal phase decomposition of the run's re-convergence (each
+    /// trigger's longest critical path, summed). Empty when causal tracing
+    /// was off or the artifact predates it.
+    pub phases: PhaseBreakdown,
     /// Panic message when the job died instead of completing.
     pub error: Option<String>,
 }
@@ -79,6 +85,9 @@ impl JobRecord {
                 Json::U64(self.verify_violations),
             ),
         ];
+        if self.phases.total() > 0 {
+            m.push(("phases".into(), self.phases.to_json()));
+        }
         if let Some(e) = &self.error {
             m.push(("error".into(), Json::Str(e.clone())));
         }
@@ -102,6 +111,10 @@ impl JobRecord {
             flow_mods: u("flow_mods")?,
             audit_ok: b("audit_ok")?,
             verify_violations: u("verify_violations")?,
+            phases: match v.get("phases") {
+                Some(p) => PhaseBreakdown::from_json(p)?,
+                None => PhaseBreakdown::default(),
+            },
             error: v.get("error").and_then(Json::as_str).map(|s| s.to_string()),
         })
     }
@@ -198,6 +211,9 @@ pub struct CellStats {
     pub updates: Option<AggStats>,
     /// Flow-table changes.
     pub flow_mods: Option<AggStats>,
+    /// Causal phase durations summed over the cell's completed jobs
+    /// (divide by `runs` for a per-job mean). Empty without causal tracing.
+    pub phases: PhaseBreakdown,
 }
 
 impl CellStats {
@@ -227,6 +243,9 @@ impl CellStats {
                 m.push((key.into(), s.to_json()));
             }
         }
+        if self.phases.total() > 0 {
+            m.push(("phases".into(), self.phases.to_json()));
+        }
         Json::Obj(m).to_compact()
     }
 
@@ -246,6 +265,10 @@ impl CellStats {
             convergence_s: v.get("convergence_s").and_then(AggStats::from_json),
             updates: v.get("updates").and_then(AggStats::from_json),
             flow_mods: v.get("flow_mods").and_then(AggStats::from_json),
+            phases: match v.get("phases") {
+                Some(p) => PhaseBreakdown::from_json(p)?,
+                None => PhaseBreakdown::default(),
+            },
         })
     }
 }
@@ -266,6 +289,10 @@ pub fn aggregate_cells(jobs: &[JobRecord]) -> Vec<CellStats> {
             let conv: Vec<f64> = ok.iter().map(|j| j.convergence_ns as f64 / 1e9).collect();
             let updates: Vec<f64> = ok.iter().map(|j| j.updates as f64).collect();
             let flow_mods: Vec<f64> = ok.iter().map(|j| j.flow_mods as f64).collect();
+            let mut phases = PhaseBreakdown::default();
+            for j in &ok {
+                phases.merge(&j.phases);
+            }
             CellStats {
                 cell,
                 cluster: first.cluster,
@@ -279,6 +306,7 @@ pub fn aggregate_cells(jobs: &[JobRecord]) -> Vec<CellStats> {
                 convergence_s: AggStats::of(&conv),
                 updates: AggStats::of(&updates),
                 flow_mods: AggStats::of(&flow_mods),
+                phases,
             }
         })
         .collect()
@@ -334,38 +362,55 @@ impl CampaignArtifact {
     /// artifact (jobs only) still reports. Unknown line types are skipped.
     pub fn parse(text: &str) -> Result<CampaignArtifact, String> {
         let mut out = CampaignArtifact::default();
-        for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() {
-                continue;
-            }
-            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
-            match v.get("type").and_then(Json::as_str) {
-                Some("campaign") => {
-                    let members = match &v {
-                        Json::Obj(m) => m
-                            .iter()
-                            .filter(|(k, _)| k != "type")
-                            .cloned()
-                            .collect::<Vec<_>>(),
-                        _ => Vec::new(),
-                    };
-                    out.header = Some(Json::Obj(members));
-                }
-                Some("job") => out.jobs.push(
-                    JobRecord::from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?,
-                ),
-                Some("cell") => out.cells.push(
-                    CellStats::from_json(&v).map_err(|e| format!("line {}: {e}", lineno + 1))?,
-                ),
-                Some(_) => {}
-                None => return Err(format!("line {}: missing \"type\"", lineno + 1)),
-            }
-        }
-        if out.cells.is_empty() && !out.jobs.is_empty() {
-            out.cells = aggregate_cells(&out.jobs);
-        }
+        crate::jsonl::scan(text, |_, v| out.ingest(&v))?;
+        out.finish();
         Ok(out)
+    }
+
+    /// Parse for reporting: a malformed *final* line (a merge killed
+    /// mid-write) degrades to a warning instead of an error. Still fails
+    /// when nothing recognizable survives.
+    pub fn parse_lenient(text: &str) -> Result<(CampaignArtifact, Vec<String>), String> {
+        let mut out = CampaignArtifact::default();
+        let mut warnings = Vec::new();
+        crate::jsonl::scan_lenient(text, &mut warnings, |_, v| out.ingest(&v))?;
+        if out.header.is_none() && out.jobs.is_empty() && out.cells.is_empty() {
+            return Err("artifact has no recognizable lines (not a campaign artifact?)".into());
+        }
+        if out.jobs.is_empty() {
+            warnings.push("campaign artifact contains no job records".into());
+        }
+        out.finish();
+        Ok((out, warnings))
+    }
+
+    /// Dispatch one parsed artifact line into the accumulating document.
+    fn ingest(&mut self, v: &Json) -> Result<(), String> {
+        match v.get("type").and_then(Json::as_str) {
+            Some("campaign") => {
+                let members = match v {
+                    Json::Obj(m) => m
+                        .iter()
+                        .filter(|(k, _)| k != "type")
+                        .cloned()
+                        .collect::<Vec<_>>(),
+                    _ => Vec::new(),
+                };
+                self.header = Some(Json::Obj(members));
+            }
+            Some("job") => self.jobs.push(JobRecord::from_json(v)?),
+            Some("cell") => self.cells.push(CellStats::from_json(v)?),
+            Some(_) => {}
+            None => return Err("missing \"type\"".into()),
+        }
+        Ok(())
+    }
+
+    /// Recompute cell statistics when the artifact carried none.
+    fn finish(&mut self) {
+        if self.cells.is_empty() && !self.jobs.is_empty() {
+            self.cells = aggregate_cells(&self.jobs);
+        }
     }
 
     /// Human-readable grid-cell table (what `bgpsdn report` prints for a
@@ -429,6 +474,29 @@ impl CampaignArtifact {
                 med(&c.updates),
                 med(&c.flow_mods),
             );
+        }
+        // Per-cell causal phase breakdown: *why* the convergence curve
+        // bends — how much of each cell's mean convergence time is MRAI
+        // queueing, path hunting, controller batching, and so on.
+        let shown: Vec<CausalPhase> = CausalPhase::ALL
+            .into_iter()
+            .filter(|&p| self.cells.iter().any(|c| c.phases.get(p) > 0))
+            .collect();
+        if !shown.is_empty() {
+            let _ = writeln!(out, "== causal phase breakdown (mean s/job)");
+            let _ = write!(out, "{:>5} {:>8}", "cell", "cluster");
+            for p in &shown {
+                let _ = write!(out, " {:>13}", p.name());
+            }
+            let _ = writeln!(out);
+            for c in &self.cells {
+                let _ = write!(out, "{:>5} {:>8}", c.cell, c.cluster);
+                for p in &shown {
+                    let mean = c.phases.get(*p) as f64 / c.runs.max(1) as f64 / 1e9;
+                    let _ = write!(out, " {mean:>12.3}s");
+                }
+                let _ = writeln!(out);
+            }
         }
         let failed: u64 = self.cells.iter().map(|c| c.failed).sum();
         let unconverged: u64 = self.cells.iter().map(|c| c.unconverged).sum();
@@ -541,6 +609,7 @@ mod tests {
             flow_mods: id,
             audit_ok: true,
             verify_violations: 0,
+            phases: PhaseBreakdown::default(),
             error: None,
         }
     }
@@ -603,6 +672,47 @@ mod tests {
             .collect();
         let parsed = CampaignArtifact::parse(&text).unwrap();
         assert_eq!(parsed.cells, aggregate_cells(&jobs));
+    }
+
+    #[test]
+    fn phases_roundtrip_and_render_in_cell_table() {
+        let mut j0 = job(0, 0, 4, 10.0);
+        j0.phases.add(CausalPhase::MraiWait, 9_000_000_000);
+        j0.phases.add(CausalPhase::HuntStep, 1_000_000_000);
+        let mut j1 = job(1, 0, 4, 20.0);
+        j1.phases.add(CausalPhase::MraiWait, 19_000_000_000);
+        let jobs = vec![j0, j1];
+        let text = CampaignArtifact::render(&Json::Obj(vec![]), &jobs);
+        let parsed = CampaignArtifact::parse(&text).unwrap();
+        assert_eq!(parsed.jobs, jobs);
+        assert_eq!(
+            parsed.cells[0].phases.get(CausalPhase::MraiWait),
+            28_000_000_000
+        );
+        let report = parsed.render_report();
+        assert!(report.contains("causal phase breakdown"), "{report}");
+        assert!(report.contains("mrai_wait"), "{report}");
+        assert!(report.contains("14.000s"), "mean over two runs: {report}");
+        // Phase-free campaigns keep the old report shape.
+        let plain = CampaignArtifact::render(&Json::Obj(vec![]), &[job(0, 0, 4, 1.0)]);
+        let plain_report = CampaignArtifact::parse(&plain).unwrap().render_report();
+        assert!(
+            !plain_report.contains("causal phase breakdown"),
+            "{plain_report}"
+        );
+    }
+
+    #[test]
+    fn parse_lenient_tolerates_truncated_tail() {
+        let jobs = vec![job(0, 0, 4, 10.0)];
+        let mut text = CampaignArtifact::render(&Json::Obj(vec![]), &jobs);
+        text.push_str("{\"type\":\"job\",\"id\":1,\"ce"); // killed mid-write
+        assert!(CampaignArtifact::parse(&text).is_err());
+        let (parsed, warnings) = CampaignArtifact::parse_lenient(&text).unwrap();
+        assert_eq!(parsed.jobs, jobs);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("final line"), "{}", warnings[0]);
+        assert!(CampaignArtifact::parse_lenient("garbage\n").is_err());
     }
 
     #[test]

@@ -32,13 +32,16 @@ pub enum TraceCategory {
     /// Speaker↔controller control-channel protocol (acks, retransmits,
     /// headless transitions, resyncs).
     Ctrl,
+    /// Causal lineage events: trigger roots and per-hop DAG nodes the
+    /// forensics layer reconstructs convergence critical paths from.
+    Causal,
 }
 
 impl TraceCategory {
-    const COUNT: usize = 8;
+    const COUNT: usize = 9;
 
     /// Bit for mask-based filtering.
-    pub fn bit(self) -> u8 {
+    pub fn bit(self) -> u16 {
         match self {
             TraceCategory::Msg => 1 << 0,
             TraceCategory::Timer => 1 << 1,
@@ -48,6 +51,7 @@ impl TraceCategory {
             TraceCategory::Session => 1 << 5,
             TraceCategory::Experiment => 1 << 6,
             TraceCategory::Ctrl => 1 << 7,
+            TraceCategory::Causal => 1 << 8,
         }
     }
 
@@ -62,6 +66,7 @@ impl TraceCategory {
             TraceCategory::Session,
             TraceCategory::Experiment,
             TraceCategory::Ctrl,
+            TraceCategory::Causal,
         ]
     }
 
@@ -76,6 +81,7 @@ impl TraceCategory {
             TraceCategory::Session => "session",
             TraceCategory::Experiment => "exp",
             TraceCategory::Ctrl => "ctrl",
+            TraceCategory::Causal => "causal",
         }
     }
 
@@ -252,6 +258,95 @@ impl fmt::Display for RecomputeTrigger {
     }
 }
 
+/// Phase taxonomy for causal-DAG edges: the bucket the time between a
+/// causal event and its parent is charged to. Each
+/// [`TraceEvent::Causal`] node labels the edge *into* it, so walking a
+/// critical path and summing `t_child - t_parent` per phase decomposes a
+/// convergence transient into where the time actually went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CausalPhase {
+    /// A trigger root (operator command, link failure, chaos action).
+    /// Always zero-duration: it starts the clock.
+    Trigger,
+    /// Transit on a link (BGP update propagation, control-channel hop,
+    /// controller→speaker command execution).
+    LinkProp,
+    /// Time parked in a router's inbound processing-delay queue.
+    ProcDelay,
+    /// A best-path change. For the second and later changes of the same
+    /// `(node, prefix)` under one trigger the parent is the *previous*
+    /// best-path change, so the edge spans one full path-hunting round
+    /// (including any damping hold-down).
+    HuntStep,
+    /// Time an export sat in the MRAI hold-down before flushing.
+    MraiWait,
+    /// Controller-side wait: speaker→controller channel transit plus the
+    /// dirty-prefix batch delay until recomputation ran.
+    CtrlQueue,
+    /// The recomputation itself (zero sim-time; kept for taxonomy
+    /// completeness and event counting).
+    CtrlRecompute,
+    /// FlowMod transit and installation into a switch table.
+    FlowInstall,
+    /// Recomputation driven by a post-outage full-state resync.
+    Resync,
+}
+
+impl CausalPhase {
+    /// Every phase, in canonical rendering order.
+    pub const ALL: [CausalPhase; 9] = [
+        CausalPhase::Trigger,
+        CausalPhase::LinkProp,
+        CausalPhase::ProcDelay,
+        CausalPhase::HuntStep,
+        CausalPhase::MraiWait,
+        CausalPhase::CtrlQueue,
+        CausalPhase::CtrlRecompute,
+        CausalPhase::FlowInstall,
+        CausalPhase::Resync,
+    ];
+
+    /// Stable lowercase name (used in JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            CausalPhase::Trigger => "trigger",
+            CausalPhase::LinkProp => "link_prop",
+            CausalPhase::ProcDelay => "proc_delay",
+            CausalPhase::HuntStep => "hunt_step",
+            CausalPhase::MraiWait => "mrai_wait",
+            CausalPhase::CtrlQueue => "ctrl_queue",
+            CausalPhase::CtrlRecompute => "ctrl_recompute",
+            CausalPhase::FlowInstall => "flow_install",
+            CausalPhase::Resync => "resync",
+        }
+    }
+
+    /// Inverse of [`CausalPhase::name`].
+    pub fn from_name(name: &str) -> Option<CausalPhase> {
+        CausalPhase::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Position in [`CausalPhase::ALL`].
+    pub fn index(self) -> usize {
+        CausalPhase::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("phase is in ALL")
+    }
+
+    /// True for phases that mark a routing-state settlement (the events a
+    /// critical path can end at).
+    pub fn is_settlement(self) -> bool {
+        matches!(self, CausalPhase::HuntStep | CausalPhase::FlowInstall)
+    }
+}
+
+impl fmt::Display for CausalPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A typed trace event — the payload of every trace record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -408,6 +503,30 @@ pub enum TraceEvent {
         /// Human-readable witness path demonstrating the violation.
         witness: String,
     },
+    /// One node of a convergence trigger's causal DAG. Minted whenever a
+    /// trigger fires or its lineage crosses a station (update delivered,
+    /// processed, best path changed, export flushed, controller batch
+    /// recomputed, flow installed); `bgpsdn explain` reconstructs critical
+    /// paths and phase breakdowns from these. All fields are sim-time
+    /// deterministic — nothing wall-clock — so artifacts canonicalize
+    /// byte-identically across reruns.
+    Causal {
+        /// This event's id, unique and monotone within a run (1-based).
+        id: u64,
+        /// Parent causal event ids; empty for trigger roots, more than one
+        /// where lineages merge (controller dirty-prefix batches, hunt
+        /// steps that also descend from the processed update).
+        parents: Vec<u64>,
+        /// Id of the trigger root this lineage descends from. For merge
+        /// nodes whose parents span triggers: the earliest parent's.
+        trigger: u64,
+        /// Hops from the trigger along the minting chain.
+        hop: u32,
+        /// Which taxonomy bucket the edge from parent to this node fills.
+        phase: CausalPhase,
+        /// The prefix involved, when the event is prefix-scoped.
+        prefix: Option<ObsPrefix>,
+    },
     /// Free-form diagnostic text (decode errors, relay misses). Never
     /// parsed by analysis code — everything analyzable has a typed variant.
     Note {
@@ -432,11 +551,12 @@ impl TraceEvent {
                 TraceCategory::Flow
             }
             TraceEvent::SessionUp { .. } | TraceEvent::SessionDown { .. } => TraceCategory::Session,
-            // VerifyViolation shares Experiment: the 8-bit category mask
-            // is full, and verification runs are experiment-level events.
+            // VerifyViolation shares Experiment: verification runs are
+            // experiment-level events.
             TraceEvent::Phase { .. } | TraceEvent::VerifyViolation { .. } => {
                 TraceCategory::Experiment
             }
+            TraceEvent::Causal { .. } => TraceCategory::Causal,
             TraceEvent::LinkAdmin { .. } | TraceEvent::NodeAdmin { .. } => TraceCategory::Link,
             TraceEvent::TimerFired { .. } => TraceCategory::Timer,
             TraceEvent::SpeakerHeadless { .. }
@@ -467,6 +587,7 @@ impl TraceEvent {
             TraceEvent::ControlRetransmit { .. } => "control_retransmit",
             TraceEvent::SpeakerEventDropped { .. } => "speaker_event_dropped",
             TraceEvent::VerifyViolation { .. } => "verify_violation",
+            TraceEvent::Causal { .. } => "causal",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -610,6 +731,26 @@ impl TraceEvent {
                 // top-level "node" key for event attribution.
                 m.push(("offender".into(), Json::Str(offender.clone())));
                 m.push(("witness".into(), Json::Str(witness.clone())));
+            }
+            TraceEvent::Causal {
+                id,
+                parents,
+                trigger,
+                hop,
+                phase,
+                prefix,
+            } => {
+                m.push(("id".into(), Json::U64(*id)));
+                m.push((
+                    "parents".into(),
+                    Json::Arr(parents.iter().map(|&p| Json::U64(p)).collect()),
+                ));
+                m.push(("trigger".into(), Json::U64(*trigger)));
+                m.push(("hop".into(), Json::U64(*hop as u64)));
+                m.push(("phase".into(), Json::Str(phase.name().into())));
+                if let Some(p) = prefix {
+                    m.push(("prefix".into(), p.to_json()));
+                }
             }
             TraceEvent::Note { category, text } => {
                 m.push(("cat".into(), Json::Str(category.name().into())));
@@ -760,6 +901,35 @@ impl TraceEvent {
                 },
                 offender: get_str(v, "offender")?,
                 witness: get_str(v, "witness")?,
+            },
+            "causal" => TraceEvent::Causal {
+                id: v.get("id").and_then(Json::as_u64).ok_or("bad \"id\"")?,
+                parents: v
+                    .get("parents")
+                    .and_then(Json::as_arr)
+                    .ok_or("bad \"parents\"")?
+                    .iter()
+                    .map(|p| p.as_u64().ok_or_else(|| "bad parent id".to_string()))
+                    .collect::<Result<Vec<u64>, String>>()?,
+                trigger: v
+                    .get("trigger")
+                    .and_then(Json::as_u64)
+                    .ok_or("bad \"trigger\"")?,
+                hop: get_u32(v, "hop")?,
+                phase: v
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .and_then(CausalPhase::from_name)
+                    .ok_or("bad \"phase\"")?,
+                prefix: match v.get("prefix") {
+                    Some(p) => Some(
+                        p.as_str()
+                            .ok_or("bad \"prefix\"")?
+                            .parse()
+                            .map_err(|e: String| e)?,
+                    ),
+                    None => None,
+                },
             },
             "note" => TraceEvent::Note {
                 category: v
@@ -956,6 +1126,24 @@ impl fmt::Display for TraceEvent {
                 Some(p) => write!(f, "VIOLATION [{check}] {p} at {offender}: {witness}"),
                 None => write!(f, "VIOLATION [{check}] at {offender}: {witness}"),
             },
+            TraceEvent::Causal {
+                id,
+                parents,
+                trigger,
+                hop,
+                phase,
+                prefix,
+            } => {
+                write!(f, "causal #{id} {phase} (trigger #{trigger}, hop {hop}")?;
+                if let Some(p) = prefix {
+                    write!(f, ", {p}")?;
+                }
+                if parents.is_empty() {
+                    f.write_str(", root)")
+                } else {
+                    write!(f, ", from {parents:?})")
+                }
+            }
             TraceEvent::Note { text, .. } => f.write_str(text),
         }
     }
@@ -1054,10 +1242,38 @@ mod tests {
             offender: "session#0 sw30->as40".into(),
             witness: "speaker says established=true, controller says up=false".into(),
         });
+        roundtrip(TraceEvent::Causal {
+            id: 17,
+            parents: vec![3, 9],
+            trigger: 1,
+            hop: 4,
+            phase: CausalPhase::CtrlQueue,
+            prefix: Some(p),
+        });
+        roundtrip(TraceEvent::Causal {
+            id: 1,
+            parents: vec![],
+            trigger: 1,
+            hop: 0,
+            phase: CausalPhase::Trigger,
+            prefix: None,
+        });
         roundtrip(TraceEvent::Note {
             category: TraceCategory::Session,
             text: "decode error: bad \"marker\"\n".into(),
         });
+    }
+
+    #[test]
+    fn causal_phase_names_roundtrip() {
+        for p in CausalPhase::ALL {
+            assert_eq!(CausalPhase::from_name(p.name()), Some(p));
+            assert_eq!(CausalPhase::ALL[p.index()], p);
+        }
+        assert_eq!(CausalPhase::from_name("bogus"), None);
+        assert!(CausalPhase::HuntStep.is_settlement());
+        assert!(CausalPhase::FlowInstall.is_settlement());
+        assert!(!CausalPhase::MraiWait.is_settlement());
     }
 
     #[test]

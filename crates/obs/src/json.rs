@@ -604,6 +604,45 @@ mod tests {
     }
 
     #[test]
+    fn escapes_every_control_char_and_nothing_more() {
+        // All of C0 must escape; everything from 0x20 up passes through
+        // verbatim (0x7f DEL included — JSON does not require escaping it).
+        for c in (0u32..0x20).map(|c| char::from_u32(c).unwrap()) {
+            let text = Json::Str(c.to_string()).to_compact();
+            assert!(
+                text.bytes().all(|b| (0x20..0x7f).contains(&b)),
+                "U+{:04X} leaked into {text:?}",
+                c as u32
+            );
+            assert_eq!(Json::parse(&text).unwrap().as_str(), Some(&*c.to_string()));
+        }
+        assert_eq!(Json::Str("\u{7f}".into()).to_compact(), "\"\u{7f}\"");
+        // The short-form escapes are used where JSON defines them.
+        assert_eq!(
+            Json::Str("\u{08}\u{0c}\n\r\t".into()).to_compact(),
+            r#""\b\f\n\r\t""#
+        );
+        // Others fall back to \uXXXX with lowercase hex.
+        assert_eq!(
+            Json::Str("\u{01}\u{1f}".into()).to_compact(),
+            "\"\\u0001\\u001f\""
+        );
+    }
+
+    #[test]
+    fn rejects_lone_surrogates() {
+        for bad in [
+            r#""\ud83d""#,       // high surrogate, end of string
+            r#""\ud83d rest""#,  // high surrogate, no \u follows
+            r#""\ud83dA""#,      // high surrogate, non-surrogate follows
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // bare low surrogate
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
         for bad in [
             "",

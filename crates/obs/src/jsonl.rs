@@ -1,0 +1,101 @@
+//! Shared JSONL scanning for artifact parsers.
+//!
+//! Run and campaign artifacts are both line-oriented JSON documents; this
+//! module is the one line-reader they share. Strict scans fail on the
+//! first bad line. Lenient scans tolerate exactly one malformed *final*
+//! line — the signature of a run that died mid-write — downgrading it to
+//! a warning so `bgpsdn report` can still render everything recorded
+//! before the truncation.
+
+use crate::json::Json;
+
+/// Scan every non-empty line of a JSONL document, parsing each as JSON and
+/// handing `(line_number, value)` to `line` (line numbers are 1-based).
+/// Parse failures and callback errors alike abort the scan, prefixed with
+/// the offending line number.
+pub fn scan(text: &str, line: impl FnMut(usize, Json) -> Result<(), String>) -> Result<(), String> {
+    scan_inner(text, false, &mut Vec::new(), line)
+}
+
+/// Like [`scan`], but a malformed **final** line (or one the callback
+/// rejects) is recorded in `warnings` instead of failing the whole scan: a
+/// truncated tail is the normal shape of an artifact whose writer was
+/// killed mid-line. Malformed lines anywhere else remain hard errors.
+pub fn scan_lenient(
+    text: &str,
+    warnings: &mut Vec<String>,
+    line: impl FnMut(usize, Json) -> Result<(), String>,
+) -> Result<(), String> {
+    scan_inner(text, true, warnings, line)
+}
+
+fn scan_inner(
+    text: &str,
+    lenient: bool,
+    warnings: &mut Vec<String>,
+    mut line: impl FnMut(usize, Json) -> Result<(), String>,
+) -> Result<(), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let last = lines.last().map(|&(n, _)| n);
+    for (lineno, raw) in lines {
+        let res = Json::parse(raw)
+            .map_err(|e| e.to_string())
+            .and_then(|v| line(lineno, v));
+        if let Err(e) = res {
+            if lenient && Some(lineno) == last {
+                warnings.push(format!(
+                    "line {lineno}: ignoring truncated or malformed final line: {e}"
+                ));
+            } else {
+                return Err(format!("line {lineno}: {e}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_fails_on_any_bad_line() {
+        let mut seen = 0;
+        let err = scan("{\"a\":1}\nnot json\n{\"b\":2}\n", |_, _| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn lenient_tolerates_only_the_final_line() {
+        let mut warnings = Vec::new();
+        let mut seen = 0;
+        scan_lenient("{\"a\":1}\n{\"trunc", &mut warnings, |_, _| {
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{}", warnings[0]);
+
+        let err = scan_lenient("bad\n{\"a\":1}\n", &mut Vec::new(), |_, _| Ok(()))
+            .expect_err("non-final bad line must stay fatal");
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn callback_errors_carry_line_numbers() {
+        let err = scan("{\"a\":1}\n", |_, _| Err("bad \"t\"".into())).unwrap_err();
+        assert_eq!(err, "line 1: bad \"t\"");
+    }
+}

@@ -16,7 +16,11 @@
 //!   histograms, convergence timelines);
 //! * [`campaign`]: merged campaign artifacts for parameter sweeps —
 //!   per-job summary records, per-grid-cell min/median/p90/max
-//!   aggregation, and the grid-cell tables `bgpsdn report` renders.
+//!   aggregation, and the grid-cell tables `bgpsdn report` renders;
+//! * [`causal`]: trigger-lineage forensics — reconstructs per-trigger
+//!   causal DAGs from [`TraceEvent::Causal`] records, extracts critical
+//!   paths, and decomposes convergence time into the phase taxonomy
+//!   behind `bgpsdn explain`.
 //!
 //! Metric names follow `<crate>.<subsystem>.<name>`; see DESIGN.md's
 //! "Observability" section for the full convention and JSONL schema.
@@ -28,8 +32,10 @@
 
 pub mod artifact;
 pub mod campaign;
+pub mod causal;
 pub mod event;
 pub mod json;
+pub mod jsonl;
 pub mod metrics;
 pub mod span;
 
@@ -40,7 +46,13 @@ pub use artifact::{
 pub use campaign::{
     aggregate_cells, canonicalize_jsonl, AggStats, CampaignArtifact, CellStats, JobRecord,
 };
-pub use event::{FlowActionRepr, ObsPrefix, RecomputeTrigger, TraceCategory, TraceEvent};
+pub use causal::{
+    CausalAnalysis, CausalNode, Cause, CriticalPath, HuntChain, PathStep, PhaseBreakdown,
+    TriggerForensics,
+};
+pub use event::{
+    CausalPhase, FlowActionRepr, ObsPrefix, RecomputeTrigger, TraceCategory, TraceEvent,
+};
 pub use json::{Json, JsonError, ToJson};
 pub use metrics::{
     log2_bucket, Histogram, MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot,

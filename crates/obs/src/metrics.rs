@@ -360,6 +360,24 @@ mod tests {
     }
 
     #[test]
+    fn log2_bucket_boundaries_at_powers_of_two() {
+        // 0 is clamped into bucket 0 alongside 1.
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        // Each exact power of two opens its own bucket; the value just
+        // below it still lands in the previous one.
+        for k in 1..64 {
+            let p = 1u64 << k;
+            assert_eq!(log2_bucket(p), k, "2^{k} must open bucket {k}");
+            assert_eq!(log2_bucket(p - 1), k - 1, "2^{k}-1 must stay below");
+            if k < 63 {
+                assert_eq!(log2_bucket(2 * p - 1), k, "2^{}−1 closes bucket {k}", k + 1);
+            }
+        }
+        assert_eq!(log2_bucket(u64::MAX), 63);
+    }
+
+    #[test]
     fn histogram_merge_accumulates() {
         let mut a = Histogram::default();
         a.record(5);

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use bgpsdn_obs::{
-    event_line, FlowActionRepr, Json, ObsPrefix, RecomputeTrigger, RunArtifact, TraceCategory,
-    TraceEvent,
+    event_line, CausalPhase, FlowActionRepr, Json, ObsPrefix, RecomputeTrigger, RunArtifact,
+    TraceCategory, TraceEvent,
 };
 
 fn arb_prefix() -> impl Strategy<Value = ObsPrefix> {
@@ -70,6 +70,10 @@ fn arb_trigger() -> impl Strategy<Value = RecomputeTrigger> {
         Just(RecomputeTrigger::Startup),
         Just(RecomputeTrigger::Resync),
     ]
+}
+
+fn arb_phase() -> impl Strategy<Value = CausalPhase> {
+    (0usize..CausalPhase::ALL.len()).prop_map(|i| CausalPhase::ALL[i])
 }
 
 fn arb_category() -> impl Strategy<Value = TraceCategory> {
@@ -175,6 +179,24 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
         any::<u32>().prop_map(|session| TraceEvent::SpeakerEventDropped { session }),
         (arb_category(), arb_text())
             .prop_map(|(category, text)| TraceEvent::Note { category, text }),
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..5),
+            any::<u64>(),
+            any::<u32>(),
+            arb_phase(),
+            prop::option::of(arb_prefix()),
+        )
+            .prop_map(|(id, parents, trigger, hop, phase, prefix)| {
+                TraceEvent::Causal {
+                    id,
+                    parents,
+                    trigger,
+                    hop,
+                    phase,
+                    prefix,
+                }
+            }),
     ]
 }
 

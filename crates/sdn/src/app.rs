@@ -9,7 +9,7 @@
 use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{Asn, Prefix, SharedPath, UpdateMsg};
-use bgpsdn_netsim::Message;
+use bgpsdn_netsim::{Cause, Message};
 
 use crate::openflow::OfEnvelope;
 
@@ -34,6 +34,10 @@ pub enum SpeakerEvent {
         session: usize,
         /// The decoded message.
         update: UpdateMsg,
+        /// Causal lineage of the update (survives channel retransmission;
+        /// [`Cause::NONE`] when causal tracing is off). Not counted in
+        /// wire sizes.
+        cause: Cause,
     },
 }
 
@@ -53,6 +57,8 @@ pub enum SpeakerCmd {
         as_path: SharedPath,
         /// Optional MED.
         med: Option<u32>,
+        /// Causal lineage ([`Cause::NONE`] when causal tracing is off).
+        cause: Cause,
     },
     /// Withdraw `prefix` on `session`.
     Withdraw {
@@ -60,6 +66,8 @@ pub enum SpeakerCmd {
         session: usize,
         /// Prefix to withdraw.
         prefix: Prefix,
+        /// Causal lineage ([`Cause::NONE`] when causal tracing is off).
+        cause: Cause,
     },
 }
 

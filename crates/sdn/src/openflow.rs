@@ -8,7 +8,7 @@
 
 use bgpsdn_bgp::wire::{CodecError, Reader, Writer};
 use bgpsdn_bgp::Prefix;
-use bgpsdn_netsim::{DataPacket, PacketKind};
+use bgpsdn_netsim::{Cause, DataPacket, PacketKind};
 
 use crate::flowtable::{FlowAction, FlowRule};
 
@@ -400,13 +400,26 @@ impl OfMessage {
 pub struct OfEnvelope {
     /// Encoded bytes.
     pub bytes: Vec<u8>,
+    /// Causal lineage riding alongside the wire bytes (never encoded,
+    /// never counted in [`OfEnvelope::wire_len`]); [`Cause::NONE`] when
+    /// causal tracing is off.
+    pub cause: Cause,
 }
 
 impl OfEnvelope {
-    /// Encode a message.
+    /// Encode a message with no causal lineage.
     pub fn new(msg: &OfMessage) -> OfEnvelope {
         OfEnvelope {
             bytes: msg.encode(),
+            cause: Cause::NONE,
+        }
+    }
+
+    /// Encode a message carrying causal lineage.
+    pub fn with_cause(msg: &OfMessage, cause: Cause) -> OfEnvelope {
+        OfEnvelope {
+            bytes: msg.encode(),
+            cause,
         }
     }
 

@@ -36,8 +36,8 @@ use bgpsdn_bgp::{
     SessionHandshake, SharedPath, UpdateMsg,
 };
 use bgpsdn_netsim::{
-    Activity, Ctx, LinkId, Node, NodeId, ObsPrefix, SimDuration, TimerClass, TimerToken,
-    TraceCategory, TraceEvent,
+    Activity, CausalPhase, Cause, Ctx, LinkId, Node, NodeId, ObsPrefix, SimDuration, TimerClass,
+    TimerToken, TraceCategory, TraceEvent,
 };
 
 use crate::app::{CtrlMsg, SdnApp, SessionSync, SpeakerCmd, SpeakerEvent, SpeakerSyncState};
@@ -59,6 +59,36 @@ fn obs_list(ps: &[Prefix]) -> Vec<ObsPrefix> {
     ps.iter()
         .map(|p| ObsPrefix::new(p.network_u32(), p.len()))
         .collect()
+}
+
+fn obs(p: Prefix) -> ObsPrefix {
+    ObsPrefix::new(p.network_u32(), p.len())
+}
+
+/// Mint the causal event closing a channel/link-propagation edge and step
+/// the lineage past it. Returns [`Cause::NONE`] when tracing is off or the
+/// incoming lineage is empty.
+fn step_link_prop<M: bgpsdn_netsim::Message>(
+    ctx: &mut Ctx<'_, M>,
+    cause: Cause,
+    prefix: Option<Prefix>,
+) -> Cause {
+    if cause.is_none() {
+        return Cause::NONE;
+    }
+    let id = ctx.causal_id();
+    if id == 0 {
+        return Cause::NONE;
+    }
+    ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+        id,
+        parents: vec![cause.parent],
+        trigger: cause.trigger,
+        hop: cause.hop + 1,
+        phase: CausalPhase::LinkProp,
+        prefix: prefix.map(obs),
+    });
+    cause.step(id)
 }
 
 /// Configuration of one alias session.
@@ -381,6 +411,16 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
     }
 
     fn send_bgp(&mut self, ctx: &mut Ctx<'_, M>, idx: usize, msg: &BgpMessage) {
+        self.send_bgp_caused(ctx, idx, msg, Cause::NONE);
+    }
+
+    fn send_bgp_caused(
+        &mut self,
+        ctx: &mut Ctx<'_, M>,
+        idx: usize,
+        msg: &BgpMessage,
+        cause: Cause,
+    ) {
         let s = &self.sessions[idx];
         if let BgpMessage::Update(u) = msg {
             self.stats.updates_out += 1;
@@ -397,7 +437,7 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 text: format!("alias {} -> {} {}", s.cfg.alias, s.cfg.ext_peer, msg),
             });
         }
-        let env = BgpEnvelope::new(s.cfg.alias, s.cfg.ext_peer, msg);
+        let env = BgpEnvelope::with_cause(s.cfg.alias, s.cfg.ext_peer, msg, cause);
         ctx.send(s.cfg.via_link, M::from_bgp(env));
     }
 
@@ -467,11 +507,17 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                         s.adj_in.insert(*p, (path.clone(), attrs.med));
                     }
                 }
+                // Causal: close the link-propagation edge at the speaker;
+                // the controller closes the ctrl_queue edge when its batch
+                // recomputes.
+                let first = upd.nlri.first().or_else(|| upd.withdrawn.first()).copied();
+                let cause = step_link_prop(ctx, env.cause, first);
                 self.notify_controller(
                     ctx,
                     SpeakerEvent::Update {
                         session: idx,
                         update: upd.clone(),
+                        cause,
                     },
                 );
                 return;
@@ -540,6 +586,7 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 prefix,
                 as_path,
                 med,
+                cause,
             } => {
                 let s = &mut self.sessions[session];
                 if !s.handshake.is_established() {
@@ -554,10 +601,15 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 attrs.as_path = bgpsdn_bgp::AsPath::from_seq(key.0.iter().map(|a| a.0));
                 attrs.med = med;
                 s.advertised.insert(prefix, key);
+                let cause = step_link_prop(ctx, cause, Some(prefix));
                 let msg = BgpMessage::Update(UpdateMsg::announce(vec![prefix], attrs));
-                self.send_bgp(ctx, session, &msg);
+                self.send_bgp_caused(ctx, session, &msg, cause);
             }
-            SpeakerCmd::Withdraw { session, prefix } => {
+            SpeakerCmd::Withdraw {
+                session,
+                prefix,
+                cause,
+            } => {
                 let s = &mut self.sessions[session];
                 if !s.handshake.is_established() {
                     return;
@@ -565,8 +617,9 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 if s.advertised.remove(&prefix).is_none() {
                     return; // never announced here
                 }
+                let cause = step_link_prop(ctx, cause, Some(prefix));
                 let msg = BgpMessage::Update(UpdateMsg::withdraw(vec![prefix]));
-                self.send_bgp(ctx, session, &msg);
+                self.send_bgp_caused(ctx, session, &msg, cause);
             }
         }
     }

@@ -15,7 +15,9 @@
 use std::collections::HashMap;
 
 use bgpsdn_bgp::BgpApp;
-use bgpsdn_netsim::{Activity, Ctx, LinkId, Node, NodeId, ObsPrefix, TraceCategory, TraceEvent};
+use bgpsdn_netsim::{
+    Activity, CausalPhase, Ctx, LinkId, Node, NodeId, ObsPrefix, TraceCategory, TraceEvent,
+};
 
 use crate::app::SdnApp;
 use crate::flowtable::{FlowAction, FlowTable};
@@ -169,6 +171,22 @@ impl<M: SdnApp + BgpApp> SdnSwitch<M> {
                             action,
                         },
                     });
+                    // Causal: a flow-table change is a settlement — the
+                    // flow_install edge spans controller send → install.
+                    if !env.cause.is_none() {
+                        let id = ctx.causal_id();
+                        if id != 0 {
+                            let c = env.cause;
+                            ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                                id,
+                                parents: vec![c.parent],
+                                trigger: c.trigger,
+                                hop: c.hop + 1,
+                                phase: CausalPhase::FlowInstall,
+                                prefix: Some(prefix),
+                            });
+                        }
+                    }
                 }
             }
             OfMessage::PacketOut { out, packet } => {

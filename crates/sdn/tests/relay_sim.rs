@@ -170,7 +170,9 @@ fn external_update_reaches_controller_decoded() {
         .events
         .iter()
         .filter_map(|e| match e {
-            SpeakerEvent::Update { session: 0, update } => Some(update.clone()),
+            SpeakerEvent::Update {
+                session: 0, update, ..
+            } => Some(update.clone()),
             _ => None,
         })
         .collect();
@@ -198,6 +200,7 @@ fn controller_announce_reaches_external_router() {
             prefix: p,
             as_path: vec![Asn(200)].into(),
             med: None,
+            cause: bgpsdn_netsim::Cause::NONE,
         }),
     );
     assert!(s.sim.run_until_quiescent(SimTime::from_secs(30)).quiescent);
@@ -213,6 +216,7 @@ fn controller_announce_reaches_external_router() {
             prefix: p,
             as_path: vec![Asn(200)].into(),
             med: None,
+            cause: bgpsdn_netsim::Cause::NONE,
         }),
     );
     assert!(s.sim.run_until_quiescent(SimTime::from_secs(30)).quiescent);
@@ -227,6 +231,7 @@ fn controller_announce_reaches_external_router() {
         ClusterMsg::SpeakerCmd(SpeakerCmd::Withdraw {
             session: 0,
             prefix: p,
+            cause: bgpsdn_netsim::Cause::NONE,
         }),
     );
     assert!(s.sim.run_until_quiescent(SimTime::from_secs(30)).quiescent);

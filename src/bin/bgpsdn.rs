@@ -9,6 +9,7 @@
 //!               [--out FILE] [--artifacts DIR] [--loss L1,L2,...]
 //!               [--chaos OUTAGES] [--verify] ...
 //! bgpsdn report FILE
+//! bgpsdn explain FILE [--json] [--top N]
 //! bgpsdn verify --snapshot FILE
 //! bgpsdn ping   --sdn K [--n SIZE] [--fail-at TICK] [--heal-at TICK]
 //! ```
@@ -55,6 +56,13 @@ fn usage() -> ExitCode {
       analyze a JSONL trace artifact: per-node update counts, recompute
       latency histogram, convergence timeline; campaign artifacts render
       as per-grid-cell tables
+
+  bgpsdn explain FILE [--json] [--top N]
+      causal convergence forensics over a run artifact's trigger
+      lineage: per-trigger timeline, phase breakdown (mrai_wait,
+      hunt_step, ctrl_recompute, ...), top-N critical paths, path
+      hunting and ghost-route intervals; --json emits the analysis
+      as one JSON document
 
   bgpsdn verify --snapshot FILE
       run the static data-plane verifier (loop-freedom, blackholes,
@@ -406,11 +414,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 fn cmd_report(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     if CampaignArtifact::sniff(&text) {
-        let campaign = CampaignArtifact::parse(&text)?;
+        let (campaign, warnings) = CampaignArtifact::parse_lenient(&text)?;
+        for w in &warnings {
+            eprintln!("warning: {w}");
+        }
         print!("{}", campaign.render_report());
         return Ok(());
     }
-    let artifact = RunArtifact::parse(&text)?;
+    let (artifact, warnings) = RunArtifact::parse_lenient(&text)?;
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
     if let Some(run) = &artifact.run {
         println!("run: {}", run.to_compact());
     }
@@ -419,6 +433,38 @@ fn cmd_report(path: &str) -> Result<(), String> {
     for (phase, metrics) in &artifact.snapshots {
         println!("== metrics [{phase}]");
         println!("{}", metrics.to_compact());
+    }
+    Ok(())
+}
+
+/// Causal convergence forensics: reconstruct the trigger-lineage DAGs a
+/// run artifact recorded and explain *where the time went* — per-trigger
+/// phase breakdowns, critical paths to last-route-settled, path-hunting
+/// chains, and ghost-route intervals.
+fn cmd_explain(path: &str, args: &Args) -> Result<(), String> {
+    let top: usize = args.get("top", 3)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if CampaignArtifact::sniff(&text) {
+        return Err(
+            "campaign artifacts carry per-cell phase sums, not full lineage; \
+             use `bgpsdn report` for the phase table, or explain one job's \
+             isolated artifact (sweep --artifacts DIR)"
+                .into(),
+        );
+    }
+    let (artifact, warnings) = RunArtifact::parse_lenient(&text)?;
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    let analysis =
+        CausalAnalysis::from_events(artifact.events.iter().map(|r| (r.t, r.node, &r.event)));
+    if args.has("json") {
+        println!("{}", analysis.to_json(top).to_compact());
+    } else {
+        if let Some(run) = &artifact.run {
+            println!("run: {}", run.to_compact());
+        }
+        print!("{}", analysis.render(top));
     }
     Ok(())
 }
@@ -539,6 +585,25 @@ fn main() -> ExitCode {
             return usage();
         };
         return match cmd_report(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "explain" {
+        // `explain FILE [--json] [--top N]`: the path is positional.
+        let Some((path, flags)) = rest.split_first() else {
+            return usage();
+        };
+        if path.starts_with("--") {
+            return usage();
+        }
+        let Some(args) = Args::parse(flags) else {
+            return usage();
+        };
+        return match cmd_explain(path, &args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");

@@ -67,8 +67,8 @@ pub mod prelude {
         TraceCategory, TraceEvent,
     };
     pub use bgpsdn_obs::{
-        canonicalize_jsonl, metrics_line, run_line, CampaignArtifact, Json, RunAnalysis,
-        RunArtifact,
+        canonicalize_jsonl, metrics_line, run_line, CampaignArtifact, CausalAnalysis, CausalPhase,
+        Json, PhaseBreakdown, RunAnalysis, RunArtifact,
     };
     pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
     pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};

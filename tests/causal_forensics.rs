@@ -1,0 +1,93 @@
+//! Causal forensics end-to-end: the trigger lineage recorded during a
+//! clique experiment must *account for* the run's own convergence
+//! measurements — the longest critical path telescopes exactly to the
+//! last routing-table change — and the phase decomposition must explain
+//! Figure 2's shape: the BGP-side phases (MRAI batching and path
+//! hunting) shrink as the SDN fraction grows.
+
+use bgp_sdn_emu::prelude::*;
+
+fn analyze(exp: &Experiment) -> CausalAnalysis {
+    let phase_start = exp.phase_start().as_nanos();
+    CausalAnalysis::from_events(
+        exp.net
+            .sim
+            .trace()
+            .records()
+            .filter(|r| r.time.as_nanos() >= phase_start)
+            .map(|r| (r.time.as_nanos(), r.node.map(|n| n.0), &r.event)),
+    )
+}
+
+#[test]
+fn critical_path_matches_last_table_change() {
+    let scenario = CliqueScenario {
+        n: 8,
+        sdn_count: 4,
+        mrai: SimDuration::from_secs(5),
+        recompute_delay: SimDuration::from_millis(100),
+        seed: 1,
+        control_loss: 0.0,
+    };
+    let (out, exp) = run_clique_traced(&scenario, EventKind::Withdrawal);
+    assert!(out.converged);
+    let analysis = analyze(&exp);
+    assert_eq!(analysis.dangling, 0, "lineage must be complete");
+    let critical_ns = analysis
+        .triggers
+        .iter()
+        .filter_map(|t| t.convergence_ns())
+        .max()
+        .expect("withdrawal trigger settles");
+    let phase_start = exp.phase_start();
+    let settled_ns = [
+        Activity::RibChange,
+        Activity::FibChange,
+        Activity::FlowInstalled,
+    ]
+    .into_iter()
+    .filter_map(|a| exp.net.sim.board().last(a))
+    .max()
+    .expect("tables changed")
+    .saturating_since(phase_start)
+    .as_nanos();
+    assert_eq!(
+        critical_ns, settled_ns,
+        "the critical path must telescope exactly to the last table change"
+    );
+    // And the path's own phase edges sum to its total (telescoping).
+    let t = &analysis.triggers[0];
+    let longest = &t.paths[0];
+    assert!(longest.complete, "walk must reach the trigger root");
+    assert_eq!(longest.phases.total(), longest.total_ns);
+}
+
+#[test]
+fn bgp_phases_shrink_as_centralization_grows() {
+    // Three points of the Figure 2 axis: pure BGP, half SDN, full SDN.
+    // The curve bends because MRAI batching and path hunting disappear
+    // from the critical path as more of the clique is centralized.
+    let mut bgp_side = Vec::new();
+    for sdn in [0usize, 8, 16] {
+        let scenario = CliqueScenario {
+            n: 16,
+            sdn_count: sdn,
+            mrai: SimDuration::from_secs(30),
+            recompute_delay: SimDuration::from_millis(100),
+            seed: 4242,
+            control_loss: 0.0,
+        };
+        let (out, exp) = run_clique_traced(&scenario, EventKind::Withdrawal);
+        assert!(out.converged, "sdn={sdn} must converge");
+        let phases = analyze(&exp).phase_totals();
+        bgp_side.push(phases.get(CausalPhase::MraiWait) + phases.get(CausalPhase::HuntStep));
+    }
+    assert!(
+        bgp_side[0] >= bgp_side[1] && bgp_side[1] >= bgp_side[2],
+        "mrai_wait + hunt_step must shrink with the SDN fraction: {bgp_side:?}"
+    );
+    assert!(
+        bgp_side[0] > bgp_side[2],
+        "full centralization must actually remove BGP-side wait time: {bgp_side:?}"
+    );
+}

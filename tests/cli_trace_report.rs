@@ -1,7 +1,8 @@
 //! End-to-end CLI test: `bgpsdn run --trace-out` must produce a JSONL
 //! artifact that `bgpsdn report` parses and analyzes — per-node update
 //! counts, recompute latency, and a convergence timeline, all from typed
-//! events.
+//! events — and that `bgpsdn explain` turns into causal forensics whose
+//! critical path accounts for the run's own convergence time.
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -80,6 +81,130 @@ fn run_trace_out_then_report() {
     assert!(out.contains("converged in"), "{out}");
     assert!(out.contains("metrics [withdrawal]"), "{out}");
 
+    // `bgpsdn explain` reconstructs the trigger lineage from the same
+    // artifact: one withdrawal trigger whose critical path telescopes to
+    // the settlement time, decomposed into the phase taxonomy.
+    let explain = bgpsdn()
+        .arg("explain")
+        .arg(&path)
+        .output()
+        .expect("spawn explain");
+    assert!(
+        explain.status.success(),
+        "explain failed: {}",
+        String::from_utf8_lossy(&explain.stderr)
+    );
+    let out = String::from_utf8_lossy(&explain.stdout);
+    assert!(out.contains("== trigger #"), "{out}");
+    assert!(out.contains("phase breakdown"), "{out}");
+    assert!(out.contains("critical paths"), "{out}");
+    assert!(out.contains("hunt_step"), "{out}");
+
+    // --json emits one machine-readable document with the same content,
+    // and it is byte-identical across invocations (deterministic).
+    let json1 = bgpsdn()
+        .arg("explain")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("spawn explain --json");
+    assert!(json1.status.success());
+    let doc =
+        Json::parse(String::from_utf8_lossy(&json1.stdout).trim()).expect("explain --json parses");
+    let triggers = doc.get("triggers").and_then(Json::as_arr).unwrap();
+    assert_eq!(triggers.len(), 1, "one withdrawal trigger");
+    let settled = triggers[0]
+        .get("convergence_ns")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(settled > 0);
+    let json2 = bgpsdn()
+        .arg("explain")
+        .arg(&path)
+        .arg("--json")
+        .output()
+        .expect("spawn explain --json again");
+    assert_eq!(json1.stdout, json2.stdout, "explain must be deterministic");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn report_degrades_gracefully_on_truncated_tail() {
+    // A run artifact whose final line was cut mid-write (crash, full
+    // disk) must still report — with a warning — instead of failing.
+    let path = artifact_path("truncated");
+    let full = bgpsdn()
+        .args([
+            "run",
+            "--event",
+            "withdrawal",
+            "--sdn",
+            "2",
+            "--n",
+            "6",
+            "--mrai",
+            "2",
+            "--trace-out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("spawn bgpsdn run");
+    assert!(full.status.success());
+    let text = std::fs::read_to_string(&path).unwrap();
+    let cut = &text[..text.trim_end().len() - 10];
+    std::fs::write(&path, cut).unwrap();
+
+    let report = bgpsdn()
+        .arg("report")
+        .arg(&path)
+        .output()
+        .expect("spawn report");
+    assert!(
+        report.status.success(),
+        "truncated tail must degrade gracefully: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let err = String::from_utf8_lossy(&report.stderr);
+    assert!(err.contains("warning:"), "{err}");
+    assert!(err.contains("final line"), "{err}");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn report_warns_on_traceless_artifact() {
+    // A bare run header with no trace events (tracing was off) renders a
+    // warning, not a panic or a garbled table.
+    let path = artifact_path("traceless");
+    std::fs::write(&path, "{\"type\":\"run\",\"n\":4}\n").unwrap();
+    let report = bgpsdn()
+        .arg("report")
+        .arg(&path)
+        .output()
+        .expect("spawn report");
+    assert!(
+        report.status.success(),
+        "traceless artifact must still report: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let err = String::from_utf8_lossy(&report.stderr);
+    assert!(err.contains("no trace events"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn explain_rejects_campaign_artifacts_with_pointer() {
+    let path = artifact_path("campaign-explain");
+    std::fs::write(&path, "{\"type\":\"campaign\",\"name\":\"x\"}\n").unwrap();
+    let explain = bgpsdn()
+        .arg("explain")
+        .arg(&path)
+        .output()
+        .expect("spawn explain");
+    assert!(!explain.status.success(), "campaign artifacts are not runs");
+    let err = String::from_utf8_lossy(&explain.stderr);
+    assert!(err.contains("bgpsdn report"), "points at report: {err}");
     let _ = std::fs::remove_file(&path);
 }
 
