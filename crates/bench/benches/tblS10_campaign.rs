@@ -8,14 +8,21 @@
 //! in BTreeMap order — so a parallel campaign must reproduce the serial one
 //! *byte for byte*, per job. This bench asserts exactly that, measures
 //! per-job cost and pool speedup, and emits `BENCH_campaign.json` for the
-//! CI regression gate. The ≥3× speedup bar only applies on machines with
-//! at least 8 cores; single-core CI still checks byte-identity.
+//! CI regression gate.
+//!
+//! Honesty bars, enforced loudly instead of silently recorded:
+//! * on every machine, the parallel pool must finish within 10% of serial
+//!   (`speedup >= 0.90`) — the pool sizes itself to the cores present, so
+//!   "parallel" must never lose to a plain loop;
+//! * with ≥ 8 cores the pool must additionally beat serial outright
+//!   (> 1.0×) and clear the ≥ 3× scaling bar. Low-core machines still
+//!   check byte-identity and the no-regression bar.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use bgpsdn_bench::{runs_per_point, write_json};
-use bgpsdn_core::{run_campaign_with, run_job, CampaignGrid, EventKind};
+use bgpsdn_core::{run_campaign_scratch, run_job_scratch, CampaignGrid, EventKind, JobScratch};
 use bgpsdn_netsim::SimDuration;
 use bgpsdn_obs::{impl_to_json, Json, ToJson};
 
@@ -26,6 +33,7 @@ struct Row {
     jobs: u64,
     cells: u64,
     workers: u64,
+    cores: u64,
     serial_wall_ns: u64,
     parallel_wall_ns: u64,
     speedup: f64,
@@ -38,6 +46,7 @@ impl_to_json!(Row {
     jobs,
     cells,
     workers,
+    cores,
     serial_wall_ns,
     parallel_wall_ns,
     speedup,
@@ -68,7 +77,13 @@ fn run_traced(
     grid: &CampaignGrid,
     workers: usize,
 ) -> (Duration, BTreeMap<usize, String>, Vec<u64>) {
-    let report = run_campaign_with(grid.expand(), workers, |job| run_job(job, true), |_| {});
+    let report = run_campaign_scratch(
+        grid.expand(),
+        workers,
+        JobScratch::default,
+        |job, scratch| run_job_scratch(job, true, scratch),
+        |_| {},
+    );
     let mut artifacts = BTreeMap::new();
     let mut walls = Vec::new();
     for r in &report.results {
@@ -97,8 +112,14 @@ fn main() {
         grid.seeds
     );
 
+    // Size the pool to the machine: oversubscribing a small core count is
+    // exactly the regression this bench exists to catch, not a handicap to
+    // bake into the measurement. Two workers minimum so the parallel path
+    // (claim cursor, result scatter, worker scratch) is always exercised.
+    let pool_workers = cores.clamp(2, SPEEDUP_WORKERS);
+
     let (serial_wall, serial_artifacts, mut walls) = run_traced(&grid, 1);
-    let (parallel_wall, parallel_artifacts, _) = run_traced(&grid, SPEEDUP_WORKERS);
+    let (parallel_wall, parallel_artifacts, _) = run_traced(&grid, pool_workers);
 
     // Determinism: every job's artifact must match byte for byte.
     assert_eq!(serial_artifacts.len(), parallel_artifacts.len());
@@ -124,7 +145,7 @@ fn main() {
     );
     println!(
         "{:>10} {:>16.1} {:>16.1} {:>8.2} {:>16} {:>16}",
-        SPEEDUP_WORKERS,
+        pool_workers,
         serial_wall.as_secs_f64() * 1e3,
         parallel_wall.as_secs_f64() * 1e3,
         speedup,
@@ -132,16 +153,29 @@ fn main() {
         max
     );
 
+    // Unconditional no-regression bar: the pool must never be meaningfully
+    // slower than a plain serial loop, whatever the core count.
+    assert!(
+        speedup >= 0.90,
+        "parallel campaign regressed below serial: {pool_workers} workers on \
+         {cores} cores ran at {speedup:.2}x (>= 0.90x required)"
+    );
     if cores >= SPEEDUP_WORKERS {
         assert!(
+            speedup > 1.0,
+            "{pool_workers}-worker campaign must beat serial on a {cores}-core \
+             machine (measured {speedup:.2}x)"
+        );
+        assert!(
             speedup >= 3.0,
-            "{SPEEDUP_WORKERS}-worker campaign must run >= 3x faster than \
+            "{pool_workers}-worker campaign must run >= 3x faster than \
              serial on a {cores}-core machine (measured {speedup:.2}x)"
         );
-        println!("\nshape check: PASS (>= 3x speedup at {SPEEDUP_WORKERS} workers)");
+        println!("\nshape check: PASS (>= 3x speedup at {pool_workers} workers)");
     } else {
         println!(
-            "\nshape check: SKIPPED speedup bar ({cores} cores < {SPEEDUP_WORKERS}); \
+            "\nshape check: PASS no-regression bar ({speedup:.2}x >= 0.90x); \
+             >=3x scaling bar skipped ({cores} cores < {SPEEDUP_WORKERS}); \
              byte-identity held"
         );
     }
@@ -149,7 +183,8 @@ fn main() {
     let row = Row {
         jobs: jobs as u64,
         cells: grid.cell_count() as u64,
-        workers: SPEEDUP_WORKERS as u64,
+        workers: pool_workers as u64,
+        cores: cores as u64,
         serial_wall_ns: u64::try_from(serial_wall.as_nanos()).unwrap_or(u64::MAX),
         parallel_wall_ns: u64::try_from(parallel_wall.as_nanos()).unwrap_or(u64::MAX),
         speedup,

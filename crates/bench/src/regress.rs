@@ -70,6 +70,16 @@ pub const MANIFEST: &[Metric] = &[
         path: &["overhead_ratio"],
         direction: Direction::LowerIsBetter,
     },
+    Metric {
+        file: "BENCH_throughput.json",
+        path: &["throughput", "ns_per_event_p50"],
+        direction: Direction::LowerIsBetter,
+    },
+    Metric {
+        file: "BENCH_throughput.json",
+        path: &["hot_loop", "improvement"],
+        direction: Direction::HigherIsBetter,
+    },
 ];
 
 /// Outcome of one metric comparison.

@@ -160,6 +160,21 @@ impl AsPath {
         }
     }
 
+    /// Encoded size in bytes, known without encoding — lets the attribute
+    /// framing write its length header up front instead of detouring
+    /// through a scratch buffer.
+    pub(crate) fn wire_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|seg| {
+                let asns = match seg {
+                    Segment::Set(v) | Segment::Sequence(v) => v,
+                };
+                2 + 4 * asns.len()
+            })
+            .sum()
+    }
+
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<AsPath, CodecError> {
         let mut segments = Vec::new();
         while !r.is_empty() {
@@ -326,16 +341,22 @@ impl PathAttributes {
         }
     }
 
-    fn encode_one(w: &mut Writer, flag: u8, code: u8, body: &[u8]) {
-        if body.len() > 255 {
+    /// Write the `(flags, code, length)` attribute header for a body of
+    /// `len` bytes that the caller writes directly afterwards.
+    fn encode_header(w: &mut Writer, flag: u8, code: u8, len: usize) {
+        if len > 255 {
             w.u8(flag | flags::EXT_LEN);
             w.u8(code);
-            w.u16(body.len() as u16);
+            w.u16(len as u16);
         } else {
             w.u8(flag);
             w.u8(code);
-            w.u8(body.len() as u8);
+            w.u8(len as u8);
         }
+    }
+
+    fn encode_one(w: &mut Writer, flag: u8, code: u8, body: &[u8]) {
+        Self::encode_header(w, flag, code, body.len());
         w.bytes(body);
     }
 
@@ -349,10 +370,15 @@ impl PathAttributes {
             attr_code::ORIGIN,
             &[self.origin as u8],
         );
-        // AS_PATH.
-        let mut pw = Writer::new();
-        self.as_path.encode(&mut pw);
-        Self::encode_one(w, flags::TRANSITIVE, attr_code::AS_PATH, &pw.into_bytes());
+        // AS_PATH: body length is known up front, so it encodes straight
+        // into `w` — no per-message scratch buffer.
+        Self::encode_header(
+            w,
+            flags::TRANSITIVE,
+            attr_code::AS_PATH,
+            self.as_path.wire_len(),
+        );
+        self.as_path.encode(w);
         // NEXT_HOP.
         Self::encode_one(
             w,
@@ -375,27 +401,25 @@ impl PathAttributes {
             Self::encode_one(w, flags::TRANSITIVE, attr_code::ATOMIC_AGGREGATE, &[]);
         }
         if let Some((asn, ip)) = self.aggregator {
-            let mut body = Vec::with_capacity(8);
-            body.extend_from_slice(&asn.0.to_be_bytes());
-            body.extend_from_slice(&ip.octets());
-            Self::encode_one(
+            Self::encode_header(
                 w,
                 flags::OPTIONAL | flags::TRANSITIVE,
                 attr_code::AGGREGATOR,
-                &body,
+                8,
             );
+            w.u32(asn.0);
+            w.ipv4(ip);
         }
         if !self.communities.is_empty() {
-            let mut body = Vec::with_capacity(self.communities.len() * 4);
-            for c in &self.communities {
-                body.extend_from_slice(&c.0.to_be_bytes());
-            }
-            Self::encode_one(
+            Self::encode_header(
                 w,
                 flags::OPTIONAL | flags::TRANSITIVE,
                 attr_code::COMMUNITY,
-                &body,
+                self.communities.len() * 4,
             );
+            for c in &self.communities {
+                w.u32(c.0);
+            }
         }
         for raw in &self.unknown {
             Self::encode_one(w, raw.flags & !flags::EXT_LEN, raw.code, &raw.value);

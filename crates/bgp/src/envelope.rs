@@ -14,7 +14,7 @@ use bgpsdn_netsim::{Cause, DataApp, DataPacket, Message, NodeId};
 
 use crate::msg::BgpMessage;
 use crate::types::Prefix;
-use crate::wire::CodecError;
+use crate::wire::{CodecError, Writer};
 
 /// A BGP message in flight: wire bytes plus logical endpoints.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +49,27 @@ impl BgpEnvelope {
             src,
             dst,
             bytes: msg.encode(),
+            cause,
+        }
+    }
+
+    /// [`with_cause`](Self::with_cause), encoding through a caller-owned
+    /// scratch writer. Senders on the hot path (the router, the cluster
+    /// speaker) keep one [`Writer`] per node, turning the two allocations
+    /// per message of the plain constructors into a single exact-size
+    /// `bytes` allocation.
+    pub fn with_cause_scratch(
+        src: NodeId,
+        dst: NodeId,
+        msg: &BgpMessage,
+        cause: Cause,
+        scratch: &mut Writer,
+    ) -> Self {
+        msg.encode_into(scratch);
+        BgpEnvelope {
+            src,
+            dst,
+            bytes: scratch.as_bytes().to_vec(),
             cause,
         }
     }

@@ -261,8 +261,8 @@ mod tests {
             if a_out.is_empty() && b_out.is_empty() {
                 break;
             }
-            let to_b: Vec<_> = a_out.drain(..).collect();
-            let to_a: Vec<_> = b_out.drain(..).collect();
+            let to_b = std::mem::take(&mut a_out);
+            let to_a = std::mem::take(&mut b_out);
             for m in to_b {
                 let (send, ev) = b.on_message(&m);
                 b_out.extend(send);

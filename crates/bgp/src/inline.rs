@@ -1,0 +1,172 @@
+//! Hand-rolled SmallVec-style storage for short, transient lists.
+//!
+//! The router hot path builds many tiny lists per event — the peers on a
+//! flapped link, the prefixes withdrawn in one flush round, the Loc-RIB
+//! snapshot exported at session bring-up. Almost all of them hold a handful
+//! of elements, so a heap `Vec` pays an allocation for nothing. An
+//! [`InlineVec<T, N>`] keeps the first `N` elements in a plain array on the
+//! stack and only touches the heap when a list actually grows past that —
+//! the common case allocates zero bytes.
+//!
+//! `T: Copy + Default` keeps the implementation `unsafe`-free (the inline
+//! slots are pre-initialized with `T::default()`); the lists this is for
+//! carry `Prefix` and peer indices, which are all trivially copyable.
+
+/// A vector that stores its first `N` elements inline and spills the rest
+/// to the heap.
+#[derive(Debug, Clone)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    inline: [T; N],
+    len: usize,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        InlineVec {
+            inline: [T::default(); N],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Empty list, nothing allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored elements (inline + spilled).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing was pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the list outgrew its inline capacity.
+    pub fn spilled(&self) -> bool {
+        self.len > N
+    }
+
+    /// Append an element; allocation-free until the list exceeds `N`.
+    pub fn push(&mut self, v: T) {
+        if self.len < N {
+            self.inline[self.len] = v;
+        } else {
+            self.spill.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Drop all elements, keeping any spill allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Iterate over the elements in push order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter =
+        std::iter::Chain<std::iter::Take<std::array::IntoIter<T, N>>, std::vec::IntoIter<T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline
+            .into_iter()
+            .take(self.len.min(N))
+            .chain(self.spill)
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, T>, std::slice::Iter<'a, T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inline[..self.len.min(N)]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_past_capacity_preserving_order() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        for i in 0..7 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 7);
+        assert!(v.spilled());
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            v.into_iter().collect::<Vec<_>>(),
+            (0..7).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn collect_and_borrowing_iteration() {
+        let v: InlineVec<u32, 4> = (0..6).collect();
+        let mut sum = 0;
+        for &x in &v {
+            sum += x;
+        }
+        assert_eq!(sum, 15);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_usable() {
+        let mut v: InlineVec<u32, 2> = (0..5).collect();
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.iter().count(), 0);
+        v.push(9);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+}

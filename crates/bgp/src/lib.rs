@@ -26,6 +26,7 @@ pub mod damping;
 pub mod decision;
 pub mod envelope;
 pub mod fsm;
+pub mod inline;
 pub mod msg;
 pub mod policy;
 pub mod rib;
@@ -39,6 +40,7 @@ pub use damping::{DampingConfig, DampingState};
 pub use decision::{Candidate, DecisionConfig};
 pub use envelope::{BgpApp, BgpEnvelope, BgpOnlyMsg, RouterCommand};
 pub use fsm::{CloseReason, SessionEvent, SessionHandshake, SessionState};
+pub use inline::InlineVec;
 pub use msg::{BgpMessage, Capability, NotifCode, NotificationMsg, OpenMsg, UpdateMsg};
 pub use policy::{MatchCond, PolicyMode, Relationship, RouteMap, Rule, SetAction};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};

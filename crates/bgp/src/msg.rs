@@ -219,7 +219,19 @@ impl fmt::Display for BgpMessage {
 impl BgpMessage {
     /// Encode to RFC 4271 wire bytes, including the 19-byte header.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut w = Writer::with_capacity(64);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encode into a reusable scratch writer: the writer is cleared first,
+    /// and on return holds exactly the wire bytes [`encode`](Self::encode)
+    /// would have produced. Every length field is back-patched in place, so
+    /// the whole message — sub-blocks included — is written in one pass
+    /// with no intermediate buffers; a caller looping over messages pays
+    /// for at most one buffer growth, ever.
+    pub fn encode_into(&self, w: &mut Writer) {
+        w.clear();
         w.bytes(&[0xFF; 16]);
         w.u16(0); // length, patched below
         match self {
@@ -235,36 +247,36 @@ impl BgpMessage {
                 w.u16(o.hold_time_secs);
                 w.u32(o.router_id.0);
                 // Optional parameters: one capabilities parameter.
-                let mut caps = Writer::new();
-                for c in &o.capabilities {
-                    encode_capability(&mut caps, c);
-                }
-                let caps = caps.into_bytes();
-                if caps.is_empty() {
+                if o.capabilities.is_empty() {
                     w.u8(0);
                 } else {
-                    w.u8((caps.len() + 2) as u8); // total opt params length
+                    let opt_pos = w.len();
+                    w.u8(0); // total opt params length, patched below
                     w.u8(2); // param type: capabilities
-                    w.u8(caps.len() as u8);
-                    w.bytes(&caps);
+                    let caps_pos = w.len();
+                    w.u8(0); // capabilities length, patched below
+                    for c in &o.capabilities {
+                        encode_capability(w, c);
+                    }
+                    let caps_len = w.len() - caps_pos - 1;
+                    w.patch_u8(caps_pos, caps_len as u8);
+                    w.patch_u8(opt_pos, (caps_len + 2) as u8);
                 }
             }
             BgpMessage::Update(u) => {
                 w.u8(TYPE_UPDATE);
-                let mut wd = Writer::new();
+                let wd_pos = w.len();
+                w.u16(0); // withdrawn routes length, patched below
                 for p in &u.withdrawn {
-                    wd.nlri_prefix(*p);
+                    w.nlri_prefix(*p);
                 }
-                let wd = wd.into_bytes();
-                w.u16(wd.len() as u16);
-                w.bytes(&wd);
-                let mut at = Writer::new();
+                w.patch_u16(wd_pos, (w.len() - wd_pos - 2) as u16);
+                let at_pos = w.len();
+                w.u16(0); // total path attribute length, patched below
                 if let Some(attrs) = &u.attrs {
-                    attrs.encode(&mut at);
+                    attrs.encode(w);
                 }
-                let at = at.into_bytes();
-                w.u16(at.len() as u16);
-                w.bytes(&at);
+                w.patch_u16(at_pos, (w.len() - at_pos - 2) as u16);
                 for p in &u.nlri {
                     w.nlri_prefix(*p);
                 }
@@ -288,7 +300,6 @@ impl BgpMessage {
         let len = w.len();
         assert!(len <= MAX_MESSAGE_LEN, "message too long: {len}");
         w.patch_u16(16, len as u16);
-        w.into_bytes()
     }
 
     /// Decode one message from wire bytes. The buffer must contain exactly

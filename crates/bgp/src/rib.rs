@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use bgpsdn_netsim::SimTime;
 
 use crate::attrs::PathAttributes;
+use crate::inline::InlineVec;
 use crate::types::{Prefix, RouterId};
 
 /// Index of a neighbor in the router's configuration, used as the peer key
@@ -70,9 +71,10 @@ impl AdjRibIn {
     }
 
     /// Remove every route learned from `peer` (session reset). Returns the
-    /// affected prefixes.
-    pub fn remove_peer(&mut self, peer: PeerIdx) -> Vec<Prefix> {
-        let mut affected = Vec::new();
+    /// affected prefixes; sessions carrying few routes (the common clique
+    /// case) stay allocation-free.
+    pub fn remove_peer(&mut self, peer: PeerIdx) -> InlineVec<Prefix, 8> {
+        let mut affected = InlineVec::new();
         self.routes.retain(|prefix, slot| {
             if slot.remove(&peer).is_some() {
                 affected.push(*prefix);
@@ -304,7 +306,7 @@ mod tests {
         rib.insert(pfx("10.0.0.0/8"), 0, entry(1));
         rib.insert(pfx("10.0.0.0/8"), 1, entry(2));
         rib.insert(pfx("20.0.0.0/8"), 0, entry(1));
-        let mut affected = rib.remove_peer(0);
+        let mut affected: Vec<Prefix> = rib.remove_peer(0).into_iter().collect();
         affected.sort();
         assert_eq!(affected, vec![pfx("10.0.0.0/8"), pfx("20.0.0.0/8")]);
         assert_eq!(rib.route_count(), 1);

@@ -20,10 +20,12 @@ use crate::config::{NeighborConfig, RouterConfig};
 use crate::decision::{self, Candidate};
 use crate::envelope::{BgpApp, BgpEnvelope, RouterCommand};
 use crate::fsm::{CloseReason, SessionEvent, SessionHandshake, SessionState};
+use crate::inline::InlineVec;
 use crate::msg::{BgpMessage, NotifCode, NotificationMsg, UpdateMsg};
 use crate::policy;
 use crate::rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};
 use crate::types::{Asn, Prefix, RouterId};
+use crate::wire::Writer;
 
 // Timer token layout: kind in the top byte, payload (peer index or
 // processing sequence number) below.
@@ -144,6 +146,10 @@ pub struct BgpRouter<M: BgpApp> {
     damping: HashMap<(PeerIdx, Prefix), crate::damping::DampingState>,
     damp_seq: u64,
     damp_reuse: HashMap<u64, Prefix>,
+    /// Encode scratch reused for every outgoing message, so the send path
+    /// performs exactly one allocation per message (the envelope's
+    /// exact-size byte vector).
+    wire_scratch: Writer,
     stats: RouterStats,
     _m: PhantomData<fn() -> M>,
 }
@@ -186,6 +192,7 @@ impl<M: BgpApp> BgpRouter<M> {
             damping: HashMap::new(),
             damp_seq: 0,
             damp_reuse: HashMap::new(),
+            wire_scratch: Writer::with_capacity(64),
             stats: RouterStats::default(),
             _m: PhantomData,
         }
@@ -336,10 +343,9 @@ impl<M: BgpApp> BgpRouter<M> {
         if matches!(msg, BgpMessage::Notification(_)) {
             self.stats.notifications_sent += 1;
         }
-        ctx.send(
-            link,
-            M::from_bgp(BgpEnvelope::with_cause(self.id, peer_node, msg, cause)),
-        );
+        let env =
+            BgpEnvelope::with_cause_scratch(self.id, peer_node, msg, cause, &mut self.wire_scratch);
+        ctx.send(link, M::from_bgp(env));
     }
 
     // ------------------------------------------------------------------
@@ -472,7 +478,7 @@ impl<M: BgpApp> BgpRouter<M> {
             ctx.set_timer(hold_d, tok(K_HOLD, peer as u64), TimerClass::Maintenance);
         }
         // Initial table sync: enqueue the full export view.
-        let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+        let prefixes: InlineVec<Prefix, 8> = self.loc_rib.iter().map(|(p, _)| p).collect();
         for p in prefixes {
             self.enqueue_export(peer, p);
         }
@@ -694,7 +700,7 @@ impl<M: BgpApp> BgpRouter<M> {
         if self.peers[peer].mrai_armed {
             if !self.cfg.timing.mrai_on_withdrawals {
                 // Explicit withdrawals bypass the advertisement interval.
-                let withdraw_prefixes: Vec<Prefix> = self.peers[peer]
+                let withdraw_prefixes: InlineVec<Prefix, 8> = self.peers[peer]
                     .pending
                     .iter()
                     .filter(|(_, c)| matches!(c, OutChange::Withdraw))
@@ -1101,7 +1107,7 @@ impl<M: BgpApp> BgpRouter<M> {
         {
             // RFC 2918: re-send our full Adj-RIB-Out on this session.
             self.peers[peer].adj_out.clear();
-            let prefixes: Vec<Prefix> = self.loc_rib.iter().map(|(p, _)| p).collect();
+            let prefixes: InlineVec<Prefix, 8> = self.loc_rib.iter().map(|(p, _)| p).collect();
             for p in prefixes {
                 self.enqueue_export(peer, p);
             }
@@ -1196,7 +1202,7 @@ impl<M: BgpApp> BgpRouter<M> {
 impl<M: BgpApp> Node<M> for BgpRouter<M> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         // Install configured originations.
-        let origins: Vec<Prefix> = self.originated.iter().copied().collect();
+        let origins: InlineVec<Prefix, 8> = self.originated.iter().copied().collect();
         for p in origins {
             self.reselect(ctx, p);
         }
@@ -1285,7 +1291,7 @@ impl<M: BgpApp> Node<M> for BgpRouter<M> {
     }
 
     fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {
-        let peers: Vec<PeerIdx> = self
+        let peers: InlineVec<PeerIdx, 4> = self
             .cfg
             .neighbors
             .iter()

@@ -84,6 +84,14 @@ pub struct Prefix {
     len: u8,
 }
 
+impl Default for Prefix {
+    /// The default route, `0.0.0.0/0` — the placeholder value
+    /// [`InlineVec`](crate::inline::InlineVec) fills unused slots with.
+    fn default() -> Self {
+        Prefix::DEFAULT
+    }
+}
+
 impl Prefix {
     /// The default route, `0.0.0.0/0`.
     pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };

@@ -150,6 +150,19 @@ impl Writer {
         Writer::default()
     }
 
+    /// Fresh writer with `capacity` bytes pre-reserved — the right
+    /// constructor for an encode scratch that will be cleared and reused.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Drop the contents, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -163,6 +176,13 @@ impl Writer {
     /// Finish and take the buffer.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// The bytes written so far, without consuming the writer. Scratch
+    /// users copy these out and [`clear`](Writer::clear) for the next
+    /// message.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Append raw bytes.
@@ -200,6 +220,11 @@ impl Writer {
     /// Overwrite the big-endian u16 at `pos` (for back-patching lengths).
     pub fn patch_u16(&mut self, pos: usize, v: u16) {
         self.buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Overwrite the byte at `pos` (for back-patching one-byte lengths).
+    pub fn patch_u8(&mut self, pos: usize, v: u8) {
+        self.buf[pos] = v;
     }
 }
 

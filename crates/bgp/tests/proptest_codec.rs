@@ -133,6 +133,29 @@ proptest! {
         prop_assert_eq!(back, msg);
     }
 
+    /// Encoding into a reused (dirty) scratch writer must produce the exact
+    /// bytes of a fresh-allocation encode, for every message type — the
+    /// property the zero-alloc send path (`BgpEnvelope::with_cause_scratch`)
+    /// relies on.
+    #[test]
+    fn scratch_reuse_encodes_identically(
+        residue in arb_message(),
+        msgs in prop::collection::vec(arb_message(), 1..6),
+    ) {
+        let mut scratch = bgpsdn_bgp::wire::Writer::with_capacity(8);
+        // Dirty the scratch with an unrelated message first.
+        residue.encode_into(&mut scratch);
+        for msg in &msgs {
+            msg.encode_into(&mut scratch);
+            let fresh = msg.encode();
+            prop_assert_eq!(
+                scratch.as_bytes(),
+                fresh.as_slice(),
+                "reused-scratch encode diverged from fresh encode"
+            );
+        }
+    }
+
     #[test]
     fn attrs_roundtrip(attrs in arb_attrs()) {
         let msg = BgpMessage::Update(UpdateMsg::announce(

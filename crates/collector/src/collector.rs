@@ -56,6 +56,12 @@ impl<M: BgpApp> RouteCollector<M> {
         }
     }
 
+    /// Pre-size the peer table — the network builder knows the monitored
+    /// router count up front, so registration never rehashes.
+    pub fn reserve_peers(&mut self, additional: usize) {
+        self.peers.reserve(additional);
+    }
+
     /// Register a router to monitor (it must configure a monitor session
     /// toward the collector over `link`). The collector stays passive: the
     /// router initiates.

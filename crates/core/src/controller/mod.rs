@@ -188,6 +188,8 @@ pub struct IdrController<M> {
     tx: ReliableSender,
     /// Reliable receiver for speaker events.
     rx: ReliableReceiver,
+    /// Scratch for retransmission bursts, reused across RTO firings.
+    retx_scratch: Vec<CtrlMsg>,
     /// Switches whose [`OfMessage::TableReply`] is still outstanding during
     /// a resync. Recomputation is deferred until this reaches zero.
     table_syncs_pending: usize,
@@ -231,6 +233,7 @@ impl<M: SdnApp + BgpApp> IdrController<M> {
             // the speaker's bring-up assumption (no resync needed).
             tx: ReliableSender::new(1),
             rx: ReliableReceiver::new(1),
+            retx_scratch: Vec::new(),
             table_syncs_pending: 0,
             #[cfg(debug_assertions)]
             ever_known: cfg.members.iter().map(|m| m.prefix).collect(),
@@ -1152,9 +1155,12 @@ impl<M: SdnApp + BgpApp> Node<M> for IdrController<M> {
                 oldest_seq,
                 outstanding,
             });
-            for msg in self.tx.on_retransmit_timer() {
+            let mut burst = std::mem::take(&mut self.retx_scratch);
+            self.tx.retransmit_into(&mut burst);
+            for msg in burst.drain(..) {
                 self.send_ctrl(ctx, msg);
             }
+            self.retx_scratch = burst;
             self.arm_retx(ctx);
         } else if token == HEARTBEAT {
             let epoch = self.tx.epoch();

@@ -21,7 +21,6 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use bgpsdn_netsim::{LatencyModel, SimDuration, TraceCategory};
 use bgpsdn_obs::{CampaignArtifact, CausalAnalysis, JobRecord, Json, PhaseBreakdown};
@@ -365,6 +364,21 @@ impl CampaignRunReport {
 /// recorded (wall-clock profiling stays off so artifacts are
 /// byte-deterministic) and rendered as the job's isolated JSONL artifact.
 pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
+    run_job_scratch(job, trace, &mut JobScratch::default())
+}
+
+/// Per-worker state reused across the jobs a worker claims. The artifact
+/// buffer keeps its capacity between jobs, so every job after a worker's
+/// first renders its JSONL without re-growing a multi-megabyte string
+/// through the doubling schedule.
+#[derive(Default)]
+pub struct JobScratch {
+    jsonl: String,
+}
+
+/// [`run_job`] with a caller-owned [`JobScratch`] (the worker-pool entry
+/// point; see [`run_campaign_scratch`]).
+pub fn run_job_scratch(job: &CampaignJob, trace: bool, scratch: &mut JobScratch) -> JobOutcome {
     let scenario = job.scenario();
     let opts = job.run_options();
     let (outcome, mut exp) = run_clique_with(&scenario, job.event, &opts, |sim| {
@@ -399,7 +413,11 @@ pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
             .map(|r| (r.time.as_nanos(), r.node.map(|n| n.0), &r.event)),
     )
     .phase_totals();
-    let artifact = trace.then(|| render_job_artifact(job, &exp));
+    let artifact = trace.then(|| {
+        scratch.jsonl.clear();
+        render_job_artifact_into(job, &exp, &mut scratch.jsonl);
+        scratch.jsonl.clone()
+    });
     JobOutcome {
         outcome,
         verify_violations,
@@ -414,6 +432,14 @@ pub fn run_job(job: &CampaignJob, trace: bool) -> JobOutcome {
 /// --trace-out` writes, so `bgpsdn report` and `bgpsdn verify` work on
 /// per-job artifacts unchanged.
 pub fn render_job_artifact(job: &CampaignJob, exp: &Experiment) -> String {
+    let mut out = String::new();
+    render_job_artifact_into(job, exp, &mut out);
+    out
+}
+
+/// [`render_job_artifact`] appending to a caller-owned buffer (capacity
+/// reuse across jobs on a campaign worker).
+pub fn render_job_artifact_into(job: &CampaignJob, exp: &Experiment, text: &mut String) {
     let trace = exp.net.sim.trace();
     let info = Json::Obj(vec![
         ("type".into(), Json::Str("run".into())),
@@ -435,7 +461,7 @@ pub fn render_job_artifact(job: &CampaignJob, exp: &Experiment) -> String {
         ("seed".into(), Json::U64(job.seed)),
         ("dropped_events".into(), Json::U64(trace.dropped())),
     ]);
-    let mut text = info.to_compact();
+    text.push_str(&info.to_compact());
     text.push('\n');
     text.push_str(&trace.export_jsonl());
     let snapshot = exp.capture_snapshot().to_json();
@@ -448,16 +474,33 @@ pub fn render_job_artifact(job: &CampaignJob, exp: &Experiment) -> String {
         text.push_str(&bgpsdn_obs::metrics_line(phase, snap));
         text.push('\n');
     }
-    text
 }
 
-/// Execute a grid on `workers` threads. See [`run_campaign_with`] for the
-/// pool semantics.
+/// Execute a grid on `workers` threads. See [`run_campaign_scratch`] for
+/// the pool semantics.
 pub fn run_campaign(grid: &CampaignGrid, workers: usize, trace: bool) -> CampaignRunReport {
-    run_campaign_with(grid.expand(), workers, |job| run_job(job, trace), |_| {})
+    run_campaign_scratch(
+        grid.expand(),
+        workers,
+        JobScratch::default,
+        |job, scratch| run_job_scratch(job, trace, scratch),
+        |_| {},
+    )
 }
 
 /// Execute an explicit job list on a `std::thread::scope` worker pool.
+/// [`run_campaign_scratch`] with stateless workers.
+pub fn run_campaign_with(
+    jobs: Vec<CampaignJob>,
+    workers: usize,
+    runner: impl Fn(&CampaignJob) -> JobOutcome + Sync,
+    on_done: impl Fn(&JobResult) + Sync,
+) -> CampaignRunReport {
+    run_campaign_scratch(jobs, workers, || (), |job, _| runner(job), on_done)
+}
+
+/// Execute an explicit job list on a `std::thread::scope` worker pool,
+/// with per-worker reusable state.
 ///
 /// Jobs are claimed from a shared atomic cursor in expansion order, so a
 /// single worker degrades to exact serial execution. Each `runner` call is
@@ -465,44 +508,67 @@ pub fn run_campaign(grid: &CampaignGrid, workers: usize, trace: bool) -> Campaig
 /// the panic message and the pool keeps draining the remaining jobs.
 /// `on_done` fires on the worker thread as each job finishes (progress
 /// reporting, streaming artifacts to disk); it must therefore be `Sync`.
-pub fn run_campaign_with(
+///
+/// Every worker calls `init` once and threads the value through its jobs —
+/// scratch buffers warm up on the first job and are reused for the rest
+/// (a panicking job may leave the scratch dirty; `runner` must not assume
+/// a clean one). Results accumulate in worker-private vectors and are
+/// scattered back into job order after the pool drains, so workers share
+/// nothing but the claim cursor — no per-job lock, and no false sharing
+/// on a hot array of result slots.
+pub fn run_campaign_scratch<S>(
     jobs: Vec<CampaignJob>,
     workers: usize,
-    runner: impl Fn(&CampaignJob) -> JobOutcome + Sync,
+    init: impl Fn() -> S + Sync,
+    runner: impl Fn(&CampaignJob, &mut S) -> JobOutcome + Sync,
     on_done: impl Fn(&JobResult) + Sync,
 ) -> CampaignRunReport {
     let workers = workers.clamp(1, jobs.len().max(1));
     let started = std::time::Instant::now();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<JobResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    let mut slots: Vec<Option<JobResult>> = Vec::new();
+    slots.resize_with(jobs.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let job = &jobs[i];
-                let job_started = std::time::Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| runner(job)))
-                    .map_err(|payload| panic_message(payload.as_ref()));
-                let result = JobResult {
-                    job: job.clone(),
-                    outcome,
-                    wall_ns: u64::try_from(job_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                };
-                on_done(&result);
-                *slots[i].lock().expect("job slot poisoned") = Some(result);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut local: Vec<(usize, JobResult)> =
+                        Vec::with_capacity(jobs.len() / workers + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let job = &jobs[i];
+                        let job_started = std::time::Instant::now();
+                        let outcome = catch_unwind(AssertUnwindSafe(|| runner(job, &mut scratch)))
+                            .map_err(|payload| panic_message(payload.as_ref()));
+                        let result = JobResult {
+                            job: job.clone(),
+                            outcome,
+                            wall_ns: u64::try_from(job_started.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX),
+                        };
+                        on_done(&result);
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h
+                .join()
+                .expect("worker thread panicked outside catch_unwind");
+            for (i, result) in local {
+                slots[i] = Some(result);
+            }
         }
     });
     let results = slots
         .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("job slot poisoned")
-                .expect("pool drained every job")
-        })
+        .map(|s| s.expect("pool drained every job"))
         .collect();
     CampaignRunReport {
         results,
@@ -642,7 +708,7 @@ mod tests {
     #[test]
     fn single_worker_pool_preserves_job_order() {
         let jobs = tiny_grid().expand();
-        let order = Mutex::new(Vec::new());
+        let order = std::sync::Mutex::new(Vec::new());
         run_campaign_with(
             jobs,
             1,

@@ -76,6 +76,10 @@ impl Experiment {
             self.emit_phase_marker(&name, false);
             self.phase_open = false;
         }
+        // Fold the event-slab recycling counters accumulated during the
+        // phase into the registry, so the `core.sim.*` allocation accounting
+        // lands in every phase snapshot (and in `bgpsdn report`).
+        self.net.sim.flush_pool_metrics();
         let metrics = self.net.sim.metrics_mut();
         if !metrics.is_empty() {
             let snap = metrics.snapshot();

@@ -13,8 +13,9 @@ pub mod traffic;
 pub mod verify;
 
 pub use campaign::{
-    job_seed, loss_ppm, render_job_artifact, run_campaign, run_campaign_with, run_job,
-    CampaignGrid, CampaignJob, CampaignRunReport, FaultSpec, JobOutcome, JobResult,
+    job_seed, loss_ppm, render_job_artifact, render_job_artifact_into, run_campaign,
+    run_campaign_scratch, run_campaign_with, run_job, run_job_scratch, CampaignGrid, CampaignJob,
+    CampaignRunReport, FaultSpec, JobOutcome, JobResult, JobScratch,
 };
 pub use experiment::Experiment;
 pub use faults::{FaultAction, FaultPlan};

@@ -315,8 +315,16 @@ impl NetworkBuilder {
             }
         }
 
-        // 4. Per-edge configuration.
-        let mut sessions: Vec<SessionConfig> = Vec::new();
+        // 4. Per-edge configuration. Alias sessions exist only for edges
+        // crossing the cluster boundary; count them so the vector is built
+        // in one allocation.
+        let crossing = plan
+            .as_graph
+            .edges
+            .iter()
+            .filter(|e| member_index.contains_key(&e.a) != member_index.contains_key(&e.b))
+            .count();
+        let mut sessions: Vec<SessionConfig> = Vec::with_capacity(crossing);
         for (k, e) in plan.as_graph.edges.iter().enumerate() {
             let link = edge_links[k];
             let (a, b) = (e.a, e.b);
@@ -425,6 +433,9 @@ impl NetworkBuilder {
         // 6. Collector peering with every legacy router.
         if let Some(collector_node) = collector {
             let legacy: Vec<usize> = (0..n).filter(|i| !member_index.contains_key(i)).collect();
+            sim.with_node::<Collector, _>(collector_node, |c| {
+                c.reserve_peers(legacy.len());
+            });
             for i in legacy {
                 let link = sim.add_link(ases[i].node, collector_node, self.ctl_latency.clone());
                 let rn = ases[i].node;

@@ -1,42 +1,79 @@
 //! The event queue.
 //!
-//! A binary min-heap ordered by `(time, sequence)`. The monotone sequence
-//! number breaks ties deterministically: two events scheduled for the same
-//! instant fire in the order they were scheduled, on every platform, every
-//! run. The queue also tracks how many *progress* events it holds so that
+//! Ordering is by `(time, sequence)`: the monotone sequence number breaks
+//! ties deterministically, so two events scheduled for the same instant
+//! fire in the order they were scheduled, on every platform, every run.
+//! The queue also tracks how many *progress* events it holds so that
 //! quiescence detection ("only keepalives left") is O(1).
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Internally the queue separates *ordering* from *storage*:
+//!
+//! * Payloads ([`EventBody`]) live in a slab whose freed slots are recycled
+//!   through a freelist, so the steady-state schedule→fire cycle performs
+//!   no allocation at all — a slot only comes into existence when the
+//!   in-flight population exceeds everything seen before (and the
+//!   [`with_capacity`](EventQueue::with_capacity) reservation).
+//! * Ordering works on `(time, seq, slot)` keys in one of two backends
+//!   ([`QueueBackend`]): the O(1)-amortized calendar queue (default) or
+//!   the original binary heap, kept as the reference implementation. Both
+//!   produce identical pop sequences and identical slab traffic, so runs
+//!   are byte-for-byte reproducible across the backend switch.
 
 use crate::link::LinkId;
 use crate::node::{Message, NodeId, TimerClass, TimerToken};
+use crate::queue::{CalendarQueue, HeapQueue, Key};
 use crate::time::SimTime;
 
 /// What happens when an event fires.
+///
+/// Public (together with [`EventQueue`]) so out-of-crate harnesses — the
+/// ordering-oracle property test and the throughput bench's hot-loop
+/// replica — can drive the queue with realistic payloads; the simulator
+/// itself constructs these internally.
 #[derive(Debug, Clone)]
-pub(crate) enum EventBody<M> {
+pub enum EventBody<M> {
     /// Deliver `msg` to `to`; `from` is the physical sender.
     Deliver {
+        /// Link the message travelled over.
         link: LinkId,
+        /// Physical sender.
         from: NodeId,
+        /// Destination node.
         to: NodeId,
+        /// The payload.
         msg: M,
     },
     /// Fire a node timer. `gen` must match the currently armed generation,
     /// otherwise the timer was cancelled or re-armed and this firing is stale.
     Timer {
+        /// Owning node.
         node: NodeId,
+        /// Which of the node's timers fired.
         token: TimerToken,
+        /// Progress or maintenance (quiescence accounting).
         class: TimerClass,
+        /// Arming generation; stale firings are suppressed.
         gen: u64,
     },
     /// Administratively set a link up or down.
-    LinkAdmin { link: LinkId, up: bool },
+    LinkAdmin {
+        /// The link.
+        link: LinkId,
+        /// New admin state.
+        up: bool,
+    },
     /// Administratively crash (`up = false`) or restore (`up = true`) a node.
-    NodeAdmin { node: NodeId, up: bool },
+    NodeAdmin {
+        /// The node.
+        node: NodeId,
+        /// New admin state.
+        up: bool,
+    },
     /// Invoke a node's `on_start`.
-    Start { node: NodeId },
+    Start {
+        /// The node to start.
+        node: NodeId,
+    },
 }
 
 impl<M> EventBody<M> {
@@ -52,55 +89,167 @@ impl<M> EventBody<M> {
     }
 }
 
+/// A popped event: when it fires and what it does.
 #[derive(Debug)]
-pub(crate) struct Event<M> {
+pub struct Event<M> {
+    /// Firing time.
     pub at: SimTime,
+    /// Scheduling sequence number — the deterministic tie-break.
     pub seq: u64,
+    /// What the event does.
     pub body: EventBody<M>,
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// Which priority structure orders the pending events.
+///
+/// Both deliver the exact same `(time, sequence)` order — the calendar
+/// queue is the fast default, the binary heap is the reference the
+/// determinism suite and the ordering oracle diff it against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Bucketed calendar queue: O(1) amortized push/pop (default).
+    Calendar,
+    /// The original binary min-heap: O(log n) per operation.
+    Heap,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Calendar(CalendarQueue),
+    Heap(HeapQueue),
+}
+
+impl Backend {
+    fn push(&mut self, key: Key) {
+        match self {
+            Backend::Calendar(q) => q.push(key),
+            Backend::Heap(q) => q.push(key),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Key> {
+        match self {
+            Backend::Calendar(q) => q.pop(),
+            Backend::Heap(q) => q.pop(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<Key> {
+        match self {
+            Backend::Calendar(q) => q.peek(),
+            Backend::Heap(q) => q.peek(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Calendar(q) => q.len(),
+            Backend::Heap(q) => q.len(),
+        }
+    }
+
+    fn drain_unordered(&mut self) -> Vec<Key> {
+        match self {
+            Backend::Calendar(q) => q.drain_unordered(),
+            Backend::Heap(q) => q.drain_unordered(),
+        }
+    }
+
+    fn kind(&self) -> QueueBackend {
+        match self {
+            Backend::Calendar(_) => QueueBackend::Calendar,
+            Backend::Heap(_) => QueueBackend::Heap,
+        }
     }
 }
-impl<M> Eq for Event<M> {}
 
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// Slab of event payloads with freelist recycling.
+#[derive(Debug)]
+struct Slab<M> {
+    slots: Vec<Option<EventBody<M>>>,
+    free: Vec<u32>,
+    /// Slots handed out from the freelist — the pooled hot path.
+    pooled: u64,
+    /// Slots created past the reservation watermark — each one is a fresh
+    /// allocation (or amortized growth) taken on the hot path.
+    allocs_hot: u64,
+    /// Reservation watermark: slot creation below it is pre-paid.
+    reserved: usize,
+}
+
+impl<M> Slab<M> {
+    fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            pooled: 0,
+            allocs_hot: 0,
+            reserved: capacity,
+        }
+    }
+
+    fn insert(&mut self, body: EventBody<M>) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.pooled += 1;
+            debug_assert!(self.slots[slot as usize].is_none());
+            self.slots[slot as usize] = Some(body);
+            slot
+        } else {
+            if self.slots.len() >= self.reserved {
+                self.allocs_hot += 1;
+            }
+            let slot = u32::try_from(self.slots.len()).expect("event population fits u32");
+            self.slots.push(Some(body));
+            slot
+        }
+    }
+
+    fn remove(&mut self, slot: u32) -> EventBody<M> {
+        let body = self.slots[slot as usize]
+            .take()
+            .expect("queue keys reference live slots");
+        self.free.push(slot);
+        body
     }
 }
 
-impl<M> Ord for Event<M> {
-    // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+/// Allocation accounting for the event hot path, reported as the
+/// `core.sim.events_pooled` / `core.sim.allocs_hot` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Events whose slot was recycled from the freelist (no allocation).
+    pub events_pooled: u64,
+    /// Events whose slot had to be created past the pre-sized reservation.
+    pub allocs_hot: u64,
+}
+
+impl<M: Message> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 /// Deterministic event queue with O(1) progress accounting.
-pub(crate) struct EventQueue<M> {
-    heap: BinaryHeap<Event<M>>,
+pub struct EventQueue<M> {
+    slab: Slab<M>,
+    backend: Backend,
     next_seq: u64,
     progress: usize,
 }
 
 impl<M: Message> EventQueue<M> {
-    #[allow(dead_code)]
+    /// An empty queue with no slab reservation.
     pub fn new() -> Self {
         Self::with_capacity(0)
     }
 
     /// A queue with `capacity` event slots pre-reserved, so a simulation
     /// whose in-flight event count is predictable (roughly proportional to
-    /// nodes + links) never reallocates the heap mid-dispatch.
+    /// nodes + links) never reallocates the slab mid-dispatch.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            slab: Slab::with_capacity(capacity),
+            backend: Backend::Calendar(CalendarQueue::new()),
             next_seq: 0,
             progress: 0,
         }
@@ -109,13 +258,37 @@ impl<M: Message> EventQueue<M> {
     /// Reserve room for at least `additional` more events.
     #[allow(dead_code)]
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        self.slab.slots.reserve(additional);
+        self.slab.free.reserve(additional);
+        self.slab.reserved = self.slab.reserved.max(self.slab.slots.len() + additional);
     }
 
     /// Current allocated capacity.
     #[allow(dead_code)]
     pub fn capacity(&self) -> usize {
-        self.heap.capacity()
+        self.slab.slots.capacity()
+    }
+
+    /// The active ordering backend.
+    pub fn backend(&self) -> QueueBackend {
+        self.backend.kind()
+    }
+
+    /// Switch the ordering backend, migrating every pending event. Order is
+    /// preserved because both backends sort by the same `(time, seq)` keys;
+    /// slab slots (and therefore pooling counters) are untouched.
+    pub fn set_backend(&mut self, backend: QueueBackend) {
+        if self.backend.kind() == backend {
+            return;
+        }
+        let keys = self.backend.drain_unordered();
+        self.backend = match backend {
+            QueueBackend::Calendar => Backend::Calendar(CalendarQueue::new()),
+            QueueBackend::Heap => Backend::Heap(HeapQueue::new()),
+        };
+        for key in keys {
+            self.backend.push(key);
+        }
     }
 
     /// Schedule `body` at `at`.
@@ -125,39 +298,53 @@ impl<M: Message> EventQueue<M> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, body });
+        let slot = self.slab.insert(body);
+        self.backend.push((at.as_nanos(), seq, slot));
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<Event<M>> {
-        let ev = self.heap.pop()?;
-        if !ev.body.is_maintenance() {
+        let (t, seq, slot) = self.backend.pop()?;
+        let body = self.slab.remove(slot);
+        if !body.is_maintenance() {
             self.progress -= 1;
         }
-        Some(ev)
+        Some(Event {
+            at: SimTime::from_nanos(t),
+            seq,
+            body,
+        })
     }
 
     /// Time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.backend.peek().map(|k| SimTime::from_nanos(k.0))
     }
 
     /// Number of pending events of any class.
     #[allow(dead_code)]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backend.len()
     }
 
     /// True when no events remain at all.
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.backend.len() == 0
     }
 
     /// True when every pending event is maintenance-class — i.e. the
     /// network has no protocol work left.
     pub fn only_maintenance(&self) -> bool {
         self.progress == 0
+    }
+
+    /// Slab recycling counters for the `core.sim.*` metrics.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            events_pooled: self.slab.pooled,
+            allocs_hot: self.slab.allocs_hot,
+        }
     }
 }
 
@@ -187,6 +374,7 @@ mod tests {
             q.push(t(n as u64), start(n));
         }
         assert_eq!(q.capacity(), before, "no growth within the reservation");
+        assert_eq!(q.pool_stats().allocs_hot, 0, "reserved slots are pre-paid");
         q.reserve(128);
         assert!(q.capacity() >= 64 + 128);
     }
@@ -247,5 +435,70 @@ mod tests {
         q.pop();
         assert!(q.only_maintenance());
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_recycle_through_the_freelist() {
+        let mut q: EventQueue<NoMsg> = EventQueue::with_capacity(2);
+        q.push(t(1), start(0));
+        q.push(t(2), start(1));
+        assert_eq!(q.pool_stats(), PoolStats::default());
+        for round in 0..100u64 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.at.as_millis(), round + 1);
+            q.push(t(round + 3), start(0));
+        }
+        let stats = q.pool_stats();
+        assert_eq!(stats.events_pooled, 100, "steady state recycles slots");
+        assert_eq!(stats.allocs_hot, 0, "steady state never allocates");
+    }
+
+    #[test]
+    fn allocs_past_reservation_are_counted() {
+        let mut q: EventQueue<NoMsg> = EventQueue::with_capacity(4);
+        for n in 0..10u32 {
+            q.push(t(n as u64), start(n));
+        }
+        assert_eq!(q.pool_stats().allocs_hot, 6);
+    }
+
+    #[test]
+    fn backend_switch_preserves_order_and_pending_events() {
+        let mut q: EventQueue<NoMsg> = EventQueue::new();
+        assert_eq!(q.backend(), QueueBackend::Calendar);
+        for n in 0..20u32 {
+            // Mix of near, far (overflow-range) and tied timestamps.
+            let at = match n % 3 {
+                0 => t(5),
+                1 => t(n as u64),
+                _ => t(40_000 + n as u64),
+            };
+            q.push(at, start(n));
+        }
+        // Pop a few on the calendar, switch mid-stream, finish on the heap.
+        let mut order = Vec::new();
+        for _ in 0..7 {
+            order.push(q.pop().unwrap().seq);
+        }
+        q.set_backend(QueueBackend::Heap);
+        assert_eq!(q.backend(), QueueBackend::Heap);
+        assert_eq!(q.len(), 13);
+        while let Some(e) = q.pop() {
+            order.push(e.seq);
+        }
+
+        // Reference order from a fresh heap-backed queue.
+        let mut r: EventQueue<NoMsg> = EventQueue::new();
+        r.set_backend(QueueBackend::Heap);
+        for n in 0..20u32 {
+            let at = match n % 3 {
+                0 => t(5),
+                1 => t(n as u64),
+                _ => t(40_000 + n as u64),
+            };
+            r.push(at, start(n));
+        }
+        let expect: Vec<u64> = std::iter::from_fn(|| r.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, expect);
     }
 }

@@ -34,12 +34,14 @@ pub mod event;
 pub mod link;
 pub mod node;
 pub mod packet;
+pub(crate) mod queue;
 pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use event::{Event, EventBody, EventQueue, PoolStats, QueueBackend};
 pub use link::{LatencyModel, Link, LinkId};
 pub use node::{Message, Node, NodeId, TimerClass, TimerToken};
 pub use packet::{DataApp, DataPacket, PacketKind};

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use bgpsdn_obs::{MetricsRegistry, TraceEvent, WallSpan};
 
-use crate::event::{EventBody, EventQueue};
+use crate::event::{EventBody, EventQueue, PoolStats, QueueBackend};
 use crate::link::{LatencyModel, Link, LinkId};
 use crate::node::{Message, Node, NodeId, TimerClass, TimerToken};
 use crate::rng::SimRng;
@@ -229,6 +229,14 @@ pub struct Simulator<M: Message> {
     causal_seq: u64,
     stats: SimStats,
     started: bool,
+    /// Reusable action buffer handed to each dispatched node: the per-event
+    /// `Vec<Action>` allocation of the old hot loop becomes a single buffer
+    /// recycled for the lifetime of the simulator.
+    action_scratch: Vec<Action<M>>,
+    /// Pool counters already flushed into the metrics registry.
+    pool_flushed: PoolStats,
+    /// `(time, seq)` of the last popped event; pops must strictly increase.
+    last_event_key: (u64, u64),
     /// Hard cap on events per `run_*` call, against livelock.
     pub max_events_per_run: u64,
 }
@@ -251,7 +259,7 @@ impl<M: Message> Simulator<M> {
             node_up: Vec::new(),
             links: Vec::new(),
             adjacency: Vec::new(),
-            timer_gens: HashMap::new(),
+            timer_gens: HashMap::with_capacity(events),
             rng: SimRng::seed_from_u64(seed),
             board: ActivityBoard::default(),
             trace: Trace::default(),
@@ -260,8 +268,48 @@ impl<M: Message> Simulator<M> {
             causal_seq: 0,
             stats: SimStats::default(),
             started: false,
+            action_scratch: Vec::with_capacity(16),
+            pool_flushed: PoolStats::default(),
+            last_event_key: (0, 0),
             max_events_per_run: 200_000_000,
         }
+    }
+
+    /// Switch the event queue's ordering backend ([`QueueBackend`]),
+    /// migrating any pending events. Both backends produce the identical
+    /// `(time, sequence)` delivery order, so this never changes behavior —
+    /// the determinism suite byte-diffs runs across the switch to prove it.
+    pub fn set_queue_backend(&mut self, backend: QueueBackend) {
+        self.queue.set_backend(backend);
+    }
+
+    /// The active event-queue backend.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
+    }
+
+    /// Event-slab recycling counters since the start of the run.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.queue.pool_stats()
+    }
+
+    /// Record the pool counters accumulated since the last flush as
+    /// `core.sim.events_pooled` / `core.sim.allocs_hot` metric deltas.
+    /// Experiment drivers call this at phase boundaries so the counters
+    /// land in phase snapshots (and from there in `bgpsdn report`).
+    pub fn flush_pool_metrics(&mut self) {
+        let cur = self.queue.pool_stats();
+        // Zero deltas are skipped so an idle flush leaves the registry
+        // untouched (phase-close must stay idempotent).
+        let pooled = cur.events_pooled - self.pool_flushed.events_pooled;
+        if pooled > 0 {
+            self.metrics.count(None, "core.sim.events_pooled", pooled);
+        }
+        let allocs = cur.allocs_hot - self.pool_flushed.allocs_hot;
+        if allocs > 0 {
+            self.metrics.count(None, "core.sim.allocs_hot", allocs);
+        }
+        self.pool_flushed = cur;
     }
 
     /// Add a node. The builder receives the id the node will have, so nodes
@@ -482,6 +530,13 @@ impl<M: Message> Simulator<M> {
             None => return false,
         };
         debug_assert!(ev.at >= self.now, "time went backwards");
+        // The queue contract: pops are strictly increasing in (time, seq),
+        // whichever backend is ordering them.
+        debug_assert!(
+            self.stats.events_processed == 0 || (ev.at.as_nanos(), ev.seq) > self.last_event_key,
+            "event queue violated (time, seq) order"
+        );
+        self.last_event_key = (ev.at.as_nanos(), ev.seq);
         self.now = ev.at;
         self.stats.events_processed += 1;
         let span = WallSpan::start(self.profiling);
@@ -665,16 +720,20 @@ impl<M: Message> Simulator<M> {
             profiling: self.profiling,
             causal_enabled,
             causal_seq: &mut self.causal_seq,
-            actions: Vec::new(),
+            actions: std::mem::take(&mut self.action_scratch),
         };
         f(node.as_mut(), &mut ctx);
-        let actions = ctx.actions;
+        let mut actions = ctx.actions;
         self.nodes[id.index()] = Some(node);
-        self.apply_actions(id, actions);
+        self.apply_actions(id, &mut actions);
+        // Hand the (drained, still-allocated) buffer back for the next
+        // dispatch; its capacity converges on the busiest callback's need.
+        debug_assert!(actions.is_empty());
+        self.action_scratch = actions;
     }
 
-    fn apply_actions(&mut self, id: NodeId, actions: Vec<Action<M>>) {
-        for act in actions {
+    fn apply_actions(&mut self, id: NodeId, actions: &mut Vec<Action<M>>) {
+        for act in actions.drain(..) {
             match act {
                 Action::Send { link, msg } => {
                     assert!(!link.is_control(), "cannot send on the control sentinel");

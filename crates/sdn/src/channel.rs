@@ -118,8 +118,19 @@ impl ReliableSender {
     /// The retransmit timer fired: double the RTO (capped) and return
     /// clones of every unacked payload, oldest first, for resending.
     pub fn on_retransmit_timer(&mut self) -> Vec<CtrlMsg> {
+        let mut out = Vec::new();
+        self.retransmit_into(&mut out);
+        out
+    }
+
+    /// [`on_retransmit_timer`](Self::on_retransmit_timer) into a
+    /// caller-owned scratch vector, so nodes that retransmit every RTO on a
+    /// lossy control link reuse one buffer instead of allocating per firing.
+    /// `out` is cleared first.
+    pub fn retransmit_into(&mut self, out: &mut Vec<CtrlMsg>) {
         self.rto = SimDuration::from_nanos((self.rto.as_nanos() * 2).min(RTO_MAX.as_nanos()));
-        self.unacked.iter().cloned().collect()
+        out.clear();
+        out.extend(self.unacked.iter().cloned());
     }
 }
 

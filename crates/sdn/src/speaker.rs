@@ -32,8 +32,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use bgpsdn_bgp::{
-    Asn, BgpApp, BgpEnvelope, BgpMessage, PathAttributes, Prefix, RouterId, SessionEvent,
-    SessionHandshake, SharedPath, UpdateMsg,
+    wire::Writer, Asn, BgpApp, BgpEnvelope, BgpMessage, PathAttributes, Prefix, RouterId,
+    SessionEvent, SessionHandshake, SharedPath, UpdateMsg,
 };
 use bgpsdn_netsim::{
     Activity, CausalPhase, Cause, Ctx, LinkId, Node, NodeId, ObsPrefix, SimDuration, TimerClass,
@@ -161,6 +161,10 @@ pub struct ClusterSpeaker<M> {
     tx: ReliableSender,
     /// In-order command reception from the controller.
     rx: ReliableReceiver,
+    /// Scratch for retransmission bursts, reused across RTO firings.
+    retx_scratch: Vec<CtrlMsg>,
+    /// Encode scratch reused for every outgoing BGP message.
+    wire_scratch: Writer,
     /// Next epoch to open on resync (epochs are speaker-owned, monotonic).
     next_epoch: u64,
     /// Controller declared dead; forwarding is frozen fail-static.
@@ -183,6 +187,8 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
             stats: SpeakerStats::default(),
             tx: ReliableSender::new(1),
             rx: ReliableReceiver::new(1),
+            retx_scratch: Vec::new(),
+            wire_scratch: Writer::with_capacity(64),
             next_epoch: 2,
             headless: false,
             resync_in_flight: false,
@@ -437,8 +443,10 @@ impl<M: SdnApp + BgpApp> ClusterSpeaker<M> {
                 text: format!("alias {} -> {} {}", s.cfg.alias, s.cfg.ext_peer, msg),
             });
         }
-        let env = BgpEnvelope::with_cause(s.cfg.alias, s.cfg.ext_peer, msg, cause);
-        ctx.send(s.cfg.via_link, M::from_bgp(env));
+        let (alias, ext_peer, via_link) = (s.cfg.alias, s.cfg.ext_peer, s.cfg.via_link);
+        let env =
+            BgpEnvelope::with_cause_scratch(alias, ext_peer, msg, cause, &mut self.wire_scratch);
+        ctx.send(via_link, M::from_bgp(env));
     }
 
     fn notify_controller(&mut self, ctx: &mut Ctx<'_, M>, ev: SpeakerEvent) {
@@ -694,9 +702,12 @@ impl<M: SdnApp + BgpApp> Node<M> for ClusterSpeaker<M> {
                     oldest_seq,
                     outstanding,
                 });
-                for m in self.tx.on_retransmit_timer() {
+                let mut burst = std::mem::take(&mut self.retx_scratch);
+                self.tx.retransmit_into(&mut burst);
+                for m in burst.drain(..) {
                     self.send_ctrl(ctx, m);
                 }
+                self.retx_scratch = burst;
                 self.arm_retx(ctx);
             }
             3 => {

@@ -348,11 +348,12 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let total = jobs.len();
     let done = AtomicUsize::new(0);
     let trace = artifacts_dir.is_some();
-    let report = run_campaign_with(
+    let report = run_campaign_scratch(
         jobs,
         workers,
-        |job| {
-            let mut outcome = run_job(job, trace);
+        JobScratch::default,
+        |job, scratch| {
+            let mut outcome = run_job_scratch(job, trace, scratch);
             if let (Some(dir), Some(text)) = (&artifacts_dir, outcome.artifact.take()) {
                 let name = format!(
                     "job-{:04}_k{}_s{}.jsonl",
@@ -432,9 +433,31 @@ fn cmd_report(path: &str) -> Result<(), String> {
     print!("{}", analysis.render());
     for (phase, metrics) in &artifact.snapshots {
         println!("== metrics [{phase}]");
+        let pooled = global_counter(metrics, "core.sim.events_pooled");
+        let hot = global_counter(metrics, "core.sim.allocs_hot");
+        if pooled + hot > 0 {
+            println!(
+                "  sim hot path: {pooled} event slots recycled, {hot} slab growth allocations"
+            );
+        }
         println!("{}", metrics.to_compact());
     }
     Ok(())
+}
+
+/// Pull a global (`node: null`) counter out of a raw phase metrics snapshot.
+fn global_counter(snapshot: &bgp_sdn_emu::obs::Json, name: &str) -> u64 {
+    let bgp_sdn_emu::obs::Json::Arr(entries) = snapshot else {
+        return 0;
+    };
+    entries
+        .iter()
+        .filter(|e| {
+            e.get("name").and_then(|n| n.as_str()) == Some(name)
+                && matches!(e.get("node"), Some(bgp_sdn_emu::obs::Json::Null))
+        })
+        .filter_map(|e| e.get("counter").and_then(|c| c.as_u64()))
+        .sum()
 }
 
 /// Causal convergence forensics: reconstruct the trigger-lineage DAGs a

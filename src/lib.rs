@@ -56,11 +56,12 @@ pub mod prelude {
     };
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
-        clique_sweep_point, event_phase_name, run_campaign, run_campaign_with, run_clique,
-        run_clique_traced, run_clique_with, run_job, AsKind, CampaignGrid, CampaignJob,
-        CampaignRunReport, CliqueRunOptions, CliqueScenario, Controller, EventKind, Experiment,
-        FaultAction, FaultPlan, FaultSpec, HybridNetwork, JobResult, NetworkBuilder, Router,
-        ScenarioOutcome, Speaker, Switch,
+        clique_sweep_point, event_phase_name, run_campaign, run_campaign_scratch,
+        run_campaign_with, run_clique, run_clique_traced, run_clique_with, run_job,
+        run_job_scratch, AsKind, CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions,
+        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultPlan, FaultSpec,
+        HybridNetwork, JobResult, JobScratch, NetworkBuilder, Router, ScenarioOutcome, Speaker,
+        Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,
