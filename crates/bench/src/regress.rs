@@ -80,6 +80,11 @@ pub const MANIFEST: &[Metric] = &[
         path: &["hot_loop", "improvement"],
         direction: Direction::HigherIsBetter,
     },
+    Metric {
+        file: "BENCH_router_outage.json",
+        path: &["router_outage", "gr_churn_ratio"],
+        direction: Direction::HigherIsBetter,
+    },
 ];
 
 /// Outcome of one metric comparison.

@@ -28,6 +28,11 @@ pub struct TimingConfig {
     pub processing_delay: (SimDuration, SimDuration),
     /// Proposed hold time in seconds; 0 disables keepalive/hold entirely.
     pub hold_time_secs: u16,
+    /// RFC 4724 graceful restart: advertise the capability with this
+    /// restart time and retain a dead peer's routes as stale for the
+    /// negotiated window (min of both sides) after a hold-timer expiry.
+    /// 0 disables GR entirely (the default).
+    pub graceful_restart_secs: u16,
     /// Keepalive interval as a fraction of hold (RFC suggests 1/3).
     pub keepalive_divisor: u32,
     /// Maximum random stagger applied to initial session bring-up.
@@ -52,6 +57,7 @@ impl Default for TimingConfig {
             mrai_on_withdrawals: false,
             processing_delay: (SimDuration::from_millis(1), SimDuration::from_millis(10)),
             hold_time_secs: 0,
+            graceful_restart_secs: 0,
             keepalive_divisor: 3,
             connect_stagger: SimDuration::from_millis(100),
             connect_retry: SimDuration::from_secs(1),
@@ -203,6 +209,7 @@ mod tests {
         assert_eq!(t.mrai_jitter, (0.75, 1.0));
         assert!(!t.mrai_on_withdrawals);
         assert_eq!(t.hold_time_secs, 0, "keepalives off by default");
+        assert_eq!(t.graceful_restart_secs, 0, "GR off by default");
     }
 
     #[test]

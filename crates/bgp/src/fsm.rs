@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use crate::msg::{BgpMessage, NotifCode, NotificationMsg, OpenMsg};
+use crate::msg::{BgpMessage, Capability, NotifCode, NotificationMsg, OpenMsg};
 use crate::types::{Asn, RouterId};
 
 /// Session states (Connect/Active are folded into Idle because the simulated
@@ -69,6 +69,8 @@ pub struct SessionHandshake {
     hold_secs: u16,
     /// Expected remote ASN; `None` accepts any (collector behaviour).
     expect_asn: Option<Asn>,
+    /// RFC 4724 restart time we advertise; 0 = no GR capability.
+    gr_secs: u16,
     /// The peer's OPEN once received.
     remote_open: Option<OpenMsg>,
 }
@@ -82,8 +84,33 @@ impl SessionHandshake {
             my_id,
             hold_secs,
             expect_asn,
+            gr_secs: 0,
             remote_open: None,
         }
+    }
+
+    /// Advertise the RFC 4724 graceful-restart capability with this restart
+    /// time in subsequent OPENs (0 withdraws the capability).
+    pub fn set_graceful_restart(&mut self, secs: u16) {
+        self.gr_secs = secs;
+    }
+
+    /// The restart time we advertise (0 = GR disabled).
+    pub fn graceful_restart_secs(&self) -> u16 {
+        self.gr_secs
+    }
+
+    /// The peer's advertised RFC 4724 restart time, if its OPEN carried the
+    /// capability. `None` means the peer doesn't do graceful restart.
+    pub fn peer_graceful_restart_secs(&self) -> Option<u16> {
+        self.remote_open
+            .as_ref()?
+            .capabilities
+            .iter()
+            .find_map(|c| match c {
+                Capability::GracefulRestart { restart_time_secs } => Some(*restart_time_secs),
+                _ => None,
+            })
     }
 
     /// Current state.
@@ -110,7 +137,13 @@ impl SessionHandshake {
     }
 
     fn my_open(&self) -> BgpMessage {
-        BgpMessage::Open(OpenMsg::standard(self.my_asn, self.my_id, self.hold_secs))
+        let mut open = OpenMsg::standard(self.my_asn, self.my_id, self.hold_secs);
+        if self.gr_secs > 0 {
+            open.capabilities.push(Capability::GracefulRestart {
+                restart_time_secs: self.gr_secs,
+            });
+        }
+        BgpMessage::Open(open)
     }
 
     /// Actively start the session. Returns messages to send.
@@ -331,6 +364,18 @@ mod tests {
         run_handshake(&mut a, &mut b, true, true);
         assert_eq!(a.negotiated_hold_secs(), 30);
         assert_eq!(b.negotiated_hold_secs(), 30);
+    }
+
+    #[test]
+    fn graceful_restart_capability_is_exchanged() {
+        let (mut a, mut b) = pair();
+        a.set_graceful_restart(120);
+        // b does not advertise GR.
+        run_handshake(&mut a, &mut b, true, true);
+        assert!(a.is_established() && b.is_established());
+        assert_eq!(b.peer_graceful_restart_secs(), Some(120));
+        assert_eq!(a.peer_graceful_restart_secs(), None);
+        assert_eq!(a.graceful_restart_secs(), 120);
     }
 
     #[test]

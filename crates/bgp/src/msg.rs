@@ -35,6 +35,15 @@ pub enum Capability {
     RouteRefresh,
     /// Four-octet AS numbers (RFC 6793).
     FourOctetAs(Asn),
+    /// Graceful restart (RFC 4724): the sender asks its peers to retain
+    /// its routes as stale for up to `restart_time_secs` after a session
+    /// drop. The framework models neither the restart-state flag nor
+    /// per-AFI forwarding-state bits, so only the restart time is carried
+    /// (flags nibble encoded as zero).
+    GracefulRestart {
+        /// Restart time in seconds (12-bit field on the wire).
+        restart_time_secs: u16,
+    },
     /// Anything we don't model, carried raw.
     Unknown {
         /// Capability code.
@@ -112,6 +121,51 @@ impl UpdateMsg {
     /// True when the message carries nothing.
     pub fn is_empty(&self) -> bool {
         self.withdrawn.is_empty() && self.nlri.is_empty()
+    }
+
+    /// RFC 7606 "treat-as-withdraw" salvage: given the raw bytes of an
+    /// UPDATE whose path attributes failed to decode, recover the prefixes
+    /// it was talking about without interpreting any attribute *content*.
+    /// The attribute block is walked as pure TLV framing (flags, type,
+    /// 1- or 2-byte length, skip); the withdrawn and NLRI blocks must parse
+    /// as prefixes. Returns a pure withdrawal of every mentioned prefix, or
+    /// `None` when the framing itself is broken (header, lengths, prefix
+    /// encodings) — those errors still warrant a session reset.
+    pub fn salvage_withdraw(bytes: &[u8]) -> Option<UpdateMsg> {
+        let mut r = Reader::new(bytes);
+        let marker = r.take(16, "marker").ok()?;
+        if marker.iter().any(|&b| b != 0xFF) {
+            return None;
+        }
+        let len = r.u16("length").ok()? as usize;
+        if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&len) || len != bytes.len() {
+            return None;
+        }
+        if r.u8("type").ok()? != TYPE_UPDATE {
+            return None;
+        }
+        let wd_len = r.u16("withdrawn length").ok()? as usize;
+        let mut wd = r.sub(wd_len, "withdrawn routes").ok()?;
+        let mut withdrawn = Vec::new();
+        while !wd.is_empty() {
+            withdrawn.push(wd.nlri_prefix().ok()?);
+        }
+        let at_len = r.u16("attrs length").ok()? as usize;
+        let mut at = r.sub(at_len, "path attributes").ok()?;
+        while !at.is_empty() {
+            let flags = at.u8("attr flags").ok()?;
+            let _ty = at.u8("attr type").ok()?;
+            let alen = if flags & 0x10 != 0 {
+                at.u16("attr ext len").ok()? as usize
+            } else {
+                at.u8("attr len").ok()? as usize
+            };
+            at.take(alen, "attr value").ok()?;
+        }
+        while !r.is_empty() {
+            withdrawn.push(r.nlri_prefix().ok()?);
+        }
+        Some(UpdateMsg::withdraw(withdrawn))
     }
 }
 
@@ -436,6 +490,12 @@ fn encode_capability(w: &mut Writer, c: &Capability) {
             w.u8(4);
             w.u32(asn.0);
         }
+        Capability::GracefulRestart { restart_time_secs } => {
+            w.u8(64);
+            w.u8(2);
+            // Flags nibble (restart-state etc.) always zero; 12-bit time.
+            w.u16(restart_time_secs & 0x0FFF);
+        }
         Capability::Unknown { code, value } => {
             w.u8(*code);
             w.u8(value.len() as u8);
@@ -456,6 +516,9 @@ fn decode_capability(r: &mut Reader<'_>) -> Result<Capability, CodecError> {
             Capability::MultiProtocol { afi, safi }
         }
         (2, 0) => Capability::RouteRefresh,
+        (64, 2) => Capability::GracefulRestart {
+            restart_time_secs: body.u16("gr time")? & 0x0FFF,
+        },
         (65, 4) => Capability::FourOctetAs(Asn(body.u32("as4")?)),
         _ => Capability::Unknown {
             code,

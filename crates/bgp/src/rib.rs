@@ -44,11 +44,18 @@ pub struct AdjRibIn {
 
 impl AdjRibIn {
     /// Insert or replace the peer's route for a prefix. Returns true when
-    /// this changed stored state (new route or different attributes).
+    /// this changed stored state (new route or different attributes). A
+    /// re-advertisement with identical attributes is not a change, but it
+    /// still refreshes `learned_at` — graceful restart distinguishes
+    /// stale-retained routes from re-announced ones by that timestamp.
     pub fn insert(&mut self, prefix: Prefix, peer: PeerIdx, entry: RibInEntry) -> bool {
         let slot = self.routes.entry(prefix).or_default();
-        match slot.get(&peer) {
-            Some(old) if old.attrs == entry.attrs => false,
+        match slot.get_mut(&peer) {
+            Some(old) if old.attrs == entry.attrs => {
+                old.learned_at = entry.learned_at;
+                old.peer_router_id = entry.peer_router_id;
+                false
+            }
             _ => {
                 slot.insert(peer, entry);
                 true
@@ -78,6 +85,25 @@ impl AdjRibIn {
         self.routes.retain(|prefix, slot| {
             if slot.remove(&peer).is_some() {
                 affected.push(*prefix);
+            }
+            !slot.is_empty()
+        });
+        affected
+    }
+
+    /// Remove every route learned from `peer` that was last received
+    /// before `cutoff` — the RFC 4724 stale flush at the end of a graceful
+    /// restart window: anything the restarted peer re-announced carries a
+    /// fresh `learned_at` and survives; anything it didn't is stale and
+    /// goes. Returns the affected prefixes.
+    pub fn flush_stale(&mut self, peer: PeerIdx, cutoff: SimTime) -> InlineVec<Prefix, 8> {
+        let mut affected = InlineVec::new();
+        self.routes.retain(|prefix, slot| {
+            if let Some(e) = slot.get(&peer) {
+                if e.learned_at < cutoff {
+                    slot.remove(&peer);
+                    affected.push(*prefix);
+                }
             }
             !slot.is_empty()
         });
@@ -284,6 +310,43 @@ mod tests {
         assert!(!rib.insert(p, 0, entry(1)), "same attrs: no change");
         assert!(rib.insert(p, 0, entry(2)), "different attrs: change");
         assert_eq!(rib.route_count(), 1);
+    }
+
+    #[test]
+    fn adj_in_identical_reinsert_refreshes_learned_at() {
+        let mut rib = AdjRibIn::default();
+        let p = pfx("10.0.0.0/8");
+        assert!(rib.insert(p, 0, entry(1)));
+        let refreshed = RibInEntry {
+            learned_at: SimTime::from_secs(7),
+            ..entry(1)
+        };
+        assert!(!rib.insert(p, 0, refreshed), "no state change reported");
+        assert_eq!(rib.get(p, 0).unwrap().learned_at, SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn adj_in_flush_stale_keeps_refreshed_routes() {
+        let mut rib = AdjRibIn::default();
+        let old = RibInEntry {
+            learned_at: SimTime::from_secs(1),
+            ..entry(1)
+        };
+        let fresh = RibInEntry {
+            learned_at: SimTime::from_secs(10),
+            ..entry(1)
+        };
+        rib.insert(pfx("10.0.0.0/8"), 0, old.clone());
+        rib.insert(pfx("20.0.0.0/8"), 0, fresh);
+        rib.insert(pfx("10.0.0.0/8"), 1, old); // other peer untouched
+        let mut flushed: Vec<Prefix> = rib
+            .flush_stale(0, SimTime::from_secs(5))
+            .into_iter()
+            .collect();
+        flushed.sort();
+        assert_eq!(flushed, vec![pfx("10.0.0.0/8")]);
+        assert!(rib.get(pfx("20.0.0.0/8"), 0).is_some(), "re-announced kept");
+        assert!(rib.get(pfx("10.0.0.0/8"), 1).is_some(), "other peer kept");
     }
 
     #[test]

@@ -35,6 +35,7 @@ const K_KEEPALIVE: u64 = 3 << 56;
 const K_HOLD: u64 = 4 << 56;
 const K_PROCESS: u64 = 5 << 56;
 const K_DAMP: u64 = 6 << 56;
+const K_GRSTALE: u64 = 7 << 56;
 const KIND_MASK: u64 = 0xFF << 56;
 
 fn tok(kind: u64, payload: u64) -> TimerToken {
@@ -101,6 +102,13 @@ pub struct RouterStats {
     pub damped_suppressed: u64,
     /// Sessions torn down by the maximum-prefix guardrail.
     pub max_prefix_teardowns: u64,
+    /// Sessions re-established after having been down at least once.
+    pub sessions_reestablished: u64,
+    /// Routes retained as stale under RFC 4724 graceful restart.
+    pub stale_retained: u64,
+    /// Malformed UPDATEs downgraded to withdrawals per RFC 7606 instead of
+    /// resetting the session.
+    pub treat_as_withdraw: u64,
 }
 
 /// A queued outbound change for one peer and prefix.
@@ -128,6 +136,36 @@ struct PeerRuntime {
     pending: BTreeMap<Prefix, OutChange>,
     mrai_armed: bool,
     retries: u32,
+    /// Ever reached Established (distinguishes first bring-up from a
+    /// re-establishment for the `sessions_reestablished` counter).
+    ever_established: bool,
+    /// The peer's advertised RFC 4724 restart time, captured at session
+    /// establishment (the handshake forgets its OPEN on reset).
+    peer_gr_secs: u16,
+    /// Graceful restart in progress: this peer's Adj-RIB-In routes are
+    /// being retained as stale until the K_GRSTALE timer flushes whatever
+    /// the restarted peer didn't re-announce.
+    gr_stale: bool,
+    /// When the peer's session came back during the GR window; routes
+    /// (re)learned at or after this instant are fresh, earlier ones stale.
+    gr_resumed_at: Option<SimTime>,
+}
+
+impl PeerRuntime {
+    fn new(handshake: SessionHandshake) -> Self {
+        PeerRuntime {
+            handshake,
+            remote_router_id: RouterId(0),
+            adj_out: AdjRibOut::default(),
+            pending: BTreeMap::new(),
+            mrai_armed: false,
+            retries: 0,
+            ever_established: false,
+            peer_gr_secs: 0,
+            gr_stale: false,
+            gr_resumed_at: None,
+        }
+    }
 }
 
 /// A BGP router attached to the simulator.
@@ -162,19 +200,14 @@ impl<M: BgpApp> BgpRouter<M> {
         for (i, n) in cfg.neighbors.iter().enumerate() {
             let dup = by_peer_node.insert(n.peer, i);
             assert!(dup.is_none(), "duplicate neighbor {}", n.peer);
-            peers.push(PeerRuntime {
-                handshake: SessionHandshake::new(
-                    cfg.asn,
-                    cfg.router_id,
-                    cfg.timing.hold_time_secs,
-                    Some(n.remote_asn),
-                ),
-                remote_router_id: RouterId(0),
-                adj_out: AdjRibOut::default(),
-                pending: BTreeMap::new(),
-                mrai_armed: false,
-                retries: 0,
-            });
+            let mut handshake = SessionHandshake::new(
+                cfg.asn,
+                cfg.router_id,
+                cfg.timing.hold_time_secs,
+                Some(n.remote_asn),
+            );
+            handshake.set_graceful_restart(cfg.timing.graceful_restart_secs);
+            peers.push(PeerRuntime::new(handshake));
         }
         let originated: BTreeSet<Prefix> = cfg.originate.iter().copied().collect();
         BgpRouter {
@@ -206,19 +239,14 @@ impl<M: BgpApp> BgpRouter<M> {
         let idx = self.peers.len();
         let dup = self.by_peer_node.insert(n.peer, idx);
         assert!(dup.is_none(), "duplicate neighbor {}", n.peer);
-        self.peers.push(PeerRuntime {
-            handshake: SessionHandshake::new(
-                self.cfg.asn,
-                self.cfg.router_id,
-                self.cfg.timing.hold_time_secs,
-                Some(n.remote_asn),
-            ),
-            remote_router_id: RouterId(0),
-            adj_out: AdjRibOut::default(),
-            pending: BTreeMap::new(),
-            mrai_armed: false,
-            retries: 0,
-        });
+        let mut handshake = SessionHandshake::new(
+            self.cfg.asn,
+            self.cfg.router_id,
+            self.cfg.timing.hold_time_secs,
+            Some(n.remote_asn),
+        );
+        handshake.set_graceful_restart(self.cfg.timing.graceful_restart_secs);
+        self.peers.push(PeerRuntime::new(handshake));
         self.cfg.neighbors.push(n);
     }
 
@@ -443,15 +471,53 @@ impl<M: BgpApp> BgpRouter<M> {
     }
 
     fn connect_now(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
-        if self.peers[peer].handshake.state() != SessionState::Idle {
+        if self.peers[peer].handshake.is_established() {
             return;
         }
         if !ctx.link_up(self.cfg.neighbors[peer].link) {
             return;
         }
+        if self.peers[peer].handshake.state() != SessionState::Idle {
+            if self.peers[peer].retries == 0 {
+                // Bring-up race: the peer's OPEN already moved this
+                // handshake along before our own staggered start fired.
+                // Leave it to complete.
+                return;
+            }
+            // A supervised reconnect found the previous attempt hanging
+            // half-open: its OPEN (or the peer's reply) was lost —
+            // typically sent while the peer was crashed. Without
+            // intervention both ends can deadlock, one in OpenSent and
+            // one in OpenConfirm, each waiting for a message the other
+            // already sent. Tell the peer to discard any stale
+            // half-state, then start over.
+            let cease = BgpMessage::Notification(NotificationMsg {
+                code: NotifCode::Cease,
+                subcode: 0,
+                data: vec![],
+            });
+            self.send_msg(ctx, peer, &cease);
+            self.peers[peer].handshake.reset();
+        }
         let msgs = self.peers[peer].handshake.start();
         for m in msgs {
             self.send_msg(ctx, peer, &m);
+        }
+        // A reconnect attempt supervises itself: if the handshake is still
+        // not Established when the doubled backoff elapses, the timer
+        // fires again and re-issues the OPEN. Initial bring-up (retries
+        // == 0) stays unsupervised so a fault-free run arms no extra
+        // timers. The delay is deterministic (no jitter draw) so a
+        // supervision chain never perturbs the node's RNG stream.
+        let retries = self.peers[peer].retries;
+        if retries > 0 && retries < self.cfg.timing.max_connect_retries {
+            self.peers[peer].retries += 1;
+            let delay = self
+                .cfg
+                .timing
+                .connect_retry
+                .saturating_mul(1 << retries.min(6));
+            self.schedule_connect(ctx, peer, delay);
         }
     }
 
@@ -463,12 +529,34 @@ impl<M: BgpApp> BgpRouter<M> {
             .remote_open()
             .expect("established implies OPEN")
             .router_id;
+        // Capture the peer's GR capability now: the handshake forgets its
+        // OPEN on reset, but the retention decision happens after the reset.
+        self.peers[peer].peer_gr_secs = self.peers[peer]
+            .handshake
+            .peer_graceful_restart_secs()
+            .unwrap_or(0);
         ctx.report(Activity::SessionUp);
         let peer_node = self.cfg.neighbors[peer].peer;
         ctx.trace(TraceCategory::Session, || TraceEvent::SessionUp {
             peer: peer_node.0,
         });
         ctx.count("bgp.router.sessions_established", 1);
+        if self.peers[peer].ever_established {
+            self.stats.sessions_reestablished += 1;
+            ctx.count("bgp.router.sessions_reestablished", 1);
+        } else {
+            self.peers[peer].ever_established = true;
+        }
+        // RFC 4724: the restarting peer is back inside the GR window. Mark
+        // the resume instant — routes it re-announces from here on are
+        // fresh; the K_GRSTALE timer flushes whatever stays older.
+        if self.peers[peer].gr_stale {
+            self.peers[peer].gr_resumed_at = Some(ctx.now());
+            ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                category: TraceCategory::Session,
+                text: format!("graceful restart: {peer_node} resumed inside GR window"),
+            });
+        }
         // Arm keepalive/hold when negotiated.
         let hold = self.peers[peer].handshake.negotiated_hold_secs();
         if hold > 0 {
@@ -579,6 +667,9 @@ impl<M: BgpApp> BgpRouter<M> {
             });
             ctx.end_span("bgp.decision.select_wall_ns", span);
             self.stats.damped_suppressed += suppressed_count;
+            if suppressed_count > 0 {
+                ctx.count("bgp.router.damped_suppressed", suppressed_count);
+            }
             if let Some(eta) = earliest_reuse {
                 let seq = self.damp_seq;
                 self.damp_seq += 1;
@@ -1022,6 +1113,27 @@ impl<M: BgpApp> BgpRouter<M> {
                     category: TraceCategory::Session,
                     text: format!("decode error: {e}"),
                 });
+                // RFC 7606: a malformed UPDATE whose framing is intact
+                // (only attribute content is bad) is downgraded to a
+                // withdrawal of every prefix it mentioned — the session
+                // survives. Broken framing still resets the session.
+                if self.peers[peer].handshake.is_established() {
+                    if let Some(upd) = UpdateMsg::salvage_withdraw(&env.bytes) {
+                        self.stats.treat_as_withdraw += 1;
+                        ctx.count("bgp.router.treat_as_withdraw", 1);
+                        let src = env.src;
+                        let n = upd.withdrawn.len();
+                        ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                            category: TraceCategory::Session,
+                            text: format!(
+                                "treat-as-withdraw: malformed UPDATE from {src} downgraded to {n} withdrawals"
+                            ),
+                        });
+                        self.refresh_hold(ctx, peer);
+                        self.queue_update(ctx, peer, upd, env.cause);
+                        return;
+                    }
+                }
                 self.drop_session(
                     ctx,
                     peer,
@@ -1045,52 +1157,11 @@ impl<M: BgpApp> BgpRouter<M> {
         }
 
         // Any traffic refreshes the hold timer on an established session.
-        if self.peers[peer].handshake.is_established() {
-            let hold = self.peers[peer].handshake.negotiated_hold_secs();
-            if hold > 0 {
-                ctx.set_timer(
-                    SimDuration::from_secs(hold as u64),
-                    tok(K_HOLD, peer as u64),
-                    TimerClass::Maintenance,
-                );
-            }
-        }
+        self.refresh_hold(ctx, peer);
 
         if let BgpMessage::Update(upd) = msg {
             if self.peers[peer].handshake.is_established() {
-                self.stats.updates_received += 1;
-                // Model router CPU: process after a jittered delay, FIFO.
-                let (lo, hi) = self.cfg.timing.processing_delay;
-                let delay = ctx.rng().duration_between(lo, hi);
-                let mut due = ctx.now() + delay;
-                let floor = self.last_proc_due + SimDuration::from_nanos(1);
-                if due < floor {
-                    due = floor;
-                }
-                self.last_proc_due = due;
-                // Causal: the delivery closes the link-propagation edge; the
-                // queue entry inherits the lineage for the processing edge.
-                let mut qcause = Cause::NONE;
-                if !env.cause.is_none() {
-                    let id = ctx.causal_id();
-                    if id != 0 {
-                        let c = env.cause;
-                        let first = first_prefix(&upd);
-                        ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
-                            id,
-                            parents: vec![c.parent],
-                            trigger: c.trigger,
-                            hop: c.hop + 1,
-                            phase: CausalPhase::LinkProp,
-                            prefix: first.map(obs),
-                        });
-                        qcause = c.step(id);
-                    }
-                }
-                let seq = self.in_seq;
-                self.in_seq += 1;
-                self.in_queue.insert(seq, (peer, upd, qcause));
-                ctx.set_timer_at(due, tok(K_PROCESS, seq), TimerClass::Progress);
+                self.queue_update(ctx, peer, upd, env.cause);
                 return;
             }
             // Fall through to the FSM, which treats early UPDATE as an error.
@@ -1118,6 +1189,124 @@ impl<M: BgpApp> BgpRouter<M> {
         let was = self.peers[peer].handshake.is_established();
         let (to_send, event) = self.peers[peer].handshake.on_message(&msg);
         self.finish_fsm_step(ctx, peer, was, to_send, event);
+    }
+
+    /// Re-arm the hold timer on an established session (any received
+    /// traffic proves the peer alive).
+    fn refresh_hold(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        if self.peers[peer].handshake.is_established() {
+            let hold = self.peers[peer].handshake.negotiated_hold_secs();
+            if hold > 0 {
+                ctx.set_timer(
+                    SimDuration::from_secs(hold as u64),
+                    tok(K_HOLD, peer as u64),
+                    TimerClass::Maintenance,
+                );
+            }
+        }
+    }
+
+    /// Queue an accepted UPDATE behind the modelled CPU processing delay
+    /// (FIFO per router), minting the link-propagation causal edge.
+    fn queue_update(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx, upd: UpdateMsg, cause: Cause) {
+        self.stats.updates_received += 1;
+        let (lo, hi) = self.cfg.timing.processing_delay;
+        let delay = ctx.rng().duration_between(lo, hi);
+        let mut due = ctx.now() + delay;
+        let floor = self.last_proc_due + SimDuration::from_nanos(1);
+        if due < floor {
+            due = floor;
+        }
+        self.last_proc_due = due;
+        // Causal: the delivery closes the link-propagation edge; the
+        // queue entry inherits the lineage for the processing edge.
+        let mut qcause = Cause::NONE;
+        if !cause.is_none() {
+            let id = ctx.causal_id();
+            if id != 0 {
+                let first = first_prefix(&upd);
+                ctx.trace(TraceCategory::Causal, || TraceEvent::Causal {
+                    id,
+                    parents: vec![cause.parent],
+                    trigger: cause.trigger,
+                    hop: cause.hop + 1,
+                    phase: CausalPhase::LinkProp,
+                    prefix: first.map(obs),
+                });
+                qcause = cause.step(id);
+            }
+        }
+        let seq = self.in_seq;
+        self.in_seq += 1;
+        self.in_queue.insert(seq, (peer, upd, qcause));
+        ctx.set_timer_at(due, tok(K_PROCESS, seq), TimerClass::Progress);
+    }
+
+    /// End of the RFC 4724 restart window: flush every route from `peer`
+    /// that wasn't re-announced since the session resumed (all of them if
+    /// the peer never came back), then reconverge.
+    fn gr_stale_flush(&mut self, ctx: &mut Ctx<'_, M>, peer: PeerIdx) {
+        if !self.peers[peer].gr_stale {
+            return;
+        }
+        let cutoff = self.peers[peer].gr_resumed_at.unwrap_or(SimTime::MAX);
+        self.peers[peer].gr_stale = false;
+        self.peers[peer].gr_resumed_at = None;
+        let affected = self.adj_in.flush_stale(peer, cutoff);
+        let peer_node = self.cfg.neighbors[peer].peer;
+        let flushed = affected.len();
+        ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+            category: TraceCategory::Session,
+            text: format!(
+                "graceful restart: window over; flushed {flushed} stale routes from {peer_node}"
+            ),
+        });
+        if affected.is_empty() {
+            return;
+        }
+        // Causal: the end of the GR window is a trigger of its own — the
+        // convergence it forces was deferred, not caused, by the crash.
+        let tid = self.mint_trigger(ctx, None);
+        if tid != 0 {
+            for &p in &affected {
+                self.causes.insert(
+                    p,
+                    PrefixCause {
+                        current: Cause {
+                            trigger: tid,
+                            parent: tid,
+                            hop: 0,
+                        },
+                        last_rib: None,
+                    },
+                );
+            }
+        }
+        for p in affected {
+            self.reselect(ctx, p);
+        }
+        self.flush_all(ctx);
+    }
+
+    /// True when the best route for `prefix` is a stale GR-retained path:
+    /// learned from a peer whose session is in the graceful-restart window
+    /// and not (yet) re-announced since the peer resumed. The verifier
+    /// downgrades such routes from "blackhole" to "consistent but stale".
+    pub fn route_is_gr_stale(&self, prefix: Prefix) -> bool {
+        let Some(entry) = self.loc_rib.get(prefix) else {
+            return false;
+        };
+        let RouteSource::Peer(i) = entry.source else {
+            return false;
+        };
+        let pr = &self.peers[i];
+        if !pr.gr_stale {
+            return false;
+        }
+        match pr.gr_resumed_at {
+            None => true,
+            Some(t) => self.adj_in.get(prefix, i).is_none_or(|e| e.learned_at < t),
+        }
     }
 
     fn finish_fsm_step(
@@ -1168,8 +1357,51 @@ impl<M: BgpApp> BgpRouter<M> {
             peer: peer_node.0,
             reason: format!("{reason:?}"),
         });
+        // RFC 4724 graceful restart: a hold-timer expiry on a GR-negotiated
+        // session means the peer is presumed restarting — retain its routes
+        // as stale instead of flushing, and arm the restart-window timer to
+        // flush whatever the peer doesn't re-announce in time. Any other
+        // close reason (NOTIFICATION, link down, admin) is a deliberate
+        // teardown and flushes immediately.
+        let own_gr = self.peers[peer].handshake.graceful_restart_secs();
+        let peer_gr = self.peers[peer].peer_gr_secs;
+        if matches!(reason, CloseReason::HoldExpired) && own_gr > 0 && peer_gr > 0 {
+            let retained = self.adj_in.count_for_peer(peer) as u64;
+            self.peers[peer].gr_stale = true;
+            self.peers[peer].gr_resumed_at = None;
+            self.stats.stale_retained += retained;
+            ctx.count("bgp.router.stale_retained", retained);
+            let window = SimDuration::from_secs(own_gr.min(peer_gr) as u64);
+            // Progress class: a pending stale flush is protocol work — the
+            // run must not count as converged while stale routes linger.
+            ctx.set_timer(window, tok(K_GRSTALE, peer as u64), TimerClass::Progress);
+            ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+                category: TraceCategory::Session,
+                text: format!(
+                    "graceful restart: retaining {retained} stale routes from {peer_node} for {window}"
+                ),
+            });
+            return;
+        }
+        if self.peers[peer].gr_stale {
+            self.peers[peer].gr_stale = false;
+            self.peers[peer].gr_resumed_at = None;
+            ctx.cancel_timer(tok(K_GRSTALE, peer as u64));
+        }
         let affected = self.adj_in.remove_peer(peer);
         let had_routes = !affected.is_empty();
+        // RFC 2439: routes lost to a session reset are unreachability flaps
+        // like explicit withdrawals, so a flapping session accumulates
+        // penalty against the peer's routes.
+        if let Some(dcfg) = &self.cfg.damping {
+            let now = ctx.now();
+            for &p in &affected {
+                self.damping
+                    .entry((peer, p))
+                    .or_insert_with(|| crate::damping::DampingState::new(now))
+                    .on_withdrawal(dcfg, now);
+            }
+        }
         // Causal: a session loss that invalidated routes is a convergence
         // trigger of its own (one root per endpoint that notices the loss).
         if had_routes {
@@ -1286,8 +1518,41 @@ impl<M: BgpApp> Node<M> for BgpRouter<M> {
                     self.flush_all(ctx);
                 }
             }
+            K_GRSTALE => self.gr_stale_flush(ctx, payload),
             _ => unreachable!("unknown timer kind"),
         }
+    }
+
+    /// A crash loses everything volatile: sessions, RIBs, queued work and
+    /// timers (the simulator already invalidated the timers). Configured
+    /// state survives — `originated` is operator intent, and cumulative
+    /// stats keep counting across the outage. Restart then behaves exactly
+    /// like a cold start: reselect origins, stagger session bring-up, and
+    /// re-advertise everything as sessions come back.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>) {
+        for peer in self.peers.iter_mut() {
+            peer.handshake.reset();
+            peer.remote_router_id = RouterId(0);
+            peer.adj_out.clear();
+            peer.pending.clear();
+            peer.mrai_armed = false;
+            peer.retries = 0;
+            peer.peer_gr_secs = 0;
+            peer.gr_stale = false;
+            peer.gr_resumed_at = None;
+        }
+        self.adj_in = AdjRibIn::default();
+        self.loc_rib = LocRib::default();
+        self.in_queue.clear();
+        self.last_proc_due = SimTime::ZERO;
+        self.causes.clear();
+        self.damping.clear();
+        self.damp_reuse.clear();
+        ctx.trace(TraceCategory::Session, || TraceEvent::Note {
+            category: TraceCategory::Session,
+            text: "router restarted: volatile state wiped".to_string(),
+        });
+        self.on_start(ctx);
     }
 
     fn on_link_change(&mut self, ctx: &mut Ctx<'_, M>, link: LinkId, up: bool) {

@@ -6,7 +6,7 @@ use std::net::Ipv4Addr;
 use proptest::prelude::*;
 
 use bgpsdn_bgp::{
-    AsPath, Asn, BgpMessage, Community, NotifCode, NotificationMsg, OpenMsg, Origin,
+    AsPath, Asn, BgpMessage, Capability, Community, NotifCode, NotificationMsg, OpenMsg, Origin,
     PathAttributes, Prefix, RouterId, Segment, UpdateMsg,
 };
 
@@ -85,9 +85,21 @@ fn arb_update() -> impl Strategy<Value = UpdateMsg> {
 
 fn arb_message() -> impl Strategy<Value = BgpMessage> {
     prop_oneof![
-        (arb_asn(), any::<u32>(), any::<u16>()).prop_map(|(asn, rid, hold)| {
-            BgpMessage::Open(OpenMsg::standard(Asn(asn), RouterId(rid), hold))
-        }),
+        (
+            arb_asn(),
+            any::<u32>(),
+            any::<u16>(),
+            // Graceful restart advertises a 12-bit restart time.
+            prop::option::of(0u16..=0x0FFF)
+        )
+            .prop_map(|(asn, rid, hold, gr)| {
+                let mut open = OpenMsg::standard(Asn(asn), RouterId(rid), hold);
+                if let Some(restart_time_secs) = gr {
+                    open.capabilities
+                        .push(Capability::GracefulRestart { restart_time_secs });
+                }
+                BgpMessage::Open(open)
+            }),
         arb_update().prop_map(BgpMessage::Update),
         (
             any::<u8>(),
@@ -182,6 +194,57 @@ proptest! {
             bytes[i] ^= val;
         }
         let _ = BgpMessage::decode(&bytes);
+    }
+
+    /// Whatever the decoder accepts — even from corrupted byte soup — must
+    /// re-encode to bytes that decode back to the identical message, and
+    /// that second encoding must be byte-stable: decode∘encode is a fixed
+    /// point on the decoder's image.
+    #[test]
+    fn decode_encode_decode_reaches_a_fixed_point(
+        msg in arb_message(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 0..8),
+    ) {
+        let mut bytes = msg.encode();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        if let Ok(decoded) = BgpMessage::decode(&bytes) {
+            let reencoded = decoded.encode();
+            let again = BgpMessage::decode(&reencoded).expect("re-encoded message must decode");
+            prop_assert_eq!(&again, &decoded);
+            prop_assert_eq!(again.encode(), reencoded, "second encode must be byte-stable");
+        }
+    }
+
+    /// RFC 7606 salvage over a *well-formed* UPDATE recovers every prefix
+    /// the message mentioned, as a pure withdrawal.
+    #[test]
+    fn salvage_withdraw_recovers_every_mentioned_prefix(u in arb_update()) {
+        let bytes = BgpMessage::Update(u.clone()).encode();
+        let salvaged = UpdateMsg::salvage_withdraw(&bytes)
+            .expect("well-formed update must salvage");
+        prop_assert!(salvaged.nlri.is_empty());
+        prop_assert!(salvaged.attrs.is_none());
+        for p in u.withdrawn.iter().chain(u.nlri.iter()) {
+            prop_assert!(salvaged.withdrawn.contains(p), "lost {}", p);
+        }
+    }
+
+    /// Salvage walks only the TLV framing, so corrupted attribute *content*
+    /// must never panic it — it either recovers prefixes or returns None.
+    #[test]
+    fn salvage_withdraw_never_panics_on_corrupted_bytes(
+        msg in arb_message(),
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = msg.encode();
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        let _ = UpdateMsg::salvage_withdraw(&bytes);
     }
 
     #[test]

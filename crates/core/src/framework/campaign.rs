@@ -26,20 +26,25 @@ use bgpsdn_netsim::{LatencyModel, SimDuration, TraceCategory};
 use bgpsdn_obs::{CampaignArtifact, CausalAnalysis, JobRecord, Json, PhaseBreakdown};
 
 use super::experiment::Experiment;
-use super::faults::FaultPlan;
+use super::faults::{FaultClasses, FaultPlan};
 use super::scenarios::{
     event_phase_name, run_clique_with, CliqueRunOptions, CliqueScenario, EventKind, ScenarioOutcome,
 };
 
 /// A seeded chaos-schedule spec applied to every job: each job derives its
-/// own [`FaultPlan::chaos`] from its job seed, so different seeds explore
-/// different outage patterns of the same intensity.
+/// own [`FaultPlan::chaos_mixed`] from its job seed, so different seeds
+/// explore different outage patterns of the same intensity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSpec {
     /// Paired down/up outages per job.
     pub outages: usize,
     /// Window the outages land in, measured from event injection.
     pub horizon: SimDuration,
+    /// Which fault classes jobs draw from. Classes a cell cannot run
+    /// (control faults without an SDN cluster, data-plane faults without
+    /// enough legacy ASes) are stripped per job and recorded as a trace
+    /// note instead of silently dropping the whole schedule.
+    pub classes: FaultClasses,
 }
 
 /// A declarative parameter grid: the cartesian product of the swept axes,
@@ -250,16 +255,53 @@ impl CampaignJob {
     }
 
     /// The run options this job carries (fault plan derived from the job
-    /// seed, verification flag, latency override). Chaos plans target the
-    /// control plane, so pure-BGP cells (cluster size 0) run fault-free.
+    /// seed, verification flag, latency override).
+    ///
+    /// Every cell gets a chaos plan: fault classes the cell cannot run
+    /// (control-plane faults without an SDN cluster, data-plane faults
+    /// without at least two legacy ASes) are stripped for that job and the
+    /// reason is recorded as an experiment note — previously a cluster-0
+    /// cell silently dropped its whole schedule. Plans containing router
+    /// or link faults switch the cell's hold timers on (9 s), since silent
+    /// data-plane outages are only detectable through hold expiry.
     pub fn run_options(&self) -> CliqueRunOptions {
+        let mut hold_secs = 0u16;
+        let mut fault_note = None;
+        let fault_plan = self.faults.and_then(|f| {
+            let legacy = self.n - self.cluster;
+            let mut classes = f.classes;
+            let mut dropped = Vec::new();
+            if classes.control && self.cluster == 0 {
+                classes.control = false;
+                dropped.push("control (no SDN cluster)");
+            }
+            if classes.router && legacy < 2 {
+                classes.router = false;
+                dropped.push("router (fewer than 2 legacy ASes)");
+            }
+            if classes.link && legacy < 2 {
+                classes.link = false;
+                dropped.push("link (fewer than 2 legacy ASes)");
+            }
+            if !dropped.is_empty() {
+                fault_note = Some(format!(
+                    "inapplicable fault classes dropped for this cell: {}",
+                    dropped.join(", ")
+                ));
+            }
+            let plan = FaultPlan::chaos_mixed(self.seed, f.horizon, f.outages, classes, legacy);
+            if plan.needs_hold_timers() {
+                hold_secs = 9;
+            }
+            (!plan.events.is_empty()).then_some(plan)
+        });
         CliqueRunOptions {
-            fault_plan: self
-                .faults
-                .filter(|_| self.cluster > 0)
-                .map(|f| FaultPlan::chaos(self.seed, f.horizon, f.outages)),
+            fault_plan,
             verification: self.verify,
             ctl_latency: Some(LatencyModel::Fixed(self.ctl_latency)),
+            hold_secs,
+            graceful_restart_secs: 0,
+            fault_note,
         }
     }
 }
@@ -661,6 +703,45 @@ mod tests {
         assert_eq!(grid.cluster_sizes, (0..=16).collect::<Vec<_>>());
         assert_eq!(grid.job_count(), 170);
         assert_eq!(grid.n, 16);
+    }
+
+    #[test]
+    fn every_cell_gets_a_chaos_plan_and_notes_inapplicable_classes() {
+        let mut grid = tiny_grid();
+        grid.faults = Some(FaultSpec {
+            outages: 2,
+            horizon: SimDuration::from_secs(30),
+            classes: FaultClasses::ALL,
+        });
+        for job in grid.expand() {
+            let opts = job.run_options();
+            let plan = opts
+                .fault_plan
+                .expect("every cell, including cluster 0, runs under chaos");
+            assert!(!plan.events.is_empty(), "job {} plan is empty", job.id);
+            if job.cluster == 0 {
+                // Pure-BGP cell: control faults stripped (and recorded),
+                // data-plane chaos remains, hold timers switched on.
+                let note = opts
+                    .fault_note
+                    .as_deref()
+                    .expect("dropped class must be noted");
+                assert!(note.contains("control"), "note was: {note}");
+                assert!(plan.needs_hold_timers());
+                assert_eq!(opts.hold_secs, 9);
+            }
+            if job.cluster == grid.n {
+                // Full-SDN cell: no legacy ASes, so data-plane classes are
+                // stripped and the plan is control-only.
+                let note = opts
+                    .fault_note
+                    .as_deref()
+                    .expect("dropped classes must be noted");
+                assert!(note.contains("router") && note.contains("link"));
+                assert!(!plan.needs_hold_timers());
+                assert_eq!(opts.hold_secs, 0);
+            }
+        }
     }
 
     #[test]

@@ -67,6 +67,21 @@ impl Experiment {
             });
     }
 
+    /// Record a free-form experiment-level note in the trace (global: no
+    /// node attribution). Campaigns use this to document per-cell decisions
+    /// such as fault classes dropped as inapplicable.
+    pub fn note(&mut self, text: impl Into<String>) {
+        let now = self.net.sim.now();
+        let text = text.into();
+        self.net
+            .sim
+            .trace_mut()
+            .record(now, None, TraceCategory::Experiment, || TraceEvent::Note {
+                category: TraceCategory::Experiment,
+                text,
+            });
+    }
+
     /// Close the current phase: emit its end marker and capture the metrics
     /// accumulated since its start as a phase-scoped snapshot, then reset
     /// the registry so the next phase starts from zero.
@@ -247,6 +262,54 @@ impl Experiment {
             .link_between(a, b)
             .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
         self.net.sim.set_link_loss(link, loss);
+    }
+
+    /// Silently drop all traffic on the edge between ASes `a` and `b`:
+    /// 100% loss with the link administratively up, so neither end sees a
+    /// link event and only hold-timer expiry can detect the outage. Goes
+    /// through the event queue so the change is traced.
+    pub fn drop_edge_traffic(&mut self, a: usize, b: usize) {
+        let link = self
+            .net
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
+        let now = self.net.sim.now();
+        self.net.sim.schedule_link_loss(now, link, 1_000_000);
+        self.net.sim.run_until(now);
+    }
+
+    /// End a traffic-drop window on the edge between ASes `a` and `b`.
+    pub fn restore_edge_traffic(&mut self, a: usize, b: usize) {
+        let link = self
+            .net
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link between AS {a} and {b}"));
+        let now = self.net.sim.now();
+        self.net.sim.schedule_link_loss(now, link, 0);
+        self.net.sim.run_until(now);
+    }
+
+    /// Crash the router device of AS `i`: in-flight deliveries to it drop,
+    /// its timers die, and peers only find out when their hold timers
+    /// expire (or, with hold timers off, when the restarted router's OPEN
+    /// collides with the stale session).
+    pub fn crash_router(&mut self, i: usize) {
+        let node = self.net.ases[i].node;
+        self.net.sim.set_node_admin(node, false);
+    }
+
+    /// Restore a crashed router. It cold-starts: volatile state (RIBs,
+    /// sessions, damping history) is gone, operator intent (configuration
+    /// and originated prefixes) survives, and it re-advertises everything
+    /// once sessions come back.
+    pub fn restore_router(&mut self, i: usize) {
+        let node = self.net.ases[i].node;
+        self.net.sim.set_node_admin(node, true);
+    }
+
+    /// Whether the router device of AS `i` is currently up.
+    pub fn router_is_up(&self, i: usize) -> bool {
+        self.net.sim.node_is_up(self.net.ases[i].node)
     }
 
     // ------------------------------------------------------------------

@@ -1,17 +1,21 @@
-//! Seeded chaos schedules for the control plane.
+//! Seeded chaos schedules for the control plane and the data plane.
 //!
-//! A [`FaultPlan`] is a time-ordered list of control-plane faults —
-//! controller crashes/restarts and control-channel partitions/heals — that
+//! A [`FaultPlan`] is a time-ordered list of faults — controller
+//! crashes/restarts, control-channel partitions/heals, router
+//! crashes/restarts, data-link flaps and keepalive-loss windows — that
 //! replays deterministically against an [`Experiment`]. The
-//! [`FaultPlan::chaos`] constructor derives a random-looking but fully
-//! seeded schedule, so robustness tests and benchmarks can explore many
-//! outage patterns while staying reproducible event-for-event.
+//! [`FaultPlan::chaos`] constructor derives a control-plane-only schedule
+//! (unchanged since PR 5, so existing seeds stay byte-identical);
+//! [`FaultPlan::chaos_mixed`] extends it with router and link fault
+//! classes so *every* campaign cell, including the pure-BGP baseline,
+//! runs under chaos.
 
 use bgpsdn_netsim::{SimDuration, SimTime};
 
 use super::experiment::Experiment;
 
-/// One injectable control-plane fault.
+/// One injectable fault. AS arguments are topology indices (the same
+/// indices `CliqueScenario`/`ScaleScenario` use).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
     /// Crash the IDR controller.
@@ -22,6 +26,21 @@ pub enum FaultAction {
     PartitionControlChannel,
     /// Heal a control-channel partition.
     HealControlChannel,
+    /// Crash the router device of one AS (it stops processing; peers'
+    /// hold timers expire).
+    CrashRouter(usize),
+    /// Restore a crashed router (cold start + full re-advertisement).
+    RestoreRouter(usize),
+    /// Take the data link between two ASes down.
+    FailEdge(usize, usize),
+    /// Bring a failed data link back up.
+    RestoreEdge(usize, usize),
+    /// Silently drop all traffic on the link between two ASes (100% loss:
+    /// keepalives die but the link stays administratively up, so only the
+    /// hold timer can notice).
+    DropEdgeTraffic(usize, usize),
+    /// End a traffic-drop window (loss back to 0).
+    RestoreEdgeTraffic(usize, usize),
 }
 
 impl std::fmt::Display for FaultAction {
@@ -31,8 +50,47 @@ impl std::fmt::Display for FaultAction {
             FaultAction::RestoreController => write!(f, "restore controller"),
             FaultAction::PartitionControlChannel => write!(f, "partition control channel"),
             FaultAction::HealControlChannel => write!(f, "heal control channel"),
+            FaultAction::CrashRouter(i) => write!(f, "crash router AS{i}"),
+            FaultAction::RestoreRouter(i) => write!(f, "restore router AS{i}"),
+            FaultAction::FailEdge(a, b) => write!(f, "fail edge AS{a}-AS{b}"),
+            FaultAction::RestoreEdge(a, b) => write!(f, "restore edge AS{a}-AS{b}"),
+            FaultAction::DropEdgeTraffic(a, b) => write!(f, "drop traffic AS{a}-AS{b}"),
+            FaultAction::RestoreEdgeTraffic(a, b) => write!(f, "restore traffic AS{a}-AS{b}"),
         }
     }
+}
+
+/// Which fault classes a chaos schedule may draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultClasses {
+    /// Controller crashes and control-channel partitions.
+    pub control: bool,
+    /// Router (AS device) crashes.
+    pub router: bool,
+    /// Data-link flaps and keepalive-loss windows.
+    pub link: bool,
+}
+
+impl FaultClasses {
+    /// Everything enabled.
+    pub const ALL: FaultClasses = FaultClasses {
+        control: true,
+        router: true,
+        link: true,
+    };
+    /// Control-plane faults only (the pre-PR-8 behaviour).
+    pub const CONTROL_ONLY: FaultClasses = FaultClasses {
+        control: true,
+        router: false,
+        link: false,
+    };
+    /// Router and link faults only — what a pure-BGP cell (no SDN cluster)
+    /// can meaningfully run.
+    pub const DATA_PLANE: FaultClasses = FaultClasses {
+        control: false,
+        router: true,
+        link: true,
+    };
 }
 
 /// A deterministic schedule of control-plane faults, with offsets relative
@@ -89,6 +147,128 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// A seeded chaos schedule mixing control-, router- and link-class
+    /// faults. `n` is the topology size and `legacy` the number of
+    /// classic-BGP ASes (indices `0..legacy`); router and link faults
+    /// target only legacy ASes `1..legacy` so the origin (AS 0) and SDN
+    /// cluster members stay up, and they require `legacy >= 2` — when a
+    /// class has no applicable target it is silently excluded from the
+    /// draw (callers that care should check [`FaultClasses`] against
+    /// `legacy` themselves and record a note).
+    ///
+    /// Router crashes and keepalive-loss windows are clamped to 12–20 s:
+    /// long enough that a 9 s hold timer expires inside the window (the
+    /// only way a silent fault is detectable), short enough that the
+    /// reconnect backoff outlives it. Callers scheduling router or link
+    /// faults must therefore run with hold timers enabled (hold ≤ 9 s);
+    /// with `hold_secs == 0` a traffic-drop window would silently eat
+    /// UPDATEs forever. Control-plane outages and edge flaps keep the
+    /// 5–25%-of-horizon durations that [`FaultPlan::chaos`] uses, and
+    /// that constructor's schedules remain byte-identical to PR 5.
+    pub fn chaos_mixed(
+        seed: u64,
+        horizon: SimDuration,
+        outages: usize,
+        classes: FaultClasses,
+        legacy: usize,
+    ) -> FaultPlan {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let mut applicable = Vec::new();
+        if classes.control {
+            applicable.push(0u8);
+        }
+        if classes.router && legacy >= 2 {
+            applicable.push(1);
+        }
+        if classes.link && legacy >= 2 {
+            applicable.push(2);
+        }
+        if applicable.is_empty() {
+            return FaultPlan::default();
+        }
+        let span = horizon.as_nanos().max(1);
+        const CLAMP_MIN: u64 = 12_000_000_000;
+        const CLAMP_JITTER: u64 = 8_000_000_000;
+        let mut events = Vec::with_capacity(outages * 2);
+        for _ in 0..outages {
+            let start = next() % span;
+            let class = applicable[(next() % applicable.len() as u64) as usize];
+            let (down, up, dur) = match class {
+                0 => {
+                    let dur = span / 20 + next() % (span / 5).max(1);
+                    if next() & 1 == 1 {
+                        (
+                            FaultAction::PartitionControlChannel,
+                            FaultAction::HealControlChannel,
+                            dur,
+                        )
+                    } else {
+                        (
+                            FaultAction::CrashController,
+                            FaultAction::RestoreController,
+                            dur,
+                        )
+                    }
+                }
+                1 => {
+                    let target = 1 + (next() % (legacy as u64 - 1)) as usize;
+                    let dur = CLAMP_MIN + next() % CLAMP_JITTER;
+                    (
+                        FaultAction::CrashRouter(target),
+                        FaultAction::RestoreRouter(target),
+                        dur,
+                    )
+                }
+                _ => {
+                    let a = 1 + (next() % (legacy as u64 - 1)) as usize;
+                    let mut b = (next() % legacy as u64) as usize;
+                    if b == a {
+                        b = if a == legacy - 1 { 0 } else { legacy - 1 };
+                    }
+                    if next() & 1 == 1 {
+                        let dur = span / 20 + next() % (span / 5).max(1);
+                        (
+                            FaultAction::FailEdge(a, b),
+                            FaultAction::RestoreEdge(a, b),
+                            dur,
+                        )
+                    } else {
+                        let dur = CLAMP_MIN + next() % CLAMP_JITTER;
+                        (
+                            FaultAction::DropEdgeTraffic(a, b),
+                            FaultAction::RestoreEdgeTraffic(a, b),
+                            dur,
+                        )
+                    }
+                }
+            };
+            events.push((SimDuration::from_nanos(start), down));
+            events.push((SimDuration::from_nanos(start.saturating_add(dur)), up));
+        }
+        events.sort_by_key(|(at, _)| *at);
+        FaultPlan { events }
+    }
+
+    /// True if any event in the plan is a router- or link-class fault —
+    /// i.e. the run needs hold timers enabled to detect silent failures.
+    pub fn needs_hold_timers(&self) -> bool {
+        self.events.iter().any(|(_, f)| {
+            !matches!(
+                f,
+                FaultAction::CrashController
+                    | FaultAction::RestoreController
+                    | FaultAction::PartitionControlChannel
+                    | FaultAction::HealControlChannel
+            )
+        })
+    }
+
     /// The offset of the last event, i.e. the schedule's length.
     pub fn horizon(&self) -> SimDuration {
         self.events
@@ -115,6 +295,12 @@ impl FaultPlan {
                 FaultAction::RestoreController => exp.restore_controller(),
                 FaultAction::PartitionControlChannel => exp.partition_control_channel(),
                 FaultAction::HealControlChannel => exp.heal_control_channel(),
+                FaultAction::CrashRouter(i) => exp.crash_router(i),
+                FaultAction::RestoreRouter(i) => exp.restore_router(i),
+                FaultAction::FailEdge(a, b) => exp.fail_edge(a, b),
+                FaultAction::RestoreEdge(a, b) => exp.restore_edge(a, b),
+                FaultAction::DropEdgeTraffic(a, b) => exp.drop_edge_traffic(a, b),
+                FaultAction::RestoreEdgeTraffic(a, b) => exp.restore_edge_traffic(a, b),
             }
             exp.auto_verify_checkpoint();
         }
@@ -147,6 +333,85 @@ mod tests {
 
         let c = FaultPlan::chaos(43, SimDuration::from_secs(60), 4);
         assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn chaos_mixed_is_deterministic_and_respects_classes() {
+        let a = FaultPlan::chaos_mixed(7, SimDuration::from_secs(120), 6, FaultClasses::ALL, 8);
+        let b = FaultPlan::chaos_mixed(7, SimDuration::from_secs(120), 6, FaultClasses::ALL, 8);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.events.len(), 12, "each outage is a down/up pair");
+        assert!(a.events.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+
+        let data = FaultPlan::chaos_mixed(
+            7,
+            SimDuration::from_secs(120),
+            6,
+            FaultClasses::DATA_PLANE,
+            8,
+        );
+        assert!(
+            data.events.iter().all(|(_, f)| !matches!(
+                f,
+                FaultAction::CrashController
+                    | FaultAction::RestoreController
+                    | FaultAction::PartitionControlChannel
+                    | FaultAction::HealControlChannel
+            )),
+            "data-plane plan contains no control faults"
+        );
+        assert!(data.needs_hold_timers());
+
+        let ctl = FaultPlan::chaos_mixed(
+            7,
+            SimDuration::from_secs(120),
+            6,
+            FaultClasses::CONTROL_ONLY,
+            8,
+        );
+        assert!(!ctl.needs_hold_timers());
+    }
+
+    #[test]
+    fn chaos_mixed_targets_stay_in_legacy_range_and_avoid_origin() {
+        for seed in 0..32u64 {
+            let plan = FaultPlan::chaos_mixed(
+                seed,
+                SimDuration::from_secs(240),
+                8,
+                FaultClasses::DATA_PLANE,
+                5,
+            );
+            for (_, f) in &plan.events {
+                match *f {
+                    FaultAction::CrashRouter(i) | FaultAction::RestoreRouter(i) => {
+                        assert!((1..5).contains(&i), "crash target {i} out of range");
+                    }
+                    FaultAction::FailEdge(a, b)
+                    | FaultAction::RestoreEdge(a, b)
+                    | FaultAction::DropEdgeTraffic(a, b)
+                    | FaultAction::RestoreEdgeTraffic(a, b) => {
+                        assert!(a < 5 && b < 5 && a != b, "bad edge AS{a}-AS{b}");
+                        assert!(a != 0, "edge faults keep one endpoint off the origin");
+                    }
+                    _ => panic!("control fault in data-plane plan"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_mixed_with_no_applicable_class_is_empty() {
+        // Full-SDN cell (legacy < 2) asked for data-plane faults only:
+        // nothing applies, the plan is empty rather than panicking.
+        let plan = FaultPlan::chaos_mixed(
+            9,
+            SimDuration::from_secs(60),
+            4,
+            FaultClasses::DATA_PLANE,
+            1,
+        );
+        assert!(plan.events.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub use campaign::{
     CampaignRunReport, FaultSpec, JobOutcome, JobResult, JobScratch,
 };
 pub use experiment::Experiment;
-pub use faults::{FaultAction, FaultPlan};
+pub use faults::{FaultAction, FaultClasses, FaultPlan};
 pub use network::{
     AsHandle, AsKind, Collector, Controller, HybridNetwork, NetworkBuilder, Router, Sim, Speaker,
     Switch, COLLECTOR_ASN,

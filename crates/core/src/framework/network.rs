@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
-use bgpsdn_bgp::{Asn, BgpRouter, NeighborConfig, Prefix, RouterId};
+use bgpsdn_bgp::{Asn, BgpRouter, DampingConfig, NeighborConfig, Prefix, RouterId};
 use bgpsdn_collector::RouteCollector;
 use bgpsdn_netsim::{LatencyModel, LinkId, NodeId, SimDuration, Simulator};
 use bgpsdn_sdn::{AliasSessionConfig, ClusterMsg, ClusterSpeaker, SdnSwitch};
@@ -125,6 +125,7 @@ pub struct NetworkBuilder {
     control_loss: f64,
     data_loss: f64,
     auto_verify: bool,
+    damping: Option<DampingConfig>,
 }
 
 impl NetworkBuilder {
@@ -143,7 +144,16 @@ impl NetworkBuilder {
             control_loss: 0.0,
             data_loss: 0.0,
             auto_verify: false,
+            damping: None,
         }
+    }
+
+    /// Enable RFC 2439 route-flap damping on every legacy router (the
+    /// distributed ablation baseline to the controller's delayed
+    /// recomputation).
+    pub fn with_damping(mut self, cfg: DampingConfig) -> Self {
+        self.damping = Some(cfg);
+        self
     }
 
     /// Run the static data-plane verifier automatically at experiment
@@ -253,7 +263,8 @@ impl NetworkBuilder {
                 let node = sim.add_node(format!("sw{}", asn.0), |id| Switch::new(id, asn.0 as u64));
                 (node, AsKind::SdnMember)
             } else {
-                let cfg = plan.routers[i].clone();
+                let mut cfg = plan.routers[i].clone();
+                cfg.damping = self.damping.clone();
                 let node = sim.add_node(format!("as{}", asn.0), |id| Router::new(id, cfg));
                 (node, AsKind::Legacy)
             };

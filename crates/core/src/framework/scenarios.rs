@@ -108,13 +108,24 @@ pub fn run_clique_full(
 /// parameters — what the campaign engine sweeps and injects per job.
 #[derive(Debug, Clone, Default)]
 pub struct CliqueRunOptions {
-    /// A control-plane fault schedule replayed after the routing event is
-    /// injected (the convergence wait resumes once the schedule finishes).
+    /// A fault schedule (control- and/or data-plane) replayed after the
+    /// routing event is injected (the convergence wait resumes once the
+    /// schedule finishes).
     pub fault_plan: Option<FaultPlan>,
     /// Run the static data-plane verifier at experiment checkpoints.
     pub verification: bool,
     /// Override the speaker↔controller channel latency model.
     pub ctl_latency: Option<LatencyModel>,
+    /// BGP hold time in seconds (0 keeps keepalive/hold off, the default).
+    /// Must be non-zero whenever the fault plan contains router- or
+    /// link-class faults — silent outages are only detectable by hold
+    /// expiry.
+    pub hold_secs: u16,
+    /// RFC 4724 graceful-restart window in seconds (0 = GR off).
+    pub graceful_restart_secs: u16,
+    /// A note recorded in the trace at bring-up — campaigns use it to
+    /// record why a fault class was dropped as inapplicable for this cell.
+    pub fault_note: Option<String>,
 }
 
 /// [`run_clique_full`] with a caller-chosen instrumentation hook applied to
@@ -161,12 +172,16 @@ pub fn run_clique_with(
             AsGraph::all_peer(&g, 65000)
         }
     };
-    let tp = plan(
-        ag,
-        PolicyMode::AllPermit,
-        TimingConfig::with_mrai(scenario.mrai),
-    )
-    .expect("address plan");
+    let mut timing = TimingConfig::with_mrai(scenario.mrai);
+    timing.hold_time_secs = opts.hold_secs;
+    timing.graceful_restart_secs = opts.graceful_restart_secs;
+    if let Some(plan) = &opts.fault_plan {
+        assert!(
+            !plan.needs_hold_timers() || opts.hold_secs > 0,
+            "router/link faults need hold timers (hold_secs > 0) to be detectable"
+        );
+    }
+    let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
     let mut builder = NetworkBuilder::new(tp, scenario.seed)
         .with_sdn_members(scenario.members())
         .with_recompute_delay(scenario.recompute_delay)
@@ -183,6 +198,9 @@ pub fn run_clique_with(
 
     let up = exp.start(PHASE_DEADLINE);
     assert!(up.converged, "bring-up did not converge");
+    if let Some(note) = &opts.fault_note {
+        exp.note(note.clone());
+    }
 
     let origin = 0usize;
     let origin_prefix = exp.net.ases[origin].prefix;

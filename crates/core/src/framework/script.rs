@@ -50,6 +50,16 @@ pub enum ScriptAction {
     SetControlLoss(f64),
     /// Set random per-message loss on the link between two adjacent ASes.
     SetEdgeLoss(usize, usize, f64),
+    /// Crash the router device of an AS (peers detect it via hold-timer
+    /// expiry; the device cold-starts on restore).
+    CrashRouter(usize),
+    /// Restore a crashed router.
+    RestoreRouter(usize),
+    /// Silently drop all traffic on the link between two adjacent ASes
+    /// (100% loss with the link administratively up).
+    DropEdgeTraffic(usize, usize),
+    /// End a traffic-drop window.
+    RestoreEdgeTraffic(usize, usize),
     /// Start a fresh measurement phase (reset activity and collector log).
     Mark,
     /// Run until the network converges (or the deadline passes); records a
@@ -95,6 +105,12 @@ impl fmt::Display for ScriptAction {
             ScriptAction::HealControlChannel => write!(f, "heal control channel"),
             ScriptAction::SetControlLoss(p) => write!(f, "set control-channel loss to {p}"),
             ScriptAction::SetEdgeLoss(a, b, p) => write!(f, "set link {a}-{b} loss to {p}"),
+            ScriptAction::CrashRouter(i) => write!(f, "crash router AS#{i}"),
+            ScriptAction::RestoreRouter(i) => write!(f, "restore router AS#{i}"),
+            ScriptAction::DropEdgeTraffic(a, b) => write!(f, "drop all traffic on link {a}-{b}"),
+            ScriptAction::RestoreEdgeTraffic(a, b) => {
+                write!(f, "restore traffic on link {a}-{b}")
+            }
             ScriptAction::Mark => write!(f, "mark"),
             ScriptAction::WaitConverged { max } => write!(f, "wait converged (max {max})"),
             ScriptAction::RunFor(d) => write!(f, "run for {d}"),
@@ -180,6 +196,26 @@ impl Script {
     /// Set loss on an inter-AS link.
     pub fn set_edge_loss(self, a: usize, b: usize, loss: f64) -> Self {
         self.step(ScriptAction::SetEdgeLoss(a, b, loss))
+    }
+
+    /// Crash a router device.
+    pub fn crash_router(self, i: usize) -> Self {
+        self.step(ScriptAction::CrashRouter(i))
+    }
+
+    /// Restore a crashed router device.
+    pub fn restore_router(self, i: usize) -> Self {
+        self.step(ScriptAction::RestoreRouter(i))
+    }
+
+    /// Start a silent traffic-drop window on an inter-AS link.
+    pub fn drop_edge_traffic(self, a: usize, b: usize) -> Self {
+        self.step(ScriptAction::DropEdgeTraffic(a, b))
+    }
+
+    /// End a silent traffic-drop window.
+    pub fn restore_edge_traffic(self, a: usize, b: usize) -> Self {
+        self.step(ScriptAction::RestoreEdgeTraffic(a, b))
     }
 
     /// Begin a measurement phase.
@@ -305,6 +341,22 @@ impl Experiment {
                 }
                 ScriptAction::SetEdgeLoss(a, b, p) => {
                     self.set_edge_loss(*a, *b, *p);
+                    true
+                }
+                ScriptAction::CrashRouter(i) => {
+                    self.crash_router(*i);
+                    true
+                }
+                ScriptAction::RestoreRouter(i) => {
+                    self.restore_router(*i);
+                    true
+                }
+                ScriptAction::DropEdgeTraffic(a, b) => {
+                    self.drop_edge_traffic(*a, *b);
+                    true
+                }
+                ScriptAction::RestoreEdgeTraffic(a, b) => {
+                    self.restore_edge_traffic(*a, *b);
                     true
                 }
                 ScriptAction::Mark => {

@@ -85,13 +85,14 @@ pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
                         prefix,
                         next,
                         as_path: entry.attrs.as_path.flatten(),
+                        stale: r.route_is_gr_stale(prefix),
                     });
                 }
                 (r.originated().collect(), Device::Legacy { routes })
             }
             AsKind::SdnMember => {
                 let sw = net.sim.node_ref::<Switch>(a.node);
-                let rules = sw
+                let mut rules: Vec<SwitchRule> = sw
                     .table()
                     .iter()
                     .map(|r| SwitchRule {
@@ -100,6 +101,12 @@ pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
                         action: rule_action(r.action),
                     })
                     .collect();
+                // Canonical order: a flow table is a set keyed by
+                // (priority, prefix) — install order is an implementation
+                // detail (e.g. a rule deleted and reinstalled after a
+                // fault moves to the end) and must not leak into
+                // snapshot comparisons.
+                rules.sort_by(|x, y| y.priority.cmp(&x.priority).then(x.prefix.cmp(&y.prefix)));
                 // Port map: every incident plan edge, with live state.
                 let mut ports = Vec::new();
                 for (k, e) in net.plan.as_graph.edges.iter().enumerate() {

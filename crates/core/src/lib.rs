@@ -36,8 +36,8 @@ pub use framework::{
     run_campaign_with, run_clique, run_clique_full, run_clique_instrumented, run_clique_traced,
     run_clique_with, run_job, run_job_scratch, run_scale, run_scale_instrumented, AsHandle, AsKind,
     CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions, CliqueScenario, Collector,
-    Controller, EventKind, Experiment, FaultAction, FaultPlan, FaultSpec, HybridNetwork,
-    JobOutcome, JobResult, JobScratch, NetworkBuilder, ProbeReport, Router, ScaleOutcome,
-    ScaleScenario, ScenarioOutcome, Script, ScriptAction, ScriptReport, Sim, Speaker, Switch,
-    COLLECTOR_ASN, SCALE_UPDATE_PHASE,
+    Controller, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan, FaultSpec,
+    HybridNetwork, JobOutcome, JobResult, JobScratch, NetworkBuilder, ProbeReport, Router,
+    ScaleOutcome, ScaleScenario, ScenarioOutcome, Script, ScriptAction, ScriptReport, Sim, Speaker,
+    Switch, COLLECTOR_ASN, SCALE_UPDATE_PHASE,
 };

@@ -1,0 +1,180 @@
+//! Oracle property test for data-plane fault injection: over random
+//! routing schedules punctuated by router crashes, silent traffic drops,
+//! and link flaps — with and without RFC 4724 graceful restart — the
+//! network must heal completely: the final frozen snapshot (legacy RIBs,
+//! flow tables, session liveness, speaker adj-out) must be byte-identical
+//! to a fault-free oracle driven through the same routing schedule, and
+//! the static verifier must pass. Any divergence means a session
+//! deadlocked half-open, a stale route outlived its window, or a
+//! withdrawal was lost in the chaos.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use bgpsdn_bgp::{PolicyMode, Prefix, TimingConfig};
+use bgpsdn_core::{capture_snapshot, Experiment, NetworkBuilder};
+use bgpsdn_netsim::SimDuration;
+use bgpsdn_topology::{gen, plan, AsGraph};
+
+/// Clique size: ASes 0..2 stay legacy, 3..5 form the cluster.
+const N: usize = 6;
+const MEMBERS: [usize; 3] = [3, 4, 5];
+const DEADLINE: SimDuration = SimDuration::from_secs(3600);
+/// Short hold time so fault detection fits the schedule's dwell windows.
+const HOLD_SECS: u16 = 3;
+/// Fault dwell: longer than hold expiry (~4.5 s worst case), shorter than
+/// the bounded reconnect-retry budget (~31 s).
+const DWELL: SimDuration = SimDuration::from_secs(6);
+
+/// One step of the random schedule. Routing ops go to both runs; fault
+/// ops (self-contained crash→restore / drop→restore windows) go only to
+/// the faulty run — a healed network must look exactly like one that
+/// never saw the fault.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// AS `origin` announces its `sub`-th /24.
+    Announce { origin: usize, sub: usize },
+    /// AS `origin` withdraws its `sub`-th /24 (no-op when never announced).
+    Withdraw { origin: usize, sub: usize },
+    /// Legacy router `i` crashes, dwells dead past hold expiry, restarts.
+    CrashRouter { i: usize },
+    /// The `a`–`b` edge silently eats all traffic for a dwell window:
+    /// no link event fires, only hold timers can notice.
+    SilentDrop { a: usize, b: usize },
+    /// Clique edge `a`–`b` flaps (down, converge, up).
+    Flap { a: usize, b: usize },
+}
+
+fn is_fault(op: Op) -> bool {
+    !matches!(op, Op::Announce { .. } | Op::Withdraw { .. })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..N, 0..4usize).prop_map(|(origin, sub)| Op::Announce { origin, sub }),
+        (0..N, 0..4usize).prop_map(|(origin, sub)| Op::Withdraw { origin, sub }),
+        // Only legacy devices run the full BGP lifecycle; member switches
+        // are driven by the controller and have no sessions to expire.
+        (0..MEMBERS[0]).prop_map(|i| Op::CrashRouter { i }),
+        (0..N, 1..N).prop_map(|(a, d)| Op::SilentDrop { a, b: (a + d) % N }),
+        (0..N, 1..N).prop_map(|(a, d)| Op::Flap { a, b: (a + d) % N }),
+    ]
+}
+
+fn build(seed: u64, gr_secs: u16) -> Experiment {
+    let ag = AsGraph::all_peer(&gen::clique(N), 65000);
+    let mut timing = TimingConfig::with_mrai(SimDuration::ZERO);
+    timing.hold_time_secs = HOLD_SECS;
+    timing.graceful_restart_secs = gr_secs;
+    let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
+    let net = NetworkBuilder::new(tp, seed)
+        .with_sdn_members(MEMBERS.to_vec())
+        .with_recompute_delay(SimDuration::from_millis(50))
+        .build();
+    let mut exp = Experiment::new(net);
+    let up = exp.start(DEADLINE);
+    assert!(up.converged, "bring-up did not converge");
+    exp
+}
+
+fn quiesce(exp: &mut Experiment) {
+    let deadline = exp.net.sim.now() + DEADLINE;
+    let q = exp.net.sim.run_until_quiescent(deadline);
+    assert!(q.quiescent, "schedule step did not quiesce");
+}
+
+fn apply(exp: &mut Experiment, op: Op) {
+    match op {
+        Op::Announce { origin, sub } => {
+            let p = sub_prefix(exp.net.ases[origin].prefix, sub);
+            exp.announce(origin, Some(p));
+            quiesce(exp);
+        }
+        Op::Withdraw { origin, sub } => {
+            let p = sub_prefix(exp.net.ases[origin].prefix, sub);
+            exp.withdraw(origin, Some(p));
+            quiesce(exp);
+        }
+        Op::CrashRouter { i } => {
+            exp.crash_router(i);
+            exp.net.sim.run_for(DWELL);
+            exp.restore_router(i);
+            quiesce(exp);
+        }
+        Op::SilentDrop { a, b } => {
+            exp.drop_edge_traffic(a, b);
+            exp.net.sim.run_for(DWELL);
+            exp.restore_edge_traffic(a, b);
+            quiesce(exp);
+        }
+        Op::Flap { a, b } => {
+            exp.fail_edge(a, b);
+            quiesce(exp);
+            exp.restore_edge(a, b);
+            quiesce(exp);
+        }
+    }
+}
+
+/// The `sub`-th aligned /24 inside an AS's /16 block.
+fn sub_prefix(base: Prefix, sub: usize) -> Prefix {
+    Prefix::new(Ipv4Addr::from(base.network_u32() + ((sub as u32) << 8)), 24)
+        .expect("aligned /24 inside the /16")
+}
+
+fn snapshot_bytes(exp: &Experiment) -> String {
+    capture_snapshot(&exp.net).to_json().to_compact()
+}
+
+proptest! {
+    #[test]
+    fn chaos_run_matches_fault_free_oracle(
+        seed in 0u64..1000,
+        gr in prop::arbitrary::any::<bool>(),
+        ops in prop::collection::vec(arb_op(), 1..6),
+    ) {
+        let gr_secs = if gr { 60 } else { 0 };
+        let mut faulty = build(seed, gr_secs);
+        let mut oracle = build(seed, gr_secs);
+
+        for &op in &ops {
+            apply(&mut faulty, op);
+            if !is_fault(op) {
+                apply(&mut oracle, op);
+            }
+        }
+        quiesce(&mut faulty);
+        quiesce(&mut oracle);
+
+        prop_assert_eq!(
+            snapshot_bytes(&faulty),
+            snapshot_bytes(&oracle),
+            "healed chaos run diverged from the fault-free oracle after {:?} (gr={})",
+            ops, gr_secs
+        );
+        let v = faulty.verify_now();
+        prop_assert!(v.ok(), "post-chaos invariant violations:\n{}", v.render());
+    }
+
+    /// Same-seed determinism under chaos: two runs of an identical fault
+    /// schedule must agree byte-for-byte, so campaign cells with fault
+    /// plans stay reproducible.
+    #[test]
+    fn chaos_runs_are_deterministic(
+        seed in 0u64..1000,
+        ops in prop::collection::vec(arb_op(), 1..4),
+    ) {
+        let mut a = build(seed, 60);
+        let mut b = build(seed, 60);
+        for &op in &ops {
+            apply(&mut a, op);
+            apply(&mut b, op);
+        }
+        prop_assert_eq!(
+            snapshot_bytes(&a),
+            snapshot_bytes(&b),
+            "same seed, same schedule must reproduce byte-identical state"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Router crash/restart robustness: data-plane fault injection must heal.
+//!
+//! A crashed legacy router stops processing entirely; its peers only learn
+//! of the outage when their hold timers expire, tear the sessions down,
+//! and withdraw everything learned from it. A restart re-establishes the
+//! sessions and re-advertises the full table. With RFC 4724 graceful
+//! restart negotiated, peers instead retain the dead router's routes as
+//! stale for the restart window and flush only what is not re-announced.
+//! Every test drives a faulty run and a fault-free oracle and demands the
+//! frozen verifier snapshots end up byte-identical.
+
+use bgpsdn_bgp::{PolicyMode, TimingConfig};
+use bgpsdn_core::{Experiment, NetworkBuilder, Router, Script};
+use bgpsdn_netsim::SimDuration;
+use bgpsdn_topology::{gen, plan, AsGraph};
+
+/// ASes 0..2 legacy, 3..5 cluster members.
+const N: usize = 6;
+const MEMBERS: [usize; 3] = [3, 4, 5];
+const DEADLINE: SimDuration = SimDuration::from_secs(3600);
+/// Short hold time so crash detection fits in seconds-scale tests.
+const HOLD_SECS: u16 = 3;
+
+fn build(seed: u64, gr_secs: u16) -> Experiment {
+    let ag = AsGraph::all_peer(&gen::clique(N), 65000);
+    let mut timing = TimingConfig::with_mrai(SimDuration::ZERO);
+    timing.hold_time_secs = HOLD_SECS;
+    timing.graceful_restart_secs = gr_secs;
+    let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
+    let net = NetworkBuilder::new(tp, seed)
+        .with_sdn_members(MEMBERS.to_vec())
+        .with_recompute_delay(SimDuration::from_millis(50))
+        .build();
+    let mut exp = Experiment::new(net);
+    let up = exp.start(DEADLINE);
+    assert!(up.converged, "bring-up did not converge");
+    exp
+}
+
+fn quiesce(exp: &mut Experiment) {
+    let deadline = exp.net.sim.now() + DEADLINE;
+    let q = exp.net.sim.run_until_quiescent(deadline);
+    assert!(q.quiescent, "run did not quiesce");
+}
+
+/// The frozen verifier snapshot is the canonical "what does the network
+/// believe" form: routes, flow tables, port/session liveness — and no
+/// timestamps or counters, so byte-equality is the right oracle check.
+fn snapshot_bytes(exp: &Experiment) -> String {
+    exp.capture_snapshot().to_json().to_compact()
+}
+
+fn router<'a>(exp: &'a Experiment, i: usize) -> &'a Router {
+    exp.net.sim.node_ref::<Router>(exp.net.ases[i].node)
+}
+
+#[test]
+fn crash_expires_holds_and_restart_readvertises() {
+    let mut faulty = build(31, 0);
+    let mut oracle = build(31, 0);
+    let p1 = faulty.net.ases[1].prefix;
+
+    faulty.crash_router(1);
+    faulty.net.sim.run_for(SimDuration::from_secs(6));
+    assert!(!faulty.router_is_up(1));
+    // Hold timers expired at the peers: the direct route via the crashed
+    // router is withdrawn, not silently retained. (The SDN cluster may
+    // still offer transit — its speaker sessions negotiate hold 0 — so
+    // the prefix itself can survive via a member switch.)
+    for i in [0usize, 2] {
+        assert_ne!(
+            router(&faulty, i).next_hop_node(p1),
+            Some(faulty.net.ases[1].node),
+            "AS {i} must stop forwarding directly to the crashed router"
+        );
+        assert!(
+            router(&faulty, i).stats().sessions_dropped >= 1,
+            "AS {i} must record the torn session"
+        );
+    }
+
+    faulty.restore_router(1);
+    quiesce(&mut faulty);
+    assert!(faulty.router_is_up(1));
+    for i in [0usize, 2] {
+        assert!(
+            router(&faulty, i).loc_rib().get(p1).is_some(),
+            "restart must re-advertise the full table to AS {i}"
+        );
+        assert!(
+            router(&faulty, i).stats().sessions_reestablished >= 1,
+            "AS {i} must record the re-established session"
+        );
+    }
+    assert!(faulty.connectivity_audit().fully_connected());
+
+    quiesce(&mut oracle);
+    assert_eq!(
+        snapshot_bytes(&faulty),
+        snapshot_bytes(&oracle),
+        "crash+restart must converge to the fault-free snapshot"
+    );
+    let v = faulty.verify_now();
+    assert!(v.ok(), "post-restart invariant violations:\n{v}");
+}
+
+#[test]
+fn graceful_restart_retains_stale_until_peer_resumes() {
+    let mut faulty = build(37, 60);
+    let mut oracle = build(37, 60);
+    let p1 = faulty.net.ases[1].prefix;
+
+    faulty.crash_router(1);
+    faulty.net.sim.run_for(SimDuration::from_secs(6));
+    // Hold expired, but GR was negotiated: the route survives, marked
+    // stale, instead of being withdrawn.
+    for i in [0usize, 2] {
+        assert!(
+            router(&faulty, i).loc_rib().get(p1).is_some(),
+            "AS {i} must retain the crashed router's prefix under GR"
+        );
+        assert!(
+            router(&faulty, i).route_is_gr_stale(p1),
+            "AS {i}'s retained route must be marked stale"
+        );
+        assert!(router(&faulty, i).stats().stale_retained > 0);
+    }
+    // The static verifier sees the stale route over a down next hop as
+    // consistent-but-stale, not as a blackhole at the legacy router.
+    let mid = faulty.verify_now();
+    assert!(
+        mid.stale.iter().any(|s| s.contains("consistent-but-stale")),
+        "mid-crash verify must note the stale retained paths:\n{mid}"
+    );
+
+    faulty.restore_router(1);
+    quiesce(&mut faulty);
+    // Quiescence waits for the Progress-class stale-flush timer, so by now
+    // the re-announced routes are fresh and nothing is stale any more.
+    for i in [0usize, 2] {
+        assert!(!router(&faulty, i).route_is_gr_stale(p1));
+        assert!(router(&faulty, i).stats().sessions_reestablished >= 1);
+    }
+    assert!(faulty.connectivity_audit().fully_connected());
+
+    quiesce(&mut oracle);
+    assert_eq!(
+        snapshot_bytes(&faulty),
+        snapshot_bytes(&oracle),
+        "GR crash+restart must converge to the fault-free snapshot"
+    );
+    let v = faulty.verify_now();
+    assert!(v.ok(), "post-GR invariant violations:\n{v}");
+}
+
+#[test]
+fn graceful_restart_window_expiry_flushes_stale() {
+    let mut faulty = build(41, 10);
+    let mut oracle = build(41, 10);
+    let p1 = faulty.net.ases[1].prefix;
+
+    faulty.crash_router(1);
+    faulty.net.sim.run_for(SimDuration::from_secs(6));
+    assert!(router(&faulty, 0).route_is_gr_stale(p1));
+
+    // The peer never resumes within the 10 s window: the stale routes are
+    // flushed exactly as if GR had not been negotiated, and forwarding
+    // falls back to cluster transit instead of the dead direct route.
+    faulty.net.sim.run_for(SimDuration::from_secs(10));
+    assert!(!router(&faulty, 0).route_is_gr_stale(p1));
+    assert_ne!(
+        router(&faulty, 0).next_hop_node(p1),
+        Some(faulty.net.ases[1].node),
+        "window expiry must flush the stale direct route"
+    );
+
+    faulty.restore_router(1);
+    quiesce(&mut faulty);
+    quiesce(&mut oracle);
+    assert_eq!(
+        snapshot_bytes(&faulty),
+        snapshot_bytes(&oracle),
+        "late restart must still converge to the fault-free snapshot"
+    );
+}
+
+#[test]
+fn graceful_restart_cuts_reconvergence_churn() {
+    let churn = |gr_secs: u16| -> u64 {
+        let mut exp = build(43, gr_secs);
+        let before: u64 = (0..MEMBERS[0])
+            .map(|i| router(&exp, i).stats().updates_sent)
+            .sum();
+        exp.crash_router(1);
+        exp.net.sim.run_for(SimDuration::from_secs(6));
+        exp.restore_router(1);
+        quiesce(&mut exp);
+        let after: u64 = (0..MEMBERS[0])
+            .map(|i| router(&exp, i).stats().updates_sent)
+            .sum();
+        after - before
+    };
+    let with_gr = churn(60);
+    let without_gr = churn(0);
+    assert!(
+        with_gr < without_gr,
+        "graceful restart must reduce reconvergence churn: \
+         {with_gr} updates with GR vs {without_gr} without"
+    );
+}
+
+#[test]
+fn silent_data_loss_is_detected_by_hold_timers() {
+    let mut faulty = build(47, 0);
+    let mut oracle = build(47, 0);
+
+    // 100% data loss on the 0–1 edge: no LinkDown event is ever seen, so
+    // only the keepalive/hold machinery can notice.
+    faulty.drop_edge_traffic(0, 1);
+    faulty.net.sim.run_for(SimDuration::from_secs(6));
+    assert!(
+        router(&faulty, 0).stats().sessions_dropped >= 1,
+        "hold timer must detect the silently dead session"
+    );
+
+    faulty.restore_edge_traffic(0, 1);
+    quiesce(&mut faulty);
+    quiesce(&mut oracle);
+    assert_eq!(
+        snapshot_bytes(&faulty),
+        snapshot_bytes(&oracle),
+        "healed silent fault must converge to the fault-free snapshot"
+    );
+    let v = faulty.verify_now();
+    assert!(v.ok(), "post-heal invariant violations:\n{v}");
+}
+
+#[test]
+fn script_actions_drive_a_router_outage() {
+    let mut exp = build(53, 0);
+    let script = Script::new()
+        .mark()
+        .crash_router(1)
+        .run_for(SimDuration::from_secs(6))
+        .restore_router(1)
+        .wait_converged(DEADLINE)
+        .expect_full_connectivity()
+        .drop_edge_traffic(0, 2)
+        .run_for(SimDuration::from_secs(6))
+        .restore_edge_traffic(0, 2)
+        .wait_converged(DEADLINE)
+        .expect_full_connectivity();
+    let report = exp.run_script(&script);
+    assert!(report.ok(), "script failed:\n{}", report.render());
+}

@@ -69,6 +69,15 @@ pub enum EventBody<M> {
         /// New admin state.
         up: bool,
     },
+    /// Set a link's random per-message loss probability at a scheduled
+    /// time. Carried as parts-per-million so fault schedules stay integer
+    /// (and therefore `Eq`/hashable and byte-deterministic).
+    LinkLoss {
+        /// The link.
+        link: LinkId,
+        /// New loss probability in parts-per-million (0..=1_000_000).
+        loss_ppm: u32,
+    },
     /// Invoke a node's `on_start`.
     Start {
         /// The node to start.

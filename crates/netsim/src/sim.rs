@@ -345,6 +345,16 @@ impl<M: Message> Simulator<M> {
         self.links[link.index()].loss = loss;
     }
 
+    /// Schedule a change of a link's random loss probability at an absolute
+    /// time, expressed in parts-per-million. Unlike [`Self::set_link_loss`]
+    /// this goes through the event queue, so fault plans can pre-program
+    /// keepalive-loss windows deterministically.
+    pub fn schedule_link_loss(&mut self, at: SimTime, link: LinkId, loss_ppm: u32) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        assert!(loss_ppm <= 1_000_000, "loss is a probability");
+        self.queue.push(at, EventBody::LinkLoss { link, loss_ppm });
+    }
+
     /// Administratively bring a link up or down right now.
     pub fn set_link_admin(&mut self, link: LinkId, up: bool) {
         self.schedule_link_admin(self.now, link, up);
@@ -610,6 +620,14 @@ impl<M: Message> Simulator<M> {
                 if self.node_up[b.index()] {
                     self.dispatch(b, |n, ctx| n.on_link_change(ctx, link, up));
                 }
+            }
+            EventBody::LinkLoss { link, loss_ppm } => {
+                self.links[link.index()].loss = loss_ppm as f64 / 1e6;
+                self.trace
+                    .record(self.now, None, TraceCategory::Link, || TraceEvent::Note {
+                        category: TraceCategory::Link,
+                        text: format!("link {} loss set to {loss_ppm}ppm", link.0),
+                    });
             }
             EventBody::NodeAdmin { node, up } => {
                 if self.node_up[node.index()] == up {

@@ -208,6 +208,20 @@ pub struct RunAnalysis {
     pub prefixes_cached: u64,
     /// Session up / down event counts.
     pub sessions: (u64, u64),
+    /// Session-down events whose reason was a hold-timer expiry.
+    pub hold_expiries: u64,
+    /// Sessions that re-reached Established after a previous teardown
+    /// (counter `bgp.router.sessions_reestablished`, summed over nodes).
+    pub sessions_reestablished: u64,
+    /// Routes retained as stale under graceful restart
+    /// (counter `bgp.router.stale_retained`, summed over nodes).
+    pub stale_retained: u64,
+    /// Malformed UPDATEs downgraded to withdraws per RFC 7606
+    /// (counter `bgp.router.treat_as_withdraw`, summed over nodes).
+    pub treat_as_withdraw: u64,
+    /// Decision candidates excluded by route-flap damping
+    /// (counter `bgp.router.damped_suppressed`, summed over nodes).
+    pub damped_suppressed: u64,
     /// Speaker events dropped with no controller link (lost state).
     pub events_dropped: u64,
     /// Control-channel retransmit bursts (both directions).
@@ -258,7 +272,12 @@ impl RunAnalysis {
                     a.recompute_wall_ns.record(*wall_ns);
                 }
                 TraceEvent::SessionUp { .. } => a.sessions.0 += 1,
-                TraceEvent::SessionDown { .. } => a.sessions.1 += 1,
+                TraceEvent::SessionDown { reason, .. } => {
+                    a.sessions.1 += 1;
+                    if reason.to_ascii_lowercase().contains("hold") {
+                        a.hold_expiries += 1;
+                    }
+                }
                 TraceEvent::SpeakerEventDropped { .. } => a.events_dropped += 1,
                 TraceEvent::ControlRetransmit { .. } => a.retransmits += 1,
                 TraceEvent::ControlResync { .. } => a.resyncs += 1,
@@ -310,6 +329,15 @@ impl RunAnalysis {
         }
         if let Some(p) = open_phase.take() {
             a.phases.push(p);
+        }
+        // Counters are monotonic, so the final phase snapshot carries the
+        // run's cumulative totals.
+        if let Some((_, metrics)) = artifact.snapshots.last() {
+            a.sessions_reestablished =
+                snapshot_counter_sum(metrics, "bgp.router.sessions_reestablished");
+            a.stale_retained = snapshot_counter_sum(metrics, "bgp.router.stale_retained");
+            a.treat_as_withdraw = snapshot_counter_sum(metrics, "bgp.router.treat_as_withdraw");
+            a.damped_suppressed = snapshot_counter_sum(metrics, "bgp.router.damped_suppressed");
         }
         if !saw_phase_marker && !artifact.events.is_empty() {
             // No markers: treat the whole run as one phase.
@@ -427,8 +455,41 @@ impl RunAnalysis {
             "== sessions: {} up events, {} down events",
             self.sessions.0, self.sessions.1
         );
+        if self.sessions.1
+            + self.sessions_reestablished
+            + self.stale_retained
+            + self.treat_as_withdraw
+            + self.damped_suppressed
+            > 0
+        {
+            let _ = writeln!(
+                out,
+                "  session health: {} down ({} hold expiries), {} re-established, \
+                 {} stale routes retained (graceful restart), {} treat-as-withdraw, \
+                 {} damped-suppressed",
+                self.sessions.1,
+                self.hold_expiries,
+                self.sessions_reestablished,
+                self.stale_retained,
+                self.treat_as_withdraw,
+                self.damped_suppressed,
+            );
+        }
         out
     }
+}
+
+/// Sum a named counter over every node in a raw phase metrics snapshot
+/// (the `[{"node":..,"name":..,"counter":..},..]` array form).
+fn snapshot_counter_sum(snapshot: &Json, name: &str) -> u64 {
+    let Json::Arr(entries) = snapshot else {
+        return 0;
+    };
+    entries
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+        .filter_map(|e| e.get("counter").and_then(Json::as_u64))
+        .sum()
 }
 
 #[cfg(test)]
@@ -665,6 +726,79 @@ mod tests {
         let report = a.render();
         assert!(report.contains("control channel"), "{report}");
         assert!(report.contains("1 resyncs"), "{report}");
+    }
+
+    #[test]
+    fn analysis_derives_session_health() {
+        use crate::metrics::MetricValue;
+        let counters = MetricsSnapshot {
+            entries: vec![
+                (
+                    Some(1),
+                    "bgp.router.sessions_reestablished".into(),
+                    MetricValue::Counter(2),
+                ),
+                (
+                    Some(2),
+                    "bgp.router.sessions_reestablished".into(),
+                    MetricValue::Counter(1),
+                ),
+                (
+                    Some(1),
+                    "bgp.router.stale_retained".into(),
+                    MetricValue::Counter(4),
+                ),
+                (
+                    Some(2),
+                    "bgp.router.treat_as_withdraw".into(),
+                    MetricValue::Counter(1),
+                ),
+                (
+                    Some(2),
+                    "bgp.router.damped_suppressed".into(),
+                    MetricValue::Counter(5),
+                ),
+            ],
+        };
+        let artifact = RunArtifact {
+            run: None,
+            events: vec![
+                ev(
+                    5,
+                    Some(1),
+                    TraceEvent::SessionDown {
+                        peer: 2,
+                        reason: "HoldExpired".into(),
+                    },
+                ),
+                ev(
+                    9,
+                    Some(2),
+                    TraceEvent::SessionDown {
+                        peer: 1,
+                        reason: "LinkDown".into(),
+                    },
+                ),
+                ev(20, Some(1), TraceEvent::SessionUp { peer: 2 }),
+            ],
+            snapshots: vec![("run".into(), counters.to_json())],
+        };
+        let a = RunAnalysis::from_artifact(&artifact);
+        assert_eq!(a.sessions, (1, 2));
+        assert_eq!(a.hold_expiries, 1);
+        assert_eq!(a.sessions_reestablished, 3);
+        assert_eq!(a.stale_retained, 4);
+        assert_eq!(a.treat_as_withdraw, 1);
+        assert_eq!(a.damped_suppressed, 5);
+        let report = a.render();
+        assert!(
+            report.contains(
+                "session health: 2 down (1 hold expiries), 3 re-established, \
+                 4 stale routes retained (graceful restart), 1 treat-as-withdraw, \
+                 5 damped-suppressed"
+            ),
+            "{report}"
+        );
     }
 
     #[test]

@@ -230,6 +230,10 @@ pub struct TriggerForensics {
     pub paths: Vec<CriticalPath>,
     /// Path-hunting chains, longest ghost interval first.
     pub hunts: Vec<HuntChain>,
+    /// Session-lifecycle attribution: when a `SessionDown` record on the
+    /// trigger's node immediately precedes the trigger (hold-timer expiry
+    /// tearing a session down and withdrawing its routes), this names it.
+    pub cause: Option<String>,
 }
 
 impl TriggerForensics {
@@ -260,35 +264,46 @@ impl CausalAnalysis {
         events: impl IntoIterator<Item = (u64, Option<u32>, &'a TraceEvent)>,
     ) -> CausalAnalysis {
         let mut nodes: BTreeMap<u64, CausalNode> = BTreeMap::new();
+        let mut session_downs: Vec<(u64, u32, String)> = Vec::new();
         for (t, node, event) in events {
-            if let TraceEvent::Causal {
-                id,
-                parents,
-                trigger,
-                hop,
-                phase,
-                prefix,
-            } = event
-            {
-                nodes.insert(
-                    *id,
-                    CausalNode {
-                        id: *id,
-                        t,
-                        node,
-                        phase: *phase,
-                        parents: parents.clone(),
-                        trigger: *trigger,
-                        hop: *hop,
-                        prefix: *prefix,
-                    },
-                );
+            match event {
+                TraceEvent::Causal {
+                    id,
+                    parents,
+                    trigger,
+                    hop,
+                    phase,
+                    prefix,
+                } => {
+                    nodes.insert(
+                        *id,
+                        CausalNode {
+                            id: *id,
+                            t,
+                            node,
+                            phase: *phase,
+                            parents: parents.clone(),
+                            trigger: *trigger,
+                            hop: *hop,
+                            prefix: *prefix,
+                        },
+                    );
+                }
+                TraceEvent::SessionDown { peer, reason } => {
+                    if let Some(n) = node {
+                        session_downs.push((t, n, format!("session to n{peer} down: {reason}")));
+                    }
+                }
+                _ => {}
             }
         }
-        Self::from_nodes(nodes)
+        Self::from_nodes(nodes, &session_downs)
     }
 
-    fn from_nodes(nodes: BTreeMap<u64, CausalNode>) -> CausalAnalysis {
+    fn from_nodes(
+        nodes: BTreeMap<u64, CausalNode>,
+        session_downs: &[(u64, u32, String)],
+    ) -> CausalAnalysis {
         let mut dangling = 0u64;
         // Group events by trigger; count dangling parents.
         let mut by_trigger: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
@@ -352,6 +367,18 @@ impl CausalAnalysis {
                     .then((a.node, a.prefix).cmp(&(b.node, b.prefix)))
             });
             let longest = paths.first();
+            // Attribute the trigger to a session teardown on the same node
+            // within the preceding second (hold-expiry cleanup mints the
+            // withdrawal trigger at the teardown instant, so in practice the
+            // times coincide; the window tolerates queued processing).
+            const CAUSE_WINDOW_NS: u64 = 1_000_000_000;
+            let cause = root.node.and_then(|n| {
+                session_downs
+                    .iter()
+                    .filter(|(t, dn, _)| *dn == n && *t <= root.t && root.t - *t <= CAUSE_WINDOW_NS)
+                    .max_by_key(|(t, _, _)| *t)
+                    .map(|(_, _, reason)| reason.clone())
+            });
             triggers.push(TriggerForensics {
                 trigger: trigger_id,
                 start_t: root.t,
@@ -362,6 +389,7 @@ impl CausalAnalysis {
                 phases: longest.map(|p| p.phases).unwrap_or_default(),
                 paths,
                 hunts,
+                cause,
             });
         }
         CausalAnalysis { triggers, dangling }
@@ -393,6 +421,9 @@ impl CausalAnalysis {
                 ];
                 if let Some(p) = t.prefix {
                     m.push(("prefix".into(), Json::Str(p.to_string())));
+                }
+                if let Some(c) = &t.cause {
+                    m.push(("cause".into(), Json::Str(c.clone())));
                 }
                 m.push(("events".into(), Json::U64(t.events)));
                 if let Some(ns) = t.convergence_ns() {
@@ -495,6 +526,9 @@ impl CausalAnalysis {
                 None => {
                     let _ = writeln!(out, " — no settlement ({} events)", t.events);
                 }
+            }
+            if let Some(cause) = &t.cause {
+                let _ = writeln!(out, "  cause: {cause}");
             }
             let total = t.phases.total();
             if total > 0 {
@@ -794,6 +828,51 @@ mod tests {
         assert_eq!(t.convergence_ns(), Some(10));
         assert!(!t.paths[0].complete);
         assert_eq!(t.paths[0].phases.total(), 10);
+    }
+
+    #[test]
+    fn hold_expiry_teardown_is_attributed_to_the_trigger() {
+        let p = Some(pfx());
+        let evs = vec![
+            // Session teardown on n3 at t=10, then the withdrawal trigger it
+            // mints on the same node at the same instant.
+            (
+                10,
+                Some(3),
+                TraceEvent::SessionDown {
+                    peer: 7,
+                    reason: "HoldExpired".into(),
+                },
+            ),
+            (
+                10,
+                Some(3),
+                causal(1, vec![], 1, 0, CausalPhase::Trigger, p),
+            ),
+            (
+                40,
+                Some(4),
+                causal(2, vec![1], 1, 1, CausalPhase::HuntStep, p),
+            ),
+            // An unrelated trigger on a different node stays unattributed.
+            (
+                50,
+                Some(1),
+                causal(5, vec![], 5, 0, CausalPhase::Trigger, None),
+            ),
+        ];
+        let a = CausalAnalysis::from_events(evs.iter().map(|(t, n, e)| (*t, *n, e)));
+        assert_eq!(a.triggers.len(), 2);
+        let attributed = &a.triggers[0];
+        assert_eq!(
+            attributed.cause.as_deref(),
+            Some("session to n7 down: HoldExpired")
+        );
+        assert_eq!(a.triggers[1].cause, None);
+        let r = a.render(3);
+        assert!(r.contains("cause: session to n7 down: HoldExpired"), "{r}");
+        let j = a.to_json(3).to_compact();
+        assert!(j.contains("HoldExpired"), "{j}");
     }
 
     #[test]

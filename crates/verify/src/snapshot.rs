@@ -99,6 +99,11 @@ pub struct LegacyRoute {
     pub next: NextHop,
     /// The selected AS path (empty for local routes).
     pub as_path: Vec<Asn>,
+    /// The route is retained from a dead peer under an RFC 4724
+    /// graceful-restart window. Stale routes pointing at a down peer are
+    /// consistent-but-stale, not blackholes: forwarding through them is
+    /// the deliberate GR trade-off until the window closes.
+    pub stale: bool,
 }
 
 /// The device state of one AS in the snapshot.
@@ -335,6 +340,9 @@ impl NodeState {
                                 rm.push(("up".into(), Json::Bool(up)));
                             }
                         }
+                        if r.stale {
+                            rm.push(("stale".into(), Json::Bool(true)));
+                        }
                         Json::Obj(rm)
                     })
                     .collect();
@@ -416,6 +424,7 @@ impl NodeState {
                             prefix,
                             next,
                             as_path,
+                            stale: r.get("stale").and_then(Json::as_bool).unwrap_or(false),
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;

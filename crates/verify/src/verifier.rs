@@ -149,9 +149,15 @@ enum Hop {
     Drop,
     /// Punt to controller (never legitimate in a converged snapshot).
     Punt,
-    /// Forward to vertex; `up` is the link state, `entry` indexes the
-    /// node's table for witness rendering.
-    Via { peer: usize, up: bool, entry: u32 },
+    /// Forward to vertex; `up` is the link state, `stale` marks an RFC 4724
+    /// graceful-restart retention, `entry` indexes the node's table for
+    /// witness rendering.
+    Via {
+        peer: usize,
+        up: bool,
+        stale: bool,
+        entry: u32,
+    },
     /// The rule outputs to a port with no data-plane peer.
     DeadPort { port: u32, entry: u32 },
 }
@@ -373,10 +379,18 @@ impl Verifier {
             }
             self.hops[v] = match (&node.device, self.tables[v].lookup(addr)) {
                 (_, None) => Hop::NoRoute,
-                (Device::Legacy { routes }, Some(entry)) => match routes[from_entry(entry)].next {
-                    NextHop::Deliver => Hop::Deliver,
-                    NextHop::Via { peer, up } => Hop::Via { peer, up, entry },
-                },
+                (Device::Legacy { routes }, Some(entry)) => {
+                    let route = &routes[from_entry(entry)];
+                    match route.next {
+                        NextHop::Deliver => Hop::Deliver,
+                        NextHop::Via { peer, up } => Hop::Via {
+                            peer,
+                            up,
+                            stale: route.stale,
+                            entry,
+                        },
+                    }
+                }
                 (Device::Member { rules, ports, .. }, Some(entry)) => {
                     match rules[from_entry(entry)].action {
                         RuleAction::Local => Hop::Deliver,
@@ -386,6 +400,7 @@ impl Verifier {
                             Some(p) => Hop::Via {
                                 peer: p.peer,
                                 up: p.up,
+                                stale: false,
                                 entry,
                             },
                             None => Hop::DeadPort { port, entry },
@@ -456,8 +471,22 @@ impl Verifier {
                         self.report_dead_end(snap, prefix, &detail, report);
                         break Outcome::Bad;
                     }
-                    Hop::Via { peer, up, .. } => {
+                    Hop::Via {
+                        peer, up, stale, ..
+                    } => {
                         if !up {
+                            if stale {
+                                // An RFC 4724 retention pointing over a dead
+                                // link is the deliberate GR trade-off, not a
+                                // blackhole: forwarding stays frozen until
+                                // the restart window closes.
+                                report.stale.push(format!(
+                                    "{} holds a graceful-restart stale route for {prefix} \
+                                     over a down link toward {} (consistent-but-stale)",
+                                    snap.nodes[cur].name, snap.nodes[peer].name
+                                ));
+                                break Outcome::Ok;
+                            }
                             self.report_dead_end(snap, prefix, "next-hop link is down", report);
                             break Outcome::Bad;
                         }

@@ -31,6 +31,7 @@ fn clean_snapshot() -> Snapshot {
                         prefix: p,
                         next: NextHop::Deliver,
                         as_path: vec![],
+                        stale: false,
                     }],
                 },
             },
@@ -93,6 +94,7 @@ fn clean_snapshot() -> Snapshot {
                         prefix: p,
                         next: NextHop::Via { peer: 2, up: true },
                         as_path: vec![Asn(30), Asn(20), Asn(10)],
+                        stale: false,
                     }],
                 },
             },
@@ -206,6 +208,53 @@ fn down_link_creates_blackhole() {
 }
 
 #[test]
+fn gr_stale_route_over_down_link_is_stale_not_blackhole() {
+    // as40 retains its route under a graceful-restart window while the
+    // link toward sw30 is down: the frozen forwarding state is the
+    // deliberate RFC 4724 trade-off, reported as a stale note.
+    let mut snap = clean_snapshot();
+    let Device::Legacy { routes } = &mut snap.nodes[3].device else {
+        panic!("as40 is legacy");
+    };
+    routes[0].next = NextHop::Via { peer: 2, up: false };
+    routes[0].stale = true;
+
+    let report = Verifier::new().verify(&snap);
+    assert_eq!(
+        report.count_of(ViolationKind::Blackhole),
+        0,
+        "GR-stale retention must not count as a blackhole:\n{}",
+        report.render()
+    );
+    assert_eq!(report.stale.len(), 1, "one stale note expected");
+    assert!(
+        report.stale[0].contains("as40") && report.stale[0].contains("graceful-restart"),
+        "note: {}",
+        report.stale[0]
+    );
+
+    // The same dead link without the stale marker stays a blackhole.
+    let Device::Legacy { routes } = &mut snap.nodes[3].device else {
+        panic!("as40 is legacy");
+    };
+    routes[0].stale = false;
+    let report = Verifier::new().verify(&snap);
+    assert_eq!(report.count_of(ViolationKind::Blackhole), 1);
+}
+
+#[test]
+fn stale_marker_survives_the_json_roundtrip() {
+    let mut snap = clean_snapshot();
+    let Device::Legacy { routes } = &mut snap.nodes[3].device else {
+        panic!("as40 is legacy");
+    };
+    routes[0].stale = true;
+    let json = snap.to_json();
+    let back = Snapshot::from_json(&json).expect("roundtrip");
+    assert_eq!(snap, back, "stale flag must survive serialization");
+}
+
+#[test]
 fn intent_drift_is_caught_when_synced() {
     let mut snap = clean_snapshot();
     // Install sw20's rule at the wrong priority: forwarding still works
@@ -307,6 +356,7 @@ fn valley_snapshot(edges: Vec<EdgeRel>, as30_path: Vec<Asn>) -> Snapshot {
                         prefix: p,
                         next: NextHop::Deliver,
                         as_path: vec![],
+                        stale: false,
                     }],
                 },
             },
@@ -319,6 +369,7 @@ fn valley_snapshot(edges: Vec<EdgeRel>, as30_path: Vec<Asn>) -> Snapshot {
                         prefix: p,
                         next: NextHop::Via { peer: 0, up: true },
                         as_path: vec![Asn(10)],
+                        stale: false,
                     }],
                 },
             },
@@ -331,6 +382,7 @@ fn valley_snapshot(edges: Vec<EdgeRel>, as30_path: Vec<Asn>) -> Snapshot {
                         prefix: p,
                         next: NextHop::Via { peer: 1, up: true },
                         as_path: as30_path,
+                        stale: false,
                     }],
                 },
             },

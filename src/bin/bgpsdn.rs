@@ -318,6 +318,16 @@ fn sweep_grid(args: &Args) -> Result<CampaignGrid, String> {
         grid.faults = Some(FaultSpec {
             outages,
             horizon: SimDuration::from_secs(args.get("chaos-horizon", 60u64)?),
+            classes: match args.get_str("chaos-classes").unwrap_or("all") {
+                "all" => FaultClasses::ALL,
+                "control" => FaultClasses::CONTROL_ONLY,
+                "data" => FaultClasses::DATA_PLANE,
+                other => {
+                    return Err(format!(
+                        "--chaos-classes must be all|control|data, got {other}"
+                    ))
+                }
+            },
         });
     }
     Ok(grid)

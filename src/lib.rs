@@ -59,9 +59,9 @@ pub mod prelude {
         clique_sweep_point, event_phase_name, run_campaign, run_campaign_scratch,
         run_campaign_with, run_clique, run_clique_traced, run_clique_with, run_job,
         run_job_scratch, AsKind, CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions,
-        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultPlan, FaultSpec,
-        HybridNetwork, JobResult, JobScratch, NetworkBuilder, Router, ScenarioOutcome, Speaker,
-        Switch,
+        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan,
+        FaultSpec, HybridNetwork, JobResult, JobScratch, NetworkBuilder, Router, ScenarioOutcome,
+        Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,

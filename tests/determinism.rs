@@ -44,6 +44,7 @@ fn chaos_fault_jobs_are_equally_deterministic() {
     grid.faults = Some(FaultSpec {
         outages: 2,
         horizon: SimDuration::from_secs(30),
+        classes: FaultClasses::CONTROL_ONLY,
     });
     // Outage schedules derive from the job seed, so reruns replay the
     // exact same fault timeline.
@@ -51,6 +52,36 @@ fn chaos_fault_jobs_are_equally_deterministic() {
         let a = run_job(&job, true).artifact.expect("traced");
         let b = run_job(&job, true).artifact.expect("traced");
         assert_eq!(a, b, "chaos job {} artifact must be byte-stable", job.id);
+    }
+}
+
+#[test]
+fn mixed_chaos_jobs_are_equally_deterministic() {
+    // Router crashes, link flaps and keepalive-loss windows on every cell
+    // (the pure-BGP cell included) must replay byte-for-byte: crash wipes,
+    // hold expiries, graceful-restart retention and treat-as-withdraw all
+    // derive from the job seed alone.
+    let mut grid = small_grid();
+    grid.faults = Some(FaultSpec {
+        outages: 2,
+        horizon: SimDuration::from_secs(30),
+        classes: FaultClasses::ALL,
+    });
+    for job in grid.expand() {
+        let opts = job.run_options();
+        assert!(
+            opts.fault_plan.is_some(),
+            "job {} (cluster {}) must carry a chaos plan",
+            job.id,
+            job.cluster
+        );
+        let a = run_job(&job, true).artifact.expect("traced");
+        let b = run_job(&job, true).artifact.expect("traced");
+        assert_eq!(
+            a, b,
+            "mixed-chaos job {} artifact must be byte-stable",
+            job.id
+        );
     }
 }
 
