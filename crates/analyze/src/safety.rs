@@ -1,0 +1,489 @@
+//! Safety pass — Gao–Rexford conformance and the cluster boundary.
+//!
+//! The Gao–Rexford theorem: if (a) the customer→provider digraph is acyclic
+//! and (b) every AS prefers customer routes and exports peer/provider routes
+//! to customers only, then BGP is safe — it converges to a unique stable
+//! state from any starting point and message ordering. The framework's
+//! `PolicyMode::GaoRexford` template enforces (b) by construction, so the
+//! static proof obligation reduces to (a): acyclicity of the annotated
+//! provider hierarchy. This pass checks it with an explicit witness cycle
+//! rather than the boolean answer [`AsGraph::provider_hierarchy_acyclic`]
+//! gives.
+//!
+//! The hybrid deployment adds a twist the plain theorem does not cover: the
+//! paper's SDN cluster behaves as **one logical routing node** (members
+//! share the controller's RIB and decisions), so the relevant policy graph
+//! is the original graph with all cluster members *contracted* to a single
+//! vertex. Contraction can manufacture a provider cycle that the
+//! uncontracted graph does not have — e.g. outside AS X is a provider of
+//! member A while member B is a provider of X: after contraction the
+//! cluster is simultaneously above and below X in the hierarchy. The pass
+//! re-runs the acyclicity proof on the contracted graph and reports
+//! boundary-induced relationship conflicts and cycles separately, since the
+//! fix (cluster membership) differs from the fix for a plain bad hierarchy
+//! (relationship annotations).
+//!
+//! When explicit per-session override rules are present the template
+//! argument no longer applies and the pass falls back to the explicit SPP
+//! solver ([`crate::spp`]) per origin, flagging any dispute wheel found.
+
+use bgpsdn_bgp::PolicyMode;
+use bgpsdn_topology::{AsEdge, AsGraph, EdgeKind};
+
+use crate::finding::AnalysisReport;
+use crate::spp::{render_cycle, PathRule, SppCaps, SppInstance, SppOutcome};
+
+/// Everything the safety pass looks at.
+#[derive(Debug, Clone, Copy)]
+pub struct SafetyInput<'a> {
+    /// The relationship-annotated AS graph.
+    pub graph: &'a AsGraph,
+    /// The policy template routers run.
+    pub mode: PolicyMode,
+    /// SDN cluster member indices (empty = pure legacy BGP).
+    pub members: &'a [usize],
+    /// Explicit per-session LOCAL_PREF override rules, if any.
+    pub rules: &'a [PathRule],
+}
+
+/// Run the full safety pass.
+#[allow(clippy::too_many_lines)]
+pub fn check_safety(input: &SafetyInput) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    let g = input.graph;
+    let n = g.len();
+
+    // Cluster membership must name real ASes, without duplicates.
+    for &m in input.members {
+        report.checked();
+        if m >= n {
+            report.error(
+                "cluster.member_range",
+                format!("SDN member index {m} out of range for {n} ASes"),
+            );
+        }
+    }
+    let mut sorted_members: Vec<usize> = input.members.iter().copied().filter(|&m| m < n).collect();
+    sorted_members.sort_unstable();
+    sorted_members.dedup();
+    if sorted_members.len() != input.members.iter().filter(|&&m| m < n).count() {
+        report.warning(
+            "cluster.member_duplicate",
+            "SDN member list contains duplicate indices",
+        );
+    }
+
+    // (a) Provider hierarchy acyclicity on the raw graph. Under AllPermit
+    // the annotations are ignored by policy, so a cycle is only suspicious
+    // (likely a bad `infer_by_degree` run), not an error.
+    report.checked();
+    if let Some(cycle) = provider_cycle(g) {
+        let witness = render_cycle(g, &cycle);
+        match input.mode {
+            PolicyMode::GaoRexford => report.error_with(
+                "safety.provider_cycle",
+                "customer->provider hierarchy has a cycle; Gao-Rexford safety does not hold",
+                witness,
+            ),
+            PolicyMode::AllPermit => report.findings.push(crate::finding::Finding {
+                severity: crate::finding::Severity::Warning,
+                code: "safety.provider_cycle",
+                message: "customer->provider annotations form a cycle (ignored by the active \
+                          policy template, but relationship data looks wrong)"
+                    .to_string(),
+                witness: Some(witness),
+            }),
+        }
+    }
+
+    // (b) The legacy<->cluster boundary: contract members to one node and
+    // re-prove. Only meaningful with >= 2 members and relationship-sensitive
+    // policy.
+    if sorted_members.len() >= 2 && input.mode == PolicyMode::GaoRexford {
+        let contracted = contract_members(g, &sorted_members);
+        for (x, up, down) in &contracted.conflicts {
+            report.checked();
+            report.error_with(
+                "cluster.boundary_conflict",
+                format!(
+                    "AS{} is provider of cluster member AS{} but customer of member AS{}; \
+                     after cluster contraction its relationship to the logical node is \
+                     ambiguous",
+                    g.asns[*x].0, g.asns[*down].0, g.asns[*up].0
+                ),
+                format!(
+                    "AS{} -> cluster(AS{}), cluster(AS{}) -> AS{}",
+                    g.asns[*x].0, g.asns[*down].0, g.asns[*up].0, g.asns[*x].0
+                ),
+            );
+        }
+        report.checked();
+        if let Some(cycle) = provider_cycle(&contracted.graph) {
+            // Only report as boundary-induced when the raw graph was clean;
+            // otherwise the raw finding above already covers it.
+            if provider_cycle(g).is_none() {
+                report.error_with(
+                    "cluster.boundary_cycle",
+                    "contracting the SDN cluster to one logical node creates a provider \
+                     cycle; the hybrid deployment breaks Gao-Rexford safety",
+                    render_contracted_cycle(&contracted, &cycle),
+                );
+            }
+        }
+    }
+
+    // (c) Explicit overrides void the template proof: run the SPP solver
+    // per origin on the (small) instance.
+    if !input.rules.is_empty() {
+        for origin in 0..n {
+            report.checked();
+            match SppInstance::build(g, input.mode, origin, input.rules, SppCaps::default()) {
+                None => {
+                    report.warning(
+                        "spp.truncated",
+                        format!(
+                            "policy overrides present but the instance for origin AS{} \
+                             exceeds enumeration caps; no safety verdict",
+                            g.asns[origin].0
+                        ),
+                    );
+                    break; // every origin would truncate the same way
+                }
+                Some(inst) => match inst.solve() {
+                    SppOutcome::Safe { .. } => {}
+                    SppOutcome::Truncated => unreachable!("caps checked at build"),
+                    SppOutcome::Wheel { rim } => report.error_with(
+                        "safety.dispute_wheel",
+                        format!(
+                            "policy overrides create a dispute wheel for routes to AS{}; \
+                             BGP may oscillate forever",
+                            g.asns[origin].0
+                        ),
+                        render_cycle(g, &rim),
+                    ),
+                },
+            }
+        }
+    }
+
+    report
+}
+
+/// Find a cycle in the customer→provider digraph, as vertex indices in
+/// order, or `None` when the hierarchy is a DAG. Edges point customer →
+/// provider (i.e. `b → a` for every `ProviderCustomer` edge).
+pub fn provider_cycle(g: &AsGraph) -> Option<Vec<usize>> {
+    // Iterative DFS with colors; `parent` recovers the cycle.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = g.len();
+    let mut up: Vec<Vec<usize>> = vec![Vec::new(); n]; // customer -> providers
+    for e in &g.edges {
+        if e.kind == EdgeKind::ProviderCustomer {
+            up[e.b].push(e.a);
+        }
+    }
+    let mut color = vec![WHITE; n];
+    let mut parent = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // (node, next child index to explore)
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < up[v].len() {
+                let w = up[v][*i];
+                *i += 1;
+                match color[w] {
+                    WHITE => {
+                        color[w] = GRAY;
+                        parent[w] = v;
+                        stack.push((w, 0));
+                    }
+                    GRAY => {
+                        // Back edge v -> w: the cycle is w ..parents.. v.
+                        let mut cycle = vec![v];
+                        let mut x = v;
+                        while x != w {
+                            x = parent[x];
+                            cycle.push(x);
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Result of contracting the cluster members to one logical vertex.
+pub struct Contracted {
+    /// The contracted graph. Non-members keep their relative order at
+    /// indices `0..n-k`; the cluster vertex is last.
+    pub graph: AsGraph,
+    /// `map[v]` = contracted index of original vertex `v`.
+    pub map: Vec<usize>,
+    /// Original indices of the vertices behind each contracted index
+    /// (members are all listed under the cluster vertex).
+    pub preimage: Vec<Vec<usize>>,
+    /// Boundary conflicts: `(outside, member_above, member_below)` — the
+    /// outside AS is customer of `member_above` but provider of
+    /// `member_below`.
+    pub conflicts: Vec<(usize, usize, usize)>,
+}
+
+/// Contract `members` (sorted, deduped, in-range) to a single vertex.
+/// Intra-cluster edges disappear; boundary edges keep their kind and
+/// orientation relative to the cluster vertex.
+pub fn contract_members(g: &AsGraph, members: &[usize]) -> Contracted {
+    let n = g.len();
+    let is_member = {
+        let mut m = vec![false; n];
+        for &v in members {
+            m[v] = true;
+        }
+        m
+    };
+    let mut map = vec![usize::MAX; n];
+    let mut preimage: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n {
+        if !is_member[v] {
+            map[v] = preimage.len();
+            preimage.push(vec![v]);
+        }
+    }
+    let cluster = preimage.len();
+    preimage.push(members.to_vec());
+    for &v in members {
+        map[v] = cluster;
+    }
+
+    let mut edges: Vec<AsEdge> = Vec::new();
+    for e in &g.edges {
+        let (ca, cb) = (map[e.a], map[e.b]);
+        if ca == cb {
+            continue; // intra-cluster (or self) edge vanishes
+        }
+        // Dedup parallel contracted edges with identical orientation+kind.
+        if !edges
+            .iter()
+            .any(|d| d.a == ca && d.b == cb && d.kind == e.kind)
+        {
+            edges.push(AsEdge {
+                a: ca,
+                b: cb,
+                kind: e.kind,
+            });
+        }
+    }
+
+    // Boundary conflicts: an outside AS that is provider of one member and
+    // customer of another. Track, per outside AS, one member above and one
+    // below it (if both exist, that's the conflict witness).
+    let mut above = vec![usize::MAX; n]; // member that is x's provider
+    let mut below = vec![usize::MAX; n]; // member that is x's customer
+    for e in &g.edges {
+        if e.kind != EdgeKind::ProviderCustomer {
+            continue;
+        }
+        let (p, c) = (e.a, e.b);
+        match (is_member[p], is_member[c]) {
+            (true, false) => above[c] = p,
+            (false, true) => below[p] = c,
+            _ => {}
+        }
+    }
+    let conflicts = (0..n)
+        .filter(|&x| above[x] != usize::MAX && below[x] != usize::MAX)
+        .map(|x| (x, above[x], below[x]))
+        .collect();
+
+    let asns = preimage.iter().map(|pre| g.asns[pre[0]]).collect();
+    Contracted {
+        graph: AsGraph { asns, edges },
+        map,
+        preimage,
+        conflicts,
+    }
+}
+
+/// Render a cycle in the contracted graph, labelling the cluster vertex.
+fn render_contracted_cycle(c: &Contracted, cycle: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let cluster = c.preimage.len() - 1;
+    let mut out = String::new();
+    for &v in cycle.iter().chain(cycle.first()) {
+        if !out.is_empty() {
+            out.push_str(" -> ");
+        }
+        if v == cluster {
+            out.push_str("cluster");
+        } else {
+            let _ = write!(out, "AS{}", c.graph.asns[v].0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsdn_bgp::Asn;
+    use bgpsdn_topology::gen;
+
+    fn pc(a: usize, b: usize) -> AsEdge {
+        AsEdge {
+            a,
+            b,
+            kind: EdgeKind::ProviderCustomer,
+        }
+    }
+
+    fn pp(a: usize, b: usize) -> AsEdge {
+        AsEdge {
+            a,
+            b,
+            kind: EdgeKind::PeerPeer,
+        }
+    }
+
+    fn graph(n: usize, edges: Vec<AsEdge>) -> AsGraph {
+        AsGraph {
+            asns: (0..n)
+                .map(|i| Asn(65000 + u32::try_from(i).unwrap()))
+                .collect(),
+            edges,
+        }
+    }
+
+    #[test]
+    fn dag_hierarchy_has_no_cycle() {
+        // 0 above 1 and 2, 1 above 3.
+        let g = graph(4, vec![pc(0, 1), pc(0, 2), pc(1, 3), pp(1, 2)]);
+        assert_eq!(provider_cycle(&g), None);
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            members: &[],
+            rules: &[],
+        });
+        assert!(r.clean(), "unexpected findings: {}", r.render());
+    }
+
+    #[test]
+    fn provider_cycle_is_found_with_witness() {
+        // 0 provider of 1, 1 provider of 2, 2 provider of 0.
+        let g = graph(3, vec![pc(0, 1), pc(1, 2), pc(2, 0)]);
+        let cycle = provider_cycle(&g).expect("cycle exists");
+        assert_eq!(cycle.len(), 3);
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            members: &[],
+            rules: &[],
+        });
+        assert!(!r.ok());
+        let f = r.first_error().unwrap();
+        assert_eq!(f.code, "safety.provider_cycle");
+        assert!(f.witness.as_deref().unwrap().contains("AS65000"));
+    }
+
+    #[test]
+    fn provider_cycle_is_only_a_warning_under_all_permit() {
+        let g = graph(3, vec![pc(0, 1), pc(1, 2), pc(2, 0)]);
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::AllPermit,
+            members: &[],
+            rules: &[],
+        });
+        assert!(r.ok() && !r.clean());
+        assert_eq!(r.findings[0].code, "safety.provider_cycle");
+    }
+
+    #[test]
+    fn boundary_contraction_detects_induced_cycle() {
+        // Raw graph is a clean hierarchy: 1 provider of 0, 0 provider of 2.
+        // Cluster {1, 2} contracted: cluster -> 0 (via 1) and 0 -> cluster
+        // (via 2) — a two-node provider cycle that only exists in the hybrid
+        // deployment.
+        let g = graph(3, vec![pc(1, 0), pc(0, 2)]);
+        assert_eq!(provider_cycle(&g), None, "raw graph is clean");
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            members: &[1, 2],
+            rules: &[],
+        });
+        assert!(!r.ok());
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"cluster.boundary_conflict"), "{codes:?}");
+        assert!(codes.contains(&"cluster.boundary_cycle"), "{codes:?}");
+        let cyc = r
+            .findings
+            .iter()
+            .find(|f| f.code == "cluster.boundary_cycle")
+            .unwrap();
+        assert!(cyc.witness.as_deref().unwrap().contains("cluster"));
+    }
+
+    #[test]
+    fn member_range_and_duplicates_are_flagged() {
+        let g = AsGraph::all_peer(&gen::clique(4), 65000);
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::AllPermit,
+            members: &[1, 1, 9],
+            rules: &[],
+        });
+        assert!(!r.ok());
+        assert_eq!(r.first_error().unwrap().code, "cluster.member_range");
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.code == "cluster.member_duplicate"));
+    }
+
+    #[test]
+    fn contraction_preserves_outside_structure() {
+        let g = graph(5, vec![pc(0, 1), pc(0, 2), pp(3, 4), pc(3, 2)]);
+        let c = contract_members(&g, &[1, 2]);
+        assert_eq!(c.graph.len(), 4);
+        let cluster = 3;
+        assert_eq!(c.map[1], cluster);
+        assert_eq!(c.map[2], cluster);
+        // 0 -> cluster appears once despite two parallel member edges.
+        let down: Vec<&AsEdge> = c
+            .graph
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::ProviderCustomer && e.b == cluster)
+            .collect();
+        assert_eq!(down.len(), 2, "one from AS0, one from AS3");
+    }
+
+    #[test]
+    fn seeded_wheel_is_flagged_via_rules() {
+        let g = AsGraph::all_peer(&gen::clique(4), 65000);
+        let rules = crate::spp::bad_gadget_rules();
+        let r = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::AllPermit,
+            members: &[],
+            rules: &rules,
+        });
+        assert!(!r.ok());
+        let f = r.first_error().unwrap();
+        assert_eq!(f.code, "safety.dispute_wheel");
+        assert!(f.witness.is_some());
+    }
+}

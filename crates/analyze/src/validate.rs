@@ -1,0 +1,867 @@
+//! Validation pass — scripts, fault plans, timing, and campaign grids.
+//!
+//! The framework's builders accept anything and fail late: an out-of-range
+//! AS index panics deep inside the simulator, a fault scheduled past the
+//! chaos horizon silently never fires, and an `expect_reachable` against a
+//! never-announced prefix burns a full convergence run before failing. This
+//! pass walks the declarative experiment inputs — an action sequence, a
+//! timed fault plan, the timer configuration, a campaign grid — and reports
+//! everything that is statically wrong or statically pointless.
+//!
+//! The pass works on a neutral [`Action`] IR rather than the framework's
+//! own `ScriptAction`/`FaultAction` enums so the analyzer stays below the
+//! core crate in the dependency order; core converts losslessly.
+
+use bgpsdn_bgp::Prefix;
+use bgpsdn_netsim::SimDuration;
+
+use crate::finding::AnalysisReport;
+
+/// Neutral mirror of the framework's script/fault actions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Announce a prefix (`None` = the AS's own default prefix).
+    Announce {
+        /// Announcing AS index.
+        as_index: usize,
+        /// Explicit prefix, or the AS's default.
+        prefix: Option<Prefix>,
+    },
+    /// Withdraw a prefix (`None` = the AS's own default prefix).
+    Withdraw {
+        /// Withdrawing AS index.
+        as_index: usize,
+        /// Explicit prefix, or the AS's default.
+        prefix: Option<Prefix>,
+    },
+    /// Take the data link between two ASes down.
+    FailEdge(usize, usize),
+    /// Bring a failed link back.
+    RestoreEdge(usize, usize),
+    /// Crash the IDR controller.
+    CrashController,
+    /// Restart the controller.
+    RestoreController,
+    /// Partition the speaker↔controller channel.
+    PartitionControlChannel,
+    /// Heal the control-channel partition.
+    HealControlChannel,
+    /// Set loss on the control channel.
+    SetControlLoss(f64),
+    /// Set loss on a data link.
+    SetEdgeLoss(usize, usize, f64),
+    /// Crash one AS's router.
+    CrashRouter(usize),
+    /// Restore a crashed router.
+    RestoreRouter(usize),
+    /// 100% silent loss on a link (hold-timer-only detection).
+    DropEdgeTraffic(usize, usize),
+    /// End a traffic-drop window.
+    RestoreEdgeTraffic(usize, usize),
+    /// Collector timeline mark (always valid).
+    Mark,
+    /// Run until convergence or the deadline.
+    WaitConverged {
+        /// Convergence deadline.
+        max: SimDuration,
+    },
+    /// Run for a fixed duration.
+    RunFor(SimDuration),
+    /// Assert a prefix is reachable network-wide with the given origin.
+    ExpectReachable {
+        /// The prefix asserted present.
+        prefix: Prefix,
+        /// Expected originating AS index.
+        origin: usize,
+    },
+    /// Assert a prefix is gone network-wide.
+    ExpectGone {
+        /// The prefix asserted absent.
+        prefix: Prefix,
+    },
+    /// Assert full data-plane connectivity.
+    ExpectFullConnectivity,
+}
+
+/// Static facts about the network a sequence of actions runs against.
+#[derive(Debug, Clone, Copy)]
+pub struct ActionContext<'a> {
+    /// AS count.
+    pub n: usize,
+    /// Undirected inter-AS links, as index pairs.
+    pub edges: &'a [(usize, usize)],
+    /// True when an SDN cluster (controller + speaker) exists.
+    pub has_cluster: bool,
+    /// BGP hold time in seconds (0 = hold timers disabled).
+    pub hold_secs: u64,
+    /// Graceful-restart window in seconds (0 = GR disabled).
+    pub graceful_restart_secs: u64,
+    /// Default announced prefix per AS index, when known (used to resolve
+    /// `prefix: None` and to match expectations; empty = unknown).
+    pub origin_prefixes: &'a [Prefix],
+    /// True when the sequence runs against an already-started network whose
+    /// origin prefixes are announced at bring-up (the framework's
+    /// `run_script` semantics); false when it starts from a silent network.
+    pub origins_announced: bool,
+}
+
+impl ActionContext<'_> {
+    fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.edges
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    }
+
+    fn default_prefix(&self, as_index: usize) -> Option<Prefix> {
+        self.origin_prefixes.get(as_index).copied()
+    }
+}
+
+/// Tracks network degradation across a validated sequence.
+#[derive(Default)]
+struct WalkState {
+    announced: Vec<(Prefix, usize)>, // (prefix, origin) currently announced
+    failed_edges: Vec<(usize, usize)>,
+    dropped_edges: Vec<(usize, usize)>,
+    crashed_routers: Vec<usize>,
+    controller_down: bool,
+    channel_partitioned: bool,
+    degraded: bool, // any data-plane fault happened at some point
+}
+
+fn key(a: usize, b: usize) -> (usize, usize) {
+    (a.min(b), a.max(b))
+}
+
+/// Validate an ordered action sequence (a script, or the actions of a
+/// fault plan in offset order) against the network facts.
+pub fn check_actions(actions: &[Action], ctx: &ActionContext) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    let mut st = WalkState::default();
+    if ctx.origins_announced {
+        st.announced
+            .extend(ctx.origin_prefixes.iter().enumerate().map(|(i, &p)| (p, i)));
+    }
+    for (i, action) in actions.iter().enumerate() {
+        report.checked();
+        check_one(i, action, ctx, &mut st, &mut report);
+    }
+    report
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_one(
+    i: usize,
+    action: &Action,
+    ctx: &ActionContext,
+    st: &mut WalkState,
+    report: &mut AnalysisReport,
+) {
+    let step = format!("step {i}");
+    let mut as_in_range = |idx: usize, what: &str| -> bool {
+        if idx >= ctx.n {
+            report.error(
+                "script.index_range",
+                format!("{step}: {what} index {idx} out of range for {} ASes", ctx.n),
+            );
+            false
+        } else {
+            true
+        }
+    };
+    match *action {
+        Action::Announce { as_index, prefix } => {
+            if as_in_range(as_index, "announce AS") {
+                let p = prefix.or_else(|| ctx.default_prefix(as_index));
+                if let Some(p) = p {
+                    if !st.announced.iter().any(|&(q, _)| q == p) {
+                        st.announced.push((p, as_index));
+                    }
+                }
+            }
+        }
+        Action::Withdraw { as_index, prefix } => {
+            if as_in_range(as_index, "withdraw AS") {
+                let p = prefix.or_else(|| ctx.default_prefix(as_index));
+                if let Some(p) = p {
+                    match st.announced.iter().position(|&(q, _)| q == p) {
+                        Some(pos) => {
+                            st.announced.remove(pos);
+                        }
+                        None => report.warning(
+                            "script.withdraw_unannounced",
+                            format!("{step}: withdraws {p}, which is not announced at this point"),
+                        ),
+                    }
+                }
+            }
+        }
+        Action::FailEdge(a, b) | Action::DropEdgeTraffic(a, b) => {
+            let drop = matches!(action, Action::DropEdgeTraffic(..));
+            if as_in_range(a, "edge endpoint") && as_in_range(b, "edge endpoint") {
+                if ctx.has_edge(a, b) {
+                    let set = if drop {
+                        &mut st.dropped_edges
+                    } else {
+                        &mut st.failed_edges
+                    };
+                    if set.contains(&key(a, b)) {
+                        report.warning(
+                            "script.double_fail",
+                            format!("{step}: link AS{a}-AS{b} is already down"),
+                        );
+                    } else {
+                        set.push(key(a, b));
+                    }
+                    st.degraded = true;
+                } else {
+                    report.error(
+                        "script.unknown_edge",
+                        format!("{step}: no link between AS{a} and AS{b} in the topology"),
+                    );
+                }
+            }
+        }
+        Action::RestoreEdge(a, b) | Action::RestoreEdgeTraffic(a, b) => {
+            let drop = matches!(action, Action::RestoreEdgeTraffic(..));
+            if as_in_range(a, "edge endpoint") && as_in_range(b, "edge endpoint") {
+                if ctx.has_edge(a, b) {
+                    let set = if drop {
+                        &mut st.dropped_edges
+                    } else {
+                        &mut st.failed_edges
+                    };
+                    match set.iter().position(|&e| e == key(a, b)) {
+                        Some(pos) => {
+                            set.remove(pos);
+                        }
+                        None => report.warning(
+                            "script.restore_unfailed",
+                            format!("{step}: link AS{a}-AS{b} is not down at this point"),
+                        ),
+                    }
+                } else {
+                    report.error(
+                        "script.unknown_edge",
+                        format!("{step}: no link between AS{a} and AS{b} in the topology"),
+                    );
+                }
+            }
+        }
+        Action::CrashRouter(idx) => {
+            if as_in_range(idx, "router") {
+                if st.crashed_routers.contains(&idx) {
+                    report.warning(
+                        "script.double_fail",
+                        format!("{step}: router AS{idx} is already crashed"),
+                    );
+                } else {
+                    st.crashed_routers.push(idx);
+                }
+                st.degraded = true;
+            }
+        }
+        Action::RestoreRouter(idx) => {
+            if as_in_range(idx, "router") {
+                match st.crashed_routers.iter().position(|&r| r == idx) {
+                    Some(pos) => {
+                        st.crashed_routers.remove(pos);
+                    }
+                    None => report.warning(
+                        "script.restore_unfailed",
+                        format!("{step}: router AS{idx} is not crashed at this point"),
+                    ),
+                }
+            }
+        }
+        Action::CrashController
+        | Action::RestoreController
+        | Action::PartitionControlChannel
+        | Action::HealControlChannel
+        | Action::SetControlLoss(_) => {
+            if ctx.has_cluster {
+                match *action {
+                    Action::CrashController => st.controller_down = true,
+                    Action::RestoreController => {
+                        if !st.controller_down {
+                            report.warning(
+                                "script.restore_unfailed",
+                                format!("{step}: controller is not down at this point"),
+                            );
+                        }
+                        st.controller_down = false;
+                    }
+                    Action::PartitionControlChannel => st.channel_partitioned = true,
+                    Action::HealControlChannel => {
+                        if !st.channel_partitioned {
+                            report.warning(
+                                "script.restore_unfailed",
+                                format!("{step}: control channel is not partitioned at this point"),
+                            );
+                        }
+                        st.channel_partitioned = false;
+                    }
+                    Action::SetControlLoss(loss) => check_loss(&step, loss, report),
+                    _ => unreachable!(),
+                }
+            } else {
+                report.error(
+                    "script.no_cluster",
+                    format!("{step}: controller action but the network has no SDN cluster"),
+                );
+            }
+        }
+        Action::SetEdgeLoss(a, b, loss) => {
+            if as_in_range(a, "edge endpoint") && as_in_range(b, "edge endpoint") {
+                if !ctx.has_edge(a, b) {
+                    report.error(
+                        "script.unknown_edge",
+                        format!("{step}: no link between AS{a} and AS{b} in the topology"),
+                    );
+                }
+                check_loss(&step, loss, report);
+                if loss > 0.0 {
+                    st.degraded = true;
+                }
+            }
+        }
+        Action::Mark => {}
+        Action::WaitConverged { max } => {
+            if max == SimDuration::ZERO {
+                report.warning(
+                    "script.zero_wait",
+                    format!(
+                        "{step}: wait_converged with a zero deadline can never observe convergence"
+                    ),
+                );
+            }
+        }
+        Action::RunFor(d) => {
+            if d == SimDuration::ZERO {
+                report.warning(
+                    "script.zero_wait",
+                    format!("{step}: run_for(0) does nothing"),
+                );
+            }
+        }
+        Action::ExpectReachable { prefix, origin } => {
+            if as_in_range(origin, "expected origin") {
+                match st.announced.iter().find(|&&(q, _)| q == prefix) {
+                    None => report.error(
+                        "script.expect_unreachable",
+                        format!(
+                            "{step}: expect_reachable({prefix}) but no earlier step announces it"
+                        ),
+                    ),
+                    Some(&(_, actual)) if actual != origin => report.error(
+                        "script.expect_origin_mismatch",
+                        format!(
+                            "{step}: expect_reachable({prefix}) names origin AS{origin} but \
+                             AS{actual} announced it"
+                        ),
+                    ),
+                    Some(_) => {
+                        if st.crashed_routers.contains(&origin) {
+                            report.error(
+                                "script.expect_unreachable",
+                                format!(
+                                    "{step}: expect_reachable({prefix}) while its origin \
+                                     AS{origin} is crashed"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Action::ExpectGone { prefix } => {
+            if let Some(&(_, origin)) = st.announced.iter().find(|&&(q, _)| q == prefix) {
+                if !st.degraded {
+                    report.error(
+                        "script.expect_gone_announced",
+                        format!(
+                            "{step}: expect_gone({prefix}) but AS{origin} still announces it \
+                             and no fault has been injected"
+                        ),
+                    );
+                }
+            }
+        }
+        Action::ExpectFullConnectivity => {
+            if let Some(&r) = st.crashed_routers.first() {
+                report.error(
+                    "script.expect_unreachable",
+                    format!("{step}: expect_full_connectivity while router AS{r} is crashed"),
+                );
+            }
+        }
+    }
+}
+
+fn check_loss(step: &str, loss: f64, report: &mut AnalysisReport) {
+    if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
+        report.error(
+            "script.loss_range",
+            format!("{step}: loss {loss} outside [0, 1]"),
+        );
+    }
+}
+
+/// Validate a timed fault plan: per-action checks (in offset order) plus
+/// horizon and hold-timer consistency.
+pub fn check_timed(
+    events: &[(SimDuration, Action)],
+    horizon: SimDuration,
+    ctx: &ActionContext,
+) -> AnalysisReport {
+    let mut ordered: Vec<(SimDuration, Action)> = events.to_vec();
+    ordered.sort_by_key(|&(t, _)| t);
+    let actions: Vec<Action> = ordered.iter().map(|&(_, a)| a).collect();
+    let mut report = check_actions(&actions, ctx);
+    for &(t, ref a) in &ordered {
+        report.checked();
+        if t > horizon {
+            report.error(
+                "plan.past_horizon",
+                format!(
+                    "fault at +{}ms is past the plan horizon (+{}ms) and will never fire \
+                     within the measured window",
+                    t.as_millis(),
+                    horizon.as_millis()
+                ),
+            );
+        }
+        let needs_hold = matches!(
+            a,
+            Action::CrashRouter(_)
+                | Action::FailEdge(..)
+                | Action::DropEdgeTraffic(..)
+                | Action::SetEdgeLoss(..)
+        );
+        if needs_hold && ctx.hold_secs == 0 {
+            report.error(
+                "plan.hold_timers",
+                format!(
+                    "fault `{a:?}` needs hold timers to be detectable, but hold time is 0 \
+                     (sessions never expire)"
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Validate the timer configuration itself.
+pub fn check_timing(hold_secs: u64, graceful_restart_secs: u64) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    report.checked_n(2);
+    if graceful_restart_secs > 0 && hold_secs == 0 {
+        report.error(
+            "timing.gr_without_hold",
+            format!(
+                "graceful restart ({graceful_restart_secs}s) is configured but hold timers \
+                 are disabled; stale paths would be retained forever"
+            ),
+        );
+    } else if graceful_restart_secs > 0 && graceful_restart_secs < hold_secs {
+        report.warning(
+            "timing.gr_shorter_than_hold",
+            format!(
+                "graceful-restart window ({graceful_restart_secs}s) is shorter than the hold \
+                 time ({hold_secs}s); peers drop the session before the restart window ends"
+            ),
+        );
+    }
+    report
+}
+
+/// Neutral mirror of a campaign grid, for fail-fast cell rejection.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// Topology size.
+    pub n: usize,
+    /// Event kind label (`"withdrawal"`, `"announcement"`, `"failover"`).
+    pub event: &'static str,
+    /// Cluster-size axis.
+    pub cluster_sizes: Vec<usize>,
+    /// Control-channel loss axis.
+    pub losses: Vec<f64>,
+    /// Control-latency axis (element count only matters for emptiness).
+    pub ctl_latency_count: usize,
+    /// Seeds per cell.
+    pub seeds: u64,
+    /// Chaos fault spec, when configured: `(outages, horizon)`.
+    pub faults: Option<(usize, SimDuration)>,
+}
+
+/// Minimum topology size per event kind (failover needs the dual-homed
+/// origin construction).
+fn event_min_n(event: &str) -> usize {
+    match event {
+        "failover" => 5,
+        _ => 2,
+    }
+}
+
+/// Validate a campaign grid before any worker spins.
+pub fn check_grid(spec: &GridSpec) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    report.checked();
+    if spec.seeds == 0 {
+        report.error(
+            "grid.no_seeds",
+            "grid has zero seeds per cell: no jobs would run",
+        );
+    }
+    report.checked();
+    if spec.cluster_sizes.is_empty() || spec.losses.is_empty() || spec.ctl_latency_count == 0 {
+        report.error(
+            "grid.empty_axis",
+            "a grid axis is empty: the cell product is zero and no jobs would run",
+        );
+    }
+    for &size in &spec.cluster_sizes {
+        report.checked();
+        if size > spec.n {
+            report.error(
+                "grid.cluster_size",
+                format!(
+                    "cluster size {size} exceeds the topology size {}; members would be out \
+                     of range",
+                    spec.n
+                ),
+            );
+        }
+    }
+    for &loss in &spec.losses {
+        report.checked();
+        if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
+            report.error(
+                "grid.loss_range",
+                format!("control-channel loss {loss} outside [0, 1]"),
+            );
+        }
+    }
+    report.checked();
+    let min_n = event_min_n(spec.event);
+    if spec.n < min_n {
+        report.error(
+            "grid.event_requires",
+            format!(
+                "event kind `{}` needs at least {min_n} ASes, grid has n={}",
+                spec.event, spec.n
+            ),
+        );
+    }
+    if let Some((outages, horizon)) = spec.faults {
+        report.checked();
+        if outages > 0 && horizon == SimDuration::ZERO {
+            report.error(
+                "grid.chaos_horizon",
+                "chaos fault spec has outages but a zero horizon: no fault could ever fire",
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgpsdn_bgp::pfx;
+
+    fn ctx<'a>(edges: &'a [(usize, usize)], prefixes: &'a [Prefix]) -> ActionContext<'a> {
+        ActionContext {
+            n: 4,
+            edges,
+            has_cluster: false,
+            hold_secs: 9,
+            graceful_restart_secs: 0,
+            origin_prefixes: prefixes,
+            origins_announced: false,
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let edges = [(0, 1)];
+        let c = ctx(&edges, &[]);
+        let r = check_actions(
+            &[Action::Announce {
+                as_index: 7,
+                prefix: None,
+            }],
+            &c,
+        );
+        assert_eq!(r.first_error().unwrap().code, "script.index_range");
+    }
+
+    #[test]
+    fn unknown_edge_is_an_error() {
+        let edges = [(0, 1)];
+        let c = ctx(&edges, &[]);
+        let r = check_actions(&[Action::FailEdge(2, 3)], &c);
+        assert_eq!(r.first_error().unwrap().code, "script.unknown_edge");
+    }
+
+    #[test]
+    fn loss_range_is_checked() {
+        let edges = [(0, 1)];
+        let c = ctx(&edges, &[]);
+        let r = check_actions(&[Action::SetEdgeLoss(0, 1, 1.5)], &c);
+        assert_eq!(r.first_error().unwrap().code, "script.loss_range");
+        let r = check_actions(&[Action::SetEdgeLoss(0, 1, f64::NAN)], &c);
+        assert_eq!(r.first_error().unwrap().code, "script.loss_range");
+    }
+
+    #[test]
+    fn controller_actions_need_a_cluster() {
+        let edges = [(0, 1)];
+        let c = ctx(&edges, &[]);
+        let r = check_actions(&[Action::CrashController], &c);
+        assert_eq!(r.first_error().unwrap().code, "script.no_cluster");
+    }
+
+    #[test]
+    fn expectation_lifecycle_is_tracked() {
+        let p = pfx("10.0.0.0/24");
+        let q = pfx("10.0.1.0/24");
+        let edges = [(0, 1)];
+        let prefixes = [p, q];
+        let c = ctx(&edges, &prefixes);
+        // Reachable-before-announce is an error.
+        let r = check_actions(
+            &[Action::ExpectReachable {
+                prefix: p,
+                origin: 0,
+            }],
+            &c,
+        );
+        assert_eq!(r.first_error().unwrap().code, "script.expect_unreachable");
+        // Wrong origin is an error.
+        let r = check_actions(
+            &[
+                Action::Announce {
+                    as_index: 0,
+                    prefix: Some(p),
+                },
+                Action::ExpectReachable {
+                    prefix: p,
+                    origin: 1,
+                },
+            ],
+            &c,
+        );
+        assert_eq!(
+            r.first_error().unwrap().code,
+            "script.expect_origin_mismatch"
+        );
+        // Gone-while-announced with no fault is an error; after a fault it
+        // is accepted.
+        let r = check_actions(
+            &[
+                Action::Announce {
+                    as_index: 0,
+                    prefix: Some(p),
+                },
+                Action::ExpectGone { prefix: p },
+            ],
+            &c,
+        );
+        assert_eq!(
+            r.first_error().unwrap().code,
+            "script.expect_gone_announced"
+        );
+        let r = check_actions(
+            &[
+                Action::Announce {
+                    as_index: 0,
+                    prefix: Some(p),
+                },
+                Action::FailEdge(0, 1),
+                Action::ExpectGone { prefix: p },
+            ],
+            &c,
+        );
+        assert!(r.ok(), "{}", r.render());
+        // The happy path (announce, expect, withdraw, expect gone) is clean.
+        let r = check_actions(
+            &[
+                Action::Announce {
+                    as_index: 0,
+                    prefix: None,
+                },
+                Action::ExpectReachable {
+                    prefix: p,
+                    origin: 0,
+                },
+                Action::Withdraw {
+                    as_index: 0,
+                    prefix: None,
+                },
+                Action::ExpectGone { prefix: p },
+            ],
+            &c,
+        );
+        assert!(r.clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn started_network_seeds_origin_announcements() {
+        let p = pfx("10.0.0.0/24");
+        let q = pfx("10.0.1.0/24");
+        let edges = [(0, 1)];
+        let prefixes = [p, q];
+        let mut c = ctx(&edges, &prefixes);
+        c.origins_announced = true;
+        // On a started network the origin prefixes are reachable without a
+        // script-level announce...
+        let r = check_actions(
+            &[Action::ExpectReachable {
+                prefix: q,
+                origin: 1,
+            }],
+            &c,
+        );
+        assert!(r.clean(), "{}", r.render());
+        // ...and expecting one gone without a withdraw or fault is impossible.
+        let r = check_actions(&[Action::ExpectGone { prefix: p }], &c);
+        assert_eq!(
+            r.first_error().unwrap().code,
+            "script.expect_gone_announced"
+        );
+        // Withdrawing a seeded prefix is not "unannounced".
+        let r = check_actions(
+            &[
+                Action::Withdraw {
+                    as_index: 0,
+                    prefix: None,
+                },
+                Action::ExpectGone { prefix: p },
+            ],
+            &c,
+        );
+        assert!(r.clean(), "{}", r.render());
+    }
+
+    #[test]
+    fn restore_and_double_fail_warnings() {
+        let edges = [(0, 1)];
+        let c = ctx(&edges, &[]);
+        let r = check_actions(
+            &[
+                Action::FailEdge(0, 1),
+                Action::FailEdge(0, 1),
+                Action::RestoreEdge(0, 1),
+                Action::RestoreEdge(0, 1),
+                Action::RestoreRouter(2),
+            ],
+            &c,
+        );
+        assert!(r.ok());
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "script.double_fail",
+                "script.restore_unfailed",
+                "script.restore_unfailed"
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_horizon_and_hold_timers() {
+        let edges = [(0, 1)];
+        let mut c = ctx(&edges, &[]);
+        c.hold_secs = 0;
+        let horizon = SimDuration::from_secs(60);
+        let events = vec![
+            (SimDuration::from_secs(10), Action::FailEdge(0, 1)),
+            (SimDuration::from_secs(90), Action::RestoreEdge(0, 1)),
+        ];
+        let r = check_timed(&events, horizon, &c);
+        let codes: Vec<&str> = r
+            .findings
+            .iter()
+            .filter(|f| f.severity == crate::finding::Severity::Error)
+            .map(|f| f.code)
+            .collect();
+        assert!(codes.contains(&"plan.past_horizon"), "{codes:?}");
+        assert!(codes.contains(&"plan.hold_timers"), "{codes:?}");
+        // With hold timers and an in-horizon restore, clean.
+        c.hold_secs = 9;
+        let events = vec![
+            (SimDuration::from_secs(10), Action::FailEdge(0, 1)),
+            (SimDuration::from_secs(30), Action::RestoreEdge(0, 1)),
+        ];
+        assert!(check_timed(&events, horizon, &c).clean());
+    }
+
+    #[test]
+    fn timing_consistency() {
+        assert!(check_timing(9, 0).clean());
+        assert!(check_timing(0, 0).clean());
+        let r = check_timing(0, 120);
+        assert_eq!(r.first_error().unwrap().code, "timing.gr_without_hold");
+        let r = check_timing(9, 5);
+        assert!(r.ok());
+        assert_eq!(r.findings[0].code, "timing.gr_shorter_than_hold");
+    }
+
+    fn base_grid() -> GridSpec {
+        GridSpec {
+            n: 16,
+            event: "withdrawal",
+            cluster_sizes: (0..=16).collect(),
+            losses: vec![0.0],
+            ctl_latency_count: 1,
+            seeds: 10,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn fig2_like_grid_is_clean() {
+        assert!(check_grid(&base_grid()).clean());
+    }
+
+    #[test]
+    fn grid_mutations_are_each_caught() {
+        let mut g = base_grid();
+        g.cluster_sizes = vec![20];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.cluster_size"
+        );
+        let mut g = base_grid();
+        g.losses = vec![-0.1];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.loss_range"
+        );
+        let mut g = base_grid();
+        g.seeds = 0;
+        assert_eq!(check_grid(&g).first_error().unwrap().code, "grid.no_seeds");
+        let mut g = base_grid();
+        g.losses = vec![];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.empty_axis"
+        );
+        let mut g = base_grid();
+        g.event = "failover";
+        g.n = 4;
+        g.cluster_sizes = vec![0, 4];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.event_requires"
+        );
+        let mut g = base_grid();
+        g.faults = Some((3, SimDuration::ZERO));
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.chaos_horizon"
+        );
+    }
+}

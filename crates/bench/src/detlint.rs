@@ -1,0 +1,267 @@
+//! Determinism lint: scan simulation-critical source for constructs that
+//! break run-to-run reproducibility.
+//!
+//! The whole framework's claim to byte-identical artifacts rests on never
+//! consulting ambient nondeterminism inside the simulated world:
+//!
+//! * `HashMap`/`HashSet` iterate in `RandomState` order — any loop over
+//!   one can reorder events, RIB dumps, or JSON output between runs
+//!   (use `BTreeMap`/`BTreeSet`/`Vec`);
+//! * `Instant::now`/`SystemTime` read the host clock (use `SimTime`);
+//! * `thread_rng`/`rand::random` seed from the OS (use `SimRng`).
+//!
+//! Some uses are legitimate — campaign wall-clock accounting, host-side
+//! file timestamps — so the lint is baseline-driven: a committed baseline
+//! records the audited per-(file, hazard) occurrence counts, and CI fails
+//! only when a count **increases** or a new (file, hazard) pair appears.
+//! Decreases are reported as stale-baseline notices (refresh with
+//! `--write`). Individual lines can be exempted with a trailing
+//! `// detlint: allow` comment; test modules (everything after a
+//! `#[cfg(test)]` line) are skipped entirely.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The hazard patterns the lint searches for, as plain substrings.
+pub const HAZARDS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "rand::random",
+];
+
+/// The explicit per-line exemption marker.
+pub const ALLOW_MARKER: &str = "detlint: allow";
+
+/// Occurrence counts keyed by `(relative path, hazard pattern)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Count hazard occurrences in one file's source text. Lines after a
+/// `#[cfg(test)]` marker, comment-only lines, and lines carrying the
+/// [`ALLOW_MARKER`] are skipped.
+pub fn scan_source(text: &str) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    let mut in_tests = false;
+    for line in text.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests
+            || trimmed.starts_with("//")
+            || trimmed.starts_with("//!")
+            || line.contains(ALLOW_MARKER)
+        {
+            continue;
+        }
+        for &hazard in HAZARDS {
+            let hits = line.matches(hazard).count();
+            if hits > 0 {
+                *counts.entry(hazard.to_string()).or_insert(0) += hits;
+            }
+        }
+    }
+    counts
+}
+
+/// Recursively scan `.rs` files under each root, keying results by the
+/// path relative to `base`.
+///
+/// # Errors
+///
+/// Propagates IO errors reading directories or files.
+pub fn scan_tree(base: &Path, roots: &[PathBuf]) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for root in roots {
+        let mut stack = vec![root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries =
+                std::fs::read_dir(&dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+            for entry in entries {
+                let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path.extension().is_some_and(|x| x == "rs") {
+                    let text = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                    let rel = path
+                        .strip_prefix(base)
+                        .unwrap_or(&path)
+                        .to_string_lossy()
+                        .replace('\\', "/");
+                    for (hazard, n) in scan_source(&text) {
+                        counts.insert((rel.clone(), hazard), n);
+                    }
+                }
+            }
+        }
+    }
+    Ok(counts)
+}
+
+/// Serialize counts in the committed baseline format: one
+/// `count<TAB>hazard<TAB>path` line per entry, sorted.
+pub fn render_baseline(counts: &Counts) -> String {
+    let mut out = String::new();
+    for ((path, hazard), n) in counts {
+        out.push_str(&format!("{n}\t{hazard}\t{path}\n"));
+    }
+    out
+}
+
+/// Parse a baseline file produced by [`render_baseline`].
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_baseline(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (n, hazard, path) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(h), Some(p)) => (n, h, p),
+            _ => return Err(format!("baseline line {}: expected 3 fields", i + 1)),
+        };
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count {n:?}", i + 1))?;
+        counts.insert((path.to_string(), hazard.to_string()), n);
+    }
+    Ok(counts)
+}
+
+/// One difference between the scan and the baseline.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// Count grew (or the pair is new): fails the lint.
+    Increased {
+        /// Relative file path.
+        path: String,
+        /// Hazard pattern.
+        hazard: String,
+        /// Baseline count (0 = new pair).
+        was: usize,
+        /// Current count.
+        now: usize,
+    },
+    /// Count shrank or the file disappeared: stale baseline, non-fatal.
+    Stale {
+        /// Relative file path.
+        path: String,
+        /// Hazard pattern.
+        hazard: String,
+        /// Baseline count.
+        was: usize,
+        /// Current count.
+        now: usize,
+    },
+}
+
+/// Diff a fresh scan against the committed baseline.
+pub fn diff(current: &Counts, baseline: &Counts) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    for ((path, hazard), &now) in current {
+        let was = baseline.get(&(path.clone(), hazard.clone())).copied();
+        match was {
+            Some(was) if now > was => drifts.push(Drift::Increased {
+                path: path.clone(),
+                hazard: hazard.clone(),
+                was,
+                now,
+            }),
+            Some(was) if now < was => drifts.push(Drift::Stale {
+                path: path.clone(),
+                hazard: hazard.clone(),
+                was,
+                now,
+            }),
+            Some(_) => {}
+            None => drifts.push(Drift::Increased {
+                path: path.clone(),
+                hazard: hazard.clone(),
+                was: 0,
+                now,
+            }),
+        }
+    }
+    for ((path, hazard), &was) in baseline {
+        if !current.contains_key(&(path.clone(), hazard.clone())) {
+            drifts.push(Drift::Stale {
+                path: path.clone(),
+                hazard: hazard.clone(),
+                was,
+                now: 0,
+            });
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counts_hazards_and_skips_tests_comments_and_allows() {
+        let src = "\
+use std::collections::HashMap; // detlint: allow
+let m: HashMap<u32, u32> = HashMap::new();
+// a comment mentioning HashMap does not count
+let t = Instant::now();
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+}
+";
+        let counts = scan_source(src);
+        assert_eq!(counts.get("HashMap").copied(), Some(2), "{counts:?}");
+        assert_eq!(counts.get("Instant::now").copied(), Some(1));
+        assert_eq!(counts.get("HashSet"), None, "test module must be skipped");
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let mut counts = Counts::new();
+        counts.insert(("a/b.rs".into(), "HashMap".into()), 3);
+        counts.insert(("c.rs".into(), "SystemTime".into()), 1);
+        let text = render_baseline(&counts);
+        assert_eq!(parse_baseline(&text).unwrap(), counts);
+    }
+
+    #[test]
+    fn diff_flags_increases_and_reports_stale() {
+        let mut base = Counts::new();
+        base.insert(("a.rs".into(), "HashMap".into()), 2);
+        base.insert(("gone.rs".into(), "SystemTime".into()), 1);
+        let mut cur = Counts::new();
+        cur.insert(("a.rs".into(), "HashMap".into()), 3);
+        cur.insert(("new.rs".into(), "thread_rng".into()), 1);
+        let drifts = diff(&cur, &base);
+        assert!(drifts.contains(&Drift::Increased {
+            path: "a.rs".into(),
+            hazard: "HashMap".into(),
+            was: 2,
+            now: 3
+        }));
+        assert!(drifts.contains(&Drift::Increased {
+            path: "new.rs".into(),
+            hazard: "thread_rng".into(),
+            was: 0,
+            now: 1
+        }));
+        assert!(drifts.contains(&Drift::Stale {
+            path: "gone.rs".into(),
+            hazard: "SystemTime".into(),
+            was: 1,
+            now: 0
+        }));
+        assert!(diff(&base, &base).is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! per bench as a typed-event JSONL artifact (`bgpsdn report` input) next
 //! to the summary JSON.
 
+pub mod detlint;
 pub mod regress;
 
 use std::fs;

@@ -42,7 +42,10 @@ pub use envelope::{BgpApp, BgpEnvelope, BgpOnlyMsg, RouterCommand};
 pub use fsm::{CloseReason, SessionEvent, SessionHandshake, SessionState};
 pub use inline::InlineVec;
 pub use msg::{BgpMessage, Capability, NotifCode, NotificationMsg, OpenMsg, UpdateMsg};
-pub use policy::{MatchCond, PolicyMode, Relationship, RouteMap, Rule, SetAction};
+pub use policy::{
+    export_allowed, import_allowed, import_local_pref, MatchCond, PolicyMode, Relationship,
+    RouteMap, Rule, SetAction,
+};
 pub use rib::{AdjRibIn, AdjRibOut, LocRib, LocRibEntry, PeerIdx, RibInEntry, RouteSource};
 pub use router::{BgpRouter, RouterStats};
 pub use types::{pfx, Asn, Prefix, PrefixError, RouterId, SharedPath};

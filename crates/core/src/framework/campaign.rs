@@ -521,6 +521,13 @@ pub fn render_job_artifact_into(job: &CampaignJob, exp: &Experiment, text: &mut 
 /// Execute a grid on `workers` threads. See [`run_campaign_scratch`] for
 /// the pool semantics.
 pub fn run_campaign(grid: &CampaignGrid, workers: usize, trace: bool) -> CampaignRunReport {
+    let preflight = grid.preflight();
+    assert!(
+        preflight.ok(),
+        "campaign grid `{}` rejected by pre-flight — no cell was run:\n{}",
+        grid.name,
+        preflight.render()
+    );
     run_campaign_scratch(
         grid.expand(),
         workers,

@@ -1,12 +1,14 @@
 //! The hybrid BGP-SDN experiment framework: network assembly
 //! ([`network`]), experiment lifecycle ([`experiment`]), chaos fault
-//! injection ([`faults`]), canned evaluation scenarios ([`scenarios`]) and
-//! multi-threaded parameter-sweep campaigns ([`campaign`]).
+//! injection ([`faults`]), canned evaluation scenarios ([`scenarios`]),
+//! multi-threaded parameter-sweep campaigns ([`campaign`]), and static
+//! pre-flight analysis gates ([`preflight`]).
 
 pub mod campaign;
 pub mod experiment;
 pub mod faults;
 pub mod network;
+pub mod preflight;
 pub mod scenarios;
 pub mod script;
 pub mod traffic;
@@ -23,6 +25,7 @@ pub use network::{
     AsHandle, AsKind, Collector, Controller, HybridNetwork, NetworkBuilder, Router, Sim, Speaker,
     Switch, COLLECTOR_ASN,
 };
+pub use preflight::{check_plan, PreflightContext};
 pub use scenarios::{
     clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
     run_clique_traced, run_clique_with, run_scale, run_scale_instrumented, CliqueRunOptions,

@@ -126,6 +126,7 @@ pub struct NetworkBuilder {
     data_loss: f64,
     auto_verify: bool,
     damping: Option<DampingConfig>,
+    preflight: bool,
 }
 
 impl NetworkBuilder {
@@ -145,7 +146,24 @@ impl NetworkBuilder {
             data_loss: 0.0,
             auto_verify: false,
             damping: None,
+            preflight: true,
         }
+    }
+
+    /// Skip the static pre-flight analysis in [`build`](Self::build).
+    /// Intended for experiments that deliberately construct unsafe or
+    /// partitioned configurations (e.g. to observe an oscillation the
+    /// analyzer would reject).
+    pub fn without_preflight(mut self) -> Self {
+        self.preflight = false;
+        self
+    }
+
+    /// The pre-flight report [`build`](Self::build) will gate on: static
+    /// policy safety of the plan plus cluster-membership and timer
+    /// consistency. Inspect it without building anything.
+    pub fn preflight(&self) -> bgpsdn_analyze::AnalysisReport {
+        super::preflight::check_plan(&self.plan, &self.sdn_members)
     }
 
     /// Enable RFC 2439 route-flap damping on every legacy router (the
@@ -232,7 +250,22 @@ impl NetworkBuilder {
     }
 
     /// Assemble the network.
+    ///
+    /// # Panics
+    ///
+    /// Unless [`without_preflight`](Self::without_preflight) was called,
+    /// panics with the analyzer's rendered report if the static pre-flight
+    /// check finds any error (out-of-range cluster member, policy-unsafe
+    /// provider hierarchy, cluster boundary conflict, inconsistent timers).
     pub fn build(self) -> HybridNetwork {
+        if self.preflight {
+            let report = self.preflight();
+            assert!(
+                report.ok(),
+                "pre-flight check failed (use without_preflight() to override):\n{}",
+                report.render()
+            );
+        }
         let plan = self.plan;
         let n = plan.as_graph.len();
         for &m in &self.sdn_members {

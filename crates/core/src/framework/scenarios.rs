@@ -175,13 +175,19 @@ pub fn run_clique_with(
     let mut timing = TimingConfig::with_mrai(scenario.mrai);
     timing.hold_time_secs = opts.hold_secs;
     timing.graceful_restart_secs = opts.graceful_restart_secs;
-    if let Some(plan) = &opts.fault_plan {
+    let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
+    if let Some(fp) = &opts.fault_plan {
+        // Pre-flight the schedule: indices, edges, and hold-timer
+        // detectability (router/link faults are invisible with hold 0).
+        let horizon = fp.horizon();
+        let members = scenario.members();
+        let report = fp.preflight(&tp, &members, horizon, u64::from(opts.hold_secs));
         assert!(
-            !plan.needs_hold_timers() || opts.hold_secs > 0,
-            "router/link faults need hold timers (hold_secs > 0) to be detectable"
+            report.ok(),
+            "fault plan failed pre-flight:\n{}",
+            report.render()
         );
     }
-    let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
     let mut builder = NetworkBuilder::new(tp, scenario.seed)
         .with_sdn_members(scenario.members())
         .with_recompute_delay(scenario.recompute_delay)

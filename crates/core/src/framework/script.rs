@@ -298,7 +298,24 @@ impl ScriptReport {
 impl Experiment {
     /// Replay a script. Expectation failures are recorded (not panics) so a
     /// report always comes back; driving continues after failures.
+    ///
+    /// Before touching the simulator the script is statically validated
+    /// ([`script_preflight`](Experiment::script_preflight)); a script with
+    /// error findings (out-of-range index, unknown edge, loss outside
+    /// `[0, 1]`, impossible expectation, …) is rejected with a single
+    /// failed `pre-flight` step and nothing is executed.
     pub fn run_script(&mut self, script: &Script) -> ScriptReport {
+        let preflight = self.script_preflight(script);
+        if !preflight.ok() {
+            return ScriptReport {
+                steps: vec![StepOutcome {
+                    index: 0,
+                    action: format!("pre-flight rejected script:\n{}", preflight.render()),
+                    convergence: None,
+                    ok: false,
+                }],
+            };
+        }
         let mut steps = Vec::with_capacity(script.steps.len());
         for (index, action) in script.steps.iter().enumerate() {
             let mut convergence = None;

@@ -8,6 +8,7 @@
 //! bgpsdn sweep  --fig2 | --sizes K1,K2,... [--seeds N] [--workers W]
 //!               [--out FILE] [--artifacts DIR] [--loss L1,L2,...]
 //!               [--chaos OUTAGES] [--verify] ...
+//! bgpsdn check  [--fig2 | --sizes K1,K2,...] [--json]
 //! bgpsdn report FILE
 //! bgpsdn explain FILE [--json] [--top N]
 //! bgpsdn verify --snapshot FILE
@@ -51,6 +52,17 @@ fn usage() -> ExitCode {
       --out FILE          merged campaign artifact (default
                           <name>_campaign.jsonl)
       --artifacts DIR     also write each job's isolated JSONL artifact
+
+  bgpsdn check [--fig2 | --sizes K1,K2,...] [--json]
+      static pre-flight analysis, no simulation: campaign-grid
+      validation, per-cluster-size policy safety (provider cycles,
+      cluster boundary conflicts), valley-free reachability, predicted
+      path-hunting depth bounds, and experiment-script checking. With
+      no grid flags, runs the built-in suite (Fig. 2 grid, fail-over
+      grid, CAIDA-like hierarchy, demo script). --json emits one
+      deterministic JSON document. Exits nonzero on any finding.
+      Accepts the sweep grid flags (--n, --event, --seeds, --loss,
+      --ctl-latency-ms, --chaos, ...)
 
   bgpsdn report FILE
       analyze a JSONL trace artifact: per-node update counts, recompute
@@ -470,6 +482,220 @@ fn global_counter(snapshot: &bgp_sdn_emu::obs::Json, name: &str) -> u64 {
         .sum()
 }
 
+/// One named unit of `bgpsdn check` output: an analyzer report plus
+/// optional extra facts (e.g. the predicted hunt-depth bound).
+struct CheckTarget {
+    name: String,
+    report: AnalysisReport,
+    hunt_bound: Option<u64>,
+}
+
+impl CheckTarget {
+    fn new(name: impl Into<String>, report: AnalysisReport) -> CheckTarget {
+        CheckTarget {
+            name: name.into(),
+            report,
+            hunt_bound: None,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut kv = vec![("name".to_string(), Json::Str(self.name.clone()))];
+        if let Some(b) = self.hunt_bound {
+            kv.push(("hunt_bound".to_string(), Json::U64(b)));
+        }
+        kv.push(("report".to_string(), self.report.to_json()));
+        Json::Obj(kv)
+    }
+}
+
+/// Per-cluster-size static checks of a clique scenario: policy safety with
+/// the last `k` ASes contracted into the SDN cluster, plus the predicted
+/// path-hunting depth bound the measured `hunt_step` phases must respect.
+fn clique_targets(n: usize, sizes: &[usize]) -> Vec<CheckTarget> {
+    let g = AsGraph::all_peer(&gen::clique(n), 65000);
+    let mut sizes: Vec<usize> = sizes.iter().copied().filter(|&k| k <= n).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut targets = Vec::new();
+    for k in sizes {
+        let members: Vec<usize> = (n - k..n).collect();
+        let report = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::AllPermit,
+            members: &members,
+            rules: &[],
+        });
+        let mut t = CheckTarget::new(format!("clique{n}:sdn{k}"), report);
+        t.hunt_bound = Some(hunt_depth_bound(&g, &members, 0) as u64);
+        targets.push(t);
+    }
+    targets.push(CheckTarget::new(
+        format!("clique{n}:reachability"),
+        check_reachability(&g, PolicyMode::AllPermit, &[0]),
+    ));
+    targets
+}
+
+/// Build the campaign grid a `check` invocation describes. Unlike
+/// [`sweep_grid`] this does not pre-validate sizes or seeds — surfacing
+/// those as analyzer findings is the point.
+fn check_grid_args(args: &Args) -> Result<CampaignGrid, String> {
+    let seeds: u64 = args.get("seeds", 10)?;
+    let mut grid = if args.has("sizes") {
+        CampaignGrid {
+            name: "sweep".to_string(),
+            n: args.get("n", 16)?,
+            event: parse_event(args.get_str("event"))?,
+            cluster_sizes: args.get_list("sizes", vec![])?,
+            loss: args.get_list("loss", vec![0.0])?,
+            ctl_latency: args
+                .get_list("ctl-latency-ms", vec![1u64])?
+                .into_iter()
+                .map(SimDuration::from_millis)
+                .collect(),
+            mrai: SimDuration::from_secs(args.get("mrai", 30u64)?),
+            recompute_delay: SimDuration::from_millis(args.get("recompute-ms", 100u64)?),
+            seeds,
+            base_seed: args.get("base-seed", 1000u64)?,
+            faults: None,
+            verify: args.has("verify"),
+        }
+    } else {
+        CampaignGrid::fig2(seeds)
+    };
+    let outages: usize = args.get("chaos", 0)?;
+    if outages > 0 {
+        grid.faults = Some(FaultSpec {
+            outages,
+            horizon: SimDuration::from_secs(args.get("chaos-horizon", 60u64)?),
+            classes: FaultClasses::ALL,
+        });
+    }
+    Ok(grid)
+}
+
+/// The built-in pre-flight suite: the Fig. 2 grid, the clique scenarios it
+/// expands to (with hunt-depth bounds), a fail-over grid, a CAIDA-like
+/// Gao-Rexford hierarchy, and the demo experiment script.
+fn builtin_targets() -> Result<Vec<CheckTarget>, String> {
+    let mut targets = Vec::new();
+    let fig2 = CampaignGrid::fig2(10);
+    targets.push(CheckTarget::new("grid:fig2", fig2.preflight()));
+    targets.extend(clique_targets(fig2.n, &[0, fig2.n / 2, fig2.n]));
+
+    let mut failover = CampaignGrid::fig2(10);
+    failover.name = "failover".to_string();
+    failover.event = EventKind::Failover;
+    targets.push(CheckTarget::new("grid:failover", failover.preflight()));
+
+    // A CAIDA-like tiered hierarchy under Gao-Rexford: the provider DAG is
+    // acyclic by construction and a tier-1 origin must be valley-free
+    // reachable everywhere.
+    let params = caida::SynthesisParams::default();
+    let caida_graph = caida::synthesize(&params, &mut SimRng::seed_from_u64(1));
+    let mut report = check_safety(&SafetyInput {
+        graph: &caida_graph,
+        mode: PolicyMode::GaoRexford,
+        members: &[],
+        rules: &[],
+    });
+    report.merge(check_reachability(
+        &caida_graph,
+        PolicyMode::GaoRexford,
+        &[0],
+    ));
+    targets.push(CheckTarget::new("caida:synthetic", report));
+
+    // The demo experiment script from the quickstart, against a 6-clique
+    // with a 3-member cluster.
+    let tp = plan(
+        AsGraph::all_peer(&gen::clique(6), 65000),
+        PolicyMode::AllPermit,
+        TimingConfig::with_mrai(SimDuration::from_secs(5)),
+    )
+    .map_err(|e| e.to_string())?;
+    let members = [3usize, 4, 5];
+    let prefix = tp.addresses.as_prefixes[0];
+    let ctx = PreflightContext::from_plan(&tp, &members);
+    let script = Script::new()
+        .expect_full_connectivity()
+        .mark()
+        .withdraw(0)
+        .wait_converged(SimDuration::from_secs(3600))
+        .expect_gone(prefix)
+        .announce(0)
+        .wait_converged(SimDuration::from_secs(3600))
+        .expect_reachable(prefix, 0);
+    targets.push(CheckTarget::new(
+        "script:demo",
+        check_actions(&script.to_actions(), &ctx.as_action_context()),
+    ));
+    Ok(targets)
+}
+
+/// Static pre-flight analysis: validate grids, topologies, policies and
+/// scripts without running a single simulated event. Exits nonzero when
+/// any finding (error or warning) is reported.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    let grid_requested = args.has("fig2") || args.has("sizes");
+    let targets = if grid_requested {
+        let grid = check_grid_args(args)?;
+        let mut targets = vec![CheckTarget::new(
+            format!("grid:{}", grid.name),
+            grid.preflight(),
+        )];
+        targets.extend(clique_targets(grid.n, &grid.cluster_sizes));
+        targets
+    } else {
+        builtin_targets()?
+    };
+
+    let errors: usize = targets.iter().map(|t| t.report.errors()).sum();
+    let warnings: usize = targets.iter().map(|t| t.report.warnings()).sum();
+    if args.has("json") {
+        let doc = Json::Obj(vec![
+            ("type".to_string(), Json::Str("check".to_string())),
+            (
+                "targets".to_string(),
+                Json::Arr(targets.iter().map(CheckTarget::to_json).collect()),
+            ),
+            ("errors".to_string(), Json::U64(errors as u64)),
+            ("warnings".to_string(), Json::U64(warnings as u64)),
+        ]);
+        println!("{}", doc.to_compact());
+    } else {
+        for t in &targets {
+            let status = if t.report.clean() {
+                format!("ok ({} checks)", t.report.checks)
+            } else {
+                format!(
+                    "{} error(s), {} warning(s)",
+                    t.report.errors(),
+                    t.report.warnings()
+                )
+            };
+            let bound = t
+                .hunt_bound
+                .map_or(String::new(), |b| format!("  hunt bound {b}"));
+            println!("check {:<24} {status}{bound}", t.name);
+            if !t.report.clean() {
+                for line in t.report.render().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+        println!(
+            "\nsummary: {} target(s), {errors} error(s), {warnings} warning(s)",
+            targets.len()
+        );
+    }
+    if errors + warnings > 0 {
+        return Err(format!("{} finding(s)", errors + warnings));
+    }
+    Ok(())
+}
+
 /// Causal convergence forensics: reconstruct the trigger-lineage DAGs a
 /// run artifact recorded and explain *where the time went* — per-trigger
 /// phase breakdowns, critical paths to last-route-settled, path-hunting
@@ -651,6 +877,7 @@ fn main() -> ExitCode {
         "fig2" => cmd_fig2(&args),
         "run" => cmd_run(&args),
         "sweep" => cmd_sweep(&args),
+        "check" => cmd_check(&args),
         "verify" => cmd_verify(&args),
         "ping" => cmd_ping(&args),
         _ => return usage(),

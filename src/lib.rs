@@ -9,6 +9,9 @@
 //!
 //! The workspace crates, re-exported here:
 //!
+//! * [`analyze`] — static control-plane analyzer: policy safety (dispute
+//!   wheels, Gao-Rexford conformance), reachability prediction and
+//!   path-hunting bounds, script/plan/grid validation — `bgpsdn check`;
 //! * [`netsim`] — the discrete-event network simulator (Mininet's role);
 //! * [`bgp`] — a complete BGP-4 implementation (Quagga's role);
 //! * [`sdn`] — OpenFlow-subset switches and the cluster BGP speaker
@@ -39,6 +42,7 @@
 //! println!("withdrawal convergence: {}", out.convergence);
 //! ```
 
+pub use bgpsdn_analyze as analyze;
 pub use bgpsdn_bgp as bgp;
 pub use bgpsdn_collector as collector;
 pub use bgpsdn_core as core;
@@ -50,18 +54,22 @@ pub use bgpsdn_verify as verify;
 
 /// The names almost every experiment needs.
 pub mod prelude {
+    pub use bgpsdn_analyze::{
+        check_actions, check_grid, check_reachability, check_safety, check_timed, check_timing,
+        hunt_depth_bound, AnalysisReport, Finding, SafetyInput, Severity,
+    };
     pub use bgpsdn_bgp::{
         pfx, Asn, BgpRouter, NeighborConfig, PolicyMode, Prefix, Relationship, RouterCommand,
         RouterConfig, TimingConfig,
     };
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
-        clique_sweep_point, event_phase_name, run_campaign, run_campaign_scratch,
+        check_plan, clique_sweep_point, event_phase_name, run_campaign, run_campaign_scratch,
         run_campaign_with, run_clique, run_clique_traced, run_clique_with, run_job,
         run_job_scratch, AsKind, CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions,
         CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan,
-        FaultSpec, HybridNetwork, JobResult, JobScratch, NetworkBuilder, Router, ScenarioOutcome,
-        Speaker, Switch,
+        FaultSpec, HybridNetwork, JobResult, JobScratch, NetworkBuilder, PreflightContext, Router,
+        ScenarioOutcome, Script, Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,
@@ -72,6 +80,6 @@ pub mod prelude {
         Json, PhaseBreakdown, RunAnalysis, RunArtifact,
     };
     pub use bgpsdn_sdn::{ClusterMsg, FlowAction, SpeakerCmd, SpeakerEvent};
-    pub use bgpsdn_topology::{gen, plan, AsGraph, TopologyPlan};
+    pub use bgpsdn_topology::{caida, gen, plan, AsGraph, TopologyPlan};
     pub use bgpsdn_verify::{Report as VerifyReport, Snapshot, Verifier, Violation, ViolationKind};
 }
