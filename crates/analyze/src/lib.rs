@@ -42,9 +42,15 @@ pub mod spp;
 pub mod validate;
 
 pub use finding::{AnalysisReport, Finding, Severity};
-pub use predict::{check_reachability, components, hunt_depth_bound, policy_reachable};
-pub use safety::{check_safety, contract_members, provider_cycle, Contracted, SafetyInput};
+pub use predict::{
+    check_reachability, components, hunt_depth_bound, hunt_depth_bound_clusters, policy_reachable,
+};
+pub use safety::{
+    check_safety, check_safety_clusters, contract_clusters, contract_members, provider_cycle,
+    Contracted, ContractedClusters, SafetyClustersInput, SafetyInput,
+};
 pub use spp::{render_cycle, PathRule, RankedPath, SppCaps, SppInstance, SppOutcome};
 pub use validate::{
     check_actions, check_grid, check_timed, check_timing, Action, ActionContext, GridSpec,
+    STRATEGY_NAMES,
 };

@@ -197,6 +197,32 @@ pub fn hunt_depth_bound(g: &AsGraph, members: &[usize], origin: usize) -> usize 
     size.saturating_sub(1)
 }
 
+/// Multi-cluster variant of [`hunt_depth_bound`]: **every** cluster
+/// contracts to its own logical node before the component is measured, so
+/// two 4-member clusters on a 16-clique leave `16 - 8 + 2 = 10` logical
+/// nodes and a bound of 9. With zero or one clusters this equals
+/// [`hunt_depth_bound`] over the flattened member list.
+pub fn hunt_depth_bound_clusters(g: &AsGraph, clusters: &[Vec<usize>], origin: usize) -> usize {
+    let sanitized: Vec<Vec<usize>> = clusters
+        .iter()
+        .map(|members| {
+            let mut s: Vec<usize> = members.iter().copied().filter(|&m| m < g.len()).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    if sanitized.len() <= 1 {
+        let flat: Vec<usize> = sanitized.into_iter().flatten().collect();
+        return hunt_depth_bound(g, &flat, origin);
+    }
+    let c = crate::safety::contract_clusters(g, &sanitized);
+    let comp = components(&c.graph);
+    let size = comp.iter().filter(|&&k| k == comp[c.map[origin]]).count();
+    size.saturating_sub(1)
+}
+
 fn list_asns(g: &AsGraph, nodes: &[usize]) -> String {
     nodes
         .iter()
@@ -281,6 +307,20 @@ mod tests {
         assert_eq!(hunt_depth_bound(&g, &members8, 0), 8);
         let members16: Vec<usize> = (0..16).collect();
         assert_eq!(hunt_depth_bound(&g, &members16, 0), 0);
+    }
+
+    #[test]
+    fn cluster_hunt_bound_counts_each_cluster_as_one_node() {
+        let g = AsGraph::all_peer(&gen::clique(16), 65000);
+        // One 8-member cluster: same as the single-cluster bound.
+        let one: Vec<Vec<usize>> = vec![(8..16).collect()];
+        assert_eq!(hunt_depth_bound_clusters(&g, &one, 0), 8);
+        // The same 8 members in two clusters hunt against each other: one
+        // extra logical node, bound 9.
+        let two: Vec<Vec<usize>> = vec![(8..12).collect(), (12..16).collect()];
+        assert_eq!(hunt_depth_bound_clusters(&g, &two, 0), 9);
+        // No clusters at all: the raw bound.
+        assert_eq!(hunt_depth_bound_clusters(&g, &[], 0), 15);
     }
 
     #[test]

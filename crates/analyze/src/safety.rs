@@ -46,6 +46,20 @@ pub struct SafetyInput<'a> {
     pub rules: &'a [PathRule],
 }
 
+/// Multi-cluster variant of [`SafetyInput`]: each cluster contracts to its
+/// own logical vertex in the boundary proof.
+#[derive(Debug, Clone, Copy)]
+pub struct SafetyClustersInput<'a> {
+    /// The relationship-annotated AS graph.
+    pub graph: &'a AsGraph,
+    /// The policy template routers run.
+    pub mode: PolicyMode,
+    /// Disjoint SDN cluster membership lists (empty = pure legacy BGP).
+    pub clusters: &'a [Vec<usize>],
+    /// Explicit per-session LOCAL_PREF override rules, if any.
+    pub rules: &'a [PathRule],
+}
+
 /// Run the full safety pass.
 #[allow(clippy::too_many_lines)]
 pub fn check_safety(input: &SafetyInput) -> AnalysisReport {
@@ -73,28 +87,8 @@ pub fn check_safety(input: &SafetyInput) -> AnalysisReport {
         );
     }
 
-    // (a) Provider hierarchy acyclicity on the raw graph. Under AllPermit
-    // the annotations are ignored by policy, so a cycle is only suspicious
-    // (likely a bad `infer_by_degree` run), not an error.
-    report.checked();
-    if let Some(cycle) = provider_cycle(g) {
-        let witness = render_cycle(g, &cycle);
-        match input.mode {
-            PolicyMode::GaoRexford => report.error_with(
-                "safety.provider_cycle",
-                "customer->provider hierarchy has a cycle; Gao-Rexford safety does not hold",
-                witness,
-            ),
-            PolicyMode::AllPermit => report.findings.push(crate::finding::Finding {
-                severity: crate::finding::Severity::Warning,
-                code: "safety.provider_cycle",
-                message: "customer->provider annotations form a cycle (ignored by the active \
-                          policy template, but relationship data looks wrong)"
-                    .to_string(),
-                witness: Some(witness),
-            }),
-        }
-    }
+    // (a) Provider hierarchy acyclicity on the raw graph.
+    check_raw_hierarchy(g, input.mode, &mut report);
 
     // (b) The legacy<->cluster boundary: contract members to one node and
     // re-prove. Only meaningful with >= 2 members and relationship-sensitive
@@ -134,39 +128,171 @@ pub fn check_safety(input: &SafetyInput) -> AnalysisReport {
 
     // (c) Explicit overrides void the template proof: run the SPP solver
     // per origin on the (small) instance.
-    if !input.rules.is_empty() {
-        for origin in 0..n {
+    check_rules(g, input.mode, input.rules, &mut report);
+
+    report
+}
+
+/// Multi-cluster safety pass: membership validation across all clusters,
+/// the raw-hierarchy proof, the boundary proof with **every** cluster
+/// contracted to its own logical vertex, and the rule-driven SPP fallback.
+/// With zero or one clusters this is exactly [`check_safety`] over the
+/// flattened member list, finding for finding.
+pub fn check_safety_clusters(input: &SafetyClustersInput) -> AnalysisReport {
+    if input.clusters.len() <= 1 {
+        let flat: Vec<usize> = input.clusters.iter().flatten().copied().collect();
+        return check_safety(&SafetyInput {
+            graph: input.graph,
+            mode: input.mode,
+            members: &flat,
+            rules: input.rules,
+        });
+    }
+    let mut report = AnalysisReport::new();
+    let g = input.graph;
+    let n = g.len();
+
+    // Membership must name real ASes, and no AS may serve two controllers.
+    let mut owner = vec![usize::MAX; n];
+    for (c, members) in input.clusters.iter().enumerate() {
+        for &m in members {
             report.checked();
-            match SppInstance::build(g, input.mode, origin, input.rules, SppCaps::default()) {
-                None => {
-                    report.warning(
-                        "spp.truncated",
-                        format!(
-                            "policy overrides present but the instance for origin AS{} \
-                             exceeds enumeration caps; no safety verdict",
-                            g.asns[origin].0
-                        ),
-                    );
-                    break; // every origin would truncate the same way
-                }
-                Some(inst) => match inst.solve() {
-                    SppOutcome::Safe { .. } => {}
-                    SppOutcome::Truncated => unreachable!("caps checked at build"),
-                    SppOutcome::Wheel { rim } => report.error_with(
-                        "safety.dispute_wheel",
-                        format!(
-                            "policy overrides create a dispute wheel for routes to AS{}; \
-                             BGP may oscillate forever",
-                            g.asns[origin].0
-                        ),
-                        render_cycle(g, &rim),
+            if m >= n {
+                report.error(
+                    "cluster.member_range",
+                    format!("cluster {c}: SDN member index {m} out of range for {n} ASes"),
+                );
+            } else if owner[m] == usize::MAX {
+                owner[m] = c;
+            } else {
+                report.error(
+                    "cluster.member_overlap",
+                    format!(
+                        "AS index {m} is claimed by clusters {} and {c}; cluster \
+                         membership must be disjoint",
+                        owner[m]
                     ),
-                },
+                );
+            }
+        }
+    }
+    let membership_valid = report.ok();
+
+    check_raw_hierarchy(g, input.mode, &mut report);
+
+    // Boundary proof: contract every (valid, >= 2 member) cluster to its
+    // own vertex simultaneously and re-prove acyclicity.
+    let sanitized: Vec<Vec<usize>> = input
+        .clusters
+        .iter()
+        .map(|members| {
+            let mut s: Vec<usize> = members.iter().copied().filter(|&m| m < n).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    if membership_valid
+        && input.mode == PolicyMode::GaoRexford
+        && sanitized.iter().any(|s| s.len() >= 2)
+    {
+        let contracted = contract_clusters(g, &sanitized);
+        for &(c, x, up, down) in &contracted.conflicts {
+            report.checked();
+            report.error_with(
+                "cluster.boundary_conflict",
+                format!(
+                    "AS{} is provider of cluster {c} member AS{} but customer of member \
+                     AS{}; after cluster contraction its relationship to the logical node \
+                     is ambiguous",
+                    g.asns[x].0, g.asns[down].0, g.asns[up].0
+                ),
+                format!(
+                    "AS{} -> cluster{c}(AS{}), cluster{c}(AS{}) -> AS{}",
+                    g.asns[x].0, g.asns[down].0, g.asns[up].0, g.asns[x].0
+                ),
+            );
+        }
+        report.checked();
+        if let Some(cycle) = provider_cycle(&contracted.graph) {
+            // Only boundary-induced when the raw graph was clean.
+            if provider_cycle(g).is_none() {
+                report.error_with(
+                    "cluster.boundary_cycle",
+                    "contracting the SDN clusters to logical nodes creates a provider \
+                     cycle; the hybrid deployment breaks Gao-Rexford safety",
+                    render_clusters_cycle(&contracted, &cycle),
+                );
             }
         }
     }
 
+    check_rules(g, input.mode, input.rules, &mut report);
+
     report
+}
+
+/// Provider hierarchy acyclicity on the raw graph. Under AllPermit the
+/// annotations are ignored by policy, so a cycle is only suspicious
+/// (likely a bad `infer_by_degree` run), not an error.
+fn check_raw_hierarchy(g: &AsGraph, mode: PolicyMode, report: &mut AnalysisReport) {
+    report.checked();
+    if let Some(cycle) = provider_cycle(g) {
+        let witness = render_cycle(g, &cycle);
+        match mode {
+            PolicyMode::GaoRexford => report.error_with(
+                "safety.provider_cycle",
+                "customer->provider hierarchy has a cycle; Gao-Rexford safety does not hold",
+                witness,
+            ),
+            PolicyMode::AllPermit => report.findings.push(crate::finding::Finding {
+                severity: crate::finding::Severity::Warning,
+                code: "safety.provider_cycle",
+                message: "customer->provider annotations form a cycle (ignored by the active \
+                          policy template, but relationship data looks wrong)"
+                    .to_string(),
+                witness: Some(witness),
+            }),
+        }
+    }
+}
+
+/// Explicit overrides void the template proof: run the SPP solver per
+/// origin on the (small) instance.
+fn check_rules(g: &AsGraph, mode: PolicyMode, rules: &[PathRule], report: &mut AnalysisReport) {
+    if rules.is_empty() {
+        return;
+    }
+    for origin in 0..g.len() {
+        report.checked();
+        match SppInstance::build(g, mode, origin, rules, SppCaps::default()) {
+            None => {
+                report.warning(
+                    "spp.truncated",
+                    format!(
+                        "policy overrides present but the instance for origin AS{} \
+                         exceeds enumeration caps; no safety verdict",
+                        g.asns[origin].0
+                    ),
+                );
+                break; // every origin would truncate the same way
+            }
+            Some(inst) => match inst.solve() {
+                SppOutcome::Safe { .. } => {}
+                SppOutcome::Truncated => unreachable!("caps checked at build"),
+                SppOutcome::Wheel { rim } => report.error_with(
+                    "safety.dispute_wheel",
+                    format!(
+                        "policy overrides create a dispute wheel for routes to AS{}; \
+                         BGP may oscillate forever",
+                        g.asns[origin].0
+                    ),
+                    render_cycle(g, &rim),
+                ),
+            },
+        }
+    }
 }
 
 /// Find a cycle in the customer→provider digraph, as vertex indices in
@@ -314,6 +440,124 @@ pub fn contract_members(g: &AsGraph, members: &[usize]) -> Contracted {
         preimage,
         conflicts,
     }
+}
+
+/// Result of contracting **each** cluster to its own logical vertex.
+pub struct ContractedClusters {
+    /// The contracted graph. Non-members keep their relative order at the
+    /// front; cluster vertices follow, one per cluster, in cluster order.
+    pub graph: AsGraph,
+    /// `map[v]` = contracted index of original vertex `v`.
+    pub map: Vec<usize>,
+    /// Original indices of the vertices behind each contracted index.
+    pub preimage: Vec<Vec<usize>>,
+    /// Contracted index of each cluster's logical vertex, in cluster order.
+    pub cluster_vertices: Vec<usize>,
+    /// Boundary conflicts `(cluster, outside, member_above, member_below)`:
+    /// the outside AS is customer of `member_above` but provider of
+    /// `member_below`, both in `cluster`.
+    pub conflicts: Vec<(usize, usize, usize, usize)>,
+}
+
+/// Contract each cluster in `clusters` (disjoint, non-empty, sorted,
+/// deduped, in-range member lists) to its own logical vertex. Intra-cluster
+/// edges disappear; all other edges keep their kind and orientation. With
+/// one cluster this matches [`contract_members`] vertex for vertex.
+pub fn contract_clusters(g: &AsGraph, clusters: &[Vec<usize>]) -> ContractedClusters {
+    let n = g.len();
+    let mut owner = vec![usize::MAX; n];
+    for (c, members) in clusters.iter().enumerate() {
+        for &v in members {
+            owner[v] = c;
+        }
+    }
+    let mut map = vec![usize::MAX; n];
+    let mut preimage: Vec<Vec<usize>> = Vec::new();
+    for v in 0..n {
+        if owner[v] == usize::MAX {
+            map[v] = preimage.len();
+            preimage.push(vec![v]);
+        }
+    }
+    let mut cluster_vertices = Vec::with_capacity(clusters.len());
+    for members in clusters {
+        let cv = preimage.len();
+        cluster_vertices.push(cv);
+        preimage.push(members.clone());
+        for &v in members {
+            map[v] = cv;
+        }
+    }
+
+    let mut edges: Vec<AsEdge> = Vec::new();
+    for e in &g.edges {
+        let (ca, cb) = (map[e.a], map[e.b]);
+        if ca == cb {
+            continue; // intra-cluster (or self) edge vanishes
+        }
+        if !edges
+            .iter()
+            .any(|d| d.a == ca && d.b == cb && d.kind == e.kind)
+        {
+            edges.push(AsEdge {
+                a: ca,
+                b: cb,
+                kind: e.kind,
+            });
+        }
+    }
+
+    // Boundary conflicts, per cluster: a vertex outside cluster `c` (legacy
+    // or member of another cluster) that is provider of one `c` member and
+    // customer of another.
+    let mut conflicts = Vec::new();
+    for (c, _) in clusters.iter().enumerate() {
+        let mut above = vec![usize::MAX; n]; // c-member that is x's provider
+        let mut below = vec![usize::MAX; n]; // c-member that is x's customer
+        for e in &g.edges {
+            if e.kind != EdgeKind::ProviderCustomer {
+                continue;
+            }
+            let (p, cust) = (e.a, e.b);
+            match (owner[p] == c, owner[cust] == c) {
+                (true, false) => above[cust] = p,
+                (false, true) => below[p] = cust,
+                _ => {}
+            }
+        }
+        for x in 0..n {
+            if above[x] != usize::MAX && below[x] != usize::MAX {
+                conflicts.push((c, x, above[x], below[x]));
+            }
+        }
+    }
+
+    let asns = preimage.iter().map(|pre| g.asns[pre[0]]).collect();
+    ContractedClusters {
+        graph: AsGraph { asns, edges },
+        map,
+        preimage,
+        cluster_vertices,
+        conflicts,
+    }
+}
+
+/// Render a cycle in a multi-cluster contracted graph, labelling each
+/// cluster vertex with its cluster index.
+fn render_clusters_cycle(c: &ContractedClusters, cycle: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &v in cycle.iter().chain(cycle.first()) {
+        if !out.is_empty() {
+            out.push_str(" -> ");
+        }
+        if let Some(ci) = c.cluster_vertices.iter().position(|&cv| cv == v) {
+            let _ = write!(out, "cluster{ci}");
+        } else {
+            let _ = write!(out, "AS{}", c.graph.asns[v].0);
+        }
+    }
+    out
 }
 
 /// Render a cycle in the contracted graph, labelling the cluster vertex.
@@ -469,6 +713,89 @@ mod tests {
             .filter(|e| e.kind == EdgeKind::ProviderCustomer && e.b == cluster)
             .collect();
         assert_eq!(down.len(), 2, "one from AS0, one from AS3");
+    }
+
+    #[test]
+    fn single_cluster_input_matches_check_safety_exactly() {
+        let g = graph(3, vec![pc(1, 0), pc(0, 2)]);
+        let single = check_safety(&SafetyInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            members: &[1, 2],
+            rules: &[],
+        });
+        let multi = check_safety_clusters(&SafetyClustersInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            clusters: &[vec![1, 2]],
+            rules: &[],
+        });
+        assert_eq!(single.findings, multi.findings);
+        assert_eq!(single.checks, multi.checks);
+    }
+
+    #[test]
+    fn overlapping_clusters_are_an_error() {
+        let g = AsGraph::all_peer(&gen::clique(5), 65000);
+        let r = check_safety_clusters(&SafetyClustersInput {
+            graph: &g,
+            mode: PolicyMode::AllPermit,
+            clusters: &[vec![0, 1], vec![1, 2]],
+            rules: &[],
+        });
+        assert_eq!(r.first_error().unwrap().code, "cluster.member_overlap");
+    }
+
+    #[test]
+    fn contract_clusters_keeps_clusters_apart() {
+        // 6-clique with two 2-member clusters: 15 edges contract to a
+        // 4-vertex clique (6 edges), each cluster its own vertex.
+        let g = AsGraph::all_peer(&gen::clique(6), 65000);
+        let c = contract_clusters(&g, &[vec![0, 1], vec![4, 5]]);
+        assert_eq!(c.graph.len(), 4);
+        assert_eq!(c.cluster_vertices, vec![2, 3]);
+        assert_eq!(c.map[0], 2);
+        assert_eq!(c.map[5], 3);
+        assert_eq!(c.graph.edges.len(), 6);
+        assert_eq!(c.preimage[3], vec![4, 5]);
+    }
+
+    #[test]
+    fn boundary_cycle_through_a_second_cluster_is_found() {
+        // 1 provider of 0, 0 provider of 2: cluster0 {1, 2} contracted is
+        // above and below AS0 — the induced cycle survives even with an
+        // unrelated second cluster {3, 4} present.
+        let g = graph(5, vec![pc(1, 0), pc(0, 2), pp(3, 4)]);
+        let r = check_safety_clusters(&SafetyClustersInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            clusters: &[vec![1, 2], vec![3, 4]],
+            rules: &[],
+        });
+        assert!(!r.ok());
+        let codes: Vec<&str> = r.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"cluster.boundary_conflict"), "{codes:?}");
+        assert!(codes.contains(&"cluster.boundary_cycle"), "{codes:?}");
+        let cyc = r
+            .findings
+            .iter()
+            .find(|f| f.code == "cluster.boundary_cycle")
+            .unwrap();
+        assert!(cyc.witness.as_deref().unwrap().contains("cluster0"));
+    }
+
+    #[test]
+    fn disjoint_clusters_on_a_clean_hierarchy_pass() {
+        // Two providers (0, 1) each above two stubs; clusters pair one
+        // provider with one of its stubs — no contraction conflict.
+        let g = graph(6, vec![pc(0, 2), pc(0, 3), pc(1, 4), pc(1, 5), pp(0, 1)]);
+        let r = check_safety_clusters(&SafetyClustersInput {
+            graph: &g,
+            mode: PolicyMode::GaoRexford,
+            clusters: &[vec![0, 2], vec![1, 4]],
+            rules: &[],
+        });
+        assert!(r.clean(), "{}", r.render());
     }
 
     #[test]

@@ -492,7 +492,15 @@ pub struct GridSpec {
     pub seeds: u64,
     /// Chaos fault spec, when configured: `(outages, horizon)`.
     pub faults: Option<(usize, SimDuration)>,
+    /// Cluster-count axis (`--clusters`): how many independent SDN clusters
+    /// to split each cell's members into. Empty = single-cluster default.
+    pub cluster_counts: Vec<usize>,
+    /// Deployment strategy name, when one is configured (`--strategy`).
+    pub strategy: Option<&'static str>,
 }
+
+/// Deployment strategy names the framework recognizes, in canonical order.
+pub const STRATEGY_NAMES: &[&str] = &["explicit", "tail", "random", "degree", "kcore", "tier"];
 
 /// Minimum topology size per event kind (failover needs the dual-homed
 /// origin construction).
@@ -559,6 +567,38 @@ pub fn check_grid(spec: &GridSpec) -> AnalysisReport {
             report.error(
                 "grid.chaos_horizon",
                 "chaos fault spec has outages but a zero horizon: no fault could ever fire",
+            );
+        }
+    }
+    for &k in &spec.cluster_counts {
+        report.checked();
+        if k == 0 {
+            report.error(
+                "grid.cluster_count",
+                "cluster count 0 in the clusters axis; use cluster size 0 for a \
+                 pure-legacy cell",
+            );
+            continue;
+        }
+        for &size in &spec.cluster_sizes {
+            if k > 1 && size > 0 && size < k {
+                report.checked();
+                report.error(
+                    "grid.cluster_count",
+                    format!("cannot split {size} SDN members into {k} non-empty clusters"),
+                );
+            }
+        }
+    }
+    if let Some(s) = spec.strategy {
+        report.checked();
+        if !STRATEGY_NAMES.contains(&s) {
+            report.error(
+                "grid.unknown_strategy",
+                format!(
+                    "unknown deployment strategy `{s}`; known: {}",
+                    STRATEGY_NAMES.join(", ")
+                ),
             );
         }
     }
@@ -818,6 +858,8 @@ mod tests {
             ctl_latency_count: 1,
             seeds: 10,
             faults: None,
+            cluster_counts: vec![],
+            strategy: None,
         }
     }
 
@@ -862,6 +904,41 @@ mod tests {
         assert_eq!(
             check_grid(&g).first_error().unwrap().code,
             "grid.chaos_horizon"
+        );
+    }
+
+    #[test]
+    fn cluster_count_axis_is_validated() {
+        let mut g = base_grid();
+        g.cluster_sizes = vec![0, 8, 16];
+        g.cluster_counts = vec![1, 2, 4];
+        assert!(check_grid(&g).clean(), "{}", check_grid(&g).render());
+        // Size-0 cells (pure legacy) coexist with any cluster count, but a
+        // non-zero size smaller than the count is unsplittable.
+        let mut g = base_grid();
+        g.cluster_sizes = vec![0, 2];
+        g.cluster_counts = vec![4];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.cluster_count"
+        );
+        let mut g = base_grid();
+        g.cluster_counts = vec![0];
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.cluster_count"
+        );
+    }
+
+    #[test]
+    fn strategy_names_are_validated() {
+        let mut g = base_grid();
+        g.strategy = Some("degree");
+        assert!(check_grid(&g).clean());
+        g.strategy = Some("bogus");
+        assert_eq!(
+            check_grid(&g).first_error().unwrap().code,
+            "grid.unknown_strategy"
         );
     }
 }

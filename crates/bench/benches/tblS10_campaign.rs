@@ -61,6 +61,8 @@ fn bench_grid() -> CampaignGrid {
         n: 10,
         event: EventKind::Withdrawal,
         cluster_sizes: vec![0, 2, 4, 6, 8, 10],
+        clusters: vec![1],
+        strategy: "tail",
         loss: vec![0.0],
         ctl_latency: vec![SimDuration::from_millis(1)],
         mrai: SimDuration::from_secs(2),

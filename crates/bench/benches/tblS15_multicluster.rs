@@ -1,0 +1,162 @@
+//! **Table S15** (multi-cluster deployment strategies): where should k
+//! independent SDN clusters land on an internet-like hierarchy?
+//!
+//! The clustering proposal the paper builds toward (refs [8,9]) assumes
+//! the centralized core sits at the *top* of the hierarchy. This bench
+//! quantifies that assumption: on a CAIDA-style topology under
+//! policy-free transit (the regime where path exploration actually
+//! hurts), the same member budget is deployed either by
+//! `HighestDegree` (the transit core first) or by `RandomK` (uniform
+//! over all ASes), split into 1 or 2 independent clusters, and a stub
+//! withdrawal is timed. Degree-ordered placement must beat random
+//! placement at the equal fraction — the headline `degree_advantage`
+//! ratio (random median / degree median) feeds the CI regression gate
+//! as `BENCH_multicluster.json`.
+
+use bgpsdn_bench::{runs_per_point, write_json};
+use bgpsdn_bgp::{PolicyMode, TimingConfig};
+use bgpsdn_core::{DeploymentStrategy, Experiment, NetworkBuilder};
+use bgpsdn_netsim::{SimDuration, SimRng, Summary};
+use bgpsdn_obs::{impl_to_json, Json};
+use bgpsdn_topology::caida::{synthesize, SynthesisParams};
+use bgpsdn_topology::plan;
+
+/// Member budget: the tier-1 clique plus half the mid tier.
+const TOTAL_MEMBERS: usize = 8;
+
+struct Row {
+    strategy: &'static str,
+    clusters: usize,
+    conv_median_s: f64,
+    conv_mean_s: f64,
+    updates_mean: f64,
+}
+
+impl_to_json!(Row {
+    strategy,
+    clusters,
+    conv_median_s,
+    conv_mean_s,
+    updates_mean
+});
+
+fn strategy_for(name: &'static str, clusters: usize) -> DeploymentStrategy {
+    let total = TOTAL_MEMBERS;
+    match name {
+        "degree" => DeploymentStrategy::HighestDegree { clusters, total },
+        "random" => DeploymentStrategy::RandomK { clusters, total },
+        other => panic!("unknown bench strategy {other}"),
+    }
+}
+
+fn sweep_point(name: &'static str, clusters: usize, runs: u64) -> Row {
+    let hour = SimDuration::from_secs(3600);
+    let mut times = Vec::new();
+    let mut updates = Vec::new();
+    for r in 0..runs {
+        // Same topology + seed per run index across strategies: the only
+        // thing that differs between the compared cells is the placement.
+        let mut rng = SimRng::seed_from_u64(15000 + r);
+        let params = SynthesisParams {
+            tier1: 3,
+            mid: 10,
+            stubs: 24,
+            ..SynthesisParams::default()
+        };
+        let ag = synthesize(&params, &mut rng);
+        let n = ag.len();
+        let tp = plan(
+            ag,
+            PolicyMode::AllPermit,
+            TimingConfig::with_mrai(SimDuration::from_secs(30)),
+        )
+        .unwrap();
+        let net = NetworkBuilder::new(tp, 15100 + r)
+            .with_deployment(strategy_for(name, clusters))
+            .build();
+        let mut exp = Experiment::new(net);
+        assert!(exp.start(hour).converged, "bring-up");
+        let stub = n - 1;
+        exp.mark();
+        exp.withdraw(stub, None);
+        let rep = exp.wait_converged(hour);
+        assert!(rep.converged, "withdrawal convergence");
+        assert!(exp.prefix_fully_gone(exp.net.ases[stub].prefix));
+        times.push(rep.duration);
+        // `updates_sent` counts since the mark — exactly the re-convergence.
+        updates.push(exp.updates_sent() as f64);
+    }
+    let s = Summary::of_durations(&times).unwrap();
+    Row {
+        strategy: name,
+        clusters,
+        conv_median_s: s.median,
+        conv_mean_s: s.mean,
+        updates_mean: updates.iter().sum::<f64>() / updates.len() as f64,
+    }
+}
+
+fn main() {
+    let runs = runs_per_point();
+    println!("== Table S15: multi-cluster deployment strategies ==");
+    println!("37-AS CAIDA-style hierarchy (3 tier-1 + 10 mid + 24 stubs), policy-free");
+    println!("transit, MRAI 30 s, {TOTAL_MEMBERS} members, stub withdrawal, {runs} runs/point\n");
+
+    let mut rows = Vec::new();
+    println!(
+        "{:>10} {:>9} {:>13} {:>11} {:>13}",
+        "strategy", "clusters", "conv median", "conv mean", "updates mean"
+    );
+    for &clusters in &[1usize, 2] {
+        for name in ["degree", "random"] {
+            let row = sweep_point(name, clusters, runs);
+            println!(
+                "{:>10} {:>9} {:>12.2}s {:>10.2}s {:>13.1}",
+                row.strategy, row.clusters, row.conv_median_s, row.conv_mean_s, row.updates_mean
+            );
+            rows.push(row);
+        }
+    }
+
+    let median = |strategy: &str, clusters: usize| {
+        rows.iter()
+            .find(|r| r.strategy == strategy && r.clusters == clusters)
+            .map(|r| r.conv_median_s)
+            .unwrap()
+    };
+    let advantage_1 = median("random", 1) / median("degree", 1).max(1e-9);
+    let advantage_2 = median("random", 2) / median("degree", 2).max(1e-9);
+    println!("\ndegree advantage (random median / degree median):");
+    println!("  1 cluster : {advantage_1:.2}x");
+    println!("  2 clusters: {advantage_2:.2}x");
+
+    // Honest shape: at an equal member fraction, placing the clusters on
+    // the transit core must beat uniform-random placement — random mass
+    // lands on stubs that never transit the hunted paths.
+    assert!(
+        advantage_1 > 1.0 && advantage_2 > 1.0,
+        "degree-ordered deployment must beat random at equal fraction \
+         (measured {advantage_1:.2}x / {advantage_2:.2}x)"
+    );
+    println!("\nshape check: PASS (degree placement beats random at both cluster counts)");
+
+    write_json("tblS15_multicluster", &rows);
+    write_json(
+        "BENCH_multicluster",
+        &Json::Obj(vec![(
+            "deployment".into(),
+            Json::Obj(vec![
+                ("degree_advantage".into(), Json::F64(advantage_2)),
+                ("degree_advantage_single".into(), Json::F64(advantage_1)),
+                (
+                    "degree_conv_median_s".into(),
+                    Json::F64(median("degree", 2)),
+                ),
+                (
+                    "random_conv_median_s".into(),
+                    Json::F64(median("random", 2)),
+                ),
+            ]),
+        )]),
+    );
+}

@@ -85,6 +85,11 @@ pub const MANIFEST: &[Metric] = &[
         path: &["router_outage", "gr_churn_ratio"],
         direction: Direction::HigherIsBetter,
     },
+    Metric {
+        file: "BENCH_multicluster.json",
+        path: &["deployment", "degree_advantage"],
+        direction: Direction::HigherIsBetter,
+    },
 ];
 
 /// Outcome of one metric comparison.

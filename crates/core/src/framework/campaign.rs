@@ -59,6 +59,13 @@ pub struct CampaignGrid {
     pub event: EventKind,
     /// Swept axis: SDN cluster sizes.
     pub cluster_sizes: Vec<usize>,
+    /// Swept axis: how many independent clusters each cell's members are
+    /// split into (`[1]` = the paper's single-cluster deployment).
+    pub clusters: Vec<usize>,
+    /// Deployment strategy selecting which ASes the clusters cover
+    /// (`"tail"` reproduces the legacy high-index layout; see
+    /// [`super::deploy::DeploymentStrategy`]).
+    pub strategy: &'static str,
     /// Swept axis: control-channel loss probabilities.
     pub loss: Vec<f64>,
     /// Swept axis: control-channel latency.
@@ -87,6 +94,8 @@ impl CampaignGrid {
             n: 16,
             event: EventKind::Withdrawal,
             cluster_sizes: (0..=16).collect(),
+            clusters: vec![1],
+            strategy: "tail",
             loss: vec![0.0],
             ctl_latency: vec![SimDuration::from_millis(1)],
             mrai: SimDuration::from_secs(30),
@@ -100,7 +109,10 @@ impl CampaignGrid {
 
     /// Number of grid cells (parameter combinations).
     pub fn cell_count(&self) -> usize {
-        self.cluster_sizes.len() * self.loss.len().max(1) * self.ctl_latency.len().max(1)
+        self.cluster_sizes.len()
+            * self.clusters.len().max(1)
+            * self.loss.len().max(1)
+            * self.ctl_latency.len().max(1)
     }
 
     /// Number of jobs the grid expands into.
@@ -122,45 +134,65 @@ impl CampaignGrid {
         } else {
             self.ctl_latency.clone()
         };
+        let cluster_counts = if self.clusters.is_empty() {
+            vec![1]
+        } else {
+            self.clusters.clone()
+        };
         let mut jobs = Vec::with_capacity(self.job_count());
         let mut cell = 0usize;
         for &cluster in &self.cluster_sizes {
-            for &loss in &losses {
-                for &lat in &latencies {
-                    for seed_index in 0..self.seeds {
-                        let seed = job_seed(
-                            self.base_seed,
-                            cluster as u64,
-                            loss_ppm(loss),
-                            lat.as_nanos(),
-                            seed_index,
-                        );
-                        jobs.push(CampaignJob {
-                            id: jobs.len(),
-                            cell,
-                            cluster,
-                            loss,
-                            ctl_latency: lat,
-                            seed_index,
-                            seed,
-                            n: self.n,
-                            event: self.event,
-                            mrai: self.mrai,
-                            recompute_delay: self.recompute_delay,
-                            faults: self.faults,
-                            verify: self.verify,
-                        });
+            for &clusters in &cluster_counts {
+                for &loss in &losses {
+                    for &lat in &latencies {
+                        for seed_index in 0..self.seeds {
+                            let seed = fold_deployment_seed(
+                                job_seed(
+                                    self.base_seed,
+                                    cluster as u64,
+                                    loss_ppm(loss),
+                                    lat.as_nanos(),
+                                    seed_index,
+                                ),
+                                clusters as u64,
+                                self.strategy,
+                            );
+                            jobs.push(CampaignJob {
+                                id: jobs.len(),
+                                cell,
+                                cluster,
+                                clusters,
+                                strategy: self.strategy,
+                                loss,
+                                ctl_latency: lat,
+                                seed_index,
+                                seed,
+                                n: self.n,
+                                event: self.event,
+                                mrai: self.mrai,
+                                recompute_delay: self.recompute_delay,
+                                faults: self.faults,
+                                verify: self.verify,
+                            });
+                        }
+                        cell += 1;
                     }
-                    cell += 1;
                 }
             }
         }
         jobs
     }
 
+    /// True when the grid uses the classic single-cluster tail layout
+    /// everywhere — the configuration whose artifacts must stay
+    /// byte-identical to pre-multi-cluster output.
+    pub fn default_deployment(&self) -> bool {
+        (self.clusters.is_empty() || self.clusters == [1]) && self.strategy == "tail"
+    }
+
     /// The merged-artifact header for this grid.
     pub fn header(&self, workers: usize, wall: std::time::Duration) -> Json {
-        Json::Obj(vec![
+        let mut kv = vec![
             ("name".into(), Json::Str(self.name.clone())),
             ("scenario".into(), Json::Str("clique".into())),
             (
@@ -180,7 +212,13 @@ impl CampaignGrid {
             ("verify".into(), Json::Bool(self.verify)),
             ("workers".into(), Json::U64(workers as u64)),
             ("wall_ms".into(), Json::U64(wall.as_millis() as u64)),
-        ])
+        ];
+        if !self.default_deployment() {
+            let counts = self.clusters.iter().map(|&k| Json::U64(k as u64)).collect();
+            kv.insert(5, ("clusters".into(), Json::Arr(counts)));
+            kv.insert(6, ("strategy".into(), Json::Str(self.strategy.into())));
+        }
+        Json::Obj(kv)
     }
 }
 
@@ -202,6 +240,26 @@ pub fn job_seed(base: u64, cluster: u64, loss_ppm: u64, latency_ns: u64, seed_in
     h | 1
 }
 
+/// Fold the multi-cluster deployment axes into a job seed. Identity for
+/// the default single-cluster tail deployment, so pre-existing sweeps
+/// reproduce bit-for-bit; any other `(cluster count, strategy)` pair
+/// derives a distinct seed that — like [`job_seed`] — depends only on the
+/// job's own parameters, never on its grid position.
+pub fn fold_deployment_seed(seed: u64, clusters: u64, strategy: &str) -> u64 {
+    if clusters <= 1 && strategy == "tail" {
+        return seed;
+    }
+    let sid = bgpsdn_analyze::STRATEGY_NAMES
+        .iter()
+        .position(|&s| s == strategy)
+        .map_or(u64::MAX, |i| i as u64 + 1);
+    let mut h = seed;
+    for v in [clusters, sid] {
+        h = splitmix64(h ^ v.wrapping_mul(0xff51_afd7_ed55_8ccd));
+    }
+    h | 1
+}
+
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -219,6 +277,11 @@ pub struct CampaignJob {
     pub cell: usize,
     /// SDN cluster size.
     pub cluster: usize,
+    /// How many independent clusters the members are split into (1 = the
+    /// classic single-cluster deployment).
+    pub clusters: usize,
+    /// Deployment strategy placing the clusters.
+    pub strategy: &'static str,
     /// Control-channel loss probability.
     pub loss: f64,
     /// Control-channel latency.
@@ -302,6 +365,8 @@ impl CampaignJob {
             hold_secs,
             graceful_restart_secs: 0,
             fault_note,
+            clusters: self.clusters,
+            strategy: self.strategy,
         }
     }
 }
@@ -340,6 +405,8 @@ impl JobResult {
             id: self.job.id as u64,
             cell: self.job.cell as u64,
             cluster: self.job.cluster as u64,
+            clusters: self.job.clusters as u64,
+            strategy: self.job.strategy.to_string(),
             loss_ppm: loss_ppm(self.job.loss),
             ctl_latency_ns: self.job.ctl_latency.as_nanos(),
             seed: self.job.seed,
@@ -483,7 +550,7 @@ pub fn render_job_artifact(job: &CampaignJob, exp: &Experiment) -> String {
 /// reuse across jobs on a campaign worker).
 pub fn render_job_artifact_into(job: &CampaignJob, exp: &Experiment, text: &mut String) {
     let trace = exp.net.sim.trace();
-    let info = Json::Obj(vec![
+    let mut info_kv = vec![
         ("type".into(), Json::Str("run".into())),
         ("scenario".into(), Json::Str("clique".into())),
         (
@@ -502,7 +569,22 @@ pub fn render_job_artifact_into(job: &CampaignJob, exp: &Experiment, text: &mut 
         ("mrai_ns".into(), Json::U64(job.mrai.as_nanos())),
         ("seed".into(), Json::U64(job.seed)),
         ("dropped_events".into(), Json::U64(trace.dropped())),
-    ]);
+    ];
+    if job.clusters > 1 || job.strategy != "tail" {
+        let sdn_at = info_kv
+            .iter()
+            .position(|(k, _)| k == "sdn")
+            .expect("job artifact header always carries an sdn key");
+        info_kv.insert(
+            sdn_at + 1,
+            ("clusters".into(), Json::U64(job.clusters as u64)),
+        );
+        info_kv.insert(
+            sdn_at + 2,
+            ("strategy".into(), Json::Str(job.strategy.into())),
+        );
+    }
+    let info = Json::Obj(info_kv);
     text.push_str(&info.to_compact());
     text.push('\n');
     text.push_str(&trace.export_jsonl());
@@ -646,6 +728,8 @@ mod tests {
             n: 6,
             event: EventKind::Withdrawal,
             cluster_sizes: vec![0, 3, 6],
+            clusters: vec![1],
+            strategy: "tail",
             loss: vec![0.0, 0.05],
             ctl_latency: vec![SimDuration::from_millis(1)],
             mrai: SimDuration::from_secs(2),
@@ -702,6 +786,60 @@ mod tests {
                 "seed for {key:?} changed when the grid grew"
             );
         }
+    }
+
+    #[test]
+    fn default_deployment_leaves_seeds_untouched() {
+        // The single-cluster tail deployment is the identity fold: seeds
+        // (and thus artifacts) of pre-multi-cluster sweeps are unchanged.
+        for seed in [1u64, 77, 0xdead_beef] {
+            assert_eq!(fold_deployment_seed(seed, 1, "tail"), seed);
+            assert_eq!(fold_deployment_seed(seed, 0, "tail"), seed);
+            assert_ne!(fold_deployment_seed(seed, 2, "tail"), seed);
+            assert_ne!(fold_deployment_seed(seed, 1, "degree"), seed);
+        }
+        // Distinct deployments derive distinct seeds.
+        let a = fold_deployment_seed(77, 2, "degree");
+        let b = fold_deployment_seed(77, 4, "degree");
+        let c = fold_deployment_seed(77, 2, "random");
+        assert!(a != b && a != c && b != c);
+    }
+
+    #[test]
+    fn cluster_count_axis_multiplies_cells_in_order() {
+        let mut grid = tiny_grid();
+        grid.clusters = vec![1, 2];
+        grid.strategy = "degree";
+        assert_eq!(grid.cell_count(), 12);
+        assert_eq!(grid.job_count(), 24);
+        let jobs = grid.expand();
+        // Axis order: cluster size, then cluster count, then loss.
+        assert_eq!(
+            (jobs[0].cluster, jobs[0].clusters, jobs[0].loss),
+            (0, 1, 0.0)
+        );
+        assert_eq!(
+            (jobs[4].cluster, jobs[4].clusters, jobs[4].loss),
+            (0, 2, 0.0)
+        );
+        assert_eq!((jobs[8].cluster, jobs[8].clusters), (3, 1));
+        assert!(jobs.iter().all(|j| j.strategy == "degree"));
+        // Same (size, loss, lat, seed_index) but different cluster count
+        // or strategy → different derived seed.
+        assert_ne!(jobs[0].seed, jobs[4].seed);
+        let tail = tiny_grid().expand();
+        assert_ne!(
+            tail[0].seed, jobs[0].seed,
+            "strategy must fold into the seed"
+        );
+        // Header carries the deployment axes only when non-default.
+        assert!(!grid.default_deployment());
+        let header = grid.header(1, std::time::Duration::ZERO).to_compact();
+        assert!(header.contains("\"clusters\"") && header.contains("\"strategy\""));
+        let default_header = tiny_grid()
+            .header(1, std::time::Duration::ZERO)
+            .to_compact();
+        assert!(!default_header.contains("\"strategy\""));
     }
 
     #[test]

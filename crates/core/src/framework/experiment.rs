@@ -214,7 +214,12 @@ impl Experiment {
     fn command_target(&self, i: usize) -> NodeId {
         match self.net.ases[i].kind {
             AsKind::Legacy => self.net.ases[i].node,
-            AsKind::SdnMember => self.net.controller.expect("members imply a controller"),
+            AsKind::SdnMember => {
+                self.net
+                    .cluster_for(i)
+                    .expect("members imply an owning cluster")
+                    .controller
+            }
         }
     }
 
@@ -316,59 +321,91 @@ impl Experiment {
     // Fault injection (the chaos layer)
     // ------------------------------------------------------------------
 
-    fn controller_node(&self) -> NodeId {
+    fn controller_node_of(&self, cluster: usize) -> NodeId {
         self.net
+            .clusters
+            .get(cluster)
+            .unwrap_or_else(|| panic!("fault injection targets missing cluster {cluster}"))
             .controller
-            .expect("fault injection targets a cluster controller")
     }
 
-    fn control_channel(&self) -> bgpsdn_netsim::LinkId {
+    fn control_channel_of(&self, cluster: usize) -> bgpsdn_netsim::LinkId {
         self.net
+            .clusters
+            .get(cluster)
+            .unwrap_or_else(|| panic!("fault injection targets missing cluster {cluster}"))
             .speaker_link
-            .expect("fault injection targets the control channel")
     }
 
     /// Crash the IDR controller: it stops processing entirely, its timers
     /// die, and in-flight messages toward it are lost. Speakers fall back
-    /// to headless fail-static forwarding.
+    /// to headless fail-static forwarding. Targets the first cluster; see
+    /// [`Experiment::crash_controller_of`] for multi-cluster deployments.
     pub fn crash_controller(&mut self) {
-        let c = self.controller_node();
+        self.crash_controller_of(0);
+    }
+
+    /// Crash cluster `cluster`'s IDR controller.
+    pub fn crash_controller_of(&mut self, cluster: usize) {
+        let c = self.controller_node_of(cluster);
         self.net.sim.set_node_admin(c, false);
     }
 
-    /// Restart a crashed controller. It comes back with operator intent
-    /// only (configuration + announced prefixes) and re-learns everything
-    /// else through the speaker resync and switch table replies.
+    /// Restart a crashed controller (first cluster). It comes back with
+    /// operator intent only (configuration + announced prefixes) and
+    /// re-learns everything else through the speaker resync and switch
+    /// table replies.
     pub fn restore_controller(&mut self) {
-        let c = self.controller_node();
+        self.restore_controller_of(0);
+    }
+
+    /// Restart cluster `cluster`'s crashed controller.
+    pub fn restore_controller_of(&mut self, cluster: usize) {
+        let c = self.controller_node_of(cluster);
         self.net.sim.set_node_admin(c, true);
     }
 
-    /// Whether the controller node is currently up.
+    /// Whether the first cluster's controller node is currently up.
     pub fn controller_is_up(&self) -> bool {
+        self.controller_is_up_of(0)
+    }
+
+    /// Whether cluster `cluster`'s controller node is currently up.
+    pub fn controller_is_up_of(&self, cluster: usize) -> bool {
         self.net
-            .controller
-            .map(|c| self.net.sim.node_is_up(c))
+            .clusters
+            .get(cluster)
+            .map(|h| self.net.sim.node_is_up(h.controller))
             .unwrap_or(false)
     }
 
-    /// Partition the speaker↔controller channel (both stay alive but cannot
-    /// talk; each side's hold timer eventually fires).
+    /// Partition the first cluster's speaker↔controller channel (both stay
+    /// alive but cannot talk; each side's hold timer eventually fires).
     pub fn partition_control_channel(&mut self) {
-        let l = self.control_channel();
+        self.partition_control_channel_of(0);
+    }
+
+    /// Partition cluster `cluster`'s speaker↔controller channel.
+    pub fn partition_control_channel_of(&mut self, cluster: usize) {
+        let l = self.control_channel_of(cluster);
         self.net.sim.set_link_admin(l, false);
     }
 
-    /// Heal a control-channel partition.
+    /// Heal a control-channel partition (first cluster).
     pub fn heal_control_channel(&mut self) {
-        let l = self.control_channel();
+        self.heal_control_channel_of(0);
+    }
+
+    /// Heal cluster `cluster`'s control-channel partition.
+    pub fn heal_control_channel_of(&mut self, cluster: usize) {
+        let l = self.control_channel_of(cluster);
         self.net.sim.set_link_admin(l, true);
     }
 
-    /// Set the random per-message loss probability of the
+    /// Set the random per-message loss probability of the first cluster's
     /// speaker↔controller channel.
     pub fn set_control_loss(&mut self, loss: f64) {
-        let l = self.control_channel();
+        let l = self.control_channel_of(0);
         self.net.sim.set_link_loss(l, loss);
     }
 
@@ -453,8 +490,8 @@ impl Experiment {
                 }
             }
         }
-        if let Some(c) = self.net.controller {
-            let ctl = self.net.sim.node_ref::<Controller>(c);
+        for handle in &self.net.clusters {
+            let ctl = self.net.sim.node_ref::<Controller>(handle.controller);
             if ctl.ext_route_count(prefix) > 0 {
                 return false;
             }

@@ -1,10 +1,12 @@
 //! The hybrid BGP-SDN experiment framework: network assembly
-//! ([`network`]), experiment lifecycle ([`experiment`]), chaos fault
-//! injection ([`faults`]), canned evaluation scenarios ([`scenarios`]),
-//! multi-threaded parameter-sweep campaigns ([`campaign`]), and static
-//! pre-flight analysis gates ([`preflight`]).
+//! ([`network`]), cluster deployment strategies ([`deploy`]), experiment
+//! lifecycle ([`experiment`]), chaos fault injection ([`faults`]), canned
+//! evaluation scenarios ([`scenarios`]), multi-threaded parameter-sweep
+//! campaigns ([`campaign`]), and static pre-flight analysis gates
+//! ([`preflight`]).
 
 pub mod campaign;
+pub mod deploy;
 pub mod experiment;
 pub mod faults;
 pub mod network;
@@ -19,13 +21,14 @@ pub use campaign::{
     run_campaign_scratch, run_campaign_with, run_job, run_job_scratch, CampaignGrid, CampaignJob,
     CampaignRunReport, FaultSpec, JobOutcome, JobResult, JobScratch,
 };
+pub use deploy::{validate_clusters, DeploymentStrategy};
 pub use experiment::Experiment;
 pub use faults::{FaultAction, FaultClasses, FaultPlan};
 pub use network::{
-    AsHandle, AsKind, Collector, Controller, HybridNetwork, NetworkBuilder, Router, Sim, Speaker,
-    Switch, COLLECTOR_ASN,
+    AsHandle, AsKind, ClusterHandle, Collector, Controller, HybridNetwork, NetworkBuilder, Router,
+    Sim, Speaker, Switch, COLLECTOR_ASN,
 };
-pub use preflight::{check_plan, PreflightContext};
+pub use preflight::{check_plan, check_plan_clusters, PreflightContext};
 pub use scenarios::{
     clique_sweep_point, event_phase_name, run_clique, run_clique_full, run_clique_instrumented,
     run_clique_traced, run_clique_with, run_scale, run_scale_instrumented, CliqueRunOptions,

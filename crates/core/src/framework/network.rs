@@ -20,6 +20,8 @@ use bgpsdn_topology::TopologyPlan;
 
 use crate::controller::{ControllerConfig, IdrController, MemberConfig, SessionConfig};
 
+use super::deploy::{validate_clusters, DeploymentStrategy};
+
 /// Concrete node types instantiated by the framework.
 pub type Router = BgpRouter<ClusterMsg>;
 /// The switch type used by the framework.
@@ -62,6 +64,20 @@ pub struct AsHandle {
     pub router_ip: Ipv4Addr,
 }
 
+/// One deployed SDN cluster: its control-plane triple plus membership.
+#[derive(Debug, Clone)]
+pub struct ClusterHandle {
+    /// This cluster's BGP speaker node.
+    pub speaker: NodeId,
+    /// This cluster's IDR controller node.
+    pub controller: NodeId,
+    /// This cluster's controller↔speaker control channel.
+    pub speaker_link: LinkId,
+    /// Member AS indices, sorted ascending; positions are the cluster-local
+    /// member indices the controller and speaker use.
+    pub members: Vec<usize>,
+}
+
 /// A fully wired hybrid network, ready to run.
 pub struct HybridNetwork {
     /// The simulator.
@@ -70,20 +86,29 @@ pub struct HybridNetwork {
     pub ases: Vec<AsHandle>,
     /// Inter-AS links, aligned with the plan's edge indices.
     pub edge_links: Vec<LinkId>,
-    /// The cluster BGP speaker (present when there are members).
+    /// The first cluster's BGP speaker (present when there are members).
+    /// Single-cluster shorthand for `clusters[0].speaker`.
     pub speaker: Option<NodeId>,
-    /// The IDR controller (present when there are members).
+    /// The first cluster's IDR controller (present when there are members).
+    /// Single-cluster shorthand for `clusters[0].controller`.
     pub controller: Option<NodeId>,
     /// The route collector (when enabled).
     pub collector: Option<NodeId>,
-    /// The controller↔speaker control channel (present with a cluster).
+    /// The first cluster's controller↔speaker control channel.
     /// This is the link fault-injection targets: partitioning it or giving
     /// it loss exercises the reliable control protocol.
     pub speaker_link: Option<LinkId>,
+    /// Every deployed cluster, in deployment order. Empty for a pure
+    /// legacy network.
+    pub clusters: Vec<ClusterHandle>,
     /// The topology plan the network was built from.
     pub plan: TopologyPlan,
-    /// AS index → member index for cluster members.
+    /// AS index → global member index (cluster-major order) for cluster
+    /// members. With one cluster this is the member's index in the
+    /// controller's configuration.
     pub member_index: BTreeMap<usize, usize>,
+    /// AS index → owning cluster index for cluster members.
+    pub cluster_of: BTreeMap<usize, usize>,
     /// Auto-run the static verifier at experiment checkpoints (after
     /// convergence waits and after each fault-plan action).
     pub auto_verify: bool,
@@ -109,12 +134,23 @@ impl HybridNetwork {
     pub fn members(&self) -> impl Iterator<Item = &AsHandle> {
         self.ases.iter().filter(|a| a.kind == AsKind::SdnMember)
     }
+
+    /// Number of deployed clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The cluster handle owning an AS index, if it is a member.
+    pub fn cluster_for(&self, as_index: usize) -> Option<&ClusterHandle> {
+        self.cluster_of.get(&as_index).map(|&c| &self.clusters[c])
+    }
 }
 
 /// Builder with the framework's configuration-management defaults.
 pub struct NetworkBuilder {
     plan: TopologyPlan,
-    sdn_members: Vec<usize>,
+    clusters: Vec<Vec<usize>>,
+    deployment: Option<DeploymentStrategy>,
     seed: u64,
     data_latency: Option<LatencyModel>,
     ctl_latency: LatencyModel,
@@ -134,7 +170,8 @@ impl NetworkBuilder {
     pub fn new(plan: TopologyPlan, seed: u64) -> Self {
         NetworkBuilder {
             plan,
-            sdn_members: Vec::new(),
+            clusters: Vec::new(),
+            deployment: None,
             seed,
             data_latency: None,
             ctl_latency: LatencyModel::Fixed(SimDuration::from_millis(1)),
@@ -163,7 +200,27 @@ impl NetworkBuilder {
     /// policy safety of the plan plus cluster-membership and timer
     /// consistency. Inspect it without building anything.
     pub fn preflight(&self) -> bgpsdn_analyze::AnalysisReport {
-        super::preflight::check_plan(&self.plan, &self.sdn_members)
+        match self.resolved_clusters() {
+            Ok(clusters) => super::preflight::check_plan_clusters(&self.plan, &clusters),
+            Err(e) => super::preflight::deployment_error_report(&e),
+        }
+    }
+
+    /// The cluster membership this builder will deploy, with any
+    /// [`DeploymentStrategy`] resolved against the plan's topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the strategy's fail-fast validation (infeasible budget,
+    /// out-of-range or overlapping members).
+    pub fn resolved_clusters(&self) -> Result<Vec<Vec<usize>>, String> {
+        match &self.deployment {
+            Some(strategy) => strategy.assign(&self.plan.as_graph, self.seed),
+            None => {
+                validate_clusters(&self.clusters, self.plan.as_graph.len())?;
+                Ok(self.clusters.clone())
+            }
+        }
     }
 
     /// Enable RFC 2439 route-flap damping on every legacy router (the
@@ -183,11 +240,43 @@ impl NetworkBuilder {
         self
     }
 
-    /// Put these AS indices under centralized control.
+    /// Put these AS indices under centralized control, as one cluster.
     pub fn with_sdn_members(mut self, members: impl IntoIterator<Item = usize>) -> Self {
-        self.sdn_members = members.into_iter().collect();
-        self.sdn_members.sort_unstable();
-        self.sdn_members.dedup();
+        let mut members: Vec<usize> = members.into_iter().collect();
+        members.sort_unstable();
+        members.dedup();
+        self.deployment = None;
+        self.clusters = if members.is_empty() {
+            Vec::new()
+        } else {
+            vec![members]
+        };
+        self
+    }
+
+    /// Deploy several independent SDN clusters, one membership list each.
+    /// Every cluster gets its own speaker, controller and control channel;
+    /// edges between clusters run ordinary eBGP between the two speakers
+    /// (each impersonating its border member). Lists are sorted and
+    /// deduplicated; overlap across clusters fails the build.
+    pub fn with_clusters(mut self, clusters: impl IntoIterator<Item = Vec<usize>>) -> Self {
+        self.deployment = None;
+        self.clusters = clusters
+            .into_iter()
+            .map(|mut members| {
+                members.sort_unstable();
+                members.dedup();
+                members
+            })
+            .collect();
+        self
+    }
+
+    /// Choose cluster membership through a [`DeploymentStrategy`], resolved
+    /// against the plan's AS graph (and the experiment seed, for the random
+    /// strategy) when the network is built.
+    pub fn with_deployment(mut self, strategy: DeploymentStrategy) -> Self {
+        self.deployment = Some(strategy);
         self
     }
 
@@ -258,8 +347,11 @@ impl NetworkBuilder {
     /// check finds any error (out-of-range cluster member, policy-unsafe
     /// provider hierarchy, cluster boundary conflict, inconsistent timers).
     pub fn build(self) -> HybridNetwork {
+        let clusters = self
+            .resolved_clusters()
+            .unwrap_or_else(|e| panic!("invalid cluster deployment: {e}"));
         if self.preflight {
-            let report = self.preflight();
+            let report = super::preflight::check_plan_clusters(&self.plan, &clusters);
             assert!(
                 report.ok(),
                 "pre-flight check failed (use without_preflight() to override):\n{}",
@@ -268,23 +360,30 @@ impl NetworkBuilder {
         }
         let plan = self.plan;
         let n = plan.as_graph.len();
-        for &m in &self.sdn_members {
-            assert!(m < n, "SDN member index {m} out of range");
+        validate_clusters(&clusters, n)
+            .unwrap_or_else(|e| panic!("invalid cluster deployment: {e}"));
+        let k = clusters.len();
+        // Membership maps: global member indices run cluster-major, so a
+        // single cluster reproduces the historical ascending-AS numbering.
+        let mut member_index: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut cluster_of: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut local_index: BTreeMap<usize, usize> = BTreeMap::new();
+        for (c, members) in clusters.iter().enumerate() {
+            for (mi, &asi) in members.iter().enumerate() {
+                let global = member_index.len();
+                member_index.insert(asi, global);
+                cluster_of.insert(asi, c);
+                local_index.insert(asi, mi);
+            }
         }
         // Pre-size the event heap: steady state carries roughly one in-flight
         // event per link (delivery or timer) plus per-node timers, so nodes +
         // links is a good floor that avoids growth reallocations mid-dispatch.
         let n_edges = plan.as_graph.edges.len();
-        let n_members = self.sdn_members.len();
-        let approx_nodes = n + 3; // ASes + speaker + controller + collector
-        let approx_links = n_edges + 2 * n_members + 1 + n;
+        let n_members = member_index.len();
+        let approx_nodes = n + 2 * k + 1; // ASes + per-cluster speaker/controller + collector
+        let approx_links = n_edges + 2 * n_members + k.max(1) + n;
         let mut sim = Sim::with_event_capacity(self.seed, 2 * (approx_nodes + approx_links));
-        let member_index: BTreeMap<usize, usize> = self
-            .sdn_members
-            .iter()
-            .enumerate()
-            .map(|(mi, &asi)| (asi, mi))
-            .collect();
 
         // 1. AS nodes.
         let mut ases: Vec<AsHandle> = Vec::with_capacity(n);
@@ -311,13 +410,21 @@ impl NetworkBuilder {
             });
         }
 
-        let have_cluster = !self.sdn_members.is_empty();
-        let speaker = have_cluster.then(|| sim.add_node("speaker", Speaker::new));
-        let controller = have_cluster.then(|| {
-            sim.add_node("controller", |id| {
+        // One speaker/controller pair per cluster. With a single cluster the
+        // historical node names are kept so traces stay byte-identical.
+        let mut ctl_nodes: Vec<(NodeId, NodeId)> = Vec::with_capacity(k);
+        for c in 0..k {
+            let (sname, cname) = if k == 1 {
+                ("speaker".to_string(), "controller".to_string())
+            } else {
+                (format!("speaker{c}"), format!("controller{c}"))
+            };
+            let sp = sim.add_node(sname, Speaker::new);
+            let ct = sim.add_node(cname, |id| {
                 Controller::new(id, ControllerConfig::new(vec![], vec![], vec![], LinkId(0)))
-            })
-        });
+            });
+            ctl_nodes.push((sp, ct));
+        }
         let collector = self.with_collector.then(|| {
             sim.add_node("collector", |id| {
                 Collector::new(id, COLLECTOR_ASN, RouterId(1))
@@ -342,39 +449,44 @@ impl NetworkBuilder {
             edge_links.push(link);
         }
 
-        // 3. Cluster wiring: relay links, control links, sessions.
-        let mut relay_links: BTreeMap<usize, LinkId> = BTreeMap::new(); // member idx → link
-        let mut ctl_links: BTreeMap<usize, LinkId> = BTreeMap::new();
-        let mut speaker_link = LinkId(0);
-        if let (Some(speaker_node), Some(controller_node)) = (speaker, controller) {
-            for (&asi, &mi) in &member_index {
+        // 3. Cluster wiring: relay links, control links, control channels —
+        // one independent triple per cluster.
+        let mut relay_links: BTreeMap<usize, LinkId> = BTreeMap::new(); // AS idx → link
+        let mut ctl_links: BTreeMap<usize, LinkId> = BTreeMap::new(); // AS idx → link
+        let mut cluster_handles: Vec<ClusterHandle> = Vec::with_capacity(k);
+        for (c, members) in clusters.iter().enumerate() {
+            let (speaker_node, controller_node) = ctl_nodes[c];
+            for &asi in members {
                 let relay = sim.add_link(speaker_node, ases[asi].node, self.ctl_latency.clone());
-                relay_links.insert(mi, relay);
+                relay_links.insert(asi, relay);
                 let ctl = sim.add_link(controller_node, ases[asi].node, self.ctl_latency.clone());
-                ctl_links.insert(mi, ctl);
+                ctl_links.insert(asi, ctl);
             }
-            speaker_link = sim.add_link(controller_node, speaker_node, self.ctl_latency.clone());
+            let speaker_link =
+                sim.add_link(controller_node, speaker_node, self.ctl_latency.clone());
             if self.control_loss > 0.0 {
                 sim.set_link_loss(speaker_link, self.control_loss);
             }
+            cluster_handles.push(ClusterHandle {
+                speaker: speaker_node,
+                controller: controller_node,
+                speaker_link,
+                members: members.clone(),
+            });
         }
 
-        // 4. Per-edge configuration. Alias sessions exist only for edges
-        // crossing the cluster boundary; count them so the vector is built
-        // in one allocation.
-        let crossing = plan
-            .as_graph
-            .edges
-            .iter()
-            .filter(|e| member_index.contains_key(&e.a) != member_index.contains_key(&e.b))
-            .count();
-        let mut sessions: Vec<SessionConfig> = Vec::with_capacity(crossing);
-        for (k, e) in plan.as_graph.edges.iter().enumerate() {
-            let link = edge_links[k];
+        // 4. Per-edge configuration. Alias sessions exist for edges
+        // crossing a cluster boundary — toward the legacy world, or toward
+        // another cluster (where both speakers impersonate their border
+        // member and the session runs speaker↔speaker over the two border
+        // switches' relays).
+        let mut sessions: Vec<Vec<SessionConfig>> = vec![Vec::new(); k];
+        for (ei, e) in plan.as_graph.edges.iter().enumerate() {
+            let link = edge_links[ei];
             let (a, b) = (e.a, e.b);
-            let a_member = member_index.get(&a).copied();
-            let b_member = member_index.get(&b).copied();
-            match (a_member, b_member) {
+            let a_cluster = cluster_of.get(&a).copied();
+            let b_cluster = cluster_of.get(&b).copied();
+            match (a_cluster, b_cluster) {
                 (None, None) => {
                     // Legacy ↔ legacy: ordinary eBGP both ways.
                     let rel_a = e.relationship_from(a);
@@ -387,25 +499,22 @@ impl NetworkBuilder {
                         r.add_neighbor(NeighborConfig::new(na, link, asn_a, rel_a.inverse()));
                     });
                 }
-                (None, Some(mb)) | (Some(mb), None) => {
-                    // Legacy ↔ member: alias session via the speaker.
-                    let (legacy_i, member_i, member_mi) = if a_member.is_none() {
-                        (a, b, mb)
-                    } else {
-                        (b, a, mb)
-                    };
+                (None, Some(mc)) | (Some(mc), None) => {
+                    // Legacy ↔ member: alias session via the member's
+                    // cluster speaker.
+                    let (legacy_i, member_i) = if a_cluster.is_none() { (a, b) } else { (b, a) };
                     let rel_legacy = e.relationship_from(legacy_i);
                     let (ln, mn) = (ases[legacy_i].node, ases[member_i].node);
                     let member_asn = ases[member_i].asn;
                     sim.with_node::<Router, _>(ln, |r| {
                         r.add_neighbor(NeighborConfig::new(mn, link, member_asn, rel_legacy));
                     });
-                    let relay = relay_links[&member_mi];
+                    let relay = relay_links[&member_i];
                     sim.with_node::<Switch, _>(mn, |s| {
                         s.add_relay(mn, relay);
                         s.add_relay(ln, link);
                     });
-                    let speaker_node = speaker.expect("members imply a speaker");
+                    let speaker_node = cluster_handles[mc].speaker;
                     let legacy_asn = ases[legacy_i].asn;
                     let alias_id = RouterId::from_ip(ases[member_i].router_ip);
                     let alias_nh = ases[member_i].router_ip;
@@ -420,41 +529,76 @@ impl NetworkBuilder {
                             via_link: relay,
                         })
                     });
-                    assert_eq!(sess_idx, sessions.len(), "session order must align");
-                    sessions.push(SessionConfig {
-                        member: member_mi,
+                    assert_eq!(sess_idx, sessions[mc].len(), "session order must align");
+                    sessions[mc].push(SessionConfig {
+                        member: local_index[&member_i],
                         ext_peer: ln,
                         ext_asn: legacy_asn,
                         ext_link: link,
                     });
                 }
-                (Some(_), Some(_)) => {
-                    // Member ↔ member: intra-cluster link, wired into the
-                    // controller config below; no BGP.
+                (Some(ca), Some(cb)) if ca == cb => {
+                    // Member ↔ member inside one cluster: intra-cluster
+                    // link, wired into the controller config below; no BGP.
+                }
+                (Some(ca), Some(cb)) => {
+                    // Inter-cluster boundary: each side's speaker runs an
+                    // alias session as its border member, peering with the
+                    // remote border switch like an external router. The
+                    // switches relay by envelope destination, so the
+                    // speaker↔speaker session transits both borders.
+                    for (this_i, other_i, tc) in [(a, b, ca), (b, a, cb)] {
+                        let (tn, on) = (ases[this_i].node, ases[other_i].node);
+                        let relay = relay_links[&this_i];
+                        sim.with_node::<Switch, _>(tn, |s| {
+                            s.add_relay(tn, relay);
+                            s.add_relay(on, link);
+                        });
+                        let speaker_node = cluster_handles[tc].speaker;
+                        let (this_asn, other_asn) = (ases[this_i].asn, ases[other_i].asn);
+                        let sess_idx = sim.with_node::<Speaker, _>(speaker_node, |s| {
+                            s.add_session(AliasSessionConfig {
+                                alias: tn,
+                                alias_asn: this_asn,
+                                alias_router_id: RouterId::from_ip(ases[this_i].router_ip),
+                                alias_next_hop: ases[this_i].router_ip,
+                                ext_peer: on,
+                                remote_asn: other_asn,
+                                via_link: relay,
+                            })
+                        });
+                        assert_eq!(sess_idx, sessions[tc].len(), "session order must align");
+                        sessions[tc].push(SessionConfig {
+                            member: local_index[&this_i],
+                            ext_peer: on,
+                            ext_asn: other_asn,
+                            ext_link: link,
+                        });
+                    }
                 }
             }
         }
 
-        // 5. Finalize cluster configuration.
-        if let (Some(speaker_node), Some(controller_node)) = (speaker, controller) {
-            sim.with_node::<Speaker, _>(speaker_node, |s| {
+        // 5. Finalize per-cluster configuration.
+        for (c, members) in clusters.iter().enumerate() {
+            let handle = &cluster_handles[c];
+            let speaker_link = handle.speaker_link;
+            sim.with_node::<Speaker, _>(handle.speaker, |s| {
                 s.set_controller_link(speaker_link);
             });
-            for (&asi, &mi) in &member_index {
-                let ctl = ctl_links[&mi];
+            for &asi in members {
+                let ctl = ctl_links[&asi];
                 sim.with_node::<Switch, _>(ases[asi].node, |s| {
                     s.set_controller_link(ctl);
                 });
             }
-            let members: Vec<MemberConfig> = self
-                .sdn_members
+            let member_cfgs: Vec<MemberConfig> = members
                 .iter()
-                .enumerate()
-                .map(|(mi, &asi)| MemberConfig {
+                .map(|&asi| MemberConfig {
                     switch: ases[asi].node,
                     asn: ases[asi].asn,
                     prefix: ases[asi].prefix,
-                    ctl_link: ctl_links[&mi],
+                    ctl_link: ctl_links[&asi],
                 })
                 .collect();
             let intra: Vec<(usize, usize, LinkId)> = plan
@@ -462,16 +606,23 @@ impl NetworkBuilder {
                 .edges
                 .iter()
                 .enumerate()
-                .filter_map(|(k, e)| {
-                    let ma = member_index.get(&e.a)?;
-                    let mb = member_index.get(&e.b)?;
-                    Some((*ma, *mb, edge_links[k]))
+                .filter_map(|(ei, e)| {
+                    let (ca, cb) = (cluster_of.get(&e.a)?, cluster_of.get(&e.b)?);
+                    if *ca != c || *cb != c {
+                        return None;
+                    }
+                    Some((local_index[&e.a], local_index[&e.b], edge_links[ei]))
                 })
                 .collect();
-            let mut cfg = ControllerConfig::new(members, intra, sessions, speaker_link);
+            let mut cfg = ControllerConfig::new(
+                member_cfgs,
+                intra,
+                std::mem::take(&mut sessions[c]),
+                speaker_link,
+            );
             cfg.recompute_delay = self.recompute_delay;
             cfg.incremental = self.incremental;
-            sim.with_node::<Controller, _>(controller_node, |c| c.set_config(cfg));
+            sim.with_node::<Controller, _>(handle.controller, |ctrl| ctrl.set_config(cfg));
         }
 
         // 6. Collector peering with every legacy router.
@@ -493,16 +644,19 @@ impl NetworkBuilder {
             }
         }
 
+        let first = cluster_handles.first();
         HybridNetwork {
+            speaker: first.map(|h| h.speaker),
+            controller: first.map(|h| h.controller),
+            speaker_link: first.map(|h| h.speaker_link),
             sim,
             ases,
             edge_links,
-            speaker,
-            controller,
             collector,
-            speaker_link: have_cluster.then_some(speaker_link),
+            clusters: cluster_handles,
             plan,
             member_index,
+            cluster_of,
             auto_verify: self.auto_verify,
         }
     }
@@ -558,6 +712,49 @@ mod tests {
     fn member_out_of_range_panics() {
         let _ = NetworkBuilder::new(clique_plan(3), 1)
             .with_sdn_members([7])
+            .build();
+    }
+
+    #[test]
+    fn two_clusters_get_independent_control_planes() {
+        let net = NetworkBuilder::new(clique_plan(6), 1)
+            .with_clusters([vec![0, 1], vec![4, 5]])
+            .build();
+        assert_eq!(net.cluster_count(), 2);
+        assert_eq!(net.members().count(), 4);
+        assert_ne!(net.clusters[0].controller, net.clusters[1].controller);
+        assert_ne!(net.clusters[0].speaker_link, net.clusters[1].speaker_link);
+        // The single-cluster shorthands alias cluster 0.
+        assert_eq!(net.speaker, Some(net.clusters[0].speaker));
+        assert_eq!(net.controller, Some(net.clusters[0].controller));
+        // Global member indices run cluster-major.
+        assert_eq!(net.member_index[&0], 0);
+        assert_eq!(net.member_index[&5], 3);
+        assert_eq!(net.cluster_of[&4], 1);
+        assert_eq!(net.cluster_for(4).unwrap().members, vec![4, 5]);
+        // Links: 15 AS edges + 2 clusters x (2 relay + 2 ctl + 1 channel)
+        // + 2 collector links for the two legacy ASes.
+        assert_eq!(net.sim.link_count(), 15 + 10 + 2);
+    }
+
+    #[test]
+    fn deployment_strategy_resolves_at_build() {
+        let net = NetworkBuilder::new(clique_plan(8), 3)
+            .with_deployment(DeploymentStrategy::Tail {
+                clusters: 2,
+                total: 4,
+            })
+            .build();
+        assert_eq!(net.cluster_count(), 2);
+        assert_eq!(net.clusters[0].members, vec![4, 5]);
+        assert_eq!(net.clusters[1].members, vec![6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster deployment")]
+    fn overlapping_clusters_panic() {
+        let _ = NetworkBuilder::new(clique_plan(6), 1)
+            .with_clusters([vec![0, 1], vec![1, 2]])
             .build();
     }
 }

@@ -19,8 +19,8 @@
 //!   before any worker spins.
 
 use bgpsdn_analyze::{
-    check_actions, check_grid, check_safety, check_timed, check_timing, Action, ActionContext,
-    AnalysisReport, GridSpec, SafetyInput,
+    check_actions, check_grid, check_safety, check_safety_clusters, check_timed, check_timing,
+    Action, ActionContext, AnalysisReport, GridSpec, SafetyClustersInput, SafetyInput,
 };
 use bgpsdn_bgp::{PolicyMode, Prefix};
 use bgpsdn_netsim::SimDuration;
@@ -177,6 +177,40 @@ pub fn check_plan(plan: &TopologyPlan, members: &[usize]) -> AnalysisReport {
     report
 }
 
+/// Multi-cluster variant of [`check_plan`]: each cluster contracts to its
+/// own logical vertex in the boundary proof. With zero or one clusters the
+/// findings are exactly [`check_plan`]'s over the flattened member list.
+pub fn check_plan_clusters(plan: &TopologyPlan, clusters: &[Vec<usize>]) -> AnalysisReport {
+    let mode = plan
+        .routers
+        .first()
+        .map_or(PolicyMode::AllPermit, |r| r.mode);
+    let mut report = check_safety_clusters(&SafetyClustersInput {
+        graph: &plan.as_graph,
+        mode,
+        clusters,
+        rules: &[],
+    });
+    if let Some(r) = plan.routers.first() {
+        report.merge(check_timing(
+            u64::from(r.timing.hold_time_secs),
+            u64::from(r.timing.graceful_restart_secs),
+        ));
+    }
+    report
+}
+
+/// A report carrying one error finding for a deployment strategy that
+/// could not produce a valid cluster assignment (infeasible budget,
+/// out-of-range explicit list, ...). Lets `NetworkBuilder::preflight`
+/// surface resolution failures through the same channel as safety findings.
+pub fn deployment_error_report(msg: &str) -> AnalysisReport {
+    let mut report = AnalysisReport::new();
+    report.checked();
+    report.error("cluster.deployment", msg.to_string());
+    report
+}
+
 impl Experiment {
     /// Statically validate a script against this experiment's topology,
     /// cluster configuration, and timers — without executing anything.
@@ -205,6 +239,8 @@ impl CampaignGrid {
             ctl_latency_count: self.ctl_latency.len(),
             seeds: self.seeds,
             faults: self.faults.as_ref().map(|f| (f.outages, f.horizon)),
+            cluster_counts: self.clusters.clone(),
+            strategy: Some(self.strategy),
         })
     }
 }

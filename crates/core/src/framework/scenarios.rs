@@ -126,6 +126,22 @@ pub struct CliqueRunOptions {
     /// A note recorded in the trace at bring-up — campaigns use it to
     /// record why a fault class was dropped as inapplicable for this cell.
     pub fault_note: Option<String>,
+    /// How many independent SDN clusters the members are split into.
+    /// `0` or `1` keeps the classic single-cluster path (byte-identical
+    /// artifacts to pre-multi-cluster runs).
+    pub clusters: usize,
+    /// Deployment strategy placing the clusters (see
+    /// [`super::deploy::DeploymentStrategy::by_name`]). Empty or `"tail"`
+    /// with a single cluster keeps the classic path.
+    pub strategy: &'static str,
+}
+
+impl CliqueRunOptions {
+    /// True when the options describe the classic single-cluster tail
+    /// deployment — the path whose artifacts must stay byte-identical.
+    pub fn default_deployment(&self) -> bool {
+        self.clusters <= 1 && (self.strategy.is_empty() || self.strategy == "tail")
+    }
 }
 
 /// [`run_clique_full`] with a caller-chosen instrumentation hook applied to
@@ -176,11 +192,35 @@ pub fn run_clique_with(
     timing.hold_time_secs = opts.hold_secs;
     timing.graceful_restart_secs = opts.graceful_restart_secs;
     let tp = plan(ag, PolicyMode::AllPermit, timing).expect("address plan");
+    // The classic single-cluster tail layout goes through with_sdn_members
+    // exactly as before (byte-identical artifacts); any other deployment
+    // resolves a strategy against the topology and seed.
+    let deployment = (!opts.default_deployment() && scenario.sdn_count > 0).then(|| {
+        let name = if opts.strategy.is_empty() {
+            "tail"
+        } else {
+            opts.strategy
+        };
+        super::deploy::DeploymentStrategy::by_name(name, opts.clusters.max(1), scenario.sdn_count)
+            .unwrap_or_else(|| panic!("unknown deployment strategy `{name}`"))
+    });
     if let Some(fp) = &opts.fault_plan {
         // Pre-flight the schedule: indices, edges, and hold-timer
         // detectability (router/link faults are invisible with hold 0).
         let horizon = fp.horizon();
-        let members = scenario.members();
+        let members = match &deployment {
+            Some(strategy) => {
+                let mut flat: Vec<usize> = strategy
+                    .assign(&tp.as_graph, scenario.seed)
+                    .unwrap_or_else(|e| panic!("invalid cluster deployment: {e}"))
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                flat.sort_unstable();
+                flat
+            }
+            None => scenario.members(),
+        };
         let report = fp.preflight(&tp, &members, horizon, u64::from(opts.hold_secs));
         assert!(
             report.ok(),
@@ -189,9 +229,12 @@ pub fn run_clique_with(
         );
     }
     let mut builder = NetworkBuilder::new(tp, scenario.seed)
-        .with_sdn_members(scenario.members())
         .with_recompute_delay(scenario.recompute_delay)
         .with_control_loss(scenario.control_loss);
+    builder = match deployment {
+        Some(strategy) => builder.with_deployment(strategy),
+        None => builder.with_sdn_members(scenario.members()),
+    };
     if let Some(model) = &opts.ctl_latency {
         builder = builder.with_ctl_latency(model.clone());
     }

@@ -36,23 +36,20 @@ fn rule_action(action: FlowAction) -> RuleAction {
 /// into the port map and next-hop entries.
 pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
     let vert_of: BTreeMap<NodeId, usize> = net.ases.iter().map(|a| (a.node, a.index)).collect();
-    // member index → plan vertex (member_index maps the other way).
-    let member_vertex: BTreeMap<usize, usize> =
-        net.member_index.iter().map(|(v, m)| (*m, *v)).collect();
 
     let policy = match net.plan.routers.first().map(|r| r.mode) {
         Some(PolicyMode::GaoRexford) => PolicyKind::GaoRexford,
         _ => PolicyKind::AllPermit,
     };
 
-    let ctl = net.controller.map(|c| net.sim.node_ref::<Controller>(c));
-    let speaker = net.speaker.map(|s| net.sim.node_ref::<Speaker>(s));
-
-    // Cluster-originated prefixes, attributed to the owning member's vertex.
+    // Cluster-originated prefixes, attributed to the owning member's vertex
+    // (each controller reports cluster-local member indices; the cluster
+    // handle's sorted member list maps them back to plan vertices).
     let mut member_originated: BTreeMap<usize, Vec<bgpsdn_bgp::Prefix>> = BTreeMap::new();
-    if let Some(ctl) = ctl {
+    for handle in &net.clusters {
+        let ctl = net.sim.node_ref::<Controller>(handle.controller);
         for (p, m) in ctl.owned_prefixes() {
-            if let Some(&v) = member_vertex.get(&m) {
+            if let Some(&v) = handle.members.get(m) {
                 member_originated.entry(v).or_default().push(p);
             }
         }
@@ -156,24 +153,46 @@ pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
         })
         .collect();
 
-    let control = match (ctl, speaker) {
-        (None, _) | (_, None) => ControlHealth::NoCluster,
-        (Some(ctl), Some(spk)) => {
-            let ctl_node_up = net.controller.is_some_and(|c| net.sim.node_is_up(c));
-            if !ctl_node_up || spk.is_headless() {
-                ControlHealth::Headless
-            } else if ctl.epoch() == 0 || ctl.resync_pending() {
-                ControlHealth::Resyncing
-            } else {
-                ControlHealth::Synced
-            }
-        }
+    // Control health is the worst state across all deployed clusters
+    // (Headless > Resyncing > Synced); with one cluster this is exactly
+    // the historical single-triple classification.
+    let mut control = if net.clusters.is_empty() {
+        ControlHealth::NoCluster
+    } else {
+        ControlHealth::Synced
     };
+    for handle in &net.clusters {
+        let ctl = net.sim.node_ref::<Controller>(handle.controller);
+        let spk = net.sim.node_ref::<Speaker>(handle.speaker);
+        let health = if !net.sim.node_is_up(handle.controller) || spk.is_headless() {
+            ControlHealth::Headless
+        } else if ctl.epoch() == 0 || ctl.resync_pending() {
+            ControlHealth::Resyncing
+        } else {
+            ControlHealth::Synced
+        };
+        control = match (control, health) {
+            (ControlHealth::Headless, _) | (_, ControlHealth::Headless) => ControlHealth::Headless,
+            (ControlHealth::Resyncing, _) | (_, ControlHealth::Resyncing) => {
+                ControlHealth::Resyncing
+            }
+            _ => ControlHealth::Synced,
+        };
+    }
 
+    // Intent flows run in global member order (cluster-major — the same
+    // order `member_index` assigns); sessions are concatenated in cluster
+    // order, so a single cluster reproduces the historical layout exactly.
     let mut intent_flows = Vec::new();
     let mut sessions = Vec::new();
-    let flow_priority = ctl.map(Controller::flow_priority).unwrap_or(0);
-    if let Some(ctl) = ctl {
+    let flow_priority = net
+        .clusters
+        .first()
+        .map(|h| net.sim.node_ref::<Controller>(h.controller).flow_priority())
+        .unwrap_or(0);
+    for handle in &net.clusters {
+        let ctl = net.sim.node_ref::<Controller>(handle.controller);
+        let spk = net.sim.node_ref::<Speaker>(handle.speaker);
         for m in 0..ctl.member_count() {
             intent_flows.push(
                 ctl.installed_table(m)
@@ -182,33 +201,31 @@ pub fn capture_snapshot(net: &HybridNetwork) -> Snapshot {
                     .collect(),
             );
         }
-        if let Some(spk) = speaker {
-            for s in 0..spk.session_count() {
-                let cfg = spk.session_config(s);
-                let (Some(&member), Some(&ext_peer)) =
-                    (vert_of.get(&cfg.alias), vert_of.get(&cfg.ext_peer))
-                else {
-                    continue;
-                };
-                let intent = ctl
-                    .adj_out_table(s)
-                    .iter()
-                    .map(|(p, path)| (*p, path.as_slice().to_vec()))
-                    .collect();
-                let actual = spk
-                    .adj_out_table(s)
-                    .into_iter()
-                    .map(|(p, path, _med)| (p, path.as_slice().to_vec()))
-                    .collect();
-                sessions.push(SessionSnap {
-                    member,
-                    ext_peer,
-                    established: spk.session_established(s),
-                    ctrl_up: ctl.session_is_up(s),
-                    intent,
-                    actual,
-                });
-            }
+        for s in 0..spk.session_count() {
+            let cfg = spk.session_config(s);
+            let (Some(&member), Some(&ext_peer)) =
+                (vert_of.get(&cfg.alias), vert_of.get(&cfg.ext_peer))
+            else {
+                continue;
+            };
+            let intent = ctl
+                .adj_out_table(s)
+                .iter()
+                .map(|(p, path)| (*p, path.as_slice().to_vec()))
+                .collect();
+            let actual = spk
+                .adj_out_table(s)
+                .into_iter()
+                .map(|(p, path, _med)| (p, path.as_slice().to_vec()))
+                .collect();
+            sessions.push(SessionSnap {
+                member,
+                ext_peer,
+                established: spk.session_established(s),
+                ctrl_up: ctl.session_is_up(s),
+                intent,
+                actual,
+            });
         }
     }
 

@@ -30,13 +30,15 @@ pub use controller::switch_graph::{IntraLink, SwitchGraph};
 pub use controller::{
     ControllerConfig, ControllerStats, IdrController, MemberConfig, SessionConfig,
 };
+pub use framework::campaign::fold_deployment_seed;
 pub use framework::{
-    capture_snapshot, check_plan, clique_sweep_point, event_phase_name, job_seed, loss_ppm,
-    render_job_artifact, render_job_artifact_into, run_campaign, run_campaign_scratch,
-    run_campaign_with, run_clique, run_clique_full, run_clique_instrumented, run_clique_traced,
-    run_clique_with, run_job, run_job_scratch, run_scale, run_scale_instrumented, AsHandle, AsKind,
-    CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions, CliqueScenario, Collector,
-    Controller, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan, FaultSpec,
+    capture_snapshot, check_plan, check_plan_clusters, clique_sweep_point, event_phase_name,
+    job_seed, loss_ppm, render_job_artifact, render_job_artifact_into, run_campaign,
+    run_campaign_scratch, run_campaign_with, run_clique, run_clique_full, run_clique_instrumented,
+    run_clique_traced, run_clique_with, run_job, run_job_scratch, run_scale,
+    run_scale_instrumented, validate_clusters, AsHandle, AsKind, CampaignGrid, CampaignJob,
+    CampaignRunReport, CliqueRunOptions, CliqueScenario, ClusterHandle, Collector, Controller,
+    DeploymentStrategy, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan, FaultSpec,
     HybridNetwork, JobOutcome, JobResult, JobScratch, NetworkBuilder, PreflightContext,
     ProbeReport, Router, ScaleOutcome, ScaleScenario, ScenarioOutcome, Script, ScriptAction,
     ScriptReport, Sim, Speaker, Switch, COLLECTOR_ASN, SCALE_UPDATE_PHASE,

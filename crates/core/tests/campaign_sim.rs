@@ -13,6 +13,8 @@ fn grid() -> CampaignGrid {
         n: 6,
         event: EventKind::Withdrawal,
         cluster_sizes: vec![0, 2],
+        clusters: vec![1],
+        strategy: "tail",
         loss: vec![0.0],
         ctl_latency: vec![SimDuration::from_millis(1), SimDuration::from_millis(5)],
         mrai: SimDuration::from_secs(2),

@@ -38,6 +38,13 @@ pub struct JobRecord {
     pub cell: u64,
     /// Swept parameter: SDN cluster size.
     pub cluster: u64,
+    /// Swept parameter: how many independent clusters the members are
+    /// split into (1 = the classic single-cluster deployment; such records
+    /// omit the field on the wire for backward byte-compatibility).
+    pub clusters: u64,
+    /// Deployment strategy that placed the clusters (`"tail"` = the classic
+    /// high-index layout; omitted on the wire when default).
+    pub strategy: String,
     /// Swept parameter: control-channel loss, in parts per million.
     pub loss_ppm: u64,
     /// Swept parameter: control-channel latency, in nanoseconds.
@@ -85,6 +92,10 @@ impl JobRecord {
                 Json::U64(self.verify_violations),
             ),
         ];
+        if self.clusters != 1 || self.strategy != "tail" {
+            m.insert(4, ("clusters".into(), Json::U64(self.clusters)));
+            m.insert(5, ("strategy".into(), Json::Str(self.strategy.clone())));
+        }
         if self.phases.total() > 0 {
             m.push(("phases".into(), self.phases.to_json()));
         }
@@ -102,6 +113,12 @@ impl JobRecord {
             id: u("id")?,
             cell: u("cell")?,
             cluster: u("cluster")?,
+            clusters: v.get("clusters").and_then(Json::as_u64).unwrap_or(1),
+            strategy: v
+                .get("strategy")
+                .and_then(Json::as_str)
+                .unwrap_or("tail")
+                .to_string(),
             loss_ppm: u("loss_ppm")?,
             ctl_latency_ns: u("ctl_latency_ns")?,
             seed: u("seed")?,
@@ -191,6 +208,12 @@ pub struct CellStats {
     pub cell: u64,
     /// SDN cluster size of the cell.
     pub cluster: u64,
+    /// Independent cluster count of the cell (1 = single-cluster default,
+    /// omitted on the wire).
+    pub clusters: u64,
+    /// Deployment strategy of the cell (`"tail"` default, omitted on the
+    /// wire).
+    pub strategy: String,
     /// Control-channel loss of the cell, parts per million.
     pub loss_ppm: u64,
     /// Control-channel latency of the cell, nanoseconds.
@@ -234,6 +257,10 @@ impl CellStats {
                 Json::U64(self.verify_violations),
             ),
         ];
+        if self.clusters != 1 || self.strategy != "tail" {
+            m.insert(3, ("clusters".into(), Json::U64(self.clusters)));
+            m.insert(4, ("strategy".into(), Json::Str(self.strategy.clone())));
+        }
         for (key, stats) in [
             ("convergence_s", &self.convergence_s),
             ("updates", &self.updates),
@@ -255,6 +282,12 @@ impl CellStats {
         Ok(CellStats {
             cell: u("cell")?,
             cluster: u("cluster")?,
+            clusters: v.get("clusters").and_then(Json::as_u64).unwrap_or(1),
+            strategy: v
+                .get("strategy")
+                .and_then(Json::as_str)
+                .unwrap_or("tail")
+                .to_string(),
             loss_ppm: u("loss_ppm")?,
             ctl_latency_ns: u("ctl_latency_ns")?,
             runs: u("runs")?,
@@ -296,6 +329,8 @@ pub fn aggregate_cells(jobs: &[JobRecord]) -> Vec<CellStats> {
             CellStats {
                 cell,
                 cluster: first.cluster,
+                clusters: first.clusters,
+                strategy: first.strategy.clone(),
                 loss_ppm: first.loss_ppm,
                 ctl_latency_ns: first.ctl_latency_ns,
                 runs: ok.len() as u64,
@@ -425,20 +460,19 @@ impl CampaignArtifact {
             let first = self.cells.first().map(|c| c.ctl_latency_ns);
             self.cells.iter().any(|c| Some(c.ctl_latency_ns) != first)
         };
+        let sweep_deploy = self
+            .cells
+            .iter()
+            .any(|c| c.clusters != 1 || c.strategy != "tail");
         let _ = writeln!(out, "== grid cells ({} jobs)", self.jobs.len());
+        let _ = write!(out, "{:>5} {:>8}", "cell", "cluster");
+        if sweep_deploy {
+            let _ = write!(out, " {:>12}", "deploy");
+        }
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
-            "cell",
-            "cluster",
-            "loss",
-            "runs",
-            "conv min",
-            "median",
-            "p90",
-            "max",
-            "updates",
-            "flowmods"
+            " {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            "loss", "runs", "conv min", "median", "p90", "max", "updates", "flowmods"
         );
         for c in &self.cells {
             let loss = if sweep_loss || sweep_lat {
@@ -460,11 +494,13 @@ impl CampaignArtifact {
                     .map(|s| format!("{:.0}", s.median))
                     .unwrap_or_else(|| "-".into())
             };
+            let _ = write!(out, "{:>5} {:>8}", c.cell, c.cluster);
+            if sweep_deploy {
+                let _ = write!(out, " {:>12}", format!("{}x{}", c.clusters, c.strategy));
+            }
             let _ = writeln!(
                 out,
-                "{:>5} {:>8} {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
-                c.cell,
-                c.cluster,
+                " {:>8} {:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
                 loss,
                 c.runs,
                 cmin,
@@ -600,6 +636,8 @@ mod tests {
             id,
             cell,
             cluster,
+            clusters: 1,
+            strategy: "tail".into(),
             loss_ppm: 0,
             ctl_latency_ns: 1_000_000,
             seed: 100 + id,
@@ -700,6 +738,35 @@ mod tests {
             !plain_report.contains("causal phase breakdown"),
             "{plain_report}"
         );
+    }
+
+    #[test]
+    fn multicluster_fields_are_omitted_when_default() {
+        // Default records keep the legacy wire shape, byte for byte.
+        let j = job(0, 0, 4, 10.0);
+        assert!(!j.to_line().contains("clusters"), "{}", j.to_line());
+        assert!(!j.to_line().contains("strategy"), "{}", j.to_line());
+        let parsed = JobRecord::from_json(&Json::parse(&j.to_line()).unwrap()).unwrap();
+        assert_eq!(parsed, j);
+        // Non-default records round-trip the deployment axes.
+        let mut k = job(1, 1, 8, 5.0);
+        k.clusters = 2;
+        k.strategy = "degree".into();
+        let line = k.to_line();
+        assert!(line.contains("\"clusters\":2"), "{line}");
+        assert!(line.contains("\"strategy\":\"degree\""), "{line}");
+        let parsed = JobRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, k);
+        // Cells inherit the deployment axes and show them in the report.
+        let cells = aggregate_cells(&[k.clone()]);
+        assert_eq!(cells[0].clusters, 2);
+        assert_eq!(cells[0].strategy, "degree");
+        let cell_line = cells[0].to_line();
+        let cell = CellStats::from_json(&Json::parse(&cell_line).unwrap()).unwrap();
+        assert_eq!(cell, cells[0]);
+        let report = CampaignArtifact::render(&Json::Obj(vec![]), &[k]);
+        let rendered = CampaignArtifact::parse(&report).unwrap().render_report();
+        assert!(rendered.contains("2xdegree"), "{rendered}");
     }
 
     #[test]

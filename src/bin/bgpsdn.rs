@@ -38,6 +38,13 @@ fn usage() -> ExitCode {
       --fig2              the paper's Figure 2 grid (16-AS clique
                           withdrawal, cluster sizes 0..=16)
       --sizes K1,K2,...   explicit cluster-size axis
+      --clusters C1,C2,...
+                          cluster-count axis: split each cell's members
+                          into that many independent SDN clusters, each
+                          with its own controller and speaker (default 1)
+      --strategy tail|random|degree|kcore|tier
+                          deployment strategy placing the clusters
+                          (default tail, the paper's high-index layout)
       --loss L1,L2,...    control-channel loss axis (default 0)
       --ctl-latency-ms L1,L2,...
                           control-channel latency axis (default 1)
@@ -62,7 +69,9 @@ fn usage() -> ExitCode {
       grid, CAIDA-like hierarchy, demo script). --json emits one
       deterministic JSON document. Exits nonzero on any finding.
       Accepts the sweep grid flags (--n, --event, --seeds, --loss,
-      --ctl-latency-ms, --chaos, ...)
+      --ctl-latency-ms, --clusters, --strategy, --chaos, ...); with a
+      multi-cluster deployment, safety is checked with every cluster
+      contracted to its own logical node
 
   bgpsdn report FILE
       analyze a JSONL trace artifact: per-node update counts, recompute
@@ -273,6 +282,22 @@ fn write_artifact(
     Ok(())
 }
 
+/// Resolve `--strategy NAME` against the analyzer's canonical name list
+/// (the campaign grid stores the `&'static str` the analyzer owns).
+fn parse_strategy(raw: Option<&str>) -> Result<&'static str, String> {
+    let name = raw.unwrap_or("tail");
+    STRATEGY_NAMES
+        .iter()
+        .find(|&&s| s == name)
+        .copied()
+        .ok_or_else(|| {
+            format!(
+                "--strategy must be one of {}, got {name:?}",
+                STRATEGY_NAMES.join("|")
+            )
+        })
+}
+
 fn parse_event(raw: Option<&str>) -> Result<EventKind, String> {
     match raw {
         None | Some("withdrawal") => Ok(EventKind::Withdrawal),
@@ -306,6 +331,8 @@ fn sweep_grid(args: &Args) -> Result<CampaignGrid, String> {
             n,
             event: parse_event(args.get_str("event"))?,
             cluster_sizes: sizes,
+            clusters: args.get_list("clusters", vec![1usize])?,
+            strategy: parse_strategy(args.get_str("strategy"))?,
             loss: args.get_list("loss", vec![0.0])?,
             ctl_latency: args
                 .get_list("ctl-latency-ms", vec![1u64])?
@@ -324,6 +351,8 @@ fn sweep_grid(args: &Args) -> Result<CampaignGrid, String> {
     if args.has("fig2") {
         grid.base_seed = args.get("base-seed", grid.base_seed)?;
         grid.verify = args.has("verify");
+        grid.clusters = args.get_list("clusters", grid.clusters)?;
+        grid.strategy = parse_strategy(args.get_str("strategy"))?;
     }
     let outages: usize = args.get("chaos", 0)?;
     if outages > 0 {
@@ -537,6 +566,55 @@ fn clique_targets(n: usize, sizes: &[usize]) -> Vec<CheckTarget> {
     targets
 }
 
+/// Multi-cluster static checks: resolve the grid's deployment strategy for
+/// every (cluster size, cluster count) cell, then check policy safety with
+/// *each* cluster contracted to its own logical node and predict the
+/// path-hunting bound over the contracted graph.
+fn clique_cluster_targets(grid: &CampaignGrid) -> Vec<CheckTarget> {
+    let g = AsGraph::all_peer(&gen::clique(grid.n), 65000);
+    let mut sizes: Vec<usize> = grid
+        .cluster_sizes
+        .iter()
+        .copied()
+        .filter(|&k| k > 0 && k <= grid.n)
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut targets = Vec::new();
+    for &k in &sizes {
+        for &count in &grid.clusters {
+            if count <= 1 || count > k {
+                continue;
+            }
+            let name = format!("clique{}:sdn{k}x{count}-{}", grid.n, grid.strategy);
+            let Some(strategy) = DeploymentStrategy::by_name(grid.strategy, count, k) else {
+                continue;
+            };
+            let seed = fold_deployment_seed(grid.base_seed, count as u64, grid.strategy);
+            match strategy.assign(&g, seed) {
+                Ok(clusters) => {
+                    let report = check_safety_clusters(&SafetyClustersInput {
+                        graph: &g,
+                        mode: PolicyMode::AllPermit,
+                        clusters: &clusters,
+                        rules: &[],
+                    });
+                    let mut t = CheckTarget::new(name, report);
+                    t.hunt_bound = Some(hunt_depth_bound_clusters(&g, &clusters, 0) as u64);
+                    targets.push(t);
+                }
+                Err(e) => {
+                    let mut report = AnalysisReport::new();
+                    report.checked();
+                    report.error("cluster.deployment", e);
+                    targets.push(CheckTarget::new(name, report));
+                }
+            }
+        }
+    }
+    targets
+}
+
 /// Build the campaign grid a `check` invocation describes. Unlike
 /// [`sweep_grid`] this does not pre-validate sizes or seeds — surfacing
 /// those as analyzer findings is the point.
@@ -548,6 +626,8 @@ fn check_grid_args(args: &Args) -> Result<CampaignGrid, String> {
             n: args.get("n", 16)?,
             event: parse_event(args.get_str("event"))?,
             cluster_sizes: args.get_list("sizes", vec![])?,
+            clusters: args.get_list("clusters", vec![1usize])?,
+            strategy: parse_strategy(args.get_str("strategy"))?,
             loss: args.get_list("loss", vec![0.0])?,
             ctl_latency: args
                 .get_list("ctl-latency-ms", vec![1u64])?
@@ -588,6 +668,16 @@ fn builtin_targets() -> Result<Vec<CheckTarget>, String> {
     failover.name = "failover".to_string();
     failover.event = EventKind::Failover;
     targets.push(CheckTarget::new("grid:failover", failover.preflight()));
+
+    // The multi-cluster deployment variant of the Fig. 2 grid: the same
+    // clique split into 2 and 4 degree-placed clusters.
+    let mut multi = CampaignGrid::fig2(10);
+    multi.name = "multicluster".to_string();
+    multi.cluster_sizes = vec![8, 16];
+    multi.clusters = vec![1, 2, 4];
+    multi.strategy = "degree";
+    targets.push(CheckTarget::new("grid:multicluster", multi.preflight()));
+    targets.extend(clique_cluster_targets(&multi));
 
     // A CAIDA-like tiered hierarchy under Gao-Rexford: the provider DAG is
     // acyclic by construction and a tier-1 origin must be valley-free
@@ -646,6 +736,9 @@ fn cmd_check(args: &Args) -> Result<(), String> {
             grid.preflight(),
         )];
         targets.extend(clique_targets(grid.n, &grid.cluster_sizes));
+        if !grid.default_deployment() {
+            targets.extend(clique_cluster_targets(&grid));
+        }
         targets
     } else {
         builtin_targets()?

@@ -55,8 +55,9 @@ pub use bgpsdn_verify as verify;
 /// The names almost every experiment needs.
 pub mod prelude {
     pub use bgpsdn_analyze::{
-        check_actions, check_grid, check_reachability, check_safety, check_timed, check_timing,
-        hunt_depth_bound, AnalysisReport, Finding, SafetyInput, Severity,
+        check_actions, check_grid, check_reachability, check_safety, check_safety_clusters,
+        check_timed, check_timing, hunt_depth_bound, hunt_depth_bound_clusters, AnalysisReport,
+        Finding, SafetyClustersInput, SafetyInput, Severity, STRATEGY_NAMES,
     };
     pub use bgpsdn_bgp::{
         pfx, Asn, BgpRouter, NeighborConfig, PolicyMode, Prefix, Relationship, RouterCommand,
@@ -64,12 +65,13 @@ pub mod prelude {
     };
     pub use bgpsdn_collector::{ConnectivityReport, ConvergenceReport, UpdateLog};
     pub use bgpsdn_core::{
-        check_plan, clique_sweep_point, event_phase_name, run_campaign, run_campaign_scratch,
-        run_campaign_with, run_clique, run_clique_traced, run_clique_with, run_job,
-        run_job_scratch, AsKind, CampaignGrid, CampaignJob, CampaignRunReport, CliqueRunOptions,
-        CliqueScenario, Controller, EventKind, Experiment, FaultAction, FaultClasses, FaultPlan,
-        FaultSpec, HybridNetwork, JobResult, JobScratch, NetworkBuilder, PreflightContext, Router,
-        ScenarioOutcome, Script, Speaker, Switch,
+        check_plan, check_plan_clusters, clique_sweep_point, event_phase_name,
+        fold_deployment_seed, run_campaign, run_campaign_scratch, run_campaign_with, run_clique,
+        run_clique_traced, run_clique_with, run_job, run_job_scratch, AsKind, CampaignGrid,
+        CampaignJob, CampaignRunReport, CliqueRunOptions, CliqueScenario, ClusterHandle,
+        Controller, DeploymentStrategy, EventKind, Experiment, FaultAction, FaultClasses,
+        FaultPlan, FaultSpec, HybridNetwork, JobResult, JobScratch, NetworkBuilder,
+        PreflightContext, Router, ScenarioOutcome, Script, Speaker, Switch,
     };
     pub use bgpsdn_netsim::{
         Activity, DataPacket, LatencyModel, SimDuration, SimRng, SimTime, Simulator, Summary,

@@ -16,6 +16,8 @@ fn small_grid() -> CampaignGrid {
         n: 6,
         event: EventKind::Withdrawal,
         cluster_sizes: vec![0, 3],
+        clusters: vec![1],
+        strategy: "tail",
         loss: vec![0.0],
         ctl_latency: vec![SimDuration::from_millis(1)],
         mrai: SimDuration::from_secs(2),
@@ -160,5 +162,38 @@ fn campaign_records_are_identical_across_reruns() {
         r1.records(),
         r2.records(),
         "records must not depend on worker count or rerun"
+    );
+}
+
+/// The `clusters × strategy` deployment axis obeys the same contract as
+/// every other axis: traced job artifacts are raw-byte reproducible and
+/// campaign records are independent of the worker count.
+#[test]
+fn multicluster_campaign_is_equally_deterministic() {
+    let mut grid = small_grid();
+    grid.name = "det-mc".to_string();
+    grid.cluster_sizes = vec![0, 3, 4];
+    grid.clusters = vec![1, 2];
+    grid.strategy = "degree";
+
+    let jobs = grid.expand();
+    assert_eq!(jobs.len(), 6, "3 sizes x 2 cluster counts");
+    for job in &jobs {
+        let a = run_job(job, true).artifact.expect("traced");
+        let b = run_job(job, true).artifact.expect("traced");
+        assert!(!a.is_empty());
+        assert_eq!(
+            a, b,
+            "multi-cluster job {} ({}x{}) artifact must be byte-stable",
+            job.id, job.clusters, job.strategy
+        );
+    }
+
+    let r1 = run_campaign(&grid, 2, false);
+    let r2 = run_campaign(&grid, 1, false);
+    assert_eq!(
+        r1.records(),
+        r2.records(),
+        "multi-cluster records must not depend on worker count or rerun"
     );
 }
